@@ -1,0 +1,28 @@
+//! Ablations of OffloaDNN's design choices: first-branch rule vs beam
+//! search, and the greedy vs optimal inner allocator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use offloadnn_core::heuristic::{AllocatorKind, OffloadnnSolver};
+use offloadnn_core::scenario::{large_scenario, LoadLevel};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let s = large_scenario(LoadLevel::High);
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("beam_width", k), &k, |b, &k| {
+            b.iter(|| OffloadnnSolver::with_beam(k).solve(black_box(&s.instance)).unwrap())
+        });
+    }
+    for (name, alloc) in [("greedy", AllocatorKind::GreedyPriority), ("ascent", AllocatorKind::CoordinateAscent)] {
+        let solver = OffloadnnSolver { allocator: alloc, ..OffloadnnSolver::new() };
+        group.bench_with_input(BenchmarkId::new("allocator", name), &name, |b, _| {
+            b.iter(|| solver.solve(black_box(&s.instance)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

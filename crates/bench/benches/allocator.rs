@@ -1,0 +1,40 @@
+//! Inner allocation problem: greedy vs coordinate ascent at growing task
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use offloadnn_core::alloc::{coordinate_ascent, greedy, AllocSettings, AllocTask, Order};
+use std::hint::black_box;
+
+fn tasks(n: usize) -> Vec<AllocTask> {
+    (0..n)
+        .map(|i| {
+            let x = (i as f64 * 0.37).fract();
+            AllocTask {
+                priority: 0.2 + 0.8 * x,
+                lambda: 2.0 + 6.0 * x,
+                beta: 350e3,
+                bits_per_rb: 0.35e6,
+                r_lat: 1.5 + 4.0 * x,
+                proc_seconds: 0.002 + 0.01 * x,
+            }
+        })
+        .collect()
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    for n in [5usize, 20, 100] {
+        let ts = tasks(n);
+        let s = AllocSettings { alpha: 0.5, rbs: n as f64 * 3.0, compute: n as f64 * 0.02 };
+        group.bench_with_input(BenchmarkId::new("greedy_priority", n), &n, |b, _| {
+            b.iter(|| greedy(black_box(&ts), black_box(&s), Order::Priority))
+        });
+        group.bench_with_input(BenchmarkId::new("coordinate_ascent", n), &n, |b, _| {
+            b.iter(|| coordinate_ascent(black_box(&ts), black_box(&s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

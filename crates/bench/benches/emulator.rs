@@ -1,0 +1,22 @@
+//! Discrete-event emulator throughput: the Fig. 11 deployment over a 20 s
+//! horizon.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use offloadnn_core::heuristic::OffloadnnSolver;
+use offloadnn_core::scenario::small_scenario;
+use offloadnn_emu::colosseum::{deployments, ColosseumConfig};
+use offloadnn_emu::sim::run;
+use std::hint::black_box;
+
+fn bench_emulator(c: &mut Criterion) {
+    let s = small_scenario(5);
+    let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    let cfg = ColosseumConfig::reference();
+    let deps = deployments(&s.instance, &sol, &cfg);
+    c.bench_function("emulate_20s_5tasks", |b| {
+        b.iter(|| run(black_box(&deps), black_box(&cfg.emulator)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_emulator);
+criterion_main!(benches);

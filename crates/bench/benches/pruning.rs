@@ -1,0 +1,30 @@
+//! Structured pruning throughput: dependency analysis + rebuild of
+//! ResNet-18 stages at several ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use offloadnn_dnn::models::resnet18;
+use offloadnn_dnn::prune::{prune, PruneSpec};
+use offloadnn_dnn::TensorShape;
+use std::hint::black_box;
+
+fn bench_prune(c: &mut Criterion) {
+    let model = resnet18(60, 1000, TensorShape::new(3, 224, 224));
+    let mut group = c.benchmark_group("pruning");
+    for ratio in [0.5f64, 0.8] {
+        group.bench_with_input(BenchmarkId::new("stage4", format!("{ratio}")), &ratio, |b, &r| {
+            b.iter(|| prune(black_box(&model.blocks[3]), PruneSpec::suffix_head(r)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("whole_model", format!("{ratio}")), &ratio, |b, &r| {
+            b.iter(|| {
+                for (i, blk) in model.blocks.iter().enumerate() {
+                    let spec = if i == 0 { PruneSpec::suffix_head(r) } else { PruneSpec::full(r) };
+                    prune(black_box(blk), spec).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 6's measurement as a Criterion bench: OffloaDNN vs the exact
+//! optimum on the small-scale scenario as T grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use offloadnn_core::exact::ExactSolver;
+use offloadnn_core::heuristic::OffloadnnSolver;
+use offloadnn_core::scenario::small_scenario;
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_runtime");
+    for t in 1..=5usize {
+        let s = small_scenario(t);
+        group.bench_with_input(BenchmarkId::new("offloadnn", t), &t, |b, _| {
+            b.iter(|| OffloadnnSolver::new().solve(black_box(&s.instance)).unwrap())
+        });
+        // The exhaustive optimum explodes with T; keep sampling cheap.
+        if t <= 4 {
+            group.sample_size(10);
+            group.bench_with_input(BenchmarkId::new("optimum", t), &t, |b, _| {
+                b.iter(|| ExactSolver::new().solve(black_box(&s.instance)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Weighted-tree construction and the full heuristic on the large-scale
+//! scenario (125 DNNs x 10 paths x 4 quality levels per task, T = 20).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use offloadnn_core::heuristic::OffloadnnSolver;
+use offloadnn_core::scenario::{large_scenario, LoadLevel};
+use offloadnn_core::tree::WeightedTree;
+use std::hint::black_box;
+
+fn bench_tree(c: &mut Criterion) {
+    let s = large_scenario(LoadLevel::Medium);
+    let mut group = c.benchmark_group("tree");
+    group.sample_size(20);
+    group.bench_function("build_large", |b| {
+        b.iter(|| WeightedTree::build(black_box(&s.instance)))
+    });
+    group.bench_function("solve_large", |b| {
+        b.iter(|| OffloadnnSolver::new().solve(black_box(&s.instance)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

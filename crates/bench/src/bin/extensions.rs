@@ -1,0 +1,135 @@
+//! Extension experiments beyond the paper's evaluation:
+//!
+//! 1. device-energy accounting — the paper's motivation ("offloading
+//!    spares device batteries") made quantitative;
+//! 2. GPU batching on the edge server under saturation;
+//! 3. bursty (MMPP) traffic stress against the Fig. 11 deployment;
+//! 4. multi-edge fragmentation — the same capacity split across several
+//!    edge platforms serves less, because block sharing is confined to an
+//!    edge and memory fragments.
+
+use offloadnn_bench::print_table;
+use offloadnn_core::heuristic::OffloadnnSolver;
+use offloadnn_core::scenario::small_scenario;
+use offloadnn_emu::colosseum::{deployments, ColosseumConfig};
+use offloadnn_emu::energy::{energy_report, DeviceEnergyModel};
+use offloadnn_emu::sim::{run, BatchPolicy, EmulatorConfig, TaskDeployment};
+use offloadnn_radio::ArrivalProcess;
+
+fn main() {
+    let s = small_scenario(5);
+    let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    let cfg = ColosseumConfig::reference();
+    let deps = deployments(&s.instance, &sol, &cfg);
+
+    // --- 1. Device energy -------------------------------------------------
+    let device = DeviceEnergyModel::smartphone();
+    // Local alternative: the full unpruned model of each task's choice.
+    let local_flops: Vec<u64> = (0..5)
+        .map(|t| {
+            let o = sol.choices[t].unwrap();
+            s.repo.path_flops(&s.instance.options[t][o].path).max(3_600_000_000)
+        })
+        .collect();
+    let report = energy_report(&device, &deps, &local_flops);
+    let rows: Vec<Vec<String>> = deps
+        .iter()
+        .zip(&report.per_task)
+        .map(|(d, &(off, loc, save))| {
+            vec![
+                d.name.clone(),
+                format!("{:.0} mJ", off * 1e3),
+                format!("{:.0} mJ", loc * 1e3),
+                format!("{:.1}x", save),
+                format!("{:.0} ms", device.local_latency_s(local_flops[0]) * 1e3),
+            ]
+        })
+        .collect();
+    print_table(
+        "Extension 1: per-image device energy, offload vs local execution",
+        &["task", "offload", "local", "saving", "local latency"],
+        &rows,
+    );
+    println!("mean energy saving from offloading: {:.1}x", report.mean_saving);
+
+    // --- 2. GPU batching under saturation --------------------------------
+    let mut heavy: Vec<TaskDeployment> = deps.clone();
+    for d in &mut heavy {
+        d.proc_seconds = 0.12; // an edge GPU ~16x slower: demand 3 GPU-s/s
+        d.max_latency = 2.5;
+    }
+    let mut ecfg = EmulatorConfig { duration: 15.0, ..EmulatorConfig::reference() };
+    let unbatched = run(&heavy, &ecfg).unwrap();
+    ecfg.batching = Some(BatchPolicy { max_batch: 8, marginal_cost: 0.25 });
+    let batched = run(&heavy, &ecfg).unwrap();
+    let done = |r: &offloadnn_emu::EmulationReport| r.stats.iter().map(|s| s.completed).sum::<u64>();
+    println!("\n== Extension 2: GPU batching on a saturated edge (0.12 s/inference, 25 req/s) ==");
+    println!(
+        "completions in 15 s: {} unbatched -> {} batched (+{:.0}%)",
+        done(&unbatched),
+        done(&batched),
+        (done(&batched) as f64 / done(&unbatched) as f64 - 1.0) * 100.0
+    );
+
+    // --- 3. Bursty traffic stress ------------------------------------------
+    let mut bursty = deps;
+    for d in &mut bursty {
+        let mean = d.arrivals.rate_hz();
+        d.arrivals = ArrivalProcess::Bursty {
+            calm_rate_hz: mean * 0.5,
+            burst_rate_hz: mean * 3.0,
+            mean_calm_s: 4.0,
+            mean_burst_s: 1.0,
+        };
+    }
+    let ecfg = EmulatorConfig { duration: 60.0, ..EmulatorConfig::reference() };
+    let stressed = run(&bursty, &ecfg).unwrap();
+    println!("\n== Extension 3: bursty (MMPP) traffic against the Fig. 11 deployment ==");
+    println!("{:>14} {:>10} {:>10} {:>12} {:>10}", "task", "completed", "mean [s]", "p95 [s]", "misses");
+    for (t, st) in stressed.stats.iter().enumerate() {
+        println!(
+            "{:>14} {:>10} {:>10.3} {:>12.3} {:>9.1}%",
+            st.name,
+            st.completed,
+            stressed.mean_latency(t).unwrap_or(0.0),
+            stressed.latency_percentile(t, 0.95).unwrap_or(0.0),
+            st.miss_rate() * 100.0
+        );
+    }
+    println!(
+        "Slices sized for the mean rate absorb 3x bursts only through queueing: the tight\n\
+         tasks miss deadlines during bursts — the cost of Table IV's deterministic sizing."
+    );
+
+    // --- 4. Multi-edge fragmentation ---------------------------------------
+    use offloadnn_core::multi::{solve as multi_solve, split_edges};
+    let mut tight = small_scenario(5).instance;
+    tight.budgets.memory_bytes = 1.6e9;
+    println!("\n== Extension 4: multi-edge fragmentation (1.6 GB total memory) ==");
+    println!("{:>8} {:>20} {:>12}", "edges", "weighted admission", "admitted");
+    for n in [1usize, 2, 4] {
+        let multi = split_edges(&tight, n);
+        let sol = multi_solve(&multi).unwrap();
+        println!("{:>8} {:>20.3} {:>12}", n, sol.weighted_admission(&multi), sol.admitted_tasks());
+    }
+    println!("One big edge beats the same capacity in fragments: sharing stops at the edge boundary.");
+
+    // --- 5. INT8 quantisation as a second compression axis -----------------
+    use offloadnn_core::scenario::quantized_small_scenario;
+    use offloadnn_core::SolutionSummary;
+    let q = quantized_small_scenario(5);
+    let qsol = OffloadnnSolver::new().solve(&q.instance).unwrap();
+    let qsum = SolutionSummary::of(&q.instance, &qsol);
+    let base = small_scenario(5);
+    let bsol = OffloadnnSolver::new().solve(&base.instance).unwrap();
+    let bsum = SolutionSummary::of(&base.instance, &bsol);
+    println!("\n== Extension 5: INT8 quantisation in the path space ==");
+    println!("{:>24} {:>10} {:>10} {:>10}", "", "memory", "inference", "cost");
+    println!("{:>24} {:>10.3} {:>10.4} {:>10.4}", "FP32 only", bsum.memory_utilisation, bsum.compute_utilisation, bsum.total_cost);
+    println!("{:>24} {:>10.3} {:>10.4} {:>10.4}", "FP32 + INT8 variants", qsum.memory_utilisation, qsum.compute_utilisation, qsum.total_cost);
+    for (t, c) in qsol.choices.iter().enumerate() {
+        if let Some(o) = c {
+            println!("  task {} -> {}", t + 1, q.instance.options[t][*o].label);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Fig. 10 — large-scale scenario vs task request rate: weighted tasks
+//! admission ratio, RBs allocated, total required memory and total
+//! inference compute usage, OffloaDNN vs SEM-O-RAN. Also prints the
+//! Sec. V-A textual aggregates (DOT cost / training usage per load, and
+//! the average OffloaDNN-vs-SEM-O-RAN gains).
+
+use offloadnn_bench::{pct, print_series, saving};
+use offloadnn_core::heuristic::OffloadnnSolver;
+use offloadnn_core::scenario::{large_scenario, LoadLevel};
+use offloadnn_core::SolutionSummary;
+use offloadnn_semoran::SemORanSolver;
+
+fn main() {
+    let mut xs = Vec::new();
+    let mut wadm = (Vec::new(), Vec::new());
+    let mut rb = (Vec::new(), Vec::new());
+    let mut mem = (Vec::new(), Vec::new());
+    let mut comp = (Vec::new(), Vec::new());
+    let mut dot_cost = Vec::new();
+    let mut train_usage = Vec::new();
+    let mut admitted = (Vec::new(), Vec::new());
+
+    for load in LoadLevel::ALL {
+        let s = large_scenario(load);
+        let off = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        let osum = SolutionSummary::of(&s.instance, &off);
+        let sem = SemORanSolver::new().solve(&s.instance).unwrap();
+        let b = &s.instance.budgets;
+
+        xs.push(load.name().to_owned());
+        wadm.0.push(osum.weighted_admission);
+        wadm.1.push(sem.value);
+        rb.0.push(osum.radio_utilisation);
+        rb.1.push(sem.rbs_used / b.rbs);
+        mem.0.push(osum.memory_utilisation);
+        mem.1.push(sem.memory_used / b.memory_bytes);
+        comp.0.push(osum.compute_utilisation);
+        comp.1.push(sem.compute_used / b.compute_seconds);
+        dot_cost.push(osum.total_cost);
+        train_usage.push(osum.training_utilisation);
+        admitted.0.push(off.admitted_tasks() as f64);
+        admitted.1.push(sem.admitted_tasks() as f64);
+    }
+
+    print_series("Fig. 10 (left): weighted tasks admission ratio", "load", &xs,
+        &[("OffloaDNN", wadm.0.clone()), ("SEM-O-RAN", wadm.1.clone())]);
+    print_series("Fig. 10 (center-left): normalized no. of RBs allocated", "load", &xs,
+        &[("OffloaDNN", rb.0.clone()), ("SEM-O-RAN", rb.1.clone())]);
+    print_series("Fig. 10 (center-right): normalized total required memory", "load", &xs,
+        &[("OffloaDNN", mem.0.clone()), ("SEM-O-RAN", mem.1.clone())]);
+    print_series("Fig. 10 (right): total inference compute usage", "load", &xs,
+        &[("OffloaDNN", comp.0.clone()), ("SEM-O-RAN", comp.1.clone())]);
+
+    println!("\n== Sec. V-A aggregates ==");
+    println!("OffloaDNN total DOT cost per load:  [{:.2}, {:.2}, {:.2}]  (paper: [0.35, 0.44, 0.74])",
+        dot_cost[0], dot_cost[1], dot_cost[2]);
+    println!("OffloaDNN training usage per load:  [{:.2}, {:.2}, {:.2}]  (paper: [0.81, 0.81, 0.67])",
+        train_usage[0], train_usage[1], train_usage[2]);
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let task_gain = (avg(&admitted.0) - avg(&admitted.1)) / avg(&admitted.1);
+    println!("\nAverage gains of OffloaDNN over SEM-O-RAN:");
+    println!("  admitted offloaded tasks: +{}   (paper: +26.9%)", pct(task_gain));
+    println!("  memory usage saving:      {}   (paper: 82.5%)", pct(saving(avg(&mem.0), avg(&mem.1))));
+    println!("  inference compute saving: {}   (paper: 77.3%)", pct(saving(avg(&comp.0), avg(&comp.1))));
+    println!("  radio (RBs) saving:       {}   (paper: 4.4%)", pct(saving(avg(&rb.0), avg(&rb.1))));
+    let per_task_rb = |rb: &[f64], adm: &[f64]| -> f64 {
+        avg(&rb.iter().zip(adm).map(|(r, a)| r / a.max(1.0)).collect::<Vec<_>>())
+    };
+    println!(
+        "  radio per admitted task:  {}   (OffloaDNN serves more tasks with the same cell)",
+        pct(saving(per_task_rb(&rb.0, &admitted.0), per_task_rb(&rb.1, &admitted.1)))
+    );
+}

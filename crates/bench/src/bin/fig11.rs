@@ -1,0 +1,78 @@
+//! Fig. 11 — Colosseum-style validation: the OffloaDNN solution for the
+//! 5-task small-scale scenario is deployed into the emulated LTE cell
+//! (100 RBs) and the per-task end-to-end latency is traced over 20 s
+//! (moving average, window 3), against the per-task latency targets.
+
+use offloadnn_bench::{ascii_chart, write_csv};
+use offloadnn_core::heuristic::OffloadnnSolver;
+use offloadnn_core::scenario::small_scenario;
+use offloadnn_emu::colosseum::{validate, ColosseumConfig};
+
+fn main() {
+    let s = small_scenario(5);
+    let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    let cfg = ColosseumConfig::reference();
+    let report = validate(&s.instance, &sol, &cfg).expect("deployment fits the cell");
+
+    println!("== Fig. 11: end-to-end latency over time (moving average, window 3) ==");
+    println!("deployment: {} tasks, slices {:?} RBs, admission {:?}",
+        s.instance.num_tasks(),
+        sol.rbs_int(),
+        sol.admission.iter().map(|z| format!("{z:.2}")).collect::<Vec<_>>());
+
+    for t in 0..s.instance.num_tasks() {
+        let target = s.instance.tasks[t].max_latency;
+        let ma = report.moving_average(t, 3);
+        println!("\ntask {} (target {:.1} s): {} completions, mean {:.3} s, p95 {:.3} s, miss rate {:.1}%",
+            t + 1,
+            target,
+            report.stats[t].completed,
+            report.mean_latency(t).unwrap_or(0.0),
+            report.latency_percentile(t, 0.95).unwrap_or(0.0),
+            report.stats[t].miss_rate() * 100.0);
+        // Print ~20 evenly spaced samples of the smoothed trace.
+        let step = (ma.len() / 20).max(1);
+        print!("  t[s]:   ");
+        for s in ma.iter().step_by(step) {
+            print!("{:6.1}", s.completed_at);
+        }
+        print!("\n  lat[s]: ");
+        for s in ma.iter().step_by(step) {
+            print!("{:6.2}", s.latency);
+        }
+        println!();
+    }
+    println!("\nGPU utilisation: {:.1}%", report.gpu_utilisation() * 100.0);
+
+    // One chart with all five smoothed traces, resampled to a common grid.
+    let resampled: Vec<(String, Vec<f64>)> = (0..s.instance.num_tasks())
+        .map(|t| {
+            let ma = report.moving_average(t, 3);
+            let cols = 60usize;
+            let ys: Vec<f64> = (0..cols)
+                .map(|c| {
+                    let target = (c as f64 + 0.5) / cols as f64 * 20.0;
+                    ma.iter()
+                        .min_by(|a, b| {
+                            (a.completed_at - target).abs().total_cmp(&(b.completed_at - target).abs())
+                        })
+                        .map(|s| s.latency)
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            (format!("task{}", t + 1), ys)
+        })
+        .collect();
+    let chart_series: Vec<(&str, &[f64])> = resampled.iter().map(|(n, ys)| (n.as_str(), ys.as_slice())).collect();
+    println!("{}", ascii_chart("end-to-end latency [s] over 20 s (window-3 moving average)", &chart_series, 14));
+
+    let mut rows = Vec::new();
+    for (t, (_name, ys)) in resampled.iter().enumerate() {
+        for (c, y) in ys.iter().enumerate() {
+            rows.push(vec![format!("{}", t + 1), format!("{:.3}", (c as f64 + 0.5) / 3.0), format!("{y:.4}")]);
+        }
+    }
+    if let Ok(path) = write_csv("fig11_latency", &["task", "time_s", "latency_s"], &rows) {
+        println!("csv: {}", path.display());
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 2 — DNN block training configurations (Table I) on the ResNet-18
+//! feature extractor:
+//! (left)  testing-accuracy learning curves per configuration;
+//! (right) peak GPU memory occupancy during fine-tuning, in MiB.
+
+use offloadnn_bench::{ascii_chart, print_series, write_csv};
+use offloadnn_dnn::config::{Config, PathConfig};
+use offloadnn_dnn::models::resnet18;
+use offloadnn_dnn::repository::Repository;
+use offloadnn_dnn::{GroupId, TensorShape};
+use offloadnn_profiler::training::MIB;
+use offloadnn_profiler::{CurveSimulator, TrainingSetup};
+
+fn main() {
+    // Left panel: mean testing accuracy over 16 seeded noisy runs, like
+    // averaging real fine-tuning logs.
+    let sim = CurveSimulator::reference();
+    let total_epochs = 250usize;
+    let sample_every = 10usize;
+    let bands: Vec<(Config, Vec<f64>)> = Config::ALL
+        .iter()
+        .map(|&cfg| (cfg, sim.mean_band(cfg, total_epochs, 16).0))
+        .collect();
+    let epochs: Vec<usize> = (0..total_epochs).step_by(sample_every).map(|e| e + 1).collect();
+    let xs: Vec<String> = epochs.iter().map(|e| e.to_string()).collect();
+    let series: Vec<(&str, Vec<f64>)> = bands
+        .iter()
+        .map(|(cfg, mean)| {
+            let name: &str = match cfg {
+                Config::A => "CONFIG A",
+                Config::B => "CONFIG B",
+                Config::C => "CONFIG C",
+                Config::D => "CONFIG D",
+                Config::E => "CONFIG E",
+            };
+            (name, epochs.iter().map(|&e| mean[e - 1] * 100.0).collect())
+        })
+        .collect();
+    print_series(
+        "Fig. 2 (left): testing accuracy [%] vs training epoch (mean of 16 seeds)",
+        "epoch",
+        &xs,
+        &series,
+    );
+    let chart_series: Vec<(&str, &[f64])> = series.iter().map(|(n, ys)| (*n, ys.as_slice())).collect();
+    println!("\n{}", ascii_chart("accuracy [%] vs epoch", &chart_series, 16));
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let mut row = vec![x.clone()];
+            row.extend(series.iter().map(|(_, ys)| format!("{:.4}", ys[i])));
+            row
+        })
+        .collect();
+    if let Ok(path) = write_csv("fig2_left", &["epoch", "A", "B", "C", "D", "E"], &rows) {
+        println!("csv: {}", path.display());
+    }
+
+    // Right panel: peak GPU memory while fine-tuning each configuration.
+    let setup = TrainingSetup::reference();
+    let mut repo = Repository::new();
+    let model = repo.add_model(resnet18(60, 1000, TensorShape::new(3, 224, 224)));
+    let mut rows = Vec::new();
+    for cfg in Config::ALL {
+        let path = repo
+            .instantiate_path(model, GroupId(0), PathConfig { config: cfg, pruned: false }, 0.8)
+            .expect("valid ratio");
+        let blocks: Vec<_> = path.blocks.iter().map(|&b| repo.block(b)).collect();
+        let mib = setup.peak_training_bytes(&blocks) / MIB;
+        rows.push((cfg, mib));
+    }
+    println!("\n== Fig. 2 (right): peak GPU memory occupancy [MiB] during training ==");
+    for (cfg, mib) in &rows {
+        println!("  CONFIG {cfg:?}: {mib:8.0} MiB");
+    }
+    let a = rows[0].1;
+    let b = rows[1].1;
+    println!("  -> CONFIG B uses {:.1}x less than baseline CONFIG A (paper: ~1.8x)", a / b);
+}

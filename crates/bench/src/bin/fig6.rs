@@ -1,0 +1,36 @@
+//! Fig. 6 — average runtime of the optimum (exhaustive tree traversal)
+//! vs the OffloaDNN heuristic in the small-scale scenario, as the number
+//! of inference tasks T grows.
+
+use offloadnn_bench::print_series;
+use offloadnn_core::exact::ExactSolver;
+use offloadnn_core::heuristic::OffloadnnSolver;
+use offloadnn_core::scenario::small_scenario;
+
+fn main() {
+    let reps = 3;
+    let mut xs = Vec::new();
+    let (mut heu_t, mut opt_t) = (Vec::new(), Vec::new());
+    for t in 1..=5 {
+        let s = small_scenario(t);
+        let mut h_sum = 0.0;
+        let mut o_sum = 0.0;
+        for _ in 0..reps {
+            h_sum += OffloadnnSolver::new().solve(&s.instance).unwrap().solve_seconds;
+            o_sum += ExactSolver::new().solve(&s.instance).unwrap().solve_seconds;
+        }
+        xs.push(t.to_string());
+        heu_t.push(h_sum / reps as f64);
+        opt_t.push(o_sum / reps as f64);
+    }
+    print_series(
+        "Fig. 6: average runtime [s] vs number of inference tasks T",
+        "T",
+        &xs,
+        &[("OffloaDNN", heu_t.clone()), ("Optimum", opt_t.clone())],
+    );
+    for i in 0..xs.len() {
+        let speedup = opt_t[i] / heu_t[i].max(1e-12);
+        println!("T={}: OffloaDNN is {:.0}x faster", i + 1, speedup);
+    }
+}

@@ -1,0 +1,46 @@
+//! Fig. 8 — small-scale scenario cost breakdown, optimum vs OffloaDNN:
+//! weighted tasks admission ratio, RBs allocated (normalised), total
+//! training compute usage, total inference compute usage.
+
+use offloadnn_bench::print_series;
+use offloadnn_core::exact::ExactSolver;
+use offloadnn_core::heuristic::OffloadnnSolver;
+use offloadnn_core::scenario::small_scenario;
+use offloadnn_core::SolutionSummary;
+
+fn main() {
+    let mut xs = Vec::new();
+    let mut panels: Vec<(Vec<f64>, Vec<f64>)> = vec![Default::default(); 4];
+    for t in 1..=5 {
+        let s = small_scenario(t);
+        let h = SolutionSummary::of(&s.instance, &OffloadnnSolver::new().solve(&s.instance).unwrap());
+        let o = SolutionSummary::of(&s.instance, &ExactSolver::new().solve(&s.instance).unwrap());
+        xs.push(t.to_string());
+        for (i, (hv, ov)) in [
+            (h.weighted_admission, o.weighted_admission),
+            (h.radio_utilisation, o.radio_utilisation),
+            (h.training_utilisation, o.training_utilisation),
+            (h.compute_utilisation, o.compute_utilisation),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            panels[i].0.push(hv);
+            panels[i].1.push(ov);
+        }
+    }
+    let titles = [
+        "Fig. 8 (left): weighted tasks admission ratio",
+        "Fig. 8 (center-left): normalized no. of RBs allocated",
+        "Fig. 8 (center-right): total training compute usage",
+        "Fig. 8 (right): total inference compute usage",
+    ];
+    for (i, title) in titles.iter().enumerate() {
+        print_series(
+            title,
+            "T",
+            &xs,
+            &[("OffloaDNN", panels[i].0.clone()), ("Optimum", panels[i].1.clone())],
+        );
+    }
+}

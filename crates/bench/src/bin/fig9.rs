@@ -1,0 +1,30 @@
+//! Fig. 9 — large-scale scenario: per-task admission ratio under
+//! OffloaDNN (top) vs SEM-O-RAN (bottom), for low / medium / high task
+//! request rates.
+
+use offloadnn_core::heuristic::OffloadnnSolver;
+use offloadnn_core::scenario::{large_scenario, LoadLevel};
+use offloadnn_semoran::SemORanSolver;
+
+fn main() {
+    for load in LoadLevel::ALL {
+        let s = large_scenario(load);
+        let off = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        let sem = SemORanSolver::new().solve(&s.instance).unwrap();
+        println!("\n== Fig. 9 ({} request rate, {} req/s per task) ==", load.name(), load.rate_hz());
+        println!("{:>8} {:>12} {:>12}", "task", "OffloaDNN", "SEM-O-RAN");
+        for t in 0..s.instance.num_tasks() {
+            println!(
+                "{:>8} {:>12.2} {:>12.2}",
+                t + 1,
+                off.admission[t],
+                if sem.admitted[t] { 1.0 } else { 0.0 }
+            );
+        }
+        println!(
+            "admitted: OffloaDNN {} (fractional z allowed) vs SEM-O-RAN {} (binary)",
+            off.admitted_tasks(),
+            sem.admitted_tasks()
+        );
+    }
+}

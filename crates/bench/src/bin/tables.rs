@@ -1,0 +1,59 @@
+//! Tables I, II and IV of the paper, regenerated from the implementation
+//! (Table III is the notation table and lives in the rustdoc).
+
+use offloadnn_bench::print_table;
+use offloadnn_core::scenario::{large_scenario, small_scenario, LoadLevel};
+use offloadnn_dnn::config::{Config, PathConfig};
+use offloadnn_profiler::dataset;
+
+fn main() {
+    // Table I: block configurations.
+    let rows: Vec<Vec<String>> = Config::ALL
+        .iter()
+        .flat_map(|&c| {
+            [false, true].into_iter().map(move |pruned| {
+                let cfg = PathConfig { config: c, pruned };
+                vec![
+                    cfg.label(),
+                    format!("shared prefix = {} blocks", c.shared_prefix()),
+                    if c.from_scratch() { "from scratch".into() } else { "fine-tuned".into() },
+                    if pruned { "fine-tuned blocks pruned 80%".into() } else { "-".into() },
+                ]
+            })
+        })
+        .collect();
+    print_table("Table I: DNN block configurations (ResNet)", &["name", "sharing", "init", "pruning"], &rows);
+
+    // Table II: base dataset.
+    let d = dataset::base_dataset();
+    let rows: Vec<Vec<String>> = d
+        .sections
+        .iter()
+        .map(|s| vec![s.name.clone(), format!("{} categories (e.g. {})", s.categories.len(), s.categories[0])])
+        .collect();
+    print_table("Table II: base dataset description", &["objects", "description"], &rows);
+    println!("total: {} categories", d.num_categories());
+
+    // Table IV: scenario parameters as actually instantiated.
+    let small = small_scenario(5);
+    let large = large_scenario(LoadLevel::Medium);
+    let fmt = |s: &offloadnn_core::Scenario, name: &str| -> Vec<String> {
+        let i = &s.instance;
+        vec![
+            name.into(),
+            i.num_tasks().to_string(),
+            format!("{}", s.repo.models().len()),
+            format!("{}", i.options[0].len()),
+            format!("{}", i.budgets.rbs),
+            format!("{}", i.budgets.compute_seconds),
+            format!("{}", i.budgets.training_seconds),
+            format!("{:.0e}", i.budgets.memory_bytes),
+            format!("{}", i.alpha),
+        ]
+    };
+    print_table(
+        "Table IV: scenario parameters (as instantiated)",
+        &["scenario", "T", "|D|", "options/task", "R [RBs]", "C [s]", "Ct [s]", "M [B]", "alpha"],
+        &[fmt(&small, "small"), fmt(&large, "large")],
+    );
+}

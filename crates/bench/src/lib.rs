@@ -1,0 +1,159 @@
+//! Shared helpers for the benchmark harness: series/table formatting used
+//! by the `fig*` binaries that regenerate the paper's figures.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Prints a named data series as aligned columns.
+pub fn print_series(title: &str, x_label: &str, xs: &[String], series: &[(&str, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    print!("{x_label:>14}");
+    for (name, _) in series {
+        print!(" {name:>14}");
+    }
+    println!();
+    for (i, x) in xs.iter().enumerate() {
+        print!("{x:>14}");
+        for (_, ys) in series {
+            if let Some(y) = ys.get(i) {
+                print!(" {y:>14.4}");
+            } else {
+                print!(" {:>14}", "-");
+            }
+        }
+        println!();
+    }
+}
+
+/// Prints a markdown-style table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Relative saving of `ours` against `baseline` (positive = we use less).
+pub fn saving(ours: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        1.0 - ours / baseline
+    }
+}
+
+/// Renders series as an ASCII line chart (rows = value buckets, columns =
+/// x positions; each series gets a distinct glyph).
+pub fn ascii_chart(title: &str, series: &[(&str, &[f64])], height: usize) -> String {
+    use std::fmt::Write as _;
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let n = series.iter().map(|(_, ys)| ys.len()).max().unwrap_or(0);
+    if n == 0 {
+        return out;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, ys) in series {
+        for &y in *ys {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+    }
+    if !lo.is_finite() || hi <= lo {
+        hi = lo + 1.0;
+    }
+    let h = height.max(2);
+    let mut grid = vec![vec![' '; n]; h];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        for (x, &y) in ys.iter().enumerate() {
+            let row = ((y - lo) / (hi - lo) * (h - 1) as f64).round() as usize;
+            let row = h - 1 - row.min(h - 1);
+            grid[row][x] = glyphs[si % glyphs.len()];
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let axis = hi - (hi - lo) * i as f64 / (h - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{axis:>10.3} |{line}");
+    }
+    let _ = writeln!(out, "{:>10} +{}", "", "-".repeat(n));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", glyphs[i % glyphs.len()], name))
+        .collect();
+    let _ = writeln!(out, "{:>12}{}", "", legend.join("   "));
+    out
+}
+
+/// Writes a CSV file under `target/experiments/`, returning the path.
+/// Figure binaries call this so the series can be re-plotted elsewhere.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target").join("experiments");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut body = String::new();
+    body.push_str(&header.join(","));
+    body.push('\n');
+    for row in rows {
+        body.push_str(&row.join(","));
+        body.push('\n');
+    }
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_chart_shape() {
+        let a = [1.0, 2.0, 3.0, 2.0];
+        let b = [3.0, 2.0, 1.0, 2.0];
+        let chart = ascii_chart("t", &[("up", &a), ("down", &b)], 5);
+        assert!(chart.contains("* up"));
+        assert!(chart.contains("o down"));
+        // 5 grid rows + title + axis + legend.
+        assert_eq!(chart.lines().count(), 8);
+        // Extremes land on the top and bottom rows.
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[1].contains('*') || lines[1].contains('o'));
+    }
+
+    #[test]
+    fn ascii_chart_handles_flat_and_empty() {
+        let flat = [2.0, 2.0];
+        let c = ascii_chart("flat", &[("f", &flat)], 3);
+        assert!(c.contains("flat"));
+        let e = ascii_chart("empty", &[("e", &[][..])], 3);
+        assert_eq!(e.lines().count(), 1);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv(
+            "unit_test",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(p).unwrap();
+        assert_eq!(body, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn saving_math() {
+        assert!((saving(0.2, 0.8) - 0.75).abs() < 1e-12);
+        assert_eq!(saving(1.0, 0.0), 0.0);
+        assert_eq!(pct(0.269), "26.9%");
+    }
+}

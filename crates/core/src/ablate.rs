@@ -1,0 +1,138 @@
+//! Instance transformations that switch off one of OffloaDNN's three
+//! innovations at a time — block sharing, structured pruning, quality
+//! adaptation — so their individual contributions to the headline gains
+//! can be decomposed (the executable version of the paper's Sec. I claims
+//! about what sharing/pruning each buy).
+
+use crate::instance::DotInstance;
+
+/// Disables cross-task block sharing: every task's options are rewired to
+/// private copies of their blocks (same costs, fresh ids), so the memory
+/// and training union degenerates to a per-task sum.
+pub fn without_sharing(instance: &DotInstance) -> DotInstance {
+    let mut out = instance.clone();
+    let mut next_id = out.block_memory.len() as u32;
+    for t in 0..out.options.len() {
+        // One remap per task: blocks shared *within* a task's own options
+        // (e.g. its pruned and unpruned variants of the same base prefix)
+        // stay shared — only cross-task sharing is severed, mirroring a
+        // per-task model store.
+        let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for opt in &mut out.options[t] {
+            for b in &mut opt.path.blocks {
+                let new = *remap.entry(b.0).or_insert_with(|| {
+                    let id = next_id;
+                    next_id += 1;
+                    id
+                });
+                *b = offloadnn_dnn::BlockId(new);
+            }
+        }
+    }
+    // Extend the cost tables for the fresh ids.
+    let old_mem = instance.block_memory.clone();
+    let old_train = instance.block_training.clone();
+    out.block_memory.resize(next_id as usize, 0.0);
+    out.block_training.resize(next_id as usize, 0.0);
+    for t in 0..out.options.len() {
+        for (opt, old_opt) in out.options[t].iter().zip(&instance.options[t]) {
+            for (b, old_b) in opt.path.blocks.iter().zip(&old_opt.path.blocks) {
+                out.block_memory[b.0 as usize] = old_mem[old_b.0 as usize];
+                out.block_training[b.0 as usize] = old_train[old_b.0 as usize];
+            }
+        }
+    }
+    out
+}
+
+/// Removes every pruned path option.
+pub fn without_pruning(instance: &DotInstance) -> DotInstance {
+    let mut out = instance.clone();
+    for opts in &mut out.options {
+        opts.retain(|o| !o.path.config.pruned);
+    }
+    out
+}
+
+/// Removes every reduced-quality option (tasks transmit at full sensor
+/// quality only).
+pub fn without_quality_adaptation(instance: &DotInstance) -> DotInstance {
+    let mut out = instance.clone();
+    for opts in &mut out.options {
+        let max_q = opts.iter().map(|o| o.quality.quality).fold(0.0f64, f64::max);
+        opts.retain(|o| o.quality.quality >= max_q - 1e-12);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::OffloadnnSolver;
+    use crate::objective::{memory_bytes, verify};
+    use crate::scenario::small_scenario;
+
+    #[test]
+    fn without_sharing_duplicates_memory() {
+        let s = small_scenario(4);
+        let shared = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        let unshared_inst = without_sharing(&s.instance);
+        assert!(unshared_inst.validate().is_ok());
+        let unshared = OffloadnnSolver::new().solve(&unshared_inst).unwrap();
+        assert!(verify(&unshared_inst, &unshared).is_empty());
+        let m_shared = memory_bytes(&s.instance, &shared.choices, &shared.admission);
+        let m_unshared = memory_bytes(&unshared_inst, &unshared.choices, &unshared.admission);
+        assert!(
+            m_unshared > m_shared,
+            "severing sharing must cost memory: {m_unshared} vs {m_shared}"
+        );
+    }
+
+    #[test]
+    fn without_sharing_preserves_per_option_costs() {
+        let s = small_scenario(3);
+        let u = without_sharing(&s.instance);
+        for t in 0..3 {
+            for (a, b) in s.instance.options[t].iter().zip(&u.options[t]) {
+                let ma: f64 = a.path.blocks.iter().map(|&x| s.instance.memory_of(x)).sum();
+                let mb: f64 = b.path.blocks.iter().map(|&x| u.memory_of(x)).sum();
+                assert!((ma - mb).abs() < 1.0, "standalone path memory unchanged");
+                assert_eq!(a.proc_seconds, b.proc_seconds);
+            }
+        }
+    }
+
+    #[test]
+    fn without_pruning_slows_inference() {
+        let s = small_scenario(5);
+        let base = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        let np_inst = without_pruning(&s.instance);
+        for opts in &np_inst.options {
+            assert!(opts.iter().all(|o| !o.path.config.pruned));
+            assert!(!opts.is_empty());
+        }
+        let np = OffloadnnSolver::new().solve(&np_inst).unwrap();
+        assert!(verify(&np_inst, &np).is_empty());
+        let proc = |inst: &DotInstance, sol: &crate::objective::DotSolution| -> f64 {
+            sol.choices
+                .iter()
+                .enumerate()
+                .filter_map(|(t, c)| c.map(|o| inst.options[t][o].proc_seconds))
+                .sum()
+        };
+        assert!(
+            proc(&np_inst, &np) > proc(&s.instance, &base),
+            "removing pruned paths must increase total inference time"
+        );
+    }
+
+    #[test]
+    fn without_quality_keeps_only_full_quality() {
+        let s = crate::scenario::large_scenario(crate::scenario::LoadLevel::Low);
+        let q = without_quality_adaptation(&s.instance);
+        for opts in &q.options {
+            assert!(opts.iter().all(|o| (o.quality.quality - 1.0).abs() < 1e-9));
+            assert_eq!(opts.len() * 4, s.instance.options[0].len(), "one of four levels kept");
+        }
+    }
+}

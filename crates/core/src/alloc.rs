@@ -1,0 +1,391 @@
+//! The inner allocation problem: admission ratios `z` and RB counts `r`
+//! for a *fixed* choice of DNN paths (Sec. IV-B).
+//!
+//! Once paths are fixed, each task `t` is described by a priority `p`, a
+//! request rate `lambda`, an input size `beta`, a link rate `B`, a latency
+//! RB floor `r_lat` and a processing time `P`. Because the objective is
+//! monotone increasing in `r`, the optimal allocation is always
+//! `r(z) = max(r_lat, z*lambda*beta/B)`; substituting it leaves a
+//! one-dimensional *concave* utility per task
+//!
+//! ```text
+//! U_t(z) = alpha*p*z - (1-alpha) * ( z*r(z)/R + z*lambda*P/C )
+//! ```
+//!
+//! coupled only through the compute budget `sum z*lambda*P <= C` (1c) and
+//! the radio budget `sum z*r(z) <= R` (1d). Two solvers are provided:
+//!
+//! * [`greedy`] — processes tasks in a given order, giving each the
+//!   largest utility-positive `z` the remaining budgets allow. With
+//!   priority order this is exactly what OffloaDNN does.
+//! * [`coordinate_ascent`] — iteratively re-optimises each task's `z`
+//!   against the others until a fixed point; since the program is concave
+//!   with convex constraints, this converges to the global optimum and is
+//!   used inside the exact DOT solver.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-task inputs of the inner problem (for its chosen path option).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocTask {
+    /// Priority `p` in `[0, 1]`.
+    pub priority: f64,
+    /// Request rate `lambda` (requests/s).
+    pub lambda: f64,
+    /// Input bits per request `beta(q)`.
+    pub beta: f64,
+    /// Link rate per RB `B(sigma)` (bits/s).
+    pub bits_per_rb: f64,
+    /// Minimum RBs meeting the latency bound (`r_lat`).
+    pub r_lat: f64,
+    /// Processing time `P` (s/request) of the chosen path.
+    pub proc_seconds: f64,
+}
+
+impl AllocTask {
+    /// Compute usage per unit admission (`g = lambda * P`).
+    pub fn compute_per_z(&self) -> f64 {
+        self.lambda * self.proc_seconds
+    }
+
+    /// The admission level where the throughput requirement overtakes the
+    /// latency floor (`z_knee = r_lat * B / (lambda * beta)`).
+    pub fn knee(&self) -> f64 {
+        self.r_lat * self.bits_per_rb / (self.lambda * self.beta)
+    }
+
+    /// Optimal RB count at admission `z`.
+    pub fn rbs_at(&self, z: f64) -> f64 {
+        if z <= 0.0 {
+            return 0.0;
+        }
+        (z * self.lambda * self.beta / self.bits_per_rb).max(self.r_lat)
+    }
+
+    /// Admission-weighted RB usage `z * r(z)` (the (1d) term).
+    pub fn radio_usage(&self, z: f64) -> f64 {
+        z * self.rbs_at(z)
+    }
+}
+
+/// Global parameters of the inner problem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocSettings {
+    /// Objective weight `alpha`.
+    pub alpha: f64,
+    /// RB budget `R`.
+    pub rbs: f64,
+    /// Compute budget `C` (GPU-s/s).
+    pub compute: f64,
+}
+
+/// Result of an inner allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocResult {
+    /// Admission ratio per task, in `[0, 1]`.
+    pub z: Vec<f64>,
+    /// RB allocation per task (`r(z)`, zero for rejected tasks).
+    pub r: Vec<f64>,
+}
+
+impl AllocResult {
+    /// The allocation's contribution to the DOT objective (rejection +
+    /// radio + inference terms; training/memory are fixed by the paths).
+    pub fn partial_cost(&self, tasks: &[AllocTask], s: &AllocSettings) -> f64 {
+        let mut cost = 0.0;
+        for (t, &z) in tasks.iter().zip(&self.z) {
+            cost += s.alpha * (1.0 - z) * t.priority
+                + (1.0 - s.alpha) * (t.radio_usage(z) / s.rbs + z * t.compute_per_z() / s.compute);
+        }
+        cost
+    }
+
+    /// Total admission-weighted RB usage.
+    pub fn radio_usage(&self, tasks: &[AllocTask]) -> f64 {
+        tasks.iter().zip(&self.z).map(|(t, &z)| t.radio_usage(z)).sum()
+    }
+
+    /// Total compute usage.
+    pub fn compute_usage(&self, tasks: &[AllocTask]) -> f64 {
+        tasks.iter().zip(&self.z).map(|(t, &z)| z * t.compute_per_z()).sum()
+    }
+}
+
+/// Task processing orders for [`greedy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Order {
+    /// Descending priority (what OffloaDNN uses); ties keep input order.
+    Priority,
+    /// Descending marginal utility at `z = 0+`.
+    UtilityDensity,
+    /// The order the tasks were given in.
+    Input,
+}
+
+/// Marginal utility of admission at `z = 0+` (regime 1, `r = r_lat`).
+pub(crate) fn marginal_at_zero(t: &AllocTask, s: &AllocSettings) -> f64 {
+    s.alpha * t.priority - (1.0 - s.alpha) * (t.r_lat / s.rbs + t.compute_per_z() / s.compute)
+}
+
+/// The unconstrained utility-maximising admission for one task.
+pub(crate) fn best_unconstrained_z(t: &AllocTask, s: &AllocSettings) -> f64 {
+    if marginal_at_zero(t, s) <= 0.0 {
+        return 0.0;
+    }
+    let knee = t.knee();
+    if knee >= 1.0 {
+        // Latency floor dominates throughout: utility linear, push to 1.
+        return 1.0;
+    }
+    // Regime 2 marginal: alpha*p - (1-alpha)*(2 z lambda beta/(B R) + g/C).
+    let quad = 2.0 * t.lambda * t.beta / (t.bits_per_rb * s.rbs);
+    let m2 = |z: f64| s.alpha * t.priority - (1.0 - s.alpha) * (quad * z + t.compute_per_z() / s.compute);
+    if m2(knee) <= 0.0 {
+        return knee.min(1.0);
+    }
+    let z_star = (s.alpha * t.priority / (1.0 - s.alpha) - t.compute_per_z() / s.compute) / quad;
+    z_star.clamp(knee, 1.0)
+}
+
+/// Largest `z` such that `z * r(z) <= rem_r` and `z * g <= rem_c`.
+pub(crate) fn budget_cap(t: &AllocTask, rem_r: f64, rem_c: f64) -> f64 {
+    let g = t.compute_per_z();
+    let z_c = if g > 0.0 { rem_c / g } else { f64::INFINITY };
+    let knee = t.knee();
+    let knee_usage = knee * t.r_lat;
+    let z_r = if rem_r <= 0.0 {
+        0.0
+    } else if rem_r <= knee_usage {
+        rem_r / t.r_lat
+    } else {
+        // z^2 * lambda * beta / B <= rem_r.
+        (rem_r * t.bits_per_rb / (t.lambda * t.beta)).sqrt()
+    };
+    z_c.min(z_r).clamp(0.0, 1.0)
+}
+
+/// Greedy allocation in the given order.
+///
+/// Each task receives `min(best_unconstrained, budget_cap)`; budgets are
+/// then decremented. Tasks whose marginal utility is negative, or whose
+/// latency floor no longer fits the remaining RBs, are rejected (`z = 0`).
+pub fn greedy(tasks: &[AllocTask], s: &AllocSettings, order: Order) -> AllocResult {
+    let mut idx: Vec<usize> = (0..tasks.len()).collect();
+    match order {
+        Order::Priority => idx.sort_by(|&a, &b| tasks[b].priority.total_cmp(&tasks[a].priority)),
+        Order::UtilityDensity => idx.sort_by(|&a, &b| {
+            marginal_at_zero(&tasks[b], s).total_cmp(&marginal_at_zero(&tasks[a], s))
+        }),
+        Order::Input => {}
+    }
+
+    let mut z = vec![0.0; tasks.len()];
+    let mut r = vec![0.0; tasks.len()];
+    let (mut rem_r, mut rem_c) = (s.rbs, s.compute);
+
+    for &t in &idx {
+        let task = &tasks[t];
+        // A slice larger than the whole cell can never be allocated: the
+        // latency bound is physically unreachable.
+        if task.r_lat > s.rbs {
+            continue;
+        }
+        let zi = best_unconstrained_z(task, s).min(budget_cap(task, rem_r, rem_c));
+        if zi <= 0.0 {
+            continue;
+        }
+        z[t] = zi;
+        r[t] = task.rbs_at(zi);
+        rem_r -= task.radio_usage(zi);
+        rem_c -= zi * task.compute_per_z();
+    }
+    AllocResult { z, r }
+}
+
+/// Coordinate ascent on the concave inner program: starting from the
+/// priority-greedy point, repeatedly re-optimises each task's `z` holding
+/// the others fixed, until no coordinate moves more than `tol`.
+pub fn coordinate_ascent(tasks: &[AllocTask], s: &AllocSettings) -> AllocResult {
+    let mut best = greedy(tasks, s, Order::Priority);
+    let alt = greedy(tasks, s, Order::UtilityDensity);
+    if alt.partial_cost(tasks, s) < best.partial_cost(tasks, s) {
+        best = alt;
+    }
+
+    let tol = 1e-10;
+    for _ in 0..200 {
+        let mut moved = false;
+        for t in 0..tasks.len() {
+            let task = &tasks[t];
+            let rem_r = s.rbs - (best.radio_usage(tasks) - task.radio_usage(best.z[t]));
+            let rem_c = s.compute - (best.compute_usage(tasks) - best.z[t] * task.compute_per_z());
+            let zi = if task.r_lat > s.rbs {
+                0.0
+            } else {
+                best_unconstrained_z(task, s).min(budget_cap(task, rem_r, rem_c))
+            };
+            if (zi - best.z[t]).abs() > tol {
+                best.z[t] = zi;
+                best.r[t] = task.rbs_at(zi);
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_iv_task(priority: f64, lambda: f64, max_latency: f64, proc: f64) -> AllocTask {
+        let beta = 350e3;
+        let b = 0.35e6;
+        AllocTask {
+            priority,
+            lambda,
+            beta,
+            bits_per_rb: b,
+            r_lat: beta / (b * (max_latency - proc)),
+            proc_seconds: proc,
+        }
+    }
+
+    fn settings() -> AllocSettings {
+        AllocSettings { alpha: 0.5, rbs: 50.0, compute: 2.5 }
+    }
+
+    #[test]
+    fn plentiful_resources_admit_everything() {
+        let tasks: Vec<AllocTask> = (0..5)
+            .map(|i| table_iv_task(0.8 - 0.1 * i as f64, 5.0, 0.2 + 0.1 * i as f64, 0.008))
+            .collect();
+        let res = greedy(&tasks, &settings(), Order::Priority);
+        for &z in &res.z {
+            assert!((z - 1.0).abs() < 1e-9, "all tasks fully admitted, got {z}");
+        }
+        assert!(res.radio_usage(&tasks) <= 50.0 + 1e-9);
+        assert!(res.compute_usage(&tasks) <= 2.5 + 1e-9);
+    }
+
+    #[test]
+    fn rbs_at_full_admission_meets_rate() {
+        // At z=1 with lambda=5, each image 350kb at 0.35Mb/s: need 5 RBs.
+        let t = table_iv_task(0.8, 5.0, 0.5, 0.008);
+        let r = t.rbs_at(1.0);
+        assert!(r >= 5.0 - 1e-12, "throughput requirement: {r}");
+    }
+
+    #[test]
+    fn radio_saturation_gives_diminishing_admission() {
+        // 20 tasks at 7.5 req/s need 150 admission-weighted RBs; only 100
+        // available: low-priority tasks must shrink or vanish (Fig. 9).
+        let tasks: Vec<AllocTask> = (0..20)
+            .map(|i| table_iv_task(1.0 - 0.05 * i as f64, 7.5, 0.2 + 0.02 * i as f64, 0.008))
+            .collect();
+        let s = AllocSettings { alpha: 0.5, rbs: 100.0, compute: 10.0 };
+        let res = greedy(&tasks, &s, Order::Priority);
+        assert!(res.z[0] > 0.99, "top priority fully admitted");
+        assert!(res.z[19] < res.z[0], "lowest priority squeezed");
+        assert!(res.radio_usage(&tasks) <= 100.0 + 1e-6);
+        // Admission must be non-increasing in priority order here (same
+        // lambda, similar floors).
+        for w in res.z.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn compute_saturation_respected() {
+        let tasks: Vec<AllocTask> = (0..4).map(|_| table_iv_task(0.9, 5.0, 0.5, 0.2)).collect();
+        // Each task needs z*1.0 GPU-s/s; budget 2.0 -> only ~2 fully fit.
+        let s = AllocSettings { alpha: 0.9, rbs: 1000.0, compute: 2.0 };
+        let res = greedy(&tasks, &s, Order::Priority);
+        assert!(res.compute_usage(&tasks) <= 2.0 + 1e-9);
+        let total_z: f64 = res.z.iter().sum();
+        assert!((total_z - 2.0).abs() < 1e-6, "compute-limited admission mass {total_z}");
+    }
+
+    #[test]
+    fn negative_marginal_utility_rejects() {
+        // Worthless task (priority ~0) with a huge resource appetite.
+        let t = AllocTask {
+            priority: 0.01,
+            lambda: 50.0,
+            beta: 350e3,
+            bits_per_rb: 0.35e6,
+            r_lat: 10.0,
+            proc_seconds: 0.05,
+        };
+        let res = greedy(&[t], &settings(), Order::Priority);
+        assert_eq!(res.z[0], 0.0, "admission would cost more than it gains");
+    }
+
+    #[test]
+    fn coordinate_ascent_never_worse_than_greedy() {
+        // Random-ish instances; ascent must match or beat greedy.
+        for seed in 0..20u64 {
+            let tasks: Vec<AllocTask> = (0..8)
+                .map(|i| {
+                    let x = ((seed * 31 + i * 17) % 97) as f64 / 97.0;
+                    table_iv_task(0.2 + 0.8 * x, 2.0 + 6.0 * x, 0.2 + 0.4 * x, 0.004 + 0.02 * x)
+                })
+                .collect();
+            let s = AllocSettings { alpha: 0.5, rbs: 40.0, compute: 0.8 };
+            let g = greedy(&tasks, &s, Order::Priority);
+            let c = coordinate_ascent(&tasks, &s);
+            assert!(
+                c.partial_cost(&tasks, &s) <= g.partial_cost(&tasks, &s) + 1e-9,
+                "seed {seed}: ascent {} worse than greedy {}",
+                c.partial_cost(&tasks, &s),
+                g.partial_cost(&tasks, &s)
+            );
+            assert!(c.radio_usage(&tasks) <= s.rbs + 1e-6);
+            assert!(c.compute_usage(&tasks) <= s.compute + 1e-6);
+        }
+    }
+
+    #[test]
+    fn latency_floor_honoured() {
+        // Tight latency: needs 20 RBs minimum; only 10 available -> reject.
+        let t = AllocTask {
+            priority: 1.0,
+            lambda: 1.0,
+            beta: 350e3,
+            bits_per_rb: 0.35e6,
+            r_lat: 20.0,
+            proc_seconds: 0.001,
+        };
+        let s = AllocSettings { alpha: 0.5, rbs: 10.0, compute: 10.0 };
+        let res = greedy(&[t], &s, Order::Priority);
+        assert_eq!(res.z[0], 0.0);
+        assert_eq!(res.r[0], 0.0);
+    }
+
+    #[test]
+    fn allocated_rbs_meet_both_floors() {
+        let tasks: Vec<AllocTask> = (0..5)
+            .map(|i| table_iv_task(0.8 - 0.1 * i as f64, 5.0, 0.2 + 0.1 * i as f64, 0.008))
+            .collect();
+        let res = greedy(&tasks, &settings(), Order::Priority);
+        for (t, (&z, &r)) in tasks.iter().zip(res.z.iter().zip(&res.r)) {
+            if z > 0.0 {
+                assert!(r >= t.r_lat - 1e-12, "latency floor");
+                assert!(r * t.bits_per_rb >= z * t.lambda * t.beta - 1e-6, "rate support (1e)");
+            }
+        }
+    }
+
+    #[test]
+    fn knee_math_is_consistent() {
+        let t = table_iv_task(0.8, 5.0, 0.4, 0.01);
+        let knee = t.knee();
+        // At the knee both regimes give the same r.
+        assert!((t.rbs_at(knee) - t.r_lat).abs() < 1e-9);
+        // Just above it, throughput dominates.
+        assert!(t.rbs_at(knee * 1.01) > t.r_lat);
+    }
+}

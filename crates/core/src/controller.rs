@@ -1,0 +1,326 @@
+//! The OffloaDNN controller of Fig. 4, run *over time*: mobile devices
+//! submit task admission requests (step 1), the controller solves DOT
+//! against the current residual capacity (steps 2–3), allocates slices and
+//! deploys the selected blocks (steps 4–5), notifies admitted rates
+//! (step 6) — and, beyond the paper's one-shot formulation, handles later
+//! rounds of arrivals and departures through the incremental extension of
+//! Sec. III-B.
+
+use crate::error::DotError;
+use crate::heuristic::OffloadnnSolver;
+use crate::incremental::{residual_instance, DeployedState};
+use crate::instance::{Budgets, DotInstance, PathOption};
+use crate::objective::verify;
+use crate::task::{Task, TaskId};
+use offloadnn_dnn::block::BlockId;
+use offloadnn_radio::RateModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One admission request: a task plus its candidate path options (the DNN
+/// availability of step 2, already profiled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionRequest {
+    /// The requested task.
+    pub task: Task,
+    /// Candidate (path, quality) options for it.
+    pub options: Vec<PathOption>,
+}
+
+/// A task currently served by the edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActiveTask {
+    /// The task definition.
+    pub task: Task,
+    /// The deployed option.
+    pub option: PathOption,
+    /// Granted admission ratio.
+    pub admission: f64,
+    /// Granted RB allocation (real-valued; ceil for the physical slice).
+    pub rbs: f64,
+}
+
+impl ActiveTask {
+    /// Admission-weighted RB usage of this task.
+    pub fn radio_usage(&self) -> f64 {
+        self.admission * self.rbs
+    }
+
+    /// Compute usage of this task in GPU-s/s.
+    pub fn compute_usage(&self) -> f64 {
+        self.admission * self.task.request_rate * self.option.proc_seconds
+    }
+}
+
+/// Outcome of one admission round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionOutcome {
+    /// Tasks admitted this round, with their grants.
+    pub admitted: Vec<ActiveTask>,
+    /// Tasks rejected this round.
+    pub rejected: Vec<TaskId>,
+}
+
+/// The long-running controller state.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    /// Full platform budgets (not residual).
+    budgets: Budgets,
+    rate: RateModel,
+    alpha: f64,
+    block_memory: Vec<f64>,
+    block_training: Vec<f64>,
+    solver: OffloadnnSolver,
+    active: Vec<ActiveTask>,
+}
+
+impl Controller {
+    /// Creates a controller from a template instance (which supplies the
+    /// budgets, the rate model and the per-block cost tables — the
+    /// VIM/vRAN state of step 2).
+    pub fn new(template: &DotInstance, solver: OffloadnnSolver) -> Self {
+        Self {
+            budgets: template.budgets,
+            rate: template.rate,
+            alpha: template.alpha,
+            block_memory: template.block_memory.clone(),
+            block_training: template.block_training.clone(),
+            solver,
+            active: Vec::new(),
+        }
+    }
+
+    /// Tasks currently served.
+    pub fn active(&self) -> &[ActiveTask] {
+        &self.active
+    }
+
+    /// The blocks currently resident at the edge and the resources the
+    /// running tasks consume.
+    pub fn deployed(&self) -> DeployedState {
+        let mut blocks: HashSet<BlockId> = HashSet::new();
+        let (mut compute, mut rbs) = (0.0, 0.0);
+        for a in &self.active {
+            blocks.extend(a.option.path.blocks.iter().copied());
+            compute += a.compute_usage();
+            rbs += a.radio_usage();
+        }
+        let memory_bytes = blocks
+            .iter()
+            .map(|b| self.block_memory[b.0 as usize])
+            .sum();
+        DeployedState { blocks, memory_bytes, compute_seconds: compute, rbs }
+    }
+
+    /// Processes one round of admission requests against the residual
+    /// capacity. Already-deployed blocks are free for the newcomers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DotError`] if the assembled instance is malformed, and
+    /// panics never: an infeasible round admits nothing.
+    pub fn submit(&mut self, requests: Vec<AdmissionRequest>) -> Result<AdmissionOutcome, DotError> {
+        let instance = DotInstance {
+            tasks: requests.iter().map(|r| r.task.clone()).collect(),
+            options: requests.iter().map(|r| r.options.clone()).collect(),
+            block_memory: self.block_memory.clone(),
+            block_training: self.block_training.clone(),
+            rate: self.rate,
+            budgets: self.budgets,
+            alpha: self.alpha,
+        };
+        let residual = residual_instance(&instance, &self.deployed());
+        let sol = self.solver.solve(&residual)?;
+        debug_assert!(verify(&residual, &sol).is_empty());
+
+        let mut admitted = Vec::new();
+        let mut rejected = Vec::new();
+        for (i, req) in requests.into_iter().enumerate() {
+            match sol.choices[i] {
+                Some(o) if sol.admission[i] > 0.0 => {
+                    let active = ActiveTask {
+                        option: req.options[o].clone(),
+                        task: req.task,
+                        admission: sol.admission[i],
+                        rbs: sol.rbs[i],
+                    };
+                    self.active.push(active.clone());
+                    admitted.push(active);
+                }
+                _ => rejected.push(req.task.id),
+            }
+        }
+        Ok(AdmissionOutcome { admitted, rejected })
+    }
+
+    /// Removes departed tasks; their exclusive resources are freed (blocks
+    /// still used by other tasks stay resident).
+    pub fn release(&mut self, departed: &[TaskId]) {
+        self.active.retain(|a| !departed.contains(&a.task.id));
+    }
+
+    /// Re-optimises *all* active tasks from scratch (a global re-plan, as
+    /// opposed to the incremental admission of [`Controller::submit`]).
+    /// Incremental rounds are cheap but path-committed; a periodic global
+    /// re-plan can undo earlier commitments that have become suboptimal as
+    /// the task mix changed.
+    ///
+    /// Requires the original option lists, which incremental admission does
+    /// not retain in full; pass them per active task, aligned with
+    /// [`Controller::active`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DotError`] if the assembled instance is malformed. On
+    /// error the current deployment is left untouched.
+    pub fn replan(&mut self, options: Vec<Vec<PathOption>>) -> Result<AdmissionOutcome, DotError> {
+        let requests: Vec<AdmissionRequest> = self
+            .active
+            .iter()
+            .zip(options)
+            .map(|(a, opts)| AdmissionRequest { task: a.task.clone(), options: opts })
+            .collect();
+        let previous = std::mem::take(&mut self.active);
+        match self.submit(requests) {
+            Ok(outcome) => Ok(outcome),
+            Err(e) => {
+                self.active = previous;
+                Err(e)
+            }
+        }
+    }
+
+    /// Residual capacity headroom, for observability dashboards.
+    pub fn headroom(&self) -> Budgets {
+        let dep = self.deployed();
+        Budgets {
+            rbs: (self.budgets.rbs - dep.rbs).max(0.0),
+            compute_seconds: (self.budgets.compute_seconds - dep.compute_seconds).max(0.0),
+            training_seconds: self.budgets.training_seconds,
+            memory_bytes: (self.budgets.memory_bytes - dep.memory_bytes).max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::small_scenario;
+
+    fn requests(instance: &DotInstance, range: std::ops::Range<usize>) -> Vec<AdmissionRequest> {
+        range
+            .map(|t| AdmissionRequest { task: instance.tasks[t].clone(), options: instance.options[t].clone() })
+            .collect()
+    }
+
+    #[test]
+    fn single_round_matches_direct_solve() {
+        let s = small_scenario(5);
+        let mut c = Controller::new(&s.instance, OffloadnnSolver::new());
+        let out = c.submit(requests(&s.instance, 0..5)).unwrap();
+        assert_eq!(out.admitted.len(), 5);
+        assert!(out.rejected.is_empty());
+        assert_eq!(c.active().len(), 5);
+    }
+
+    #[test]
+    fn two_rounds_accumulate_and_reuse() {
+        let s = small_scenario(5);
+        let mut c = Controller::new(&s.instance, OffloadnnSolver::new());
+        let first = c.submit(requests(&s.instance, 0..3)).unwrap();
+        assert_eq!(first.admitted.len(), 3);
+        let deployed_before = c.deployed();
+
+        let second = c.submit(requests(&s.instance, 3..5)).unwrap();
+        assert_eq!(second.admitted.len(), 2);
+        assert_eq!(c.active().len(), 5);
+        // Memory grew by at most the newcomers' exclusive blocks.
+        let deployed_after = c.deployed();
+        assert!(deployed_after.memory_bytes >= deployed_before.memory_bytes);
+        assert!(deployed_after.blocks.len() >= deployed_before.blocks.len());
+    }
+
+    #[test]
+    fn headroom_shrinks_and_recovers_on_release() {
+        let s = small_scenario(4);
+        let mut c = Controller::new(&s.instance, OffloadnnSolver::new());
+        let full = c.headroom();
+        c.submit(requests(&s.instance, 0..4)).unwrap();
+        let used = c.headroom();
+        assert!(used.rbs < full.rbs);
+        assert!(used.memory_bytes < full.memory_bytes);
+
+        let ids: Vec<TaskId> = c.active().iter().map(|a| a.task.id).collect();
+        c.release(&ids);
+        assert!(c.active().is_empty());
+        let recovered = c.headroom();
+        assert!((recovered.rbs - full.rbs).abs() < 1e-9);
+        assert!((recovered.memory_bytes - full.memory_bytes).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_blocks_survive_partial_release() {
+        let s = small_scenario(5);
+        let mut c = Controller::new(&s.instance, OffloadnnSolver::new());
+        c.submit(requests(&s.instance, 0..5)).unwrap();
+        let all_blocks = c.deployed().blocks;
+        // Release task 0 only; blocks shared with survivors must remain.
+        let departed = vec![c.active()[0].task.id];
+        c.release(&departed);
+        let remaining = c.deployed().blocks;
+        for b in &remaining {
+            assert!(all_blocks.contains(b));
+        }
+        assert!(remaining.len() <= all_blocks.len());
+        assert_eq!(c.active().len(), 4);
+    }
+
+    #[test]
+    fn replan_never_serves_less_than_the_incremental_state() {
+        let s = small_scenario(5);
+        let mut c = Controller::new(&s.instance, OffloadnnSolver::new());
+        // Admit in two waves (path-committed), then re-plan globally.
+        c.submit(requests(&s.instance, 0..3)).unwrap();
+        c.submit(requests(&s.instance, 3..5)).unwrap();
+        let incremental_adm: f64 = c.active().iter().map(|a| a.admission * a.task.priority).sum();
+        let opts: Vec<_> = c
+            .active()
+            .iter()
+            .map(|a| s.instance.options[a.task.id.0 as usize].clone())
+            .collect();
+        let out = c.replan(opts).unwrap();
+        let replanned_adm: f64 = out.admitted.iter().map(|a| a.admission * a.task.priority).sum();
+        assert!(replanned_adm >= incremental_adm - 1e-9);
+        assert_eq!(c.active().len(), out.admitted.len());
+    }
+
+    #[test]
+    fn failed_replan_preserves_deployment() {
+        let s = small_scenario(3);
+        let mut c = Controller::new(&s.instance, OffloadnnSolver::new());
+        c.submit(requests(&s.instance, 0..3)).unwrap();
+        let before = c.active().len();
+        // Malformed options: a block id with no cost entry.
+        let mut bad = vec![s.instance.options[0].clone(), s.instance.options[1].clone(), s.instance.options[2].clone()];
+        bad[0][0].path.blocks.push(offloadnn_dnn::BlockId(9_999_999));
+        assert!(c.replan(bad).is_err());
+        assert_eq!(c.active().len(), before, "deployment untouched on error");
+    }
+
+    #[test]
+    fn exhausted_capacity_rejects_newcomers() {
+        let s = small_scenario(5);
+        let mut inst = s.instance.clone();
+        inst.budgets.rbs = 16.0; // roughly enough for three tasks' slices
+        let mut c = Controller::new(&inst, OffloadnnSolver::new());
+        let first = c.submit(requests(&inst, 0..3)).unwrap();
+        assert!(!first.admitted.is_empty());
+        // Flood with the remaining tasks; at least one must be rejected or
+        // partially admitted due to the shrunken cell.
+        let out = c.submit(requests(&inst, 3..5)).unwrap();
+        let fully = out.admitted.iter().filter(|a| a.admission > 0.999).count();
+        assert!(fully < 2 || !out.rejected.is_empty());
+        // Invariant: total radio usage never exceeds the cell.
+        assert!(c.deployed().rbs <= inst.budgets.rbs + 1e-9);
+    }
+}

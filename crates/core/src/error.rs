@@ -1,0 +1,145 @@
+//! Error types of the DOT core.
+
+use crate::task::TaskId;
+use std::fmt;
+
+/// Errors raised while building or solving a DOT instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DotError {
+    /// A task failed validation.
+    InvalidTask(String),
+    /// The instance references a block id with no cost entry.
+    MissingBlockCosts {
+        /// The out-of-range block id value.
+        block: u32,
+    },
+    /// The weighting parameter alpha is outside `[0, 1]`.
+    InvalidAlpha(f64),
+    /// A budget is non-positive.
+    InvalidBudget(&'static str),
+    /// The exact solver would have to enumerate more branches than the
+    /// configured cap.
+    ExactTooLarge {
+        /// Number of branches the instance implies.
+        branches: f64,
+        /// Configured cap.
+        cap: f64,
+    },
+    /// Tasks and option lists disagree in length.
+    OptionsMismatch {
+        /// Number of tasks.
+        tasks: usize,
+        /// Number of option lists.
+        options: usize,
+    },
+    /// A path-building error bubbled up from the DNN layer.
+    Dnn(String),
+}
+
+impl fmt::Display for DotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DotError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
+            DotError::MissingBlockCosts { block } => write!(f, "no cost entry for block s{block}"),
+            DotError::InvalidAlpha(a) => write!(f, "alpha {a} outside [0,1]"),
+            DotError::InvalidBudget(which) => write!(f, "budget {which} must be positive"),
+            DotError::ExactTooLarge { branches, cap } => {
+                write!(f, "exact solver refuses {branches:.3e} branches (cap {cap:.3e})")
+            }
+            DotError::OptionsMismatch { tasks, options } => {
+                write!(f, "{tasks} tasks but {options} option lists")
+            }
+            DotError::Dnn(msg) => write!(f, "dnn error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DotError {}
+
+/// A constraint violated by a candidate solution (see
+/// [`crate::objective::verify`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Memory budget (1b) exceeded.
+    Memory {
+        /// Bytes used.
+        used: f64,
+        /// Bytes available.
+        cap: f64,
+    },
+    /// Compute budget (1c) exceeded.
+    Compute {
+        /// GPU-seconds per second used.
+        used: f64,
+        /// Budget.
+        cap: f64,
+    },
+    /// Radio budget (1d) exceeded.
+    Radio {
+        /// Admission-weighted RBs used.
+        used: f64,
+        /// Available RBs.
+        cap: f64,
+    },
+    /// Rate-support constraint (1e) violated for a task.
+    RateSupport {
+        /// The task.
+        task: TaskId,
+    },
+    /// Accuracy constraint (1f) violated for a task.
+    Accuracy {
+        /// The task.
+        task: TaskId,
+        /// Accuracy attained by the selected path.
+        got: f64,
+        /// Required accuracy.
+        need: f64,
+    },
+    /// Latency constraint (1g) violated for a task.
+    Latency {
+        /// The task.
+        task: TaskId,
+        /// End-to-end latency attained.
+        got: f64,
+        /// Latency bound.
+        need: f64,
+    },
+    /// A task has `z > 0` but no selected path.
+    AdmittedWithoutPath {
+        /// The task.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Memory { used, cap } => write!(f, "memory {used:.3e} exceeds {cap:.3e} bytes"),
+            Violation::Compute { used, cap } => write!(f, "compute {used:.4} exceeds {cap:.4} s/s"),
+            Violation::Radio { used, cap } => write!(f, "radio {used:.2} exceeds {cap:.2} RBs"),
+            Violation::RateSupport { task } => write!(f, "{task}: slice cannot sustain admitted rate"),
+            Violation::Accuracy { task, got, need } => {
+                write!(f, "{task}: accuracy {got:.3} below required {need:.3}")
+            }
+            Violation::Latency { task, got, need } => {
+                write!(f, "{task}: latency {got:.3}s above bound {need:.3}s")
+            }
+            Violation::AdmittedWithoutPath { task } => write!(f, "{task}: admitted but no path selected"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(DotError::InvalidAlpha(1.5).to_string().contains("1.5"));
+        assert!(DotError::ExactTooLarge { branches: 1e9, cap: 1e8 }.to_string().contains("refuses"));
+        assert!(Violation::Accuracy { task: TaskId(2), got: 0.7, need: 0.9 }
+            .to_string()
+            .contains("t2"));
+        assert!(Violation::Memory { used: 2.0, cap: 1.0 }.to_string().contains("memory"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Exact DOT solver: exhaustive traversal of the weighted tree.
+//!
+//! Every branch — a choice of one feasible vertex *or rejection* per task —
+//! is enumerated with depth-first search and memory-based pruning; the
+//! concave inner program is solved at each leaf (coordinate ascent) and the
+//! cheapest feasible branch wins. This is the paper's "Optimum" baseline
+//! of Figs. 6–8 and is only tractable for small instances, which is the
+//! point: Fig. 6 contrasts its runtime against the heuristic's.
+//!
+//! The first tree layer is explored in parallel with scoped threads.
+
+use crate::error::DotError;
+use crate::heuristic::{finish_branch, AllocatorKind};
+use crate::instance::DotInstance;
+use crate::objective::DotSolution;
+use crate::tree::{BranchState, WeightedTree};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of the exact solver.
+///
+/// ```
+/// use offloadnn_core::{scenario::small_scenario, ExactSolver, OffloadnnSolver};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let s = small_scenario(2);
+/// let optimum = ExactSolver::new().solve(&s.instance)?;
+/// let heuristic = OffloadnnSolver::new().solve(&s.instance)?;
+/// assert!(optimum.cost.total() <= heuristic.cost.total() + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExactSolver {
+    /// Refuse instances implying more branches than this.
+    pub branch_cap: f64,
+    /// Explore the first layer with one thread per vertex.
+    pub parallel: bool,
+    /// Inner allocator used at the leaves.
+    pub allocator: AllocatorKind,
+    /// Prune subtrees whose cost lower bound (rejections committed so far
+    /// plus training cost already incurred) cannot beat the incumbent.
+    /// Sound because both terms only grow along a branch and the remaining
+    /// terms are non-negative.
+    pub bound_pruning: bool,
+}
+
+impl ExactSolver {
+    /// Default configuration (cap 5e7 branches, parallel, optimal inner,
+    /// bound pruning on).
+    pub fn new() -> Self {
+        Self {
+            branch_cap: 5e7,
+            parallel: true,
+            allocator: AllocatorKind::CoordinateAscent,
+            bound_pruning: true,
+        }
+    }
+
+    /// Solves the instance to the optimum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DotError::ExactTooLarge`] when the branch count exceeds
+    /// the cap, or a validation error for malformed instances.
+    pub fn solve(&self, instance: &DotInstance) -> Result<DotSolution, DotError> {
+        instance.validate()?;
+        let start = Instant::now();
+        let tree = WeightedTree::build(instance);
+        let branches = tree.num_branches();
+        if branches > self.branch_cap {
+            return Err(DotError::ExactTooLarge { branches, cap: self.branch_cap });
+        }
+
+        let best = Mutex::new(DotSolution::rejected(instance));
+
+        if tree.num_layers() == 0 {
+            let mut sol = best.into_inner();
+            sol.solve_seconds = start.elapsed().as_secs_f64();
+            return Ok(sol);
+        }
+
+        // Split the first layer's choices (each vertex + reject) across
+        // threads; each worker DFSes the remaining layers.
+        let first_task = tree.order[0];
+        let mut first_choices: Vec<Option<usize>> = tree.cliques[0].iter().map(|&o| Some(o)).collect();
+        first_choices.push(None);
+
+        let work = |first: Option<usize>| {
+            let mut choices = vec![None; instance.num_tasks()];
+            let mut state = BranchState::new();
+            let mut rejected_priority = 0.0;
+            if let Some(o) = first {
+                let blocks = &instance.options[first_task][o].path.blocks;
+                if state.memory_increment(instance, blocks) > instance.budgets.memory_bytes {
+                    return;
+                }
+                state.push(instance, blocks);
+                choices[first_task] = Some(o);
+            } else {
+                rejected_priority = instance.tasks[first_task].priority;
+            }
+            // Seed the incumbent with the shared global best so bound
+            // pruning bites immediately.
+            let mut local_best: Option<DotSolution> = Some(best.lock().clone());
+            self.dfs(instance, &tree, 1, &mut choices, &mut state, rejected_priority, &mut local_best);
+            if let Some(local) = local_best {
+                let mut global = best.lock();
+                if local.cost.total() < global.cost.total() {
+                    *global = local;
+                }
+            }
+        };
+
+        if self.parallel && first_choices.len() > 1 {
+            std::thread::scope(|scope| {
+                for &first in &first_choices {
+                    scope.spawn(move || work(first));
+                }
+            });
+        } else {
+            for &first in &first_choices {
+                work(first);
+            }
+        }
+
+        let mut sol = best.into_inner();
+        sol.solve_seconds = start.elapsed().as_secs_f64();
+        Ok(sol)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        instance: &DotInstance,
+        tree: &WeightedTree,
+        layer: usize,
+        choices: &mut Vec<Option<usize>>,
+        state: &mut BranchState,
+        rejected_priority: f64,
+        best: &mut Option<DotSolution>,
+    ) {
+        if self.bound_pruning {
+            // Cost lower bound of any completion of this branch: rejections
+            // committed so far plus training already incurred (radio and
+            // inference terms are non-negative; remaining tasks could in
+            // the best case be admitted in full at zero resource cost).
+            let lower = instance.alpha * rejected_priority
+                + (1.0 - instance.alpha) * state.training_seconds / instance.budgets.training_seconds;
+            if let Some(b) = best {
+                if lower >= b.cost.total() {
+                    return;
+                }
+            }
+        }
+        if layer == tree.num_layers() {
+            let sol = finish_branch(instance, choices, self.allocator);
+            if best.as_ref().is_none_or(|b| sol.cost.total() < b.cost.total()) {
+                *best = Some(sol);
+            }
+            return;
+        }
+        let t = tree.order[layer];
+        for &o in &tree.cliques[layer] {
+            let blocks = &instance.options[t][o].path.blocks;
+            if state.memory_bytes + state.memory_increment(instance, blocks) > instance.budgets.memory_bytes {
+                continue; // memory only grows along a branch: prune
+            }
+            state.push(instance, blocks);
+            choices[t] = Some(o);
+            self.dfs(instance, tree, layer + 1, choices, state, rejected_priority, best);
+            choices[t] = None;
+            state.pop(instance, blocks);
+        }
+        // The explicit rejection child.
+        self.dfs(
+            instance,
+            tree,
+            layer + 1,
+            choices,
+            state,
+            rejected_priority + instance.tasks[t].priority,
+            best,
+        );
+    }
+}
+
+impl Default for ExactSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::OffloadnnSolver;
+    use crate::instance::tests::tiny_instance;
+    use crate::objective::verify;
+
+    #[test]
+    fn optimum_is_feasible_and_not_worse_than_heuristic() {
+        let i = tiny_instance();
+        let opt = ExactSolver::new().solve(&i).unwrap();
+        let heu = OffloadnnSolver::new().solve(&i).unwrap();
+        assert!(verify(&i, &opt).is_empty());
+        assert!(opt.cost.total() <= heu.cost.total() + 1e-9, "optimum {} vs heuristic {}", opt.cost.total(), heu.cost.total());
+    }
+
+    #[test]
+    fn branch_cap_enforced() {
+        let i = tiny_instance();
+        let solver = ExactSolver { branch_cap: 1.0, parallel: false, ..ExactSolver::new() };
+        assert!(matches!(solver.solve(&i).unwrap_err(), DotError::ExactTooLarge { .. }));
+    }
+
+    #[test]
+    fn bound_pruning_preserves_the_optimum() {
+        let i = tiny_instance();
+        let with = ExactSolver::new().solve(&i).unwrap();
+        let without = ExactSolver { bound_pruning: false, ..ExactSolver::new() }.solve(&i).unwrap();
+        assert!((with.cost.total() - without.cost.total()).abs() < 1e-12);
+        // Also with tight memory forcing rejections.
+        let mut i2 = tiny_instance();
+        i2.budgets.memory_bytes = 2.6e9;
+        let with = ExactSolver::new().solve(&i2).unwrap();
+        let without = ExactSolver { bound_pruning: false, ..ExactSolver::new() }.solve(&i2).unwrap();
+        assert!((with.cost.total() - without.cost.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let i = tiny_instance();
+        let par = ExactSolver::new().solve(&i).unwrap();
+        let ser = ExactSolver { parallel: false, ..ExactSolver::new() }.solve(&i).unwrap();
+        assert!((par.cost.total() - ser.cost.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimum_may_reject_to_save_memory() {
+        let mut i = tiny_instance();
+        // Memory fits only blocks {0,1}; both tasks can share them.
+        i.budgets.memory_bytes = 3.0e9;
+        let sol = ExactSolver::new().solve(&i).unwrap();
+        assert!(verify(&i, &sol).is_empty());
+        assert_eq!(sol.admitted_tasks(), 2, "sharing lets both tasks in");
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_solution() {
+        let mut i = tiny_instance();
+        i.tasks.clear();
+        i.options.clear();
+        let sol = ExactSolver::new().solve(&i).unwrap();
+        assert!(sol.choices.is_empty());
+        assert_eq!(sol.cost.total(), 0.0);
+    }
+}

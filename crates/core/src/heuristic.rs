@@ -1,0 +1,273 @@
+//! The OffloaDNN heuristic (Sec. IV-B).
+//!
+//! Tasks are processed in descending priority order. At each layer the
+//! solver takes the *leftmost* vertex of the clique — the feasible path
+//! with the smallest inference compute time — that still fits the memory
+//! budget given the blocks already selected (sharing counted once). The
+//! admission ratios and RB allocations of the selected branch are then set
+//! by the greedy priority allocator, and the DOT cost is evaluated.
+//!
+//! A beam-search generalisation (`beam_width > 1`) is provided as an
+//! ablation of the paper's first-branch rule: it keeps the `k` partial
+//! branches with the smallest accumulated inference compute time and picks
+//! the cheapest complete branch by full DOT cost.
+
+use crate::alloc::{self, AllocResult, AllocSettings, AllocTask, Order};
+use crate::error::DotError;
+use crate::instance::DotInstance;
+use crate::objective::{evaluate, DotSolution};
+use crate::tree::{BranchState, CliqueOrdering, WeightedTree};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Which inner allocator a solver uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocatorKind {
+    /// Priority-ordered greedy (what the paper's OffloaDNN uses).
+    GreedyPriority,
+    /// Coordinate ascent to the optimum of the concave inner program.
+    CoordinateAscent,
+}
+
+/// Configuration of the OffloaDNN heuristic.
+///
+/// ```
+/// use offloadnn_core::{scenario::small_scenario, OffloadnnSolver, verify};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let s = small_scenario(2);
+/// let solution = OffloadnnSolver::new().solve(&s.instance)?;
+/// assert!(verify(&s.instance, &solution).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffloadnnSolver {
+    /// Number of partial branches kept per layer (1 = the paper's
+    /// first-branch rule).
+    pub beam_width: usize,
+    /// Inner allocator.
+    pub allocator: AllocatorKind,
+    /// Clique vertex ordering (the paper sorts by inference compute time).
+    pub ordering: CliqueOrdering,
+}
+
+impl OffloadnnSolver {
+    /// The paper's configuration: first branch, compute-time ordering,
+    /// greedy allocation.
+    pub fn new() -> Self {
+        Self {
+            beam_width: 1,
+            allocator: AllocatorKind::GreedyPriority,
+            ordering: CliqueOrdering::ComputeTime,
+        }
+    }
+
+    /// A beam-search variant keeping `k` branches.
+    pub fn with_beam(k: usize) -> Self {
+        Self { beam_width: k.max(1), ..Self::new() }
+    }
+
+    /// An ablation variant with a different clique ordering.
+    pub fn with_ordering(ordering: CliqueOrdering) -> Self {
+        Self { ordering, ..Self::new() }
+    }
+
+    /// Solves the instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DotError`] if the instance is malformed.
+    pub fn solve(&self, instance: &DotInstance) -> Result<DotSolution, DotError> {
+        instance.validate()?;
+        let start = Instant::now();
+        let tree = WeightedTree::build_with(instance, self.ordering);
+
+        // Beam of partial branches: (choices per task, state, proc sum).
+        struct Partial {
+            choices: Vec<Option<usize>>,
+            state: BranchState,
+            proc_sum: f64,
+        }
+        let mut beam = vec![Partial {
+            choices: vec![None; instance.num_tasks()],
+            state: BranchState::new(),
+            proc_sum: 0.0,
+        }];
+
+        for (layer, &t) in tree.order.iter().enumerate() {
+            let clique = &tree.cliques[layer];
+            let mut next: Vec<Partial> = Vec::with_capacity(self.beam_width * 2);
+            for partial in &beam {
+                let mut extended = 0usize;
+                for &o in clique {
+                    let blocks = &instance.options[t][o].path.blocks;
+                    let incr = partial.state.memory_increment(instance, blocks);
+                    if partial.state.memory_bytes + incr > instance.budgets.memory_bytes {
+                        continue; // vertex does not fit; try the next sibling
+                    }
+                    let mut choices = partial.choices.clone();
+                    choices[t] = Some(o);
+                    let mut state = partial.state.clone();
+                    state.push(instance, blocks);
+                    next.push(Partial {
+                        choices,
+                        state,
+                        proc_sum: partial.proc_sum + instance.options[t][o].proc_seconds,
+                    });
+                    extended += 1;
+                    if extended >= self.beam_width {
+                        break; // the clique is sorted: further siblings only cost more
+                    }
+                }
+                if extended == 0 {
+                    // No vertex fits (or the clique is empty): reject the
+                    // task on this branch and continue.
+                    next.push(Partial {
+                        choices: partial.choices.clone(),
+                        state: partial.state.clone(),
+                        proc_sum: partial.proc_sum,
+                    });
+                }
+            }
+            next.sort_by(|a, b| a.proc_sum.total_cmp(&b.proc_sum));
+            next.truncate(self.beam_width);
+            beam = next;
+        }
+
+        // Allocate and evaluate every surviving branch; keep the cheapest.
+        let mut best: Option<DotSolution> = None;
+        for partial in &beam {
+            let sol = finish_branch(instance, &partial.choices, self.allocator);
+            if best.as_ref().is_none_or(|b| sol.cost.total() < b.cost.total()) {
+                best = Some(sol);
+            }
+        }
+        let mut sol = best.unwrap_or_else(|| DotSolution::rejected(instance));
+        sol.solve_seconds = start.elapsed().as_secs_f64();
+        Ok(sol)
+    }
+}
+
+impl Default for OffloadnnSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builds the inner-allocator inputs for the tasks that have a selected
+/// option, runs the allocator, and assembles a full solution. Tasks whose
+/// admission comes back zero have their choice cleared (no deployment).
+pub(crate) fn finish_branch(
+    instance: &DotInstance,
+    choices: &[Option<usize>],
+    allocator: AllocatorKind,
+) -> DotSolution {
+    let mut idx: Vec<usize> = Vec::new();
+    let mut alloc_tasks: Vec<AllocTask> = Vec::new();
+    for (t, choice) in choices.iter().enumerate() {
+        if let Some(o) = choice {
+            let task = &instance.tasks[t];
+            let opt = &instance.options[t][*o];
+            let r_lat = instance
+                .min_rbs_latency(t, *o)
+                .expect("chosen option passed the latency filter");
+            idx.push(t);
+            alloc_tasks.push(AllocTask {
+                priority: task.priority,
+                lambda: task.request_rate,
+                beta: opt.quality.bits,
+                bits_per_rb: instance.bits_per_rb(t),
+                r_lat,
+                proc_seconds: opt.proc_seconds,
+            });
+        }
+    }
+
+    let settings = AllocSettings {
+        alpha: instance.alpha,
+        rbs: instance.budgets.rbs,
+        compute: instance.budgets.compute_seconds,
+    };
+    let result: AllocResult = match allocator {
+        AllocatorKind::GreedyPriority => alloc::greedy(&alloc_tasks, &settings, Order::Priority),
+        AllocatorKind::CoordinateAscent => alloc::coordinate_ascent(&alloc_tasks, &settings),
+    };
+
+    let n = instance.num_tasks();
+    let mut choices_out: Vec<Option<usize>> = vec![None; n];
+    let mut admission = vec![0.0; n];
+    let mut rbs = vec![0.0; n];
+    for (slot, &t) in idx.iter().enumerate() {
+        if result.z[slot] > 0.0 {
+            choices_out[t] = choices[t];
+            admission[t] = result.z[slot];
+            rbs[t] = result.r[slot];
+        }
+    }
+    let cost = evaluate(instance, &choices_out, &admission, &rbs);
+    DotSolution { choices: choices_out, admission, rbs, cost, solve_seconds: 0.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::tests::tiny_instance;
+    use crate::objective::verify;
+
+    #[test]
+    fn solves_tiny_instance_feasibly() {
+        let i = tiny_instance();
+        let sol = OffloadnnSolver::new().solve(&i).unwrap();
+        assert!(verify(&i, &sol).is_empty(), "violations: {:?}", verify(&i, &sol));
+        // Plenty of resources: both tasks fully admitted.
+        assert!((sol.admission[0] - 1.0).abs() < 1e-9);
+        assert!((sol.admission[1] - 1.0).abs() < 1e-9);
+        assert!(sol.solve_seconds >= 0.0);
+    }
+
+    #[test]
+    fn picks_smallest_proc_time_vertex() {
+        let i = tiny_instance();
+        let sol = OffloadnnSolver::new().solve(&i).unwrap();
+        // Task 1's options sorted by proc: option 1 (0.002s) first.
+        assert_eq!(sol.choices[1], Some(1));
+    }
+
+    #[test]
+    fn memory_pressure_forces_sibling_or_reject() {
+        let mut i = tiny_instance();
+        // Budget fits blocks {0,1} (3e9) but not {0,1,3} (3.25e9): task 1
+        // must fall back from its preferred option 1 (block 3) to option 0
+        // (blocks 0,1 - already resident, zero increment).
+        i.budgets.memory_bytes = 3.1e9;
+        let sol = OffloadnnSolver::new().solve(&i).unwrap();
+        assert_eq!(sol.choices[0], Some(0));
+        assert_eq!(sol.choices[1], Some(0), "sharing makes option 0 free");
+        assert!(verify(&i, &sol).is_empty());
+    }
+
+    #[test]
+    fn hopeless_memory_rejects_everything() {
+        let mut i = tiny_instance();
+        i.budgets.memory_bytes = 0.1e9;
+        let sol = OffloadnnSolver::new().solve(&i).unwrap();
+        assert_eq!(sol.admitted_tasks(), 0);
+        assert!(verify(&i, &sol).is_empty());
+    }
+
+    #[test]
+    fn beam_width_never_hurts() {
+        let i = tiny_instance();
+        let first = OffloadnnSolver::new().solve(&i).unwrap();
+        let beam = OffloadnnSolver::with_beam(4).solve(&i).unwrap();
+        assert!(beam.cost.total() <= first.cost.total() + 1e-9);
+    }
+
+    #[test]
+    fn invalid_instance_rejected() {
+        let mut i = tiny_instance();
+        i.alpha = 2.0;
+        assert!(OffloadnnSolver::new().solve(&i).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Incremental (dynamic-arrival) mode: Sec. III-B's remark.
+//!
+//! When new tasks arrive at an edge that already serves admitted tasks,
+//! the DOT formulation extends trivially: already-deployed blocks cost
+//! zero memory and zero training, and the radio/compute/memory capacities
+//! are discounted by what the running tasks consume. [`DeployedState`]
+//! captures a running deployment and [`residual_instance`] produces the
+//! discounted instance for the newly arrived tasks.
+
+use crate::instance::DotInstance;
+use crate::objective::{self, DotSolution};
+use offloadnn_dnn::block::BlockId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// What a running deployment already consumes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeployedState {
+    /// Blocks resident at the edge.
+    pub blocks: HashSet<BlockId>,
+    /// Memory those blocks occupy (bytes).
+    pub memory_bytes: f64,
+    /// Inference compute consumed by running tasks (GPU-s/s).
+    pub compute_seconds: f64,
+    /// Admission-weighted RBs consumed by running tasks.
+    pub rbs: f64,
+}
+
+impl DeployedState {
+    /// Captures the deployment of a solved instance.
+    pub fn from_solution(instance: &DotInstance, sol: &DotSolution) -> Self {
+        let blocks = objective::used_blocks(instance, &sol.choices, &sol.admission);
+        let memory_bytes = blocks.iter().map(|&b| instance.memory_of(b)).sum();
+        Self {
+            blocks,
+            memory_bytes,
+            compute_seconds: objective::compute_usage(instance, &sol.choices, &sol.admission),
+            rbs: objective::radio_usage(&sol.admission, &sol.rbs),
+        }
+    }
+
+    /// Whether nothing is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Produces the residual instance for newly arrived tasks: deployed blocks
+/// become free (zero memory, zero training), and every budget is
+/// discounted by current consumption.
+///
+/// `new_tasks` must be an instance over the *same repository* (same block
+/// id space) as the one `deployed` was captured from.
+pub fn residual_instance(new_tasks: &DotInstance, deployed: &DeployedState) -> DotInstance {
+    let mut residual = new_tasks.clone();
+    for &b in &deployed.blocks {
+        if (b.0 as usize) < residual.block_memory.len() {
+            residual.block_memory[b.0 as usize] = 0.0;
+            residual.block_training[b.0 as usize] = 0.0;
+        }
+    }
+    residual.budgets.memory_bytes = (residual.budgets.memory_bytes - deployed.memory_bytes).max(f64::MIN_POSITIVE);
+    residual.budgets.compute_seconds =
+        (residual.budgets.compute_seconds - deployed.compute_seconds).max(f64::MIN_POSITIVE);
+    residual.budgets.rbs = (residual.budgets.rbs - deployed.rbs).max(f64::MIN_POSITIVE);
+    residual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::OffloadnnSolver;
+    use crate::instance::tests::tiny_instance;
+
+    #[test]
+    fn deployed_state_captures_usage() {
+        let i = tiny_instance();
+        let sol = OffloadnnSolver::new().solve(&i).unwrap();
+        let dep = DeployedState::from_solution(&i, &sol);
+        assert!(!dep.is_empty());
+        assert!(dep.memory_bytes > 0.0);
+        assert!(dep.compute_seconds > 0.0);
+        assert!(dep.rbs > 0.0);
+    }
+
+    #[test]
+    fn residual_blocks_are_free() {
+        let i = tiny_instance();
+        let sol = OffloadnnSolver::new().solve(&i).unwrap();
+        let dep = DeployedState::from_solution(&i, &sol);
+        let res = residual_instance(&i, &dep);
+        for &b in &dep.blocks {
+            assert_eq!(res.block_memory[b.0 as usize], 0.0);
+            assert_eq!(res.block_training[b.0 as usize], 0.0);
+        }
+        assert!(res.budgets.memory_bytes < i.budgets.memory_bytes);
+        assert!(res.budgets.rbs < i.budgets.rbs);
+        assert!(res.budgets.compute_seconds < i.budgets.compute_seconds);
+    }
+
+    #[test]
+    fn residual_solve_prefers_deployed_blocks() {
+        // After deploying task 0's option 0 (blocks 0,1), a re-arriving
+        // task can reuse them for free even under a tiny residual memory
+        // budget.
+        let i = tiny_instance();
+        let sol = OffloadnnSolver::new().solve(&i).unwrap();
+        let dep = DeployedState::from_solution(&i, &sol);
+        let mut res = residual_instance(&i, &dep);
+        // Keep only a sliver of fresh memory: new blocks cannot fit.
+        res.budgets.memory_bytes = 1.0;
+        let sol2 = OffloadnnSolver::new().solve(&res).unwrap();
+        for (t, c) in sol2.choices.iter().enumerate() {
+            if let Some(o) = c {
+                for b in &res.options[t][*o].path.blocks {
+                    assert!(
+                        dep.blocks.contains(b),
+                        "only already-deployed blocks are affordable"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_deployment_is_identity_on_costs() {
+        let i = tiny_instance();
+        let dep = DeployedState::default();
+        let res = residual_instance(&i, &dep);
+        assert_eq!(res.block_memory, i.block_memory);
+        assert_eq!(res.budgets.rbs, i.budgets.rbs);
+    }
+}

@@ -1,0 +1,295 @@
+//! DOT problem instances: tasks, their candidate path options, per-block
+//! costs and resource budgets.
+
+use crate::error::DotError;
+use crate::task::{QualityLevel, Task};
+use offloadnn_dnn::block::BlockId;
+use offloadnn_dnn::repository::DnnPath;
+use offloadnn_radio::{min_rbs_for_deadline, RateModel};
+use serde::{Deserialize, Serialize};
+
+/// Resource budgets of the edge platform (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Budgets {
+    /// Available radio resource blocks `R`.
+    pub rbs: f64,
+    /// Available inference compute `C` in GPU-seconds per second.
+    pub compute_seconds: f64,
+    /// Training-cost normaliser `Ct` in GPU-seconds.
+    pub training_seconds: f64,
+    /// Available memory `M` in bytes.
+    pub memory_bytes: f64,
+}
+
+impl Budgets {
+    /// Validates positivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DotError::InvalidBudget`] naming the offending budget.
+    pub fn validate(&self) -> Result<(), DotError> {
+        if self.rbs <= 0.0 {
+            return Err(DotError::InvalidBudget("rbs"));
+        }
+        if self.compute_seconds <= 0.0 {
+            return Err(DotError::InvalidBudget("compute"));
+        }
+        if self.training_seconds <= 0.0 {
+            return Err(DotError::InvalidBudget("training"));
+        }
+        if self.memory_bytes <= 0.0 {
+            return Err(DotError::InvalidBudget("memory"));
+        }
+        Ok(())
+    }
+}
+
+/// One candidate way to serve a task: a DNN path plus an input quality
+/// level, with its attained accuracy and processing time precomputed
+/// (the static vertex attributes of Sec. IV-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathOption {
+    /// The DNN path.
+    pub path: DnnPath,
+    /// The input quality level this option assumes.
+    pub quality: QualityLevel,
+    /// Attained accuracy `a_tau(q, pi)`.
+    pub accuracy: f64,
+    /// Processing time `sum_{s in pi} c(s)` in seconds per sample.
+    pub proc_seconds: f64,
+    /// Training cost of the path ignoring sharing (`sum ct(s)`), used as a
+    /// tie-break when two paths have identical inference compute time.
+    pub training_seconds: f64,
+    /// Display label (model / CONFIG / quality).
+    pub label: String,
+}
+
+/// A complete DOT problem instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DotInstance {
+    /// The requested tasks, in submission order.
+    pub tasks: Vec<Task>,
+    /// Candidate options per task (same indexing as `tasks`). These are the
+    /// raw candidates; solvers apply the feasibility filter.
+    pub options: Vec<Vec<PathOption>>,
+    /// Memory `mu(s)` in bytes per block, indexed by [`BlockId`].
+    pub block_memory: Vec<f64>,
+    /// Training cost `ct(s)` in GPU-seconds per block, indexed by
+    /// [`BlockId`].
+    pub block_training: Vec<f64>,
+    /// Radio rate model giving `B(sigma)`.
+    pub rate: RateModel,
+    /// Resource budgets.
+    pub budgets: Budgets,
+    /// Objective weight `alpha` between task admission and resource cost.
+    pub alpha: f64,
+}
+
+impl DotInstance {
+    /// Number of tasks `T`.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Bits per second one RB carries for task `t` (`B(sigma_tau)`).
+    pub fn bits_per_rb(&self, t: usize) -> f64 {
+        self.rate.bits_per_rb(self.tasks[t].snr)
+    }
+
+    /// The option `o` of task `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn option(&self, t: usize, o: usize) -> &PathOption {
+        &self.options[t][o]
+    }
+
+    /// Minimum (real-valued) RBs so option `o` of task `t` meets the
+    /// latency bound, or `None` if the processing time alone already
+    /// exceeds it.
+    pub fn min_rbs_latency(&self, t: usize, o: usize) -> Option<f64> {
+        let task = &self.tasks[t];
+        let opt = &self.options[t][o];
+        let net_budget = task.max_latency - opt.proc_seconds;
+        min_rbs_for_deadline(opt.quality.bits, net_budget, task.snr, self.rate)
+    }
+
+    /// Indices of the options of task `t` that satisfy the static
+    /// per-vertex constraints: accuracy (1f) and a latency bound (1g)
+    /// attainable within the total RB budget.
+    pub fn feasible_options(&self, t: usize) -> Vec<usize> {
+        let task = &self.tasks[t];
+        (0..self.options[t].len())
+            .filter(|&o| {
+                let opt = &self.options[t][o];
+                if opt.accuracy < task.min_accuracy {
+                    return false;
+                }
+                match self.min_rbs_latency(t, o) {
+                    Some(r_lat) => r_lat <= self.budgets.rbs,
+                    None => false,
+                }
+            })
+            .collect()
+    }
+
+    /// Memory of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has no cost entry.
+    pub fn memory_of(&self, b: BlockId) -> f64 {
+        self.block_memory[b.0 as usize]
+    }
+
+    /// Training cost of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has no cost entry.
+    pub fn training_of(&self, b: BlockId) -> f64 {
+        self.block_training[b.0 as usize]
+    }
+
+    /// Validates the whole instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect found.
+    pub fn validate(&self) -> Result<(), DotError> {
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(DotError::InvalidAlpha(self.alpha));
+        }
+        self.budgets.validate()?;
+        if self.tasks.len() != self.options.len() {
+            return Err(DotError::OptionsMismatch { tasks: self.tasks.len(), options: self.options.len() });
+        }
+        for task in &self.tasks {
+            task.validate().map_err(DotError::InvalidTask)?;
+        }
+        let n_blocks = self.block_memory.len().min(self.block_training.len()) as u32;
+        for opts in &self.options {
+            for opt in opts {
+                for b in &opt.path.blocks {
+                    if b.0 >= n_blocks {
+                        return Err(DotError::MissingBlockCosts { block: b.0 });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::task::TaskId;
+    use offloadnn_dnn::block::GroupId;
+    use offloadnn_dnn::config::{Config, PathConfig};
+    use offloadnn_dnn::{BlockId, ModelId};
+    use offloadnn_radio::SnrDb;
+
+    pub(crate) fn tiny_instance() -> DotInstance {
+        // Two tasks, two synthetic options each, hand-written costs.
+        let mk_task = |i: u32, prio: f64, acc: f64, lat: f64| Task {
+            id: TaskId(i),
+            name: format!("task{i}"),
+            group: GroupId(i),
+            priority: prio,
+            request_rate: 5.0,
+            min_accuracy: acc,
+            max_latency: lat,
+            snr: SnrDb(0.0),
+            qualities: vec![QualityLevel::table_iv()],
+            difficulty: 0.0,
+        };
+        let mk_option = |blocks: Vec<u32>, acc: f64, proc: f64| PathOption {
+            path: DnnPath {
+                model: ModelId(0),
+                group: GroupId(0),
+                config: PathConfig { config: Config::C, pruned: false },
+                blocks: blocks.into_iter().map(BlockId).collect(),
+            },
+            quality: QualityLevel::table_iv(),
+            accuracy: acc,
+            proc_seconds: proc,
+            training_seconds: 0.0,
+            label: "synthetic".into(),
+        };
+        DotInstance {
+            tasks: vec![mk_task(0, 0.8, 0.85, 0.3), mk_task(1, 0.5, 0.7, 0.4)],
+            options: vec![
+                vec![mk_option(vec![0, 1], 0.9, 0.01), mk_option(vec![0, 2], 0.8, 0.005)],
+                vec![mk_option(vec![0, 1], 0.9, 0.01), mk_option(vec![3], 0.75, 0.002)],
+            ],
+            block_memory: vec![1e9, 2e9, 0.5e9, 0.25e9],
+            block_training: vec![0.0, 100.0, 50.0, 25.0],
+            rate: RateModel::table_iv(),
+            budgets: Budgets { rbs: 50.0, compute_seconds: 2.5, training_seconds: 1000.0, memory_bytes: 8e9 },
+            alpha: 0.5,
+        }
+    }
+
+    #[test]
+    fn tiny_instance_validates() {
+        assert!(tiny_instance().validate().is_ok());
+    }
+
+    #[test]
+    fn alpha_out_of_range_rejected() {
+        let mut i = tiny_instance();
+        i.alpha = 1.2;
+        assert_eq!(i.validate().unwrap_err(), DotError::InvalidAlpha(1.2));
+    }
+
+    #[test]
+    fn bad_budget_rejected() {
+        let mut i = tiny_instance();
+        i.budgets.memory_bytes = 0.0;
+        assert_eq!(i.validate().unwrap_err(), DotError::InvalidBudget("memory"));
+    }
+
+    #[test]
+    fn missing_block_cost_rejected() {
+        let mut i = tiny_instance();
+        i.options[0][0].path.blocks.push(BlockId(99));
+        assert_eq!(i.validate().unwrap_err(), DotError::MissingBlockCosts { block: 99 });
+    }
+
+    #[test]
+    fn options_mismatch_rejected() {
+        let mut i = tiny_instance();
+        i.options.pop();
+        assert!(matches!(i.validate().unwrap_err(), DotError::OptionsMismatch { .. }));
+    }
+
+    #[test]
+    fn min_rbs_latency_accounts_for_processing() {
+        let i = tiny_instance();
+        // Task 0: L = 0.3s, option 0 proc = 0.01s -> net 0.29s;
+        // 350kb/(0.35Mb/s * 0.29s) = 3.448 RBs.
+        let r = i.min_rbs_latency(0, 0).unwrap();
+        assert!((r - 350e3 / (0.35e6 * 0.29)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_latency_returns_none() {
+        let mut i = tiny_instance();
+        i.options[0][0].proc_seconds = 1.0; // above the 0.3 s bound
+        assert!(i.min_rbs_latency(0, 0).is_none());
+    }
+
+    #[test]
+    fn feasible_options_filter_accuracy_and_latency() {
+        let mut i = tiny_instance();
+        // Task 0 requires 0.85: option 1 (0.8) filtered out.
+        assert_eq!(i.feasible_options(0), vec![0]);
+        // Task 1 requires 0.7: both pass.
+        assert_eq!(i.feasible_options(1), vec![0, 1]);
+        // Blow the latency of task 1 option 0.
+        i.options[1][0].proc_seconds = 10.0;
+        assert_eq!(i.feasible_options(1), vec![1]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Solution summaries: the normalised usage metrics the paper's figures
+//! report.
+
+use crate::instance::DotInstance;
+use crate::objective::{self, DotSolution};
+use serde::{Deserialize, Serialize};
+
+/// Every quantity plotted in Figs. 7–10 for one solution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolutionSummary {
+    /// Total DOT cost (1a).
+    pub total_cost: f64,
+    /// `sum z * p` — weighted tasks admission ratio.
+    pub weighted_admission: f64,
+    /// Number of tasks with `z > 0`.
+    pub admitted_tasks: usize,
+    /// `sum z * r / R`.
+    pub radio_utilisation: f64,
+    /// Memory of active blocks / `M`.
+    pub memory_utilisation: f64,
+    /// Training cost of active blocks / `Ct`.
+    pub training_utilisation: f64,
+    /// `sum z * lambda * P / C`.
+    pub compute_utilisation: f64,
+    /// Solver wall-clock seconds.
+    pub solve_seconds: f64,
+}
+
+impl SolutionSummary {
+    /// Computes the summary of a solution against its instance.
+    pub fn of(instance: &DotInstance, sol: &DotSolution) -> Self {
+        Self {
+            total_cost: sol.cost.total(),
+            weighted_admission: sol.weighted_admission(instance),
+            admitted_tasks: sol.admitted_tasks(),
+            radio_utilisation: objective::radio_usage(&sol.admission, &sol.rbs) / instance.budgets.rbs,
+            memory_utilisation: objective::memory_bytes(instance, &sol.choices, &sol.admission)
+                / instance.budgets.memory_bytes,
+            training_utilisation: objective::training_seconds(instance, &sol.choices, &sol.admission)
+                / instance.budgets.training_seconds,
+            compute_utilisation: objective::compute_usage(instance, &sol.choices, &sol.admission)
+                / instance.budgets.compute_seconds,
+            solve_seconds: sol.solve_seconds,
+        }
+    }
+
+    /// Renders as a single benchmark-output row.
+    pub fn row(&self) -> String {
+        format!(
+            "cost={:.4} w_adm={:.3} admitted={} rb={:.3} mem={:.3} train={:.3} compute={:.3} t={:.4}s",
+            self.total_cost,
+            self.weighted_admission,
+            self.admitted_tasks,
+            self.radio_utilisation,
+            self.memory_utilisation,
+            self.training_utilisation,
+            self.compute_utilisation,
+            self.solve_seconds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::OffloadnnSolver;
+    use crate::instance::tests::tiny_instance;
+
+    #[test]
+    fn summary_fields_consistent() {
+        let i = tiny_instance();
+        let sol = OffloadnnSolver::new().solve(&i).unwrap();
+        let s = SolutionSummary::of(&i, &sol);
+        assert!((s.total_cost - sol.cost.total()).abs() < 1e-12);
+        assert_eq!(s.admitted_tasks, 2);
+        assert!(s.radio_utilisation > 0.0 && s.radio_utilisation <= 1.0);
+        assert!(s.memory_utilisation > 0.0 && s.memory_utilisation <= 1.0);
+        assert!(s.row().contains("admitted=2"));
+    }
+
+    #[test]
+    fn rejected_solution_summary_is_zero_usage() {
+        let i = tiny_instance();
+        let sol = crate::objective::DotSolution::rejected(&i);
+        let s = SolutionSummary::of(&i, &sol);
+        assert_eq!(s.admitted_tasks, 0);
+        assert_eq!(s.radio_utilisation, 0.0);
+        assert_eq!(s.memory_utilisation, 0.0);
+    }
+}

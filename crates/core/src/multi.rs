@@ -1,0 +1,319 @@
+//! Multi-edge DOT: a natural scaling extension of the paper's single-edge
+//! formulation. Several edge platforms sit behind the same cell: the
+//! radio budget `R` stays global (one vRAN), but each edge has its own
+//! compute and memory, and DNN blocks can only be shared among tasks
+//! *placed on the same edge*. The solver extends OffloaDNN's first-branch
+//! rule with a placement dimension: per task, the feasible (edge, path)
+//! pair with the smallest inference compute time that fits that edge's
+//! remaining memory.
+
+use crate::alloc::{self, AllocSettings, AllocTask};
+use crate::error::{DotError, Violation};
+use crate::instance::{Budgets, DotInstance};
+use crate::tree::{BranchState, WeightedTree};
+use serde::{Deserialize, Serialize};
+
+/// Per-edge capacities (radio is global and lives in the template
+/// instance's budgets).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeCapacity {
+    /// Inference compute budget of the edge, GPU-s/s.
+    pub compute_seconds: f64,
+    /// Memory budget of the edge, bytes.
+    pub memory_bytes: f64,
+}
+
+/// A multi-edge problem: the template instance supplies tasks, options,
+/// block costs, the rate model and the *global* RB budget; `edges` the
+/// per-edge compute/memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiEdgeInstance {
+    /// Tasks, options, block costs, rate model, global radio budget.
+    pub template: DotInstance,
+    /// The edge platforms.
+    pub edges: Vec<EdgeCapacity>,
+}
+
+/// A multi-edge solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiEdgeSolution {
+    /// Per task: the serving `(edge, option)` pair.
+    pub placement: Vec<Option<(usize, usize)>>,
+    /// Admission ratios.
+    pub admission: Vec<f64>,
+    /// RB allocations.
+    pub rbs: Vec<f64>,
+    /// Memory resident per edge (bytes).
+    pub edge_memory: Vec<f64>,
+    /// Compute used per edge (GPU-s/s).
+    pub edge_compute: Vec<f64>,
+}
+
+impl MultiEdgeSolution {
+    /// Number of tasks with `z > 0`.
+    pub fn admitted_tasks(&self) -> usize {
+        self.admission.iter().filter(|&&z| z > 0.0).count()
+    }
+
+    /// `sum z * p`.
+    pub fn weighted_admission(&self, instance: &MultiEdgeInstance) -> f64 {
+        self.admission
+            .iter()
+            .zip(&instance.template.tasks)
+            .map(|(&z, t)| z * t.priority)
+            .sum()
+    }
+}
+
+/// Solves the multi-edge problem with the placement-extended first-branch
+/// rule.
+///
+/// # Errors
+///
+/// Returns a [`DotError`] if the template instance is malformed or no
+/// edges are given.
+pub fn solve(instance: &MultiEdgeInstance) -> Result<MultiEdgeSolution, DotError> {
+    instance.template.validate()?;
+    if instance.edges.is_empty() {
+        return Err(DotError::InvalidBudget("edges"));
+    }
+    let t_inst = &instance.template;
+    let tree = WeightedTree::build(t_inst);
+
+    // Per-edge incremental block accounting.
+    let mut states: Vec<BranchState> = instance.edges.iter().map(|_| BranchState::new()).collect();
+    let mut placement: Vec<Option<(usize, usize)>> = vec![None; t_inst.num_tasks()];
+
+    for (layer, &t) in tree.order.iter().enumerate() {
+        'vertex: for &o in &tree.cliques[layer] {
+            let blocks = &t_inst.options[t][o].path.blocks;
+            // Prefer the edge where the path is cheapest to add (most
+            // sharing), then the emptiest edge; reject the vertex if no
+            // edge fits it.
+            let mut candidates: Vec<usize> = (0..instance.edges.len()).collect();
+            candidates.sort_by(|&a, &b| {
+                let ia = states[a].memory_increment(t_inst, blocks);
+                let ib = states[b].memory_increment(t_inst, blocks);
+                ia.total_cmp(&ib).then(states[a].memory_bytes.total_cmp(&states[b].memory_bytes))
+            });
+            for e in candidates {
+                let incr = states[e].memory_increment(t_inst, blocks);
+                if states[e].memory_bytes + incr <= instance.edges[e].memory_bytes {
+                    states[e].push(t_inst, blocks);
+                    placement[t] = Some((e, o));
+                    break 'vertex;
+                }
+            }
+        }
+    }
+
+    // Inner allocation: global radio, per-edge compute.
+    let settings = AllocSettings {
+        alpha: t_inst.alpha,
+        rbs: t_inst.budgets.rbs,
+        // Utility pricing uses the fleet-wide compute so edges are
+        // comparable; feasibility is enforced per edge below.
+        compute: instance.edges.iter().map(|e| e.compute_seconds).sum(),
+    };
+    let mut order: Vec<usize> = (0..t_inst.num_tasks()).collect();
+    order.sort_by(|&a, &b| t_inst.tasks[b].priority.total_cmp(&t_inst.tasks[a].priority));
+
+    let mut admission = vec![0.0; t_inst.num_tasks()];
+    let mut rbs = vec![0.0; t_inst.num_tasks()];
+    let mut rem_r = t_inst.budgets.rbs;
+    let mut rem_c: Vec<f64> = instance.edges.iter().map(|e| e.compute_seconds).collect();
+
+    for &t in &order {
+        let Some((e, o)) = placement[t] else { continue };
+        let task = &t_inst.tasks[t];
+        let opt = &t_inst.options[t][o];
+        let Some(r_lat) = t_inst.min_rbs_latency(t, o) else { continue };
+        if r_lat > t_inst.budgets.rbs {
+            continue;
+        }
+        let at = AllocTask {
+            priority: task.priority,
+            lambda: task.request_rate,
+            beta: opt.quality.bits,
+            bits_per_rb: t_inst.bits_per_rb(t),
+            r_lat,
+            proc_seconds: opt.proc_seconds,
+        };
+        let z = alloc::best_unconstrained_z(&at, &settings).min(alloc::budget_cap(&at, rem_r, rem_c[e]));
+        if z <= 0.0 {
+            continue;
+        }
+        admission[t] = z;
+        rbs[t] = at.rbs_at(z);
+        rem_r -= at.radio_usage(z);
+        rem_c[e] -= z * at.compute_per_z();
+    }
+
+    // Drop deployments for tasks that ended with z = 0.
+    for t in 0..t_inst.num_tasks() {
+        if admission[t] == 0.0 {
+            placement[t] = None;
+        }
+    }
+    // Recompute per-edge usage from the surviving placement.
+    let mut edge_states: Vec<BranchState> = instance.edges.iter().map(|_| BranchState::new()).collect();
+    let mut edge_compute = vec![0.0; instance.edges.len()];
+    for t in 0..t_inst.num_tasks() {
+        if let Some((e, o)) = placement[t] {
+            edge_states[e].push(t_inst, &t_inst.options[t][o].path.blocks);
+            edge_compute[e] += admission[t] * t_inst.tasks[t].request_rate * t_inst.options[t][o].proc_seconds;
+        }
+    }
+
+    Ok(MultiEdgeSolution {
+        placement,
+        admission,
+        rbs,
+        edge_memory: edge_states.iter().map(|s| s.memory_bytes).collect(),
+        edge_compute,
+    })
+}
+
+/// Verifies a multi-edge solution: per-edge memory/compute, global radio,
+/// per-task accuracy/latency/rate support.
+pub fn verify(instance: &MultiEdgeInstance, sol: &MultiEdgeSolution) -> Vec<Violation> {
+    let t_inst = &instance.template;
+    let mut v = Vec::new();
+
+    for (e, cap) in instance.edges.iter().enumerate() {
+        if sol.edge_memory[e] > cap.memory_bytes * (1.0 + 1e-9) {
+            v.push(Violation::Memory { used: sol.edge_memory[e], cap: cap.memory_bytes });
+        }
+        if sol.edge_compute[e] > cap.compute_seconds * (1.0 + 1e-9) {
+            v.push(Violation::Compute { used: sol.edge_compute[e], cap: cap.compute_seconds });
+        }
+    }
+    let radio: f64 = sol.admission.iter().zip(&sol.rbs).map(|(z, r)| z * r).sum();
+    if radio > t_inst.budgets.rbs * (1.0 + 1e-9) {
+        v.push(Violation::Radio { used: radio, cap: t_inst.budgets.rbs });
+    }
+    for (t, task) in t_inst.tasks.iter().enumerate() {
+        let z = sol.admission[t];
+        if z <= 0.0 {
+            continue;
+        }
+        let Some((_, o)) = sol.placement[t] else {
+            v.push(Violation::AdmittedWithoutPath { task: task.id });
+            continue;
+        };
+        let opt = &t_inst.options[t][o];
+        if opt.accuracy < task.min_accuracy - 1e-9 {
+            v.push(Violation::Accuracy { task: task.id, got: opt.accuracy, need: task.min_accuracy });
+        }
+        let b = t_inst.bits_per_rb(t);
+        let latency = opt.quality.bits / (b * sol.rbs[t].max(f64::MIN_POSITIVE)) + opt.proc_seconds;
+        if latency > task.max_latency * (1.0 + 1e-6) {
+            v.push(Violation::Latency { task: task.id, got: latency, need: task.max_latency });
+        }
+        if z * task.request_rate * opt.quality.bits > b * sol.rbs[t] * (1.0 + 1e-6) {
+            v.push(Violation::RateSupport { task: task.id });
+        }
+    }
+    v
+}
+
+/// Splits a single-edge instance into `n` equal edges (for fragmentation
+/// studies): each gets `1/n` of the compute and memory; radio stays whole.
+pub fn split_edges(instance: &DotInstance, n: usize) -> MultiEdgeInstance {
+    let n = n.max(1);
+    let per = EdgeCapacity {
+        compute_seconds: instance.budgets.compute_seconds / n as f64,
+        memory_bytes: instance.budgets.memory_bytes / n as f64,
+    };
+    let mut template = instance.clone();
+    // The template's own memory/compute budgets are not used by the
+    // multi-edge solver (per-edge caps are), but keep them consistent.
+    template.budgets = Budgets {
+        rbs: instance.budgets.rbs,
+        compute_seconds: instance.budgets.compute_seconds,
+        training_seconds: instance.budgets.training_seconds,
+        memory_bytes: instance.budgets.memory_bytes,
+    };
+    MultiEdgeInstance { template, edges: vec![per; n] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::OffloadnnSolver;
+    use crate::scenario::small_scenario;
+
+    #[test]
+    fn single_edge_matches_the_plain_solver_admission() {
+        let s = small_scenario(5);
+        let multi = split_edges(&s.instance, 1);
+        let msol = solve(&multi).unwrap();
+        assert!(verify(&multi, &msol).is_empty());
+        let plain = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        assert!((msol.weighted_admission(&multi) - plain.weighted_admission(&s.instance)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_edges_are_feasible_and_spread_load() {
+        let s = small_scenario(5);
+        let multi = split_edges(&s.instance, 2);
+        let sol = solve(&multi).unwrap();
+        assert!(verify(&multi, &sol).is_empty(), "{:?}", verify(&multi, &sol));
+        assert_eq!(sol.admitted_tasks(), 5, "small scenario fits even split edges");
+    }
+
+    #[test]
+    fn fragmentation_never_helps() {
+        // Splitting the same capacity can only reduce (or keep) the
+        // weighted admission: sharing is confined per edge and memory
+        // fragments.
+        let mut s = small_scenario(5);
+        s.instance.budgets.memory_bytes = 1.6e9; // tight enough to matter
+        let whole = solve(&split_edges(&s.instance, 1)).unwrap();
+        let halves = solve(&split_edges(&s.instance, 2)).unwrap();
+        let quarters = solve(&split_edges(&s.instance, 4)).unwrap();
+        let w = |sol: &MultiEdgeSolution, n: usize| {
+            sol.weighted_admission(&split_edges(&s.instance, n))
+        };
+        assert!(w(&halves, 2) <= w(&whole, 1) + 1e-9);
+        assert!(w(&quarters, 4) <= w(&halves, 2) + 1e-9);
+    }
+
+    #[test]
+    fn placement_prefers_the_edge_with_sharing() {
+        // Two tasks in the same group with identical requirements: once
+        // the first lands on an edge, the second should co-locate (its
+        // memory increment there is near zero).
+        let mut s = small_scenario(2);
+        s.instance.tasks[1].group = s.instance.tasks[0].group;
+        s.instance.tasks[1].min_accuracy = s.instance.tasks[0].min_accuracy;
+        s.instance.tasks[1].max_latency = s.instance.tasks[0].max_latency;
+        s.instance.options[1] = s.instance.options[0].clone();
+        let multi = split_edges(&s.instance, 2);
+        let sol = solve(&multi).unwrap();
+        let (e0, _) = sol.placement[0].unwrap();
+        let (e1, _) = sol.placement[1].unwrap();
+        assert_eq!(e0, e1, "identical tasks must co-locate for sharing");
+        // The other edge stays empty.
+        assert_eq!(sol.edge_memory[1 - e0], 0.0);
+    }
+
+    #[test]
+    fn no_edges_is_an_error() {
+        let s = small_scenario(1);
+        let multi = MultiEdgeInstance { template: s.instance.clone(), edges: vec![] };
+        assert!(solve(&multi).is_err());
+    }
+
+    #[test]
+    fn per_edge_compute_is_enforced() {
+        let mut s = small_scenario(5);
+        s.instance.budgets.compute_seconds = 0.08; // tiny fleet compute
+        let multi = split_edges(&s.instance, 2);
+        let sol = solve(&multi).unwrap();
+        assert!(verify(&multi, &sol).is_empty());
+        for (e, cap) in multi.edges.iter().enumerate() {
+            assert!(sol.edge_compute[e] <= cap.compute_seconds + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Table III of the paper: the notation, mapped to this crate's types.
+//!
+//! | Paper symbol | Meaning | Here |
+//! |---|---|---|
+//! | `tau in T` | requested tasks, `\|T\| = T` | [`crate::task::Task`] in [`crate::instance::DotInstance::tasks`] |
+//! | `d in D` | dynamic DNN structures | [`offloadnn_dnn::ModelId`] (backbone) + its Table I configurations |
+//! | `s^d in S^d` | block of structure `d` | [`offloadnn_dnn::BlockId`] / [`offloadnn_dnn::BlockEntry`] |
+//! | `p_tau` | priority of task `tau` | [`crate::task::Task::priority`] |
+//! | `pi^d_tau in Pi^d_tau` | block sequence (path) usable for `tau` | [`offloadnn_dnn::DnnPath`] inside [`crate::instance::PathOption`] |
+//! | `lambda_tau` | request rate | [`crate::task::Task::request_rate`] |
+//! | `A_tau` | minimum accuracy | [`crate::task::Task::min_accuracy`] |
+//! | `L_tau` | maximum latency | [`crate::task::Task::max_latency`] |
+//! | `Q_tau` | input quality levels | [`crate::task::Task::qualities`] |
+//! | `R` | available RBs | [`crate::instance::Budgets::rbs`] |
+//! | `C` | available compute time | [`crate::instance::Budgets::compute_seconds`] |
+//! | `M` | available memory | [`crate::instance::Budgets::memory_bytes`] |
+//! | `sigma_tau` | SNR of the task's devices | [`crate::task::Task::snr`] |
+//! | `B(sigma_tau)` | bits per RB at that SNR | [`offloadnn_radio::RateModel::bits_per_rb`] |
+//! | `beta(q_tau)` | bits per input image | [`crate::task::QualityLevel::bits`] |
+//! | `c(s^d)` | block inference compute time | `BlockCosts::compute_seconds` (profiler), summed into [`crate::instance::PathOption::proc_seconds`] |
+//! | `mu(s^d)` | block memory | [`crate::instance::DotInstance::block_memory`] |
+//! | `ct(s^d, .)` | block training cost | [`crate::instance::DotInstance::block_training`] |
+//! | `x^d_tau` | task-DNN mapping variable | implied by [`crate::objective::DotSolution::choices`] |
+//! | `y_{pi^d_tau}` | path selection variable | [`crate::objective::DotSolution::choices`] |
+//! | `z_tau` | admission ratio | [`crate::objective::DotSolution::admission`] |
+//! | `r_tau` | RBs allocated | [`crate::objective::DotSolution::rbs`] |
+//! | `m(s^d)` | block-in-use auxiliary | [`crate::objective::used_blocks`] |
+//!
+//! The constraints map as follows: (1b) memory and (1c) compute are checked
+//! by [`crate::objective::verify`] via [`crate::objective::memory_bytes`] and
+//! [`crate::objective::compute_usage`]; (1d)/(1e) radio by
+//! [`crate::objective::radio_usage`] and the rate-support check; (1f)/(1g)
+//! accuracy and latency per admitted task; (1h)/(1i) are implicit in the
+//! set semantics of [`crate::objective::used_blocks`].

@@ -1,0 +1,312 @@
+//! The DOT objective (1a) and constraint verification (1b)–(1i).
+
+use crate::error::Violation;
+use crate::instance::DotInstance;
+use offloadnn_dnn::block::BlockId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Numerical slack used when checking constraints on floating-point sums.
+pub const TOLERANCE: f64 = 1e-9;
+
+/// The DOT objective split into its four components (all already weighted
+/// by `alpha` / `1 - alpha`, so `total` is their plain sum).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// `alpha * sum (1 - z) p` — priority-weighted rejection.
+    pub rejection: f64,
+    /// `(1-alpha) * training / Ct` — training cost of used blocks (shared
+    /// blocks counted once).
+    pub training: f64,
+    /// `(1-alpha) * sum z r / R` — radio resources.
+    pub radio: f64,
+    /// `(1-alpha) * sum z lambda P / C` — inference compute.
+    pub inference: f64,
+}
+
+impl CostBreakdown {
+    /// The total DOT cost.
+    pub fn total(&self) -> f64 {
+        self.rejection + self.training + self.radio + self.inference
+    }
+}
+
+/// A complete candidate solution of a DOT instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DotSolution {
+    /// Selected option index per task (`None` = no DNN deployed).
+    pub choices: Vec<Option<usize>>,
+    /// Admission ratio `z` per task (0 for rejected tasks).
+    pub admission: Vec<f64>,
+    /// Real-valued RB allocation `r` per task (0 for rejected tasks).
+    pub rbs: Vec<f64>,
+    /// Objective value.
+    pub cost: CostBreakdown,
+    /// Wall-clock seconds the solver spent.
+    pub solve_seconds: f64,
+}
+
+impl DotSolution {
+    /// The all-rejected solution of an instance with `n` tasks.
+    pub fn rejected(instance: &DotInstance) -> Self {
+        let n = instance.num_tasks();
+        let mut s = Self {
+            choices: vec![None; n],
+            admission: vec![0.0; n],
+            rbs: vec![0.0; n],
+            cost: CostBreakdown::default(),
+            solve_seconds: 0.0,
+        };
+        s.cost = evaluate(instance, &s.choices, &s.admission, &s.rbs);
+        s
+    }
+
+    /// Integer RB allocation (ceiling of the real allocation).
+    pub fn rbs_int(&self) -> Vec<u32> {
+        self.rbs.iter().map(|&r| r.ceil() as u32).collect()
+    }
+
+    /// Sum over tasks of `z * p` (Fig. 8/10's "weighted tasks admission
+    /// ratio").
+    pub fn weighted_admission(&self, instance: &DotInstance) -> f64 {
+        self.admission
+            .iter()
+            .zip(&instance.tasks)
+            .map(|(&z, t)| z * t.priority)
+            .sum()
+    }
+
+    /// Number of tasks with a strictly positive admission ratio.
+    pub fn admitted_tasks(&self) -> usize {
+        self.admission.iter().filter(|&&z| z > 0.0).count()
+    }
+}
+
+/// Blocks used by at least one task with `z > 0` (the `m(s^d)` auxiliaries
+/// of constraints (1h)/(1i)).
+pub fn used_blocks(instance: &DotInstance, choices: &[Option<usize>], admission: &[f64]) -> HashSet<BlockId> {
+    let mut used = HashSet::new();
+    for (t, choice) in choices.iter().enumerate() {
+        if admission[t] > 0.0 {
+            if let Some(o) = choice {
+                used.extend(instance.options[t][*o].path.blocks.iter().copied());
+            }
+        }
+    }
+    used
+}
+
+/// Total memory (bytes) of the used blocks, shared blocks counted once —
+/// the left side of constraint (1b).
+pub fn memory_bytes(instance: &DotInstance, choices: &[Option<usize>], admission: &[f64]) -> f64 {
+    used_blocks(instance, choices, admission)
+        .into_iter()
+        .map(|b| instance.memory_of(b))
+        .sum()
+}
+
+/// Total training cost (GPU-seconds) of the used blocks, shared blocks
+/// counted once.
+pub fn training_seconds(instance: &DotInstance, choices: &[Option<usize>], admission: &[f64]) -> f64 {
+    used_blocks(instance, choices, admission)
+        .into_iter()
+        .map(|b| instance.training_of(b))
+        .sum()
+}
+
+/// Admission-weighted inference compute usage in GPU-seconds per second —
+/// the left side of constraint (1c).
+pub fn compute_usage(instance: &DotInstance, choices: &[Option<usize>], admission: &[f64]) -> f64 {
+    choices
+        .iter()
+        .enumerate()
+        .filter_map(|(t, c)| c.map(|o| admission[t] * instance.tasks[t].request_rate * instance.options[t][o].proc_seconds))
+        .sum()
+}
+
+/// Admission-weighted RB usage — the left side of constraint (1d).
+pub fn radio_usage(admission: &[f64], rbs: &[f64]) -> f64 {
+    admission.iter().zip(rbs).map(|(&z, &r)| z * r).sum()
+}
+
+/// Evaluates the DOT objective (1a) for a candidate assignment.
+pub fn evaluate(instance: &DotInstance, choices: &[Option<usize>], admission: &[f64], rbs: &[f64]) -> CostBreakdown {
+    let alpha = instance.alpha;
+    let rejection: f64 = instance
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(t, task)| (1.0 - admission[t]) * task.priority)
+        .sum();
+    let training = training_seconds(instance, choices, admission) / instance.budgets.training_seconds;
+    let radio = radio_usage(admission, rbs) / instance.budgets.rbs;
+    let inference = compute_usage(instance, choices, admission) / instance.budgets.compute_seconds;
+    CostBreakdown {
+        rejection: alpha * rejection,
+        training: (1.0 - alpha) * training,
+        radio: (1.0 - alpha) * radio,
+        inference: (1.0 - alpha) * inference,
+    }
+}
+
+/// Verifies every DOT constraint for a candidate solution, returning all
+/// violations found (empty = feasible).
+pub fn verify(instance: &DotInstance, sol: &DotSolution) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let tol = TOLERANCE;
+
+    let mem = memory_bytes(instance, &sol.choices, &sol.admission);
+    if mem > instance.budgets.memory_bytes * (1.0 + tol) {
+        v.push(Violation::Memory { used: mem, cap: instance.budgets.memory_bytes });
+    }
+    let comp = compute_usage(instance, &sol.choices, &sol.admission);
+    if comp > instance.budgets.compute_seconds * (1.0 + tol) {
+        v.push(Violation::Compute { used: comp, cap: instance.budgets.compute_seconds });
+    }
+    let radio = radio_usage(&sol.admission, &sol.rbs);
+    if radio > instance.budgets.rbs * (1.0 + tol) {
+        v.push(Violation::Radio { used: radio, cap: instance.budgets.rbs });
+    }
+
+    for (t, task) in instance.tasks.iter().enumerate() {
+        let z = sol.admission[t];
+        if z <= 0.0 {
+            continue;
+        }
+        let Some(o) = sol.choices[t] else {
+            v.push(Violation::AdmittedWithoutPath { task: task.id });
+            continue;
+        };
+        let opt = &instance.options[t][o];
+        let b = instance.bits_per_rb(t);
+        // (1e): z * lambda * beta <= B * r.
+        if z * task.request_rate * opt.quality.bits > b * sol.rbs[t] * (1.0 + 1e-6) {
+            v.push(Violation::RateSupport { task: task.id });
+        }
+        // (1f).
+        if opt.accuracy < task.min_accuracy - tol {
+            v.push(Violation::Accuracy { task: task.id, got: opt.accuracy, need: task.min_accuracy });
+        }
+        // (1g): beta/(B r) + P <= L.
+        let latency = opt.quality.bits / (b * sol.rbs[t].max(f64::MIN_POSITIVE)) + opt.proc_seconds;
+        if latency > task.max_latency * (1.0 + 1e-6) {
+            v.push(Violation::Latency { task: task.id, got: latency, need: task.max_latency });
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::tests::tiny_instance;
+
+    #[test]
+    fn rejected_solution_costs_alpha_times_priorities() {
+        let i = tiny_instance();
+        let s = DotSolution::rejected(&i);
+        // alpha * (0.8 + 0.5) = 0.65.
+        assert!((s.cost.total() - 0.65).abs() < 1e-12);
+        assert_eq!(s.admitted_tasks(), 0);
+        assert!(verify(&i, &s).is_empty(), "rejecting everything is always feasible");
+    }
+
+    #[test]
+    fn shared_blocks_counted_once() {
+        let i = tiny_instance();
+        // Both tasks choose option 0 = blocks [0, 1].
+        let choices = vec![Some(0), Some(0)];
+        let z = vec![1.0, 1.0];
+        let mem = memory_bytes(&i, &choices, &z);
+        assert_eq!(mem, 1e9 + 2e9, "blocks 0 and 1 once each");
+        let train = training_seconds(&i, &choices, &z);
+        assert_eq!(train, 0.0 + 100.0);
+    }
+
+    #[test]
+    fn rejected_tasks_free_their_blocks() {
+        let i = tiny_instance();
+        let choices = vec![Some(0), Some(1)];
+        let z = vec![1.0, 0.0]; // task 1 rejected despite having a choice
+        let used = used_blocks(&i, &choices, &z);
+        assert!(used.contains(&offloadnn_dnn::BlockId(0)));
+        assert!(!used.contains(&offloadnn_dnn::BlockId(3)), "z=0 task must not pin blocks");
+    }
+
+    #[test]
+    fn evaluate_matches_hand_computation() {
+        let i = tiny_instance();
+        let choices = vec![Some(0), None];
+        let z = vec![1.0, 0.0];
+        let r = vec![5.0, 0.0];
+        let c = evaluate(&i, &choices, &z, &r);
+        // rejection: 0.5 * (0*0.8 + 1*0.5) = 0.25
+        assert!((c.rejection - 0.25).abs() < 1e-12);
+        // training: 0.5 * 100/1000 = 0.05
+        assert!((c.training - 0.05).abs() < 1e-12);
+        // radio: 0.5 * (1*5)/50 = 0.05
+        assert!((c.radio - 0.05).abs() < 1e-12);
+        // inference: 0.5 * (1*5*0.01)/2.5 = 0.01
+        assert!((c.inference - 0.01).abs() < 1e-12);
+        assert!((c.total() - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_catches_each_violation_kind() {
+        let i = tiny_instance();
+        // Admitted without path.
+        let s = DotSolution {
+            choices: vec![None, None],
+            admission: vec![0.5, 0.0],
+            rbs: vec![0.0, 0.0],
+            cost: CostBreakdown::default(),
+            solve_seconds: 0.0,
+        };
+        assert!(matches!(verify(&i, &s)[0], Violation::AdmittedWithoutPath { .. }));
+
+        // Rate support: z*lambda*beta = 1*5*350k = 1.75e6 > B*r = 0.35e6*2.
+        let s = DotSolution {
+            choices: vec![Some(0), None],
+            admission: vec![1.0, 0.0],
+            rbs: vec![2.0, 0.0],
+            cost: CostBreakdown::default(),
+            solve_seconds: 0.0,
+        };
+        let vs = verify(&i, &s);
+        assert!(vs.iter().any(|v| matches!(v, Violation::RateSupport { .. })));
+        // 2 RBs also violates latency: 350k/(0.7e6) = 0.5s > 0.3s.
+        assert!(vs.iter().any(|v| matches!(v, Violation::Latency { .. })));
+
+        // Memory violation: shrink the budget.
+        let mut i2 = tiny_instance();
+        i2.budgets.memory_bytes = 1e9;
+        let s = DotSolution {
+            choices: vec![Some(0), None],
+            admission: vec![1.0, 0.0],
+            rbs: vec![6.0, 0.0],
+            cost: CostBreakdown::default(),
+            solve_seconds: 0.0,
+        };
+        assert!(verify(&i2, &s).iter().any(|v| matches!(v, Violation::Memory { .. })));
+
+        // Accuracy violation: raise the requirement above the option.
+        let mut i3 = tiny_instance();
+        i3.tasks[0].min_accuracy = 0.95;
+        assert!(verify(&i3, &s).iter().any(|v| matches!(v, Violation::Accuracy { .. })));
+    }
+
+    #[test]
+    fn weighted_admission_and_rbs_int() {
+        let i = tiny_instance();
+        let s = DotSolution {
+            choices: vec![Some(0), Some(0)],
+            admission: vec![1.0, 0.5],
+            rbs: vec![5.2, 3.0],
+            cost: CostBreakdown::default(),
+            solve_seconds: 0.0,
+        };
+        assert!((s.weighted_admission(&i) - (0.8 + 0.25)).abs() < 1e-12);
+        assert_eq!(s.rbs_int(), vec![6, 3]);
+        assert_eq!(s.admitted_tasks(), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Pareto analysis of a task's option space: which (path, quality)
+//! configurations are efficient in the accuracy / compute-time / memory /
+//! training-cost tradeoff the paper's Sec. II motivates. The weighted
+//! tree only ever *selects* one option per task; this module explains the
+//! shape of the space it selects from.
+
+use crate::instance::DotInstance;
+use serde::{Deserialize, Serialize};
+
+/// One option's coordinates in the tradeoff space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Option index within the task's option list.
+    pub option: usize,
+    /// Attained accuracy (maximise).
+    pub accuracy: f64,
+    /// Inference compute time, seconds (minimise).
+    pub proc_seconds: f64,
+    /// Standalone path memory, bytes (minimise; sharing ignored here).
+    pub memory_bytes: f64,
+    /// Standalone path training cost, GPU-seconds (minimise).
+    pub training_seconds: f64,
+}
+
+impl ParetoPoint {
+    /// Whether `self` dominates `other`: at least as good on every axis
+    /// and strictly better on one.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let geq = self.accuracy >= other.accuracy
+            && self.proc_seconds <= other.proc_seconds
+            && self.memory_bytes <= other.memory_bytes
+            && self.training_seconds <= other.training_seconds;
+        let strict = self.accuracy > other.accuracy
+            || self.proc_seconds < other.proc_seconds
+            || self.memory_bytes < other.memory_bytes
+            || self.training_seconds < other.training_seconds;
+        geq && strict
+    }
+}
+
+/// Extracts the tradeoff coordinates of every option of task `t`.
+pub fn points(instance: &DotInstance, t: usize) -> Vec<ParetoPoint> {
+    instance.options[t]
+        .iter()
+        .enumerate()
+        .map(|(o, opt)| ParetoPoint {
+            option: o,
+            accuracy: opt.accuracy,
+            proc_seconds: opt.proc_seconds,
+            memory_bytes: opt.path.blocks.iter().map(|&b| instance.memory_of(b)).sum(),
+            training_seconds: opt.training_seconds,
+        })
+        .collect()
+}
+
+/// The non-dominated subset, sorted by descending accuracy.
+pub fn pareto_front(mut pts: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    pts.sort_by(|a, b| b.accuracy.total_cmp(&a.accuracy));
+    for p in pts {
+        if !front.iter().any(|q| q.dominates(&p)) {
+            front.retain(|q| !p.dominates(q));
+            front.push(p);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::small_scenario;
+
+    fn pt(option: usize, acc: f64, proc: f64, mem: f64, train: f64) -> ParetoPoint {
+        ParetoPoint { option, accuracy: acc, proc_seconds: proc, memory_bytes: mem, training_seconds: train }
+    }
+
+    #[test]
+    fn dominance_is_strict_and_partial() {
+        let a = pt(0, 0.9, 1.0, 1.0, 1.0);
+        let b = pt(1, 0.8, 2.0, 2.0, 2.0);
+        let c = pt(2, 0.95, 2.0, 1.0, 1.0); // better acc, worse proc: incomparable with a
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c) && !c.dominates(&a));
+        assert!(!a.dominates(&a), "no self-domination");
+    }
+
+    #[test]
+    fn front_removes_exactly_the_dominated() {
+        let pts = vec![
+            pt(0, 0.9, 1.0, 1.0, 1.0),
+            pt(1, 0.8, 2.0, 2.0, 2.0), // dominated by 0
+            pt(2, 0.95, 2.0, 1.0, 1.0),
+            pt(3, 0.7, 0.5, 0.5, 0.5),
+        ];
+        let front = pareto_front(pts);
+        let ids: Vec<usize> = front.iter().map(|p| p.option).collect();
+        assert_eq!(ids, vec![2, 0, 3], "sorted by accuracy, option 1 gone");
+    }
+
+    #[test]
+    fn front_of_real_task_is_nondominated_and_spans_extremes() {
+        let s = small_scenario(3);
+        for t in 0..3 {
+            let all = points(&s.instance, t);
+            let front = pareto_front(all.clone());
+            assert!(!front.is_empty());
+            // Pairwise non-domination within the front.
+            for a in &front {
+                for b in &front {
+                    if a.option != b.option {
+                        assert!(!a.dominates(b), "front contains dominated point");
+                    }
+                }
+            }
+            // The most accurate option is always on the front.
+            let best_acc = all.iter().map(|p| p.accuracy).fold(0.0f64, f64::max);
+            assert!(front.iter().any(|p| p.accuracy == best_acc));
+            // And so is (some) fastest option.
+            let best_proc = all.iter().map(|p| p.proc_seconds).fold(f64::INFINITY, f64::min);
+            assert!(front.iter().any(|p| p.proc_seconds == best_proc));
+        }
+    }
+
+    #[test]
+    fn pruning_puts_points_on_the_front() {
+        // The paper's Sec. II claim, executable: pruned configurations are
+        // not dominated — they buy compute/memory with accuracy.
+        let s = small_scenario(2);
+        let front = pareto_front(points(&s.instance, 1));
+        let any_pruned = front
+            .iter()
+            .any(|p| s.instance.options[1][p.option].path.config.pruned);
+        let any_unpruned = front
+            .iter()
+            .any(|p| !s.instance.options[1][p.option].path.config.pruned);
+        assert!(any_pruned && any_unpruned, "both pruned and unpruned options are efficient");
+    }
+}

@@ -1,0 +1,202 @@
+//! Executable form of the NP-hardness proof (Proposition 1).
+//!
+//! The paper proves DOT NP-hard by reduction from the binary knapsack
+//! family. This module *constructs* that reduction: a 0/1 knapsack
+//! instance maps to a DOT instance in which (i) `alpha = 1`, so only the
+//! priority-weighted admission matters, and (ii) each item becomes a task
+//! whose single path option uses one private block of memory equal to the
+//! item weight. Because memory is charged in full for any `z > 0` while
+//! the admission benefit is linear in `z`, every optimal solution is
+//! integral — solving the DOT instance exactly solves the knapsack.
+//!
+//! Tests cross-check [`ExactSolver`](crate::exact::ExactSolver) against a
+//! textbook dynamic program.
+
+use crate::instance::{Budgets, DotInstance, PathOption};
+use crate::task::{QualityLevel, Task, TaskId};
+use offloadnn_dnn::block::{BlockId, GroupId, ModelId};
+use offloadnn_dnn::config::{Config, PathConfig};
+use offloadnn_dnn::repository::DnnPath;
+use offloadnn_radio::{RateModel, SnrDb};
+use serde::{Deserialize, Serialize};
+
+/// A 0/1 knapsack item.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnapsackItem {
+    /// Item value (positive).
+    pub value: f64,
+    /// Item weight (positive integer, for the DP cross-check).
+    pub weight: u32,
+}
+
+/// Maps a knapsack instance to a DOT instance whose optimal objective
+/// encodes the knapsack optimum.
+///
+/// # Panics
+///
+/// Panics if `items` is empty or any value/weight is non-positive.
+pub fn knapsack_to_dot(items: &[KnapsackItem], capacity: u32) -> DotInstance {
+    assert!(!items.is_empty(), "need at least one item");
+    let v_max = items.iter().map(|i| i.value).fold(0.0f64, f64::max);
+    assert!(v_max > 0.0, "values must be positive");
+
+    let tasks: Vec<Task> = items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            assert!(item.value > 0.0 && item.weight > 0, "malformed item {i}");
+            Task {
+                id: TaskId(i as u32),
+                name: format!("item{i}"),
+                group: GroupId(i as u32),
+                priority: item.value / v_max,
+                request_rate: 1.0,
+                min_accuracy: 0.5,
+                max_latency: 1.0,
+                snr: SnrDb(0.0),
+                qualities: vec![QualityLevel { quality: 1.0, bits: 1.0 }],
+                difficulty: 0.0,
+            }
+        })
+        .collect();
+
+    // One private block per item; memory = weight.
+    let options: Vec<Vec<PathOption>> = items
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            vec![PathOption {
+                path: DnnPath {
+                    model: ModelId(0),
+                    group: GroupId(i as u32),
+                    config: PathConfig { config: Config::A, pruned: false },
+                    blocks: vec![BlockId(i as u32)],
+                },
+                quality: QualityLevel { quality: 1.0, bits: 1.0 },
+                accuracy: 1.0,
+                proc_seconds: 0.0,
+                training_seconds: 0.0,
+                label: format!("item{i}"),
+            }]
+        })
+        .collect();
+
+    DotInstance {
+        tasks,
+        options,
+        block_memory: items.iter().map(|i| i.weight as f64).collect(),
+        block_training: vec![0.0; items.len()],
+        rate: RateModel::table_iv(),
+        budgets: Budgets {
+            rbs: 1e9,
+            compute_seconds: 1e9,
+            training_seconds: 1.0,
+            memory_bytes: capacity as f64,
+        },
+        alpha: 1.0,
+    }
+}
+
+/// Recovers the knapsack value from a DOT solution of a
+/// [`knapsack_to_dot`] instance.
+pub fn knapsack_value(items: &[KnapsackItem], admission: &[f64]) -> f64 {
+    items.iter().zip(admission).map(|(i, &z)| z * i.value).sum()
+}
+
+/// Textbook 0/1 knapsack dynamic program (for cross-checking).
+pub fn knapsack_dp(items: &[KnapsackItem], capacity: u32) -> f64 {
+    let cap = capacity as usize;
+    let mut best = vec![0.0f64; cap + 1];
+    for item in items {
+        let w = item.weight as usize;
+        for c in (w..=cap).rev() {
+            let candidate = best[c - w] + item.value;
+            if candidate > best[c] {
+                best[c] = candidate;
+            }
+        }
+    }
+    best[cap]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactSolver;
+    use crate::heuristic::OffloadnnSolver;
+
+    fn items_a() -> Vec<KnapsackItem> {
+        vec![
+            KnapsackItem { value: 60.0, weight: 10 },
+            KnapsackItem { value: 100.0, weight: 20 },
+            KnapsackItem { value: 120.0, weight: 30 },
+        ]
+    }
+
+    #[test]
+    fn dp_matches_textbook_example() {
+        // Classic: capacity 50 -> 100 + 120 = 220.
+        assert_eq!(knapsack_dp(&items_a(), 50), 220.0);
+        assert_eq!(knapsack_dp(&items_a(), 10), 60.0);
+        assert_eq!(knapsack_dp(&items_a(), 9), 0.0);
+    }
+
+    #[test]
+    fn exact_dot_solves_knapsack() {
+        let items = items_a();
+        let dot = knapsack_to_dot(&items, 50);
+        let sol = ExactSolver::new().solve(&dot).unwrap();
+        let value = knapsack_value(&items, &sol.admission);
+        assert!((value - 220.0).abs() < 1e-6, "DOT recovered {value}");
+        // Optimal solutions are integral.
+        for &z in &sol.admission {
+            assert!(z < 1e-9 || (z - 1.0).abs() < 1e-9, "non-integral z {z}");
+        }
+    }
+
+    #[test]
+    fn heuristic_dot_is_a_knapsack_heuristic() {
+        // Priority-greedy on the reduction = value-greedy knapsack: it may
+        // be suboptimal but never infeasible nor better than the DP.
+        let items = items_a();
+        let dot = knapsack_to_dot(&items, 50);
+        let sol = OffloadnnSolver::new().solve(&dot).unwrap();
+        let value = knapsack_value(&items, &sol.admission);
+        assert!(value <= 220.0 + 1e-6);
+        let weight: f64 = items
+            .iter()
+            .zip(&sol.admission)
+            .filter(|(_, &z)| z > 0.0)
+            .map(|(i, _)| i.weight as f64)
+            .sum();
+        assert!(weight <= 50.0);
+    }
+
+    #[test]
+    fn random_instances_agree_with_dp() {
+        // Deterministic pseudo-random small instances.
+        for seed in 0..10u64 {
+            let items: Vec<KnapsackItem> = (0..8)
+                .map(|i| {
+                    let x = (seed * 7919 + i * 104729) % 97;
+                    KnapsackItem { value: 1.0 + (x % 50) as f64, weight: 1 + (x % 13) as u32 }
+                })
+                .collect();
+            let capacity = 25;
+            let dp = knapsack_dp(&items, capacity);
+            let dot = knapsack_to_dot(&items, capacity);
+            let sol = ExactSolver::new().solve(&dot).unwrap();
+            let got = knapsack_value(&items, &sol.admission);
+            assert!(
+                (got - dp).abs() < 1e-6,
+                "seed {seed}: DOT {got} vs DP {dp}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_items_panic() {
+        knapsack_to_dot(&[], 10);
+    }
+}

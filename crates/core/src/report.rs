@@ -1,0 +1,94 @@
+//! Human-readable solution reports: what an operator of the OffloaDNN
+//! controller would want on a dashboard after each admission round.
+
+use crate::instance::DotInstance;
+use crate::metrics::SolutionSummary;
+use crate::objective::DotSolution;
+use std::fmt::Write as _;
+
+/// Renders a full multi-line report of a solution against its instance.
+pub fn render(instance: &DotInstance, sol: &DotSolution) -> String {
+    let mut out = String::new();
+    let sum = SolutionSummary::of(instance, sol);
+
+    let _ = writeln!(
+        out,
+        "DOT solution: {} of {} tasks admitted, weighted admission {:.2}, cost {:.4}",
+        sol.admitted_tasks(),
+        instance.num_tasks(),
+        sum.weighted_admission,
+        sum.total_cost
+    );
+    let _ = writeln!(
+        out,
+        "resources: radio {:.1}% | memory {:.1}% | inference {:.2}% | training {:.1}% of Ct",
+        sum.radio_utilisation * 100.0,
+        sum.memory_utilisation * 100.0,
+        sum.compute_utilisation * 100.0,
+        sum.training_utilisation * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "cost breakdown: rejection {:.4} + training {:.4} + radio {:.4} + inference {:.4}",
+        sol.cost.rejection, sol.cost.training, sol.cost.radio, sol.cost.inference
+    );
+
+    for (t, task) in instance.tasks.iter().enumerate() {
+        match sol.choices[t] {
+            Some(o) => {
+                let opt = &instance.options[t][o];
+                let latency = opt.quality.bits / (instance.bits_per_rb(t) * sol.rbs[t].max(f64::MIN_POSITIVE))
+                    + opt.proc_seconds;
+                let _ = writeln!(
+                    out,
+                    "  {} {:16} p={:.2} -> {:32} z={:.2} r={:5.1} RBs  e2e {:.0} ms / {:.0} ms  acc {:.3} / {:.3}",
+                    task.id,
+                    task.name,
+                    task.priority,
+                    opt.label,
+                    sol.admission[t],
+                    sol.rbs[t],
+                    latency * 1e3,
+                    task.max_latency * 1e3,
+                    opt.accuracy,
+                    task.min_accuracy
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  {} {:16} p={:.2} -> rejected",
+                    task.id, task.name, task.priority
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::OffloadnnSolver;
+    use crate::scenario::small_scenario;
+
+    #[test]
+    fn report_contains_every_task_and_the_headline() {
+        let s = small_scenario(4);
+        let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        let r = render(&s.instance, &sol);
+        assert!(r.contains("4 of 4 tasks admitted"));
+        for task in &s.instance.tasks {
+            assert!(r.contains(&task.name), "missing {}", task.name);
+        }
+        assert!(r.contains("cost breakdown"));
+    }
+
+    #[test]
+    fn rejected_tasks_are_labelled() {
+        let s = small_scenario(2);
+        let sol = crate::objective::DotSolution::rejected(&s.instance);
+        let r = render(&s.instance, &sol);
+        assert_eq!(r.matches("rejected").count(), 2);
+    }
+}

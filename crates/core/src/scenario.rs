@@ -1,0 +1,498 @@
+//! The paper's evaluation scenarios (Table IV), built end-to-end: models →
+//! repository → paths → cost profiling → DOT instance.
+
+use crate::instance::{Budgets, DotInstance, PathOption};
+use crate::task::{QualityLevel, Task, TaskId};
+use offloadnn_dnn::block::{GroupId, ModelId, Precision};
+use offloadnn_dnn::config::{Config, PathConfig};
+use offloadnn_dnn::models::{mobilenet_v2, resnet18};
+use offloadnn_dnn::repository::Repository;
+use offloadnn_dnn::TensorShape;
+use offloadnn_profiler::cost::{path_accuracy, CostTable, ProfileConfig};
+use offloadnn_profiler::dataset;
+use offloadnn_radio::{RateModel, SnrDb};
+use serde::{Deserialize, Serialize};
+
+/// Everything a benchmark needs: the built repository and the instance.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The DNN repository backing the instance's paths.
+    pub repo: Repository,
+    /// The DOT instance.
+    pub instance: DotInstance,
+    /// The profile used to derive costs.
+    pub profile: ProfileConfig,
+}
+
+/// Task request-rate level of the large-scale scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoadLevel {
+    /// 2.5 requests/s per task.
+    Low,
+    /// 5 requests/s per task.
+    Medium,
+    /// 7.5 requests/s per task.
+    High,
+}
+
+impl LoadLevel {
+    /// All levels in Table IV order.
+    pub const ALL: [LoadLevel; 3] = [LoadLevel::Low, LoadLevel::Medium, LoadLevel::High];
+
+    /// Requests per second per task.
+    pub fn rate_hz(&self) -> f64 {
+        match self {
+            LoadLevel::Low => 2.5,
+            LoadLevel::Medium => 5.0,
+            LoadLevel::High => 7.5,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoadLevel::Low => "low",
+            LoadLevel::Medium => "medium",
+            LoadLevel::High => "high",
+        }
+    }
+}
+
+/// The prune ratio used throughout the evaluation (Sec. II: 80 %).
+pub const PRUNE_RATIO: f64 = 0.8;
+
+/// The five path configurations of the small-scale scenario
+/// (`|Pi^d_tau| = 5` in Table IV): a spread over sharing splits with two
+/// pruned variants. From-scratch training (CONFIG A) is excluded — the
+/// edge deploys pretrained-and-fine-tuned structures, as in Sec. V.
+pub const SMALL_CONFIGS: [PathConfig; 5] = [
+    PathConfig { config: Config::B, pruned: false },
+    PathConfig { config: Config::C, pruned: false },
+    PathConfig { config: Config::D, pruned: false },
+    PathConfig { config: Config::C, pruned: true },
+    PathConfig { config: Config::D, pruned: true },
+];
+
+/// Builds the small-scale scenario with `t` tasks (Table IV: `T` in 1..=5,
+/// three DNNs, five paths each).
+///
+/// # Panics
+///
+/// Panics if `t` is outside `1..=5`.
+pub fn small_scenario(t: usize) -> Scenario {
+    assert!((1..=5).contains(&t), "small scenario supports 1..=5 tasks");
+    let profile = ProfileConfig::reference();
+    let mut repo = Repository::new();
+
+    let input = TensorShape::new(3, 224, 224);
+    let models = vec![
+        repo.add_model(resnet18(60, 1000, input)),
+        repo.add_model(resnet18(60, 750, input)),
+        repo.add_model(mobilenet_v2(60, 1000, input)),
+    ];
+
+    let priorities = [0.8, 0.7, 0.6, 0.5, 0.4];
+    let accuracies = [0.9, 0.8, 0.7, 0.6, 0.5];
+    let latencies = [0.2, 0.3, 0.4, 0.5, 0.6];
+    let names = ["cars", "trains", "koalas", "toasters", "green snakes"];
+
+    let tasks: Vec<Task> = (0..t)
+        .map(|i| Task {
+            id: TaskId(i as u32),
+            name: names[i].to_owned(),
+            group: GroupId(i as u32),
+            priority: priorities[i],
+            request_rate: 5.0,
+            min_accuracy: accuracies[i],
+            max_latency: latencies[i],
+            snr: SnrDb(0.0),
+            qualities: vec![QualityLevel::table_iv()],
+            difficulty: 0.0,
+        })
+        .collect();
+
+    let budgets = Budgets {
+        rbs: 50.0,
+        compute_seconds: 2.5,
+        training_seconds: 1000.0,
+        memory_bytes: 8e9,
+    };
+    build_scenario(repo, models, &SMALL_CONFIGS, tasks, budgets, profile)
+}
+
+/// Builds the large-scale scenario (Table IV: `T = 20`, `|D| = 125`
+/// dynamic DNN structures, ten paths each) at the given load level.
+pub fn large_scenario(load: LoadLevel) -> Scenario {
+    let profile = ProfileConfig::reference();
+    let mut repo = Repository::new();
+
+    // The repository of dynamic DNN structures: ResNet-18 backbones over
+    // a coarse grid of width multipliers and input resolutions. The coarse
+    // capacity steps make tasks with similar accuracy requirements land on
+    // the *same* backbone, which is what lets them share base blocks (the
+    // paper's |D| = 125 counts structures, i.e. backbone x configuration
+    // combinations: 25 backbones x 5 sharing splits; each then offers the
+    // pruned/unpruned pair per quality level as its paths).
+    let mut models = Vec::with_capacity(25);
+    for &width in &[500u32, 650, 800, 1000, 1200] {
+        for &res in &[160usize, 176, 192, 208, 224] {
+            models.push(repo.add_model(resnet18(60, width, TensorShape::new(3, res, res))));
+        }
+    }
+
+    let categories: Vec<String> = dataset::base_dataset().categories().map(str::to_owned).collect();
+
+    let tasks: Vec<Task> = (0..20)
+        .map(|i| {
+            let tau = (i + 1) as f64;
+            let name = categories[i * 3 % categories.len()].clone();
+            Task {
+                id: TaskId(i as u32),
+                name: name.clone(),
+                group: GroupId(i as u32),
+                priority: 1.0 - 0.05 * (tau - 1.0),
+                request_rate: load.rate_hz(),
+                min_accuracy: 0.8 - 0.015 * tau,
+                max_latency: 0.2 + 0.02 * tau,
+                snr: SnrDb(0.0),
+                // The quality dimension Q_tau of the formulation: full
+                // sensor quality plus three semantic-compression levels.
+                qualities: vec![1.0, 0.85, 0.7, 0.55]
+                    .into_iter()
+                    .map(|q| QualityLevel { quality: q, bits: 350e3 * q })
+                    .collect(),
+                difficulty: 0.09 + dataset::category_difficulty(&name),
+            }
+        })
+        .collect();
+
+    let budgets = Budgets {
+        rbs: 100.0,
+        compute_seconds: 10.0,
+        training_seconds: 1000.0,
+        memory_bytes: 16e9,
+    };
+    let configs = PathConfig::all();
+    build_scenario(repo, models, &configs, tasks, budgets, profile)
+}
+
+/// Builds a heterogeneous-SNR variant of the small-scale scenario: same
+/// tasks and budgets, but the devices of different tasks experience
+/// different channel qualities and the per-RB rate follows the 3GPP CQI
+/// table instead of Table IV's constant. Exercises the `B(sigma_tau)`
+/// dimension of the formulation: low-SNR tasks need larger slices for the
+/// same latency bound.
+pub fn heterogeneous_snr_scenario(t: usize) -> Scenario {
+    let mut s = small_scenario(t);
+    // Deterministic spread: strongest devices first (matching priority),
+    // from 14 dB down to about 2 dB.
+    let snrs = [14.0, 11.0, 8.0, 5.0, 2.0];
+    for (i, task) in s.instance.tasks.iter_mut().enumerate() {
+        task.snr = SnrDb(snrs[i % snrs.len()]);
+    }
+    s.instance.rate = RateModel::CqiTable;
+    s
+}
+
+/// The small-scale scenario with INT8 deployment variants of every path —
+/// quantisation as a second compression axis next to pruning (an extension
+/// in the Deep Compression lineage the paper cites).
+pub fn quantized_small_scenario(t: usize) -> Scenario {
+    assert!((1..=5).contains(&t), "small scenario supports 1..=5 tasks");
+    let profile = ProfileConfig::reference();
+    let mut repo = Repository::new();
+    let input = TensorShape::new(3, 224, 224);
+    let models = vec![
+        repo.add_model(resnet18(60, 1000, input)),
+        repo.add_model(resnet18(60, 750, input)),
+        repo.add_model(mobilenet_v2(60, 1000, input)),
+    ];
+    let base = small_scenario(t);
+    let tasks = base.instance.tasks.clone();
+    let budgets = base.instance.budgets;
+    build_scenario_at(
+        repo,
+        models,
+        &SMALL_CONFIGS,
+        tasks,
+        budgets,
+        profile,
+        &[Precision::Fp32, Precision::Int8],
+    )
+}
+
+/// Assembles an instance: instantiates all paths, profiles costs, rescales
+/// training costs so each model's full from-scratch training equals the
+/// `Ct` budget (Table IV normalises `ct` to the full DNN training cost),
+/// and precomputes every option's accuracy and processing time.
+pub fn build_scenario(
+    repo: Repository,
+    models: Vec<ModelId>,
+    configs: &[PathConfig],
+    tasks: Vec<Task>,
+    budgets: Budgets,
+    profile: ProfileConfig,
+) -> Scenario {
+    build_scenario_at(repo, models, configs, tasks, budgets, profile, &[Precision::Fp32])
+}
+
+/// [`build_scenario`] with an explicit set of deployment precisions: the
+/// option space becomes (model x config x precision x quality).
+pub fn build_scenario_at(
+    mut repo: Repository,
+    models: Vec<ModelId>,
+    configs: &[PathConfig],
+    tasks: Vec<Task>,
+    budgets: Budgets,
+    profile: ProfileConfig,
+    precisions: &[Precision],
+) -> Scenario {
+    // Instantiate every (model, group, config, precision) path.
+    let mut per_task_paths: Vec<Vec<offloadnn_dnn::DnnPath>> = Vec::with_capacity(tasks.len());
+    for task in &tasks {
+        let mut paths = Vec::with_capacity(models.len() * configs.len() * precisions.len());
+        for &m in &models {
+            for &cfg in configs {
+                for &pr in precisions {
+                    let p = repo
+                        .instantiate_path_at(m, task.group, cfg, PRUNE_RATIO, pr)
+                        .expect("scenario prune ratio is valid");
+                    paths.push(p);
+                }
+            }
+        }
+        per_task_paths.push(paths);
+    }
+
+    // Per-model training normaliser: the full from-scratch path (interned
+    // against a group that may or may not exist among the tasks; interning
+    // is idempotent either way).
+    let norm_group = tasks.first().map(|t| t.group).unwrap_or(GroupId(0));
+    let scratch_cfg = PathConfig { config: Config::A, pruned: false };
+    let scratch_paths: Vec<offloadnn_dnn::DnnPath> = models
+        .iter()
+        .map(|&m| repo.instantiate_path(m, norm_group, scratch_cfg, PRUNE_RATIO).expect("valid ratio"))
+        .collect();
+
+    // Accuracies per (path, quality level), interning any missing unpruned
+    // siblings first so the final cost table covers every block. The
+    // effective quality folds in the model's input resolution: a structure
+    // trained for 160x160 inputs sees less of the scene than a 224x224 one.
+    let mut accuracies: Vec<Vec<Vec<f64>>> = Vec::with_capacity(tasks.len());
+    for (t, task) in tasks.iter().enumerate() {
+        let mut per_path = Vec::with_capacity(per_task_paths[t].len());
+        for p in &per_task_paths[t] {
+            let res_factor = repo.model(p.model).input.height as f64 / 224.0;
+            let per_quality = task
+                .qualities
+                .iter()
+                .map(|q| {
+                    let q_eff = (q.quality * res_factor).min(1.0);
+                    path_accuracy(&mut repo, &profile.accuracy, p, q_eff, task.difficulty)
+                })
+                .collect();
+            per_path.push(per_quality);
+        }
+        accuracies.push(per_path);
+    }
+
+    // One profiling pass over the final repository state. Training costs
+    // are normalised by a single reference — the most expensive model's
+    // full from-scratch training — scaled to `Ct`, matching Table IV's
+    // "normalised to the full DNN training cost" with one `Ct` budget.
+    let table = CostTable::profile(&repo, &profile);
+    let reference_ct = scratch_paths
+        .iter()
+        .map(|p| table.path_training_seconds(p))
+        .fold(1e-9f64, f64::max);
+    let scale = budgets.training_seconds / reference_ct;
+
+    let mut block_memory = vec![0.0; repo.num_blocks()];
+    let mut block_training = vec![0.0; repo.num_blocks()];
+    for (i, _entry) in repo.blocks().iter().enumerate() {
+        let costs = table.get(offloadnn_dnn::BlockId(i as u32));
+        block_memory[i] = costs.memory_bytes;
+        block_training[i] = costs.training_seconds * scale;
+    }
+
+    // Build the per-task options: one per (path, quality level).
+    let options: Vec<Vec<PathOption>> = tasks
+        .iter()
+        .enumerate()
+        .map(|(t, task)| {
+            let mut opts = Vec::with_capacity(per_task_paths[t].len() * task.qualities.len());
+            for (p, accs) in per_task_paths[t].iter().zip(&accuracies[t]) {
+                let proc_seconds = table.path_compute_seconds(p);
+                // Rescaled training cost, used as the clique tie-break.
+                let training_seconds: f64 =
+                    p.blocks.iter().map(|&b| block_training[b.0 as usize]).sum();
+                let precision = repo.block(p.blocks[0]).key.precision;
+                let precision_tag = match precision {
+                    Precision::Fp32 => String::new(),
+                    other => format!(" {other}"),
+                };
+                for (quality, &accuracy) in task.qualities.iter().zip(accs) {
+                    opts.push(PathOption {
+                        quality: *quality,
+                        accuracy,
+                        proc_seconds,
+                        training_seconds,
+                        label: format!("{}/{}{} @q{:.2}", p.model, p.config.label(), precision_tag, quality.quality),
+                        path: p.clone(),
+                    });
+                }
+            }
+            opts
+        })
+        .collect();
+
+    let instance = DotInstance {
+        tasks,
+        options,
+        block_memory,
+        block_training,
+        rate: RateModel::table_iv(),
+        budgets,
+        alpha: 0.5,
+    };
+    Scenario { repo, instance, profile }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scenario_dimensions() {
+        let s = small_scenario(3);
+        assert_eq!(s.instance.num_tasks(), 3);
+        // 3 DNNs x 5 paths = 15 options per task.
+        for t in 0..3 {
+            assert_eq!(s.instance.options[t].len(), 15);
+        }
+        assert!(s.instance.validate().is_ok());
+    }
+
+    #[test]
+    fn every_small_task_has_a_feasible_option() {
+        let s = small_scenario(5);
+        for t in 0..5 {
+            let feasible = s.instance.feasible_options(t);
+            assert!(!feasible.is_empty(), "task {t} has no feasible path");
+        }
+    }
+
+    #[test]
+    fn strictest_task_filters_hardest() {
+        let s = small_scenario(5);
+        let f0 = s.instance.feasible_options(0).len();
+        let f4 = s.instance.feasible_options(4).len();
+        assert!(f0 < f4, "0.9 accuracy bound must filter more than 0.5 ({f0} vs {f4})");
+    }
+
+    #[test]
+    fn training_costs_normalised_to_ct() {
+        let s = small_scenario(1);
+        // The from-scratch normaliser path was interned during the build:
+        // re-instantiating it is a lookup, and its total cost must be ~Ct.
+        let mut repo = s.repo.clone();
+        let scratch = repo
+            .instantiate_path(
+                offloadnn_dnn::ModelId(0),
+                s.instance.tasks[0].group,
+                PathConfig { config: Config::A, pruned: false },
+                PRUNE_RATIO,
+            )
+            .unwrap();
+        let ct: f64 = scratch.blocks.iter().map(|&b| s.instance.training_of(b)).sum();
+        assert!((ct - 1000.0).abs() < 1.0, "scratch training {ct} should equal Ct");
+        // Base blocks are free; every fine-tuned path costs less than Ct.
+        for (idx, entry) in s.repo.blocks().iter().enumerate() {
+            if matches!(entry.key.variant, offloadnn_dnn::BlockVariant::Base) {
+                assert_eq!(s.instance.block_training[idx], 0.0);
+            }
+        }
+        for opt in &s.instance.options[0] {
+            let path_ct: f64 = opt.path.blocks.iter().map(|&b| s.instance.training_of(b)).sum();
+            assert!(path_ct < 1000.0, "{} costs {path_ct}", opt.label);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=5")]
+    fn oversized_small_scenario_panics() {
+        small_scenario(6);
+    }
+
+    #[test]
+    fn load_levels() {
+        assert_eq!(LoadLevel::Low.rate_hz(), 2.5);
+        assert_eq!(LoadLevel::Medium.rate_hz(), 5.0);
+        assert_eq!(LoadLevel::High.rate_hz(), 7.5);
+        assert_eq!(LoadLevel::ALL.len(), 3);
+        assert_eq!(LoadLevel::High.name(), "high");
+    }
+
+    #[test]
+    fn quantized_scenario_doubles_options_and_prefers_int8() {
+        use crate::heuristic::OffloadnnSolver;
+        let q = quantized_small_scenario(3);
+        let plain = small_scenario(3);
+        assert_eq!(q.instance.options[0].len(), 2 * plain.instance.options[0].len());
+        let sol = OffloadnnSolver::new().solve(&q.instance).unwrap();
+        assert!(crate::objective::verify(&q.instance, &sol).is_empty());
+        // Somebody picks INT8: it is strictly faster where accuracy allows.
+        let picked_int8 = sol.choices.iter().enumerate().any(|(t, c)| {
+            c.map(|o| q.instance.options[t][o].label.contains("int8")).unwrap_or(false)
+        });
+        assert!(picked_int8, "INT8 variants should win for slack-accuracy tasks");
+        // And memory drops vs the FP32-only scenario.
+        let plain_sol = OffloadnnSolver::new().solve(&plain.instance).unwrap();
+        let m_q = crate::objective::memory_bytes(&q.instance, &sol.choices, &sol.admission);
+        let m_p = crate::objective::memory_bytes(&plain.instance, &plain_sol.choices, &plain_sol.admission);
+        assert!(m_q < m_p, "quantisation must shrink the deployment: {m_q} vs {m_p}");
+    }
+
+    #[test]
+    fn heterogeneous_snr_low_snr_needs_more_rbs() {
+        use crate::heuristic::OffloadnnSolver;
+        let s = heterogeneous_snr_scenario(5);
+        let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        assert!(crate::objective::verify(&s.instance, &sol).is_empty());
+        // Per admitted bit, the low-SNR tasks pay more RBs: compare RBs
+        // normalised by the latency budget (beta and lambda are equal).
+        let per_rate: Vec<f64> = (0..5)
+            .filter(|&t| sol.admission[t] > 0.0)
+            .map(|t| {
+                let opt = &s.instance.options[t][sol.choices[t].unwrap()];
+                sol.rbs[t] * s.instance.bits_per_rb(t) / opt.quality.bits
+            })
+            .collect();
+        // Link capacity demanded (bits/s) is similar across tasks, but the
+        // RB count to deliver it must grow as SNR drops.
+        let rbs: Vec<f64> = (0..5).map(|t| sol.rbs[t]).collect();
+        assert!(rbs[4] > rbs[0], "2 dB task needs more RBs than 14 dB task: {rbs:?}");
+        assert!(!per_rate.is_empty());
+    }
+
+    #[test]
+    fn heterogeneous_snr_rates_match_cqi_table() {
+        let s = heterogeneous_snr_scenario(3);
+        // 14 dB maps to a higher CQI rate than 8 dB.
+        assert!(s.instance.bits_per_rb(0) > s.instance.bits_per_rb(2));
+    }
+
+    // The large scenario is exercised by integration tests and benches; a
+    // smoke test here keeps unit runs fast but still builds the catalog.
+    #[test]
+    fn large_scenario_smoke() {
+        let s = large_scenario(LoadLevel::Low);
+        assert_eq!(s.instance.num_tasks(), 20);
+        assert_eq!(s.repo.models().len(), 25);
+        assert_eq!(s.instance.options[0].len(), 25 * 10 * 4, "backbones x configs x quality levels");
+        assert!(s.instance.validate().is_ok());
+        for t in 0..20 {
+            assert!(!s.instance.feasible_options(t).is_empty(), "task {t} infeasible");
+        }
+    }
+}

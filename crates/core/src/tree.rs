@@ -1,0 +1,233 @@
+//! The weighted-tree model of the DOT solution space (Sec. IV-A).
+//!
+//! Layers correspond to tasks in descending priority order; the clique of a
+//! layer holds that task's *feasible* path options (accuracy and latency
+//! honoured), sorted left-to-right by increasing inference compute time.
+//! The memory and training-cost attributes are dynamic — they depend on the
+//! blocks already selected by ancestor vertices — so they are tracked
+//! during traversal ([`BranchState`]) rather than stored in the vertices.
+
+use crate::instance::DotInstance;
+use offloadnn_dnn::block::BlockId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How the vertices within each clique are ordered left-to-right — the
+/// design choice Sec. IV-A motivates (OffloaDNN uses inference compute
+/// time; the alternatives exist for the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CliqueOrdering {
+    /// Increasing inference compute time (the paper's rule), with
+    /// strictly-improving tie-breaks: lower training cost, then fewer
+    /// input bits.
+    #[default]
+    ComputeTime,
+    /// Increasing standalone memory footprint of the path.
+    Memory,
+    /// Increasing training cost.
+    TrainingCost,
+    /// Decreasing accuracy (most capable option first).
+    AccuracyFirst,
+    /// The order the options were generated in (no sorting).
+    Unsorted,
+}
+
+/// The static structure of the tree: task processing order and per-layer
+/// cliques.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedTree {
+    /// Task indices in descending priority order (ties: input order).
+    pub order: Vec<usize>,
+    /// For each layer (aligned with `order`): feasible option indices of
+    /// that task, ordered per the chosen [`CliqueOrdering`].
+    pub cliques: Vec<Vec<usize>>,
+}
+
+impl WeightedTree {
+    /// Builds the tree with the paper's compute-time clique ordering.
+    pub fn build(instance: &DotInstance) -> Self {
+        Self::build_with(instance, CliqueOrdering::ComputeTime)
+    }
+
+    /// Builds the tree with an explicit clique ordering.
+    pub fn build_with(instance: &DotInstance, ordering: CliqueOrdering) -> Self {
+        let mut order: Vec<usize> = (0..instance.num_tasks()).collect();
+        order.sort_by(|&a, &b| instance.tasks[b].priority.total_cmp(&instance.tasks[a].priority));
+
+        let path_memory = |t: usize, o: usize| -> f64 {
+            instance.options[t][o]
+                .path
+                .blocks
+                .iter()
+                .map(|&b| instance.memory_of(b))
+                .sum()
+        };
+
+        let cliques = order
+            .iter()
+            .map(|&t| {
+                let mut feasible = instance.feasible_options(t);
+                match ordering {
+                    CliqueOrdering::ComputeTime => feasible.sort_by(|&a, &b| {
+                        let (oa, ob) = (&instance.options[t][a], &instance.options[t][b]);
+                        oa.proc_seconds
+                            .total_cmp(&ob.proc_seconds)
+                            .then(oa.training_seconds.total_cmp(&ob.training_seconds))
+                            .then(oa.quality.bits.total_cmp(&ob.quality.bits))
+                    }),
+                    CliqueOrdering::Memory => {
+                        feasible.sort_by(|&a, &b| path_memory(t, a).total_cmp(&path_memory(t, b)))
+                    }
+                    CliqueOrdering::TrainingCost => feasible.sort_by(|&a, &b| {
+                        instance.options[t][a]
+                            .training_seconds
+                            .total_cmp(&instance.options[t][b].training_seconds)
+                    }),
+                    CliqueOrdering::AccuracyFirst => feasible.sort_by(|&a, &b| {
+                        instance.options[t][b].accuracy.total_cmp(&instance.options[t][a].accuracy)
+                    }),
+                    CliqueOrdering::Unsorted => {}
+                }
+                feasible
+            })
+            .collect();
+
+        Self { order, cliques }
+    }
+
+    /// Number of layers (= tasks).
+    pub fn num_layers(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Total number of branches including the per-task "reject" choice
+    /// (as a float, since it overflows quickly).
+    pub fn num_branches(&self) -> f64 {
+        self.cliques.iter().map(|c| c.len() as f64 + 1.0).product()
+    }
+}
+
+/// Incremental memory/training accounting along one branch.
+///
+/// Blocks are reference-counted so the traversal can backtrack: `push`
+/// charges only blocks not already used by ancestors, `pop` reverses it.
+#[derive(Debug, Clone, Default)]
+pub struct BranchState {
+    refcount: HashMap<BlockId, u32>,
+    /// Memory (bytes) of the union of blocks on the branch.
+    pub memory_bytes: f64,
+    /// Training cost (GPU-seconds) of the union of blocks on the branch.
+    pub training_seconds: f64,
+}
+
+impl BranchState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memory the branch would grow by if `blocks` were added.
+    pub fn memory_increment(&self, instance: &DotInstance, blocks: &[BlockId]) -> f64 {
+        // A path never repeats a block, so no intra-path dedup is needed.
+        blocks
+            .iter()
+            .filter(|b| !self.refcount.contains_key(b))
+            .map(|&b| instance.memory_of(b))
+            .sum()
+    }
+
+    /// Adds a path's blocks to the branch.
+    pub fn push(&mut self, instance: &DotInstance, blocks: &[BlockId]) {
+        for &b in blocks {
+            let count = self.refcount.entry(b).or_insert(0);
+            if *count == 0 {
+                self.memory_bytes += instance.memory_of(b);
+                self.training_seconds += instance.training_of(b);
+            }
+            *count += 1;
+        }
+    }
+
+    /// Removes a path's blocks from the branch (reverse of [`push`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block was never pushed.
+    ///
+    /// [`push`]: BranchState::push
+    pub fn pop(&mut self, instance: &DotInstance, blocks: &[BlockId]) {
+        for &b in blocks {
+            let count = self.refcount.get_mut(&b).expect("pop of block that was never pushed");
+            *count -= 1;
+            if *count == 0 {
+                self.refcount.remove(&b);
+                self.memory_bytes -= instance.memory_of(b);
+                self.training_seconds -= instance.training_of(b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::tests::tiny_instance;
+    use offloadnn_dnn::BlockId;
+
+    #[test]
+    fn order_is_by_descending_priority() {
+        let i = tiny_instance();
+        let t = WeightedTree::build(&i);
+        assert_eq!(t.order, vec![0, 1], "task 0 has priority 0.8 > 0.5");
+        assert_eq!(t.num_layers(), 2);
+    }
+
+    #[test]
+    fn cliques_filter_and_sort_by_proc_time() {
+        let i = tiny_instance();
+        let t = WeightedTree::build(&i);
+        // Task 0 (layer 0): only option 0 meets accuracy 0.85.
+        assert_eq!(t.cliques[0], vec![0]);
+        // Task 1: both feasible; option 1 has smaller proc time -> first.
+        assert_eq!(t.cliques[1], vec![1, 0]);
+    }
+
+    #[test]
+    fn branch_count_includes_reject() {
+        let i = tiny_instance();
+        let t = WeightedTree::build(&i);
+        assert_eq!(t.num_branches(), 2.0 * 3.0);
+    }
+
+    #[test]
+    fn branch_state_dedups_and_backtracks() {
+        let i = tiny_instance();
+        let mut st = BranchState::new();
+        let a = [BlockId(0), BlockId(1)];
+        let b = [BlockId(0), BlockId(2)];
+
+        assert_eq!(st.memory_increment(&i, &a), 3e9);
+        st.push(&i, &a);
+        assert_eq!(st.memory_bytes, 3e9);
+        assert_eq!(st.training_seconds, 100.0);
+
+        // Block 0 already present: only block 2 counts.
+        assert_eq!(st.memory_increment(&i, &b), 0.5e9);
+        st.push(&i, &b);
+        assert_eq!(st.memory_bytes, 3.5e9);
+
+        st.pop(&i, &b);
+        assert_eq!(st.memory_bytes, 3e9);
+        st.pop(&i, &a);
+        assert_eq!(st.memory_bytes, 0.0);
+        assert_eq!(st.training_seconds, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never pushed")]
+    fn pop_unknown_block_panics() {
+        let i = tiny_instance();
+        let mut st = BranchState::new();
+        st.pop(&i, &[BlockId(0)]);
+    }
+}

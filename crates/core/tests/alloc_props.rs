@@ -1,0 +1,141 @@
+//! Property-based tests of the inner allocation solvers: feasibility,
+//! floors, monotonicity and optimality relations on random instances.
+
+use offloadnn_core::alloc::{coordinate_ascent, greedy, AllocSettings, AllocTask, Order};
+use offloadnn_core::dual::{dual_bound, total_utility};
+use proptest::prelude::*;
+
+fn arb_task() -> impl Strategy<Value = AllocTask> {
+    (
+        0.05f64..1.0,    // priority
+        0.5f64..10.0,    // lambda
+        50e3f64..800e3,  // beta
+        0.1e6f64..1e6,   // bits per rb
+        0.2f64..8.0,     // r_lat
+        0.001f64..0.05,  // proc seconds
+    )
+        .prop_map(|(priority, lambda, beta, bits_per_rb, r_lat, proc_seconds)| AllocTask {
+            priority,
+            lambda,
+            beta,
+            bits_per_rb,
+            r_lat,
+            proc_seconds,
+        })
+}
+
+fn arb_settings() -> impl Strategy<Value = AllocSettings> {
+    (0.1f64..0.9, 5.0f64..200.0, 0.05f64..5.0)
+        .prop_map(|(alpha, rbs, compute)| AllocSettings { alpha, rbs, compute })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn greedy_respects_all_budgets_and_floors(
+        tasks in proptest::collection::vec(arb_task(), 1..12),
+        s in arb_settings(),
+    ) {
+        for order in [Order::Priority, Order::UtilityDensity, Order::Input] {
+            let res = greedy(&tasks, &s, order);
+            prop_assert!(res.radio_usage(&tasks) <= s.rbs * (1.0 + 1e-9));
+            prop_assert!(res.compute_usage(&tasks) <= s.compute * (1.0 + 1e-9));
+            for (t, (&z, &r)) in tasks.iter().zip(res.z.iter().zip(&res.r)) {
+                prop_assert!((0.0..=1.0).contains(&z));
+                if z > 0.0 {
+                    prop_assert!(r >= t.r_lat - 1e-9, "latency floor");
+                    prop_assert!(r * t.bits_per_rb >= z * t.lambda * t.beta - 1e-6, "rate support");
+                } else {
+                    prop_assert_eq!(r, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ascent_feasible_and_never_worse(
+        tasks in proptest::collection::vec(arb_task(), 1..12),
+        s in arb_settings(),
+    ) {
+        let g = greedy(&tasks, &s, Order::Priority);
+        let c = coordinate_ascent(&tasks, &s);
+        prop_assert!(c.radio_usage(&tasks) <= s.rbs * (1.0 + 1e-6));
+        prop_assert!(c.compute_usage(&tasks) <= s.compute * (1.0 + 1e-6));
+        prop_assert!(
+            c.partial_cost(&tasks, &s) <= g.partial_cost(&tasks, &s) + 1e-9,
+            "ascent {} vs greedy {}",
+            c.partial_cost(&tasks, &s),
+            g.partial_cost(&tasks, &s)
+        );
+    }
+
+    #[test]
+    fn ascent_is_a_fixed_point(
+        tasks in proptest::collection::vec(arb_task(), 1..10),
+        s in arb_settings(),
+    ) {
+        // Re-running the ascent from its own output must not move: the
+        // result is a coordinate-wise optimum of the concave program.
+        let first = coordinate_ascent(&tasks, &s);
+        let again = coordinate_ascent(&tasks, &s);
+        for (a, b) in first.z.iter().zip(&again.z) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ample_budgets_admit_every_worthwhile_task(
+        tasks in proptest::collection::vec(arb_task(), 1..10),
+        alpha in 0.5f64..0.9,
+    ) {
+        // With budgets far above any possible demand, every task whose
+        // marginal utility is positive is admitted at its unconstrained
+        // optimum; none is left at zero because of another task.
+        let s = AllocSettings { alpha, rbs: 1e9, compute: 1e9 };
+        let res = greedy(&tasks, &s, Order::Priority);
+        for (t, &z) in tasks.iter().zip(&res.z) {
+            let marginal = alpha * t.priority
+                - (1.0 - alpha) * (t.r_lat / s.rbs + t.compute_per_z() / s.compute);
+            if marginal > 1e-9 {
+                prop_assert!(z > 0.0, "worthwhile task rejected");
+            }
+        }
+    }
+
+    #[test]
+    fn weak_duality_always_holds(
+        tasks in proptest::collection::vec(arb_task(), 1..10),
+        s in arb_settings(),
+    ) {
+        // The Lagrangian dual upper-bounds the utility of *any* feasible
+        // primal allocation, for any random instance.
+        let bound = dual_bound(&tasks, &s, 250);
+        for order in [Order::Priority, Order::UtilityDensity, Order::Input] {
+            let res = greedy(&tasks, &s, order);
+            let u = total_utility(&tasks, &s, &res.z);
+            prop_assert!(u <= bound.utility_bound + 1e-7,
+                "utility {u} exceeds dual bound {}", bound.utility_bound);
+        }
+        let c = coordinate_ascent(&tasks, &s);
+        prop_assert!(total_utility(&tasks, &s, &c.z) <= bound.utility_bound + 1e-7);
+    }
+
+    #[test]
+    fn single_task_kkt_stationarity(task in arb_task(), s in arb_settings()) {
+        // For one task with ample budgets, the chosen z must be a maximiser
+        // of its concave utility: nudging z in either direction must not
+        // improve it.
+        let big = AllocSettings { alpha: s.alpha, rbs: 1e6, compute: 1e6 };
+        let res = coordinate_ascent(&[task], &big);
+        let z = res.z[0];
+        let util = |z: f64| {
+            big.alpha * task.priority * z
+                - (1.0 - big.alpha) * (task.radio_usage(z) / big.rbs + z * task.compute_per_z() / big.compute)
+        };
+        let eps = 1e-6;
+        let u0 = util(z);
+        prop_assert!(util((z - eps).max(0.0)) <= u0 + 1e-9);
+        prop_assert!(util((z + eps).min(1.0)) <= u0 + 1e-9);
+    }
+}

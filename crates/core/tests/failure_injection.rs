@@ -1,0 +1,138 @@
+//! Failure injection: hostile and degenerate instances must produce clean
+//! errors or empty-but-feasible solutions — never panics, never
+//! constraint-violating output.
+
+use offloadnn_core::exact::ExactSolver;
+use offloadnn_core::heuristic::OffloadnnSolver;
+use offloadnn_core::objective::verify;
+use offloadnn_core::scenario::small_scenario;
+use offloadnn_core::{DotError, SolutionSummary};
+
+#[test]
+fn unreachable_accuracy_rejects_cleanly() {
+    let mut s = small_scenario(3);
+    for t in &mut s.instance.tasks {
+        t.min_accuracy = 0.999; // above every option's accuracy
+    }
+    let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    assert_eq!(sol.admitted_tasks(), 0);
+    assert!(verify(&s.instance, &sol).is_empty());
+    let opt = ExactSolver::new().solve(&s.instance).unwrap();
+    assert_eq!(opt.admitted_tasks(), 0);
+}
+
+#[test]
+fn impossible_latency_rejects_cleanly() {
+    let mut s = small_scenario(3);
+    for t in &mut s.instance.tasks {
+        t.max_latency = 1e-6; // below every path's processing time
+    }
+    let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    assert_eq!(sol.admitted_tasks(), 0);
+    assert!(verify(&s.instance, &sol).is_empty());
+}
+
+#[test]
+fn starved_memory_rejects_cleanly() {
+    let mut s = small_scenario(5);
+    s.instance.budgets.memory_bytes = 1.0; // one byte
+    let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    assert_eq!(sol.admitted_tasks(), 0);
+    assert!(verify(&s.instance, &sol).is_empty());
+}
+
+#[test]
+fn starved_radio_degrades_gracefully() {
+    let mut s = small_scenario(5);
+    s.instance.budgets.rbs = 3.0;
+    let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    assert!(verify(&s.instance, &sol).is_empty());
+    let sum = SolutionSummary::of(&s.instance, &sol);
+    assert!(sum.radio_utilisation <= 1.0 + 1e-9);
+    // Partial service beats nothing when a latency floor fits 3 RBs.
+    assert!(sol.weighted_admission(&s.instance) >= 0.0);
+}
+
+#[test]
+fn starved_compute_degrades_gracefully() {
+    let mut s = small_scenario(5);
+    s.instance.budgets.compute_seconds = 0.02;
+    let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    assert!(verify(&s.instance, &sol).is_empty());
+    let sum = SolutionSummary::of(&s.instance, &sol);
+    assert!(sum.compute_utilisation <= 1.0 + 1e-9);
+}
+
+#[test]
+fn zero_budgets_are_rejected_by_validation() {
+    let mut s = small_scenario(1);
+    s.instance.budgets.rbs = 0.0;
+    assert!(matches!(
+        OffloadnnSolver::new().solve(&s.instance).unwrap_err(),
+        DotError::InvalidBudget("rbs")
+    ));
+    let mut s = small_scenario(1);
+    s.instance.budgets.compute_seconds = -1.0;
+    assert!(matches!(
+        ExactSolver::new().solve(&s.instance).unwrap_err(),
+        DotError::InvalidBudget("compute")
+    ));
+}
+
+#[test]
+fn malformed_tasks_are_rejected_by_validation() {
+    let mut s = small_scenario(2);
+    s.instance.tasks[1].priority = 2.0;
+    assert!(matches!(
+        OffloadnnSolver::new().solve(&s.instance).unwrap_err(),
+        DotError::InvalidTask(_)
+    ));
+    let mut s = small_scenario(2);
+    s.instance.tasks[0].request_rate = 0.0;
+    assert!(OffloadnnSolver::new().solve(&s.instance).is_err());
+}
+
+#[test]
+fn empty_option_lists_mean_rejection_not_panic() {
+    let mut s = small_scenario(3);
+    s.instance.options[1].clear();
+    let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    assert!(sol.choices[1].is_none());
+    assert_eq!(sol.admission[1], 0.0);
+    assert!(verify(&s.instance, &sol).is_empty());
+    // The other two tasks are unaffected.
+    assert_eq!(sol.admitted_tasks(), 2);
+}
+
+#[test]
+fn mixed_extreme_priorities_stay_feasible() {
+    let mut s = small_scenario(5);
+    s.instance.tasks[0].priority = 1.0;
+    s.instance.tasks[4].priority = 0.0; // zero-value task
+    let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    assert!(verify(&s.instance, &sol).is_empty());
+    // A zero-priority task has no admission benefit: the allocator must
+    // not spend resources on it.
+    assert_eq!(sol.admission[4], 0.0);
+}
+
+#[test]
+fn duplicate_submission_of_same_group_shares_everything() {
+    // Two tasks in the same fine-tuning group with the same requirements:
+    // serving the second must not double the memory.
+    let mut s = small_scenario(2);
+    s.instance.tasks[1].group = s.instance.tasks[0].group;
+    s.instance.tasks[1].min_accuracy = s.instance.tasks[0].min_accuracy;
+    s.instance.tasks[1].max_latency = s.instance.tasks[0].max_latency;
+    s.instance.options[1] = s.instance.options[0].clone();
+    let sol = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    assert_eq!(sol.admitted_tasks(), 2);
+    let mem = offloadnn_core::objective::memory_bytes(&s.instance, &sol.choices, &sol.admission);
+    let single: f64 = s.instance.options[0][sol.choices[0].unwrap()]
+        .path
+        .blocks
+        .iter()
+        .map(|&b| s.instance.memory_of(b))
+        .sum();
+    assert!((mem - single).abs() < 1.0, "identical paths must be fully shared: {mem} vs {single}");
+}

@@ -1,0 +1,329 @@
+//! DNN layer-blocks: the unit of sharing, fine-tuning and pruning.
+//!
+//! A *block* `s^d` in the paper is one coarse segment of a DNN (one of the
+//! four stages of [`crate::models::SegmentedModel`]) in a specific
+//! *variant*: pretrained-and-frozen (shareable by every task), fine-tuned
+//! for a task group, or fine-tuned and structurally pruned. Identical
+//! variants are interned to a single [`BlockId`] so that memory and training
+//! cost are naturally counted once when several tasks share a block.
+
+use crate::graph::LayerGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A group of tasks that share fine-tuned weights (e.g. "grocery items",
+/// "musical instruments"). Fine-tuned blocks are shareable *within* a group
+/// but never across groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Identifier of a model (architecture + width + input resolution) inside a
+/// [`crate::repository::Repository`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModelId(pub u32);
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Interned identifier of a block variant. Two tasks whose paths contain the
+/// same `BlockId` share that block's memory and training cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The training/pruning provenance of a block, part of its identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockVariant {
+    /// Pretrained on the base dataset and frozen. Shared by *all* groups;
+    /// zero training cost.
+    Base,
+    /// Fine-tuned (or trained from scratch) for a task group.
+    FineTuned {
+        /// Owning task group.
+        group: GroupId,
+        /// Trained from random init (CONFIG A) rather than from the
+        /// pretrained base; affects training cost and the learning curve.
+        from_scratch: bool,
+    },
+    /// Fine-tuned then structurally pruned.
+    Pruned {
+        /// Owning task group.
+        group: GroupId,
+        /// Prune ratio in permille.
+        ratio_permille: u32,
+        /// Trained from random init before pruning.
+        from_scratch: bool,
+        /// Whether the block's *input* interface is pruned too (true when
+        /// the preceding block of the path is pruned with the same ratio).
+        pruned_input: bool,
+    },
+    /// The classifier head micro-block (global pooling + fully connected),
+    /// always task-group specific.
+    Head {
+        /// Owning task group.
+        group: GroupId,
+    },
+    /// A pruned classifier head. When `pruned_input` is set, the upstream
+    /// stage-4 block is pruned and the head's input is already narrow;
+    /// otherwise (CONFIG B-pruned) the head's own input columns are
+    /// magnitude-pruned via a channel selection.
+    PrunedHead {
+        /// Owning task group.
+        group: GroupId,
+        /// Prune ratio in permille (800 = 80 %).
+        ratio_permille: u32,
+        /// Whether the feeding stage-4 block is pruned too.
+        pruned_input: bool,
+    },
+}
+
+impl BlockVariant {
+    /// Whether this variant requires any training (fine-tuning) at all.
+    pub fn is_trainable(&self) -> bool {
+        !matches!(self, BlockVariant::Base)
+    }
+
+    /// Whether the variant is a classifier-head micro-block.
+    pub fn is_head(&self) -> bool {
+        matches!(self, BlockVariant::Head { .. } | BlockVariant::PrunedHead { .. })
+    }
+
+    /// Whether the variant's feature extractor is frozen (no backward pass
+    /// through convolutional features).
+    pub fn frozen_features(&self) -> bool {
+        matches!(self, BlockVariant::Base | BlockVariant::Head { .. } | BlockVariant::PrunedHead { .. })
+    }
+
+    /// The owning group, if the variant is group-specific.
+    pub fn group(&self) -> Option<GroupId> {
+        match *self {
+            BlockVariant::Base => None,
+            BlockVariant::Head { group }
+            | BlockVariant::PrunedHead { group, .. }
+            | BlockVariant::FineTuned { group, .. }
+            | BlockVariant::Pruned { group, .. } => Some(group),
+        }
+    }
+
+    /// Prune ratio applied to this variant, if any.
+    pub fn prune_ratio(&self) -> Option<f64> {
+        match *self {
+            BlockVariant::PrunedHead { ratio_permille, .. } | BlockVariant::Pruned { ratio_permille, .. } => {
+                Some(ratio_permille as f64 / 1000.0)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BlockVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BlockVariant::Base => write!(f, "base"),
+            BlockVariant::Head { group } => write!(f, "head[{group}]"),
+            BlockVariant::PrunedHead { group, ratio_permille, .. } => {
+                write!(f, "head-pruned{}[{group}]", ratio_permille)
+            }
+            BlockVariant::FineTuned { group, from_scratch } => {
+                write!(f, "{}[{group}]", if from_scratch { "scratch" } else { "finetuned" })
+            }
+            BlockVariant::Pruned { group, ratio_permille, .. } => {
+                write!(f, "pruned{ratio_permille}[{group}]")
+            }
+        }
+    }
+}
+
+/// Numeric precision a block's weights are deployed at. Quantisation is a
+/// second compression axis next to pruning (Deep Compression, Han et al.):
+/// an INT8 copy of a block is a distinct artifact — it shares nothing with
+/// its FP32 sibling at serving time, so precision is part of the identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit floating point (the training precision).
+    #[default]
+    Fp32,
+    /// 8-bit integers (post-training or quantisation-aware).
+    Int8,
+}
+
+impl Precision {
+    /// Bytes per parameter at this precision.
+    pub fn bytes_per_param(&self) -> f64 {
+        match self {
+            Precision::Fp32 => 4.0,
+            Precision::Int8 => 1.0,
+        }
+    }
+
+    /// Relative compute time vs FP32 on hardware with INT8 paths.
+    pub fn compute_factor(&self) -> f64 {
+        match self {
+            Precision::Fp32 => 1.0,
+            Precision::Int8 => 0.55,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Fp32 => f.write_str("fp32"),
+            Precision::Int8 => f.write_str("int8"),
+        }
+    }
+}
+
+/// Full identity of an interned block: same key ⇒ same weights ⇒ shareable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockKey {
+    /// Which model the block belongs to.
+    pub model: ModelId,
+    /// Stage index, `0..NUM_STAGES`.
+    pub stage: usize,
+    /// Variant (training/pruning provenance).
+    pub variant: BlockVariant,
+    /// Deployed numeric precision.
+    pub precision: Precision,
+}
+
+/// Structural metrics of a block, derived once from its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockMetrics {
+    /// All parameters held in memory at inference time.
+    pub params: u64,
+    /// Parameters that receive gradients during fine-tuning.
+    pub trainable_params: u64,
+    /// FLOPs per inference sample.
+    pub flops: u64,
+    /// Sum of activation elements per sample (training-memory model input).
+    pub activation_elements: u64,
+    /// Largest single activation tensor per sample, in elements.
+    pub peak_activation_elements: u64,
+    /// Kernel launches per inference sample (latency overhead model input).
+    pub kernel_launches: u64,
+}
+
+impl BlockMetrics {
+    /// Derives metrics from a block graph and its variant.
+    pub fn derive(graph: &LayerGraph, variant: &BlockVariant) -> Self {
+        let params = graph.params();
+        let trainable_params = match variant {
+            BlockVariant::Base => 0,
+            BlockVariant::Head { .. }
+            | BlockVariant::PrunedHead { .. }
+            | BlockVariant::FineTuned { .. }
+            | BlockVariant::Pruned { .. } => params,
+        };
+        Self {
+            params,
+            trainable_params,
+            flops: graph.flops(),
+            activation_elements: graph.activation_elements(),
+            peak_activation_elements: graph.peak_activation_elements(),
+            kernel_launches: graph.kernel_launches(),
+        }
+    }
+}
+
+/// An interned block: identity, structure and metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockEntry {
+    /// Interned identity.
+    pub key: BlockKey,
+    /// The block's layer graph.
+    pub graph: LayerGraph,
+    /// Derived structural metrics.
+    pub metrics: BlockMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::resnet18;
+    use crate::shape::TensorShape;
+
+    #[test]
+    fn variant_predicates() {
+        let g = GroupId(3);
+        assert!(!BlockVariant::Base.is_trainable());
+        assert!(BlockVariant::Head { group: g }.is_trainable());
+        assert!(BlockVariant::Base.frozen_features());
+        assert!(BlockVariant::PrunedHead { group: g, ratio_permille: 800, pruned_input: false }.frozen_features());
+        assert!(!BlockVariant::FineTuned { group: g, from_scratch: false }.frozen_features());
+        assert_eq!(BlockVariant::Base.group(), None);
+        assert_eq!(BlockVariant::FineTuned { group: g, from_scratch: true }.group(), Some(g));
+        assert_eq!(
+            BlockVariant::Pruned { group: g, ratio_permille: 800, from_scratch: false, pruned_input: true }
+                .prune_ratio(),
+            Some(0.8)
+        );
+        assert_eq!(BlockVariant::Base.prune_ratio(), None);
+        assert!(BlockVariant::Head { group: g }.is_head());
+        assert!(!BlockVariant::Base.is_head());
+    }
+
+    #[test]
+    fn metrics_trainable_params_by_variant() {
+        let m = resnet18(60, 1000, TensorShape::new(3, 224, 224));
+        let g = GroupId(0);
+
+        let base = BlockMetrics::derive(&m.blocks[3], &BlockVariant::Base);
+        assert_eq!(base.trainable_params, 0);
+        assert_eq!(base.params, m.blocks[3].params());
+
+        let head = BlockMetrics::derive(&m.head, &BlockVariant::Head { group: g });
+        // Head = 512*60 + 60, all trainable.
+        assert_eq!(head.trainable_params, 512 * 60 + 60);
+        assert_eq!(head.params, head.trainable_params);
+
+        let ft = BlockMetrics::derive(&m.blocks[3], &BlockVariant::FineTuned { group: g, from_scratch: false });
+        assert_eq!(ft.trainable_params, ft.params);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(GroupId(2).to_string(), "g2");
+        assert_eq!(ModelId(5).to_string(), "d5");
+        assert_eq!(BlockId(7).to_string(), "s7");
+        assert_eq!(BlockVariant::Base.to_string(), "base");
+        assert_eq!(
+            BlockVariant::FineTuned { group: GroupId(1), from_scratch: true }.to_string(),
+            "scratch[g1]"
+        );
+    }
+
+    #[test]
+    fn block_key_equality_drives_sharing() {
+        let k1 = BlockKey { model: ModelId(0), stage: 1, variant: BlockVariant::Base, precision: Precision::Fp32 };
+        let k2 = BlockKey { model: ModelId(0), stage: 1, variant: BlockVariant::Base, precision: Precision::Fp32 };
+        let k3 = BlockKey {
+            model: ModelId(0),
+            stage: 1,
+            variant: BlockVariant::FineTuned { group: GroupId(0), from_scratch: false },
+            precision: Precision::Fp32,
+        };
+        let k4 = BlockKey { precision: Precision::Int8, ..k1 };
+        assert_eq!(k1, k2);
+        assert_ne!(k1, k3);
+        assert_ne!(k1, k4, "an INT8 copy is a distinct artifact");
+        assert_eq!(Precision::Int8.bytes_per_param(), 1.0);
+        assert!(Precision::Int8.compute_factor() < 1.0);
+        assert_eq!(Precision::default(), Precision::Fp32);
+        assert_eq!(Precision::Int8.to_string(), "int8");
+    }
+}

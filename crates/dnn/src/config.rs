@@ -1,0 +1,157 @@
+//! The paper's Table I block configurations (CONFIG A–E, plus pruned
+//! versions).
+//!
+//! A configuration is a *sharing split* `k`: the first `k` layer-blocks are
+//! taken frozen from the pretrained base DNN, the remaining `4 - k` blocks
+//! (plus the classifier) are fine-tuned for the task group. The pruned
+//! version structurally prunes exactly the fine-tuned portion.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::models::NUM_STAGES;
+
+/// Table I configuration names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Config {
+    /// Entire DNN trained from scratch (no sharing).
+    A,
+    /// First 4 layer-blocks shared from the base DNN (only the classifier
+    /// head is task-specific).
+    B,
+    /// First 3 layer-blocks shared; last block + classifier fine-tuned.
+    C,
+    /// First 2 layer-blocks shared; last 2 blocks + classifier fine-tuned.
+    D,
+    /// First 1 layer-block shared; last 3 blocks + classifier fine-tuned.
+    E,
+}
+
+impl Config {
+    /// All configurations in Table I order.
+    pub const ALL: [Config; 5] = [Config::A, Config::B, Config::C, Config::D, Config::E];
+
+    /// Number of leading layer-blocks shared (frozen) from the base DNN.
+    pub fn shared_prefix(self) -> usize {
+        match self {
+            Config::A => 0,
+            Config::B => NUM_STAGES,
+            Config::C => NUM_STAGES - 1,
+            Config::D => NUM_STAGES - 2,
+            Config::E => NUM_STAGES - 3,
+        }
+    }
+
+    /// Whether the fine-tuned portion starts from random initialisation.
+    pub fn from_scratch(self) -> bool {
+        matches!(self, Config::A)
+    }
+
+    /// The configuration with the given shared prefix length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > NUM_STAGES`.
+    pub fn with_shared_prefix(k: usize) -> Config {
+        match k {
+            0 => Config::A,
+            1 => Config::E,
+            2 => Config::D,
+            3 => Config::C,
+            4 => Config::B,
+            _ => panic!("shared prefix {k} exceeds {NUM_STAGES} stages"),
+        }
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CONFIG {:?}", self)
+    }
+}
+
+/// A configuration together with its optional pruning, i.e. one row of
+/// Table I. Ten of these exist per (model, task-group) pair, which is the
+/// paper's `|Pi^d_tau| = 10` path count in the large-scale scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathConfig {
+    /// The sharing split.
+    pub config: Config,
+    /// Whether the fine-tuned blocks are pruned.
+    pub pruned: bool,
+}
+
+impl PathConfig {
+    /// All ten Table I rows, unpruned first.
+    pub fn all() -> Vec<PathConfig> {
+        let mut v = Vec::with_capacity(10);
+        for pruned in [false, true] {
+            for config in Config::ALL {
+                v.push(PathConfig { config, pruned });
+            }
+        }
+        v
+    }
+
+    /// Human-readable label matching the paper ("CONFIG C-pruned").
+    pub fn label(&self) -> String {
+        if self.pruned {
+            format!("{}-pruned", self.config)
+        } else {
+            self.config.to_string()
+        }
+    }
+}
+
+impl fmt::Display for PathConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_prefix_matches_table_i() {
+        assert_eq!(Config::A.shared_prefix(), 0);
+        assert_eq!(Config::B.shared_prefix(), 4);
+        assert_eq!(Config::C.shared_prefix(), 3);
+        assert_eq!(Config::D.shared_prefix(), 2);
+        assert_eq!(Config::E.shared_prefix(), 1);
+    }
+
+    #[test]
+    fn only_config_a_trains_from_scratch() {
+        for c in Config::ALL {
+            assert_eq!(c.from_scratch(), c == Config::A);
+        }
+    }
+
+    #[test]
+    fn with_shared_prefix_roundtrips() {
+        for c in Config::ALL {
+            assert_eq!(Config::with_shared_prefix(c.shared_prefix()), c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_prefix_panics() {
+        Config::with_shared_prefix(5);
+    }
+
+    #[test]
+    fn ten_path_configs() {
+        let all = PathConfig::all();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all.iter().filter(|p| p.pruned).count(), 5);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(PathConfig { config: Config::C, pruned: true }.label(), "CONFIG C-pruned");
+        assert_eq!(PathConfig { config: Config::A, pruned: false }.to_string(), "CONFIG A");
+    }
+}

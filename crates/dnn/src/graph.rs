@@ -1,0 +1,355 @@
+//! A directed acyclic graph of layers with shape propagation.
+//!
+//! Nodes are stored in topological (insertion) order; each node names its
+//! input nodes by index, with [`Source::Input`] denoting the graph input.
+//! This is sufficient to express sequential CNNs with residual skip
+//! connections (ResNet basic blocks, MobileNet inverted residuals) while
+//! keeping the cost accounting exact and auditable.
+
+use crate::layer::LayerKind;
+use crate::shape::TensorShape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node inside one [`LayerGraph`].
+pub type NodeId = usize;
+
+/// Where a node draws its input tensor from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Source {
+    /// The graph's external input.
+    Input,
+    /// The output of a previous node.
+    Node(NodeId),
+}
+
+/// One layer instance in the graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// The layer and its hyper-parameters.
+    pub kind: LayerKind,
+    /// Inputs; exactly one for all layers except [`LayerKind::Add`], which
+    /// takes two.
+    pub inputs: Vec<Source>,
+}
+
+/// Errors produced while building or validating a [`LayerGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node referenced an input at or after its own position.
+    ForwardReference {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// A node has the wrong number of inputs for its layer kind.
+    ArityMismatch {
+        /// Offending node.
+        node: NodeId,
+        /// Number of inputs found.
+        found: usize,
+        /// Number of inputs expected.
+        expected: usize,
+    },
+    /// The two inputs of an `Add` node have different shapes.
+    AddShapeMismatch {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ForwardReference { node } => write!(f, "node {node} references a later node"),
+            GraphError::ArityMismatch { node, found, expected } => {
+                write!(f, "node {node} has {found} inputs, expected {expected}")
+            }
+            GraphError::AddShapeMismatch { node } => write!(f, "add node {node} joins mismatched shapes"),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A validated DAG of layers.
+///
+/// ```
+/// use offloadnn_dnn::graph::LayerGraph;
+/// use offloadnn_dnn::layer::LayerKind;
+/// use offloadnn_dnn::shape::TensorShape;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = LayerGraph::builder(TensorShape::new(3, 32, 32));
+/// let c = b.chain(LayerKind::conv(3, 8, 3, 1, 1));
+/// b.chain(LayerKind::Activation);
+/// let g = b.build()?;
+/// assert_eq!(g.output_shape().channels, 8);
+/// assert!(g.params() > 0);
+/// # let _ = c;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerGraph {
+    input_shape: TensorShape,
+    nodes: Vec<Node>,
+    /// Cached output shape of every node, in node order.
+    shapes: Vec<TensorShape>,
+}
+
+impl LayerGraph {
+    /// Starts building a graph for the given input shape.
+    pub fn builder(input_shape: TensorShape) -> LayerGraphBuilder {
+        LayerGraphBuilder { input_shape, nodes: Vec::new() }
+    }
+
+    /// The external input shape.
+    pub fn input_shape(&self) -> TensorShape {
+        self.input_shape
+    }
+
+    /// Output shape of the last node.
+    pub fn output_shape(&self) -> TensorShape {
+        *self.shapes.last().expect("validated graph is non-empty")
+    }
+
+    /// Output shape of a specific node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn shape_of(&self, node: NodeId) -> TensorShape {
+        self.shapes[node]
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no layers (never true for a validated graph).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total trainable parameters.
+    pub fn params(&self) -> u64 {
+        self.nodes.iter().map(|n| n.kind.params()).sum()
+    }
+
+    /// Total FLOPs for one input sample.
+    pub fn flops(&self) -> u64 {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| n.kind.flops(self.node_input_shape(i)))
+            .sum()
+    }
+
+    /// Sum of all intermediate activation elements for one sample, including
+    /// the input. Used by the training-memory model: the backward pass must
+    /// retain every activation from the first trainable layer onward.
+    pub fn activation_elements(&self) -> u64 {
+        self.input_shape.elements() as u64 + self.shapes.iter().map(|s| s.elements() as u64).sum::<u64>()
+    }
+
+    /// Number of kernel launches a runtime would issue; feeds the
+    /// per-layer overhead term of the latency model. Element-wise nodes
+    /// (activations, residual adds, channel selects) are fused into their
+    /// producers by every serious runtime and launch nothing.
+    pub fn kernel_launches(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.kind,
+                    LayerKind::Conv2d { .. }
+                        | LayerKind::BatchNorm2d { .. }
+                        | LayerKind::Linear { .. }
+                        | LayerKind::MaxPool2d { .. }
+                        | LayerKind::GlobalAvgPool
+                )
+            })
+            .count() as u64
+    }
+
+    /// Largest single activation tensor produced by any node (or the
+    /// input), in elements per sample. Drives the transient forward-buffer
+    /// term of the training-memory model.
+    pub fn peak_activation_elements(&self) -> u64 {
+        self.shapes
+            .iter()
+            .map(|s| s.elements() as u64)
+            .chain(std::iter::once(self.input_shape.elements() as u64))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Shape seen by node `i` (its first input's shape).
+    fn node_input_shape(&self, i: NodeId) -> TensorShape {
+        match self.nodes[i].inputs[0] {
+            Source::Input => self.input_shape,
+            Source::Node(j) => self.shapes[j],
+        }
+    }
+}
+
+/// Incremental builder for [`LayerGraph`].
+#[derive(Debug)]
+pub struct LayerGraphBuilder {
+    input_shape: TensorShape,
+    nodes: Vec<Node>,
+}
+
+impl LayerGraphBuilder {
+    /// Appends a layer fed by the most recently added node (or the graph
+    /// input if none), returning its id.
+    pub fn chain(&mut self, kind: LayerKind) -> NodeId {
+        let input = if self.nodes.is_empty() { Source::Input } else { Source::Node(self.nodes.len() - 1) };
+        self.push(kind, vec![input])
+    }
+
+    /// Appends a layer with an explicit input, returning its id.
+    pub fn with_input(&mut self, kind: LayerKind, input: Source) -> NodeId {
+        self.push(kind, vec![input])
+    }
+
+    /// Appends a residual `Add` joining two earlier nodes, returning its id.
+    pub fn add(&mut self, a: Source, b: Source) -> NodeId {
+        self.push(LayerKind::Add, vec![a, b])
+    }
+
+    /// Id the next appended node will receive.
+    pub fn next_id(&self) -> NodeId {
+        self.nodes.len()
+    }
+
+    fn push(&mut self, kind: LayerKind, inputs: Vec<Source>) -> NodeId {
+        self.nodes.push(Node { kind, inputs });
+        self.nodes.len() - 1
+    }
+
+    /// Validates arity, ordering and residual shape agreement, and computes
+    /// the shape cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] describing the first structural defect found.
+    pub fn build(self) -> Result<LayerGraph, GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let mut shapes: Vec<TensorShape> = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            let expected = if matches!(node.kind, LayerKind::Add) { 2 } else { 1 };
+            if node.inputs.len() != expected {
+                return Err(GraphError::ArityMismatch { node: i, found: node.inputs.len(), expected });
+            }
+            let mut in_shapes = Vec::with_capacity(node.inputs.len());
+            for src in &node.inputs {
+                match *src {
+                    Source::Input => in_shapes.push(self.input_shape),
+                    Source::Node(j) => {
+                        if j >= i {
+                            return Err(GraphError::ForwardReference { node: i });
+                        }
+                        in_shapes.push(shapes[j]);
+                    }
+                }
+            }
+            if matches!(node.kind, LayerKind::Add) && in_shapes[0] != in_shapes[1] {
+                return Err(GraphError::AddShapeMismatch { node: i });
+            }
+            shapes.push(node.kind.output_shape(in_shapes[0]));
+        }
+        Ok(LayerGraph { input_shape: self.input_shape, nodes: self.nodes, shapes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual_block(channels: usize) -> LayerGraph {
+        let mut b = LayerGraph::builder(TensorShape::new(channels, 8, 8));
+        let c1 = b.chain(LayerKind::conv(channels, channels, 3, 1, 1));
+        b.chain(LayerKind::BatchNorm2d { channels });
+        b.chain(LayerKind::Activation);
+        let c2 = b.chain(LayerKind::conv(channels, channels, 3, 1, 1));
+        let bn2 = b.chain(LayerKind::BatchNorm2d { channels });
+        let add = b.add(Source::Node(bn2), Source::Input);
+        b.with_input(LayerKind::Activation, Source::Node(add));
+        let _ = (c1, c2);
+        b.build().expect("valid block")
+    }
+
+    #[test]
+    fn residual_block_shapes_and_params() {
+        let g = residual_block(16);
+        assert_eq!(g.output_shape(), TensorShape::new(16, 8, 8));
+        // Two 3x3 convs (16*16*9 each) + two BN (32 each).
+        assert_eq!(g.params(), 2 * (16 * 16 * 9) as u64 + 2 * 32);
+        assert_eq!(g.len(), 7);
+    }
+
+    #[test]
+    fn flops_sum_over_nodes() {
+        let g = residual_block(16);
+        // Convs dominate: each 2*8*8*16*16*9 FLOPs.
+        let conv_flops = 2 * 2 * 8 * 8 * 16 * 16 * 9u64;
+        assert!(g.flops() > conv_flops);
+        assert!(g.flops() < conv_flops + 10 * 16 * 8 * 8);
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let mut b = LayerGraph::builder(TensorShape::new(4, 4, 4));
+        b.with_input(LayerKind::Activation, Source::Node(5));
+        assert_eq!(b.build().unwrap_err(), GraphError::ForwardReference { node: 0 });
+    }
+
+    #[test]
+    fn add_arity_enforced() {
+        let mut b = LayerGraph::builder(TensorShape::new(4, 4, 4));
+        b.chain(LayerKind::Activation);
+        // Manually push a malformed Add with one input.
+        b.nodes.push(Node { kind: LayerKind::Add, inputs: vec![Source::Node(0)] });
+        assert!(matches!(b.build().unwrap_err(), GraphError::ArityMismatch { expected: 2, .. }));
+    }
+
+    #[test]
+    fn add_shape_mismatch_rejected() {
+        let mut b = LayerGraph::builder(TensorShape::new(4, 8, 8));
+        let down = b.chain(LayerKind::conv(4, 4, 3, 2, 1)); // 4x4x4
+        let add = b.add(Source::Node(down), Source::Input);
+        let _ = add;
+        assert!(matches!(b.build().unwrap_err(), GraphError::AddShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let b = LayerGraph::builder(TensorShape::new(1, 1, 1));
+        assert_eq!(b.build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn activation_elements_include_input() {
+        let g = residual_block(4);
+        let input = 4 * 8 * 8;
+        assert!(g.activation_elements() >= (input * (g.len() + 1)) as u64);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = GraphError::AddShapeMismatch { node: 3 };
+        assert_eq!(e.to_string(), "add node 3 joins mismatched shapes");
+    }
+}

@@ -1,0 +1,286 @@
+//! Individual DNN layers with parameter and FLOP accounting.
+//!
+//! FLOP counts follow the convention used by most profilers (and by the
+//! paper's DepGraph tooling): one multiply-accumulate = 2 FLOPs. Parameter
+//! counts include biases and BatchNorm affine parameters.
+
+use crate::shape::TensorShape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a layer, together with its hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv2d {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        padding: usize,
+        /// Channel groups (`in_channels` for a depthwise convolution).
+        groups: usize,
+        /// Whether a bias vector is present.
+        bias: bool,
+    },
+    /// Batch normalisation over channels (affine).
+    BatchNorm2d {
+        /// Number of channels.
+        channels: usize,
+    },
+    /// Element-wise activation (ReLU / ReLU6); parameter free.
+    Activation,
+    /// Max pooling window.
+    MaxPool2d {
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        padding: usize,
+    },
+    /// Global average pooling down to `C x 1 x 1`.
+    GlobalAvgPool,
+    /// Fully connected layer on a flattened input.
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Whether a bias vector is present.
+        bias: bool,
+    },
+    /// Element-wise addition of a residual branch; parameter free.
+    Add,
+    /// Channel selection (gather of a channel subset), the structural
+    /// residue of magnitude-pruning the *consumer* of a frozen tensor:
+    /// e.g. pruning input columns of a classifier whose upstream features
+    /// are shared and must not change. Parameter free.
+    Select {
+        /// Channels available upstream.
+        in_channels: usize,
+        /// Channels kept.
+        out_channels: usize,
+    },
+}
+
+impl LayerKind {
+    /// Convenience constructor for a standard (non-grouped, biasless)
+    /// convolution as used throughout ResNet.
+    pub fn conv(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+        LayerKind::Conv2d { in_channels, out_channels, kernel, stride, padding, groups: 1, bias: false }
+    }
+
+    /// Convenience constructor for a depthwise convolution (MobileNet).
+    pub fn depthwise_conv(channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+        LayerKind::Conv2d {
+            in_channels: channels,
+            out_channels: channels,
+            kernel,
+            stride,
+            padding,
+            groups: channels,
+            bias: false,
+        }
+    }
+
+    /// Number of trainable parameters in this layer.
+    pub fn params(&self) -> u64 {
+        match *self {
+            LayerKind::Conv2d { in_channels, out_channels, kernel, groups, bias, .. } => {
+                let weights = (in_channels / groups) as u64 * out_channels as u64 * (kernel * kernel) as u64;
+                weights + if bias { out_channels as u64 } else { 0 }
+            }
+            LayerKind::BatchNorm2d { channels } => 2 * channels as u64,
+            LayerKind::Linear { in_features, out_features, bias } => {
+                in_features as u64 * out_features as u64 + if bias { out_features as u64 } else { 0 }
+            }
+            LayerKind::Activation
+            | LayerKind::MaxPool2d { .. }
+            | LayerKind::GlobalAvgPool
+            | LayerKind::Add
+            | LayerKind::Select { .. } => 0,
+        }
+    }
+
+    /// Shape of the output given an input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count does not match the layer's
+    /// expectation; this indicates a malformed graph and is always a
+    /// programming error in the model builder.
+    pub fn output_shape(&self, input: TensorShape) -> TensorShape {
+        match *self {
+            LayerKind::Conv2d { in_channels, out_channels, kernel, stride, padding, .. } => {
+                assert_eq!(
+                    input.channels, in_channels,
+                    "conv expects {in_channels} input channels, got {}",
+                    input.channels
+                );
+                input.conv_out(out_channels, kernel, stride, padding)
+            }
+            LayerKind::BatchNorm2d { channels } => {
+                assert_eq!(input.channels, channels, "batchnorm channel mismatch");
+                input
+            }
+            LayerKind::Activation | LayerKind::Add => input,
+            LayerKind::MaxPool2d { kernel, stride, padding } => input.conv_out(input.channels, kernel, stride, padding),
+            LayerKind::GlobalAvgPool => TensorShape::vector(input.channels),
+            LayerKind::Linear { in_features, out_features, .. } => {
+                assert_eq!(input.elements(), in_features, "linear input feature mismatch");
+                TensorShape::vector(out_features)
+            }
+            LayerKind::Select { in_channels, out_channels } => {
+                assert_eq!(input.channels, in_channels, "select channel mismatch");
+                assert!(out_channels <= in_channels, "select cannot widen");
+                TensorShape::new(out_channels, input.height, input.width)
+            }
+        }
+    }
+
+    /// FLOPs to process one input sample of the given shape
+    /// (1 multiply-accumulate = 2 FLOPs; comparisons and additions count 1).
+    pub fn flops(&self, input: TensorShape) -> u64 {
+        match *self {
+            LayerKind::Conv2d { in_channels, out_channels, kernel, stride, padding, groups, bias } => {
+                let out = input.conv_out(out_channels, kernel, stride, padding);
+                let macs = out.spatial() as u64
+                    * out_channels as u64
+                    * (in_channels / groups) as u64
+                    * (kernel * kernel) as u64;
+                2 * macs + if bias { out.elements() as u64 } else { 0 }
+            }
+            LayerKind::BatchNorm2d { .. } => 2 * input.elements() as u64,
+            LayerKind::Activation => input.elements() as u64,
+            LayerKind::MaxPool2d { kernel, stride, padding } => {
+                let out = input.conv_out(input.channels, kernel, stride, padding);
+                out.elements() as u64 * (kernel * kernel) as u64
+            }
+            LayerKind::GlobalAvgPool => input.elements() as u64,
+            LayerKind::Linear { in_features, out_features, bias } => {
+                2 * in_features as u64 * out_features as u64 + if bias { out_features as u64 } else { 0 }
+            }
+            LayerKind::Add => input.elements() as u64,
+            LayerKind::Select { out_channels, .. } => (out_channels * input.spatial()) as u64,
+        }
+    }
+
+    /// Human-readable one-word layer name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayerKind::Conv2d { .. } => "conv2d",
+            LayerKind::BatchNorm2d { .. } => "batchnorm2d",
+            LayerKind::Activation => "activation",
+            LayerKind::MaxPool2d { .. } => "maxpool2d",
+            LayerKind::GlobalAvgPool => "globalavgpool",
+            LayerKind::Linear { .. } => "linear",
+            LayerKind::Add => "add",
+            LayerKind::Select { .. } => "select",
+        }
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LayerKind::Conv2d { in_channels, out_channels, kernel, stride, .. } => {
+                write!(f, "conv{kernel}x{kernel}({in_channels}->{out_channels}, s{stride})")
+            }
+            LayerKind::BatchNorm2d { channels } => write!(f, "bn({channels})"),
+            LayerKind::Linear { in_features, out_features, .. } => write!(f, "fc({in_features}->{out_features})"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_params_match_hand_count() {
+        // ResNet stem: 7x7, 3->64, no bias: 3*64*49 = 9408.
+        let stem = LayerKind::conv(3, 64, 7, 2, 3);
+        assert_eq!(stem.params(), 9408);
+        // With bias adds out_channels.
+        let biased = LayerKind::Conv2d {
+            in_channels: 3,
+            out_channels: 64,
+            kernel: 7,
+            stride: 2,
+            padding: 3,
+            groups: 1,
+            bias: true,
+        };
+        assert_eq!(biased.params(), 9408 + 64);
+    }
+
+    #[test]
+    fn depthwise_conv_params() {
+        // Depthwise 3x3 over 32 channels: 32 * 1 * 9 = 288.
+        let dw = LayerKind::depthwise_conv(32, 3, 1, 1);
+        assert_eq!(dw.params(), 288);
+    }
+
+    #[test]
+    fn conv_flops_match_hand_count() {
+        // 3x3 conv 64->64 on 56x56, stride 1 pad 1:
+        // MACs = 56*56*64*64*9 = 115,605,504 -> FLOPs = 231,211,008.
+        let conv = LayerKind::conv(64, 64, 3, 1, 1);
+        let input = TensorShape::new(64, 56, 56);
+        assert_eq!(conv.flops(input), 2 * 56 * 56 * 64 * 64 * 9);
+        assert_eq!(conv.output_shape(input), input.conv_out(64, 3, 1, 1));
+    }
+
+    #[test]
+    fn linear_params_and_flops() {
+        let fc = LayerKind::Linear { in_features: 512, out_features: 60, bias: true };
+        assert_eq!(fc.params(), 512 * 60 + 60);
+        assert_eq!(fc.flops(TensorShape::vector(512)), 2 * 512 * 60 + 60);
+    }
+
+    #[test]
+    fn parameter_free_layers() {
+        for k in [
+            LayerKind::Activation,
+            LayerKind::MaxPool2d { kernel: 3, stride: 2, padding: 1 },
+            LayerKind::GlobalAvgPool,
+            LayerKind::Add,
+        ] {
+            assert_eq!(k.params(), 0, "{k} should have no parameters");
+        }
+    }
+
+    #[test]
+    fn batchnorm_tracks_channels() {
+        let bn = LayerKind::BatchNorm2d { channels: 128 };
+        assert_eq!(bn.params(), 256);
+        let s = TensorShape::new(128, 28, 28);
+        assert_eq!(bn.output_shape(s), s);
+        assert_eq!(bn.flops(s), 2 * s.elements() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "conv expects")]
+    fn channel_mismatch_panics() {
+        LayerKind::conv(3, 64, 7, 2, 3).output_shape(TensorShape::new(4, 224, 224));
+    }
+
+    #[test]
+    fn global_pool_flattens() {
+        let gap = LayerKind::GlobalAvgPool;
+        assert_eq!(gap.output_shape(TensorShape::new(512, 7, 7)), TensorShape::vector(512));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(format!("{}", LayerKind::conv(3, 64, 7, 2, 3)), "conv7x7(3->64, s2)");
+        assert_eq!(format!("{}", LayerKind::BatchNorm2d { channels: 8 }), "bn(8)");
+    }
+}

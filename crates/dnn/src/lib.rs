@@ -1,0 +1,51 @@
+//! DNN structure substrate for the OffloaDNN reproduction.
+//!
+//! This crate models everything the DOT problem needs to know about deep
+//! neural networks *structurally*: layers with exact parameter/FLOP
+//! accounting, segmented reference architectures (ResNet-18/34,
+//! MobileNetV2), DepGraph-style structured pruning, and a repository of
+//! interned block variants from which dynamic DNN structures and their
+//! paths (`pi^d_tau`) are composed.
+//!
+//! No tensors are ever allocated and no weights exist: the OffloaDNN
+//! optimisation consumes only per-block cost scalars, which this crate
+//! derives analytically (see `offloadnn-profiler` for the hardware mapping).
+//!
+//! # Example
+//!
+//! ```
+//! use offloadnn_dnn::models::resnet18;
+//! use offloadnn_dnn::repository::Repository;
+//! use offloadnn_dnn::block::GroupId;
+//! use offloadnn_dnn::shape::TensorShape;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut repo = Repository::new();
+//! let model = repo.add_model(resnet18(60, 1000, TensorShape::new(3, 224, 224)));
+//! let paths = repo.all_paths(model, GroupId(0), 0.8)?;
+//! assert_eq!(paths.len(), 10); // Table I: CONFIG A..E, plus pruned versions
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod block;
+pub mod config;
+pub mod graph;
+pub mod layer;
+pub mod models;
+pub mod prune;
+pub mod repository;
+pub mod shape;
+pub mod summary;
+
+pub use block::{BlockEntry, BlockId, BlockKey, BlockMetrics, BlockVariant, GroupId, ModelId, Precision};
+pub use config::{Config, PathConfig};
+pub use graph::{GraphError, LayerGraph};
+pub use layer::LayerKind;
+pub use models::{ModelFamily, SegmentedModel};
+pub use prune::{prune, PruneError, PruneSpec, Pruned};
+pub use repository::{DnnPath, Repository};
+pub use shape::TensorShape;

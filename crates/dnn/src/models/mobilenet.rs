@@ -1,0 +1,155 @@
+//! MobileNetV2 builder (Sandler et al., CVPR 2018), segmented into four
+//! layer-blocks matching the paper's block granularity.
+
+use super::{scale_channels, ModelFamily, SegmentedModel, NUM_STAGES};
+use crate::graph::{LayerGraph, LayerGraphBuilder, Source};
+use crate::layer::LayerKind;
+use crate::shape::TensorShape;
+
+/// Inverted residual stage setting: (expansion t, output channels c,
+/// repetitions n, first stride s) — Table 2 of the MobileNetV2 paper.
+const SETTINGS: [(usize, usize, usize, usize); 7] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+];
+
+/// How the seven inverted-residual stages map onto the four coarse blocks:
+/// block 0 also contains the stem, block 3 the 1x1 head conv, pooling and
+/// classifier.
+const STAGE_SPLIT: [std::ops::Range<usize>; NUM_STAGES] = [0..2, 2..4, 4..5, 5..7];
+
+/// Builds MobileNetV2.
+///
+/// ```
+/// use offloadnn_dnn::models::mobilenet_v2;
+/// use offloadnn_dnn::shape::TensorShape;
+///
+/// let m = mobilenet_v2(60, 1000, TensorShape::new(3, 224, 224));
+/// // ~2.6M params with a 60-class head (paper quotes 6.9M with a 1280-wide
+/// // head and 1000 classes; class count changes only the final FC).
+/// assert!(m.validate());
+/// ```
+pub fn mobilenet_v2(num_classes: usize, width_permille: u32, input: TensorShape) -> SegmentedModel {
+    let head_ch = scale_channels(1280, width_permille.max(1000));
+
+    let mut blocks = Vec::with_capacity(NUM_STAGES);
+    let mut cursor = input;
+    let mut in_ch = input.channels;
+
+    for (stage, range) in STAGE_SPLIT.iter().enumerate() {
+        let mut b = LayerGraph::builder(cursor);
+
+        if stage == 0 {
+            // Stem: 3x3 s2 conv to 32 channels.
+            let stem_ch = scale_channels(32, width_permille);
+            b.chain(LayerKind::conv(in_ch, stem_ch, 3, 2, 1));
+            b.chain(LayerKind::BatchNorm2d { channels: stem_ch });
+            b.chain(LayerKind::Activation);
+            in_ch = stem_ch;
+        }
+
+        for &(t, c, n, s) in &SETTINGS[range.clone()] {
+            let out_ch = scale_channels(c, width_permille);
+            for i in 0..n {
+                let stride = if i == 0 { s } else { 1 };
+                inverted_residual(&mut b, in_ch, out_ch, t, stride);
+                in_ch = out_ch;
+            }
+        }
+
+        if stage == NUM_STAGES - 1 {
+            // The 1x1 expansion conv to the head width stays in the last
+            // feature block (it is part of torchvision's `features`).
+            b.chain(LayerKind::conv(in_ch, head_ch, 1, 1, 0));
+            b.chain(LayerKind::BatchNorm2d { channels: head_ch });
+            b.chain(LayerKind::Activation);
+        }
+
+        let g = b.build().expect("mobilenet builder produces valid graphs");
+        cursor = g.output_shape();
+        blocks.push(g);
+    }
+
+    let head = super::build_head(cursor, num_classes);
+
+    SegmentedModel {
+        family: ModelFamily::MobileNetV2,
+        width_permille,
+        num_classes,
+        input,
+        head_features: head_ch,
+        blocks,
+        head,
+    }
+}
+
+/// Appends one inverted residual block: 1x1 expand, 3x3 depthwise, 1x1
+/// project, with a residual add when stride is 1 and channels match.
+fn inverted_residual(b: &mut LayerGraphBuilder, in_ch: usize, out_ch: usize, expansion: usize, stride: usize) {
+    let entry = if b.next_id() == 0 { Source::Input } else { Source::Node(b.next_id() - 1) };
+    let hidden = in_ch * expansion;
+
+    let mut last = entry;
+    if expansion != 1 {
+        let e = b.with_input(LayerKind::conv(in_ch, hidden, 1, 1, 0), entry);
+        b.with_input(LayerKind::BatchNorm2d { channels: hidden }, Source::Node(e));
+        let a = b.chain(LayerKind::Activation);
+        last = Source::Node(a);
+    }
+
+    let dw = b.with_input(LayerKind::depthwise_conv(hidden, 3, stride, 1), last);
+    b.with_input(LayerKind::BatchNorm2d { channels: hidden }, Source::Node(dw));
+    b.chain(LayerKind::Activation);
+    b.chain(LayerKind::conv(hidden, out_ch, 1, 1, 0));
+    let proj_bn = b.chain(LayerKind::BatchNorm2d { channels: out_ch });
+
+    if stride == 1 && in_ch == out_ch {
+        b.add(Source::Node(proj_bn), entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::resnet18;
+
+    #[test]
+    fn mobilenet_params_near_torchvision() {
+        // torchvision mobilenet_v2 (1000 classes): 3,504,872 params.
+        let m = mobilenet_v2(1000, 1000, TensorShape::new(3, 224, 224));
+        let p = m.params();
+        assert!((3_300_000..3_700_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn mobilenet_is_much_cheaper_than_resnet18() {
+        // The paper's intro motivates MobileNetV2 as the light alternative.
+        let input = TensorShape::new(3, 224, 224);
+        let mn = mobilenet_v2(60, 1000, input);
+        let rn = resnet18(60, 1000, input);
+        assert!(mn.flops() * 4 < rn.flops());
+        assert!(mn.params() * 2 < rn.params());
+    }
+
+    #[test]
+    fn mobilenet_stage_shapes_chain() {
+        let m = mobilenet_v2(10, 1000, TensorShape::new(3, 224, 224));
+        assert!(m.validate());
+        assert_eq!(m.blocks[3].output_shape().channels, 1280);
+        assert_eq!(m.head.output_shape(), TensorShape::vector(10));
+        assert_eq!(m.head_features, 1280);
+    }
+
+    #[test]
+    fn flops_in_expected_range() {
+        // ~0.3 GMACs = ~0.6 GFLOPs commonly quoted.
+        let m = mobilenet_v2(1000, 1000, TensorShape::new(3, 224, 224));
+        let gflops = m.flops() as f64 / 1e9;
+        assert!((0.5..0.9).contains(&gflops), "got {gflops}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Reference CNN architectures segmented into the paper's "layer-blocks".
+//!
+//! The paper treats a DNN as a sequence of four coarse blocks (Table IV:
+//! "each DNN path is composed of four blocks"): for ResNet-18 these are the
+//! four residual stages, with the stem merged into the first block and the
+//! classifier head into the last. [`SegmentedModel`] captures exactly that
+//! segmentation so the block repository can mix shared / fine-tuned / pruned
+//! variants per stage.
+
+mod mobilenet;
+mod resnet;
+
+pub use mobilenet::mobilenet_v2;
+pub use resnet::{resnet101, resnet18, resnet34, resnet50};
+
+use crate::graph::LayerGraph;
+use crate::shape::TensorShape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of coarse layer-blocks every segmented model exposes.
+pub const NUM_STAGES: usize = 4;
+
+/// Model architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// ResNet-18 (two basic blocks per stage).
+    ResNet18,
+    /// ResNet-34 (3/4/6/3 basic blocks per stage).
+    ResNet34,
+    /// ResNet-50 (3/4/6/3 bottleneck blocks per stage, 4x expansion).
+    ResNet50,
+    /// ResNet-101 (3/4/23/3 bottleneck blocks per stage).
+    ResNet101,
+    /// MobileNetV2 (inverted residual bottlenecks).
+    MobileNetV2,
+}
+
+impl fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModelFamily::ResNet18 => "resnet18",
+            ModelFamily::ResNet34 => "resnet34",
+            ModelFamily::ResNet50 => "resnet50",
+            ModelFamily::ResNet101 => "resnet101",
+            ModelFamily::MobileNetV2 => "mobilenetv2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A CNN cut into [`NUM_STAGES`] sequential *feature* layer-blocks plus an
+/// explicit classifier head micro-block.
+///
+/// `blocks[i]`'s input shape equals `blocks[i-1]`'s output shape; the head
+/// (global pooling + fully connected classifier) is kept separate because
+/// it is the one piece that is *always* task-specific: splitting it out
+/// lets CONFIG B share all four feature blocks across tasks while paying
+/// only a tiny per-task head, exactly the memory picture the paper draws.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentedModel {
+    /// Architecture family.
+    pub family: ModelFamily,
+    /// Width multiplier in permille (1000 = 1.0x); kept integral so model
+    /// identity is hashable and exact.
+    pub width_permille: u32,
+    /// Number of output classes of the classifier head.
+    pub num_classes: usize,
+    /// Input tensor shape.
+    pub input: TensorShape,
+    /// The four feature layer-block graphs, in order.
+    pub blocks: Vec<LayerGraph>,
+    /// The classifier head graph (global pooling + fully connected).
+    pub head: LayerGraph,
+    /// Feature width entering the classifier (e.g. 512 for ResNet-18).
+    pub head_features: usize,
+}
+
+impl SegmentedModel {
+    /// Total parameters across all feature blocks and the head.
+    pub fn params(&self) -> u64 {
+        self.blocks.iter().map(LayerGraph::params).sum::<u64>() + self.head.params()
+    }
+
+    /// Total FLOPs for one input sample (feature blocks + head).
+    pub fn flops(&self) -> u64 {
+        self.blocks.iter().map(LayerGraph::flops).sum::<u64>() + self.head.flops()
+    }
+
+    /// Width multiplier as a float.
+    pub fn width(&self) -> f64 {
+        self.width_permille as f64 / 1000.0
+    }
+
+    /// Checks that consecutive blocks (and the head) agree on shapes.
+    pub fn validate(&self) -> bool {
+        self.blocks.len() == NUM_STAGES
+            && self
+                .blocks
+                .windows(2)
+                .all(|w| w[0].output_shape() == w[1].input_shape())
+            && self.blocks[0].input_shape() == self.input
+            && self.blocks[NUM_STAGES - 1].output_shape() == self.head.input_shape()
+            && self.head.output_shape() == TensorShape::vector(self.num_classes)
+    }
+}
+
+/// Builds the standard classifier head micro-block: global average pooling
+/// followed by a fully connected layer.
+pub(crate) fn build_head(input: TensorShape, num_classes: usize) -> LayerGraph {
+    use crate::layer::LayerKind;
+    let mut b = LayerGraph::builder(input);
+    b.chain(LayerKind::GlobalAvgPool);
+    b.chain(LayerKind::Linear { in_features: input.channels, out_features: num_classes, bias: true });
+    b.build().expect("head graph is trivially valid")
+}
+
+/// Scales a channel count by a width multiplier, rounding to a multiple of 8
+/// (the convention used by MobileNet and most width-scaled CNNs) and never
+/// below 8.
+pub(crate) fn scale_channels(base: usize, width_permille: u32) -> usize {
+    let scaled = (base as u64 * width_permille as u64) as f64 / 1000.0;
+    let rounded = ((scaled / 8.0).round() as usize) * 8;
+    rounded.max(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_channels_rounds_to_multiple_of_8() {
+        assert_eq!(scale_channels(64, 1000), 64);
+        assert_eq!(scale_channels(64, 500), 32);
+        assert_eq!(scale_channels(64, 750), 48);
+        assert_eq!(scale_channels(24, 250), 8); // floor at 8
+        assert_eq!(scale_channels(512, 1250), 640);
+    }
+
+    #[test]
+    fn family_display() {
+        assert_eq!(ModelFamily::ResNet18.to_string(), "resnet18");
+        assert_eq!(ModelFamily::MobileNetV2.to_string(), "mobilenetv2");
+    }
+}

@@ -1,0 +1,306 @@
+//! ResNet-18/34 builders (He et al., CVPR 2016), segmented into the four
+//! layer-blocks the paper shares, fine-tunes and prunes.
+
+use super::{scale_channels, ModelFamily, SegmentedModel, NUM_STAGES};
+use crate::graph::{LayerGraph, LayerGraphBuilder, Source};
+use crate::layer::LayerKind;
+use crate::shape::TensorShape;
+
+/// Builds ResNet-18: stages of [2, 2, 2, 2] basic blocks.
+///
+/// ```
+/// use offloadnn_dnn::models::resnet18;
+/// use offloadnn_dnn::shape::TensorShape;
+///
+/// let m = resnet18(60, 1000, TensorShape::new(3, 224, 224));
+/// // Canonical ResNet-18 with a 60-class head: ~11.2M params, ~3.6 GFLOPs.
+/// assert!(m.params() > 11_000_000 && m.params() < 11_500_000);
+/// assert!(m.validate());
+/// ```
+pub fn resnet18(num_classes: usize, width_permille: u32, input: TensorShape) -> SegmentedModel {
+    build_resnet(ModelFamily::ResNet18, [2, 2, 2, 2], num_classes, width_permille, input)
+}
+
+/// Builds ResNet-34: stages of [3, 4, 6, 3] basic blocks.
+pub fn resnet34(num_classes: usize, width_permille: u32, input: TensorShape) -> SegmentedModel {
+    build_resnet(ModelFamily::ResNet34, [3, 4, 6, 3], num_classes, width_permille, input)
+}
+
+/// Builds ResNet-50: stages of [3, 4, 6, 3] *bottleneck* blocks
+/// (1x1 reduce, 3x3, 1x1 expand with 4x expansion).
+pub fn resnet50(num_classes: usize, width_permille: u32, input: TensorShape) -> SegmentedModel {
+    build_bottleneck_resnet(ModelFamily::ResNet50, [3, 4, 6, 3], num_classes, width_permille, input)
+}
+
+/// Builds ResNet-101: stages of [3, 4, 23, 3] bottleneck blocks.
+pub fn resnet101(num_classes: usize, width_permille: u32, input: TensorShape) -> SegmentedModel {
+    build_bottleneck_resnet(ModelFamily::ResNet101, [3, 4, 23, 3], num_classes, width_permille, input)
+}
+
+fn build_bottleneck_resnet(
+    family: ModelFamily,
+    depths: [usize; NUM_STAGES],
+    num_classes: usize,
+    width_permille: u32,
+    input: TensorShape,
+) -> SegmentedModel {
+    let widths: Vec<usize> = [64usize, 128, 256, 512]
+        .iter()
+        .map(|&w| scale_channels(w, width_permille))
+        .collect();
+    const EXPANSION: usize = 4;
+
+    let mut blocks = Vec::with_capacity(NUM_STAGES);
+    let mut cursor = input;
+
+    for stage in 0..NUM_STAGES {
+        let mut b = LayerGraph::builder(cursor);
+        let mut in_ch = cursor.channels;
+
+        if stage == 0 {
+            b.chain(LayerKind::conv(in_ch, widths[0], 7, 2, 3));
+            b.chain(LayerKind::BatchNorm2d { channels: widths[0] });
+            b.chain(LayerKind::Activation);
+            b.chain(LayerKind::MaxPool2d { kernel: 3, stride: 2, padding: 1 });
+            in_ch = widths[0];
+        }
+
+        let mid_ch = widths[stage];
+        let out_ch = mid_ch * EXPANSION;
+        for block_idx in 0..depths[stage] {
+            let stride = if stage > 0 && block_idx == 0 { 2 } else { 1 };
+            bottleneck_block(&mut b, in_ch, mid_ch, out_ch, stride);
+            in_ch = out_ch;
+        }
+
+        let g = b.build().expect("bottleneck resnet builder produces valid graphs");
+        cursor = g.output_shape();
+        blocks.push(g);
+    }
+
+    let head = super::build_head(cursor, num_classes);
+
+    SegmentedModel {
+        family,
+        width_permille,
+        num_classes,
+        input,
+        head_features: widths[NUM_STAGES - 1] * EXPANSION,
+        blocks,
+        head,
+    }
+}
+
+/// Appends one bottleneck residual block: 1x1 reduce, 3x3, 1x1 expand,
+/// with identity or projection shortcut.
+fn bottleneck_block(b: &mut LayerGraphBuilder, in_ch: usize, mid_ch: usize, out_ch: usize, stride: usize) {
+    let entry = if b.next_id() == 0 { Source::Input } else { Source::Node(b.next_id() - 1) };
+
+    let c1 = b.with_input(LayerKind::conv(in_ch, mid_ch, 1, 1, 0), entry);
+    b.chain(LayerKind::BatchNorm2d { channels: mid_ch });
+    b.chain(LayerKind::Activation);
+    b.chain(LayerKind::conv(mid_ch, mid_ch, 3, stride, 1));
+    b.chain(LayerKind::BatchNorm2d { channels: mid_ch });
+    b.chain(LayerKind::Activation);
+    b.chain(LayerKind::conv(mid_ch, out_ch, 1, 1, 0));
+    let bn3 = b.chain(LayerKind::BatchNorm2d { channels: out_ch });
+
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        let pc = b.with_input(LayerKind::conv(in_ch, out_ch, 1, stride, 0), entry);
+        let pbn = b.with_input(LayerKind::BatchNorm2d { channels: out_ch }, Source::Node(pc));
+        Source::Node(pbn)
+    } else {
+        entry
+    };
+
+    let add = b.add(Source::Node(bn3), shortcut);
+    b.with_input(LayerKind::Activation, Source::Node(add));
+    let _ = c1;
+}
+
+fn build_resnet(
+    family: ModelFamily,
+    depths: [usize; NUM_STAGES],
+    num_classes: usize,
+    width_permille: u32,
+    input: TensorShape,
+) -> SegmentedModel {
+    let widths: Vec<usize> = [64usize, 128, 256, 512]
+        .iter()
+        .map(|&w| scale_channels(w, width_permille))
+        .collect();
+
+    let mut blocks = Vec::with_capacity(NUM_STAGES);
+    let mut cursor = input;
+
+    for stage in 0..NUM_STAGES {
+        let mut b = LayerGraph::builder(cursor);
+        let mut in_ch = cursor.channels;
+
+        if stage == 0 {
+            // Stem: 7x7 s2 conv + BN + ReLU + 3x3 s2 maxpool.
+            b.chain(LayerKind::conv(in_ch, widths[0], 7, 2, 3));
+            b.chain(LayerKind::BatchNorm2d { channels: widths[0] });
+            b.chain(LayerKind::Activation);
+            b.chain(LayerKind::MaxPool2d { kernel: 3, stride: 2, padding: 1 });
+            in_ch = widths[0];
+        }
+
+        let out_ch = widths[stage];
+        for block_idx in 0..depths[stage] {
+            // First block of stages 2..4 downsamples spatially and widens.
+            let stride = if stage > 0 && block_idx == 0 { 2 } else { 1 };
+            basic_block(&mut b, in_ch, out_ch, stride);
+            in_ch = out_ch;
+        }
+
+        let g = b.build().expect("resnet builder produces valid graphs");
+        cursor = g.output_shape();
+        blocks.push(g);
+    }
+
+    let head = super::build_head(cursor, num_classes);
+
+    SegmentedModel {
+        family,
+        width_permille,
+        num_classes,
+        input,
+        head_features: widths[NUM_STAGES - 1],
+        blocks,
+        head,
+    }
+}
+
+/// Appends one basic residual block (two 3x3 convs, identity or projection
+/// shortcut) to the builder. The builder's latest node is the block input.
+fn basic_block(b: &mut LayerGraphBuilder, in_ch: usize, out_ch: usize, stride: usize) {
+    let entry = if b.next_id() == 0 { Source::Input } else { Source::Node(b.next_id() - 1) };
+
+    let c1 = b.with_input(LayerKind::conv(in_ch, out_ch, 3, stride, 1), entry);
+    b.chain(LayerKind::BatchNorm2d { channels: out_ch });
+    b.chain(LayerKind::Activation);
+    b.chain(LayerKind::conv(out_ch, out_ch, 3, 1, 1));
+    let bn2 = b.chain(LayerKind::BatchNorm2d { channels: out_ch });
+
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        // Projection shortcut: 1x1 conv + BN.
+        let pc = b.with_input(LayerKind::conv(in_ch, out_ch, 1, stride, 0), entry);
+        let pbn = b.with_input(LayerKind::BatchNorm2d { channels: out_ch }, Source::Node(pc));
+        Source::Node(pbn)
+    } else {
+        entry
+    };
+
+    let add = b.add(Source::Node(bn2), shortcut);
+    b.with_input(LayerKind::Activation, Source::Node(add));
+    let _ = c1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_params_match_torchvision() {
+        // torchvision resnet18 with 1000 classes: 11,689,512 parameters.
+        let m = resnet18(1000, 1000, TensorShape::new(3, 224, 224));
+        assert_eq!(m.params(), 11_689_512);
+    }
+
+    #[test]
+    fn resnet18_flops_in_expected_range() {
+        // Commonly quoted: ~1.8 GMACs = ~3.6 GFLOPs for 224x224.
+        let m = resnet18(1000, 1000, TensorShape::new(3, 224, 224));
+        let gflops = m.flops() as f64 / 1e9;
+        assert!((3.3..4.0).contains(&gflops), "got {gflops} GFLOPs");
+    }
+
+    #[test]
+    fn resnet18_stage_shapes() {
+        let m = resnet18(10, 1000, TensorShape::new(3, 224, 224));
+        assert_eq!(m.blocks[0].output_shape(), TensorShape::new(64, 56, 56));
+        assert_eq!(m.blocks[1].output_shape(), TensorShape::new(128, 28, 28));
+        assert_eq!(m.blocks[2].output_shape(), TensorShape::new(256, 14, 14));
+        assert_eq!(m.blocks[3].output_shape(), TensorShape::new(512, 7, 7));
+        assert_eq!(m.head.output_shape(), TensorShape::vector(10));
+        assert!(m.validate());
+    }
+
+    #[test]
+    fn resnet34_is_deeper_than_resnet18() {
+        let input = TensorShape::new(3, 224, 224);
+        let m18 = resnet18(100, 1000, input);
+        let m34 = resnet34(100, 1000, input);
+        assert!(m34.params() > m18.params());
+        assert!(m34.flops() > m18.flops());
+        // torchvision resnet34 (1000 classes): 21,797,672 params.
+        let m34_full = resnet34(1000, 1000, input);
+        assert_eq!(m34_full.params(), 21_797_672);
+    }
+
+    #[test]
+    fn width_multiplier_scales_params_roughly_quadratically() {
+        let input = TensorShape::new(3, 224, 224);
+        let full = resnet18(10, 1000, input);
+        let half = resnet18(10, 500, input);
+        let ratio = full.params() as f64 / half.params() as f64;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+        assert!(half.validate());
+    }
+
+    #[test]
+    fn last_stage_dominates_parameters() {
+        // The paper's stage-4 block holds most of ResNet-18's parameters,
+        // which is why pruning it matters most.
+        let m = resnet18(60, 1000, TensorShape::new(3, 224, 224));
+        let p3 = m.blocks[3].params();
+        assert!(p3 as f64 > 0.6 * m.params() as f64);
+        // The head is a tiny micro-block: 512*60 + 60 parameters.
+        assert_eq!(m.head.params(), 512 * 60 + 60);
+    }
+
+    #[test]
+    fn resnet50_params_match_torchvision() {
+        // torchvision resnet50 (1000 classes): 25,557,032 parameters.
+        let m = resnet50(1000, 1000, TensorShape::new(3, 224, 224));
+        assert_eq!(m.params(), 25_557_032);
+        assert!(m.validate());
+        assert_eq!(m.head_features, 2048);
+    }
+
+    #[test]
+    fn resnet50_flops_in_expected_range() {
+        // Commonly quoted: ~4.1 GMACs = ~8.2 GFLOPs.
+        let m = resnet50(1000, 1000, TensorShape::new(3, 224, 224));
+        let gflops = m.flops() as f64 / 1e9;
+        assert!((7.5..9.0).contains(&gflops), "got {gflops}");
+    }
+
+    #[test]
+    fn resnet101_params_match_torchvision() {
+        // torchvision resnet101 (1000 classes): 44,549,160 parameters.
+        let m = resnet101(1000, 1000, TensorShape::new(3, 224, 224));
+        assert_eq!(m.params(), 44_549_160);
+        assert!(m.validate());
+    }
+
+    #[test]
+    fn resnet50_prunes_cleanly() {
+        use crate::prune::{prune, PruneSpec};
+        let m = resnet50(60, 1000, TensorShape::new(3, 224, 224));
+        for blk in &m.blocks {
+            let p = prune(blk, PruneSpec::interior(0.8)).unwrap();
+            assert!(p.params_after < p.params_before);
+            assert_eq!(p.graph.input_shape(), blk.input_shape());
+            assert_eq!(p.graph.output_shape(), blk.output_shape());
+        }
+    }
+
+    #[test]
+    fn works_at_reduced_resolution() {
+        let m = resnet18(60, 1000, TensorShape::new(3, 160, 160));
+        assert!(m.validate());
+        assert!(m.flops() < resnet18(60, 1000, TensorShape::new(3, 224, 224)).flops());
+    }
+}

@@ -1,0 +1,477 @@
+//! The DNN repository: interned block variants and dynamic DNN structures.
+//!
+//! The edge platform of Fig. 4 keeps a repository of DNNs whose blocks can
+//! be composed into *paths* (`pi^d_tau`). [`Repository`] owns the segmented
+//! models, interns every block variant it is asked to materialise, and
+//! returns [`DnnPath`]s — sequences of [`BlockId`]s. Because interning is
+//! keyed on [`BlockKey`], two tasks that select overlapping configurations
+//! automatically reference the *same* block ids, which is what makes shared
+//! memory and shared training cost fall out for free downstream.
+//!
+//! A path has `NUM_STAGES + 1` blocks: four feature layer-blocks plus the
+//! classifier-head micro-block (the head is always task-group specific, so
+//! keeping it separate lets CONFIG B share *all* feature blocks while
+//! paying only a tiny per-task head).
+
+use crate::block::{BlockEntry, BlockId, BlockKey, BlockMetrics, BlockVariant, GroupId, ModelId, Precision};
+use crate::config::PathConfig;
+use crate::graph::LayerGraph;
+use crate::layer::LayerKind;
+use crate::models::{SegmentedModel, NUM_STAGES};
+use crate::prune::{kept_channels, prune, PruneError, PruneSpec};
+use crate::shape::TensorShape;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Stage index used in [`BlockKey`] for the classifier-head micro-block.
+pub const HEAD_STAGE: usize = NUM_STAGES;
+
+/// A concrete path on a dynamic DNN structure: one block per stage plus the
+/// classifier head.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DnnPath {
+    /// The model the path runs on.
+    pub model: ModelId,
+    /// The task group the fine-tuned blocks belong to.
+    pub group: GroupId,
+    /// Which Table I configuration the path realises.
+    pub config: PathConfig,
+    /// The interned block ids, in execution order (stages then head).
+    pub blocks: Vec<BlockId>,
+}
+
+/// Repository of models and interned block variants.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Repository {
+    models: Vec<SegmentedModel>,
+    blocks: Vec<BlockEntry>,
+    index: HashMap<BlockKey, BlockId>,
+}
+
+impl Repository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a model and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model fails structural validation.
+    pub fn add_model(&mut self, model: SegmentedModel) -> ModelId {
+        assert!(model.validate(), "segmented model failed validation");
+        self.models.push(model);
+        ModelId(self.models.len() as u32 - 1)
+    }
+
+    /// The model registered under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this repository.
+    pub fn model(&self, id: ModelId) -> &SegmentedModel {
+        &self.models[id.0 as usize]
+    }
+
+    /// All registered models.
+    pub fn models(&self) -> &[SegmentedModel] {
+        &self.models
+    }
+
+    /// Number of distinct interned blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The interned block under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this repository.
+    pub fn block(&self, id: BlockId) -> &BlockEntry {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// All interned blocks, in id order.
+    pub fn blocks(&self) -> &[BlockEntry] {
+        &self.blocks
+    }
+
+    fn intern(
+        &mut self,
+        key: BlockKey,
+        graph: impl FnOnce() -> Result<LayerGraph, PruneError>,
+    ) -> Result<BlockId, PruneError> {
+        if let Some(&id) = self.index.get(&key) {
+            return Ok(id);
+        }
+        let g = graph()?;
+        let metrics = BlockMetrics::derive(&g, &key.variant);
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BlockEntry { key, graph: g, metrics });
+        self.index.insert(key, id);
+        Ok(id)
+    }
+
+    /// Materialises the path realising `cfg` for `(model, group)` with the
+    /// given prune ratio, interning any blocks not seen before.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PruneError`] if the prune ratio is invalid.
+    pub fn instantiate_path(
+        &mut self,
+        model: ModelId,
+        group: GroupId,
+        cfg: PathConfig,
+        ratio: f64,
+    ) -> Result<DnnPath, PruneError> {
+        self.instantiate_path_at(model, group, cfg, ratio, Precision::Fp32)
+    }
+
+    /// Like [`Repository::instantiate_path`], at an explicit deployment
+    /// precision. INT8 blocks are distinct artifacts (own ids) but reuse
+    /// the same graphs — only their cost profile differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PruneError`] if the prune ratio is invalid.
+    pub fn instantiate_path_at(
+        &mut self,
+        model: ModelId,
+        group: GroupId,
+        cfg: PathConfig,
+        ratio: f64,
+        precision: Precision,
+    ) -> Result<DnnPath, PruneError> {
+        let k = cfg.config.shared_prefix();
+        let from_scratch = cfg.config.from_scratch();
+        let ratio_permille = (ratio * 1000.0).round() as u32;
+
+        let mut blocks = Vec::with_capacity(NUM_STAGES + 1);
+        for stage in 0..NUM_STAGES {
+            let variant = if stage < k {
+                BlockVariant::Base
+            } else if cfg.pruned {
+                BlockVariant::Pruned { group, ratio_permille, from_scratch, pruned_input: stage > k }
+            } else {
+                BlockVariant::FineTuned { group, from_scratch }
+            };
+            let key = BlockKey { model, stage, variant, precision };
+            let base_graph = self.models[model.0 as usize].blocks[stage].clone();
+            let id = self.intern(key, move || match variant {
+                BlockVariant::Pruned { ratio_permille, pruned_input, .. } => {
+                    let spec = PruneSpec {
+                        ratio: ratio_permille as f64 / 1000.0,
+                        prune_input: pruned_input,
+                        prune_output: true,
+                    };
+                    prune(&base_graph, spec).map(|p| p.graph)
+                }
+                _ => Ok(base_graph),
+            })?;
+            blocks.push(id);
+        }
+
+        // The classifier head micro-block.
+        let head_variant = if cfg.pruned {
+            BlockVariant::PrunedHead { group, ratio_permille, pruned_input: k < NUM_STAGES }
+        } else {
+            BlockVariant::Head { group }
+        };
+        let key = BlockKey { model, stage: HEAD_STAGE, variant: head_variant, precision };
+        let m = &self.models[model.0 as usize];
+        let (head_graph, num_classes) = (m.head.clone(), m.num_classes);
+        let id = self.intern(key, move || match head_variant {
+            BlockVariant::PrunedHead { ratio_permille, pruned_input, .. } => Ok(build_pruned_head(
+                &head_graph,
+                num_classes,
+                ratio_permille as f64 / 1000.0,
+                pruned_input,
+            )),
+            _ => Ok(head_graph),
+        })?;
+        blocks.push(id);
+
+        Ok(DnnPath { model, group, config: cfg, blocks })
+    }
+
+    /// Materialises all ten Table I paths for `(model, group)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PruneError`] if the prune ratio is invalid.
+    pub fn all_paths(&mut self, model: ModelId, group: GroupId, ratio: f64) -> Result<Vec<DnnPath>, PruneError> {
+        PathConfig::all()
+            .into_iter()
+            .map(|cfg| self.instantiate_path(model, group, cfg, ratio))
+            .collect()
+    }
+
+    /// Sum of FLOPs along a path (per inference sample).
+    pub fn path_flops(&self, path: &DnnPath) -> u64 {
+        path.blocks.iter().map(|&b| self.block(b).metrics.flops).sum()
+    }
+
+    /// Sum of parameters along a path.
+    pub fn path_params(&self, path: &DnnPath) -> u64 {
+        path.blocks.iter().map(|&b| self.block(b).metrics.params).sum()
+    }
+
+    /// Parameters of the *union* of blocks used by the given paths: the
+    /// memory the edge actually pays, with sharing counted once (the
+    /// `m(s^d)` semantics of constraint (1b)).
+    pub fn unique_params<'a>(&self, paths: impl IntoIterator<Item = &'a DnnPath>) -> u64 {
+        let mut seen: HashSet<BlockId> = HashSet::new();
+        let mut total = 0u64;
+        for p in paths {
+            for &b in &p.blocks {
+                if seen.insert(b) {
+                    total += self.block(b).metrics.params;
+                }
+            }
+        }
+        total
+    }
+
+    /// Distinct blocks used by the given paths.
+    pub fn unique_blocks<'a>(&self, paths: impl IntoIterator<Item = &'a DnnPath>) -> HashSet<BlockId> {
+        let mut seen = HashSet::new();
+        for p in paths {
+            seen.extend(p.blocks.iter().copied());
+        }
+        seen
+    }
+}
+
+/// Builds a pruned classifier head.
+///
+/// With `pruned_input` the upstream stage-4 block is pruned, so the head
+/// simply consumes the narrower feature map. Otherwise (CONFIG B-pruned)
+/// the features are frozen at full width and the head's own input columns
+/// are magnitude-pruned, expressed structurally as a channel `Select`.
+fn build_pruned_head(base_head: &LayerGraph, num_classes: usize, ratio: f64, pruned_input: bool) -> LayerGraph {
+    let full = base_head.input_shape();
+    let kept = kept_channels(full.channels, ratio);
+    if pruned_input {
+        let input = TensorShape::new(kept, full.height, full.width);
+        let mut b = LayerGraph::builder(input);
+        b.chain(LayerKind::GlobalAvgPool);
+        b.chain(LayerKind::Linear { in_features: kept, out_features: num_classes, bias: true });
+        b.build().expect("pruned head is trivially valid")
+    } else {
+        let mut b = LayerGraph::builder(full);
+        b.chain(LayerKind::GlobalAvgPool);
+        b.chain(LayerKind::Select { in_channels: full.channels, out_channels: kept });
+        b.chain(LayerKind::Linear { in_features: kept, out_features: num_classes, bias: true });
+        b.build().expect("select head is trivially valid")
+    }
+}
+
+/// The ordered variant layout of a config (stages then head), for tests and
+/// docs.
+pub fn variant_layout(cfg: PathConfig, group: GroupId, ratio_permille: u32) -> Vec<BlockVariant> {
+    let k = cfg.config.shared_prefix();
+    let from_scratch = cfg.config.from_scratch();
+    let mut layout: Vec<BlockVariant> = (0..NUM_STAGES)
+        .map(|stage| {
+            if stage < k {
+                BlockVariant::Base
+            } else if cfg.pruned {
+                BlockVariant::Pruned { group, ratio_permille, from_scratch, pruned_input: stage > k }
+            } else {
+                BlockVariant::FineTuned { group, from_scratch }
+            }
+        })
+        .collect();
+    layout.push(if cfg.pruned {
+        BlockVariant::PrunedHead { group, ratio_permille, pruned_input: k < NUM_STAGES }
+    } else {
+        BlockVariant::Head { group }
+    });
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::models::resnet18;
+
+    fn repo_with_resnet() -> (Repository, ModelId) {
+        let mut r = Repository::new();
+        let m = r.add_model(resnet18(60, 1000, TensorShape::new(3, 224, 224)));
+        (r, m)
+    }
+
+    #[test]
+    fn paths_have_five_blocks() {
+        let (mut r, m) = repo_with_resnet();
+        for cfg in PathConfig::all() {
+            let p = r.instantiate_path(m, GroupId(0), cfg, 0.8).unwrap();
+            assert_eq!(p.blocks.len(), NUM_STAGES + 1);
+        }
+    }
+
+    #[test]
+    fn config_b_shares_all_feature_blocks() {
+        let (mut r, m) = repo_with_resnet();
+        let p0 = r
+            .instantiate_path(m, GroupId(0), PathConfig { config: Config::B, pruned: false }, 0.8)
+            .unwrap();
+        let p1 = r
+            .instantiate_path(m, GroupId(1), PathConfig { config: Config::B, pruned: false }, 0.8)
+            .unwrap();
+        // All four feature blocks identical (Base); only the head differs.
+        assert_eq!(&p0.blocks[..NUM_STAGES], &p1.blocks[..NUM_STAGES]);
+        assert_ne!(p0.blocks[NUM_STAGES], p1.blocks[NUM_STAGES]);
+        // And the head is tiny compared to a feature block.
+        let head = r.block(p0.blocks[NUM_STAGES]).metrics.params;
+        let stage4 = r.block(p0.blocks[NUM_STAGES - 1]).metrics.params;
+        assert!(head * 100 < stage4);
+    }
+
+    #[test]
+    fn same_group_same_config_shares_everything() {
+        let (mut r, m) = repo_with_resnet();
+        let cfg = PathConfig { config: Config::C, pruned: true };
+        let p1 = r.instantiate_path(m, GroupId(0), cfg, 0.8).unwrap();
+        let p2 = r.instantiate_path(m, GroupId(0), cfg, 0.8).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn config_a_shares_nothing_with_config_c() {
+        let (mut r, m) = repo_with_resnet();
+        let g = GroupId(0);
+        let pa = r
+            .instantiate_path(m, g, PathConfig { config: Config::A, pruned: false }, 0.8)
+            .unwrap();
+        let pc = r
+            .instantiate_path(m, g, PathConfig { config: Config::C, pruned: false }, 0.8)
+            .unwrap();
+        for b in &pa.blocks[..NUM_STAGES] {
+            assert!(!pc.blocks.contains(b), "scratch blocks must not be shared with fine-tuned paths");
+        }
+    }
+
+    #[test]
+    fn pruned_path_has_fewer_params() {
+        let (mut r, m) = repo_with_resnet();
+        let g = GroupId(0);
+        let full = r
+            .instantiate_path(m, g, PathConfig { config: Config::C, pruned: false }, 0.8)
+            .unwrap();
+        let pruned = r
+            .instantiate_path(m, g, PathConfig { config: Config::C, pruned: true }, 0.8)
+            .unwrap();
+        assert!(r.path_params(&pruned) < r.path_params(&full));
+        assert!(r.path_flops(&pruned) < r.path_flops(&full));
+    }
+
+    #[test]
+    fn config_b_pruned_saves_least_compute() {
+        // Fig. 3 (left): CONFIG B-pruned has the least pruned blocks, hence
+        // the smallest compute-time difference vs its unpruned version.
+        let (mut r, m) = repo_with_resnet();
+        let g = GroupId(0);
+        let mut savings = Vec::new();
+        for cfg in [Config::B, Config::C, Config::D, Config::E, Config::A] {
+            let full = r.instantiate_path(m, g, PathConfig { config: cfg, pruned: false }, 0.8).unwrap();
+            let pr = r.instantiate_path(m, g, PathConfig { config: cfg, pruned: true }, 0.8).unwrap();
+            savings.push(r.path_flops(&full) - r.path_flops(&pr));
+        }
+        assert!(savings[0] < savings[1], "B saves least");
+        assert!(savings[1] < savings[2]);
+        assert!(savings[2] < savings[3]);
+        assert!(savings[3] <= savings[4], "A (everything pruned) saves most");
+    }
+
+    #[test]
+    fn pruned_path_blocks_chain_shapewise() {
+        let (mut r, m) = repo_with_resnet();
+        let g = GroupId(0);
+        for cfg in PathConfig::all() {
+            let p = r.instantiate_path(m, g, cfg, 0.8).unwrap();
+            for w in p.blocks.windows(2) {
+                let out = r.block(w[0]).graph.output_shape();
+                let inp = r.block(w[1]).graph.input_shape();
+                assert_eq!(out, inp, "path {cfg} blocks must chain");
+            }
+            // Every path ends in 60-class logits.
+            assert_eq!(
+                r.block(*p.blocks.last().unwrap()).graph.output_shape(),
+                TensorShape::vector(60)
+            );
+        }
+    }
+
+    #[test]
+    fn unique_params_counts_shared_blocks_once() {
+        let (mut r, m) = repo_with_resnet();
+        let cfg = PathConfig { config: Config::B, pruned: false };
+        let p0 = r.instantiate_path(m, GroupId(0), cfg, 0.8).unwrap();
+        let p1 = r.instantiate_path(m, GroupId(1), cfg, 0.8).unwrap();
+        let both = r.unique_params([&p0, &p1]);
+        // The union equals one full path plus the second head.
+        let head_extra = r.block(p1.blocks[NUM_STAGES]).metrics.params;
+        assert_eq!(both, r.path_params(&p0) + head_extra);
+    }
+
+    #[test]
+    fn all_paths_returns_ten() {
+        let (mut r, m) = repo_with_resnet();
+        let paths = r.all_paths(m, GroupId(0), 0.8).unwrap();
+        assert_eq!(paths.len(), 10);
+        let base_count = r
+            .blocks()
+            .iter()
+            .filter(|b| matches!(b.key.variant, BlockVariant::Base))
+            .count();
+        assert_eq!(base_count, 4, "all four stages appear as Base");
+    }
+
+    #[test]
+    fn head_pruned_b_uses_select() {
+        // CONFIG B-pruned: frozen full-width features, head input columns
+        // selected down.
+        let (mut r, m) = repo_with_resnet();
+        let p = r
+            .instantiate_path(m, GroupId(0), PathConfig { config: Config::B, pruned: true }, 0.8)
+            .unwrap();
+        let head = r.block(p.blocks[NUM_STAGES]);
+        assert!(head
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, LayerKind::Select { .. })));
+        // 512 -> 102 kept columns: params = 102*60 + 60.
+        assert_eq!(head.metrics.params, 102 * 60 + 60);
+    }
+
+    #[test]
+    fn fully_pruned_head_has_narrow_input() {
+        let (mut r, m) = repo_with_resnet();
+        let p = r
+            .instantiate_path(m, GroupId(0), PathConfig { config: Config::A, pruned: true }, 0.8)
+            .unwrap();
+        let head = r.block(p.blocks[NUM_STAGES]);
+        assert_eq!(head.graph.input_shape().channels, kept_channels(512, 0.8));
+        assert!(!head.graph.nodes().iter().any(|n| matches!(n.kind, LayerKind::Select { .. })));
+    }
+
+    #[test]
+    fn variant_layout_matches_instantiation() {
+        let (mut r, m) = repo_with_resnet();
+        let g = GroupId(2);
+        let cfg = PathConfig { config: Config::D, pruned: true };
+        let p = r.instantiate_path(m, g, cfg, 0.8).unwrap();
+        let layout = variant_layout(cfg, g, 800);
+        assert_eq!(layout.len(), p.blocks.len());
+        for (i, &b) in p.blocks.iter().enumerate() {
+            assert_eq!(r.block(b).key.variant, layout[i]);
+        }
+    }
+}

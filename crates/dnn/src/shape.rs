@@ -1,0 +1,107 @@
+//! Tensor shapes and shape arithmetic.
+//!
+//! All shapes are `(channels, height, width)` feature maps; the batch
+//! dimension is carried separately by the callers that need it (training
+//! memory estimation), because everything else in the cost model is
+//! batch-linear.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a `(C, H, W)` feature map flowing between layers.
+///
+/// ```
+/// use offloadnn_dnn::shape::TensorShape;
+///
+/// let s = TensorShape::new(3, 224, 224);
+/// assert_eq!(s.elements(), 3 * 224 * 224);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Number of channels (feature maps).
+    pub channels: usize,
+    /// Spatial height.
+    pub height: usize,
+    /// Spatial width.
+    pub width: usize,
+}
+
+impl TensorShape {
+    /// Creates a new shape.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Self { channels, height, width }
+    }
+
+    /// A flattened vector shape, as produced by global pooling (`C x 1 x 1`).
+    pub fn vector(features: usize) -> Self {
+        Self { channels: features, height: 1, width: 1 }
+    }
+
+    /// Total number of scalar elements.
+    pub fn elements(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Number of spatial positions (`H * W`).
+    pub fn spatial(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Returns the shape after a convolution/pooling window with the given
+    /// kernel size, stride and symmetric padding is slid over it.
+    ///
+    /// Uses the standard floor formula `(dim + 2*pad - kernel) / stride + 1`.
+    pub fn conv_out(&self, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> TensorShape {
+        let h = conv_dim(self.height, kernel, stride, padding);
+        let w = conv_dim(self.width, kernel, stride, padding);
+        TensorShape::new(out_channels, h, w)
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+/// Output size of one spatial dimension under a sliding window.
+pub fn conv_dim(dim: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    let padded = dim + 2 * padding;
+    if padded < kernel {
+        return 0;
+    }
+    (padded - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_dim_matches_pytorch_formula() {
+        // 224 input, 7x7 kernel, stride 2, padding 3 -> 112 (ResNet stem).
+        assert_eq!(conv_dim(224, 7, 2, 3), 112);
+        // 112 input, 3x3 maxpool stride 2 pad 1 -> 56.
+        assert_eq!(conv_dim(112, 3, 2, 1), 56);
+        // 3x3 stride 1 pad 1 preserves size.
+        assert_eq!(conv_dim(56, 3, 1, 1), 56);
+        // 1x1 stride 2 halves (floor).
+        assert_eq!(conv_dim(56, 1, 2, 0), 28);
+    }
+
+    #[test]
+    fn conv_dim_degenerate_window_is_zero() {
+        assert_eq!(conv_dim(2, 7, 2, 0), 0);
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let s = TensorShape::new(64, 56, 56);
+        assert_eq!(s.elements(), 64 * 56 * 56);
+        assert_eq!(s.spatial(), 56 * 56);
+        let out = s.conv_out(128, 3, 2, 1);
+        assert_eq!(out, TensorShape::new(128, 28, 28));
+        assert_eq!(TensorShape::vector(512).elements(), 512);
+        assert_eq!(format!("{}", s), "64x56x56");
+    }
+}

@@ -1,0 +1,124 @@
+//! Model summaries: per-layer and per-block tables of shapes, parameters
+//! and FLOPs (the `torchsummary` view of a [`SegmentedModel`]), used by
+//! the examples and handy when auditing the analytic cost model.
+
+use crate::graph::{LayerGraph, Source};
+use crate::models::SegmentedModel;
+use std::fmt::Write as _;
+
+/// One summary row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRow {
+    /// Layer description ("conv3x3(64->64, s1)").
+    pub layer: String,
+    /// Output shape ("64x56x56").
+    pub output: String,
+    /// Parameter count.
+    pub params: u64,
+    /// FLOPs for one sample.
+    pub flops: u64,
+}
+
+/// Per-layer rows of a single graph.
+pub fn graph_rows(g: &LayerGraph) -> Vec<LayerRow> {
+    g.nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let input = match n.inputs[0] {
+                Source::Input => g.input_shape(),
+                Source::Node(j) => g.shape_of(j),
+            };
+            LayerRow {
+                layer: n.kind.to_string(),
+                output: g.shape_of(i).to_string(),
+                params: n.kind.params(),
+                flops: n.kind.flops(input),
+            }
+        })
+        .collect()
+}
+
+/// Renders the per-block summary of a segmented model.
+pub fn render(model: &SegmentedModel, per_layer: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} (width {:.2}, input {}): {} params, {:.2} GFLOPs",
+        model.family,
+        model.width(),
+        model.input,
+        model.params(),
+        model.flops() as f64 / 1e9
+    );
+    let blocks: Vec<(&str, &LayerGraph)> = model
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| match i {
+            0 => ("block1 (stem+stage1)", b),
+            1 => ("block2 (stage2)", b),
+            2 => ("block3 (stage3)", b),
+            _ => ("block4 (stage4)", b),
+        })
+        .chain(std::iter::once(("head (classifier)", &model.head)))
+        .collect();
+    for (name, g) in blocks {
+        let _ = writeln!(
+            out,
+            "  {name:22} out {:12} {:>12} params {:>10.1} MFLOPs {:>3} layers",
+            g.output_shape().to_string(),
+            g.params(),
+            g.flops() as f64 / 1e6,
+            g.len()
+        );
+        if per_layer {
+            for row in graph_rows(g) {
+                let _ = writeln!(
+                    out,
+                    "    {:34} {:>12} {:>12} params {:>12} FLOPs",
+                    row.layer, row.output, row.params, row.flops
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::resnet18;
+    use crate::shape::TensorShape;
+
+    #[test]
+    fn rows_sum_to_graph_totals() {
+        let m = resnet18(60, 1000, TensorShape::new(3, 224, 224));
+        for g in m.blocks.iter().chain(std::iter::once(&m.head)) {
+            let rows = graph_rows(g);
+            assert_eq!(rows.iter().map(|r| r.params).sum::<u64>(), g.params());
+            assert_eq!(rows.iter().map(|r| r.flops).sum::<u64>(), g.flops());
+            assert_eq!(rows.len(), g.len());
+        }
+    }
+
+    #[test]
+    fn render_contains_blocks_and_totals() {
+        let m = resnet18(60, 1000, TensorShape::new(3, 224, 224));
+        let s = render(&m, false);
+        assert!(s.contains("resnet18"));
+        assert!(s.contains("block1 (stem+stage1)"));
+        assert!(s.contains("head (classifier)"));
+        // 11.2M params appears in the headline.
+        assert!(s.contains(&m.params().to_string()));
+    }
+
+    #[test]
+    fn per_layer_mode_lists_every_layer() {
+        let m = resnet18(10, 1000, TensorShape::new(3, 224, 224));
+        let s = render(&m, true);
+        let layer_lines = s.lines().filter(|l| l.starts_with("    ")).count();
+        let expected: usize = m.blocks.iter().map(|b| b.len()).sum::<usize>() + m.head.len();
+        assert_eq!(layer_lines, expected);
+    }
+}

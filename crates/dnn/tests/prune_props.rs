@@ -1,0 +1,85 @@
+//! Property-based tests of the structured-pruning substrate.
+
+use offloadnn_dnn::config::PathConfig;
+use offloadnn_dnn::models::{mobilenet_v2, resnet18, resnet34};
+use offloadnn_dnn::prune::{kept_channels, prune, PruneSpec};
+use offloadnn_dnn::repository::Repository;
+use offloadnn_dnn::{GroupId, TensorShape};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pruning_never_increases_cost(ratio in 0.0f64..0.95, stage in 0usize..4, width in 500u32..1200) {
+        let m = resnet18(60, width, TensorShape::new(3, 224, 224));
+        let p = prune(&m.blocks[stage], PruneSpec::suffix_head(ratio)).unwrap();
+        prop_assert!(p.params_after <= p.params_before);
+        prop_assert!(p.flops_after <= p.flops_before);
+        prop_assert!(p.graph.len() == m.blocks[stage].len(), "structure preserved");
+    }
+
+    #[test]
+    fn pruning_is_monotone_in_ratio(stage in 0usize..4, r1 in 0.05f64..0.45, dr in 0.05f64..0.45) {
+        let m = resnet18(60, 1000, TensorShape::new(3, 224, 224));
+        let lo = prune(&m.blocks[stage], PruneSpec::suffix_head(r1)).unwrap();
+        let hi = prune(&m.blocks[stage], PruneSpec::suffix_head(r1 + dr)).unwrap();
+        prop_assert!(hi.params_after <= lo.params_after, "more pruning, fewer params");
+        prop_assert!(hi.flops_after <= lo.flops_after);
+    }
+
+    #[test]
+    fn chained_stage_interfaces_always_agree(ratio in 0.05f64..0.9, width in 500u32..1200) {
+        // A full pruned suffix: every stage boundary must line up.
+        let m = resnet18(60, width, TensorShape::new(3, 224, 224));
+        let mut prev_out = None;
+        for (i, blk) in m.blocks.iter().enumerate() {
+            let spec = if i == 0 { PruneSpec::suffix_head(ratio) } else { PruneSpec::full(ratio) };
+            let p = prune(blk, spec).unwrap();
+            if let Some(out) = prev_out {
+                prop_assert_eq!(p.graph.input_shape(), out, "stage {} interface", i);
+            }
+            prev_out = Some(p.graph.output_shape());
+        }
+    }
+
+    #[test]
+    fn kept_channels_consistent_and_positive(c in 1usize..4096, ratio in 0.0f64..0.999) {
+        let k = kept_channels(c, ratio);
+        prop_assert!(k >= 1);
+        prop_assert!(k <= c);
+        // Monotone in channels for a fixed ratio.
+        prop_assert!(kept_channels(c + 8, ratio) >= k);
+    }
+
+    #[test]
+    fn all_table_i_paths_instantiate_for_any_ratio(ratio in 0.05f64..0.95) {
+        let mut repo = Repository::new();
+        let m = repo.add_model(resnet18(60, 1000, TensorShape::new(3, 224, 224)));
+        for cfg in PathConfig::all() {
+            let p = repo.instantiate_path(m, GroupId(0), cfg, ratio).unwrap();
+            prop_assert_eq!(p.blocks.len(), 5);
+            for w in p.blocks.windows(2) {
+                prop_assert_eq!(
+                    repo.block(w[0]).graph.output_shape(),
+                    repo.block(w[1]).graph.input_shape()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_family_prunes_cleanly(ratio in 0.1f64..0.9, family in 0usize..3) {
+        let input = TensorShape::new(3, 224, 224);
+        let m = match family {
+            0 => resnet18(60, 1000, input),
+            1 => resnet34(60, 1000, input),
+            _ => mobilenet_v2(60, 1000, input),
+        };
+        for blk in &m.blocks {
+            let p = prune(blk, PruneSpec::interior(ratio)).unwrap();
+            prop_assert_eq!(p.graph.input_shape(), blk.input_shape());
+            prop_assert_eq!(p.graph.output_shape(), blk.output_shape());
+        }
+    }
+}

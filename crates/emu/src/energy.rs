@@ -1,0 +1,172 @@
+//! Mobile-device energy accounting: the paper's opening motivation is
+//! that offloading CV tasks spares the devices' batteries. This module
+//! quantifies it for a deployment: the energy a UE spends transmitting an
+//! image over its slice, versus what executing the DNN locally would
+//! cost on a mobile SoC.
+
+use crate::sim::TaskDeployment;
+use serde::{Deserialize, Serialize};
+
+/// Power/efficiency profile of a mobile device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceEnergyModel {
+    /// Radio power while transmitting (PA + circuitry), watts.
+    pub tx_power_w: f64,
+    /// Radio power while receiving the (tiny) result, watts.
+    pub rx_power_w: f64,
+    /// Result payload per inference (class id + confidence), bits.
+    pub result_bits: f64,
+    /// Downlink rate available for results, bits/s.
+    pub downlink_bps: f64,
+    /// Local-inference energy efficiency of the device SoC, joules per
+    /// GFLOP (mobile NPUs land around 0.1–0.5 J/GFLOP end-to-end,
+    /// DRAM traffic included).
+    pub joules_per_gflop: f64,
+    /// Sustained local inference throughput, FLOP/s (thermally limited).
+    pub local_flops_per_sec: f64,
+}
+
+impl DeviceEnergyModel {
+    /// A mid-range smartphone profile.
+    pub fn smartphone() -> Self {
+        Self {
+            tx_power_w: 1.2,
+            rx_power_w: 0.8,
+            result_bits: 2048.0,
+            downlink_bps: 20e6,
+            joules_per_gflop: 0.30,
+            local_flops_per_sec: 50e9,
+        }
+    }
+
+    /// Energy (J) to offload one image over the given slice.
+    pub fn offload_energy_j(&self, dep: &TaskDeployment) -> f64 {
+        let rate = dep.bits_per_rb * dep.slice_rbs as f64;
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        let tx = dep.bits_per_image / rate;
+        let rx = self.result_bits / self.downlink_bps;
+        self.tx_power_w * tx + self.rx_power_w * rx
+    }
+
+    /// Energy (J) to run `flops` of inference locally.
+    pub fn local_energy_j(&self, flops: u64) -> f64 {
+        flops as f64 / 1e9 * self.joules_per_gflop
+    }
+
+    /// Local inference latency (s) for `flops` on this device.
+    pub fn local_latency_s(&self, flops: u64) -> f64 {
+        flops as f64 / self.local_flops_per_sec
+    }
+
+    /// Energy-saving factor of offloading vs local execution for a task
+    /// whose model costs `local_flops` per inference.
+    pub fn saving_factor(&self, dep: &TaskDeployment, local_flops: u64) -> f64 {
+        self.local_energy_j(local_flops) / self.offload_energy_j(dep)
+    }
+}
+
+impl Default for DeviceEnergyModel {
+    fn default() -> Self {
+        Self::smartphone()
+    }
+}
+
+/// Per-task energy comparison for a whole deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Per-task: (offload J/image, local J/image, saving factor).
+    pub per_task: Vec<(f64, f64, f64)>,
+    /// Mean saving factor across tasks with non-zero slices.
+    pub mean_saving: f64,
+}
+
+/// Compares offload vs local energy for every deployed task;
+/// `local_flops[t]` is the FLOP count of the model task `t` would have to
+/// run on-device (typically the full unpruned network).
+pub fn energy_report(model: &DeviceEnergyModel, deps: &[TaskDeployment], local_flops: &[u64]) -> EnergyReport {
+    let per_task: Vec<(f64, f64, f64)> = deps
+        .iter()
+        .zip(local_flops)
+        .map(|(d, &f)| {
+            let off = model.offload_energy_j(d);
+            let loc = model.local_energy_j(f);
+            (off, loc, if off.is_finite() && off > 0.0 { loc / off } else { 0.0 })
+        })
+        .collect();
+    let active: Vec<f64> = per_task.iter().filter(|(o, _, _)| o.is_finite()).map(|&(_, _, s)| s).collect();
+    let mean_saving = if active.is_empty() { 0.0 } else { active.iter().sum::<f64>() / active.len() as f64 };
+    EnergyReport { per_task, mean_saving }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offloadnn_radio::ArrivalProcess;
+
+    fn dep(rbs: u32) -> TaskDeployment {
+        TaskDeployment {
+            name: "t".into(),
+            slice_rbs: rbs,
+            bits_per_image: 350e3,
+            bits_per_rb: 0.35e6,
+            proc_seconds: 0.007,
+            admission: 1.0,
+            arrivals: ArrivalProcess::Periodic { rate_hz: 5.0 },
+            max_latency: 0.3,
+        }
+    }
+
+    #[test]
+    fn offloading_resnet18_saves_energy() {
+        // The paper's motivation: a ResNet-18 inference (~3.6 GFLOPs) on
+        // device vs uploading a 350 kbit image over a 5-RB slice.
+        let m = DeviceEnergyModel::smartphone();
+        let d = dep(5);
+        let local = m.local_energy_j(3_600_000_000);
+        let offload = m.offload_energy_j(&d);
+        assert!(local > 2.0 * offload, "offloading must save energy: {local} vs {offload}");
+        assert!(m.saving_factor(&d, 3_600_000_000) > 2.0);
+    }
+
+    #[test]
+    fn bigger_slices_cost_less_tx_energy() {
+        let m = DeviceEnergyModel::smartphone();
+        assert!(m.offload_energy_j(&dep(10)) < m.offload_energy_j(&dep(2)));
+    }
+
+    #[test]
+    fn tiny_models_may_prefer_local_execution() {
+        // A MobileNet-class model (~0.6 GFLOPs) over a starving 1-RB slice:
+        // the crossover the paper's intro alludes to.
+        let m = DeviceEnergyModel::smartphone();
+        let d = dep(1);
+        let factor = m.saving_factor(&d, 600_000_000);
+        assert!(factor < 1.0, "local wins for tiny models on bad links: {factor}");
+    }
+
+    #[test]
+    fn local_latency_is_thermal_bound() {
+        let m = DeviceEnergyModel::smartphone();
+        // 3.6 GFLOPs at 50 GFLOP/s: 72 ms on device vs ~7 ms at the edge.
+        let lat = m.local_latency_s(3_600_000_000);
+        assert!((lat - 0.072).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_slice_is_infinite_energy() {
+        let m = DeviceEnergyModel::smartphone();
+        assert!(m.offload_energy_j(&dep(0)).is_infinite());
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let m = DeviceEnergyModel::smartphone();
+        let deps = vec![dep(5), dep(10)];
+        let r = energy_report(&m, &deps, &[3_600_000_000, 3_600_000_000]);
+        assert_eq!(r.per_task.len(), 2);
+        assert!(r.mean_saving > 1.0);
+        assert!(r.per_task[1].2 > r.per_task[0].2, "bigger slice, bigger saving");
+    }
+}

@@ -1,0 +1,148 @@
+//! Discrete-event machinery: a time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens at an event instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A UE generates a task request (image ready for upload).
+    Arrival {
+        /// Task index.
+        task: usize,
+    },
+    /// An image finished its uplink transmission.
+    UplinkDone {
+        /// Task index.
+        task: usize,
+        /// Request sequence number within the task.
+        request: u64,
+    },
+    /// The GPU finished an inference.
+    InferenceDone {
+        /// Task index.
+        task: usize,
+        /// Request sequence number within the task.
+        request: u64,
+        /// Whether this completion frees the GPU slot its batch occupied
+        /// (true for exactly one member per batch).
+        releases_slot: bool,
+    },
+}
+
+/// A scheduled event. Ordered by time, with a sequence number as a
+/// deterministic tie-break.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// Monotonic tie-break.
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite times (a corrupted simulation clock).
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        assert!(time.is_finite(), "event time must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::Arrival { task: 0 });
+        q.push(1.0, EventKind::Arrival { task: 1 });
+        q.push(3.0, EventKind::Arrival { task: 2 });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::Arrival { task: 0 });
+        q.push(1.0, EventKind::Arrival { task: 1 });
+        q.push(1.0, EventKind::Arrival { task: 2 });
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Arrival { task } => task,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_rejected() {
+        EventQueue::new().push(f64::NAN, EventKind::Arrival { task: 0 });
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, EventKind::Arrival { task: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Discrete-event edge/radio emulator — the reproduction's stand-in for
+//! the Colosseum wireless network emulator used in Sec. V-B.
+//!
+//! UEs generate task requests (periodic at the configured inference rate,
+//! or Poisson), admitted images are serialised over per-task RB slices,
+//! and the edge GPU serves inferences FIFO. [`colosseum::validate`] takes
+//! an OffloaDNN solution and reproduces Fig. 11's end-to-end latency
+//! traces against the per-task targets.
+//!
+//! # Example
+//!
+//! ```
+//! use offloadnn_core::{scenario::small_scenario, OffloadnnSolver};
+//! use offloadnn_emu::colosseum::{validate, ColosseumConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let s = small_scenario(2);
+//! let sol = OffloadnnSolver::new().solve(&s.instance)?;
+//! let report = validate(&s.instance, &sol, &ColosseumConfig::reference())?;
+//! assert!(report.stats[0].completed > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod autotune;
+pub mod colosseum;
+pub mod energy;
+pub mod event;
+pub mod report;
+pub mod sim;
+
+pub use autotune::{autotune, AutotuneConfig, AutotuneResult};
+pub use colosseum::{deployments, validate, ColosseumConfig, DeployError};
+pub use energy::{energy_report, DeviceEnergyModel, EnergyReport};
+pub use report::{EmulationReport, LatencySample, TaskStats};
+pub use sim::{run, BatchPolicy, EmuError, EmulatorConfig, RadioMode, TaskDeployment};

@@ -1,0 +1,534 @@
+//! The edge/radio emulator: UEs generate task requests, admitted images
+//! are serialised over per-task radio slices, and the edge GPU serves
+//! inferences FIFO — a faithful queueing abstraction of the Colosseum
+//! setup of Sec. V-B.
+
+use crate::event::{EventKind, EventQueue};
+use crate::report::{EmulationReport, LatencySample, TaskStats};
+use offloadnn_radio::{ArrivalProcess, Arrivals};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One deployed task: the output of the OffloaDNN controller for a task,
+/// as configured into the radio and compute environment (steps 4–6 of
+/// Fig. 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDeployment {
+    /// Task name (for reports).
+    pub name: String,
+    /// RBs allocated to the task's slice.
+    pub slice_rbs: u32,
+    /// Bits per uploaded image (`beta(q)`).
+    pub bits_per_image: f64,
+    /// Bits per second per RB (`B(sigma)`).
+    pub bits_per_rb: f64,
+    /// Inference processing time of the selected path (s/request).
+    pub proc_seconds: f64,
+    /// Admission ratio `z`: the UE thins its request stream to this
+    /// fraction.
+    pub admission: f64,
+    /// Request generation process *before* thinning.
+    pub arrivals: ArrivalProcess,
+    /// Latency target `L_tau` (for deadline accounting).
+    pub max_latency: f64,
+}
+
+/// Same-task inference batching on the edge GPU (an extension in the
+/// spirit of the batch-aware related work the paper cites).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchPolicy {
+    /// Maximum images batched into one GPU launch.
+    pub max_batch: usize,
+    /// Marginal service time of each extra image, as a fraction of the
+    /// single-image time (amortised kernel launches and weight loads make
+    /// this well below 1 on real GPUs).
+    pub marginal_cost: f64,
+}
+
+impl BatchPolicy {
+    /// Service time of a batch of `n` images whose single-image time is
+    /// `single`.
+    pub fn service_seconds(&self, single: f64, n: usize) -> f64 {
+        single * (1.0 + self.marginal_cost * (n.saturating_sub(1)) as f64)
+    }
+}
+
+/// How the cell's RBs serve the tasks' uplinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RadioMode {
+    /// Hard slicing: each task transmits only over its own `slice_rbs`
+    /// (the SCOPE-configured isolation of Sec. V-B).
+    #[default]
+    HardSlices,
+    /// A shared pool: all admitted images queue FIFO for the *sum* of the
+    /// slices' RBs — statistical multiplexing without isolation.
+    SharedPool,
+}
+
+/// Emulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmulatorConfig {
+    /// Emulated duration in seconds.
+    pub duration: f64,
+    /// RNG seed (thinning + jitter).
+    pub seed: u64,
+    /// Number of inferences (or batches) the GPU can run concurrently.
+    pub gpu_concurrency: usize,
+    /// Same-task batching; `None` serves one image per launch.
+    pub batching: Option<BatchPolicy>,
+    /// Uplink discipline.
+    pub radio_mode: RadioMode,
+    /// Relative standard deviation of per-image link-rate jitter
+    /// (fast fading); 0 disables.
+    pub link_jitter: f64,
+    /// Relative standard deviation of per-inference compute jitter; 0
+    /// disables.
+    pub compute_jitter: f64,
+}
+
+impl EmulatorConfig {
+    /// 20 s run, mild jitter, no batching — mirrors Fig. 11's setup.
+    pub fn reference() -> Self {
+        Self {
+            duration: 20.0,
+            seed: 7,
+            gpu_concurrency: 1,
+            batching: None,
+            radio_mode: RadioMode::HardSlices,
+            link_jitter: 0.05,
+            compute_jitter: 0.05,
+        }
+    }
+}
+
+impl Default for EmulatorConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// Errors from the emulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmuError {
+    /// A deployment is malformed (zero rate/capacity).
+    BadDeployment {
+        /// Task index.
+        task: usize,
+        /// Description.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for EmuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmuError::BadDeployment { task, reason } => write!(f, "task {task}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+struct UplinkState {
+    /// Images waiting for (or in) transmission: (task, request id).
+    queue: VecDeque<(usize, u64)>,
+    /// Whether a transmission is in progress.
+    busy: bool,
+}
+
+#[derive(Clone)]
+struct Pending {
+    arrival: f64,
+}
+
+/// Runs the emulation.
+///
+/// # Errors
+///
+/// Returns [`EmuError`] if a deployment has a zero-capacity slice with
+/// non-zero admission.
+pub fn run(tasks: &[TaskDeployment], cfg: &EmulatorConfig) -> Result<EmulationReport, EmuError> {
+    for (i, t) in tasks.iter().enumerate() {
+        if t.admission > 0.0 && (t.slice_rbs == 0 || t.bits_per_rb <= 0.0) {
+            return Err(EmuError::BadDeployment { task: i, reason: "admitted task with zero slice capacity" });
+        }
+        if t.bits_per_image <= 0.0 {
+            return Err(EmuError::BadDeployment { task: i, reason: "non-positive image size" });
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut queue = EventQueue::new();
+    let mut stats: Vec<TaskStats> = tasks.iter().map(|t| TaskStats::new(&t.name, t.max_latency)).collect();
+    let mut samples: Vec<Vec<LatencySample>> = vec![Vec::new(); tasks.len()];
+
+    // Pre-generate arrivals within the horizon.
+    for (t, dep) in tasks.iter().enumerate() {
+        for time in Arrivals::new(dep.arrivals, cfg.seed.wrapping_add(t as u64 * 7919)) {
+            if time > cfg.duration {
+                break;
+            }
+            queue.push(time, EventKind::Arrival { task: t });
+        }
+    }
+
+    let mut uplinks: Vec<UplinkState> = tasks.iter().map(|_| UplinkState { queue: VecDeque::new(), busy: false }).collect();
+    let mut pending: Vec<std::collections::HashMap<u64, Pending>> = vec![Default::default(); tasks.len()];
+    let mut next_req: Vec<u64> = vec![0; tasks.len()];
+
+    // GPU: fixed concurrency, FIFO backlog of (task, request, uplink done).
+    let mut gpu_backlog: VecDeque<(usize, u64)> = VecDeque::new();
+    let mut gpu_in_flight: usize = 0;
+    let mut gpu_busy_until_sum = 0.0f64; // accumulated busy seconds
+
+    let jitter = |rng: &mut StdRng, rel: f64| -> f64 {
+        if rel <= 0.0 {
+            1.0
+        } else {
+            // Two-uniform approximation of a normal, clamped positive.
+            let u: f64 = rng.random_range(-1.0..1.0) + rng.random_range(-1.0..1.0);
+            (1.0 + rel * u * std::f64::consts::FRAC_1_SQRT_2).max(0.2)
+        }
+    };
+
+    while let Some(ev) = queue.pop() {
+        // The horizon is a hard stop: whatever is still in the pipeline
+        // stays in flight (and is reported as such).
+        if ev.time > cfg.duration {
+            break;
+        }
+        match ev.kind {
+            EventKind::Arrival { task } => {
+                let dep = &tasks[task];
+                stats[task].generated += 1;
+                // UE-side thinning to the admission ratio.
+                let admitted = dep.admission > 0.0 && (dep.admission >= 1.0 || rng.random_range(0.0..1.0) < dep.admission);
+                if !admitted {
+                    stats[task].thinned += 1;
+                    continue;
+                }
+                stats[task].admitted += 1;
+                let req = next_req[task];
+                next_req[task] += 1;
+                pending[task].insert(req, Pending { arrival: ev.time });
+                let lane = match cfg.radio_mode {
+                    RadioMode::HardSlices => task,
+                    RadioMode::SharedPool => 0,
+                };
+                uplinks[lane].queue.push_back((task, req));
+                if !uplinks[lane].busy {
+                    start_uplink(lane, ev.time, tasks, &mut uplinks, &mut queue, &mut rng, cfg, &jitter);
+                }
+            }
+            EventKind::UplinkDone { task, request } => {
+                let lane = match cfg.radio_mode {
+                    RadioMode::HardSlices => task,
+                    RadioMode::SharedPool => 0,
+                };
+                uplinks[lane].busy = false;
+                if !uplinks[lane].queue.is_empty() {
+                    start_uplink(lane, ev.time, tasks, &mut uplinks, &mut queue, &mut rng, cfg, &jitter);
+                }
+                gpu_backlog.push_back((task, request));
+                drain_gpu(
+                    ev.time,
+                    tasks,
+                    &mut gpu_backlog,
+                    &mut gpu_in_flight,
+                    &mut gpu_busy_until_sum,
+                    &mut queue,
+                    &mut rng,
+                    cfg,
+                    &jitter,
+                );
+            }
+            EventKind::InferenceDone { task, request, releases_slot } => {
+                if releases_slot {
+                    gpu_in_flight -= 1;
+                }
+                let p = pending[task].remove(&request).expect("completion for unknown request");
+                let latency = ev.time - p.arrival;
+                stats[task].completed += 1;
+                if latency > tasks[task].max_latency {
+                    stats[task].deadline_misses += 1;
+                }
+                samples[task].push(LatencySample { completed_at: ev.time, latency });
+                drain_gpu(
+                    ev.time,
+                    tasks,
+                    &mut gpu_backlog,
+                    &mut gpu_in_flight,
+                    &mut gpu_busy_until_sum,
+                    &mut queue,
+                    &mut rng,
+                    cfg,
+                    &jitter,
+                );
+            }
+        }
+    }
+
+    for (t, p) in pending.iter().enumerate() {
+        stats[t].in_flight_at_end = p.len() as u64;
+    }
+
+    Ok(EmulationReport {
+        duration: cfg.duration,
+        stats,
+        samples,
+        gpu_busy_seconds: gpu_busy_until_sum,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn start_uplink(
+    lane: usize,
+    now: f64,
+    tasks: &[TaskDeployment],
+    uplinks: &mut [UplinkState],
+    queue: &mut EventQueue,
+    rng: &mut StdRng,
+    cfg: &EmulatorConfig,
+    jitter: &impl Fn(&mut StdRng, f64) -> f64,
+) {
+    if let Some((task, req)) = uplinks[lane].queue.pop_front() {
+        uplinks[lane].busy = true;
+        let dep = &tasks[task];
+        let rbs = match cfg.radio_mode {
+            RadioMode::HardSlices => dep.slice_rbs as f64,
+            // The pool transmits one image at a time over every RB any
+            // slice contributed.
+            RadioMode::SharedPool => tasks.iter().map(|t| t.slice_rbs as f64).sum(),
+        };
+        let rate = dep.bits_per_rb * rbs * jitter(rng, cfg.link_jitter);
+        let tx = dep.bits_per_image / rate;
+        queue.push(now + tx, EventKind::UplinkDone { task, request: req });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drain_gpu(
+    now: f64,
+    tasks: &[TaskDeployment],
+    backlog: &mut VecDeque<(usize, u64)>,
+    in_flight: &mut usize,
+    busy_sum: &mut f64,
+    queue: &mut EventQueue,
+    rng: &mut StdRng,
+    cfg: &EmulatorConfig,
+    jitter: &impl Fn(&mut StdRng, f64) -> f64,
+) {
+    while *in_flight < cfg.gpu_concurrency {
+        let Some((task, request)) = backlog.pop_front() else {
+            break;
+        };
+        // With batching enabled, pull further backlog images of the same
+        // task (same resident DNN) into this launch.
+        let mut members = vec![request];
+        if let Some(policy) = cfg.batching {
+            let mut i = 0;
+            while members.len() < policy.max_batch.max(1) && i < backlog.len() {
+                if backlog[i].0 == task {
+                    let (_, req) = backlog.remove(i).expect("index checked");
+                    members.push(req);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let single = tasks[task].proc_seconds * jitter(rng, cfg.compute_jitter);
+        let service = match cfg.batching {
+            Some(policy) => policy.service_seconds(single, members.len()),
+            None => single,
+        };
+        *in_flight += 1;
+        *busy_sum += service;
+        for (i, req) in members.into_iter().enumerate() {
+            queue.push(
+                now + service,
+                EventKind::InferenceDone { task, request: req, releases_slot: i == 0 },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dep(rbs: u32, lambda: f64, admission: f64) -> TaskDeployment {
+        TaskDeployment {
+            name: "t".into(),
+            slice_rbs: rbs,
+            bits_per_image: 350e3,
+            bits_per_rb: 0.35e6,
+            proc_seconds: 0.005,
+            admission,
+            arrivals: ArrivalProcess::Periodic { rate_hz: lambda },
+            max_latency: 0.3,
+        }
+    }
+
+    fn quiet(cfg: &mut EmulatorConfig) {
+        cfg.link_jitter = 0.0;
+        cfg.compute_jitter = 0.0;
+    }
+
+    #[test]
+    fn conservation_of_requests() {
+        let mut cfg = EmulatorConfig::reference();
+        quiet(&mut cfg);
+        let report = run(&[dep(6, 5.0, 1.0), dep(6, 5.0, 0.5)], &cfg).unwrap();
+        for s in &report.stats {
+            assert_eq!(s.generated, s.thinned + s.admitted, "{s:?}");
+            assert_eq!(s.admitted, s.completed + s.in_flight_at_end, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_latency_matches_closed_form() {
+        let mut cfg = EmulatorConfig::reference();
+        quiet(&mut cfg);
+        // 6 RBs -> tx = 350k / 2.1M = 1/6 s; + 5 ms inference.
+        let report = run(&[dep(6, 5.0, 1.0)], &cfg).unwrap();
+        let expected = 350e3 / (6.0 * 0.35e6) + 0.005;
+        for s in &report.samples[0] {
+            assert!((s.latency - expected).abs() < 1e-9, "{} vs {expected}", s.latency);
+        }
+        assert!(report.stats[0].completed > 90, "20s at 5/s minus drain");
+    }
+
+    #[test]
+    fn zero_admission_sends_nothing() {
+        let report = run(&[dep(6, 5.0, 0.0)], &EmulatorConfig::reference()).unwrap();
+        assert_eq!(report.stats[0].admitted, 0);
+        assert_eq!(report.stats[0].thinned, report.stats[0].generated);
+        assert!(report.samples[0].is_empty());
+    }
+
+    #[test]
+    fn thinning_approximates_admission_ratio() {
+        let mut cfg = EmulatorConfig::reference();
+        cfg.duration = 400.0;
+        quiet(&mut cfg);
+        let report = run(&[dep(6, 5.0, 0.6)], &cfg).unwrap();
+        let ratio = report.stats[0].admitted as f64 / report.stats[0].generated as f64;
+        assert!((ratio - 0.6).abs() < 0.05, "thinned to {ratio}");
+    }
+
+    #[test]
+    fn undersized_slice_queues_and_misses_deadlines() {
+        let mut cfg = EmulatorConfig::reference();
+        quiet(&mut cfg);
+        // 2 RBs: tx = 0.5 s per image, arrivals every 0.2 s: queue grows.
+        let report = run(&[dep(2, 5.0, 1.0)], &cfg).unwrap();
+        assert!(report.stats[0].deadline_misses > 0);
+        assert!(report.stats[0].in_flight_at_end > 0, "backlog remains");
+    }
+
+    #[test]
+    fn gpu_contention_serialises() {
+        let mut cfg = EmulatorConfig::reference();
+        quiet(&mut cfg);
+        cfg.duration = 10.0;
+        // Heavy inference (0.3 s) from two tasks at 2/s each: GPU util > 1
+        // -> deadline misses pile up.
+        let mut d = dep(50, 2.0, 1.0);
+        d.proc_seconds = 0.3;
+        let report = run(&[d.clone(), d], &cfg).unwrap();
+        let misses: u64 = report.stats.iter().map(|s| s.deadline_misses).sum();
+        assert!(misses > 0, "overloaded GPU must miss deadlines");
+    }
+
+    #[test]
+    fn batching_relieves_a_saturated_gpu() {
+        let mut cfg = EmulatorConfig::reference();
+        quiet(&mut cfg);
+        cfg.duration = 10.0;
+        // One heavy task: 0.25 s per inference at 8 req/s -> GPU demand 2x.
+        let mut d = dep(50, 8.0, 1.0);
+        d.proc_seconds = 0.25;
+        d.max_latency = 2.0;
+        let unbatched = run(&[d.clone()], &cfg).unwrap();
+        cfg.batching = Some(BatchPolicy { max_batch: 8, marginal_cost: 0.2 });
+        let batched = run(&[d], &cfg).unwrap();
+        assert!(
+            batched.stats[0].completed > unbatched.stats[0].completed,
+            "batching must raise throughput: {} vs {}",
+            batched.stats[0].completed,
+            unbatched.stats[0].completed
+        );
+        // Conservation still holds with batching.
+        let s = &batched.stats[0];
+        assert_eq!(s.admitted, s.completed + s.in_flight_at_end);
+    }
+
+    #[test]
+    fn shared_pool_multiplexes_an_overloaded_task() {
+        let mut cfg = EmulatorConfig::reference();
+        quiet(&mut cfg);
+        cfg.duration = 30.0;
+        // Task 0's slice is undersized for its rate; task 1 is idle-ish.
+        let mut hot = dep(2, 5.0, 1.0); // needs 5 RBs, has 2
+        hot.max_latency = 0.6;
+        let cold = dep(8, 0.2, 1.0);
+        let sliced = run(&[hot.clone(), cold.clone()], &cfg).unwrap();
+        cfg.radio_mode = RadioMode::SharedPool;
+        let pooled = run(&[hot, cold], &cfg).unwrap();
+        // Under hard slicing the hot task backlogs; the pool absorbs it.
+        assert!(sliced.stats[0].in_flight_at_end > 0, "hot slice must backlog");
+        assert!(
+            pooled.stats[0].in_flight_at_end < sliced.stats[0].in_flight_at_end,
+            "pool must drain the hot task: {} vs {}",
+            pooled.stats[0].in_flight_at_end,
+            sliced.stats[0].in_flight_at_end
+        );
+        // Conservation in both modes.
+        for r in [&sliced, &pooled] {
+            for s in &r.stats {
+                assert_eq!(s.admitted, s.completed + s.in_flight_at_end);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_and_slices_agree_when_one_task_owns_everything() {
+        let mut cfg = EmulatorConfig::reference();
+        quiet(&mut cfg);
+        let d = dep(6, 5.0, 1.0);
+        let sliced = run(&[d.clone()], &cfg).unwrap();
+        cfg.radio_mode = RadioMode::SharedPool;
+        let pooled = run(&[d], &cfg).unwrap();
+        assert_eq!(sliced.stats[0].completed, pooled.stats[0].completed);
+        let (a, b) = (sliced.samples[0][10].latency, pooled.samples[0][10].latency);
+        assert!((a - b).abs() < 1e-9, "single-task pool == its own slice");
+    }
+
+    #[test]
+    fn batch_service_time_model() {
+        let p = BatchPolicy { max_batch: 8, marginal_cost: 0.25 };
+        assert!((p.service_seconds(0.1, 1) - 0.1).abs() < 1e-12);
+        assert!((p.service_seconds(0.1, 4) - 0.175).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_deployment_rejected() {
+        let mut d = dep(0, 5.0, 1.0);
+        assert!(run(&[d.clone()], &EmulatorConfig::reference()).is_err());
+        d.slice_rbs = 1;
+        d.bits_per_image = 0.0;
+        assert!(run(&[d], &EmulatorConfig::reference()).is_err());
+    }
+
+    #[test]
+    fn jitter_produces_varying_latencies() {
+        let cfg = EmulatorConfig::reference();
+        let report = run(&[dep(6, 5.0, 1.0)], &cfg).unwrap();
+        let lats: Vec<f64> = report.samples[0].iter().map(|s| s.latency).collect();
+        let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = lats.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > min * 1.02, "jitter must spread latencies");
+    }
+}

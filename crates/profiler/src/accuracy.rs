@@ -1,0 +1,247 @@
+//! Parametric accuracy models.
+//!
+//! Two related models substitute the paper's measured accuracies:
+//!
+//! * [`AccuracyModel::curve`] — a learning curve (accuracy vs. training
+//!   epoch) per Table I configuration, calibrated to reproduce every
+//!   qualitative feature of Fig. 2 (left): shared configurations converge
+//!   much faster; heavily-shared ones (B, C) eventually overfit and end
+//!   below the from-scratch baseline; the baseline needs >200 epochs to
+//!   approach 80 % but wins given enough epochs.
+//! * [`AccuracyModel::deployed`] — the accuracy `a_tau(q, pi)` a *deployed*
+//!   path achieves, as a function of model capacity, sharing split, pruned
+//!   parameter fraction and input quality. This is the DOT constraint (1f)
+//!   input.
+//!
+//! All outputs are top-1 accuracies in `[0, 1]`.
+
+use offloadnn_dnn::config::Config;
+use serde::{Deserialize, Serialize};
+
+/// Accuracy model parameters (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyModel {
+    /// Parameter count of the reference model (ResNet-18, width 1.0).
+    pub reference_params: f64,
+    /// Deployed accuracy of the reference model, fully fine-tuned, on
+    /// full-quality input.
+    pub reference_accuracy: f64,
+    /// Accuracy gained per doubling of parameters (the paper's intro:
+    /// ResNet-152 is 8.7x larger than MobileNetV2 and +5.2 % top-1).
+    pub capacity_per_doubling: f64,
+    /// Coefficient of the pruning penalty `coef * ratio^1.5 * fraction`.
+    pub prune_coefficient: f64,
+    /// Accuracy lost per unit of quality reduction (linear in `1 - q`).
+    pub quality_slope: f64,
+    /// Top-1 accuracy lost by INT8 quantisation of a CNN (post-training
+    /// quantisation of ResNets typically costs well under a point).
+    pub quantization_penalty: f64,
+}
+
+impl AccuracyModel {
+    /// The reproduction's reference calibration.
+    pub fn reference() -> Self {
+        Self {
+            reference_params: 11.7e6,
+            reference_accuracy: 0.92,
+            capacity_per_doubling: 0.02,
+            prune_coefficient: 0.18,
+            quality_slope: 0.12,
+            quantization_penalty: 0.006,
+        }
+    }
+
+    /// Learning-curve accuracy after `epoch` epochs of training the given
+    /// Table I configuration on a new task (Fig. 2 left).
+    pub fn curve(&self, config: Config, epoch: u32) -> f64 {
+        let e = epoch as f64;
+        let (a_inf, tau, overfit_start, overfit_rate) = match config {
+            // (asymptote, time constant, overfit onset epoch, decline/epoch)
+            Config::A => (0.90, 80.0, f64::INFINITY, 0.0),
+            Config::E => (0.855, 40.0, f64::INFINITY, 0.0),
+            Config::D => (0.845, 28.0, f64::INFINITY, 0.0),
+            Config::C => (0.840, 18.0, 120.0, 0.0004),
+            Config::B => (0.800, 10.0, 80.0, 0.0003),
+        };
+        let rise = a_inf * (1.0 - (-e / tau).exp());
+        let decline = if e > overfit_start { (e - overfit_start) * overfit_rate } else { 0.0 };
+        (rise - decline).clamp(0.0, 1.0)
+    }
+
+    /// Accuracy penalty for pruning `fraction` of a path's parameters at
+    /// the given channel ratio.
+    pub fn prune_penalty(&self, ratio: f64, pruned_fraction: f64) -> f64 {
+        self.prune_coefficient * ratio.powf(1.5) * pruned_fraction.clamp(0.0, 1.0)
+    }
+
+    /// Accuracy adjustment for input quality `q` in `(0, 1]` (1 = full
+    /// sensor quality); zero at full quality, negative below.
+    pub fn quality_adjust(&self, quality: f64) -> f64 {
+        self.quality_slope * (quality.clamp(0.05, 1.0) - 1.0)
+    }
+
+    /// Per-configuration adjustment of *deployed* accuracy. Fine-tuning
+    /// from the pretrained base with one frozen block (E) ends best —
+    /// pretrained low-level features transfer and regularise (He et al.,
+    /// "Rethinking ImageNet pre-training": training from scratch catches
+    /// up but rarely surpasses on modest datasets, which is why A sits
+    /// marginally below D/E); freezing everything (B) costs the most.
+    pub fn share_adjust(&self, config: Config) -> f64 {
+        match config {
+            Config::E => 0.0,
+            Config::D => -0.004,
+            Config::A => -0.006,
+            Config::C => -0.008,
+            Config::B => -0.020,
+        }
+    }
+
+    /// Deployed accuracy of a path (DOT constraint (1f) input).
+    ///
+    /// * `unpruned_params` — parameter count of the path's *unpruned*
+    ///   sibling (capacity proxy).
+    /// * `config` — the Table I configuration the path realises.
+    /// * `prune_ratio` / `pruned_fraction` — channel ratio and the fraction
+    ///   of path parameters removed (0 for unpruned paths).
+    /// * `quality` — input quality level `q` in `(0, 1]`.
+    /// * `difficulty` — task-specific offset (0 for an average task).
+    pub fn deployed(
+        &self,
+        unpruned_params: u64,
+        config: Config,
+        prune_ratio: f64,
+        pruned_fraction: f64,
+        quality: f64,
+        difficulty: f64,
+    ) -> f64 {
+        let capacity = self.capacity_per_doubling * (unpruned_params as f64 / self.reference_params).log2();
+        let acc = self.reference_accuracy + capacity + self.share_adjust(config)
+            - self.prune_penalty(prune_ratio, pruned_fraction)
+            + self.quality_adjust(quality)
+            - difficulty;
+        acc.clamp(0.02, 0.98)
+    }
+}
+
+impl Default for AccuracyModel {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: AccuracyModel = AccuracyModel {
+        reference_params: 11.7e6,
+        reference_accuracy: 0.92,
+        capacity_per_doubling: 0.02,
+        prune_coefficient: 0.18,
+        quality_slope: 0.12,
+        quantization_penalty: 0.006,
+    };
+
+    #[test]
+    fn curve_shared_configs_converge_faster() {
+        // Fig. 2: B and C reach ~80 % much earlier than A.
+        let epoch_to_reach = |cfg: Config, target: f64| -> u32 {
+            (1..=400).find(|&e| M.curve(cfg, e) >= target).unwrap_or(400)
+        };
+        let a = epoch_to_reach(Config::A, 0.78);
+        let b = epoch_to_reach(Config::B, 0.78);
+        let c = epoch_to_reach(Config::C, 0.78);
+        assert!(a > 150, "A must need >150 epochs for ~80%: took {a}");
+        assert!(b < 60 && c < 80, "B ({b}) and C ({c}) converge fast");
+    }
+
+    #[test]
+    fn curve_c_outperforms_d_and_e_early() {
+        for e in [20, 40, 60, 80, 100] {
+            assert!(M.curve(Config::C, e) > M.curve(Config::D, e));
+            assert!(M.curve(Config::D, e) > M.curve(Config::E, e));
+        }
+    }
+
+    #[test]
+    fn curve_baseline_wins_after_250_epochs() {
+        let a = M.curve(Config::A, 250);
+        for cfg in [Config::B, Config::C, Config::D, Config::E] {
+            assert!(a > M.curve(cfg, 250), "A must beat {cfg:?} at 250 epochs");
+        }
+    }
+
+    #[test]
+    fn curve_b_and_c_overfit() {
+        // Their accuracy at 250 epochs is below their own peak.
+        for cfg in [Config::B, Config::C] {
+            let peak = (1..=250).map(|e| M.curve(cfg, e)).fold(0.0f64, f64::max);
+            assert!(M.curve(cfg, 250) < peak - 1e-6, "{cfg:?} must decline from its peak");
+        }
+        // D and E do not decline.
+        for cfg in [Config::D, Config::E] {
+            let peak = (1..=250).map(|e| M.curve(cfg, e)).fold(0.0f64, f64::max);
+            assert!(M.curve(cfg, 250) >= peak - 1e-9);
+        }
+    }
+
+    #[test]
+    fn deployed_ordering_by_share_split() {
+        let acc = |cfg| M.deployed(11_700_000, cfg, 0.0, 0.0, 1.0, 0.0);
+        assert!(acc(Config::E) > acc(Config::D));
+        assert!(acc(Config::D) > acc(Config::A), "pretraining helps at deployment");
+        assert!(acc(Config::A) > acc(Config::C));
+        assert!(acc(Config::C) > acc(Config::B), "fully frozen features cost the most");
+    }
+
+    #[test]
+    fn deployed_tops_small_scenario_requirement() {
+        // The small scenario's strictest task needs 0.9 top-1; a fully
+        // fine-tuned reference path must satisfy it.
+        let acc = M.deployed(11_700_000, Config::E, 0.0, 0.0, 1.0, 0.0);
+        assert!(acc >= 0.9, "got {acc}");
+    }
+
+    #[test]
+    fn pruning_always_costs_accuracy() {
+        for cfg in Config::ALL {
+            let full = M.deployed(11_700_000, cfg, 0.0, 0.0, 1.0, 0.0);
+            let pruned = M.deployed(11_700_000, cfg, 0.8, 0.5, 1.0, 0.0);
+            assert!(pruned < full);
+        }
+    }
+
+    #[test]
+    fn b_pruned_loses_least() {
+        // Fig. 3 (right): CONFIG B's pruned fraction is tiny (head only),
+        // so its penalty is smallest.
+        let pen_b = M.prune_penalty(0.8, 0.003);
+        let pen_a = M.prune_penalty(0.8, 0.95);
+        assert!(pen_b < 0.01 * pen_a);
+    }
+
+    #[test]
+    fn capacity_matches_intro_claim() {
+        // 8.7x more params ~ +5-6 % accuracy with 0.02/doubling.
+        let small = M.deployed(6_900_000, Config::A, 0.0, 0.0, 1.0, 0.0);
+        let large = M.deployed(60_000_000, Config::A, 0.0, 0.0, 1.0, 0.0);
+        let gain = large - small;
+        assert!((0.04..0.08).contains(&gain), "gain {gain}");
+    }
+
+    #[test]
+    fn quality_degrades_accuracy() {
+        let hi = M.deployed(11_700_000, Config::C, 0.0, 0.0, 1.0, 0.0);
+        let lo = M.deployed(11_700_000, Config::C, 0.0, 0.0, 0.5, 0.0);
+        assert!(lo < hi);
+        assert_eq!(M.quality_adjust(1.0), 0.0);
+    }
+
+    #[test]
+    fn deployed_clamped() {
+        let floor = M.deployed(1_000, Config::B, 0.9, 1.0, 0.05, 0.9);
+        assert!(floor >= 0.02);
+        let ceil = M.deployed(u64::MAX / 2, Config::A, 0.0, 0.0, 1.0, -10.0);
+        assert!(ceil <= 0.98);
+    }
+}

@@ -1,0 +1,314 @@
+//! Per-block cost tables: the bridge from DNN structure to the scalars the
+//! DOT problem consumes — `c(s^d)` (inference compute time), `mu(s^d)`
+//! (memory) and `ct(s^d)` (training cost).
+
+use crate::accuracy::AccuracyModel;
+use crate::hardware::HardwareModel;
+use crate::training::TrainingSetup;
+use offloadnn_dnn::block::BlockId;
+use offloadnn_dnn::config::PathConfig;
+use offloadnn_dnn::repository::{DnnPath, Repository};
+use serde::{Deserialize, Serialize};
+
+/// Bundle of all profiling models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileConfig {
+    /// Edge inference hardware.
+    pub inference: HardwareModel,
+    /// Training setup for fine-tuning costs.
+    pub training: TrainingSetup,
+    /// Accuracy model.
+    pub accuracy: AccuracyModel,
+    /// Multiplier on raw weight bytes (allocator slack, cuDNN algorithm
+    /// workspaces proportional to the kernels present).
+    pub weights_factor: f64,
+    /// Batch the serving runtime sizes its activation arenas for; resident
+    /// memory of a block includes `activation_elements * 4 * batch` bytes.
+    /// This is what makes a deployed DNN occupy GBs rather than just its
+    /// weights, and therefore what block sharing actually saves.
+    pub serving_batch: f64,
+    /// Fixed VRAM overhead per resident *feature* block (execution
+    /// context, stream descriptors).
+    pub feature_block_overhead_bytes: f64,
+    /// Fixed VRAM overhead per resident classifier-head micro-block.
+    pub head_block_overhead_bytes: f64,
+}
+
+impl ProfileConfig {
+    /// The reproduction's reference profile.
+    pub fn reference() -> Self {
+        Self {
+            inference: HardwareModel::edge_gpu(),
+            training: TrainingSetup::reference(),
+            accuracy: AccuracyModel::reference(),
+            weights_factor: 1.25,
+            serving_batch: 18.0,
+            feature_block_overhead_bytes: 24.0 * 1024.0 * 1024.0,
+            head_block_overhead_bytes: 4.0 * 1024.0 * 1024.0,
+        }
+    }
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// The three DOT cost scalars of one block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockCosts {
+    /// Inference compute time `c(s^d)` in seconds per sample.
+    pub compute_seconds: f64,
+    /// Resident memory `mu(s^d)` in bytes.
+    pub memory_bytes: f64,
+    /// Training cost `ct(s^d)` in GPU-seconds (zero for base blocks).
+    pub training_seconds: f64,
+}
+
+/// Cost scalars for every interned block of a repository, indexed by
+/// [`BlockId`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostTable {
+    costs: Vec<BlockCosts>,
+}
+
+impl CostTable {
+    /// Profiles every block currently interned in `repo`.
+    ///
+    /// Call again after interning more paths; the table is positional, so
+    /// it must always be rebuilt from (or cover) the same repository state
+    /// it is used with.
+    pub fn profile(repo: &Repository, cfg: &ProfileConfig) -> Self {
+        let costs = repo
+            .blocks()
+            .iter()
+            .map(|b| {
+                let overhead = if b.key.variant.is_head() {
+                    cfg.head_block_overhead_bytes
+                } else {
+                    cfg.feature_block_overhead_bytes
+                };
+                // Precision scales the resident footprint (weights and
+                // activation arenas shrink with the element size) and the
+                // compute time (INT8 paths); training happens at FP32
+                // regardless (quantisation-aware or post-training).
+                let p = b.key.precision;
+                let elem = p.bytes_per_param();
+                let weights = b.metrics.params as f64 * elem * cfg.weights_factor;
+                let arenas = b.metrics.activation_elements as f64 * elem * cfg.serving_batch;
+                BlockCosts {
+                    compute_seconds: cfg.inference.block_latency(&b.metrics) * p.compute_factor(),
+                    memory_bytes: weights + arenas + overhead,
+                    training_seconds: cfg.training.block_training_seconds(&b.metrics, &b.key.variant),
+                }
+            })
+            .collect();
+        Self { costs }
+    }
+
+    /// Costs of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not covered by this table (stale table).
+    pub fn get(&self, id: BlockId) -> &BlockCosts {
+        &self.costs[id.0 as usize]
+    }
+
+    /// Number of profiled blocks.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Total inference compute time of a path, in seconds per sample
+    /// (the `sum_{s in pi} c(s)` term of the latency constraint).
+    pub fn path_compute_seconds(&self, path: &DnnPath) -> f64 {
+        path.blocks.iter().map(|&b| self.get(b).compute_seconds).sum()
+    }
+
+    /// Total training cost of a path in GPU-seconds, *ignoring sharing*
+    /// (the shared-once accounting happens in the DOT objective).
+    pub fn path_training_seconds(&self, path: &DnnPath) -> f64 {
+        path.blocks.iter().map(|&b| self.get(b).training_seconds).sum()
+    }
+
+    /// Total memory of a path in bytes, ignoring sharing.
+    pub fn path_memory_bytes(&self, path: &DnnPath) -> f64 {
+        path.blocks.iter().map(|&b| self.get(b).memory_bytes).sum()
+    }
+}
+
+/// Deployed accuracy of a path at a given input quality and task
+/// difficulty.
+///
+/// Needs `&mut Repository` because capacity is measured against the path's
+/// *unpruned sibling*, which is interned on demand (a no-op if already
+/// present).
+pub fn path_accuracy(
+    repo: &mut Repository,
+    model: &AccuracyModel,
+    path: &DnnPath,
+    quality: f64,
+    difficulty: f64,
+) -> f64 {
+    let ratio = path
+        .blocks
+        .iter()
+        .filter_map(|&b| repo.block(b).key.variant.prune_ratio())
+        .fold(0.0f64, f64::max);
+    let quantized = path
+        .blocks
+        .iter()
+        .any(|&b| repo.block(b).key.precision == offloadnn_dnn::Precision::Int8);
+    let sibling_cfg = PathConfig { config: path.config.config, pruned: false };
+    let sibling = repo
+        .instantiate_path(path.model, path.group, sibling_cfg, ratio.max(0.001))
+        .expect("unpruned sibling instantiation cannot fail");
+    let unpruned_params = repo.path_params(&sibling);
+    // The penalty scales with the *compute* removed, not the parameters:
+    // pruning the wide-but-cheap last stage hurts far less than gutting
+    // the early feature extractor, even though the last stage holds most
+    // of the weights.
+    let unpruned_flops = repo.path_flops(&sibling);
+    let flops = repo.path_flops(path);
+    let pruned_fraction = 1.0 - flops as f64 / unpruned_flops.max(1) as f64;
+    let acc = model.deployed(unpruned_params, path.config.config, ratio, pruned_fraction, quality, difficulty);
+    if quantized {
+        acc - model.quantization_penalty
+    } else {
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offloadnn_dnn::config::Config;
+    use offloadnn_dnn::models::resnet18;
+    use offloadnn_dnn::shape::TensorShape;
+    use offloadnn_dnn::GroupId;
+
+    fn setup() -> (Repository, Vec<DnnPath>, CostTable) {
+        let mut repo = Repository::new();
+        let m = repo.add_model(resnet18(60, 1000, TensorShape::new(3, 224, 224)));
+        let paths = repo.all_paths(m, GroupId(0), 0.8).unwrap();
+        let table = CostTable::profile(&repo, &ProfileConfig::reference());
+        (repo, paths, table)
+    }
+
+    #[test]
+    fn table_covers_all_blocks() {
+        let (repo, _, table) = setup();
+        assert_eq!(table.len(), repo.num_blocks());
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn figure3_compute_time_ordering() {
+        // Unpruned paths all cost about the same (same structure); pruned
+        // ones order B > C > D > E >= A (less is pruned away going left).
+        let (_, paths, table) = setup();
+        let t = |cfg: Config, pruned: bool| -> f64 {
+            let p = paths
+                .iter()
+                .find(|p| p.config.config == cfg && p.config.pruned == pruned)
+                .unwrap();
+            table.path_compute_seconds(p)
+        };
+        assert!(t(Config::B, true) > t(Config::C, true));
+        assert!(t(Config::C, true) > t(Config::D, true));
+        assert!(t(Config::D, true) > t(Config::E, true));
+        assert!(t(Config::E, true) >= t(Config::A, true));
+        for cfg in Config::ALL {
+            assert!(t(cfg, true) < t(cfg, false), "{cfg:?}-pruned must be faster");
+        }
+    }
+
+    #[test]
+    fn base_blocks_have_zero_training_cost() {
+        let (repo, _, table) = setup();
+        for (i, b) in repo.blocks().iter().enumerate() {
+            let cost = table.get(offloadnn_dnn::BlockId(i as u32));
+            if matches!(b.key.variant, offloadnn_dnn::BlockVariant::Base) {
+                assert_eq!(cost.training_seconds, 0.0);
+            } else {
+                assert!(cost.training_seconds > 0.0, "trainable block {i} must cost something");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_weights_plus_arenas_plus_overhead() {
+        let (repo, _, table) = setup();
+        let cfg = ProfileConfig::reference();
+        for (i, b) in repo.blocks().iter().enumerate() {
+            let c = table.get(offloadnn_dnn::BlockId(i as u32));
+            let overhead = if b.key.variant.is_head() {
+                cfg.head_block_overhead_bytes
+            } else {
+                cfg.feature_block_overhead_bytes
+            };
+            let elem = b.key.precision.bytes_per_param();
+            let expected = b.metrics.params as f64 * elem * cfg.weights_factor
+                + b.metrics.activation_elements as f64 * elem * cfg.serving_batch
+                + overhead;
+            assert!((c.memory_bytes - expected).abs() < 1.0);
+            // Memory always exceeds raw weights: the runtime is not free.
+            assert!(c.memory_bytes > b.metrics.params as f64 * 4.0);
+        }
+    }
+
+    #[test]
+    fn path_accuracy_pruned_below_unpruned() {
+        let (mut repo, paths, _) = setup();
+        let acc = AccuracyModel::reference();
+        for cfg in Config::ALL {
+            let full = paths.iter().find(|p| p.config.config == cfg && !p.config.pruned).unwrap().clone();
+            let pruned = paths.iter().find(|p| p.config.config == cfg && p.config.pruned).unwrap().clone();
+            let af = path_accuracy(&mut repo, &acc, &full, 1.0, 0.0);
+            let ap = path_accuracy(&mut repo, &acc, &pruned, 1.0, 0.0);
+            assert!(ap < af, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn int8_blocks_are_smaller_faster_slightly_less_accurate() {
+        let mut repo = Repository::new();
+        let m = repo.add_model(resnet18(60, 1000, TensorShape::new(3, 224, 224)));
+        let cfg = offloadnn_dnn::PathConfig { config: Config::C, pruned: false };
+        let fp32 = repo.instantiate_path(m, GroupId(0), cfg, 0.8).unwrap();
+        let int8 = repo
+            .instantiate_path_at(m, GroupId(0), cfg, 0.8, offloadnn_dnn::Precision::Int8)
+            .unwrap();
+        assert_ne!(fp32.blocks, int8.blocks, "distinct artifacts");
+        let table = CostTable::profile(&repo, &ProfileConfig::reference());
+        assert!(table.path_compute_seconds(&int8) < table.path_compute_seconds(&fp32));
+        assert!(table.path_memory_bytes(&int8) < 0.5 * table.path_memory_bytes(&fp32));
+        let acc = AccuracyModel::reference();
+        let a32 = path_accuracy(&mut repo, &acc, &fp32, 1.0, 0.0);
+        let a8 = path_accuracy(&mut repo, &acc, &int8, 1.0, 0.0);
+        assert!(a8 < a32, "quantisation costs accuracy");
+        assert!(a32 - a8 < 0.01, "but well under a point");
+    }
+
+    #[test]
+    fn figure3_accuracy_b_pruned_drops_least() {
+        let (mut repo, paths, _) = setup();
+        let acc = AccuracyModel::reference();
+        let mut drop = |cfg: Config| -> f64 {
+            let full = paths.iter().find(|p| p.config.config == cfg && !p.config.pruned).unwrap().clone();
+            let pruned = paths.iter().find(|p| p.config.config == cfg && p.config.pruned).unwrap().clone();
+            path_accuracy(&mut repo, &acc, &full, 1.0, 0.0) - path_accuracy(&mut repo, &acc, &pruned, 1.0, 0.0)
+        };
+        let db = drop(Config::B);
+        for cfg in [Config::A, Config::C, Config::D, Config::E] {
+            assert!(db < drop(cfg), "B's pruning drop must be smallest (vs {cfg:?})");
+        }
+    }
+}

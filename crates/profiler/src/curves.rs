@@ -1,0 +1,179 @@
+//! Stochastic training runs: the deterministic learning curves of
+//! [`crate::accuracy::AccuracyModel::curve`] plus seeded epoch-to-epoch
+//! noise, giving the simulator the texture of real fine-tuning logs —
+//! multi-seed mean/std bands, time-to-target measurements and
+//! early-stopping decisions (what a practitioner would actually deploy).
+
+use crate::accuracy::AccuracyModel;
+use offloadnn_dnn::config::Config;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One simulated fine-tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingRun {
+    /// The Table I configuration trained.
+    pub config: Config,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Validation accuracy after each epoch (`accuracy[e]` = epoch `e+1`).
+    pub accuracy: Vec<f64>,
+}
+
+impl TrainingRun {
+    /// Epoch (1-based) with the best validation accuracy.
+    pub fn best_epoch(&self) -> usize {
+        self.accuracy
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i + 1)
+            .unwrap_or(0)
+    }
+
+    /// Best validation accuracy seen.
+    pub fn best_accuracy(&self) -> f64 {
+        self.accuracy.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// First epoch (1-based) reaching `target`, if any.
+    pub fn epochs_to_reach(&self, target: f64) -> Option<usize> {
+        self.accuracy.iter().position(|&a| a >= target).map(|i| i + 1)
+    }
+
+    /// The epoch early stopping with the given patience would keep: the
+    /// best epoch seen before `patience` consecutive non-improving epochs.
+    pub fn early_stop_epoch(&self, patience: usize) -> usize {
+        let mut best = 0.0f64;
+        let mut best_epoch = 0usize;
+        let mut stale = 0usize;
+        for (i, &a) in self.accuracy.iter().enumerate() {
+            if a > best {
+                best = a;
+                best_epoch = i + 1;
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= patience {
+                    break;
+                }
+            }
+        }
+        best_epoch
+    }
+}
+
+/// The simulator: deterministic curve + AR(1) validation noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurveSimulator {
+    /// The underlying accuracy model.
+    pub model: AccuracyModel,
+    /// Standard deviation of the per-epoch validation noise.
+    pub noise_std: f64,
+    /// AR(1) correlation of consecutive epochs' noise.
+    pub noise_rho: f64,
+}
+
+impl CurveSimulator {
+    /// Reference noise level (~0.8 accuracy points epoch-to-epoch).
+    pub fn reference() -> Self {
+        Self { model: AccuracyModel::reference(), noise_std: 0.008, noise_rho: 0.7 }
+    }
+
+    /// Simulates one run of `epochs` epochs.
+    pub fn run(&self, config: Config, epochs: usize, seed: u64) -> TrainingRun {
+        let mut rng = StdRng::seed_from_u64(seed ^ (config as u64) << 32);
+        let mut noise = 0.0f64;
+        let innovation = self.noise_std * (1.0 - self.noise_rho * self.noise_rho).sqrt();
+        let accuracy = (1..=epochs)
+            .map(|e| {
+                let eps: f64 = rng.random_range(-1.732..1.732); // unit-variance uniform
+                noise = self.noise_rho * noise + innovation * eps;
+                (self.model.curve(config, e as u32) + noise).clamp(0.0, 1.0)
+            })
+            .collect();
+        TrainingRun { config, seed, accuracy }
+    }
+
+    /// Mean and standard deviation over `seeds` runs, per epoch.
+    pub fn mean_band(&self, config: Config, epochs: usize, seeds: u64) -> (Vec<f64>, Vec<f64>) {
+        let runs: Vec<TrainingRun> = (0..seeds).map(|s| self.run(config, epochs, s)).collect();
+        let mut mean = vec![0.0; epochs];
+        let mut std = vec![0.0; epochs];
+        for e in 0..epochs {
+            let vals: Vec<f64> = runs.iter().map(|r| r.accuracy[e]).collect();
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            let v = vals.iter().map(|x| (x - m).powi(2)).sum::<f64>() / vals.len() as f64;
+            mean[e] = m;
+            std[e] = v.sqrt();
+        }
+        (mean, std)
+    }
+}
+
+impl Default for CurveSimulator {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_are_reproducible_and_distinct_across_seeds() {
+        let sim = CurveSimulator::reference();
+        let a = sim.run(Config::C, 100, 1);
+        let b = sim.run(Config::C, 100, 1);
+        let c = sim.run(Config::C, 100, 2);
+        assert_eq!(a, b);
+        assert_ne!(a.accuracy, c.accuracy);
+    }
+
+    #[test]
+    fn mean_band_brackets_deterministic_curve() {
+        let sim = CurveSimulator::reference();
+        let (mean, std) = sim.mean_band(Config::D, 150, 32);
+        for (e, (&m, &s)) in mean.iter().zip(&std).enumerate() {
+            let det = sim.model.curve(Config::D, (e + 1) as u32);
+            assert!(
+                (m - det).abs() < 0.01 + 3.0 * s / (32f64).sqrt(),
+                "epoch {}: mean {m} vs deterministic {det}",
+                e + 1
+            );
+        }
+    }
+
+    #[test]
+    fn early_stopping_beats_training_to_the_bitter_end_for_config_b() {
+        // CONFIG B overfits: stopping at the peak must beat epoch 250.
+        let sim = CurveSimulator::reference();
+        let run = sim.run(Config::B, 250, 7);
+        let stop = run.early_stop_epoch(20);
+        assert!(stop < 200, "early stopping must trigger before the end: {stop}");
+        let final_acc = *run.accuracy.last().unwrap();
+        assert!(run.accuracy[stop - 1] > final_acc, "stopped model beats the overtrained one");
+    }
+
+    #[test]
+    fn time_to_target_ordering_survives_noise() {
+        // Even with noise, B reaches 75% long before A, on every seed.
+        let sim = CurveSimulator::reference();
+        for seed in 0..10 {
+            let b = sim.run(Config::B, 300, seed).epochs_to_reach(0.75).expect("B reaches 75%");
+            let a = sim.run(Config::A, 300, seed).epochs_to_reach(0.75).expect("A reaches 75%");
+            assert!(b < a, "seed {seed}: B {b} vs A {a}");
+        }
+    }
+
+    #[test]
+    fn best_epoch_and_accuracy_consistent() {
+        let sim = CurveSimulator::reference();
+        let run = sim.run(Config::E, 120, 3);
+        let be = run.best_epoch();
+        assert!((run.accuracy[be - 1] - run.best_accuracy()).abs() < 1e-12);
+        assert!(run.best_accuracy() > 0.7);
+    }
+}

@@ -1,0 +1,143 @@
+//! The paper's datasets: the 60-category base dataset (Table II) and the
+//! new-task extensions used in Sec. II's motivating experiments.
+//!
+//! Categories also carry a deterministic per-class difficulty offset so the
+//! accuracy model can differentiate tasks without any randomness.
+
+use serde::{Deserialize, Serialize};
+
+/// One thematic section of the base dataset (a row of Table II).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Section {
+    /// Section name ("Vehicle", "Snakes", ...).
+    pub name: String,
+    /// Category names in the section.
+    pub categories: Vec<String>,
+}
+
+/// The whole base dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Thematic sections.
+    pub sections: Vec<Section>,
+}
+
+impl Dataset {
+    /// Total category count (60 for the base dataset).
+    pub fn num_categories(&self) -> usize {
+        self.sections.iter().map(|s| s.categories.len()).sum()
+    }
+
+    /// Flat iterator over all category names.
+    pub fn categories(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().flat_map(|s| s.categories.iter().map(String::as_str))
+    }
+}
+
+fn section(name: &str, exemplar: &str, count: usize) -> Section {
+    let mut categories = Vec::with_capacity(count);
+    categories.push(exemplar.to_owned());
+    for i in 1..count {
+        categories.push(format!("{} #{i}", name.trim_end_matches('s').to_lowercase()));
+    }
+    Section { name: name.to_owned(), categories }
+}
+
+/// The Table II base dataset: 60 object categories in five sections.
+pub fn base_dataset() -> Dataset {
+    Dataset {
+        sections: vec![
+            section("Vehicle", "bus", 12),
+            section("Wild animals", "koala", 18),
+            section("Snakes", "green snake", 10),
+            section("Cats", "Persian cat", 6),
+            section("Household Objects", "toaster", 14),
+        ],
+    }
+}
+
+/// A new task arriving at the edge, requiring fine-tuning on extra classes
+/// (Sec. II's motivating experiments).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtensionTask {
+    /// Task name.
+    pub name: String,
+    /// Exemplar target class.
+    pub target_class: String,
+    /// Difficulty offset fed to the accuracy model (0 = average).
+    pub difficulty: f64,
+}
+
+/// The two extension tasks the paper's motivation section uses.
+pub fn extension_tasks() -> Vec<ExtensionTask> {
+    vec![
+        ExtensionTask { name: "Grocery items".into(), target_class: "mushroom".into(), difficulty: 0.01 },
+        ExtensionTask { name: "Musical instruments".into(), target_class: "electric guitar".into(), difficulty: 0.005 },
+    ]
+}
+
+/// A deterministic per-category difficulty offset in `[0, 0.03)`, derived
+/// from the category name (an FNV-1a hash), so repeated runs agree.
+pub fn category_difficulty(category: &str) -> f64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in category.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % 1000) as f64 / 1000.0 * 0.03
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_dataset_has_sixty_categories() {
+        let d = base_dataset();
+        assert_eq!(d.num_categories(), 60);
+        assert_eq!(d.sections.len(), 5);
+    }
+
+    #[test]
+    fn table_ii_section_sizes() {
+        let d = base_dataset();
+        let sizes: Vec<(&str, usize)> = d.sections.iter().map(|s| (s.name.as_str(), s.categories.len())).collect();
+        assert_eq!(
+            sizes,
+            vec![
+                ("Vehicle", 12),
+                ("Wild animals", 18),
+                ("Snakes", 10),
+                ("Cats", 6),
+                ("Household Objects", 14)
+            ]
+        );
+    }
+
+    #[test]
+    fn exemplars_match_paper() {
+        let d = base_dataset();
+        let all: Vec<&str> = d.categories().collect();
+        for exemplar in ["bus", "koala", "green snake", "Persian cat", "toaster"] {
+            assert!(all.contains(&exemplar), "{exemplar} missing");
+        }
+    }
+
+    #[test]
+    fn difficulty_is_deterministic_and_bounded() {
+        let a = category_difficulty("electric guitar");
+        let b = category_difficulty("electric guitar");
+        assert_eq!(a, b);
+        for c in base_dataset().categories() {
+            let d = category_difficulty(c);
+            assert!((0.0..0.03).contains(&d));
+        }
+    }
+
+    #[test]
+    fn extension_tasks_present() {
+        let t = extension_tasks();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1].target_class, "electric guitar");
+    }
+}

@@ -1,0 +1,46 @@
+//! Analytic profiling models for the OffloaDNN reproduction.
+//!
+//! The paper derives per-block inference time, memory, training cost and
+//! accuracy "experimentally" on real GPUs and datasets; this crate replaces
+//! those measurements with calibrated analytic models (see `DESIGN.md` for
+//! the substitution rationale):
+//!
+//! * [`hardware`] — roofline latency + memory model of the edge GPU.
+//! * [`training`] — fine-tuning cost and peak-training-memory (Fig. 2).
+//! * [`accuracy`] — learning curves and deployed path accuracy.
+//! * [`dataset`] — the Table II base dataset and extension tasks.
+//! * [`cost`] — per-[`BlockId`](offloadnn_dnn::BlockId) cost tables, the
+//!   direct input of the DOT problem.
+//!
+//! # Example
+//!
+//! ```
+//! use offloadnn_profiler::cost::{CostTable, ProfileConfig};
+//! use offloadnn_dnn::{models::resnet18, repository::Repository, GroupId, TensorShape};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut repo = Repository::new();
+//! let m = repo.add_model(resnet18(60, 1000, TensorShape::new(3, 224, 224)));
+//! let paths = repo.all_paths(m, GroupId(0), 0.8)?;
+//! let table = CostTable::profile(&repo, &ProfileConfig::reference());
+//! let latency = table.path_compute_seconds(&paths[0]);
+//! assert!(latency > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accuracy;
+pub mod cost;
+pub mod curves;
+pub mod dataset;
+pub mod hardware;
+pub mod training;
+
+pub use accuracy::AccuracyModel;
+pub use curves::{CurveSimulator, TrainingRun};
+pub use cost::{path_accuracy, BlockCosts, CostTable, ProfileConfig};
+pub use hardware::HardwareModel;
+pub use training::TrainingSetup;

@@ -1,0 +1,242 @@
+//! Training cost and training memory models.
+//!
+//! Substitutes the paper's measured fine-tuning runs: per-block training
+//! cost `ct(s^d)` in GPU-seconds and the peak training-memory curve of
+//! Fig. 2 (right). The memory model separates the four quantities real
+//! frameworks allocate — weights, gradients + optimizer states (Adam keeps
+//! two moments), activations retained for the backward pass, and transient
+//! forward buffers — so frozen (shared) blocks visibly stop paying the
+//! gradient/activation bill, exactly the effect the paper measures.
+
+use crate::hardware::{HardwareModel, BYTES_PER_ELEMENT};
+use offloadnn_dnn::block::{BlockEntry, BlockMetrics, BlockVariant};
+use serde::{Deserialize, Serialize};
+
+/// One mebibyte.
+pub const MIB: f64 = 1024.0 * 1024.0;
+
+/// Fine-tuning setup (hyper-parameters from Sec. II: batch 256, Adam).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSetup {
+    /// GPU used for fine-tuning.
+    pub hardware: HardwareModel,
+    /// Mini-batch size.
+    pub batch_size: u32,
+    /// Optimiser steps per epoch (dataset size / batch size).
+    pub steps_per_epoch: u32,
+    /// Epochs used when fine-tuning from the pretrained base (Sec. II's
+    /// second experiment fine-tunes for 100 epochs before pruning).
+    pub epochs_finetune: u32,
+    /// Epochs needed when training from scratch (CONFIG A needs more than
+    /// 200 epochs in Fig. 2 to reach target accuracy).
+    pub epochs_scratch: u32,
+    /// Fixed framework/context overhead in bytes (CUDA context, cuDNN
+    /// workspaces, allocator slack).
+    pub framework_overhead_bytes: f64,
+    /// Fraction of activation elements actually retained for backward
+    /// (in-place ReLU/BN folding and buffer reuse).
+    pub inplace_factor: f64,
+}
+
+impl TrainingSetup {
+    /// The reproduction's reference setup.
+    pub fn reference() -> Self {
+        Self {
+            hardware: HardwareModel::training_gpu(),
+            batch_size: 256,
+            steps_per_epoch: 200,
+            epochs_finetune: 100,
+            epochs_scratch: 250,
+            framework_overhead_bytes: 800.0 * MIB,
+            inplace_factor: 0.35,
+        }
+    }
+
+    /// Epochs a block of the given variant trains for (zero for frozen
+    /// base blocks).
+    pub fn epochs_for(&self, variant: &BlockVariant) -> u32 {
+        match variant {
+            BlockVariant::Base => 0,
+            BlockVariant::Head { .. } | BlockVariant::PrunedHead { .. } => self.epochs_finetune,
+            BlockVariant::FineTuned { from_scratch, .. } | BlockVariant::Pruned { from_scratch, .. } => {
+                if *from_scratch {
+                    self.epochs_scratch
+                } else {
+                    self.epochs_finetune
+                }
+            }
+        }
+    }
+
+    /// Training cost `ct(s^d)` in GPU-seconds for one block.
+    ///
+    /// A trainable block pays forward + backward (~3x forward FLOPs, the
+    /// standard estimate) for every sample of every epoch. Pruned variants
+    /// are fine-tuned *before* pruning (single-shot pruning, Sec. II), so
+    /// they pay the cost of their unpruned FLOPs; we approximate that with
+    /// the pruned structure's parent cost via the head-block convention:
+    /// the cost charged is that of the block as stored, which for pruned
+    /// blocks slightly underestimates — acceptable because the paper's `ct`
+    /// is itself an offline-profiled scalar input.
+    pub fn block_training_seconds(&self, m: &BlockMetrics, variant: &BlockVariant) -> f64 {
+        let epochs = self.epochs_for(variant) as f64;
+        if epochs == 0.0 || m.trainable_params == 0 {
+            return 0.0;
+        }
+        // Head-only variants backprop through the head alone; fully
+        // trainable blocks through everything they contain.
+        let trainable_fraction = m.trainable_params as f64 / m.params.max(1) as f64;
+        let train_flops = 3.0 * m.flops as f64 * trainable_fraction;
+        let samples = self.batch_size as f64 * self.steps_per_epoch as f64;
+        epochs * samples * train_flops / self.hardware.flops_per_sec
+    }
+
+    /// Wall-clock seconds for one fine-tuning epoch of a whole path
+    /// (forward through every block, backward through trainable ones).
+    pub fn epoch_seconds(&self, blocks: &[&BlockEntry]) -> f64 {
+        let samples = self.batch_size as f64 * self.steps_per_epoch as f64;
+        let flops: f64 = blocks
+            .iter()
+            .map(|b| {
+                let fwd = b.metrics.flops as f64;
+                let trainable_fraction = b.metrics.trainable_params as f64 / b.metrics.params.max(1) as f64;
+                fwd * (1.0 + 2.0 * trainable_fraction)
+            })
+            .sum();
+        samples * flops / self.hardware.flops_per_sec
+    }
+
+    /// Peak GPU memory in bytes while fine-tuning a path composed of the
+    /// given blocks (Fig. 2 right).
+    pub fn peak_training_bytes(&self, blocks: &[&BlockEntry]) -> f64 {
+        let batch = self.batch_size as f64;
+
+        let weights: f64 = blocks.iter().map(|b| b.metrics.params as f64).sum::<f64>() * BYTES_PER_ELEMENT;
+        // Gradient + two Adam moments per trainable parameter.
+        let optimizer: f64 =
+            blocks.iter().map(|b| b.metrics.trainable_params as f64).sum::<f64>() * 3.0 * BYTES_PER_ELEMENT;
+        // Activations retained for backward: all activations of blocks with
+        // trainable *features*; head-only blocks retain just the pooled
+        // feature vector, which is negligible.
+        let stored: f64 = blocks
+            .iter()
+            .filter(|b| b.metrics.trainable_params > 0 && !b.key.variant.frozen_features())
+            .map(|b| b.metrics.activation_elements as f64)
+            .sum::<f64>()
+            * batch
+            * BYTES_PER_ELEMENT
+            * self.inplace_factor;
+        // Transient forward double-buffer sized by the largest activation.
+        let peak_act = blocks.iter().map(|b| b.metrics.peak_activation_elements).max().unwrap_or(0) as f64;
+        let transient = 2.0 * peak_act * batch * BYTES_PER_ELEMENT;
+
+        self.framework_overhead_bytes + weights + optimizer + stored + transient
+    }
+}
+
+impl Default for TrainingSetup {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offloadnn_dnn::config::{Config, PathConfig};
+    use offloadnn_dnn::models::resnet18;
+    use offloadnn_dnn::repository::Repository;
+    use offloadnn_dnn::shape::TensorShape;
+    use offloadnn_dnn::GroupId;
+
+    fn path_blocks(cfg: Config, pruned: bool) -> (Repository, Vec<offloadnn_dnn::BlockId>) {
+        let mut r = Repository::new();
+        let m = r.add_model(resnet18(60, 1000, TensorShape::new(3, 224, 224)));
+        let p = r
+            .instantiate_path(m, GroupId(0), PathConfig { config: cfg, pruned }, 0.8)
+            .unwrap();
+        (r, p.blocks)
+    }
+
+    fn peak_mib(cfg: Config) -> f64 {
+        let setup = TrainingSetup::reference();
+        let (r, ids) = path_blocks(cfg, false);
+        let blocks: Vec<&offloadnn_dnn::BlockEntry> = ids.iter().map(|&b| r.block(b)).collect();
+        setup.peak_training_bytes(&blocks) / MIB
+    }
+
+    #[test]
+    fn figure2_memory_ordering() {
+        // Fig. 2 (right): A highest; B and C markedly lower ("1.8x less
+        // than baseline"); D and E in between.
+        let (a, b, c, d, e) = (
+            peak_mib(Config::A),
+            peak_mib(Config::B),
+            peak_mib(Config::C),
+            peak_mib(Config::D),
+            peak_mib(Config::E),
+        );
+        assert!(a > e && e > d && d > c && c > b, "ordering A>{e}>{d}>{c}>{b} violated: {a} {e} {d} {c} {b}");
+        let ratio = a / b;
+        assert!((1.5..2.6).contains(&ratio), "A/B memory ratio {ratio} outside the paper's ~1.8x band");
+    }
+
+    #[test]
+    fn figure2_memory_scale() {
+        // The paper's axis runs ~2000..5000 MiB; stay in the same decade.
+        let a = peak_mib(Config::A);
+        let b = peak_mib(Config::B);
+        assert!((3000.0..8000.0).contains(&a), "CONFIG A peak {a} MiB");
+        assert!((1500.0..4000.0).contains(&b), "CONFIG B peak {b} MiB");
+    }
+
+    #[test]
+    fn base_blocks_cost_nothing_to_train() {
+        let setup = TrainingSetup::reference();
+        let (r, ids) = path_blocks(Config::C, false);
+        for &id in &ids[..3] {
+            let b = r.block(id);
+            assert_eq!(setup.block_training_seconds(&b.metrics, &b.key.variant), 0.0);
+        }
+        let last = r.block(ids[3]);
+        assert!(setup.block_training_seconds(&last.metrics, &last.key.variant) > 0.0);
+    }
+
+    #[test]
+    fn scratch_training_costs_more_than_finetuning() {
+        let setup = TrainingSetup::reference();
+        let (ra, ids_a) = path_blocks(Config::A, false);
+        let (rc, ids_c) = path_blocks(Config::C, false);
+        let cost = |r: &Repository, ids: &[offloadnn_dnn::BlockId]| -> f64 {
+            ids.iter()
+                .map(|&id| {
+                    let b = r.block(id);
+                    setup.block_training_seconds(&b.metrics, &b.key.variant)
+                })
+                .sum()
+        };
+        assert!(cost(&ra, &ids_a) > 2.0 * cost(&rc, &ids_c));
+    }
+
+    #[test]
+    fn head_only_training_is_cheap() {
+        let setup = TrainingSetup::reference();
+        let (r, ids) = path_blocks(Config::B, false);
+        let head = r.block(ids[3]);
+        let head_cost = setup.block_training_seconds(&head.metrics, &head.key.variant);
+        let (r2, ids2) = path_blocks(Config::C, false);
+        let ft = r2.block(ids2[3]);
+        let ft_cost = setup.block_training_seconds(&ft.metrics, &ft.key.variant);
+        assert!(head_cost < 0.05 * ft_cost, "head-only {head_cost} vs fine-tuned {ft_cost}");
+    }
+
+    #[test]
+    fn epoch_seconds_grows_with_trainable_fraction() {
+        let setup = TrainingSetup::reference();
+        let (ra, ids_a) = path_blocks(Config::A, false);
+        let (rb, ids_b) = path_blocks(Config::B, false);
+        let ea = setup.epoch_seconds(&ids_a.iter().map(|&b| ra.block(b)).collect::<Vec<_>>());
+        let eb = setup.epoch_seconds(&ids_b.iter().map(|&b| rb.block(b)).collect::<Vec<_>>());
+        assert!(ea > eb, "full training epoch {ea} must exceed head-only epoch {eb}");
+    }
+}

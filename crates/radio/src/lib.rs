@@ -1,0 +1,30 @@
+//! Radio substrate for the OffloaDNN reproduction: SNR-to-rate models,
+//! per-task radio slices and traffic generation.
+//!
+//! The DOT problem consumes `B(sigma_tau)` — bits per RB at a task's SNR —
+//! and allocates `r_tau` RBs per slice; the emulator additionally
+//! serialises task inputs over the slices. All of that lives here.
+//!
+//! # Example
+//!
+//! ```
+//! use offloadnn_radio::{RadioSlice, RateModel, SnrDb};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Table IV: 350 kbit images, 0.35 Mbit/s per RB, 5 RBs -> 0.2 s uplink.
+//! let slice = RadioSlice::new(5, SnrDb(0.0), RateModel::table_iv())?;
+//! assert!((slice.tx_seconds(350e3) - 0.2).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod link;
+pub mod snr;
+pub mod traffic;
+
+pub use link::{min_rbs_for_deadline, min_rbs_for_rate, LinkError, RadioSlice};
+pub use snr::{RateModel, SnrDb, RB_BANDWIDTH_HZ};
+pub use traffic::{ArrivalProcess, Arrivals};

@@ -1,0 +1,149 @@
+//! Radio slices: per-task RB allocations and transmission timing.
+
+use crate::snr::{RateModel, SnrDb};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from slice construction and use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkError {
+    /// A slice needs at least one RB to carry anything.
+    ZeroRbs,
+    /// The rate model yields zero capacity at this SNR.
+    ZeroCapacity {
+        /// The offending SNR.
+        snr: SnrDb,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::ZeroRbs => write!(f, "slice has zero resource blocks"),
+            LinkError::ZeroCapacity { snr } => write!(f, "zero link capacity at {snr}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// A radio network slice dedicated to one offloaded task: `r` RBs at a
+/// given SNR under a rate model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioSlice {
+    /// Allocated resource blocks.
+    pub rbs: u32,
+    /// Average SNR of the devices in the slice.
+    pub snr: SnrDb,
+    /// Rate model in force.
+    pub rate: RateModel,
+}
+
+impl RadioSlice {
+    /// Creates a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::ZeroRbs`] for an empty allocation and
+    /// [`LinkError::ZeroCapacity`] if the SNR is below the rate model's
+    /// decodable floor.
+    pub fn new(rbs: u32, snr: SnrDb, rate: RateModel) -> Result<Self, LinkError> {
+        if rbs == 0 {
+            return Err(LinkError::ZeroRbs);
+        }
+        if rate.bits_per_rb(snr) <= 0.0 {
+            return Err(LinkError::ZeroCapacity { snr });
+        }
+        Ok(Self { rbs, snr, rate })
+    }
+
+    /// Uplink capacity of the slice in bits per second.
+    pub fn capacity_bps(&self) -> f64 {
+        self.rate.bits_per_rb(self.snr) * self.rbs as f64
+    }
+
+    /// Seconds to serialise `bits` over the slice
+    /// (`beta(q) / (B(sigma) * r)`, the networking term of the paper's
+    /// end-to-end latency).
+    pub fn tx_seconds(&self, bits: f64) -> f64 {
+        bits / self.capacity_bps()
+    }
+
+    /// Sustainable image rate (images/s) for inputs of `bits` each — the
+    /// throughput form of constraint (1e).
+    pub fn sustainable_rate(&self, bits: f64) -> f64 {
+        self.capacity_bps() / bits
+    }
+}
+
+/// Minimum (real-valued) RBs so `bits`-sized inputs arriving at `rate_hz`
+/// are sustainable at SNR `snr` — constraint (1e) solved for `r`.
+pub fn min_rbs_for_rate(bits: f64, rate_hz: f64, snr: SnrDb, rate: RateModel) -> f64 {
+    rate_hz * bits / rate.bits_per_rb(snr)
+}
+
+/// Minimum (real-valued) RBs so one input of `bits` is delivered within
+/// `deadline` seconds — the networking share of constraint (1g) solved for
+/// `r`. Returns `None` if the deadline is non-positive.
+pub fn min_rbs_for_deadline(bits: f64, deadline: f64, snr: SnrDb, rate: RateModel) -> Option<f64> {
+    if deadline <= 0.0 {
+        return None;
+    }
+    Some(bits / (rate.bits_per_rb(snr) * deadline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice(rbs: u32) -> RadioSlice {
+        RadioSlice::new(rbs, SnrDb(0.0), RateModel::table_iv()).unwrap()
+    }
+
+    #[test]
+    fn table_iv_numbers() {
+        // 350 kbit image over 1 RB at 0.35 Mbit/s: exactly 1 second.
+        let s = slice(1);
+        assert!((s.tx_seconds(350e3) - 1.0).abs() < 1e-12);
+        // 5 RBs: 0.2 s.
+        assert!((slice(5).tx_seconds(350e3) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sustainable_rate_matches_capacity() {
+        let s = slice(5);
+        // 5 RB x 0.35 Mb/s = 1.75 Mb/s; 350 kb images -> 5 images/s.
+        assert!((s.sustainable_rate(350e3) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rbs_rejected() {
+        assert_eq!(
+            RadioSlice::new(0, SnrDb(0.0), RateModel::table_iv()).unwrap_err(),
+            LinkError::ZeroRbs
+        );
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let err = RadioSlice::new(1, SnrDb(-30.0), RateModel::CqiTable).unwrap_err();
+        assert!(matches!(err, LinkError::ZeroCapacity { .. }));
+        assert!(err.to_string().contains("-30.0 dB"));
+    }
+
+    #[test]
+    fn min_rbs_for_rate_inverts_sustainable_rate() {
+        // lambda = 5/s, 350 kb images, 0.35 Mb/s per RB -> 5 RBs.
+        let r = min_rbs_for_rate(350e3, 5.0, SnrDb(0.0), RateModel::table_iv());
+        assert!((r - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_rbs_for_deadline() {
+        // 350 kb within 0.2 s -> 5 RBs.
+        let r = super::min_rbs_for_deadline(350e3, 0.2, SnrDb(0.0), RateModel::table_iv()).unwrap();
+        assert!((r - 5.0).abs() < 1e-12);
+        assert!(super::min_rbs_for_deadline(350e3, 0.0, SnrDb(0.0), RateModel::table_iv()).is_none());
+        assert!(super::min_rbs_for_deadline(350e3, -1.0, SnrDb(0.0), RateModel::table_iv()).is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! SNR and link-rate models: how many bits one resource block carries.
+//!
+//! The paper's `B(sigma_tau)` maps the SNR of the devices offloading task
+//! `tau` to the bits an allocated RB can carry. Table IV pins it to a
+//! constant 0.35 Mbit/s per RB; for the emulator and for sensitivity
+//! studies we also provide a truncated-Shannon model and the 3GPP CQI
+//! table, all behind one [`RateModel`] type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Signal-to-noise ratio in decibels.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct SnrDb(pub f64);
+
+impl SnrDb {
+    /// Linear (power-ratio) value.
+    pub fn linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+}
+
+impl fmt::Display for SnrDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dB", self.0)
+    }
+}
+
+/// LTE resource-block bandwidth (12 subcarriers x 15 kHz).
+pub const RB_BANDWIDTH_HZ: f64 = 180e3;
+
+/// 3GPP TS 36.213 Table 7.2.3-1 CQI spectral efficiencies (bits/s/Hz) and
+/// approximate SNR activation thresholds (dB), CQI 1..=15.
+const CQI_TABLE: [(f64, f64); 15] = [
+    (-6.7, 0.1523),
+    (-4.7, 0.2344),
+    (-2.3, 0.3770),
+    (0.2, 0.6016),
+    (2.4, 0.8770),
+    (4.3, 1.1758),
+    (5.9, 1.4766),
+    (8.1, 1.9141),
+    (10.3, 2.4063),
+    (11.7, 2.7305),
+    (14.1, 3.3223),
+    (16.3, 3.9023),
+    (18.7, 4.5234),
+    (21.0, 5.1152),
+    (22.7, 5.5547),
+];
+
+/// How the per-RB rate is derived from SNR.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RateModel {
+    /// A fixed rate per RB, independent of SNR (Table IV's 0.35 Mbit/s).
+    Constant {
+        /// Bits per second carried by one RB.
+        bits_per_rb: f64,
+    },
+    /// Truncated Shannon bound: `eff = min(att * log2(1 + snr), cap)`.
+    TruncatedShannon {
+        /// Implementation-loss attenuation (typ. 0.6).
+        attenuation: f64,
+        /// Spectral-efficiency cap in bits/s/Hz (typ. 5.55, 64-QAM 0.93).
+        max_spectral_efficiency: f64,
+    },
+    /// Table lookup of the 3GPP CQI spectral efficiencies.
+    CqiTable,
+}
+
+impl RateModel {
+    /// The Table IV setting: 0.35 Mbit/s per RB regardless of SNR.
+    pub fn table_iv() -> Self {
+        RateModel::Constant { bits_per_rb: 0.35e6 }
+    }
+
+    /// A typical truncated-Shannon configuration.
+    pub fn shannon() -> Self {
+        RateModel::TruncatedShannon { attenuation: 0.6, max_spectral_efficiency: 5.55 }
+    }
+
+    /// Bits per second carried by one RB at the given SNR.
+    pub fn bits_per_rb(&self, snr: SnrDb) -> f64 {
+        match *self {
+            RateModel::Constant { bits_per_rb } => bits_per_rb,
+            RateModel::TruncatedShannon { attenuation, max_spectral_efficiency } => {
+                let eff = (attenuation * (1.0 + snr.linear()).log2()).min(max_spectral_efficiency);
+                eff.max(0.0) * RB_BANDWIDTH_HZ
+            }
+            RateModel::CqiTable => {
+                let eff = CQI_TABLE
+                    .iter()
+                    .rev()
+                    .find(|&&(thresh, _)| snr.0 >= thresh)
+                    .map(|&(_, e)| e)
+                    .unwrap_or(0.0);
+                eff * RB_BANDWIDTH_HZ
+            }
+        }
+    }
+}
+
+impl Default for RateModel {
+    fn default() -> Self {
+        Self::table_iv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_is_constant() {
+        let r = RateModel::table_iv();
+        assert_eq!(r.bits_per_rb(SnrDb(-10.0)), 0.35e6);
+        assert_eq!(r.bits_per_rb(SnrDb(30.0)), 0.35e6);
+    }
+
+    #[test]
+    fn snr_linear_conversion() {
+        assert!((SnrDb(0.0).linear() - 1.0).abs() < 1e-12);
+        assert!((SnrDb(10.0).linear() - 10.0).abs() < 1e-12);
+        assert!((SnrDb(-10.0).linear() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shannon_monotone_and_capped() {
+        let r = RateModel::shannon();
+        let mut prev = 0.0;
+        for db in (-10..=40).step_by(2) {
+            let b = r.bits_per_rb(SnrDb(db as f64));
+            assert!(b >= prev, "rate must be non-decreasing in SNR");
+            prev = b;
+        }
+        // Cap: 5.55 b/s/Hz * 180 kHz = 999.9 kbit/s.
+        assert!((r.bits_per_rb(SnrDb(60.0)) - 5.55 * RB_BANDWIDTH_HZ).abs() < 1.0);
+    }
+
+    #[test]
+    fn cqi_table_monotone_and_bounded() {
+        let r = RateModel::CqiTable;
+        assert_eq!(r.bits_per_rb(SnrDb(-20.0)), 0.0, "below CQI 1 nothing is carried");
+        let mut prev = 0.0;
+        for db in (-8..=30).step_by(1) {
+            let b = r.bits_per_rb(SnrDb(db as f64));
+            assert!(b >= prev);
+            prev = b;
+        }
+        assert!((prev - 5.5547 * RB_BANDWIDTH_HZ).abs() < 1.0);
+    }
+
+    #[test]
+    fn cqi_and_shannon_agree_roughly_at_mid_snr() {
+        // Sanity: the two physical models should be within 2x of each other
+        // in the operating region.
+        let (c, s) = (RateModel::CqiTable, RateModel::shannon());
+        for db in [0.0, 5.0, 10.0, 15.0] {
+            let (bc, bs) = (c.bits_per_rb(SnrDb(db)), s.bits_per_rb(SnrDb(db)));
+            assert!(bc < 2.0 * bs && bs < 2.0 * bc, "mismatch at {db} dB: {bc} vs {bs}");
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SnrDb(3.25).to_string(), "3.2 dB");
+    }
+}

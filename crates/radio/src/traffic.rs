@@ -1,0 +1,205 @@
+//! Task-request traffic generation for the emulator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How request arrivals are spaced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals with the given rate (requests/s).
+    Poisson {
+        /// Mean rate in requests per second.
+        rate_hz: f64,
+    },
+    /// Deterministic, evenly spaced arrivals (useful for tests and for the
+    /// fixed inference rates the UEs are configured with in Sec. V-B).
+    Periodic {
+        /// Rate in requests per second.
+        rate_hz: f64,
+    },
+    /// A two-state Markov-modulated Poisson process: bursty traffic that
+    /// alternates between a calm and a burst phase (event-detection
+    /// cameras behave like this; a stress generator for the emulator).
+    Bursty {
+        /// Rate during the calm phase (requests/s).
+        calm_rate_hz: f64,
+        /// Rate during the burst phase (requests/s).
+        burst_rate_hz: f64,
+        /// Mean duration of the calm phase (s).
+        mean_calm_s: f64,
+        /// Mean duration of the burst phase (s).
+        mean_burst_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Mean (long-run) rate of the process.
+    pub fn rate_hz(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_hz } | ArrivalProcess::Periodic { rate_hz } => rate_hz,
+            ArrivalProcess::Bursty { calm_rate_hz, burst_rate_hz, mean_calm_s, mean_burst_s } => {
+                (calm_rate_hz * mean_calm_s + burst_rate_hz * mean_burst_s) / (mean_calm_s + mean_burst_s)
+            }
+        }
+    }
+}
+
+/// Seeded iterator over arrival timestamps (seconds, strictly increasing).
+#[derive(Debug)]
+pub struct Arrivals {
+    process: ArrivalProcess,
+    rng: StdRng,
+    now: f64,
+    /// Bursty state: whether the modulating chain is in the burst phase,
+    /// and when the current phase ends.
+    in_burst: bool,
+    phase_ends: f64,
+}
+
+impl Arrivals {
+    /// Creates a generator; `seed` makes runs reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean rate is not strictly positive.
+    pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        assert!(process.rate_hz() > 0.0, "arrival rate must be positive");
+        let mut a = Self { process, rng: StdRng::seed_from_u64(seed), now: 0.0, in_burst: false, phase_ends: 0.0 };
+        if let ArrivalProcess::Bursty { mean_calm_s, .. } = process {
+            a.phase_ends = a.exp(1.0 / mean_calm_s);
+        }
+        a
+    }
+
+    fn exp(&mut self, rate: f64) -> f64 {
+        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / rate
+    }
+}
+
+impl Iterator for Arrivals {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        match self.process {
+            ArrivalProcess::Poisson { rate_hz } => {
+                self.now += self.exp(rate_hz);
+            }
+            ArrivalProcess::Periodic { rate_hz } => {
+                self.now += 1.0 / rate_hz;
+            }
+            ArrivalProcess::Bursty { calm_rate_hz, burst_rate_hz, mean_calm_s, mean_burst_s } => {
+                // Sample within the current phase; cross phase boundaries
+                // by re-drawing from the new phase's rate (memorylessness
+                // makes discarding the partial gap exact).
+                loop {
+                    let rate = if self.in_burst { burst_rate_hz } else { calm_rate_hz };
+                    let candidate = self.now + self.exp(rate);
+                    if candidate <= self.phase_ends {
+                        self.now = candidate;
+                        break;
+                    }
+                    self.now = self.phase_ends;
+                    self.in_burst = !self.in_burst;
+                    let mean = if self.in_burst { mean_burst_s } else { mean_calm_s };
+                    self.phase_ends = self.now + self.exp(1.0 / mean);
+                }
+            }
+        }
+        Some(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_is_exactly_spaced() {
+        let mut a = Arrivals::new(ArrivalProcess::Periodic { rate_hz: 4.0 }, 0);
+        assert!((a.next().unwrap() - 0.25).abs() < 1e-12);
+        assert!((a.next().unwrap() - 0.50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_mean_rate_converges() {
+        let n = 20_000;
+        let last = Arrivals::new(ArrivalProcess::Poisson { rate_hz: 5.0 }, 42)
+            .take(n)
+            .last()
+            .unwrap();
+        let empirical = n as f64 / last;
+        assert!((empirical - 5.0).abs() < 0.15, "empirical rate {empirical}");
+    }
+
+    #[test]
+    fn poisson_is_reproducible() {
+        let a: Vec<f64> = Arrivals::new(ArrivalProcess::Poisson { rate_hz: 2.0 }, 7).take(10).collect();
+        let b: Vec<f64> = Arrivals::new(ArrivalProcess::Poisson { rate_hz: 2.0 }, 7).take(10).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let mut prev = 0.0;
+        for t in Arrivals::new(ArrivalProcess::Poisson { rate_hz: 100.0 }, 3).take(1000) {
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        Arrivals::new(ArrivalProcess::Poisson { rate_hz: 0.0 }, 0);
+    }
+
+    #[test]
+    fn bursty_mean_rate_formula() {
+        let p = ArrivalProcess::Bursty { calm_rate_hz: 2.0, burst_rate_hz: 20.0, mean_calm_s: 9.0, mean_burst_s: 1.0 };
+        assert!((p.rate_hz() - (2.0 * 9.0 + 20.0 * 1.0) / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_long_run_rate_converges() {
+        let p = ArrivalProcess::Bursty { calm_rate_hz: 2.0, burst_rate_hz: 20.0, mean_calm_s: 4.0, mean_burst_s: 1.0 };
+        let n = 40_000;
+        let last = Arrivals::new(p, 11).take(n).last().unwrap();
+        let empirical = n as f64 / last;
+        let expected = p.rate_hz();
+        assert!((empirical - expected).abs() / expected < 0.06, "empirical {empirical} vs {expected}");
+    }
+
+    #[test]
+    fn bursty_is_actually_bursty() {
+        // Gap variance must exceed that of a Poisson process with the same
+        // mean rate (index of dispersion > 1 on windowed counts).
+        let p = ArrivalProcess::Bursty { calm_rate_hz: 1.0, burst_rate_hz: 30.0, mean_calm_s: 5.0, mean_burst_s: 1.0 };
+        let times: Vec<f64> = Arrivals::new(p, 3).take(20_000).collect();
+        let horizon = times.last().unwrap();
+        let window = 1.0;
+        let bins = (*horizon / window) as usize;
+        let mut counts = vec![0f64; bins + 1];
+        for &t in &times {
+            let b = (t / window) as usize;
+            if b < counts.len() {
+                counts[b] += 1.0;
+            }
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+        let dispersion = var / mean;
+        assert!(dispersion > 2.0, "index of dispersion {dispersion} should be >> 1");
+    }
+
+    #[test]
+    fn bursty_strictly_increases() {
+        let p = ArrivalProcess::Bursty { calm_rate_hz: 3.0, burst_rate_hz: 50.0, mean_calm_s: 2.0, mean_burst_s: 0.5 };
+        let mut prev = 0.0;
+        for t in Arrivals::new(p, 5).take(5000) {
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Sec. V-B end to end: solve the 5-task small-scale scenario, deploy it
+//! into the emulated LTE cell (the Colosseum stand-in) and trace per-task
+//! end-to-end latency against the targets (Fig. 11).
+//!
+//! Run with `cargo run --release --example colosseum_emulation`.
+
+use offloadnn::core::heuristic::OffloadnnSolver;
+use offloadnn::core::scenario::small_scenario;
+use offloadnn::emu::colosseum::{validate, ColosseumConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = small_scenario(5);
+    let instance = &scenario.instance;
+    let solution = OffloadnnSolver::new().solve(instance)?;
+
+    let mut cfg = ColosseumConfig::reference();
+    cfg.emulator.duration = 20.0;
+    let report = validate(instance, &solution, &cfg)?;
+
+    println!("Colosseum-style validation: 20 s, {} UEs, {}-RB cell", instance.num_tasks(), cfg.total_rbs);
+    for (t, task) in instance.tasks.iter().enumerate() {
+        let stats = &report.stats[t];
+        println!(
+            "task {} ({:12}): slice {:2} RBs | {:3} sent, {:3} done | mean {:.3} s, p95 {:.3} s (target {:.1} s) | misses {:.1}%",
+            t + 1,
+            task.name,
+            solution.rbs[t].ceil() as u32,
+            stats.admitted,
+            stats.completed,
+            report.mean_latency(t).unwrap_or(0.0),
+            report.latency_percentile(t, 0.95).unwrap_or(0.0),
+            task.max_latency,
+            stats.miss_rate() * 100.0
+        );
+    }
+    println!("GPU utilisation: {:.1}%", report.gpu_utilisation() * 100.0);
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Dynamic arrivals (the Sec. III-B remark): solve for three initial
+//! tasks, deploy them, then admit two newly arrived tasks against the
+//! residual capacity — already-deployed blocks are free, so the new tasks
+//! preferentially reuse them.
+//!
+//! Run with `cargo run --release --example incremental_admission`.
+
+use offloadnn::core::heuristic::OffloadnnSolver;
+use offloadnn::core::incremental::{residual_instance, DeployedState};
+use offloadnn::core::objective::verify;
+use offloadnn::core::scenario::small_scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Phase 1: the edge starts with the full five-task instance but only
+    // the first three tasks have arrived.
+    let scenario = small_scenario(5);
+    let mut first = scenario.instance.clone();
+    for t in 3..5 {
+        // Not arrived yet: model as zero-priority, unadmittable for now.
+        first.options[t].clear();
+    }
+    let sol1 = OffloadnnSolver::new().solve(&first)?;
+    assert!(verify(&first, &sol1).is_empty());
+    println!("phase 1: admitted {} of 3 arrived tasks", sol1.admitted_tasks());
+
+    let deployed = DeployedState::from_solution(&first, &sol1);
+    println!(
+        "deployed: {} blocks, {:.2} GB, {:.2} GPU-s/s, {:.1} RBs",
+        deployed.blocks.len(),
+        deployed.memory_bytes / 1e9,
+        deployed.compute_seconds,
+        deployed.rbs
+    );
+
+    // Phase 2: tasks 4 and 5 arrive; solve them against the residual.
+    let mut second = scenario.instance.clone();
+    for t in 0..3 {
+        second.options[t].clear();
+    }
+    let residual = residual_instance(&second, &deployed);
+    let sol2 = OffloadnnSolver::new().solve(&residual)?;
+    assert!(verify(&residual, &sol2).is_empty());
+    println!("phase 2: admitted {} of 2 new tasks against residual capacity", sol2.admitted_tasks());
+
+    for (t, c) in sol2.choices.iter().enumerate() {
+        if let Some(o) = c {
+            let opt = &residual.options[t][*o];
+            let reused = opt.path.blocks.iter().filter(|b| deployed.blocks.contains(b)).count();
+            println!(
+                "  task {} -> {} (z = {:.2}), reuses {}/{} blocks already deployed",
+                t + 1,
+                opt.label,
+                sol2.admission[t],
+                reused,
+                opt.path.blocks.len()
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! The OffloaDNN controller run as a long-lived service (Fig. 4 over
+//! time): tasks arrive in waves, are admitted against the residual
+//! capacity (reusing already-deployed blocks for free), and depart —
+//! releasing whatever no surviving task shares.
+//!
+//! Run with `cargo run --release --example online_controller`.
+
+use offloadnn::core::controller::{AdmissionRequest, Controller};
+use offloadnn::core::heuristic::OffloadnnSolver;
+use offloadnn::core::scenario::small_scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = small_scenario(5);
+    let instance = &scenario.instance;
+    let mut controller = Controller::new(instance, OffloadnnSolver::new());
+
+    let request = |t: usize| AdmissionRequest {
+        task: instance.tasks[t].clone(),
+        options: instance.options[t].clone(),
+    };
+    let report = |c: &Controller, round: &str| {
+        let d = c.deployed();
+        let h = c.headroom();
+        println!(
+            "{round}: {} active tasks | {} resident blocks, {:.2} GB | headroom: {:.1} RBs, {:.2} GPU-s/s, {:.2} GB",
+            c.active().len(),
+            d.blocks.len(),
+            d.memory_bytes / 1e9,
+            h.rbs,
+            h.compute_seconds,
+            h.memory_bytes / 1e9
+        );
+    };
+
+    // Round 1: three tasks arrive.
+    let out = controller.submit(vec![request(0), request(1), request(2)])?;
+    println!(
+        "round 1: admitted {:?}, rejected {:?}",
+        out.admitted.iter().map(|a| a.task.name.clone()).collect::<Vec<_>>(),
+        out.rejected
+    );
+    report(&controller, "after round 1");
+
+    // Round 2: two more arrive; deployed blocks are free for them.
+    let out = controller.submit(vec![request(3), request(4)])?;
+    println!(
+        "\nround 2: admitted {:?} (reused blocks are free)",
+        out.admitted.iter().map(|a| a.task.name.clone()).collect::<Vec<_>>()
+    );
+    report(&controller, "after round 2");
+
+    // Round 3: tasks 1 and 2 depart; shared blocks survive if still used.
+    let departed: Vec<_> = controller.active()[..2].iter().map(|a| a.task.id).collect();
+    controller.release(&departed);
+    report(&controller, "\nafter departures");
+
+    // Round 4: 'trains' returns. Its configuration shares base feature
+    // blocks with the survivors' paths, so part of its deployment is
+    // already resident (and free in the residual instance).
+    let resident_before = controller.deployed().blocks;
+    let out = controller.submit(vec![request(1)])?;
+    let a = &out.admitted[0];
+    let reused = a
+        .option
+        .path
+        .blocks
+        .iter()
+        .filter(|b| resident_before.contains(b))
+        .count();
+    println!(
+        "\nround 4: '{}' readmitted via {} (z = {:.2}); {}/{} of its blocks were already resident",
+        a.task.name,
+        a.option.label,
+        a.admission,
+        reused,
+        a.option.path.blocks.len()
+    );
+    report(&controller, "final");
+    Ok(())
+}

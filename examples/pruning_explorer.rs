@@ -1,0 +1,46 @@
+//! Explore the structured-pruning design space: parameters, FLOPs,
+//! estimated edge latency and deployed accuracy of every Table I
+//! configuration at several prune ratios, for ResNet-18 and MobileNetV2.
+//!
+//! Run with `cargo run --release --example pruning_explorer`.
+
+use offloadnn::dnn::config::{Config, PathConfig};
+use offloadnn::dnn::models::{mobilenet_v2, resnet18};
+use offloadnn::dnn::repository::Repository;
+use offloadnn::dnn::{GroupId, TensorShape};
+use offloadnn::profiler::cost::{path_accuracy, CostTable, ProfileConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = TensorShape::new(3, 224, 224);
+    let profile = ProfileConfig::reference();
+
+    for (name, model) in [("ResNet-18", resnet18(60, 1000, input)), ("MobileNetV2", mobilenet_v2(60, 1000, input))] {
+        println!("\n=== {name} ===");
+        println!(
+            "{:>18} {:>6} {:>10} {:>10} {:>9} {:>8}",
+            "configuration", "ratio", "params", "GFLOPs", "lat [ms]", "acc"
+        );
+        for ratio in [0.5, 0.8] {
+            let mut repo = Repository::new();
+            let m = repo.add_model(model.clone());
+            for cfg in [Config::B, Config::C, Config::D, Config::A] {
+                for pruned in [false, true] {
+                    let pc = PathConfig { config: cfg, pruned };
+                    let path = repo.instantiate_path(m, GroupId(0), pc, ratio)?;
+                    let table = CostTable::profile(&repo, &profile);
+                    let acc = path_accuracy(&mut repo, &profile.accuracy, &path, 1.0, 0.0);
+                    println!(
+                        "{:>18} {:>6} {:>10} {:>10.2} {:>9.2} {:>8.3}",
+                        pc.label(),
+                        if pruned { format!("{ratio}") } else { "-".into() },
+                        repo.path_params(&path),
+                        repo.path_flops(&path) as f64 / 1e9,
+                        table.path_compute_seconds(&path) * 1e3,
+                        acc,
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}

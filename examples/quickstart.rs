@@ -1,0 +1,41 @@
+//! Quickstart: build the paper's small-scale scenario, solve it with the
+//! OffloaDNN heuristic, and print the decisions.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use offloadnn::core::heuristic::OffloadnnSolver;
+use offloadnn::core::objective::verify;
+use offloadnn::core::scenario::small_scenario;
+use offloadnn::core::SolutionSummary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = small_scenario(5);
+    let instance = &scenario.instance;
+
+    let solution = OffloadnnSolver::new().solve(instance)?;
+    let violations = verify(instance, &solution);
+    assert!(violations.is_empty(), "solver produced violations: {violations:?}");
+
+    println!("OffloaDNN decisions for the small-scale scenario (T = 5):");
+    for (t, task) in instance.tasks.iter().enumerate() {
+        match solution.choices[t] {
+            Some(o) => {
+                let opt = &instance.options[t][o];
+                println!(
+                    "  {} ({:12}) -> {:28} z = {:.2}, r = {:4.1} RBs, acc {:.3} >= {:.2}, proc {:.1} ms",
+                    task.id,
+                    task.name,
+                    opt.label,
+                    solution.admission[t],
+                    solution.rbs[t],
+                    opt.accuracy,
+                    task.min_accuracy,
+                    opt.proc_seconds * 1e3,
+                );
+            }
+            None => println!("  {} ({:12}) -> rejected", task.id, task.name),
+        }
+    }
+    println!("\nsummary: {}", SolutionSummary::of(instance, &solution).row());
+    Ok(())
+}

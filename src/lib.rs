@@ -1,0 +1,33 @@
+//! # OffloaDNN — facade crate
+//!
+//! Re-exports the whole workspace of the ICDCS 2024 "OffloaDNN"
+//! reproduction under one roof:
+//!
+//! * [`dnn`] — DNN structures, blocks, pruning, repositories.
+//! * [`profiler`] — analytic latency/memory/accuracy/training models.
+//! * [`radio`] — SNR-to-rate models, slices, traffic.
+//! * [`core`] — the DOT problem, the OffloaDNN heuristic, the exact
+//!   solver, scenarios and the admission controller.
+//! * [`semoran`] — the SEM-O-RAN baseline.
+//! * [`emu`] — the discrete-event edge/radio emulator.
+//!
+//! ```
+//! use offloadnn::core::{scenario::small_scenario, OffloadnnSolver};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let s = small_scenario(3);
+//! let solution = OffloadnnSolver::new().solve(&s.instance)?;
+//! assert_eq!(solution.admitted_tasks(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use offloadnn_core as core;
+pub use offloadnn_dnn as dnn;
+pub use offloadnn_emu as emu;
+pub use offloadnn_profiler as profiler;
+pub use offloadnn_radio as radio;
+pub use offloadnn_semoran as semoran;

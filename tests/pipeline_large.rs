@@ -1,0 +1,133 @@
+//! Cross-crate integration: the large-scale scenario and the SEM-O-RAN
+//! comparison — the paper's headline claims as executable assertions.
+
+use offloadnn::core::heuristic::OffloadnnSolver;
+use offloadnn::core::objective::verify;
+use offloadnn::core::scenario::{large_scenario, LoadLevel};
+use offloadnn::core::SolutionSummary;
+use offloadnn::semoran::SemORanSolver;
+
+#[test]
+fn offloadnn_dominates_sem_o_ran_at_every_load() {
+    for load in LoadLevel::ALL {
+        let s = large_scenario(load);
+        let off = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        assert!(verify(&s.instance, &off).is_empty(), "{load:?}");
+        let osum = SolutionSummary::of(&s.instance, &off);
+        let sem = SemORanSolver::new().solve(&s.instance).unwrap();
+        let b = &s.instance.budgets;
+
+        assert!(
+            osum.weighted_admission > sem.value,
+            "{load:?}: weighted admission {} vs {}",
+            osum.weighted_admission,
+            sem.value
+        );
+        assert!(off.admitted_tasks() >= sem.admitted_tasks(), "{load:?}: admitted counts");
+        assert!(
+            osum.memory_utilisation < 0.5 * sem.memory_used / b.memory_bytes,
+            "{load:?}: block sharing + pruning must at least halve memory"
+        );
+        assert!(
+            osum.compute_utilisation < 0.5 * sem.compute_used / b.compute_seconds,
+            "{load:?}: pruned paths must at least halve inference compute"
+        );
+    }
+}
+
+#[test]
+fn admission_profile_follows_priority_order() {
+    // Fig. 9: admission ratios are non-increasing in task index (priority
+    // strictly decreases with the index).
+    for load in LoadLevel::ALL {
+        let s = large_scenario(load);
+        let off = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        for w in off.admission.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "{load:?}: admission must not increase down the priority list");
+        }
+    }
+}
+
+#[test]
+fn high_load_saturates_radio_and_drops_tail() {
+    let s = large_scenario(LoadLevel::High);
+    let off = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    let sum = SolutionSummary::of(&s.instance, &off);
+    assert!(sum.radio_utilisation > 0.98, "high load must saturate RBs, got {}", sum.radio_utilisation);
+    assert!(off.admitted_tasks() < 20, "some low-priority tasks must be rejected");
+    // The top-priority task is always served in full.
+    assert!((off.admission[0] - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn low_and_medium_load_admit_everyone() {
+    for load in [LoadLevel::Low, LoadLevel::Medium] {
+        let s = large_scenario(load);
+        let off = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        assert_eq!(off.admitted_tasks(), 20, "{load:?}");
+    }
+}
+
+#[test]
+fn memory_constant_across_low_and_medium() {
+    // Paper: "memory usage remains the same for low and medium task
+    // request rates because our solution selects the same tree branch".
+    let lo = {
+        let s = large_scenario(LoadLevel::Low);
+        let off = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        (off.choices.clone(), SolutionSummary::of(&s.instance, &off).memory_utilisation)
+    };
+    let med = {
+        let s = large_scenario(LoadLevel::Medium);
+        let off = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        (off.choices.clone(), SolutionSummary::of(&s.instance, &off).memory_utilisation)
+    };
+    assert_eq!(lo.0, med.0, "same branch selected");
+    assert!((lo.1 - med.1).abs() < 1e-9);
+}
+
+#[test]
+fn sem_o_ran_is_memory_bound_at_low_load() {
+    // The paper's explanation of Fig. 9: SEM-O-RAN's dedicated full DNNs
+    // exhaust memory long before radio at low rates.
+    let s = large_scenario(LoadLevel::Low);
+    let sem = SemORanSolver::new().solve(&s.instance).unwrap();
+    let b = &s.instance.budgets;
+    assert!(sem.memory_used / b.memory_bytes > 0.85, "memory nearly exhausted");
+    assert!(sem.rbs_used / b.rbs < 0.7, "radio is not the binding resource");
+    assert!(sem.admitted_tasks() < 20);
+}
+
+#[test]
+fn block_sharing_exists_among_admitted_tasks() {
+    let s = large_scenario(LoadLevel::Low);
+    let off = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    let chosen: Vec<_> = off
+        .choices
+        .iter()
+        .enumerate()
+        .filter_map(|(t, c)| c.map(|o| s.instance.options[t][o].path.clone()))
+        .collect();
+    let unique = s.repo.unique_blocks(chosen.iter()).len();
+    let total: usize = chosen.iter().map(|p| p.blocks.len()).sum();
+    assert!(unique < total, "at least some blocks must be shared ({unique} vs {total})");
+}
+
+#[test]
+fn quality_dimension_is_exploited_under_pressure() {
+    // Fig. 9 tail behaviour: the lowest-priority admitted tasks fall back
+    // to compressed input quality at some load level.
+    let mut compressed_anywhere = false;
+    for load in LoadLevel::ALL {
+        let s = large_scenario(load);
+        let off = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        for (t, c) in off.choices.iter().enumerate() {
+            if let Some(o) = c {
+                if s.instance.options[t][*o].quality.quality < 1.0 {
+                    compressed_anywhere = true;
+                }
+            }
+        }
+    }
+    assert!(compressed_anywhere, "the quality dimension q_tau should be used somewhere");
+}

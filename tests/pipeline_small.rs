@@ -1,0 +1,113 @@
+//! Cross-crate integration: the full small-scale pipeline from DNN
+//! catalog construction through solving to emulated deployment.
+
+use offloadnn::core::exact::ExactSolver;
+use offloadnn::core::heuristic::OffloadnnSolver;
+use offloadnn::core::objective::{memory_bytes, verify};
+use offloadnn::core::scenario::small_scenario;
+use offloadnn::core::SolutionSummary;
+use offloadnn::emu::colosseum::{validate, ColosseumConfig};
+
+#[test]
+fn heuristic_and_exact_are_feasible_for_all_sizes() {
+    for t in 1..=5 {
+        let s = small_scenario(t);
+        let h = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        let o = ExactSolver::new().solve(&s.instance).unwrap();
+        assert!(verify(&s.instance, &h).is_empty(), "heuristic T={t}: {:?}", verify(&s.instance, &h));
+        assert!(verify(&s.instance, &o).is_empty(), "exact T={t}");
+        assert!(
+            o.cost.total() <= h.cost.total() + 1e-9,
+            "T={t}: optimum {} must not exceed heuristic {}",
+            o.cost.total(),
+            h.cost.total()
+        );
+        // Paper claim: the heuristic matches the optimum very closely.
+        assert!(
+            h.cost.total() <= o.cost.total() * 1.10,
+            "T={t}: heuristic {} strays >10% from optimum {}",
+            h.cost.total(),
+            o.cost.total()
+        );
+    }
+}
+
+#[test]
+fn all_five_tasks_admitted_in_small_scenario() {
+    let s = small_scenario(5);
+    let h = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    assert_eq!(h.admitted_tasks(), 5, "resources are ample in Table IV's small scenario");
+    for z in &h.admission {
+        assert!((z - 1.0).abs() < 1e-9, "full admission expected, got {z}");
+    }
+}
+
+#[test]
+fn memory_accounting_matches_repository_union() {
+    // The instance-level memory (blocks deduped by id) must equal the
+    // repository's union accounting plus the per-block runtime overheads.
+    let s = small_scenario(4);
+    let h = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    let chosen: Vec<_> = h
+        .choices
+        .iter()
+        .enumerate()
+        .filter_map(|(t, c)| c.map(|o| s.instance.options[t][o].path.clone()))
+        .collect();
+    let unique = s.repo.unique_blocks(chosen.iter());
+    let from_instance = memory_bytes(&s.instance, &h.choices, &h.admission);
+    let from_repo: f64 = unique.iter().map(|&b| s.instance.memory_of(b)).sum();
+    assert!((from_instance - from_repo).abs() < 1.0);
+    // Sharing must be real: the union is smaller than the sum of paths.
+    let sum_paths: f64 = chosen
+        .iter()
+        .flat_map(|p| p.blocks.iter())
+        .map(|&b| s.instance.memory_of(b))
+        .sum();
+    assert!(from_instance < sum_paths, "no sharing at all would be a regression");
+}
+
+#[test]
+fn solved_solution_deploys_and_meets_latency() {
+    let s = small_scenario(5);
+    let h = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    let report = validate(&s.instance, &h, &ColosseumConfig::reference()).unwrap();
+    for t in 0..5 {
+        if h.admission[t] > 0.0 {
+            let mean = report.mean_latency(t).expect("completions exist");
+            assert!(
+                mean <= s.instance.tasks[t].max_latency,
+                "task {t}: emulated mean {mean} exceeds target"
+            );
+        }
+    }
+    // Conservation across the whole deployment.
+    for st in &report.stats {
+        assert_eq!(st.generated, st.thinned + st.admitted);
+        assert_eq!(st.admitted, st.completed + st.in_flight_at_end);
+    }
+}
+
+#[test]
+fn summaries_stay_within_budgets() {
+    for t in 1..=5 {
+        let s = small_scenario(t);
+        let h = OffloadnnSolver::new().solve(&s.instance).unwrap();
+        let sum = SolutionSummary::of(&s.instance, &h);
+        assert!(sum.radio_utilisation <= 1.0 + 1e-9);
+        assert!(sum.memory_utilisation <= 1.0 + 1e-9);
+        assert!(sum.compute_utilisation <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn tighter_budgets_never_admit_more() {
+    let s = small_scenario(5);
+    let base = OffloadnnSolver::new().solve(&s.instance).unwrap();
+    let mut tight = s.instance.clone();
+    tight.budgets.rbs = 12.0;
+    tight.budgets.memory_bytes /= 8.0;
+    let squeezed = OffloadnnSolver::new().solve(&tight).unwrap();
+    assert!(verify(&tight, &squeezed).is_empty());
+    assert!(squeezed.weighted_admission(&tight) <= base.weighted_admission(&s.instance) + 1e-9);
+}

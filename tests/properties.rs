@@ -1,0 +1,170 @@
+//! Property-based cross-crate tests: randomised DOT instances, the
+//! knapsack reduction, and emulator conservation.
+
+use offloadnn::core::exact::ExactSolver;
+use offloadnn::core::heuristic::OffloadnnSolver;
+use offloadnn::core::instance::{Budgets, DotInstance, PathOption};
+use offloadnn::core::objective::verify;
+use offloadnn::core::reduction::{knapsack_dp, knapsack_to_dot, knapsack_value, KnapsackItem};
+use offloadnn::core::task::{QualityLevel, Task, TaskId};
+use offloadnn::dnn::config::{Config, PathConfig};
+use offloadnn::dnn::repository::DnnPath;
+use offloadnn::dnn::{BlockId, GroupId, ModelId};
+use offloadnn::emu::sim::{run, EmulatorConfig, TaskDeployment};
+use offloadnn::radio::{ArrivalProcess, RateModel, SnrDb};
+use proptest::prelude::*;
+
+/// A randomised synthetic DOT instance with a shared pool of blocks.
+fn arb_instance() -> impl Strategy<Value = DotInstance> {
+    let task_count = 1..5usize;
+    let block_pool = 8usize;
+    (
+        task_count,
+        proptest::collection::vec(0.05f64..1.0, 8),          // priorities source
+        proptest::collection::vec(0.5f64..0.95, 8),          // accuracy requirements
+        proptest::collection::vec(0.15f64..0.8, 8),          // latency bounds
+        proptest::collection::vec(1.0f64..8.0, 8),           // request rates
+        proptest::collection::vec(0.1e9f64..2e9, block_pool), // block memory
+        proptest::collection::vec(0.0f64..400.0, block_pool), // block training
+        proptest::collection::vec(0.5f64..0.95, 24),         // option accuracies
+        proptest::collection::vec(0.001f64..0.05, 24),       // option proc times
+        proptest::collection::vec(0u64..u64::MAX, 24),       // option block picks
+    )
+        .prop_map(
+            |(n, prios, accs, lats, rates, mem, train, oacc, oproc, opick)| {
+                let tasks: Vec<Task> = (0..n)
+                    .map(|i| Task {
+                        id: TaskId(i as u32),
+                        name: format!("t{i}"),
+                        group: GroupId(i as u32),
+                        priority: prios[i],
+                        request_rate: rates[i],
+                        min_accuracy: accs[i],
+                        max_latency: lats[i],
+                        snr: SnrDb(0.0),
+                        qualities: vec![QualityLevel::table_iv()],
+                        difficulty: 0.0,
+                    })
+                    .collect();
+                let options: Vec<Vec<PathOption>> = (0..n)
+                    .map(|i| {
+                        (0..3)
+                            .map(|j| {
+                                let k = i * 3 + j;
+                                // Pick 2 blocks from the pool deterministically
+                                // from the random seed value.
+                                let b1 = (opick[k] % 8) as u32;
+                                let b2 = ((opick[k] >> 8) % 8) as u32;
+                                PathOption {
+                                    path: DnnPath {
+                                        model: ModelId(0),
+                                        group: GroupId(i as u32),
+                                        config: PathConfig { config: Config::C, pruned: false },
+                                        blocks: vec![BlockId(b1), BlockId(b2)],
+                                    },
+                                    quality: QualityLevel::table_iv(),
+                                    accuracy: oacc[k],
+                                    proc_seconds: oproc[k],
+                                    training_seconds: 0.0,
+                                    label: format!("opt{k}"),
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                DotInstance {
+                    tasks,
+                    options,
+                    block_memory: mem,
+                    block_training: train,
+                    rate: RateModel::table_iv(),
+                    budgets: Budgets {
+                        rbs: 40.0,
+                        compute_seconds: 1.0,
+                        training_seconds: 1000.0,
+                        memory_bytes: 5e9,
+                    },
+                    alpha: 0.5,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heuristic_solutions_are_always_feasible(instance in arb_instance()) {
+        let sol = OffloadnnSolver::new().solve(&instance).unwrap();
+        let violations = verify(&instance, &sol);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn exact_never_worse_than_heuristic(instance in arb_instance()) {
+        let h = OffloadnnSolver::new().solve(&instance).unwrap();
+        let o = ExactSolver::new().solve(&instance).unwrap();
+        prop_assert!(verify(&instance, &o).is_empty());
+        prop_assert!(o.cost.total() <= h.cost.total() + 1e-9,
+            "optimum {} vs heuristic {}", o.cost.total(), h.cost.total());
+    }
+
+    #[test]
+    fn beam_search_never_worse_than_first_branch(instance in arb_instance()) {
+        let b1 = OffloadnnSolver::new().solve(&instance).unwrap();
+        let b4 = OffloadnnSolver::with_beam(4).solve(&instance).unwrap();
+        prop_assert!(verify(&instance, &b4).is_empty());
+        prop_assert!(b4.cost.total() <= b1.cost.total() + 1e-9);
+    }
+
+    #[test]
+    fn knapsack_reduction_matches_dp(
+        values in proptest::collection::vec(1.0f64..50.0, 3..9),
+        weights in proptest::collection::vec(1u32..12, 3..9),
+        capacity in 5u32..30,
+    ) {
+        let n = values.len().min(weights.len());
+        let items: Vec<KnapsackItem> = (0..n)
+            .map(|i| KnapsackItem { value: values[i], weight: weights[i] })
+            .collect();
+        let dp = knapsack_dp(&items, capacity);
+        let dot = knapsack_to_dot(&items, capacity);
+        let sol = ExactSolver::new().solve(&dot).unwrap();
+        let got = knapsack_value(&items, &sol.admission);
+        prop_assert!((got - dp).abs() < 1e-6, "DOT {got} vs DP {dp}");
+    }
+
+    #[test]
+    fn emulator_conserves_requests(
+        rbs in 1u32..12,
+        lambda in 0.5f64..8.0,
+        admission in 0.0f64..1.0,
+        proc_ms in 1.0f64..50.0,
+        seed in 0u64..1000,
+        poisson in proptest::bool::ANY,
+    ) {
+        let dep = TaskDeployment {
+            name: "p".into(),
+            slice_rbs: rbs,
+            bits_per_image: 350e3,
+            bits_per_rb: 0.35e6,
+            proc_seconds: proc_ms / 1e3,
+            admission,
+            arrivals: if poisson {
+                ArrivalProcess::Poisson { rate_hz: lambda }
+            } else {
+                ArrivalProcess::Periodic { rate_hz: lambda }
+            },
+            max_latency: 0.5,
+        };
+        let cfg = EmulatorConfig { duration: 10.0, seed, gpu_concurrency: 1, ..EmulatorConfig::reference() };
+        let report = run(&[dep], &cfg).unwrap();
+        let s = &report.stats[0];
+        prop_assert_eq!(s.generated, s.thinned + s.admitted);
+        prop_assert_eq!(s.admitted, s.completed + s.in_flight_at_end);
+        // Latency is bounded below by the zero-queue service path.
+        for sample in &report.samples[0] {
+            prop_assert!(sample.latency > 0.0);
+        }
+    }
+}
