@@ -1,0 +1,12 @@
+//! Root-package alias for the `serve_throughput` bench in
+//! `crates/bench/benches/`, so `cargo bench --bench serve_throughput`
+//! works from the workspace root (where the facade package is the
+//! default target). The source of truth lives next to the other
+//! criterion benches.
+
+#[path = "../crates/bench/benches/serve_throughput.rs"]
+mod serve_throughput;
+
+fn main() {
+    serve_throughput::main();
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints, tests.
+#
+#   ./ci.sh          # fmt check + clippy -D warnings + tests
+#   ./ci.sh --fast   # skip clippy (quick pre-commit loop)
+#
+# Everything runs offline: the external dependencies are vendored
+# stand-ins under vendor/ (see vendor/README.md).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+if [ "${1:-}" != "--fast" ]; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> cargo test -q (tier-1: facade package)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo bench smoke (criterion --test mode)"
+cargo bench --workspace -- --test >/dev/null
+
+echo "CI green."

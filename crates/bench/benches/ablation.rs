@@ -15,7 +15,9 @@ fn bench_ablation(c: &mut Criterion) {
             b.iter(|| OffloadnnSolver::with_beam(k).solve(black_box(&s.instance)).unwrap())
         });
     }
-    for (name, alloc) in [("greedy", AllocatorKind::GreedyPriority), ("ascent", AllocatorKind::CoordinateAscent)] {
+    for (name, alloc) in
+        [("greedy", AllocatorKind::GreedyPriority), ("ascent", AllocatorKind::CoordinateAscent)]
+    {
         let solver = OffloadnnSolver { allocator: alloc, ..OffloadnnSolver::new() };
         group.bench_with_input(BenchmarkId::new("allocator", name), &name, |b, _| {
             b.iter(|| solver.solve(black_box(&s.instance)).unwrap())

@@ -11,9 +11,7 @@ fn bench_tree(c: &mut Criterion) {
     let s = large_scenario(LoadLevel::Medium);
     let mut group = c.benchmark_group("tree");
     group.sample_size(20);
-    group.bench_function("build_large", |b| {
-        b.iter(|| WeightedTree::build(black_box(&s.instance)))
-    });
+    group.bench_function("build_large", |b| b.iter(|| WeightedTree::build(black_box(&s.instance))));
     group.bench_function("solve_large", |b| {
         b.iter(|| OffloadnnSolver::new().solve(black_box(&s.instance)).unwrap())
     });

@@ -54,7 +54,11 @@ fn main() {
             format!("{:.4}", sol.solve_seconds),
         ]);
     }
-    print_table("Ablation 2: beam width (1 = the paper's first branch)", &["beam", "DOT cost", "runtime [s]"], &rows);
+    print_table(
+        "Ablation 2: beam width (1 = the paper's first branch)",
+        &["beam", "DOT cost", "runtime [s]"],
+        &rows,
+    );
 
     // --- 3. Inner allocator ------------------------------------------------
     let mut rows = Vec::new();
@@ -70,7 +74,11 @@ fn main() {
             format!("{:.3}", sol.weighted_admission(&s.instance)),
         ]);
     }
-    print_table("Ablation 3: inner z/r allocator (high load)", &["allocator", "DOT cost", "weighted admission"], &rows);
+    print_table(
+        "Ablation 3: inner z/r allocator (high load)",
+        &["allocator", "DOT cost", "weighted admission"],
+        &rows,
+    );
 
     // --- 4. Alpha sweep -----------------------------------------------------
     let base = small_scenario(5);

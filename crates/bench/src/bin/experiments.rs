@@ -47,9 +47,8 @@ fn main() {
     let mut repo = Repository::new();
     let model = repo.add_model(resnet18(60, 1000, TensorShape::new(3, 224, 224)));
     let peak = |cfg: Config, repo: &mut Repository| -> f64 {
-        let p = repo
-            .instantiate_path(model, GroupId(0), PathConfig { config: cfg, pruned: false }, 0.8)
-            .unwrap();
+        let p =
+            repo.instantiate_path(model, GroupId(0), PathConfig { config: cfg, pruned: false }, 0.8).unwrap();
         let blocks: Vec<_> = p.blocks.iter().map(|&b| repo.block(b)).collect::<Vec<_>>();
         setup.peak_training_bytes(&blocks) / MIB
     };
@@ -186,7 +185,14 @@ fn main() {
         "Fig11 deployed latencies within targets",
         all_within,
         (0..5)
-            .map(|t| format!("t{}: {:.2}/{:.1}s", t + 1, report.mean_latency(t).unwrap_or(0.0), s.instance.tasks[t].max_latency))
+            .map(|t| {
+                format!(
+                    "t{}: {:.2}/{:.1}s",
+                    t + 1,
+                    report.mean_latency(t).unwrap_or(0.0),
+                    s.instance.tasks[t].max_latency
+                )
+            })
             .collect::<Vec<_>>()
             .join(", "),
     );
@@ -202,11 +208,7 @@ fn main() {
         let bsol = OffloadnnSolver::new().solve(&base.instance).unwrap();
         let qm = SolutionSummary::of(&q.instance, &qsol).memory_utilisation;
         let bm = SolutionSummary::of(&base.instance, &bsol).memory_utilisation;
-        check(
-            "Ext: INT8 variants shrink the deployment",
-            qm < bm,
-            format!("memory {qm:.3} vs {bm:.3} of M"),
-        );
+        check("Ext: INT8 variants shrink the deployment", qm < bm, format!("memory {qm:.3} vs {bm:.3} of M"));
 
         let mut tight = small_scenario(5).instance;
         tight.budgets.memory_bytes = 1.6e9;
@@ -223,8 +225,8 @@ fn main() {
             ),
         );
 
-        use offloadnn_emu::energy::DeviceEnergyModel;
         use offloadnn_emu::colosseum::deployments;
+        use offloadnn_emu::energy::DeviceEnergyModel;
         let cfg = ColosseumConfig::reference();
         let deps = deployments(&s.instance, &sol, &cfg);
         let device = DeviceEnergyModel::smartphone();

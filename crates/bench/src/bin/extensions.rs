@@ -125,8 +125,14 @@ fn main() {
     let bsum = SolutionSummary::of(&base.instance, &bsol);
     println!("\n== Extension 5: INT8 quantisation in the path space ==");
     println!("{:>24} {:>10} {:>10} {:>10}", "", "memory", "inference", "cost");
-    println!("{:>24} {:>10.3} {:>10.4} {:>10.4}", "FP32 only", bsum.memory_utilisation, bsum.compute_utilisation, bsum.total_cost);
-    println!("{:>24} {:>10.3} {:>10.4} {:>10.4}", "FP32 + INT8 variants", qsum.memory_utilisation, qsum.compute_utilisation, qsum.total_cost);
+    println!(
+        "{:>24} {:>10.3} {:>10.4} {:>10.4}",
+        "FP32 only", bsum.memory_utilisation, bsum.compute_utilisation, bsum.total_cost
+    );
+    println!(
+        "{:>24} {:>10.3} {:>10.4} {:>10.4}",
+        "FP32 + INT8 variants", qsum.memory_utilisation, qsum.compute_utilisation, qsum.total_cost
+    );
     for (t, c) in qsol.choices.iter().enumerate() {
         if let Some(o) = c {
             println!("  task {} -> {}", t + 1, q.instance.options[t][*o].label);

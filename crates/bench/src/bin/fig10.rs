@@ -42,20 +42,40 @@ fn main() {
         admitted.1.push(sem.admitted_tasks() as f64);
     }
 
-    print_series("Fig. 10 (left): weighted tasks admission ratio", "load", &xs,
-        &[("OffloaDNN", wadm.0.clone()), ("SEM-O-RAN", wadm.1.clone())]);
-    print_series("Fig. 10 (center-left): normalized no. of RBs allocated", "load", &xs,
-        &[("OffloaDNN", rb.0.clone()), ("SEM-O-RAN", rb.1.clone())]);
-    print_series("Fig. 10 (center-right): normalized total required memory", "load", &xs,
-        &[("OffloaDNN", mem.0.clone()), ("SEM-O-RAN", mem.1.clone())]);
-    print_series("Fig. 10 (right): total inference compute usage", "load", &xs,
-        &[("OffloaDNN", comp.0.clone()), ("SEM-O-RAN", comp.1.clone())]);
+    print_series(
+        "Fig. 10 (left): weighted tasks admission ratio",
+        "load",
+        &xs,
+        &[("OffloaDNN", wadm.0.clone()), ("SEM-O-RAN", wadm.1.clone())],
+    );
+    print_series(
+        "Fig. 10 (center-left): normalized no. of RBs allocated",
+        "load",
+        &xs,
+        &[("OffloaDNN", rb.0.clone()), ("SEM-O-RAN", rb.1.clone())],
+    );
+    print_series(
+        "Fig. 10 (center-right): normalized total required memory",
+        "load",
+        &xs,
+        &[("OffloaDNN", mem.0.clone()), ("SEM-O-RAN", mem.1.clone())],
+    );
+    print_series(
+        "Fig. 10 (right): total inference compute usage",
+        "load",
+        &xs,
+        &[("OffloaDNN", comp.0.clone()), ("SEM-O-RAN", comp.1.clone())],
+    );
 
     println!("\n== Sec. V-A aggregates ==");
-    println!("OffloaDNN total DOT cost per load:  [{:.2}, {:.2}, {:.2}]  (paper: [0.35, 0.44, 0.74])",
-        dot_cost[0], dot_cost[1], dot_cost[2]);
-    println!("OffloaDNN training usage per load:  [{:.2}, {:.2}, {:.2}]  (paper: [0.81, 0.81, 0.67])",
-        train_usage[0], train_usage[1], train_usage[2]);
+    println!(
+        "OffloaDNN total DOT cost per load:  [{:.2}, {:.2}, {:.2}]  (paper: [0.35, 0.44, 0.74])",
+        dot_cost[0], dot_cost[1], dot_cost[2]
+    );
+    println!(
+        "OffloaDNN training usage per load:  [{:.2}, {:.2}, {:.2}]  (paper: [0.81, 0.81, 0.67])",
+        train_usage[0], train_usage[1], train_usage[2]
+    );
 
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let task_gain = (avg(&admitted.0) - avg(&admitted.1)) / avg(&admitted.1);

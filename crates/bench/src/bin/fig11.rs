@@ -15,21 +15,25 @@ fn main() {
     let report = validate(&s.instance, &sol, &cfg).expect("deployment fits the cell");
 
     println!("== Fig. 11: end-to-end latency over time (moving average, window 3) ==");
-    println!("deployment: {} tasks, slices {:?} RBs, admission {:?}",
+    println!(
+        "deployment: {} tasks, slices {:?} RBs, admission {:?}",
         s.instance.num_tasks(),
         sol.rbs_int(),
-        sol.admission.iter().map(|z| format!("{z:.2}")).collect::<Vec<_>>());
+        sol.admission.iter().map(|z| format!("{z:.2}")).collect::<Vec<_>>()
+    );
 
     for t in 0..s.instance.num_tasks() {
         let target = s.instance.tasks[t].max_latency;
         let ma = report.moving_average(t, 3);
-        println!("\ntask {} (target {:.1} s): {} completions, mean {:.3} s, p95 {:.3} s, miss rate {:.1}%",
+        println!(
+            "\ntask {} (target {:.1} s): {} completions, mean {:.3} s, p95 {:.3} s, miss rate {:.1}%",
             t + 1,
             target,
             report.stats[t].completed,
             report.mean_latency(t).unwrap_or(0.0),
             report.latency_percentile(t, 0.95).unwrap_or(0.0),
-            report.stats[t].miss_rate() * 100.0);
+            report.stats[t].miss_rate() * 100.0
+        );
         // Print ~20 evenly spaced samples of the smoothed trace.
         let step = (ma.len() / 20).max(1);
         print!("  t[s]:   ");
@@ -63,13 +67,21 @@ fn main() {
             (format!("task{}", t + 1), ys)
         })
         .collect();
-    let chart_series: Vec<(&str, &[f64])> = resampled.iter().map(|(n, ys)| (n.as_str(), ys.as_slice())).collect();
-    println!("{}", ascii_chart("end-to-end latency [s] over 20 s (window-3 moving average)", &chart_series, 14));
+    let chart_series: Vec<(&str, &[f64])> =
+        resampled.iter().map(|(n, ys)| (n.as_str(), ys.as_slice())).collect();
+    println!(
+        "{}",
+        ascii_chart("end-to-end latency [s] over 20 s (window-3 moving average)", &chart_series, 14)
+    );
 
     let mut rows = Vec::new();
     for (t, (_name, ys)) in resampled.iter().enumerate() {
         for (c, y) in ys.iter().enumerate() {
-            rows.push(vec![format!("{}", t + 1), format!("{:.3}", (c as f64 + 0.5) / 3.0), format!("{y:.4}")]);
+            rows.push(vec![
+                format!("{}", t + 1),
+                format!("{:.3}", (c as f64 + 0.5) / 3.0),
+                format!("{y:.4}"),
+            ]);
         }
     }
     if let Ok(path) = write_csv("fig11_latency", &["task", "time_s", "latency_s"], &rows) {

@@ -17,10 +17,8 @@ fn main() {
     let sim = CurveSimulator::reference();
     let total_epochs = 250usize;
     let sample_every = 10usize;
-    let bands: Vec<(Config, Vec<f64>)> = Config::ALL
-        .iter()
-        .map(|&cfg| (cfg, sim.mean_band(cfg, total_epochs, 16).0))
-        .collect();
+    let bands: Vec<(Config, Vec<f64>)> =
+        Config::ALL.iter().map(|&cfg| (cfg, sim.mean_band(cfg, total_epochs, 16).0)).collect();
     let epochs: Vec<usize> = (0..total_epochs).step_by(sample_every).map(|e| e + 1).collect();
     let xs: Vec<String> = epochs.iter().map(|e| e.to_string()).collect();
     let series: Vec<(&str, Vec<f64>)> = bands

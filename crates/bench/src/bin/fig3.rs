@@ -31,20 +31,13 @@ fn main() {
 
     let mut rows = Vec::new();
     for cfg in Config::ALL {
-        let full = paths
-            .iter()
-            .find(|p| p.config == PathConfig { config: cfg, pruned: false })
-            .unwrap();
-        let pruned = paths
-            .iter()
-            .find(|p| p.config == PathConfig { config: cfg, pruned: true })
-            .unwrap();
+        let full = paths.iter().find(|p| p.config == PathConfig { config: cfg, pruned: false }).unwrap();
+        let pruned = paths.iter().find(|p| p.config == PathConfig { config: cfg, pruned: true }).unwrap();
         let t_full = table.path_compute_seconds(full) * 1e3;
         let t_pruned = table.path_compute_seconds(pruned) * 1e3;
 
         let a_full = (acc.curve(cfg, fine_tune_epochs) + class_offset) * 100.0;
-        let pruned_fraction =
-            1.0 - repo.path_params(pruned) as f64 / repo.path_params(full).max(1) as f64;
+        let pruned_fraction = 1.0 - repo.path_params(pruned) as f64 / repo.path_params(full).max(1) as f64;
         let a_pruned = a_full - acc.prune_penalty(0.8, pruned_fraction) * 100.0;
 
         rows.push(vec![

@@ -36,10 +36,6 @@ fn main() {
         &xs,
         &[("OffloaDNN", hm), ("Optimum", om)],
     );
-    let worst = hc
-        .iter()
-        .zip(&oc)
-        .map(|(h, o)| h / o - 1.0)
-        .fold(0.0f64, f64::max);
+    let worst = hc.iter().zip(&oc).map(|(h, o)| h / o - 1.0).fold(0.0f64, f64::max);
     println!("\nOffloaDNN cost is within {:.1}% of the optimum at every T.", worst * 100.0);
 }

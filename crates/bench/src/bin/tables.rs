@@ -29,7 +29,9 @@ fn main() {
     let rows: Vec<Vec<String>> = d
         .sections
         .iter()
-        .map(|s| vec![s.name.clone(), format!("{} categories (e.g. {})", s.categories.len(), s.categories[0])])
+        .map(|s| {
+            vec![s.name.clone(), format!("{} categories (e.g. {})", s.categories.len(), s.categories[0])]
+        })
         .collect();
     print_table("Table II: base dataset description", &["objects", "description"], &rows);
     println!("total: {} categories", d.num_categories());

@@ -82,10 +82,7 @@ mod tests {
         assert!(verify(&unshared_inst, &unshared).is_empty());
         let m_shared = memory_bytes(&s.instance, &shared.choices, &shared.admission);
         let m_unshared = memory_bytes(&unshared_inst, &unshared.choices, &unshared.admission);
-        assert!(
-            m_unshared > m_shared,
-            "severing sharing must cost memory: {m_unshared} vs {m_shared}"
-        );
+        assert!(m_unshared > m_shared, "severing sharing must cost memory: {m_unshared} vs {m_shared}");
     }
 
     #[test]

@@ -173,9 +173,9 @@ pub fn greedy(tasks: &[AllocTask], s: &AllocSettings, order: Order) -> AllocResu
     let mut idx: Vec<usize> = (0..tasks.len()).collect();
     match order {
         Order::Priority => idx.sort_by(|&a, &b| tasks[b].priority.total_cmp(&tasks[a].priority)),
-        Order::UtilityDensity => idx.sort_by(|&a, &b| {
-            marginal_at_zero(&tasks[b], s).total_cmp(&marginal_at_zero(&tasks[a], s))
-        }),
+        Order::UtilityDensity => {
+            idx.sort_by(|&a, &b| marginal_at_zero(&tasks[b], s).total_cmp(&marginal_at_zero(&tasks[a], s)))
+        }
         Order::Input => {}
     }
 
@@ -260,9 +260,8 @@ mod tests {
 
     #[test]
     fn plentiful_resources_admit_everything() {
-        let tasks: Vec<AllocTask> = (0..5)
-            .map(|i| table_iv_task(0.8 - 0.1 * i as f64, 5.0, 0.2 + 0.1 * i as f64, 0.008))
-            .collect();
+        let tasks: Vec<AllocTask> =
+            (0..5).map(|i| table_iv_task(0.8 - 0.1 * i as f64, 5.0, 0.2 + 0.1 * i as f64, 0.008)).collect();
         let res = greedy(&tasks, &settings(), Order::Priority);
         for &z in &res.z {
             assert!((z - 1.0).abs() < 1e-9, "all tasks fully admitted, got {z}");
@@ -367,9 +366,8 @@ mod tests {
 
     #[test]
     fn allocated_rbs_meet_both_floors() {
-        let tasks: Vec<AllocTask> = (0..5)
-            .map(|i| table_iv_task(0.8 - 0.1 * i as f64, 5.0, 0.2 + 0.1 * i as f64, 0.008))
-            .collect();
+        let tasks: Vec<AllocTask> =
+            (0..5).map(|i| table_iv_task(0.8 - 0.1 * i as f64, 5.0, 0.2 + 0.1 * i as f64, 0.008)).collect();
         let res = greedy(&tasks, &settings(), Order::Priority);
         for (t, (&z, &r)) in tasks.iter().zip(res.z.iter().zip(&res.r)) {
             if z > 0.0 {

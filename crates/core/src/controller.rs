@@ -61,6 +61,40 @@ pub struct AdmissionOutcome {
     pub rejected: Vec<TaskId>,
 }
 
+impl AdmissionOutcome {
+    /// Total number of requests this outcome decides.
+    pub fn total(&self) -> usize {
+        self.admitted.len() + self.rejected.len()
+    }
+
+    /// Conservation check: every one of `submitted` requests received
+    /// exactly one verdict. Service runtimes assert this after each round
+    /// so no request is ever silently dropped.
+    pub fn accounts_for(&self, submitted: usize) -> bool {
+        self.total() == submitted
+    }
+}
+
+/// A cheap, single-pass summary of a [`Controller`]'s state, for hot
+/// paths that previously had to clone [`Controller::active`] or
+/// materialise [`Controller::deployed`] (which allocates a block set)
+/// just to read a few aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerSnapshot {
+    /// Number of tasks currently served.
+    pub active_tasks: usize,
+    /// Number of distinct blocks resident at the edge.
+    pub deployed_blocks: usize,
+    /// Memory those blocks occupy (bytes).
+    pub memory_bytes: f64,
+    /// Inference compute consumed by running tasks (GPU-s/s).
+    pub compute_seconds: f64,
+    /// Admission-weighted RBs consumed by running tasks.
+    pub rbs: f64,
+    /// Remaining capacity after the above consumption.
+    pub headroom: Budgets,
+}
+
 /// The long-running controller state.
 #[derive(Debug, Clone)]
 pub struct Controller {
@@ -105,11 +139,35 @@ impl Controller {
             compute += a.compute_usage();
             rbs += a.radio_usage();
         }
-        let memory_bytes = blocks
-            .iter()
-            .map(|b| self.block_memory[b.0 as usize])
-            .sum();
+        let memory_bytes = blocks.iter().map(|b| self.block_memory[b.0 as usize]).sum();
         DeployedState { blocks, memory_bytes, compute_seconds: compute, rbs }
+    }
+
+    /// Single-pass state summary without handing out the block set or the
+    /// active-task list. Cost is `O(active · blocks-per-path)` with one
+    /// small scratch set and no per-call `Vec`/`String` clones.
+    pub fn snapshot(&self) -> ControllerSnapshot {
+        let mut blocks: HashSet<BlockId> = HashSet::new();
+        let (mut compute, mut rbs) = (0.0, 0.0);
+        for a in &self.active {
+            blocks.extend(a.option.path.blocks.iter().copied());
+            compute += a.compute_usage();
+            rbs += a.radio_usage();
+        }
+        let memory_bytes: f64 = blocks.iter().map(|b| self.block_memory[b.0 as usize]).sum();
+        ControllerSnapshot {
+            active_tasks: self.active.len(),
+            deployed_blocks: blocks.len(),
+            memory_bytes,
+            compute_seconds: compute,
+            rbs,
+            headroom: Budgets {
+                rbs: (self.budgets.rbs - rbs).max(0.0),
+                compute_seconds: (self.budgets.compute_seconds - compute).max(0.0),
+                training_seconds: self.budgets.training_seconds,
+                memory_bytes: (self.budgets.memory_bytes - memory_bytes).max(0.0),
+            },
+        }
     }
 
     /// Processes one round of admission requests against the residual
@@ -209,7 +267,10 @@ mod tests {
 
     fn requests(instance: &DotInstance, range: std::ops::Range<usize>) -> Vec<AdmissionRequest> {
         range
-            .map(|t| AdmissionRequest { task: instance.tasks[t].clone(), options: instance.options[t].clone() })
+            .map(|t| AdmissionRequest {
+                task: instance.tasks[t].clone(),
+                options: instance.options[t].clone(),
+            })
             .collect()
     }
 
@@ -283,11 +344,8 @@ mod tests {
         c.submit(requests(&s.instance, 0..3)).unwrap();
         c.submit(requests(&s.instance, 3..5)).unwrap();
         let incremental_adm: f64 = c.active().iter().map(|a| a.admission * a.task.priority).sum();
-        let opts: Vec<_> = c
-            .active()
-            .iter()
-            .map(|a| s.instance.options[a.task.id.0 as usize].clone())
-            .collect();
+        let opts: Vec<_> =
+            c.active().iter().map(|a| s.instance.options[a.task.id.0 as usize].clone()).collect();
         let out = c.replan(opts).unwrap();
         let replanned_adm: f64 = out.admitted.iter().map(|a| a.admission * a.task.priority).sum();
         assert!(replanned_adm >= incremental_adm - 1e-9);
@@ -301,10 +359,52 @@ mod tests {
         c.submit(requests(&s.instance, 0..3)).unwrap();
         let before = c.active().len();
         // Malformed options: a block id with no cost entry.
-        let mut bad = vec![s.instance.options[0].clone(), s.instance.options[1].clone(), s.instance.options[2].clone()];
+        let mut bad =
+            vec![s.instance.options[0].clone(), s.instance.options[1].clone(), s.instance.options[2].clone()];
         bad[0][0].path.blocks.push(offloadnn_dnn::BlockId(9_999_999));
         assert!(c.replan(bad).is_err());
         assert_eq!(c.active().len(), before, "deployment untouched on error");
+    }
+
+    #[test]
+    fn snapshot_agrees_with_deployed_and_headroom() {
+        let s = small_scenario(5);
+        let mut c = Controller::new(&s.instance, OffloadnnSolver::new());
+        let out = c.submit(requests(&s.instance, 0..5)).unwrap();
+        assert!(out.accounts_for(5));
+        let snap = c.snapshot();
+        let dep = c.deployed();
+        let head = c.headroom();
+        assert_eq!(snap.active_tasks, c.active().len());
+        assert_eq!(snap.deployed_blocks, dep.blocks.len());
+        assert!((snap.memory_bytes - dep.memory_bytes).abs() < 1e-9);
+        assert!((snap.compute_seconds - dep.compute_seconds).abs() < 1e-12);
+        assert!((snap.rbs - dep.rbs).abs() < 1e-12);
+        assert!((snap.headroom.rbs - head.rbs).abs() < 1e-12);
+        assert!((snap.headroom.memory_bytes - head.memory_bytes).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_controller_snapshot_is_all_headroom() {
+        let s = small_scenario(3);
+        let c = Controller::new(&s.instance, OffloadnnSolver::new());
+        let snap = c.snapshot();
+        assert_eq!(snap.active_tasks, 0);
+        assert_eq!(snap.deployed_blocks, 0);
+        assert_eq!(snap.rbs, 0.0);
+        assert!((snap.headroom.rbs - s.instance.budgets.rbs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_conservation_helper_counts_both_verdicts() {
+        let s = small_scenario(5);
+        let mut inst = s.instance.clone();
+        inst.budgets.rbs = 16.0;
+        let mut c = Controller::new(&inst, OffloadnnSolver::new());
+        let out = c.submit(requests(&inst, 0..5)).unwrap();
+        assert!(out.accounts_for(5));
+        assert_eq!(out.total(), 5);
+        assert!(!out.accounts_for(4));
     }
 
     #[test]

@@ -135,9 +135,8 @@ mod tests {
 
     #[test]
     fn weak_duality_holds_on_small_instance() {
-        let tasks: Vec<AllocTask> = (0..5)
-            .map(|i| table_iv_task(0.8 - 0.1 * i as f64, 5.0, 0.2 + 0.1 * i as f64, 0.008))
-            .collect();
+        let tasks: Vec<AllocTask> =
+            (0..5).map(|i| table_iv_task(0.8 - 0.1 * i as f64, 5.0, 0.2 + 0.1 * i as f64, 0.008)).collect();
         let s = AllocSettings { alpha: 0.5, rbs: 50.0, compute: 2.5 };
         let primal = coordinate_ascent(&tasks, &s);
         let u = total_utility(&tasks, &s, &primal.z);
@@ -153,9 +152,8 @@ mod tests {
     fn gap_is_tight_when_unconstrained() {
         // Huge budgets: multipliers stay ~0 and the bound equals the
         // unconstrained optimum, which coordinate ascent also reaches.
-        let tasks: Vec<AllocTask> = (0..4)
-            .map(|i| table_iv_task(0.9 - 0.1 * i as f64, 3.0, 0.4, 0.005))
-            .collect();
+        let tasks: Vec<AllocTask> =
+            (0..4).map(|i| table_iv_task(0.9 - 0.1 * i as f64, 3.0, 0.4, 0.005)).collect();
         let s = AllocSettings { alpha: 0.5, rbs: 1e5, compute: 1e5 };
         let primal = coordinate_ascent(&tasks, &s);
         let u = total_utility(&tasks, &s, &primal.z);
@@ -182,9 +180,8 @@ mod tests {
 
     #[test]
     fn bound_dominates_every_greedy_order() {
-        let tasks: Vec<AllocTask> = (0..8)
-            .map(|i| table_iv_task(0.2 + 0.1 * i as f64, 2.0 + i as f64, 0.3, 0.01))
-            .collect();
+        let tasks: Vec<AllocTask> =
+            (0..8).map(|i| table_iv_task(0.2 + 0.1 * i as f64, 2.0 + i as f64, 0.3, 0.01)).collect();
         let s = AllocSettings { alpha: 0.6, rbs: 20.0, compute: 0.3 };
         let bound = dual_bound(&tasks, &s, 500);
         for order in [Order::Priority, Order::UtilityDensity, Order::Input] {

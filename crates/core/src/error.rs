@@ -137,9 +137,7 @@ mod tests {
     fn error_messages_are_informative() {
         assert!(DotError::InvalidAlpha(1.5).to_string().contains("1.5"));
         assert!(DotError::ExactTooLarge { branches: 1e9, cap: 1e8 }.to_string().contains("refuses"));
-        assert!(Violation::Accuracy { task: TaskId(2), got: 0.7, need: 0.9 }
-            .to_string()
-            .contains("t2"));
+        assert!(Violation::Accuracy { task: TaskId(2), got: 0.7, need: 0.9 }.to_string().contains("t2"));
         assert!(Violation::Memory { used: 2.0, cap: 1.0 }.to_string().contains("memory"));
     }
 }

@@ -205,7 +205,12 @@ mod tests {
         let opt = ExactSolver::new().solve(&i).unwrap();
         let heu = OffloadnnSolver::new().solve(&i).unwrap();
         assert!(verify(&i, &opt).is_empty());
-        assert!(opt.cost.total() <= heu.cost.total() + 1e-9, "optimum {} vs heuristic {}", opt.cost.total(), heu.cost.total());
+        assert!(
+            opt.cost.total() <= heu.cost.total() + 1e-9,
+            "optimum {} vs heuristic {}",
+            opt.cost.total(),
+            heu.cost.total()
+        );
     }
 
     #[test]

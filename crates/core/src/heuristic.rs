@@ -169,9 +169,7 @@ pub(crate) fn finish_branch(
         if let Some(o) = choice {
             let task = &instance.tasks[t];
             let opt = &instance.options[t][*o];
-            let r_lat = instance
-                .min_rbs_latency(t, *o)
-                .expect("chosen option passed the latency filter");
+            let r_lat = instance.min_rbs_latency(t, *o).expect("chosen option passed the latency filter");
             idx.push(t);
             alloc_tasks.push(AllocTask {
                 priority: task.priority,

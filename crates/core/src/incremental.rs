@@ -59,7 +59,8 @@ pub fn residual_instance(new_tasks: &DotInstance, deployed: &DeployedState) -> D
             residual.block_training[b.0 as usize] = 0.0;
         }
     }
-    residual.budgets.memory_bytes = (residual.budgets.memory_bytes - deployed.memory_bytes).max(f64::MIN_POSITIVE);
+    residual.budgets.memory_bytes =
+        (residual.budgets.memory_bytes - deployed.memory_bytes).max(f64::MIN_POSITIVE);
     residual.budgets.compute_seconds =
         (residual.budgets.compute_seconds - deployed.compute_seconds).max(f64::MIN_POSITIVE);
     residual.budgets.rbs = (residual.budgets.rbs - deployed.rbs).max(f64::MIN_POSITIVE);
@@ -113,10 +114,7 @@ mod tests {
         for (t, c) in sol2.choices.iter().enumerate() {
             if let Some(o) = c {
                 for b in &res.options[t][*o].path.blocks {
-                    assert!(
-                        dep.blocks.contains(b),
-                        "only already-deployed blocks are affordable"
-                    );
+                    assert!(dep.blocks.contains(b), "only already-deployed blocks are affordable");
                 }
             }
         }

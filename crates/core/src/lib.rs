@@ -61,5 +61,7 @@ pub use heuristic::OffloadnnSolver;
 pub use instance::{Budgets, DotInstance, PathOption};
 pub use metrics::SolutionSummary;
 pub use objective::{evaluate, verify, CostBreakdown, DotSolution};
-pub use scenario::{heterogeneous_snr_scenario, large_scenario, quantized_small_scenario, small_scenario, LoadLevel, Scenario};
+pub use scenario::{
+    heterogeneous_snr_scenario, large_scenario, quantized_small_scenario, small_scenario, LoadLevel, Scenario,
+};
 pub use task::{QualityLevel, Task, TaskId};

@@ -57,11 +57,7 @@ impl MultiEdgeSolution {
 
     /// `sum z * p`.
     pub fn weighted_admission(&self, instance: &MultiEdgeInstance) -> f64 {
-        self.admission
-            .iter()
-            .zip(&instance.template.tasks)
-            .map(|(&z, t)| z * t.priority)
-            .sum()
+        self.admission.iter().zip(&instance.template.tasks).map(|(&z, t)| z * t.priority).sum()
     }
 }
 
@@ -161,7 +157,8 @@ pub fn solve(instance: &MultiEdgeInstance) -> Result<MultiEdgeSolution, DotError
     for t in 0..t_inst.num_tasks() {
         if let Some((e, o)) = placement[t] {
             edge_states[e].push(t_inst, &t_inst.options[t][o].path.blocks);
-            edge_compute[e] += admission[t] * t_inst.tasks[t].request_rate * t_inst.options[t][o].proc_seconds;
+            edge_compute[e] +=
+                admission[t] * t_inst.tasks[t].request_rate * t_inst.options[t][o].proc_seconds;
         }
     }
 
@@ -272,9 +269,7 @@ mod tests {
         let whole = solve(&split_edges(&s.instance, 1)).unwrap();
         let halves = solve(&split_edges(&s.instance, 2)).unwrap();
         let quarters = solve(&split_edges(&s.instance, 4)).unwrap();
-        let w = |sol: &MultiEdgeSolution, n: usize| {
-            sol.weighted_admission(&split_edges(&s.instance, n))
-        };
+        let w = |sol: &MultiEdgeSolution, n: usize| sol.weighted_admission(&split_edges(&s.instance, n));
         assert!(w(&halves, 2) <= w(&whole, 1) + 1e-9);
         assert!(w(&quarters, 4) <= w(&halves, 2) + 1e-9);
     }

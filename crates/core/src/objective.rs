@@ -69,11 +69,7 @@ impl DotSolution {
     /// Sum over tasks of `z * p` (Fig. 8/10's "weighted tasks admission
     /// ratio").
     pub fn weighted_admission(&self, instance: &DotInstance) -> f64 {
-        self.admission
-            .iter()
-            .zip(&instance.tasks)
-            .map(|(&z, t)| z * t.priority)
-            .sum()
+        self.admission.iter().zip(&instance.tasks).map(|(&z, t)| z * t.priority).sum()
     }
 
     /// Number of tasks with a strictly positive admission ratio.
@@ -99,19 +95,13 @@ pub fn used_blocks(instance: &DotInstance, choices: &[Option<usize>], admission:
 /// Total memory (bytes) of the used blocks, shared blocks counted once —
 /// the left side of constraint (1b).
 pub fn memory_bytes(instance: &DotInstance, choices: &[Option<usize>], admission: &[f64]) -> f64 {
-    used_blocks(instance, choices, admission)
-        .into_iter()
-        .map(|b| instance.memory_of(b))
-        .sum()
+    used_blocks(instance, choices, admission).into_iter().map(|b| instance.memory_of(b)).sum()
 }
 
 /// Total training cost (GPU-seconds) of the used blocks, shared blocks
 /// counted once.
 pub fn training_seconds(instance: &DotInstance, choices: &[Option<usize>], admission: &[f64]) -> f64 {
-    used_blocks(instance, choices, admission)
-        .into_iter()
-        .map(|b| instance.training_of(b))
-        .sum()
+    used_blocks(instance, choices, admission).into_iter().map(|b| instance.training_of(b)).sum()
 }
 
 /// Admission-weighted inference compute usage in GPU-seconds per second —
@@ -120,7 +110,9 @@ pub fn compute_usage(instance: &DotInstance, choices: &[Option<usize>], admissio
     choices
         .iter()
         .enumerate()
-        .filter_map(|(t, c)| c.map(|o| admission[t] * instance.tasks[t].request_rate * instance.options[t][o].proc_seconds))
+        .filter_map(|(t, c)| {
+            c.map(|o| admission[t] * instance.tasks[t].request_rate * instance.options[t][o].proc_seconds)
+        })
         .sum()
 }
 
@@ -130,14 +122,15 @@ pub fn radio_usage(admission: &[f64], rbs: &[f64]) -> f64 {
 }
 
 /// Evaluates the DOT objective (1a) for a candidate assignment.
-pub fn evaluate(instance: &DotInstance, choices: &[Option<usize>], admission: &[f64], rbs: &[f64]) -> CostBreakdown {
+pub fn evaluate(
+    instance: &DotInstance,
+    choices: &[Option<usize>],
+    admission: &[f64],
+    rbs: &[f64],
+) -> CostBreakdown {
     let alpha = instance.alpha;
-    let rejection: f64 = instance
-        .tasks
-        .iter()
-        .enumerate()
-        .map(|(t, task)| (1.0 - admission[t]) * task.priority)
-        .sum();
+    let rejection: f64 =
+        instance.tasks.iter().enumerate().map(|(t, task)| (1.0 - admission[t]) * task.priority).sum();
     let training = training_seconds(instance, choices, admission) / instance.budgets.training_seconds;
     let radio = radio_usage(admission, rbs) / instance.budgets.rbs;
     let inference = compute_usage(instance, choices, admission) / instance.budgets.compute_seconds;

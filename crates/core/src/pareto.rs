@@ -129,12 +129,8 @@ mod tests {
         // not dominated — they buy compute/memory with accuracy.
         let s = small_scenario(2);
         let front = pareto_front(points(&s.instance, 1));
-        let any_pruned = front
-            .iter()
-            .any(|p| s.instance.options[1][p.option].path.config.pruned);
-        let any_unpruned = front
-            .iter()
-            .any(|p| !s.instance.options[1][p.option].path.config.pruned);
+        let any_pruned = front.iter().any(|p| s.instance.options[1][p.option].path.config.pruned);
+        let any_unpruned = front.iter().any(|p| !s.instance.options[1][p.option].path.config.pruned);
         assert!(any_pruned && any_unpruned, "both pruned and unpruned options are efficient");
     }
 }

@@ -163,12 +163,8 @@ mod tests {
         let sol = OffloadnnSolver::new().solve(&dot).unwrap();
         let value = knapsack_value(&items, &sol.admission);
         assert!(value <= 220.0 + 1e-6);
-        let weight: f64 = items
-            .iter()
-            .zip(&sol.admission)
-            .filter(|(_, &z)| z > 0.0)
-            .map(|(i, _)| i.weight as f64)
-            .sum();
+        let weight: f64 =
+            items.iter().zip(&sol.admission).filter(|(_, &z)| z > 0.0).map(|(i, _)| i.weight as f64).sum();
         assert!(weight <= 50.0);
     }
 
@@ -187,10 +183,7 @@ mod tests {
             let dot = knapsack_to_dot(&items, capacity);
             let sol = ExactSolver::new().solve(&dot).unwrap();
             let got = knapsack_value(&items, &sol.admission);
-            assert!(
-                (got - dp).abs() < 1e-6,
-                "seed {seed}: DOT {got} vs DP {dp}"
-            );
+            assert!((got - dp).abs() < 1e-6, "seed {seed}: DOT {got} vs DP {dp}");
         }
     }
 

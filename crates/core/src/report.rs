@@ -37,7 +37,8 @@ pub fn render(instance: &DotInstance, sol: &DotSolution) -> String {
         match sol.choices[t] {
             Some(o) => {
                 let opt = &instance.options[t][o];
-                let latency = opt.quality.bits / (instance.bits_per_rb(t) * sol.rbs[t].max(f64::MIN_POSITIVE))
+                let latency = opt.quality.bits
+                    / (instance.bits_per_rb(t) * sol.rbs[t].max(f64::MIN_POSITIVE))
                     + opt.proc_seconds;
                 let _ = writeln!(
                     out,
@@ -55,11 +56,7 @@ pub fn render(instance: &DotInstance, sol: &DotSolution) -> String {
                 );
             }
             None => {
-                let _ = writeln!(
-                    out,
-                    "  {} {:16} p={:.2} -> rejected",
-                    task.id, task.name, task.priority
-                );
+                let _ = writeln!(out, "  {} {:16} p={:.2} -> rejected", task.id, task.name, task.priority);
             }
         }
     }

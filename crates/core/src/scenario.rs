@@ -111,12 +111,7 @@ pub fn small_scenario(t: usize) -> Scenario {
         })
         .collect();
 
-    let budgets = Budgets {
-        rbs: 50.0,
-        compute_seconds: 2.5,
-        training_seconds: 1000.0,
-        memory_bytes: 8e9,
-    };
+    let budgets = Budgets { rbs: 50.0, compute_seconds: 2.5, training_seconds: 1000.0, memory_bytes: 8e9 };
     build_scenario(repo, models, &SMALL_CONFIGS, tasks, budgets, profile)
 }
 
@@ -166,12 +161,7 @@ pub fn large_scenario(load: LoadLevel) -> Scenario {
         })
         .collect();
 
-    let budgets = Budgets {
-        rbs: 100.0,
-        compute_seconds: 10.0,
-        training_seconds: 1000.0,
-        memory_bytes: 16e9,
-    };
+    let budgets = Budgets { rbs: 100.0, compute_seconds: 10.0, training_seconds: 1000.0, memory_bytes: 16e9 };
     let configs = PathConfig::all();
     build_scenario(repo, models, &configs, tasks, budgets, profile)
 }
@@ -301,10 +291,7 @@ pub fn build_scenario_at(
     // full from-scratch training — scaled to `Ct`, matching Table IV's
     // "normalised to the full DNN training cost" with one `Ct` budget.
     let table = CostTable::profile(&repo, &profile);
-    let reference_ct = scratch_paths
-        .iter()
-        .map(|p| table.path_training_seconds(p))
-        .fold(1e-9f64, f64::max);
+    let reference_ct = scratch_paths.iter().map(|p| table.path_training_seconds(p)).fold(1e-9f64, f64::max);
     let scale = budgets.training_seconds / reference_ct;
 
     let mut block_memory = vec![0.0; repo.num_blocks()];
@@ -324,8 +311,7 @@ pub fn build_scenario_at(
             for (p, accs) in per_task_paths[t].iter().zip(&accuracies[t]) {
                 let proc_seconds = table.path_compute_seconds(p);
                 // Rescaled training cost, used as the clique tie-break.
-                let training_seconds: f64 =
-                    p.blocks.iter().map(|&b| block_training[b.0 as usize]).sum();
+                let training_seconds: f64 = p.blocks.iter().map(|&b| block_training[b.0 as usize]).sum();
                 let precision = repo.block(p.blocks[0]).key.precision;
                 let precision_tag = match precision {
                     Precision::Fp32 => String::new(),
@@ -337,7 +323,13 @@ pub fn build_scenario_at(
                         accuracy,
                         proc_seconds,
                         training_seconds,
-                        label: format!("{}/{}{} @q{:.2}", p.model, p.config.label(), precision_tag, quality.quality),
+                        label: format!(
+                            "{}/{}{} @q{:.2}",
+                            p.model,
+                            p.config.label(),
+                            precision_tag,
+                            quality.quality
+                        ),
                         path: p.clone(),
                     });
                 }
@@ -442,9 +434,11 @@ mod tests {
         let sol = OffloadnnSolver::new().solve(&q.instance).unwrap();
         assert!(crate::objective::verify(&q.instance, &sol).is_empty());
         // Somebody picks INT8: it is strictly faster where accuracy allows.
-        let picked_int8 = sol.choices.iter().enumerate().any(|(t, c)| {
-            c.map(|o| q.instance.options[t][o].label.contains("int8")).unwrap_or(false)
-        });
+        let picked_int8 = sol
+            .choices
+            .iter()
+            .enumerate()
+            .any(|(t, c)| c.map(|o| q.instance.options[t][o].label.contains("int8")).unwrap_or(false));
         assert!(picked_int8, "INT8 variants should win for slack-accuracy tasks");
         // And memory drops vs the FP32-only scenario.
         let plain_sol = OffloadnnSolver::new().solve(&plain.instance).unwrap();

@@ -55,12 +55,7 @@ impl WeightedTree {
         order.sort_by(|&a, &b| instance.tasks[b].priority.total_cmp(&instance.tasks[a].priority));
 
         let path_memory = |t: usize, o: usize| -> f64 {
-            instance.options[t][o]
-                .path
-                .blocks
-                .iter()
-                .map(|&b| instance.memory_of(b))
-                .sum()
+            instance.options[t][o].path.blocks.iter().map(|&b| instance.memory_of(b)).sum()
         };
 
         let cliques = order
@@ -129,11 +124,7 @@ impl BranchState {
     /// Memory the branch would grow by if `blocks` were added.
     pub fn memory_increment(&self, instance: &DotInstance, blocks: &[BlockId]) -> f64 {
         // A path never repeats a block, so no intra-path dedup is needed.
-        blocks
-            .iter()
-            .filter(|b| !self.refcount.contains_key(b))
-            .map(|&b| instance.memory_of(b))
-            .sum()
+        blocks.iter().filter(|b| !self.refcount.contains_key(b)).map(|&b| instance.memory_of(b)).sum()
     }
 
     /// Adds a path's blocks to the branch.

@@ -7,12 +7,12 @@ use proptest::prelude::*;
 
 fn arb_task() -> impl Strategy<Value = AllocTask> {
     (
-        0.05f64..1.0,    // priority
-        0.5f64..10.0,    // lambda
-        50e3f64..800e3,  // beta
-        0.1e6f64..1e6,   // bits per rb
-        0.2f64..8.0,     // r_lat
-        0.001f64..0.05,  // proc seconds
+        0.05f64..1.0,   // priority
+        0.5f64..10.0,   // lambda
+        50e3f64..800e3, // beta
+        0.1e6f64..1e6,  // bits per rb
+        0.2f64..8.0,    // r_lat
+        0.001f64..0.05, // proc seconds
     )
         .prop_map(|(priority, lambda, beta, bits_per_rb, r_lat, proc_seconds)| AllocTask {
             priority,
@@ -25,8 +25,11 @@ fn arb_task() -> impl Strategy<Value = AllocTask> {
 }
 
 fn arb_settings() -> impl Strategy<Value = AllocSettings> {
-    (0.1f64..0.9, 5.0f64..200.0, 0.05f64..5.0)
-        .prop_map(|(alpha, rbs, compute)| AllocSettings { alpha, rbs, compute })
+    (0.1f64..0.9, 5.0f64..200.0, 0.05f64..5.0).prop_map(|(alpha, rbs, compute)| AllocSettings {
+        alpha,
+        rbs,
+        compute,
+    })
 }
 
 proptest! {

@@ -67,26 +67,17 @@ fn starved_compute_degrades_gracefully() {
 fn zero_budgets_are_rejected_by_validation() {
     let mut s = small_scenario(1);
     s.instance.budgets.rbs = 0.0;
-    assert!(matches!(
-        OffloadnnSolver::new().solve(&s.instance).unwrap_err(),
-        DotError::InvalidBudget("rbs")
-    ));
+    assert!(matches!(OffloadnnSolver::new().solve(&s.instance).unwrap_err(), DotError::InvalidBudget("rbs")));
     let mut s = small_scenario(1);
     s.instance.budgets.compute_seconds = -1.0;
-    assert!(matches!(
-        ExactSolver::new().solve(&s.instance).unwrap_err(),
-        DotError::InvalidBudget("compute")
-    ));
+    assert!(matches!(ExactSolver::new().solve(&s.instance).unwrap_err(), DotError::InvalidBudget("compute")));
 }
 
 #[test]
 fn malformed_tasks_are_rejected_by_validation() {
     let mut s = small_scenario(2);
     s.instance.tasks[1].priority = 2.0;
-    assert!(matches!(
-        OffloadnnSolver::new().solve(&s.instance).unwrap_err(),
-        DotError::InvalidTask(_)
-    ));
+    assert!(matches!(OffloadnnSolver::new().solve(&s.instance).unwrap_err(), DotError::InvalidTask(_)));
     let mut s = small_scenario(2);
     s.instance.tasks[0].request_rate = 0.0;
     assert!(OffloadnnSolver::new().solve(&s.instance).is_err());

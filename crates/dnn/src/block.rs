@@ -263,7 +263,9 @@ mod tests {
         assert!(!BlockVariant::Base.is_trainable());
         assert!(BlockVariant::Head { group: g }.is_trainable());
         assert!(BlockVariant::Base.frozen_features());
-        assert!(BlockVariant::PrunedHead { group: g, ratio_permille: 800, pruned_input: false }.frozen_features());
+        assert!(
+            BlockVariant::PrunedHead { group: g, ratio_permille: 800, pruned_input: false }.frozen_features()
+        );
         assert!(!BlockVariant::FineTuned { group: g, from_scratch: false }.frozen_features());
         assert_eq!(BlockVariant::Base.group(), None);
         assert_eq!(BlockVariant::FineTuned { group: g, from_scratch: true }.group(), Some(g));
@@ -291,7 +293,8 @@ mod tests {
         assert_eq!(head.trainable_params, 512 * 60 + 60);
         assert_eq!(head.params, head.trainable_params);
 
-        let ft = BlockMetrics::derive(&m.blocks[3], &BlockVariant::FineTuned { group: g, from_scratch: false });
+        let ft =
+            BlockMetrics::derive(&m.blocks[3], &BlockVariant::FineTuned { group: g, from_scratch: false });
         assert_eq!(ft.trainable_params, ft.params);
     }
 
@@ -309,8 +312,10 @@ mod tests {
 
     #[test]
     fn block_key_equality_drives_sharing() {
-        let k1 = BlockKey { model: ModelId(0), stage: 1, variant: BlockVariant::Base, precision: Precision::Fp32 };
-        let k2 = BlockKey { model: ModelId(0), stage: 1, variant: BlockVariant::Base, precision: Precision::Fp32 };
+        let k1 =
+            BlockKey { model: ModelId(0), stage: 1, variant: BlockVariant::Base, precision: Precision::Fp32 };
+        let k2 =
+            BlockKey { model: ModelId(0), stage: 1, variant: BlockVariant::Base, precision: Precision::Fp32 };
         let k3 = BlockKey {
             model: ModelId(0),
             stage: 1,

@@ -147,11 +147,7 @@ impl LayerGraph {
 
     /// Total FLOPs for one input sample.
     pub fn flops(&self) -> u64 {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| n.kind.flops(self.node_input_shape(i)))
-            .sum()
+        self.nodes.iter().enumerate().map(|(i, n)| n.kind.flops(self.node_input_shape(i))).sum()
     }
 
     /// Sum of all intermediate activation elements for one sample, including

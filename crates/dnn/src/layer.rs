@@ -72,7 +72,13 @@ pub enum LayerKind {
 impl LayerKind {
     /// Convenience constructor for a standard (non-grouped, biasless)
     /// convolution as used throughout ResNet.
-    pub fn conv(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+    pub fn conv(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
         LayerKind::Conv2d { in_channels, out_channels, kernel, stride, padding, groups: 1, bias: false }
     }
 
@@ -130,7 +136,9 @@ impl LayerKind {
                 input
             }
             LayerKind::Activation | LayerKind::Add => input,
-            LayerKind::MaxPool2d { kernel, stride, padding } => input.conv_out(input.channels, kernel, stride, padding),
+            LayerKind::MaxPool2d { kernel, stride, padding } => {
+                input.conv_out(input.channels, kernel, stride, padding)
+            }
             LayerKind::GlobalAvgPool => TensorShape::vector(input.channels),
             LayerKind::Linear { in_features, out_features, .. } => {
                 assert_eq!(input.elements(), in_features, "linear input feature mismatch");
@@ -193,7 +201,9 @@ impl fmt::Display for LayerKind {
                 write!(f, "conv{kernel}x{kernel}({in_channels}->{out_channels}, s{stride})")
             }
             LayerKind::BatchNorm2d { channels } => write!(f, "bn({channels})"),
-            LayerKind::Linear { in_features, out_features, .. } => write!(f, "fc({in_features}->{out_features})"),
+            LayerKind::Linear { in_features, out_features, .. } => {
+                write!(f, "fc({in_features}->{out_features})")
+            }
             other => write!(f, "{}", other.name()),
         }
     }

@@ -90,7 +90,13 @@ pub fn mobilenet_v2(num_classes: usize, width_permille: u32, input: TensorShape)
 
 /// Appends one inverted residual block: 1x1 expand, 3x3 depthwise, 1x1
 /// project, with a residual add when stride is 1 and channels match.
-fn inverted_residual(b: &mut LayerGraphBuilder, in_ch: usize, out_ch: usize, expansion: usize, stride: usize) {
+fn inverted_residual(
+    b: &mut LayerGraphBuilder,
+    in_ch: usize,
+    out_ch: usize,
+    expansion: usize,
+    stride: usize,
+) {
     let entry = if b.next_id() == 0 { Source::Input } else { Source::Node(b.next_id() - 1) };
     let hidden = in_ch * expansion;
 

@@ -95,10 +95,7 @@ impl SegmentedModel {
     /// Checks that consecutive blocks (and the head) agree on shapes.
     pub fn validate(&self) -> bool {
         self.blocks.len() == NUM_STAGES
-            && self
-                .blocks
-                .windows(2)
-                .all(|w| w[0].output_shape() == w[1].input_shape())
+            && self.blocks.windows(2).all(|w| w[0].output_shape() == w[1].input_shape())
             && self.blocks[0].input_shape() == self.input
             && self.blocks[NUM_STAGES - 1].output_shape() == self.head.input_shape()
             && self.head.output_shape() == TensorShape::vector(self.num_classes)

@@ -44,10 +44,8 @@ fn build_bottleneck_resnet(
     width_permille: u32,
     input: TensorShape,
 ) -> SegmentedModel {
-    let widths: Vec<usize> = [64usize, 128, 256, 512]
-        .iter()
-        .map(|&w| scale_channels(w, width_permille))
-        .collect();
+    let widths: Vec<usize> =
+        [64usize, 128, 256, 512].iter().map(|&w| scale_channels(w, width_permille)).collect();
     const EXPANSION: usize = 4;
 
     let mut blocks = Vec::with_capacity(NUM_STAGES);
@@ -125,10 +123,8 @@ fn build_resnet(
     width_permille: u32,
     input: TensorShape,
 ) -> SegmentedModel {
-    let widths: Vec<usize> = [64usize, 128, 256, 512]
-        .iter()
-        .map(|&w| scale_channels(w, width_permille))
-        .collect();
+    let widths: Vec<usize> =
+        [64usize, 128, 256, 512].iter().map(|&w| scale_channels(w, width_permille)).collect();
 
     let mut blocks = Vec::with_capacity(NUM_STAGES);
     let mut cursor = input;

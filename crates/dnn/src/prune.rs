@@ -183,11 +183,7 @@ fn analyze(graph: &LayerGraph) -> (UnionFind, Vec<bool>) {
 
     // Propagate conv-backing to group roots.
     let mut root_conv_backed = vec![false; n_vars];
-    let backed: Vec<usize> = conv_backed
-        .iter()
-        .enumerate()
-        .filter_map(|(v, &b)| b.then_some(v))
-        .collect();
+    let backed: Vec<usize> = conv_backed.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
     for v in backed {
         let r = uf.find(v);
         root_conv_backed[r] = true;

@@ -185,12 +185,9 @@ impl Repository {
         let m = &self.models[model.0 as usize];
         let (head_graph, num_classes) = (m.head.clone(), m.num_classes);
         let id = self.intern(key, move || match head_variant {
-            BlockVariant::PrunedHead { ratio_permille, pruned_input, .. } => Ok(build_pruned_head(
-                &head_graph,
-                num_classes,
-                ratio_permille as f64 / 1000.0,
-                pruned_input,
-            )),
+            BlockVariant::PrunedHead { ratio_permille, pruned_input, .. } => {
+                Ok(build_pruned_head(&head_graph, num_classes, ratio_permille as f64 / 1000.0, pruned_input))
+            }
             _ => Ok(head_graph),
         })?;
         blocks.push(id);
@@ -203,11 +200,13 @@ impl Repository {
     /// # Errors
     ///
     /// Returns a [`PruneError`] if the prune ratio is invalid.
-    pub fn all_paths(&mut self, model: ModelId, group: GroupId, ratio: f64) -> Result<Vec<DnnPath>, PruneError> {
-        PathConfig::all()
-            .into_iter()
-            .map(|cfg| self.instantiate_path(model, group, cfg, ratio))
-            .collect()
+    pub fn all_paths(
+        &mut self,
+        model: ModelId,
+        group: GroupId,
+        ratio: f64,
+    ) -> Result<Vec<DnnPath>, PruneError> {
+        PathConfig::all().into_iter().map(|cfg| self.instantiate_path(model, group, cfg, ratio)).collect()
     }
 
     /// Sum of FLOPs along a path (per inference sample).
@@ -252,7 +251,12 @@ impl Repository {
 /// simply consumes the narrower feature map. Otherwise (CONFIG B-pruned)
 /// the features are frozen at full width and the head's own input columns
 /// are magnitude-pruned, expressed structurally as a channel `Select`.
-fn build_pruned_head(base_head: &LayerGraph, num_classes: usize, ratio: f64, pruned_input: bool) -> LayerGraph {
+fn build_pruned_head(
+    base_head: &LayerGraph,
+    num_classes: usize,
+    ratio: f64,
+    pruned_input: bool,
+) -> LayerGraph {
     let full = base_head.input_shape();
     let kept = kept_channels(full.channels, ratio);
     if pruned_input {
@@ -318,12 +322,10 @@ mod tests {
     #[test]
     fn config_b_shares_all_feature_blocks() {
         let (mut r, m) = repo_with_resnet();
-        let p0 = r
-            .instantiate_path(m, GroupId(0), PathConfig { config: Config::B, pruned: false }, 0.8)
-            .unwrap();
-        let p1 = r
-            .instantiate_path(m, GroupId(1), PathConfig { config: Config::B, pruned: false }, 0.8)
-            .unwrap();
+        let p0 =
+            r.instantiate_path(m, GroupId(0), PathConfig { config: Config::B, pruned: false }, 0.8).unwrap();
+        let p1 =
+            r.instantiate_path(m, GroupId(1), PathConfig { config: Config::B, pruned: false }, 0.8).unwrap();
         // All four feature blocks identical (Base); only the head differs.
         assert_eq!(&p0.blocks[..NUM_STAGES], &p1.blocks[..NUM_STAGES]);
         assert_ne!(p0.blocks[NUM_STAGES], p1.blocks[NUM_STAGES]);
@@ -346,12 +348,8 @@ mod tests {
     fn config_a_shares_nothing_with_config_c() {
         let (mut r, m) = repo_with_resnet();
         let g = GroupId(0);
-        let pa = r
-            .instantiate_path(m, g, PathConfig { config: Config::A, pruned: false }, 0.8)
-            .unwrap();
-        let pc = r
-            .instantiate_path(m, g, PathConfig { config: Config::C, pruned: false }, 0.8)
-            .unwrap();
+        let pa = r.instantiate_path(m, g, PathConfig { config: Config::A, pruned: false }, 0.8).unwrap();
+        let pc = r.instantiate_path(m, g, PathConfig { config: Config::C, pruned: false }, 0.8).unwrap();
         for b in &pa.blocks[..NUM_STAGES] {
             assert!(!pc.blocks.contains(b), "scratch blocks must not be shared with fine-tuned paths");
         }
@@ -361,12 +359,8 @@ mod tests {
     fn pruned_path_has_fewer_params() {
         let (mut r, m) = repo_with_resnet();
         let g = GroupId(0);
-        let full = r
-            .instantiate_path(m, g, PathConfig { config: Config::C, pruned: false }, 0.8)
-            .unwrap();
-        let pruned = r
-            .instantiate_path(m, g, PathConfig { config: Config::C, pruned: true }, 0.8)
-            .unwrap();
+        let full = r.instantiate_path(m, g, PathConfig { config: Config::C, pruned: false }, 0.8).unwrap();
+        let pruned = r.instantiate_path(m, g, PathConfig { config: Config::C, pruned: true }, 0.8).unwrap();
         assert!(r.path_params(&pruned) < r.path_params(&full));
         assert!(r.path_flops(&pruned) < r.path_flops(&full));
     }
@@ -401,10 +395,7 @@ mod tests {
                 assert_eq!(out, inp, "path {cfg} blocks must chain");
             }
             // Every path ends in 60-class logits.
-            assert_eq!(
-                r.block(*p.blocks.last().unwrap()).graph.output_shape(),
-                TensorShape::vector(60)
-            );
+            assert_eq!(r.block(*p.blocks.last().unwrap()).graph.output_shape(), TensorShape::vector(60));
         }
     }
 
@@ -425,11 +416,7 @@ mod tests {
         let (mut r, m) = repo_with_resnet();
         let paths = r.all_paths(m, GroupId(0), 0.8).unwrap();
         assert_eq!(paths.len(), 10);
-        let base_count = r
-            .blocks()
-            .iter()
-            .filter(|b| matches!(b.key.variant, BlockVariant::Base))
-            .count();
+        let base_count = r.blocks().iter().filter(|b| matches!(b.key.variant, BlockVariant::Base)).count();
         assert_eq!(base_count, 4, "all four stages appear as Base");
     }
 
@@ -438,15 +425,10 @@ mod tests {
         // CONFIG B-pruned: frozen full-width features, head input columns
         // selected down.
         let (mut r, m) = repo_with_resnet();
-        let p = r
-            .instantiate_path(m, GroupId(0), PathConfig { config: Config::B, pruned: true }, 0.8)
-            .unwrap();
+        let p =
+            r.instantiate_path(m, GroupId(0), PathConfig { config: Config::B, pruned: true }, 0.8).unwrap();
         let head = r.block(p.blocks[NUM_STAGES]);
-        assert!(head
-            .graph
-            .nodes()
-            .iter()
-            .any(|n| matches!(n.kind, LayerKind::Select { .. })));
+        assert!(head.graph.nodes().iter().any(|n| matches!(n.kind, LayerKind::Select { .. })));
         // 512 -> 102 kept columns: params = 102*60 + 60.
         assert_eq!(head.metrics.params, 102 * 60 + 60);
     }
@@ -454,9 +436,8 @@ mod tests {
     #[test]
     fn fully_pruned_head_has_narrow_input() {
         let (mut r, m) = repo_with_resnet();
-        let p = r
-            .instantiate_path(m, GroupId(0), PathConfig { config: Config::A, pruned: true }, 0.8)
-            .unwrap();
+        let p =
+            r.instantiate_path(m, GroupId(0), PathConfig { config: Config::A, pruned: true }, 0.8).unwrap();
         let head = r.block(p.blocks[NUM_STAGES]);
         assert_eq!(head.graph.input_shape().channels, kept_channels(512, 0.8));
         assert!(!head.graph.nodes().iter().any(|n| matches!(n.kind, LayerKind::Select { .. })));

@@ -71,7 +71,11 @@ impl std::error::Error for DeployError {}
 /// Converts a DOT solution into per-task deployments (steps 4–6 of
 /// Fig. 4): integer RB slices, UE admission rates, selected-path compute
 /// times.
-pub fn deployments(instance: &DotInstance, solution: &DotSolution, cfg: &ColosseumConfig) -> Vec<TaskDeployment> {
+pub fn deployments(
+    instance: &DotInstance,
+    solution: &DotSolution,
+    cfg: &ColosseumConfig,
+) -> Vec<TaskDeployment> {
     instance
         .tasks
         .iter()
@@ -150,10 +154,7 @@ mod tests {
                     stats.miss_rate() * 100.0
                 );
                 let mean = report.mean_latency(t).unwrap();
-                assert!(
-                    mean <= s.instance.tasks[t].max_latency,
-                    "task {t} mean latency {mean} above target"
-                );
+                assert!(mean <= s.instance.tasks[t].max_latency, "task {t} mean latency {mean} above target");
             }
         }
     }

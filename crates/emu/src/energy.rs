@@ -85,7 +85,11 @@ pub struct EnergyReport {
 /// Compares offload vs local energy for every deployed task;
 /// `local_flops[t]` is the FLOP count of the model task `t` would have to
 /// run on-device (typically the full unpruned network).
-pub fn energy_report(model: &DeviceEnergyModel, deps: &[TaskDeployment], local_flops: &[u64]) -> EnergyReport {
+pub fn energy_report(
+    model: &DeviceEnergyModel,
+    deps: &[TaskDeployment],
+    local_flops: &[u64],
+) -> EnergyReport {
     let per_task: Vec<(f64, f64, f64)> = deps
         .iter()
         .zip(local_flops)

@@ -152,7 +152,10 @@ struct Pending {
 pub fn run(tasks: &[TaskDeployment], cfg: &EmulatorConfig) -> Result<EmulationReport, EmuError> {
     for (i, t) in tasks.iter().enumerate() {
         if t.admission > 0.0 && (t.slice_rbs == 0 || t.bits_per_rb <= 0.0) {
-            return Err(EmuError::BadDeployment { task: i, reason: "admitted task with zero slice capacity" });
+            return Err(EmuError::BadDeployment {
+                task: i,
+                reason: "admitted task with zero slice capacity",
+            });
         }
         if t.bits_per_image <= 0.0 {
             return Err(EmuError::BadDeployment { task: i, reason: "non-positive image size" });
@@ -174,7 +177,8 @@ pub fn run(tasks: &[TaskDeployment], cfg: &EmulatorConfig) -> Result<EmulationRe
         }
     }
 
-    let mut uplinks: Vec<UplinkState> = tasks.iter().map(|_| UplinkState { queue: VecDeque::new(), busy: false }).collect();
+    let mut uplinks: Vec<UplinkState> =
+        tasks.iter().map(|_| UplinkState { queue: VecDeque::new(), busy: false }).collect();
     let mut pending: Vec<std::collections::HashMap<u64, Pending>> = vec![Default::default(); tasks.len()];
     let mut next_req: Vec<u64> = vec![0; tasks.len()];
 
@@ -204,7 +208,8 @@ pub fn run(tasks: &[TaskDeployment], cfg: &EmulatorConfig) -> Result<EmulationRe
                 let dep = &tasks[task];
                 stats[task].generated += 1;
                 // UE-side thinning to the admission ratio.
-                let admitted = dep.admission > 0.0 && (dep.admission >= 1.0 || rng.random_range(0.0..1.0) < dep.admission);
+                let admitted = dep.admission > 0.0
+                    && (dep.admission >= 1.0 || rng.random_range(0.0..1.0) < dep.admission);
                 if !admitted {
                     stats[task].thinned += 1;
                     continue;
@@ -274,12 +279,7 @@ pub fn run(tasks: &[TaskDeployment], cfg: &EmulatorConfig) -> Result<EmulationRe
         stats[t].in_flight_at_end = p.len() as u64;
     }
 
-    Ok(EmulationReport {
-        duration: cfg.duration,
-        stats,
-        samples,
-        gpu_busy_seconds: gpu_busy_until_sum,
-    })
+    Ok(EmulationReport { duration: cfg.duration, stats, samples, gpu_busy_seconds: gpu_busy_until_sum })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -346,10 +346,7 @@ fn drain_gpu(
         *in_flight += 1;
         *busy_sum += service;
         for (i, req) in members.into_iter().enumerate() {
-            queue.push(
-                now + service,
-                EventKind::InferenceDone { task, request: req, releases_slot: i == 0 },
-            );
+            queue.push(now + service, EventKind::InferenceDone { task, request: req, releases_slot: i == 0 });
         }
     }
 }
@@ -498,7 +495,7 @@ mod tests {
         let mut cfg = EmulatorConfig::reference();
         quiet(&mut cfg);
         let d = dep(6, 5.0, 1.0);
-        let sliced = run(&[d.clone()], &cfg).unwrap();
+        let sliced = run(std::slice::from_ref(&d), &cfg).unwrap();
         cfg.radio_mode = RadioMode::SharedPool;
         let pooled = run(&[d], &cfg).unwrap();
         assert_eq!(sliced.stats[0].completed, pooled.stats[0].completed);

@@ -157,15 +157,10 @@ pub fn path_accuracy(
     quality: f64,
     difficulty: f64,
 ) -> f64 {
-    let ratio = path
-        .blocks
-        .iter()
-        .filter_map(|&b| repo.block(b).key.variant.prune_ratio())
-        .fold(0.0f64, f64::max);
-    let quantized = path
-        .blocks
-        .iter()
-        .any(|&b| repo.block(b).key.precision == offloadnn_dnn::Precision::Int8);
+    let ratio =
+        path.blocks.iter().filter_map(|&b| repo.block(b).key.variant.prune_ratio()).fold(0.0f64, f64::max);
+    let quantized =
+        path.blocks.iter().any(|&b| repo.block(b).key.precision == offloadnn_dnn::Precision::Int8);
     let sibling_cfg = PathConfig { config: path.config.config, pruned: false };
     let sibling = repo
         .instantiate_path(path.model, path.group, sibling_cfg, ratio.max(0.001))
@@ -178,7 +173,8 @@ pub fn path_accuracy(
     let unpruned_flops = repo.path_flops(&sibling);
     let flops = repo.path_flops(path);
     let pruned_fraction = 1.0 - flops as f64 / unpruned_flops.max(1) as f64;
-    let acc = model.deployed(unpruned_params, path.config.config, ratio, pruned_fraction, quality, difficulty);
+    let acc =
+        model.deployed(unpruned_params, path.config.config, ratio, pruned_fraction, quality, difficulty);
     if quantized {
         acc - model.quantization_penalty
     } else {
@@ -215,10 +211,7 @@ mod tests {
         // ones order B > C > D > E >= A (less is pruned away going left).
         let (_, paths, table) = setup();
         let t = |cfg: Config, pruned: bool| -> f64 {
-            let p = paths
-                .iter()
-                .find(|p| p.config.config == cfg && p.config.pruned == pruned)
-                .unwrap();
+            let p = paths.iter().find(|p| p.config.config == cfg && p.config.pruned == pruned).unwrap();
             table.path_compute_seconds(p)
         };
         assert!(t(Config::B, true) > t(Config::C, true));
@@ -283,9 +276,7 @@ mod tests {
         let m = repo.add_model(resnet18(60, 1000, TensorShape::new(3, 224, 224)));
         let cfg = offloadnn_dnn::PathConfig { config: Config::C, pruned: false };
         let fp32 = repo.instantiate_path(m, GroupId(0), cfg, 0.8).unwrap();
-        let int8 = repo
-            .instantiate_path_at(m, GroupId(0), cfg, 0.8, offloadnn_dnn::Precision::Int8)
-            .unwrap();
+        let int8 = repo.instantiate_path_at(m, GroupId(0), cfg, 0.8, offloadnn_dnn::Precision::Int8).unwrap();
         assert_ne!(fp32.blocks, int8.blocks, "distinct artifacts");
         let table = CostTable::profile(&repo, &ProfileConfig::reference());
         assert!(table.path_compute_seconds(&int8) < table.path_compute_seconds(&fp32));
@@ -304,7 +295,8 @@ mod tests {
         let mut drop = |cfg: Config| -> f64 {
             let full = paths.iter().find(|p| p.config.config == cfg && !p.config.pruned).unwrap().clone();
             let pruned = paths.iter().find(|p| p.config.config == cfg && p.config.pruned).unwrap().clone();
-            path_accuracy(&mut repo, &acc, &full, 1.0, 0.0) - path_accuracy(&mut repo, &acc, &pruned, 1.0, 0.0)
+            path_accuracy(&mut repo, &acc, &full, 1.0, 0.0)
+                - path_accuracy(&mut repo, &acc, &pruned, 1.0, 0.0)
         };
         let db = drop(Config::B);
         for cfg in [Config::A, Config::C, Config::D, Config::E] {

@@ -24,12 +24,7 @@ pub struct TrainingRun {
 impl TrainingRun {
     /// Epoch (1-based) with the best validation accuracy.
     pub fn best_epoch(&self) -> usize {
-        self.accuracy
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i + 1)
-            .unwrap_or(0)
+        self.accuracy.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i + 1).unwrap_or(0)
     }
 
     /// Best validation accuracy seen.

@@ -72,7 +72,11 @@ pub struct ExtensionTask {
 pub fn extension_tasks() -> Vec<ExtensionTask> {
     vec![
         ExtensionTask { name: "Grocery items".into(), target_class: "mushroom".into(), difficulty: 0.01 },
-        ExtensionTask { name: "Musical instruments".into(), target_class: "electric guitar".into(), difficulty: 0.005 },
+        ExtensionTask {
+            name: "Musical instruments".into(),
+            target_class: "electric guitar".into(),
+            difficulty: 0.005,
+        },
     ]
 }
 
@@ -101,7 +105,8 @@ mod tests {
     #[test]
     fn table_ii_section_sizes() {
         let d = base_dataset();
-        let sizes: Vec<(&str, usize)> = d.sections.iter().map(|s| (s.name.as_str(), s.categories.len())).collect();
+        let sizes: Vec<(&str, usize)> =
+            d.sections.iter().map(|s| (s.name.as_str(), s.categories.len())).collect();
         assert_eq!(
             sizes,
             vec![

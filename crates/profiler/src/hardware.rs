@@ -32,31 +32,19 @@ impl HardwareModel {
     /// The edge-server GPU profile used throughout the reproduction
     /// (calibrated to Fig. 3's inference-time range).
     pub fn edge_gpu() -> Self {
-        Self {
-            flops_per_sec: 600e9,
-            bytes_per_sec: 100e9,
-            kernel_overhead_sec: 30e-6,
-        }
+        Self { flops_per_sec: 600e9, bytes_per_sec: 100e9, kernel_overhead_sec: 30e-6 }
     }
 
     /// A training-class GPU (used for fine-tuning cost, which the paper
     /// normalises by `Ct` anyway).
     pub fn training_gpu() -> Self {
-        Self {
-            flops_per_sec: 5e12,
-            bytes_per_sec: 600e9,
-            kernel_overhead_sec: 10e-6,
-        }
+        Self { flops_per_sec: 5e12, bytes_per_sec: 600e9, kernel_overhead_sec: 10e-6 }
     }
 
     /// A deliberately slow profile, handy in tests that need compute-bound
     /// behaviour.
     pub fn slow() -> Self {
-        Self {
-            flops_per_sec: 50e9,
-            bytes_per_sec: 20e9,
-            kernel_overhead_sec: 50e-6,
-        }
+        Self { flops_per_sec: 50e9, bytes_per_sec: 20e9, kernel_overhead_sec: 50e-6 }
     }
 
     /// Inference latency in seconds for one sample through a block with the
@@ -122,8 +110,10 @@ mod tests {
         let hw = HardwareModel::edge_gpu();
         let mut r = Repository::new();
         let m = r.add_model(resnet18(60, 1000, TensorShape::new(3, 224, 224)));
-        let full = r.instantiate_path(m, GroupId(0), PathConfig { config: Config::A, pruned: false }, 0.8).unwrap();
-        let pruned = r.instantiate_path(m, GroupId(0), PathConfig { config: Config::A, pruned: true }, 0.8).unwrap();
+        let full =
+            r.instantiate_path(m, GroupId(0), PathConfig { config: Config::A, pruned: false }, 0.8).unwrap();
+        let pruned =
+            r.instantiate_path(m, GroupId(0), PathConfig { config: Config::A, pruned: true }, 0.8).unwrap();
         let lat = |p: &offloadnn_dnn::DnnPath| -> f64 {
             p.blocks.iter().map(|&b| hw.block_latency(&r.block(b).metrics)).sum()
         };

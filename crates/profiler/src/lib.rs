@@ -40,7 +40,7 @@ pub mod hardware;
 pub mod training;
 
 pub use accuracy::AccuracyModel;
-pub use curves::{CurveSimulator, TrainingRun};
 pub use cost::{path_accuracy, BlockCosts, CostTable, ProfileConfig};
+pub use curves::{CurveSimulator, TrainingRun};
 pub use hardware::HardwareModel;
 pub use training::TrainingSetup;

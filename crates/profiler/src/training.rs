@@ -152,9 +152,7 @@ mod tests {
     fn path_blocks(cfg: Config, pruned: bool) -> (Repository, Vec<offloadnn_dnn::BlockId>) {
         let mut r = Repository::new();
         let m = r.add_model(resnet18(60, 1000, TensorShape::new(3, 224, 224)));
-        let p = r
-            .instantiate_path(m, GroupId(0), PathConfig { config: cfg, pruned }, 0.8)
-            .unwrap();
+        let p = r.instantiate_path(m, GroupId(0), PathConfig { config: cfg, pruned }, 0.8).unwrap();
         (r, p.blocks)
     }
 

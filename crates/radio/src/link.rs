@@ -118,10 +118,7 @@ mod tests {
 
     #[test]
     fn zero_rbs_rejected() {
-        assert_eq!(
-            RadioSlice::new(0, SnrDb(0.0), RateModel::table_iv()).unwrap_err(),
-            LinkError::ZeroRbs
-        );
+        assert_eq!(RadioSlice::new(0, SnrDb(0.0), RateModel::table_iv()).unwrap_err(), LinkError::ZeroRbs);
     }
 
     #[test]

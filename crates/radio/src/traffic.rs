@@ -65,7 +65,8 @@ impl Arrivals {
     /// Panics if the mean rate is not strictly positive.
     pub fn new(process: ArrivalProcess, seed: u64) -> Self {
         assert!(process.rate_hz() > 0.0, "arrival rate must be positive");
-        let mut a = Self { process, rng: StdRng::seed_from_u64(seed), now: 0.0, in_burst: false, phase_ends: 0.0 };
+        let mut a =
+            Self { process, rng: StdRng::seed_from_u64(seed), now: 0.0, in_burst: false, phase_ends: 0.0 };
         if let ArrivalProcess::Bursty { mean_calm_s, .. } = process {
             a.phase_ends = a.exp(1.0 / mean_calm_s);
         }
@@ -125,10 +126,7 @@ mod tests {
     #[test]
     fn poisson_mean_rate_converges() {
         let n = 20_000;
-        let last = Arrivals::new(ArrivalProcess::Poisson { rate_hz: 5.0 }, 42)
-            .take(n)
-            .last()
-            .unwrap();
+        let last = Arrivals::new(ArrivalProcess::Poisson { rate_hz: 5.0 }, 42).take(n).last().unwrap();
         let empirical = n as f64 / last;
         assert!((empirical - 5.0).abs() < 0.15, "empirical rate {empirical}");
     }
@@ -157,13 +155,23 @@ mod tests {
 
     #[test]
     fn bursty_mean_rate_formula() {
-        let p = ArrivalProcess::Bursty { calm_rate_hz: 2.0, burst_rate_hz: 20.0, mean_calm_s: 9.0, mean_burst_s: 1.0 };
+        let p = ArrivalProcess::Bursty {
+            calm_rate_hz: 2.0,
+            burst_rate_hz: 20.0,
+            mean_calm_s: 9.0,
+            mean_burst_s: 1.0,
+        };
         assert!((p.rate_hz() - (2.0 * 9.0 + 20.0 * 1.0) / 10.0).abs() < 1e-12);
     }
 
     #[test]
     fn bursty_long_run_rate_converges() {
-        let p = ArrivalProcess::Bursty { calm_rate_hz: 2.0, burst_rate_hz: 20.0, mean_calm_s: 4.0, mean_burst_s: 1.0 };
+        let p = ArrivalProcess::Bursty {
+            calm_rate_hz: 2.0,
+            burst_rate_hz: 20.0,
+            mean_calm_s: 4.0,
+            mean_burst_s: 1.0,
+        };
         let n = 40_000;
         let last = Arrivals::new(p, 11).take(n).last().unwrap();
         let empirical = n as f64 / last;
@@ -175,7 +183,12 @@ mod tests {
     fn bursty_is_actually_bursty() {
         // Gap variance must exceed that of a Poisson process with the same
         // mean rate (index of dispersion > 1 on windowed counts).
-        let p = ArrivalProcess::Bursty { calm_rate_hz: 1.0, burst_rate_hz: 30.0, mean_calm_s: 5.0, mean_burst_s: 1.0 };
+        let p = ArrivalProcess::Bursty {
+            calm_rate_hz: 1.0,
+            burst_rate_hz: 30.0,
+            mean_calm_s: 5.0,
+            mean_burst_s: 1.0,
+        };
         let times: Vec<f64> = Arrivals::new(p, 3).take(20_000).collect();
         let horizon = times.last().unwrap();
         let window = 1.0;
@@ -195,7 +208,12 @@ mod tests {
 
     #[test]
     fn bursty_strictly_increases() {
-        let p = ArrivalProcess::Bursty { calm_rate_hz: 3.0, burst_rate_hz: 50.0, mean_calm_s: 2.0, mean_burst_s: 0.5 };
+        let p = ArrivalProcess::Bursty {
+            calm_rate_hz: 3.0,
+            burst_rate_hz: 50.0,
+            mean_calm_s: 2.0,
+            mean_burst_s: 0.5,
+        };
         let mut prev = 0.0;
         for t in Arrivals::new(p, 5).take(5000) {
             assert!(t > prev);

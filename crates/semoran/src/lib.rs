@@ -168,9 +168,7 @@ impl SemORanSolver {
     /// increment (the SEM-O-RAN "avoid resource starvation" criterion).
     pub fn balance(&self, instance: &DotInstance, p: &SemPlan) -> f64 {
         let b = &instance.budgets;
-        (p.rbs / b.rbs)
-            .max(p.memory_bytes / b.memory_bytes)
-            .max(p.compute_seconds / b.compute_seconds)
+        (p.rbs / b.rbs).max(p.memory_bytes / b.memory_bytes).max(p.compute_seconds / b.compute_seconds)
     }
 
     /// The admissible plans of each task, least-compressed first: SEM-O-RAN
@@ -192,9 +190,7 @@ impl SemORanSolver {
     ///
     /// Returns [`SemError::InvalidInstance`] if the instance is malformed.
     pub fn solve(&self, instance: &DotInstance) -> Result<SemSolution, SemError> {
-        instance
-            .validate()
-            .map_err(|e| SemError::InvalidInstance(e.to_string()))?;
+        instance.validate().map_err(|e| SemError::InvalidInstance(e.to_string()))?;
         let start = std::time::Instant::now();
         let plan_lists = self.plan_lists(instance);
         let mut sol = if instance.num_tasks() <= self.exact_below {
@@ -233,11 +229,8 @@ impl SemORanSolver {
                 }
             }
         }
-        let value = admitted
-            .iter()
-            .zip(&instance.tasks)
-            .map(|(&a, t)| if a { t.priority } else { 0.0 })
-            .sum();
+        let value =
+            admitted.iter().zip(&instance.tasks).map(|(&a, t)| if a { t.priority } else { 0.0 }).sum();
         SemSolution {
             admitted,
             plans,
@@ -292,7 +285,9 @@ impl SemORanSolver {
                             let d_rbs = candidate.rbs - current.rbs;
                             let d_mem = candidate.memory_bytes - current.memory_bytes;
                             let d_comp = candidate.compute_seconds - current.compute_seconds;
-                            if rbs + d_rbs <= b.rbs && mem + d_mem <= b.memory_bytes && comp + d_comp <= b.compute_seconds
+                            if rbs + d_rbs <= b.rbs
+                                && mem + d_mem <= b.memory_bytes
+                                && comp + d_comp <= b.compute_seconds
                             {
                                 rbs += d_rbs;
                                 mem += d_mem;

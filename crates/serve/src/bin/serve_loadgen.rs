@@ -1,0 +1,181 @@
+//! Closed-loop load generator for the `offloadnn-serve` runtime.
+//!
+//! Replays a seeded arrival stream (Poisson / periodic / MMPP-bursty)
+//! against a sharded [`offloadnn_serve::Service`] built from the small
+//! reference scenario, then prints the throughput / latency / verdict
+//! report and exits non-zero if the conservation invariant is violated.
+//!
+//! ```text
+//! cargo run --release -p offloadnn-serve --bin serve_loadgen -- \
+//!     --requests 10000 --shards 4 --process poisson --rate-hz 5000
+//! ```
+
+use offloadnn_core::scenario::small_scenario;
+use offloadnn_radio::ArrivalProcess;
+use offloadnn_serve::{loadgen, LoadgenConfig, ServiceConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+serve_loadgen — closed-loop load generator for offloadnn-serve
+
+USAGE: serve_loadgen [OPTIONS]
+
+OPTIONS (all optional; defaults in brackets):
+  --requests N          total requests to offer            [10000]
+  --shards N            worker shards                      [4]
+  --process KIND        poisson | periodic | bursty        [poisson]
+  --rate-hz F           mean arrival rate, requests/s      [5000]
+  --time-scale F        wall seconds per simulated second;
+                        0 = submit as fast as possible     [0]
+  --seed N              RNG seed                           [7]
+  --max-active N        admitted tasks kept before the
+                        oldest departs                     [64]
+  --queue-capacity N    per-shard ingress queue bound      [1024]
+  --batch-max N         max requests per solver round      [64]
+  --batch-window-us N   batch assembly window, µs          [2000]
+  --deadline-ms N       admission deadline, ms             [5000]
+  --shed-watermark N    backlog depth triggering priority
+                        shedding                           [512]
+  --ues N               UEs in the reference scenario      [5]
+  -h, --help            print this help
+";
+
+struct Args {
+    requests: u64,
+    shards: usize,
+    process_kind: ProcessKind,
+    rate_hz: f64,
+    time_scale: f64,
+    seed: u64,
+    max_active: usize,
+    queue_capacity: usize,
+    batch_max: usize,
+    batch_window_us: u64,
+    deadline_ms: u64,
+    shed_watermark: usize,
+    ues: usize,
+}
+
+#[derive(Clone, Copy)]
+enum ProcessKind {
+    Poisson,
+    Periodic,
+    Bursty,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        let s = ServiceConfig::default();
+        let l = LoadgenConfig::default();
+        Self {
+            requests: l.requests,
+            shards: s.shards,
+            process_kind: ProcessKind::Poisson,
+            rate_hz: 5_000.0,
+            time_scale: l.time_scale,
+            seed: l.seed,
+            max_active: l.max_active,
+            queue_capacity: s.queue_capacity,
+            batch_max: s.batch_max,
+            batch_window_us: s.batch_window.as_micros() as u64,
+            deadline_ms: s.admission_deadline.as_millis() as u64,
+            shed_watermark: s.shed_watermark,
+            ues: 5,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "-h" || flag == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
+        let bad = |e: &dyn std::fmt::Display| format!("{flag} {value}: {e}");
+        match flag.as_str() {
+            "--requests" => args.requests = value.parse().map_err(|e| bad(&e))?,
+            "--shards" => args.shards = value.parse().map_err(|e| bad(&e))?,
+            "--process" => {
+                args.process_kind = match value.as_str() {
+                    "poisson" => ProcessKind::Poisson,
+                    "periodic" => ProcessKind::Periodic,
+                    "bursty" => ProcessKind::Bursty,
+                    other => return Err(format!("--process {other}: expected poisson|periodic|bursty")),
+                }
+            }
+            "--rate-hz" => args.rate_hz = value.parse().map_err(|e| bad(&e))?,
+            "--time-scale" => args.time_scale = value.parse().map_err(|e| bad(&e))?,
+            "--seed" => args.seed = value.parse().map_err(|e| bad(&e))?,
+            "--max-active" => args.max_active = value.parse().map_err(|e| bad(&e))?,
+            "--queue-capacity" => args.queue_capacity = value.parse().map_err(|e| bad(&e))?,
+            "--batch-max" => args.batch_max = value.parse().map_err(|e| bad(&e))?,
+            "--batch-window-us" => args.batch_window_us = value.parse().map_err(|e| bad(&e))?,
+            "--deadline-ms" => args.deadline_ms = value.parse().map_err(|e| bad(&e))?,
+            "--shed-watermark" => args.shed_watermark = value.parse().map_err(|e| bad(&e))?,
+            "--ues" => args.ues = value.parse().map_err(|e| bad(&e))?,
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let process = match args.process_kind {
+        ProcessKind::Poisson => ArrivalProcess::Poisson { rate_hz: args.rate_hz },
+        ProcessKind::Periodic => ArrivalProcess::Periodic { rate_hz: args.rate_hz },
+        // A 10:1 burst with phase lengths chosen so the mean matches
+        // --rate-hz: calm at rate/2, burst at 5x rate, 10% burst duty.
+        ProcessKind::Bursty => ArrivalProcess::Bursty {
+            calm_rate_hz: args.rate_hz * 0.5,
+            burst_rate_hz: args.rate_hz * 5.0,
+            mean_calm_s: 0.09,
+            mean_burst_s: 0.01,
+        },
+    };
+    let service_config = ServiceConfig {
+        shards: args.shards,
+        queue_capacity: args.queue_capacity,
+        batch_max: args.batch_max,
+        batch_window: Duration::from_micros(args.batch_window_us),
+        admission_deadline: Duration::from_millis(args.deadline_ms),
+        shed_watermark: args.shed_watermark,
+        ..ServiceConfig::default()
+    };
+    if let Err(e) = service_config.validate() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    let cfg = LoadgenConfig {
+        requests: args.requests,
+        process,
+        seed: args.seed,
+        max_active: args.max_active,
+        time_scale: args.time_scale,
+    };
+
+    let scenario = small_scenario(args.ues);
+    let report = loadgen::run(service_config, cfg, &scenario.instance);
+    println!("{report}");
+
+    if !report.is_conserved() {
+        eprintln!("error: conservation violated — a request was lost or double-counted");
+        return ExitCode::FAILURE;
+    }
+    if !report.drain.within_budgets() {
+        eprintln!("error: a shard exceeded its budget partition");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,104 @@
+//! Service-runtime configuration.
+
+use crate::error::ServeError;
+use std::time::Duration;
+
+/// Tuning knobs of the sharded admission service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of worker shards; the edge budgets are partitioned evenly
+    /// across them.
+    pub shards: usize,
+    /// Bound of each shard's ingress queue. A submit that finds the queue
+    /// full is shed immediately (backpressure surfaces as an explicit
+    /// [`crate::Outcome::Shed`], not a blocked caller).
+    pub queue_capacity: usize,
+    /// Maximum number of requests resolved in one solver round.
+    pub batch_max: usize,
+    /// Maximum time a shard waits to fill a batch once the first request
+    /// of a round has arrived.
+    pub batch_window: Duration,
+    /// Admission deadline granted to each request at ingress: a request
+    /// still unresolved this long after submission is answered
+    /// [`crate::Outcome::Expired`].
+    pub admission_deadline: Duration,
+    /// Backlog watermark (in queued requests) past which a shard switches
+    /// to priority-ordered shedding: the backlog is drained, the highest
+    /// priority `batch_max` requests are kept and the rest are shed.
+    pub shed_watermark: usize,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub virtual_nodes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 1024,
+            batch_max: 64,
+            batch_window: Duration::from_millis(2),
+            admission_deadline: Duration::from_secs(5),
+            shed_watermark: 512,
+            virtual_nodes: 64,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.shards == 0 {
+            return Err(ServeError::InvalidConfig("shards must be >= 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig("queue_capacity must be >= 1"));
+        }
+        if self.batch_max == 0 {
+            return Err(ServeError::InvalidConfig("batch_max must be >= 1"));
+        }
+        if self.batch_window.is_zero() {
+            return Err(ServeError::InvalidConfig("batch_window must be > 0"));
+        }
+        if self.admission_deadline.is_zero() {
+            return Err(ServeError::InvalidConfig("admission_deadline must be > 0"));
+        }
+        if self.shed_watermark == 0 {
+            return Err(ServeError::InvalidConfig("shed_watermark must be >= 1"));
+        }
+        if self.virtual_nodes == 0 {
+            return Err(ServeError::InvalidConfig("virtual_nodes must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(ServiceConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn each_zero_field_is_rejected() {
+        let base = ServiceConfig::default();
+        let cases: [(&str, ServiceConfig); 7] = [
+            ("shards", ServiceConfig { shards: 0, ..base }),
+            ("queue", ServiceConfig { queue_capacity: 0, ..base }),
+            ("batch", ServiceConfig { batch_max: 0, ..base }),
+            ("window", ServiceConfig { batch_window: Duration::ZERO, ..base }),
+            ("deadline", ServiceConfig { admission_deadline: Duration::ZERO, ..base }),
+            ("watermark", ServiceConfig { shed_watermark: 0, ..base }),
+            ("vnodes", ServiceConfig { virtual_nodes: 0, ..base }),
+        ];
+        for (name, cfg) in cases {
+            assert!(cfg.validate().is_err(), "{name} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Service-runtime error types.
+
+use std::fmt;
+
+/// Errors raised when constructing or configuring the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A configuration field is out of its valid range.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig(what) => write!(f, "invalid service config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Errors raised by [`crate::service::Service::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The service is draining and no longer accepts requests.
+    Draining,
+    /// The request carried no candidate path options.
+    NoOptions,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Draining => f.write_str("service is draining"),
+            SubmitError::NoOptions => f.write_str("request has no path options"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}

@@ -1,0 +1,295 @@
+//! Closed-loop load generation against a [`Service`]: replays an
+//! [`ArrivalProcess`] stream of synthetic admission requests, keeps a
+//! bounded set of admitted tasks alive (departing the oldest, which
+//! exercises `Controller::release` continuously), and reports
+//! throughput, latency and verdict mix. Used by the `serve_loadgen`
+//! binary and the `serve_throughput` bench.
+
+use crate::config::ServiceConfig;
+use crate::service::{DrainReport, Outcome, Service, Ticket};
+use offloadnn_core::instance::DotInstance;
+use offloadnn_core::task::TaskId;
+use offloadnn_radio::{ArrivalProcess, Arrivals};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadgenConfig {
+    /// Total requests to offer.
+    pub requests: u64,
+    /// Arrival process replayed for pacing and offered-load accounting.
+    pub process: ArrivalProcess,
+    /// RNG seed (request mix and arrival stream).
+    pub seed: u64,
+    /// Admitted tasks kept alive concurrently; beyond this the oldest is
+    /// departed, continuously exercising the release path.
+    pub max_active: usize,
+    /// Wall-clock seconds per simulated arrival second. `0.0` disables
+    /// pacing: requests are offered as fast as the ingress accepts them
+    /// (a saturation test).
+    pub time_scale: f64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            requests: 10_000,
+            process: ArrivalProcess::Poisson { rate_hz: 5_000.0 },
+            seed: 7,
+            max_active: 64,
+            time_scale: 0.0,
+        }
+    }
+}
+
+/// Verdict tally observed through the tickets (independently of the
+/// service's own metrics, so the two can cross-check each other).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictTally {
+    /// Tickets resolved `Admitted`.
+    pub admitted: u64,
+    /// Tickets resolved `Rejected`.
+    pub rejected: u64,
+    /// Tickets resolved `Shed`.
+    pub shed: u64,
+    /// Tickets resolved `Expired`.
+    pub expired: u64,
+    /// Tickets that never resolved (worker death — always a bug).
+    pub lost: u64,
+}
+
+impl VerdictTally {
+    fn observe(&mut self, outcome: Option<Outcome>) -> Option<TaskId> {
+        match outcome {
+            Some(Outcome::Admitted { .. }) => self.admitted += 1,
+            Some(Outcome::Rejected { .. }) => self.rejected += 1,
+            Some(Outcome::Shed { .. }) => self.shed += 1,
+            Some(Outcome::Expired { .. }) => self.expired += 1,
+            None => self.lost += 1,
+        }
+        None
+    }
+
+    /// Total resolved tickets.
+    pub fn resolved(&self) -> u64 {
+        self.admitted + self.rejected + self.shed + self.expired
+    }
+}
+
+/// Result of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// The parameters the run used.
+    pub config: LoadgenConfig,
+    /// Shards the service ran.
+    pub shards: usize,
+    /// Wall-clock duration from first submit to drain completion.
+    pub wall: Duration,
+    /// Verdicts observed through tickets.
+    pub tally: VerdictTally,
+    /// The service's own final report.
+    pub drain: DrainReport,
+}
+
+impl LoadgenReport {
+    /// Resolved requests per wall-clock second.
+    pub fn throughput_hz(&self) -> f64 {
+        self.tally.resolved() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Whether the run is fully accounted: the service metrics conserve,
+    /// the ticket tally agrees with them, and no ticket was lost.
+    pub fn is_conserved(&self) -> bool {
+        let m = &self.drain.metrics;
+        self.tally.lost == 0
+            && m.is_conserved()
+            && m.submitted == self.config.requests
+            && m.admitted == self.tally.admitted
+            && m.rejected == self.tally.rejected
+            && m.shed == self.tally.shed
+            && m.expired == self.tally.expired
+    }
+}
+
+impl fmt::Display for LoadgenReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.drain.metrics;
+        let pct = |n: u64| 100.0 * n as f64 / m.submitted.max(1) as f64;
+        writeln!(
+            f,
+            "offered {} requests ({} arrivals at {:.0} req/s mean) across {} shards in {:.3?}",
+            self.config.requests,
+            match self.config.process {
+                ArrivalProcess::Poisson { .. } => "Poisson",
+                ArrivalProcess::Periodic { .. } => "periodic",
+                ArrivalProcess::Bursty { .. } => "MMPP-bursty",
+            },
+            self.config.process.rate_hz(),
+            self.shards,
+            self.wall,
+        )?;
+        writeln!(f, "throughput: {:.0} verdicts/s", self.throughput_hz())?;
+        writeln!(
+            f,
+            "verdicts:   admitted {} ({:.1}%)   rejected {} ({:.1}%)   shed {} ({:.1}%)   expired {} ({:.1}%)",
+            m.admitted,
+            pct(m.admitted),
+            m.rejected,
+            pct(m.rejected),
+            m.shed,
+            pct(m.shed),
+            m.expired,
+            pct(m.expired),
+        )?;
+        writeln!(f, "{m}")?;
+        for s in &self.drain.shards {
+            writeln!(
+                f,
+                "shard {}: {} rounds, peak rbs {:.2}/{:.2}, peak compute {:.3}/{:.3}, active at exit {}",
+                s.shard,
+                s.rounds,
+                s.peak_rbs,
+                s.budgets.rbs,
+                s.peak_compute,
+                s.budgets.compute_seconds,
+                s.snapshot.active_tasks,
+            )?;
+        }
+        write!(
+            f,
+            "conservation: {}",
+            if self.is_conserved() {
+                "OK (submitted = admitted + rejected + shed + expired)"
+            } else {
+                "VIOLATED"
+            }
+        )
+    }
+}
+
+/// Runs a closed-loop load test: starts a [`Service`] over `template`,
+/// offers `cfg.requests` synthetic requests derived from the template's
+/// task/option prototypes, reaps verdicts opportunistically while
+/// submitting (departing the oldest admitted task beyond
+/// `cfg.max_active`), waits out the stragglers and drains.
+///
+/// # Panics
+///
+/// Panics if the template has no tasks or if the service cannot start
+/// (invalid `service` config).
+pub fn run(service_config: ServiceConfig, cfg: LoadgenConfig, template: &DotInstance) -> LoadgenReport {
+    assert!(!template.tasks.is_empty(), "template needs at least one prototype task");
+    let service = Service::start(service_config, template).expect("service start");
+    let shards = service_config.shards;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut arrivals = Arrivals::new(cfg.process, cfg.seed ^ 0x5eed);
+
+    let mut tally = VerdictTally::default();
+    let mut pending: VecDeque<Ticket> = VecDeque::new();
+    let mut active: VecDeque<TaskId> = VecDeque::new();
+    let started = Instant::now();
+    let mut sim_origin: Option<f64> = None;
+
+    for i in 0..cfg.requests {
+        // Pacing: map the simulated arrival timestamp to wall clock.
+        let t = arrivals.next().expect("arrival stream is infinite");
+        if cfg.time_scale > 0.0 {
+            let origin = *sim_origin.get_or_insert(t);
+            let due = started + Duration::from_secs_f64((t - origin) * cfg.time_scale);
+            if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(sleep);
+            }
+        }
+
+        // A fresh task derived from a prototype: unique id, jittered
+        // priority (so shedding has an order to respect) and rate.
+        let proto = rng.random_range(0..template.tasks.len());
+        let mut task = template.tasks[proto].clone();
+        task.id = TaskId(i as u32);
+        task.priority = (task.priority * rng.random_range(0.6f64..1.4)).clamp(0.05, 1.0);
+        task.request_rate *= rng.random_range(0.8..1.2);
+        let ticket = service
+            .submit(task, template.options[proto].clone())
+            .expect("not draining and options non-empty");
+        pending.push_back(ticket);
+
+        // Reap whatever already resolved, keeping the admitted set
+        // bounded so the long-running controllers don't fill up.
+        while let Some(front) = pending.front() {
+            match front.try_wait() {
+                Some(outcome) => {
+                    let ticket = pending.pop_front().expect("front exists");
+                    if outcome.is_admitted() {
+                        active.push_back(ticket.task);
+                    }
+                    tally.observe(Some(outcome));
+                }
+                None => break,
+            }
+        }
+        while active.len() > cfg.max_active {
+            let oldest = active.pop_front().expect("non-empty");
+            service.depart(oldest);
+        }
+    }
+
+    // Stragglers: every ticket resolves (workers answer everything, even
+    // expired requests), so blocking waits terminate.
+    for ticket in pending {
+        let outcome = ticket.wait();
+        if let Some(o) = &outcome {
+            if o.is_admitted() {
+                active.push_back(ticket.task);
+            }
+        }
+        tally.observe(outcome);
+    }
+    // Leave `active` tasks in place: drain must cope with a loaded fleet.
+    let drain = service.drain();
+    let wall = started.elapsed();
+
+    LoadgenReport { config: cfg, shards, wall, tally, drain }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offloadnn_core::scenario::small_scenario;
+
+    #[test]
+    fn small_closed_loop_run_conserves() {
+        let s = small_scenario(5);
+        let service_config = ServiceConfig { shards: 2, ..ServiceConfig::default() };
+        let cfg = LoadgenConfig { requests: 300, max_active: 16, ..LoadgenConfig::default() };
+        let report = run(service_config, cfg, &s.instance);
+        assert!(report.is_conserved(), "{report}");
+        assert!(report.drain.within_budgets(), "{report}");
+        assert_eq!(report.tally.resolved(), 300);
+        assert!(report.tally.admitted > 0, "some capacity must be granted: {report}");
+    }
+
+    #[test]
+    fn paced_run_with_bursty_arrivals_conserves() {
+        let s = small_scenario(5);
+        let service_config =
+            ServiceConfig { shards: 2, batch_window: Duration::from_micros(500), ..ServiceConfig::default() };
+        let cfg = LoadgenConfig {
+            requests: 200,
+            process: ArrivalProcess::Bursty {
+                calm_rate_hz: 2_000.0,
+                burst_rate_hz: 50_000.0,
+                mean_calm_s: 0.01,
+                mean_burst_s: 0.005,
+            },
+            time_scale: 1.0,
+            max_active: 8,
+            ..LoadgenConfig::default()
+        };
+        let report = run(service_config, cfg, &s.instance);
+        assert!(report.is_conserved(), "{report}");
+    }
+}

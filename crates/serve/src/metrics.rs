@@ -1,0 +1,294 @@
+//! Thread-safe service metrics: atomic verdict counters, gauges and
+//! fixed-bucket latency histograms, snapshotable from any thread without
+//! stopping the workers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: one sub-microsecond bucket, power-of-two
+/// buckets up to ~2.1 s, and one overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 23;
+
+/// A fixed-bucket log-scale histogram over microsecond durations.
+///
+/// Buckets are powers of two: bucket 0 counts sub-microsecond
+/// observations, bucket `i >= 1` counts observations in
+/// `[2^(i-1) µs, 2^i µs)`, and the last bucket absorbs everything from
+/// `2^21 µs` (~2.1 s) up. Recording is one atomic increment — safe from
+/// any worker thread.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (64 - us.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Copies the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket 0 is sub-microsecond, bucket `i >= 1`
+    /// covers `[2^(i-1) µs, 2^i µs)`, the last bucket is the overflow.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations in microseconds.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_us / self.count)
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile
+    /// (`0 < p <= 1`), or zero when empty. Log-bucket resolution: the
+    /// estimate is within 2x of the true quantile.
+    pub fn quantile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_micros(1u64 << i);
+            }
+        }
+        Duration::from_micros(1u64 << (HISTOGRAM_BUCKETS - 1))
+    }
+}
+
+/// Verdict counters, gauges and histograms of a running service.
+///
+/// Every submitted request increments `submitted` at ingress and exactly
+/// one of `admitted` / `rejected` / `shed` / `expired` at resolution, so
+/// at any quiescent point (no request in flight) the counters satisfy
+/// `submitted = admitted + rejected + shed + expired`.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Requests accepted at ingress.
+    pub submitted: AtomicU64,
+    /// Requests granted a slice by the solver.
+    pub admitted: AtomicU64,
+    /// Requests the solver declined (infeasible or not worth capacity).
+    pub rejected: AtomicU64,
+    /// Requests dropped by backpressure or priority shedding.
+    pub shed: AtomicU64,
+    /// Requests that waited past their admission deadline.
+    pub expired: AtomicU64,
+    /// Departure notices processed (capacity released).
+    pub departed: AtomicU64,
+    /// Solver rounds executed across all shards.
+    pub solver_rounds: AtomicU64,
+    /// Solver rounds that returned an error (every request in the round is
+    /// counted `rejected`).
+    pub solver_errors: AtomicU64,
+    /// Highest queue depth observed at round assembly on any shard.
+    pub peak_queue_depth: AtomicU64,
+    /// Largest batch resolved in one round.
+    pub peak_batch: AtomicU64,
+    /// End-to-end request latency (submit to verdict).
+    pub latency: LatencyHistogram,
+    /// Wall-clock time of each solver round.
+    pub round_time: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises a peak gauge to at least `value`.
+    pub(crate) fn raise_peak(gauge: &AtomicU64, value: u64) {
+        gauge.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Copies all counters and histograms.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            departed: self.departed.load(Ordering::Relaxed),
+            solver_rounds: self.solver_rounds.load(Ordering::Relaxed),
+            solver_errors: self.solver_errors.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            peak_batch: self.peak_batch.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+            round_time: self.round_time.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of [`ServiceMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests accepted at ingress.
+    pub submitted: u64,
+    /// Requests granted a slice.
+    pub admitted: u64,
+    /// Requests declined by the solver.
+    pub rejected: u64,
+    /// Requests dropped by backpressure or priority shedding.
+    pub shed: u64,
+    /// Requests that waited past their deadline.
+    pub expired: u64,
+    /// Departure notices processed.
+    pub departed: u64,
+    /// Solver rounds executed.
+    pub solver_rounds: u64,
+    /// Solver rounds that errored.
+    pub solver_errors: u64,
+    /// Highest observed queue depth.
+    pub peak_queue_depth: u64,
+    /// Largest batch resolved in one round.
+    pub peak_batch: u64,
+    /// End-to-end request latency histogram.
+    pub latency: HistogramSnapshot,
+    /// Solver round time histogram.
+    pub round_time: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Total resolved requests.
+    pub fn resolved(&self) -> u64 {
+        self.admitted + self.rejected + self.shed + self.expired
+    }
+
+    /// Conservation invariant: every submitted request has exactly one
+    /// verdict. Holds at any quiescent point; in particular after
+    /// [`crate::service::Service::drain`].
+    pub fn is_conserved(&self) -> bool {
+        self.submitted == self.resolved()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "submitted {:>8}   admitted {:>8}   rejected {:>8}   shed {:>8}   expired {:>8}",
+            self.submitted, self.admitted, self.rejected, self.shed, self.expired
+        )?;
+        writeln!(
+            f,
+            "rounds    {:>8}   errors   {:>8}   departed {:>8}   peak queue {:>5}   peak batch {:>5}",
+            self.solver_rounds, self.solver_errors, self.departed, self.peak_queue_depth, self.peak_batch
+        )?;
+        writeln!(
+            f,
+            "latency   mean {:>10.3?}   p50 {:>10.3?}   p99 {:>10.3?}",
+            self.latency.mean(),
+            self.latency.quantile(0.5),
+            self.latency.quantile(0.99)
+        )?;
+        write!(
+            f,
+            "round     mean {:>10.3?}   p50 {:>10.3?}   p99 {:>10.3?}",
+            self.round_time.mean(),
+            self.round_time.quantile(0.5),
+            self.round_time.quantile(0.99)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log_spaced() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(0)); // bucket 0
+        h.record(Duration::from_micros(1)); // bucket 1
+        h.record(Duration::from_micros(3)); // bucket 2
+        h.record(Duration::from_micros(1000)); // bucket 10
+        h.record(Duration::from_secs(100)); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn quantiles_bound_observations() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert!(s.quantile(0.5) >= Duration::from_micros(32));
+        assert!(s.quantile(0.5) <= Duration::from_micros(128));
+        assert!(s.quantile(1.0) >= Duration::from_micros(1000));
+        assert_eq!(
+            HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum_us: 0 }.quantile(0.5),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn conservation_checks_the_four_verdicts() {
+        let m = ServiceMetrics::new();
+        m.submitted.fetch_add(10, Ordering::Relaxed);
+        m.admitted.fetch_add(4, Ordering::Relaxed);
+        m.rejected.fetch_add(3, Ordering::Relaxed);
+        m.shed.fetch_add(2, Ordering::Relaxed);
+        assert!(!m.snapshot().is_conserved());
+        m.expired.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert!(s.is_conserved());
+        assert_eq!(s.resolved(), 10);
+    }
+
+    #[test]
+    fn peaks_only_rise() {
+        let m = ServiceMetrics::new();
+        ServiceMetrics::raise_peak(&m.peak_batch, 5);
+        ServiceMetrics::raise_peak(&m.peak_batch, 3);
+        assert_eq!(m.snapshot().peak_batch, 5);
+        ServiceMetrics::raise_peak(&m.peak_batch, 9);
+        assert_eq!(m.snapshot().peak_batch, 9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Consistent-hash routing of tasks to shards, and partitioning of the
+//! edge budgets across them.
+
+use offloadnn_core::instance::Budgets;
+use offloadnn_core::task::TaskId;
+
+/// 64-bit FNV-1a — small, dependency-free, well-mixed enough for ring
+/// placement.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A consistent-hash ring mapping [`TaskId`]s to shard indices.
+///
+/// Each shard contributes `virtual_nodes` points; a task is owned by the
+/// first point clockwise of its hash. Routing is deterministic, so the
+/// departure of a task always reaches the shard that admitted it, and
+/// adding a shard (a future elastic-scaling path) only remaps `1/n` of
+/// the id space.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// `(ring position, shard)` sorted by position.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl Router {
+    /// Builds a ring over `shards` shards with `virtual_nodes` points
+    /// each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(shards: usize, virtual_nodes: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(virtual_nodes > 0, "at least one virtual node");
+        let mut points = Vec::with_capacity(shards * virtual_nodes);
+        for shard in 0..shards {
+            for vnode in 0..virtual_nodes {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&(shard as u64).to_le_bytes());
+                key[8..].copy_from_slice(&(vnode as u64).to_le_bytes());
+                points.push((fnv1a(&key), shard));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        Self { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `task`.
+    pub fn route(&self, task: TaskId) -> usize {
+        let h = fnv1a(&u64::from(task.0).to_le_bytes());
+        // First ring point at or after the hash, wrapping at the top.
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let (_, shard) = self.points[idx % self.points.len()];
+        shard
+    }
+}
+
+/// Splits the edge budgets evenly across `shards` partitions.
+///
+/// The capacity-like budgets (RBs, inference compute, memory) divide by
+/// the shard count; `training_seconds` is the objective's training-cost
+/// *normaliser*, not a capacity, and is kept whole so each shard scores
+/// training cost on the same scale as a single controller would.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn partition_budgets(total: Budgets, shards: usize) -> Vec<Budgets> {
+    assert!(shards > 0, "at least one shard");
+    let n = shards as f64;
+    vec![
+        Budgets {
+            rbs: total.rbs / n,
+            compute_seconds: total.compute_seconds / n,
+            training_seconds: total.training_seconds,
+            memory_bytes: total.memory_bytes / n,
+        };
+        shards
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let r = Router::new(4, 64);
+        for i in 0..1000 {
+            let s = r.route(TaskId(i));
+            assert!(s < 4);
+            assert_eq!(s, r.route(TaskId(i)));
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        let r = Router::new(1, 8);
+        for i in 0..100 {
+            assert_eq!(r.route(TaskId(i)), 0);
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_shards() {
+        let r = Router::new(4, 64);
+        let mut counts = [0usize; 4];
+        for i in 0..10_000 {
+            counts[r.route(TaskId(i))] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 1000, "shard {s} starved: {c}/10000");
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_a_minority_of_keys() {
+        let before = Router::new(4, 64);
+        let after = Router::new(5, 64);
+        let moved = (0..10_000).filter(|&i| before.route(TaskId(i)) != after.route(TaskId(i))).count();
+        // Ideal is 1/5 = 2000; allow generous slack for hash variance.
+        assert!(moved < 4500, "consistent hashing should bound remapping, moved {moved}");
+    }
+
+    #[test]
+    fn budgets_partition_conserves_capacity() {
+        let total = Budgets { rbs: 50.0, compute_seconds: 2.5, training_seconds: 1000.0, memory_bytes: 8e9 };
+        let parts = partition_budgets(total, 4);
+        assert_eq!(parts.len(), 4);
+        let rbs: f64 = parts.iter().map(|b| b.rbs).sum();
+        let compute: f64 = parts.iter().map(|b| b.compute_seconds).sum();
+        let memory: f64 = parts.iter().map(|b| b.memory_bytes).sum();
+        assert!((rbs - total.rbs).abs() < 1e-9);
+        assert!((compute - total.compute_seconds).abs() < 1e-12);
+        assert!((memory - total.memory_bytes).abs() < 1e-3);
+        for p in &parts {
+            assert!((p.training_seconds - total.training_seconds).abs() < 1e-12, "normaliser kept whole");
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! The service facade: starts the shard fleet, routes submissions and
+//! departures, exposes metrics and performs graceful drain.
+
+use crate::config::ServiceConfig;
+use crate::error::{ServeError, SubmitError};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::router::{partition_budgets, Router};
+use crate::shard::{ShardReport, ShardWorker};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use offloadnn_core::controller::Controller;
+use offloadnn_core::heuristic::OffloadnnSolver;
+use offloadnn_core::instance::{DotInstance, PathOption};
+use offloadnn_core::task::{Task, TaskId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The verdict a request ends with. Every submitted request receives
+/// exactly one of these; the service never drops a request silently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// A slice was granted.
+    Admitted {
+        /// Granted admission ratio in `(0, 1]`.
+        admission: f64,
+        /// Granted radio resource blocks (real-valued).
+        rbs: f64,
+        /// Shard that admitted the task (its departure must go back
+        /// there; [`Service::depart`] routes this automatically).
+        shard: usize,
+    },
+    /// The solver declined the request (infeasible or not worth the
+    /// residual capacity).
+    Rejected {
+        /// Shard that decided.
+        shard: usize,
+    },
+    /// Dropped by backpressure (full ingress queue) or priority-ordered
+    /// overload shedding before reaching the solver.
+    Shed {
+        /// Shard whose queue shed the request.
+        shard: usize,
+    },
+    /// Waited past its admission deadline before a solver round reached
+    /// it.
+    Expired {
+        /// Shard on which the request expired.
+        shard: usize,
+    },
+}
+
+impl Outcome {
+    /// Whether the request was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Outcome::Admitted { .. })
+    }
+}
+
+/// One queued admission request (internal representation).
+pub(crate) struct ServiceRequest {
+    pub task: Task,
+    pub options: Vec<PathOption>,
+    pub enqueued_at: Instant,
+    pub deadline: Instant,
+    pub responder: Sender<Outcome>,
+}
+
+/// Messages on a shard's ingress queue.
+pub(crate) enum ShardMsg {
+    /// An admission request.
+    Request(ServiceRequest),
+    /// A departure notice: release the task's capacity.
+    Depart(TaskId),
+}
+
+/// Handle to one submitted request; redeem it for the verdict.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Outcome>,
+    /// Id of the submitted task.
+    pub task: TaskId,
+    /// Shard the request was routed to.
+    pub shard: usize,
+}
+
+impl Ticket {
+    /// Blocks until the verdict arrives. `None` only if the worker died
+    /// without resolving (a bug — workers resolve everything, even while
+    /// draining).
+    pub fn wait(&self) -> Option<Outcome> {
+        self.rx.recv().ok()
+    }
+
+    /// Returns the verdict if already available.
+    pub fn try_wait(&self) -> Option<Outcome> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks for at most `timeout` for the verdict.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Outcome> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// Final report of [`Service::drain`].
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Metrics at drain completion (quiescent, so conservation holds).
+    pub metrics: MetricsSnapshot,
+    /// Per-shard final state.
+    pub shards: Vec<ShardReport>,
+}
+
+impl DrainReport {
+    /// Whether every shard's peak usage stayed within its budget
+    /// partition.
+    pub fn within_budgets(&self) -> bool {
+        self.shards.iter().all(ShardReport::within_budgets)
+    }
+}
+
+/// A running sharded admission-control service over the OffloaDNN
+/// controller. See the [crate docs](crate) for the architecture.
+///
+/// `Service` is `Sync`: `submit` / `depart` / `metrics` may be called
+/// from any number of threads concurrently.
+#[derive(Debug)]
+pub struct Service {
+    senders: Vec<Sender<ShardMsg>>,
+    handles: Vec<JoinHandle<ShardReport>>,
+    router: Router,
+    metrics: Arc<ServiceMetrics>,
+    config: ServiceConfig,
+    draining: Arc<AtomicBool>,
+}
+
+impl Service {
+    /// Starts the shard fleet. `template` supplies the edge state every
+    /// shard controller needs — budgets (partitioned across shards), the
+    /// rate model, `alpha` and the per-block cost tables; its task list
+    /// is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an invalid
+    /// configuration.
+    pub fn start(config: ServiceConfig, template: &DotInstance) -> Result<Self, ServeError> {
+        config.validate()?;
+        let router = Router::new(config.shards, config.virtual_nodes);
+        let metrics = Arc::new(ServiceMetrics::new());
+        let draining = Arc::new(AtomicBool::new(false));
+        let partitions = partition_budgets(template.budgets, config.shards);
+
+        // Shard controllers share the block cost tables and rate model but
+        // own disjoint budget partitions; the template's request content
+        // is irrelevant.
+        let mut shard_template = template.clone();
+        shard_template.tasks.clear();
+        shard_template.options.clear();
+
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut handles = Vec::with_capacity(config.shards);
+        for (shard, budgets) in partitions.into_iter().enumerate() {
+            let (tx, rx) = channel::bounded(config.queue_capacity);
+            shard_template.budgets = budgets;
+            let worker = ShardWorker {
+                shard,
+                rx,
+                controller: Controller::new(&shard_template, OffloadnnSolver::new()),
+                budgets,
+                config,
+                metrics: Arc::clone(&metrics),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("serve-shard-{shard}"))
+                .spawn(move || worker.run())
+                .expect("spawn shard worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Ok(Self { senders, handles, router, metrics, config, draining })
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The router (e.g. to predict a task's shard).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Submits an admission request, returning a [`Ticket`] for the
+    /// verdict. Never blocks: if the target shard's queue is full the
+    /// request is shed immediately and the ticket resolves to
+    /// [`Outcome::Shed`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Draining`] after [`Service::drain`] has begun (the
+    /// request is not counted), [`SubmitError::NoOptions`] for a request
+    /// with no candidate paths (nothing to solve over).
+    pub fn submit(&self, task: Task, options: Vec<PathOption>) -> Result<Ticket, SubmitError> {
+        if self.draining.load(Ordering::Acquire) {
+            return Err(SubmitError::Draining);
+        }
+        if options.is_empty() {
+            return Err(SubmitError::NoOptions);
+        }
+        let shard = self.router.route(task.id);
+        let id = task.id;
+        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let (responder, rx) = channel::bounded(1);
+        let now = Instant::now();
+        let request = ServiceRequest {
+            task,
+            options,
+            enqueued_at: now,
+            deadline: now + self.config.admission_deadline,
+            responder,
+        };
+        match self.senders[shard].try_send(ShardMsg::Request(request)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(msg)) | Err(TrySendError::Disconnected(msg)) => {
+                // Backpressure (or a drain racing this submit): resolve as
+                // shed right here so conservation holds.
+                if let ShardMsg::Request(req) = msg {
+                    self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.latency.record(Duration::ZERO);
+                    let _ = req.responder.try_send(Outcome::Shed { shard });
+                }
+            }
+        }
+        Ok(Ticket { rx, task: id, shard })
+    }
+
+    /// Notifies the service that an admitted task has departed; its
+    /// shard releases the capacity. Routed by the same consistent hash as
+    /// the submission, so it reaches the controller that holds the task.
+    /// Blocks only while that shard's queue is full (departures are never
+    /// shed — dropping one would leak capacity).
+    pub fn depart(&self, task: TaskId) {
+        let shard = self.router.route(task);
+        let _ = self.senders[shard].send(ShardMsg::Depart(task));
+    }
+
+    /// Point-in-time metrics; callable from any thread while the service
+    /// runs.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Gracefully drains: stops accepting new requests, lets every queued
+    /// request reach a verdict (admission, rejection or expiry), joins
+    /// the workers and returns the final report. Conservation
+    /// (`submitted = admitted + rejected + shed + expired`) holds on the
+    /// returned metrics.
+    pub fn drain(mut self) -> DrainReport {
+        self.draining.store(true, Ordering::Release);
+        // Dropping the senders disconnects the queues; each worker keeps
+        // resolving until its queue is empty, then exits.
+        self.senders.clear();
+        let mut shards: Vec<ShardReport> = Vec::with_capacity(self.handles.len());
+        for handle in self.handles.drain(..) {
+            match handle.join() {
+                Ok(report) => shards.push(report),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        shards.sort_by_key(|r| r.shard);
+        DrainReport { metrics: self.metrics.snapshot(), shards }
+    }
+}
+
+impl Drop for Service {
+    /// Dropping without [`Service::drain`] still shuts the fleet down
+    /// cleanly: the senders disconnect and each worker exits after
+    /// resolving its backlog. The workers are detached, not joined.
+    fn drop(&mut self) {
+        self.draining.store(true, Ordering::Release);
+        self.senders.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offloadnn_core::scenario::small_scenario;
+
+    fn unique_task(template: &DotInstance, proto: usize, id: u32) -> (Task, Vec<PathOption>) {
+        let mut task = template.tasks[proto].clone();
+        task.id = TaskId(id);
+        (task, template.options[proto].clone())
+    }
+
+    #[test]
+    fn single_submit_admits_and_conserves() {
+        let s = small_scenario(5);
+        let cfg = ServiceConfig { shards: 2, ..ServiceConfig::default() };
+        let service = Service::start(cfg, &s.instance).unwrap();
+        let (task, options) = unique_task(&s.instance, 0, 1000);
+        let ticket = service.submit(task, options).unwrap();
+        let outcome = ticket.wait().expect("worker resolves");
+        assert!(outcome.is_admitted(), "plenty of capacity: {outcome:?}");
+        let report = service.drain();
+        assert!(report.metrics.is_conserved());
+        assert_eq!(report.metrics.submitted, 1);
+        assert_eq!(report.metrics.admitted, 1);
+        assert!(report.within_budgets());
+    }
+
+    #[test]
+    fn submit_after_drain_fails() {
+        let s = small_scenario(3);
+        let service = Service::start(ServiceConfig::default(), &s.instance).unwrap();
+        let (task, options) = unique_task(&s.instance, 0, 1);
+        let report = service.drain();
+        assert!(report.metrics.is_conserved());
+        // Can't use the drained service (moved), so check the error path
+        // on a fresh service mid-drain instead.
+        let service = Service::start(ServiceConfig::default(), &s.instance).unwrap();
+        service.draining.store(true, Ordering::Release);
+        assert_eq!(service.submit(task, options).unwrap_err(), SubmitError::Draining);
+        assert_eq!(service.metrics().submitted, 0, "rejected submits are not counted");
+    }
+
+    #[test]
+    fn no_options_is_an_error() {
+        let s = small_scenario(3);
+        let service = Service::start(ServiceConfig::default(), &s.instance).unwrap();
+        let (task, _) = unique_task(&s.instance, 0, 1);
+        assert_eq!(service.submit(task, Vec::new()).unwrap_err(), SubmitError::NoOptions);
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately() {
+        let s = small_scenario(5);
+        // One shard, a 2-slot queue and single-request rounds: while the
+        // worker is inside a solver round it cannot receive, so a tight
+        // submission burst must overflow the queue (a solve takes orders
+        // of magnitude longer than a submit).
+        let cfg = ServiceConfig {
+            shards: 1,
+            queue_capacity: 2,
+            batch_max: 1,
+            batch_window: Duration::from_micros(100),
+            ..ServiceConfig::default()
+        };
+        let service = Service::start(cfg, &s.instance).unwrap();
+        let mut tickets: Vec<Ticket> = Vec::new();
+        // Submit in bursts until a shed is observed (the first burst
+        // all but guarantees it; the retry bound keeps the test sound on
+        // any scheduler).
+        for burst in 0..50u32 {
+            for i in 0..200u32 {
+                let id = 10_000 + burst * 200 + i;
+                let (task, options) = unique_task(&s.instance, (id % 5) as usize, id);
+                tickets.push(service.submit(task, options).unwrap());
+            }
+            if service.metrics().shed > 0 {
+                break;
+            }
+        }
+        let outcomes: Vec<Outcome> = tickets.iter().map(|t| t.wait().unwrap()).collect();
+        let shed = outcomes.iter().filter(|o| matches!(o, Outcome::Shed { .. })).count();
+        assert!(shed > 0, "overflowing a 2-slot queue must shed");
+        let report = service.drain();
+        assert!(report.metrics.is_conserved());
+        assert_eq!(report.metrics.submitted as usize, tickets.len());
+        assert_eq!(report.metrics.shed as usize, shed);
+    }
+
+    #[test]
+    fn departure_releases_capacity_for_newcomers() {
+        let s = small_scenario(5);
+        // Single shard with the full budget: admit a batch, depart it,
+        // and verify the controller state returns to empty.
+        let cfg = ServiceConfig { shards: 1, ..ServiceConfig::default() };
+        let service = Service::start(cfg, &s.instance).unwrap();
+        let mut admitted_ids = Vec::new();
+        for i in 0..5u32 {
+            let (task, options) = unique_task(&s.instance, i as usize, 100 + i);
+            let ticket = service.submit(task, options).unwrap();
+            if ticket.wait().unwrap().is_admitted() {
+                admitted_ids.push(ticket.task);
+            }
+        }
+        assert!(!admitted_ids.is_empty());
+        for id in &admitted_ids {
+            service.depart(*id);
+        }
+        let report = service.drain();
+        assert_eq!(report.metrics.departed as usize, admitted_ids.len());
+        assert_eq!(report.shards[0].snapshot.active_tasks, 0, "all capacity released");
+        assert!(report.metrics.is_conserved());
+    }
+
+    #[test]
+    fn short_deadline_expires_queued_requests() {
+        let s = small_scenario(5);
+        let cfg = ServiceConfig {
+            shards: 1,
+            // Deadline far shorter than the batch window: requests queued
+            // behind the first round's window will expire.
+            admission_deadline: Duration::from_micros(1),
+            batch_window: Duration::from_millis(20),
+            batch_max: 4,
+            ..ServiceConfig::default()
+        };
+        let service = Service::start(cfg, &s.instance).unwrap();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                let (task, options) = unique_task(&s.instance, (i % 5) as usize, 200 + i);
+                service.submit(task, options).unwrap()
+            })
+            .collect();
+        let expired = tickets.iter().filter(|t| matches!(t.wait().unwrap(), Outcome::Expired { .. })).count();
+        assert!(expired > 0, "1 µs deadline must expire behind a 20 ms window");
+        let report = service.drain();
+        assert!(report.metrics.is_conserved());
+        assert_eq!(report.metrics.expired as usize, expired);
+    }
+
+    #[test]
+    fn departs_route_to_the_admitting_shard() {
+        let s = small_scenario(5);
+        let cfg = ServiceConfig { shards: 4, ..ServiceConfig::default() };
+        let service = Service::start(cfg, &s.instance).unwrap();
+        let (task, options) = unique_task(&s.instance, 0, 77);
+        let ticket = service.submit(task, options).unwrap();
+        let outcome = ticket.wait().unwrap();
+        if let Outcome::Admitted { shard, .. } = outcome {
+            assert_eq!(shard, service.router().route(TaskId(77)));
+        } else {
+            panic!("expected admission, got {outcome:?}");
+        }
+    }
+
+    #[test]
+    fn drop_without_drain_shuts_down_cleanly() {
+        let s = small_scenario(3);
+        let service = Service::start(ServiceConfig::default(), &s.instance).unwrap();
+        let (task, options) = unique_task(&s.instance, 0, 9);
+        let ticket = service.submit(task, options).unwrap();
+        drop(service);
+        // The worker resolves the in-flight request before exiting.
+        assert!(ticket.wait().is_some());
+    }
+}

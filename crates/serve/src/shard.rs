@@ -1,0 +1,215 @@
+//! The per-shard worker: batch assembly, expiry, priority shedding,
+//! solver rounds and departure handling around one `Controller`.
+
+use crate::config::ServiceConfig;
+use crate::metrics::ServiceMetrics;
+use crate::service::{Outcome, ServiceRequest, ShardMsg};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use offloadnn_core::controller::{AdmissionRequest, Controller, ControllerSnapshot};
+use offloadnn_core::instance::Budgets;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Final state a shard worker returns when it exits (after
+/// [`crate::service::Service::drain`] or when the service is dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// The budget partition this shard was given.
+    pub budgets: Budgets,
+    /// Controller state at exit.
+    pub snapshot: ControllerSnapshot,
+    /// Highest admission-weighted RB usage observed after any round.
+    pub peak_rbs: f64,
+    /// Highest compute usage observed after any round (GPU-s/s).
+    pub peak_compute: f64,
+    /// Highest block-memory usage observed after any round (bytes).
+    pub peak_memory: f64,
+    /// Solver rounds this shard executed.
+    pub rounds: u64,
+}
+
+impl ShardReport {
+    /// Whether the shard's resource usage stayed within its budget
+    /// partition at every observed point (small relative tolerance for
+    /// floating-point accumulation).
+    pub fn within_budgets(&self) -> bool {
+        const EPS: f64 = 1e-6;
+        self.peak_rbs <= self.budgets.rbs * (1.0 + EPS)
+            && self.peak_compute <= self.budgets.compute_seconds * (1.0 + EPS)
+            && self.peak_memory <= self.budgets.memory_bytes * (1.0 + EPS)
+    }
+}
+
+/// One shard's worker state; consumed by [`ShardWorker::run`] on its own
+/// thread.
+pub(crate) struct ShardWorker {
+    pub shard: usize,
+    pub rx: Receiver<ShardMsg>,
+    pub controller: Controller,
+    pub budgets: Budgets,
+    pub config: ServiceConfig,
+    pub metrics: Arc<ServiceMetrics>,
+}
+
+impl ShardWorker {
+    /// The worker loop: blocks for the first message of a round, fills a
+    /// batch within the batching window, sheds overload priority-first,
+    /// expires stale requests and resolves the rest through the
+    /// controller. Exits — returning the final report — once every sender
+    /// is gone and the queue is empty, so draining never strands a
+    /// request.
+    pub(crate) fn run(mut self) -> ShardReport {
+        let mut peak = (0.0f64, 0.0f64, 0.0f64);
+        let mut rounds = 0u64;
+        loop {
+            let first = match self.rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break, // disconnected and fully drained
+            };
+            let mut batch: Vec<ServiceRequest> = Vec::new();
+            self.handle(first, &mut batch);
+
+            // Fill the batch until it is full, the window closes, or the
+            // service disconnects (drain): whatever is assembled still
+            // gets resolved below.
+            let window_ends = Instant::now() + self.config.batch_window;
+            while batch.len() < self.config.batch_max {
+                let now = Instant::now();
+                if now >= window_ends {
+                    break;
+                }
+                match self.rx.recv_timeout(window_ends - now) {
+                    Ok(msg) => self.handle(msg, &mut batch),
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+
+            ServiceMetrics::raise_peak(&self.metrics.peak_queue_depth, self.rx.len() as u64);
+
+            // Overload: past the watermark, pull the whole backlog and
+            // keep only the highest-priority `batch_max`; the tail is
+            // shed *by priority*, not by arrival order.
+            if self.rx.len() >= self.config.shed_watermark {
+                for msg in self.rx.drain() {
+                    self.handle(msg, &mut batch);
+                }
+                if batch.len() > self.config.batch_max {
+                    batch.sort_by(|a, b| {
+                        b.task.priority.partial_cmp(&a.task.priority).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    for req in batch.split_off(self.config.batch_max) {
+                        self.resolve(req, Outcome::Shed { shard: self.shard });
+                    }
+                }
+            }
+
+            if self.round(batch) {
+                rounds += 1;
+                let snap = self.controller.snapshot();
+                peak.0 = peak.0.max(snap.rbs);
+                peak.1 = peak.1.max(snap.compute_seconds);
+                peak.2 = peak.2.max(snap.memory_bytes);
+            }
+        }
+        ShardReport {
+            shard: self.shard,
+            budgets: self.budgets,
+            snapshot: self.controller.snapshot(),
+            peak_rbs: peak.0,
+            peak_compute: peak.1,
+            peak_memory: peak.2,
+            rounds,
+        }
+    }
+
+    fn handle(&mut self, msg: ShardMsg, batch: &mut Vec<ServiceRequest>) {
+        match msg {
+            ShardMsg::Request(req) => batch.push(req),
+            ShardMsg::Depart(id) => {
+                self.controller.release(&[id]);
+                self.metrics.departed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Resolves one batch; returns whether a solver round actually ran.
+    fn round(&mut self, batch: Vec<ServiceRequest>) -> bool {
+        if batch.is_empty() {
+            return false;
+        }
+        let now = Instant::now();
+        let (live, stale): (Vec<_>, Vec<_>) = batch.into_iter().partition(|r| r.deadline > now);
+        for req in stale {
+            self.resolve(req, Outcome::Expired { shard: self.shard });
+        }
+        if live.is_empty() {
+            return false;
+        }
+        ServiceMetrics::raise_peak(&self.metrics.peak_batch, live.len() as u64);
+
+        let requests: Vec<AdmissionRequest> = live
+            .iter()
+            .map(|r| AdmissionRequest { task: r.task.clone(), options: r.options.clone() })
+            .collect();
+        let submitted = requests.len();
+        let solve_start = Instant::now();
+        match self.controller.submit(requests) {
+            Ok(outcome) => {
+                self.metrics.round_time.record(solve_start.elapsed());
+                self.metrics.solver_rounds.fetch_add(1, Ordering::Relaxed);
+                debug_assert!(outcome.accounts_for(submitted), "round lost a verdict");
+                // Both outcome lists preserve request order, so a single
+                // forward scan pairs verdicts with requests even if a
+                // caller submitted duplicate task ids in one batch.
+                let mut admitted = outcome.admitted.into_iter().peekable();
+                let mut rejected = outcome.rejected.into_iter().peekable();
+                for req in live {
+                    if admitted.peek().is_some_and(|a| a.task.id == req.task.id) {
+                        let grant = admitted.next().expect("peeked");
+                        self.resolve(
+                            req,
+                            Outcome::Admitted {
+                                admission: grant.admission,
+                                rbs: grant.rbs,
+                                shard: self.shard,
+                            },
+                        );
+                    } else {
+                        debug_assert!(rejected.peek() == Some(&req.task.id), "verdict misaligned");
+                        rejected.next();
+                        self.resolve(req, Outcome::Rejected { shard: self.shard });
+                    }
+                }
+            }
+            Err(_) => {
+                // A malformed round (e.g. an option naming an unknown
+                // block) admits nothing; every caller still gets a
+                // verdict.
+                self.metrics.solver_errors.fetch_add(1, Ordering::Relaxed);
+                for req in live {
+                    self.resolve(req, Outcome::Rejected { shard: self.shard });
+                }
+            }
+        }
+        true
+    }
+
+    /// Delivers a verdict: bumps the matching counter, records latency
+    /// and answers the ticket (a dropped ticket is fine — the verdict is
+    /// still accounted).
+    fn resolve(&self, req: ServiceRequest, outcome: Outcome) {
+        let counter = match outcome {
+            Outcome::Admitted { .. } => &self.metrics.admitted,
+            Outcome::Rejected { .. } => &self.metrics.rejected,
+            Outcome::Shed { .. } => &self.metrics.shed,
+            Outcome::Expired { .. } => &self.metrics.expired,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.metrics.latency.record(req.enqueued_at.elapsed());
+        let _ = req.responder.try_send(outcome);
+    }
+}

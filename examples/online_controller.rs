@@ -14,10 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let instance = &scenario.instance;
     let mut controller = Controller::new(instance, OffloadnnSolver::new());
 
-    let request = |t: usize| AdmissionRequest {
-        task: instance.tasks[t].clone(),
-        options: instance.options[t].clone(),
-    };
+    let request =
+        |t: usize| AdmissionRequest { task: instance.tasks[t].clone(), options: instance.options[t].clone() };
     let report = |c: &Controller, round: &str| {
         let d = c.deployed();
         let h = c.headroom();
@@ -60,13 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let resident_before = controller.deployed().blocks;
     let out = controller.submit(vec![request(1)])?;
     let a = &out.admitted[0];
-    let reused = a
-        .option
-        .path
-        .blocks
-        .iter()
-        .filter(|b| resident_before.contains(b))
-        .count();
+    let reused = a.option.path.blocks.iter().filter(|b| resident_before.contains(b)).count();
     println!(
         "\nround 4: '{}' readmitted via {} (z = {:.2}); {}/{} of its blocks were already resident",
         a.task.name,

@@ -14,7 +14,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input = TensorShape::new(3, 224, 224);
     let profile = ProfileConfig::reference();
 
-    for (name, model) in [("ResNet-18", resnet18(60, 1000, input)), ("MobileNetV2", mobilenet_v2(60, 1000, input))] {
+    for (name, model) in
+        [("ResNet-18", resnet18(60, 1000, input)), ("MobileNetV2", mobilenet_v2(60, 1000, input))]
+    {
         println!("\n=== {name} ===");
         println!(
             "{:>18} {:>6} {:>10} {:>10} {:>9} {:>8}",

@@ -10,6 +10,8 @@
 //!   solver, scenarios and the admission controller.
 //! * [`semoran`] — the SEM-O-RAN baseline.
 //! * [`emu`] — the discrete-event edge/radio emulator.
+//! * [`serve`] — the sharded admission-control service runtime
+//!   (batching, backpressure, metrics, load generation).
 //!
 //! ```
 //! use offloadnn::core::{scenario::small_scenario, OffloadnnSolver};
@@ -31,3 +33,4 @@ pub use offloadnn_emu as emu;
 pub use offloadnn_profiler as profiler;
 pub use offloadnn_radio as radio;
 pub use offloadnn_semoran as semoran;
+pub use offloadnn_serve as serve;

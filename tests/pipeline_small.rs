@@ -59,11 +59,7 @@ fn memory_accounting_matches_repository_union() {
     let from_repo: f64 = unique.iter().map(|&b| s.instance.memory_of(b)).sum();
     assert!((from_instance - from_repo).abs() < 1.0);
     // Sharing must be real: the union is smaller than the sum of paths.
-    let sum_paths: f64 = chosen
-        .iter()
-        .flat_map(|p| p.blocks.iter())
-        .map(|&b| s.instance.memory_of(b))
-        .sum();
+    let sum_paths: f64 = chosen.iter().flat_map(|p| p.blocks.iter()).map(|&b| s.instance.memory_of(b)).sum();
     assert!(from_instance < sum_paths, "no sharing at all would be a regression");
 }
 
@@ -75,10 +71,7 @@ fn solved_solution_deploys_and_meets_latency() {
     for t in 0..5 {
         if h.admission[t] > 0.0 {
             let mean = report.mean_latency(t).expect("completions exist");
-            assert!(
-                mean <= s.instance.tasks[t].max_latency,
-                "task {t}: emulated mean {mean} exceeds target"
-            );
+            assert!(mean <= s.instance.tasks[t].max_latency, "task {t}: emulated mean {mean} exceeds target");
         }
     }
     // Conservation across the whole deployment.

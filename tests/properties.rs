@@ -20,74 +20,72 @@ fn arb_instance() -> impl Strategy<Value = DotInstance> {
     let block_pool = 8usize;
     (
         task_count,
-        proptest::collection::vec(0.05f64..1.0, 8),          // priorities source
-        proptest::collection::vec(0.5f64..0.95, 8),          // accuracy requirements
-        proptest::collection::vec(0.15f64..0.8, 8),          // latency bounds
-        proptest::collection::vec(1.0f64..8.0, 8),           // request rates
+        proptest::collection::vec(0.05f64..1.0, 8), // priorities source
+        proptest::collection::vec(0.5f64..0.95, 8), // accuracy requirements
+        proptest::collection::vec(0.15f64..0.8, 8), // latency bounds
+        proptest::collection::vec(1.0f64..8.0, 8),  // request rates
         proptest::collection::vec(0.1e9f64..2e9, block_pool), // block memory
         proptest::collection::vec(0.0f64..400.0, block_pool), // block training
-        proptest::collection::vec(0.5f64..0.95, 24),         // option accuracies
-        proptest::collection::vec(0.001f64..0.05, 24),       // option proc times
-        proptest::collection::vec(0u64..u64::MAX, 24),       // option block picks
+        proptest::collection::vec(0.5f64..0.95, 24), // option accuracies
+        proptest::collection::vec(0.001f64..0.05, 24), // option proc times
+        proptest::collection::vec(0u64..u64::MAX, 24), // option block picks
     )
-        .prop_map(
-            |(n, prios, accs, lats, rates, mem, train, oacc, oproc, opick)| {
-                let tasks: Vec<Task> = (0..n)
-                    .map(|i| Task {
-                        id: TaskId(i as u32),
-                        name: format!("t{i}"),
-                        group: GroupId(i as u32),
-                        priority: prios[i],
-                        request_rate: rates[i],
-                        min_accuracy: accs[i],
-                        max_latency: lats[i],
-                        snr: SnrDb(0.0),
-                        qualities: vec![QualityLevel::table_iv()],
-                        difficulty: 0.0,
-                    })
-                    .collect();
-                let options: Vec<Vec<PathOption>> = (0..n)
-                    .map(|i| {
-                        (0..3)
-                            .map(|j| {
-                                let k = i * 3 + j;
-                                // Pick 2 blocks from the pool deterministically
-                                // from the random seed value.
-                                let b1 = (opick[k] % 8) as u32;
-                                let b2 = ((opick[k] >> 8) % 8) as u32;
-                                PathOption {
-                                    path: DnnPath {
-                                        model: ModelId(0),
-                                        group: GroupId(i as u32),
-                                        config: PathConfig { config: Config::C, pruned: false },
-                                        blocks: vec![BlockId(b1), BlockId(b2)],
-                                    },
-                                    quality: QualityLevel::table_iv(),
-                                    accuracy: oacc[k],
-                                    proc_seconds: oproc[k],
-                                    training_seconds: 0.0,
-                                    label: format!("opt{k}"),
-                                }
-                            })
-                            .collect()
-                    })
-                    .collect();
-                DotInstance {
-                    tasks,
-                    options,
-                    block_memory: mem,
-                    block_training: train,
-                    rate: RateModel::table_iv(),
-                    budgets: Budgets {
-                        rbs: 40.0,
-                        compute_seconds: 1.0,
-                        training_seconds: 1000.0,
-                        memory_bytes: 5e9,
-                    },
-                    alpha: 0.5,
-                }
-            },
-        )
+        .prop_map(|(n, prios, accs, lats, rates, mem, train, oacc, oproc, opick)| {
+            let tasks: Vec<Task> = (0..n)
+                .map(|i| Task {
+                    id: TaskId(i as u32),
+                    name: format!("t{i}"),
+                    group: GroupId(i as u32),
+                    priority: prios[i],
+                    request_rate: rates[i],
+                    min_accuracy: accs[i],
+                    max_latency: lats[i],
+                    snr: SnrDb(0.0),
+                    qualities: vec![QualityLevel::table_iv()],
+                    difficulty: 0.0,
+                })
+                .collect();
+            let options: Vec<Vec<PathOption>> = (0..n)
+                .map(|i| {
+                    (0..3)
+                        .map(|j| {
+                            let k = i * 3 + j;
+                            // Pick 2 blocks from the pool deterministically
+                            // from the random seed value.
+                            let b1 = (opick[k] % 8) as u32;
+                            let b2 = ((opick[k] >> 8) % 8) as u32;
+                            PathOption {
+                                path: DnnPath {
+                                    model: ModelId(0),
+                                    group: GroupId(i as u32),
+                                    config: PathConfig { config: Config::C, pruned: false },
+                                    blocks: vec![BlockId(b1), BlockId(b2)],
+                                },
+                                quality: QualityLevel::table_iv(),
+                                accuracy: oacc[k],
+                                proc_seconds: oproc[k],
+                                training_seconds: 0.0,
+                                label: format!("opt{k}"),
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            DotInstance {
+                tasks,
+                options,
+                block_memory: mem,
+                block_training: train,
+                rate: RateModel::table_iv(),
+                budgets: Budgets {
+                    rbs: 40.0,
+                    compute_seconds: 1.0,
+                    training_seconds: 1000.0,
+                    memory_bytes: 5e9,
+                },
+                alpha: 0.5,
+            }
+        })
 }
 
 proptest! {

@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion` covering the API this workspace's
+//! benches use: [`Criterion`], [`BenchmarkId`], benchmark groups,
+//! [`Bencher::iter`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: after a short warm-up, each benchmark runs
+//! `sample_size` samples and reports min / mean / max wall-clock time per
+//! iteration. Under `--test` (as in `cargo bench -- --test`) every
+//! benchmark body executes exactly once and no timing is printed, which is
+//! what CI uses to smoke-run benches quickly.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured body.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Runs `body` repeatedly, recording one timing sample per run (or
+    /// exactly once in `--test` mode).
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(body());
+            return;
+        }
+        // Warm-up: a few unrecorded runs to fault in caches/allocations.
+        for _ in 0..2 {
+            black_box(body());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(body());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `body` with an input value, reported under `id`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        body: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.criterion.test_mode, input, body);
+        self
+    }
+
+    /// Benchmarks a closure reported under `name`.
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        mut body: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.sample_size, self.criterion.test_mode, &(), |b, ()| body(b));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<I>(
+    label: &str,
+    sample_size: usize,
+    test_mode: bool,
+    input: &I,
+    mut body: impl FnMut(&mut Bencher<'_>, &I),
+) {
+    let mut samples = Vec::new();
+    let mut bencher = Bencher { samples: &mut samples, sample_size, test_mode };
+    body(&mut bencher, input);
+    if test_mode {
+        println!("test {label} ... ok");
+        return;
+    }
+    if samples.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{label}: mean {:>12} [min {:>12}, max {:>12}] ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(*min),
+        fmt_duration(*max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    /// Builds a harness configured from the process arguments: `--test`
+    /// (passed by `cargo bench -- --test`) switches to single-iteration
+    /// smoke mode; other flags cargo forwards are ignored.
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode, default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: self.default_sample_size }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        mut body: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.default_sample_size, self.test_mode, &(), |b, ()| body(b));
+        self
+    }
+}
+
+/// Declares a benchmark group function running the listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+/// `pub` so a wrapper bench target (e.g. a root-package alias of a
+/// bench living in another crate) can re-run it via `#[path]` + call.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        pub fn main() {
+            $( $group(); )+
+        }
+    };
+}

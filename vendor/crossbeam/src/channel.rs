@@ -1,0 +1,403 @@
+//! MPMC FIFO channels with the `crossbeam-channel` API surface this
+//! workspace uses: `bounded` / `unbounded` construction, cloneable
+//! [`Sender`] / [`Receiver`] halves, blocking, non-blocking and timed
+//! operations, and disconnection when one side's handles all drop.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent message back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// All receivers have been dropped.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`]: the channel is empty and all
+/// senders have been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders have been dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and all senders have been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn sender_disconnected(&self) -> bool {
+        self.state.lock().unwrap().senders == 0
+    }
+}
+
+/// The sending half of a channel. Cloning produces another producer.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Cloning produces another consumer;
+/// each message is delivered to exactly one receiver.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel holding at most `cap` in-flight messages; sends block
+/// (or [`TrySendError::Full`]) when it is at capacity.
+///
+/// # Panics
+///
+/// Panics if `cap` is zero (rendezvous channels are not supported by this
+/// stand-in; no caller in the workspace uses them).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "zero-capacity channels are not supported");
+    make(Some(cap))
+}
+
+/// Creates a channel with no backpressure: sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    make(None)
+}
+
+fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message if all receivers have been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.shared.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self.shared.not_full.wait(state).unwrap();
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Sends without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySendError::Full`] at capacity or
+    /// [`TrySendError::Disconnected`] if all receivers are gone; both carry
+    /// the message back.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if state.queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().senders += 1;
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the channel is empty and all senders
+    /// have been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] if no message is ready,
+    /// [`TryRecvError::Disconnected`] if additionally all senders are gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if let Some(msg) = state.queue.pop_front() {
+            drop(state);
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receives, blocking for at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if the deadline passes,
+    /// [`RecvTimeoutError::Disconnected`] if the channel empties and all
+    /// senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self.shared.not_empty.wait_timeout(state, deadline - now).unwrap();
+            state = guard;
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains every message currently in the queue without blocking.
+    pub fn drain(&self) -> Vec<T> {
+        let mut state = self.shared.state.lock().unwrap();
+        let msgs: Vec<T> = state.queue.drain(..).collect();
+        drop(state);
+        self.shared.not_full.notify_all();
+        msgs
+    }
+
+    /// Whether all senders have been dropped (messages may still remain).
+    pub fn is_disconnected(&self) -> bool {
+        self.shared.sender_disconnected()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().receivers += 1;
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sender").field("len", &self.len()).finish()
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Receiver").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn bounded_try_send_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn recv_after_sender_drop_drains_then_errors() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap_err(), RecvError);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(7).unwrap_err(), SendError(7));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = bounded::<u32>(1);
+        let err = rx.recv_timeout(Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+        drop(tx);
+        let err = rx.recv_timeout(Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Disconnected);
+    }
+
+    #[test]
+    fn blocking_send_unblocks_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let t = thread::spawn(move || tx.send(1).unwrap());
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv().unwrap(), 0);
+        assert_eq!(rx.recv().unwrap(), 1);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_delivers_each_message_once() {
+        let (tx, rx) = unbounded();
+        let n = 1000;
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for `crossbeam`, providing the [`channel`] module the
+//! workspace uses: cloneable multi-producer multi-consumer bounded and
+//! unbounded FIFO channels with disconnect semantics and timed receives.
+//!
+//! Implemented over `Mutex` + two `Condvar`s rather than a lock-free
+//! queue; throughput is ample for solver-round granularity (the service
+//! runtime batches hundreds of requests per lock acquisition).
+
+#![forbid(unsafe_code)]
+
+pub mod channel;

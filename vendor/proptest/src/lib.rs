@@ -1,0 +1,204 @@
+//! Offline stand-in for `proptest` covering the API surface this
+//! workspace uses: the [`proptest!`] macro, range / tuple / collection
+//! strategies, `prop_map`, `prop_assert!` family and [`ProptestConfig`].
+//!
+//! Semantics versus the real crate:
+//!
+//! * **Deterministic**: every case is generated from a fixed per-case
+//!   seed, so runs are reproducible without a regression file (any
+//!   `.proptest-regressions` files in the tree are ignored).
+//! * **No shrinking**: a failing case reports the panic message from
+//!   `prop_assert!` directly; the values are not minimized.
+//!
+//! These trade-offs keep the implementation small and dependency-free
+//! while preserving the tests' ability to explore their input spaces.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// The accepted size specifications for [`vec`]: an exact length or a
+    /// half-open range of lengths.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { start: n, end: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { start: r.start, end: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors of `element` values with a length
+    /// drawn from `size` (an exact `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start + 1 == self.size.end {
+                self.size.start
+            } else {
+                rng.0.random_range(self.size.start..self.size.end)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over booleans.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Strategy yielding `true` and `false` with equal probability.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.0.random_bool(0.5)
+        }
+    }
+}
+
+/// The common imports test modules glob in.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs one property function over `cases` deterministic samples.
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+pub fn run_cases(cases: u32, mut f: impl FnMut(&mut test_runner::TestRng, u32)) {
+    for case in 0..cases {
+        let mut rng = test_runner::TestRng::deterministic(case as u64);
+        f(&mut rng, case);
+    }
+}
+
+/// Declares property tests: an optional
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` header followed by
+/// `fn name(binding in strategy, ...) { body }` items, each expanded to a
+/// `#[test]` that runs the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_cases(cfg.cases, |rng, case| {
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(&($strat), rng);
+                    )+
+                    let run = || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        Ok(())
+                    };
+                    if let Err(msg) = run() {
+                        panic!("proptest case {case} failed: {msg}");
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case with
+/// a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+/// (The stand-in treats the case as vacuously passing rather than
+/// resampling.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

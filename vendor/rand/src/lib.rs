@@ -1,0 +1,208 @@
+//! Offline stand-in for `rand` covering the API surface this workspace
+//! uses: a seedable deterministic [`rngs::StdRng`] plus
+//! [`RngExt::random_range`] over numeric half-open ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — statistically
+//! solid for simulation workloads and fully reproducible from a `u64`
+//! seed, which is all the emulator, profiler and traffic models need.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Minimal core-RNG trait: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Maps a uniform word to a double in `[0, 1)` with 53 random bits.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that knows how to draw a uniform sample of `T` from an RNG.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = unit_f64(rng.next_u64());
+        // Clamp guards the open upper bound against rounding when the
+        // span is many orders of magnitude larger than the start.
+        (self.start + u * (self.end - self.start)).min(f64::from_bits(self.end.to_bits() - 1))
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f32 {
+        Range { start: self.start as f64, end: self.end as f64 }.sample_from(rng) as f32
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    // Lemire-style widening reduction: maps a uniform u64
+                    // into [0, span) with negligible bias for span << 2^64.
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    ((self.start as u64).wrapping_add(hi)) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Standard RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (offline stand-in for the real
+    /// crate's `StdRng`; not cryptographically secure, which no caller in
+    /// this workspace requires).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn reproducible_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1000), b.random_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lo = 0usize;
+        for _ in 0..10_000 {
+            if rng.random_range(0.0f64..1.0) < 0.5 {
+                lo += 1;
+            }
+        }
+        assert!((4_000..6_000).contains(&lo), "uniformity: {lo}");
+    }
+
+    #[test]
+    fn int_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let x: u32 = rng.random_range(5..15);
+            assert!((5..15).contains(&x));
+            seen_low |= x == 5;
+            seen_high |= x == 14;
+        }
+        assert!(seen_low && seen_high, "both endpoints reachable");
+    }
+
+    #[test]
+    fn tiny_positive_f64_range_is_positive() {
+        // The traffic generator samples f64::MIN_POSITIVE..1.0 and takes a
+        // logarithm; zero would be fatal.
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let _ = rng.random_range(0u64..u64::MAX);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal derive that emits *marker* impls of the stand-in `serde` traits
+//! (which carry no methods — see `vendor/serde`). The derive only needs to
+//! recover the type name from the item; the field list is irrelevant.
+//!
+//! Supported input: non-generic `struct`/`enum`/`union` items, which covers
+//! every derive site in this workspace. Generic items produce a compile
+//! error naming this limitation rather than silently mis-expanding.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier following the `struct`/`enum`/`union`
+/// keyword, skipping outer attributes and visibility modifiers.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Outer attribute: `#` followed by a bracket group.
+            TokenTree::Punct(ref p) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            TokenTree::Ident(ref id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    match iter.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                                return Err(format!(
+                                    "vendored serde_derive does not support generic type `{name}`"
+                                ));
+                            }
+                            return Ok(name.to_string());
+                        }
+                        _ => return Err("expected a type name after the item keyword".into()),
+                    }
+                }
+                // `pub`, `pub(crate)`, etc.: keep scanning.
+            }
+            _ => {}
+        }
+    }
+    Err("no struct/enum/union item found".into())
+}
+
+fn expand(input: TokenStream, template: &str) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => template.replace("__NAME__", &name).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the stand-in `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, "impl ::serde::Serialize for __NAME__ {}")
+}
+
+/// Derives the stand-in `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, "impl<'de> ::serde::Deserialize<'de> for __NAME__ {}")
+}
