@@ -24,6 +24,10 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> telemetry overhead gate: workspace builds and tier-1 passes with telemetry compiled out"
+cargo build --workspace --features telemetry-disabled
+cargo test -q --features telemetry-disabled
+
 echo "==> cargo bench smoke (criterion --test mode)"
 cargo bench --workspace -- --test >/dev/null
 

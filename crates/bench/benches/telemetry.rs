@@ -1,0 +1,46 @@
+//! Overhead of the telemetry primitives on a hot path: what one span,
+//! one counter bump and one histogram record cost per call, and what the
+//! same call sites cost with telemetry switched off (the "one branch"
+//! claim in the crate docs — numbers quoted in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use offloadnn_telemetry::{set_enabled, Counter, Histogram};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+
+    set_enabled(true);
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let span = offloadnn_telemetry::span!("bench.span");
+            black_box(&span);
+        })
+    });
+    group.bench_function("count_enabled", |b| b.iter(|| offloadnn_telemetry::count!("bench.count")));
+
+    set_enabled(false);
+    group.bench_function("span_off", |b| {
+        b.iter(|| {
+            let span = offloadnn_telemetry::span!("bench.span");
+            black_box(&span);
+        })
+    });
+    group.bench_function("count_off", |b| b.iter(|| offloadnn_telemetry::count!("bench.count")));
+    set_enabled(true);
+
+    // The bare primitives, outside the macro gating: what functional
+    // accounting (serve's conservation counters) pays unconditionally.
+    let counter = Counter::new();
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let hist = Histogram::new();
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| hist.record(black_box(Duration::from_micros(137))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

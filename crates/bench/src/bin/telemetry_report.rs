@@ -1,0 +1,190 @@
+//! Per-phase latency breakdown of an instrumented end-to-end run.
+//!
+//! Drives the sharded admission service with the closed-loop load
+//! generator (populating the `solver.*` and `serve.*` phases), replays a
+//! short Colosseum-style emulation (populating `emu.step`), and prints
+//! the global telemetry registry: one latency histogram per phase —
+//! clique build, tree descent, convex allocation, ingress, batch
+//! assembly, drain — plus counters, gauges and the event ring.
+//!
+//! The run is then repeated with telemetry switched off
+//! ([`offloadnn_telemetry::set_enabled`]) to show (a) the wall-clock
+//! overhead of instrumentation and (b) that the service's conservation
+//! invariant holds identically in both configurations. Exits non-zero if
+//! conservation is violated in either run.
+//!
+//! ```text
+//! cargo run --release -p offloadnn-bench --bin telemetry_report -- \
+//!     --requests 5000 --shards 4 --seed 7
+//! ```
+
+use offloadnn_core::heuristic::OffloadnnSolver;
+use offloadnn_core::scenario::small_scenario;
+use offloadnn_emu::colosseum::{validate, ColosseumConfig};
+use offloadnn_radio::ArrivalProcess;
+use offloadnn_serve::{loadgen, LoadgenConfig, LoadgenReport, ServiceConfig};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+telemetry_report — per-phase latency breakdown of an instrumented load run
+
+USAGE: telemetry_report [OPTIONS]
+
+OPTIONS (all optional; defaults in brackets):
+  --requests N   total requests offered to the service      [5000]
+  --shards N     worker shards                              [4]
+  --ues N        UEs in the reference scenario              [5]
+  --seed N       RNG seed (printed in the run header)       [7]
+  --jsonl        also emit the registry as JSON lines
+  -h, --help     print this help
+";
+
+struct Args {
+    requests: u64,
+    shards: usize,
+    ues: usize,
+    seed: u64,
+    jsonl: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self { requests: 5_000, shards: 4, ues: 5, seed: 7, jsonl: false }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--jsonl" => {
+                args.jsonl = true;
+                continue;
+            }
+            _ => {}
+        }
+        let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
+        let bad = |e: &dyn std::fmt::Display| format!("{flag} {value}: {e}");
+        match flag.as_str() {
+            "--requests" => args.requests = value.parse().map_err(|e| bad(&e))?,
+            "--shards" => args.shards = value.parse().map_err(|e| bad(&e))?,
+            "--ues" => args.ues = value.parse().map_err(|e| bad(&e))?,
+            "--seed" => args.seed = value.parse().map_err(|e| bad(&e))?,
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// One full instrumented workload: a closed-loop service load run plus a
+/// short emulation replay of the same scenario's solution.
+fn run_workload(args: &Args) -> Result<(LoadgenReport, Duration), Box<dyn std::error::Error>> {
+    let scenario = small_scenario(args.ues);
+    let service_config = ServiceConfig {
+        shards: args.shards,
+        batch_window: Duration::from_micros(500),
+        ..ServiceConfig::default()
+    };
+    let cfg = LoadgenConfig {
+        requests: args.requests,
+        process: ArrivalProcess::Poisson { rate_hz: 20_000.0 },
+        seed: args.seed,
+        max_active: 64,
+        time_scale: 0.0,
+    };
+    let start = Instant::now();
+    let report = loadgen::run(service_config, cfg, &scenario.instance);
+
+    // A short emulation pass so the `emu.step` phase and event counters
+    // appear alongside the solver/serve phases.
+    let solution = OffloadnnSolver::new().solve(&scenario.instance)?;
+    let mut emu_cfg = ColosseumConfig::reference();
+    emu_cfg.emulator.duration = 5.0;
+    validate(&scenario.instance, &solution, &emu_cfg)?;
+    Ok((report, start.elapsed()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Pass 1: instrumented. Phases/counters/events land in the global
+    // registry; the service's own metrics land in its per-service one.
+    offloadnn_telemetry::set_enabled(true);
+    let (on_report, on_wall) = match run_workload(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let snapshot = offloadnn_telemetry::global().snapshot();
+
+    println!("=== instrumented run ===");
+    println!("{on_report}");
+    println!();
+    println!("=== per-phase telemetry (global registry) ===");
+    print!("{snapshot}");
+    if args.jsonl {
+        println!();
+        println!("=== registry as JSON lines ===");
+        print!("{}", snapshot.to_jsonl());
+    }
+
+    // Pass 2: telemetry off — every span!/count!/event! reduces to one
+    // branch. The functional accounting must be unaffected.
+    offloadnn_telemetry::set_enabled(false);
+    let (off_report, off_wall) = match run_workload(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    offloadnn_telemetry::set_enabled(true);
+
+    println!();
+    println!("=== overhead (same workload, telemetry off) ===");
+    println!(
+        "wall clock: {on_wall:.3?} instrumented vs {off_wall:.3?} off ({:+.1}%)",
+        100.0 * (on_wall.as_secs_f64() - off_wall.as_secs_f64()) / off_wall.as_secs_f64().max(1e-9),
+    );
+    for (name, report) in [("on", &on_report), ("off", &off_report)] {
+        println!(
+            "conservation (telemetry {name}): {}",
+            if report.is_conserved() { "OK" } else { "VIOLATED" }
+        );
+    }
+
+    if !on_report.is_conserved() || !off_report.is_conserved() {
+        eprintln!("error: conservation violated — a request was lost or double-counted");
+        return ExitCode::FAILURE;
+    }
+    let have = |p: &str| snapshot.phases.iter().any(|(n, h)| *n == p && h.count > 0);
+    for phase in [
+        "solver.clique",
+        "solver.tree",
+        "solver.alloc",
+        "serve.ingress",
+        "serve.batch",
+        "serve.drain",
+        "emu.step",
+    ] {
+        if !have(phase) {
+            eprintln!("error: phase {phase} recorded no samples — instrumentation regressed");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -178,6 +178,7 @@ impl Controller {
     /// Returns a [`DotError`] if the assembled instance is malformed, and
     /// panics never: an infeasible round admits nothing.
     pub fn submit(&mut self, requests: Vec<AdmissionRequest>) -> Result<AdmissionOutcome, DotError> {
+        let _round = offloadnn_telemetry::span!("solver.round");
         let instance = DotInstance {
             tasks: requests.iter().map(|r| r.task.clone()).collect(),
             options: requests.iter().map(|r| r.options.clone()).collect(),

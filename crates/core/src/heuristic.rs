@@ -17,6 +17,7 @@ use crate::error::DotError;
 use crate::instance::DotInstance;
 use crate::objective::{evaluate, DotSolution};
 use crate::tree::{BranchState, CliqueOrdering, WeightedTree};
+use offloadnn_telemetry::span;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -81,7 +82,9 @@ impl OffloadnnSolver {
     pub fn solve(&self, instance: &DotInstance) -> Result<DotSolution, DotError> {
         instance.validate()?;
         let start = Instant::now();
+        let clique_span = span!("solver.clique");
         let tree = WeightedTree::build_with(instance, self.ordering);
+        clique_span.finish();
 
         // Beam of partial branches: (choices per task, state, proc sum).
         struct Partial {
@@ -95,6 +98,7 @@ impl OffloadnnSolver {
             proc_sum: 0.0,
         }];
 
+        let tree_span = span!("solver.tree");
         for (layer, &t) in tree.order.iter().enumerate() {
             let clique = &tree.cliques[layer];
             let mut next: Vec<Partial> = Vec::with_capacity(self.beam_width * 2);
@@ -134,8 +138,10 @@ impl OffloadnnSolver {
             next.truncate(self.beam_width);
             beam = next;
         }
+        tree_span.finish();
 
         // Allocate and evaluate every surviving branch; keep the cheapest.
+        let alloc_span = span!("solver.alloc");
         let mut best: Option<DotSolution> = None;
         for partial in &beam {
             let sol = finish_branch(instance, &partial.choices, self.allocator);
@@ -143,6 +149,7 @@ impl OffloadnnSolver {
                 best = Some(sol);
             }
         }
+        alloc_span.finish();
         let mut sol = best.unwrap_or_else(|| DotSolution::rejected(instance));
         sol.solve_seconds = start.elapsed().as_secs_f64();
         Ok(sol)

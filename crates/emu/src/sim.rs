@@ -203,8 +203,10 @@ pub fn run(tasks: &[TaskDeployment], cfg: &EmulatorConfig) -> Result<EmulationRe
         if ev.time > cfg.duration {
             break;
         }
+        let _step = offloadnn_telemetry::span!("emu.step");
         match ev.kind {
             EventKind::Arrival { task } => {
+                offloadnn_telemetry::count!("emu.arrivals");
                 let dep = &tasks[task];
                 stats[task].generated += 1;
                 // UE-side thinning to the admission ratio.
@@ -228,6 +230,7 @@ pub fn run(tasks: &[TaskDeployment], cfg: &EmulatorConfig) -> Result<EmulationRe
                 }
             }
             EventKind::UplinkDone { task, request } => {
+                offloadnn_telemetry::count!("emu.uplinks");
                 let lane = match cfg.radio_mode {
                     RadioMode::HardSlices => task,
                     RadioMode::SharedPool => 0,
@@ -250,6 +253,7 @@ pub fn run(tasks: &[TaskDeployment], cfg: &EmulatorConfig) -> Result<EmulationRe
                 );
             }
             EventKind::InferenceDone { task, request, releases_slot } => {
+                offloadnn_telemetry::count!("emu.inferences");
                 if releases_slot {
                     gpu_in_flight -= 1;
                 }

@@ -119,9 +119,11 @@ impl fmt::Display for LoadgenReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let m = &self.drain.metrics;
         let pct = |n: u64| 100.0 * n as f64 / m.submitted.max(1) as f64;
+        // The seed in the header makes any run reproducible from its own
+        // output: re-run with `--seed <printed value>`.
         writeln!(
             f,
-            "offered {} requests ({} arrivals at {:.0} req/s mean) across {} shards in {:.3?}",
+            "offered {} requests ({} arrivals at {:.0} req/s mean, seed {}) across {} shards in {:.3?}",
             self.config.requests,
             match self.config.process {
                 ArrivalProcess::Poisson { .. } => "Poisson",
@@ -129,6 +131,7 @@ impl fmt::Display for LoadgenReport {
                 ArrivalProcess::Bursty { .. } => "MMPP-bursty",
             },
             self.config.process.rate_hz(),
+            self.config.seed,
             self.shards,
             self.wall,
         )?;

@@ -1,60 +1,30 @@
-//! Thread-safe service metrics: atomic verdict counters, gauges and
-//! fixed-bucket latency histograms, snapshotable from any thread without
-//! stopping the workers.
+//! Thread-safe service metrics: verdict counters, peak gauges and
+//! latency histograms, snapshotable from any thread without stopping the
+//! workers.
+//!
+//! Since the telemetry subsystem landed, the instruments themselves live
+//! in [`offloadnn_telemetry`]: every counter, gauge and histogram here is
+//! a handle registered in a per-service [`Registry`], so the whole
+//! service can be exported through the shared JSONL/table exporters
+//! ([`ServiceMetrics::registry`]). The conservation invariant is
+//! *functional* accounting, so these instruments record unconditionally —
+//! they are not gated on [`offloadnn_telemetry::enabled`] and the
+//! invariant holds with telemetry on, off, or compiled out.
 
+use offloadnn_telemetry::{Counter, Gauge, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Number of histogram buckets: one sub-microsecond bucket, power-of-two
-/// buckets up to ~2.1 s, and one overflow bucket.
-pub const HISTOGRAM_BUCKETS: usize = 23;
+pub use offloadnn_telemetry::HISTOGRAM_BUCKETS;
 
-/// A fixed-bucket log-scale histogram over microsecond durations.
-///
-/// Buckets are powers of two: bucket 0 counts sub-microsecond
-/// observations, bucket `i >= 1` counts observations in
-/// `[2^(i-1) µs, 2^i µs)`, and the last bucket absorbs everything from
-/// `2^21 µs` (~2.1 s) up. Recording is one atomic increment — safe from
-/// any worker thread.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
+/// The service's latency histogram type (the shared telemetry
+/// implementation; kept under its historical name for call sites).
+pub type LatencyHistogram = Histogram;
 
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one duration.
-    pub fn record(&self, d: Duration) {
-        let us = d.as_micros().min(u64::MAX as u128) as u64;
-        let idx = (64 - us.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Copies the current bucket counts.
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
-        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
-            *out = b.load(Ordering::Relaxed);
-        }
-        HistogramSnapshot {
-            buckets,
-            count: self.count.load(Ordering::Relaxed),
-            sum_us: self.sum_us.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// Point-in-time copy of a [`LatencyHistogram`].
+/// Point-in-time copy of a [`LatencyHistogram`], serde-serialisable for
+/// reports. Convertible from the telemetry snapshot it mirrors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Per-bucket counts; bucket 0 is sub-microsecond, bucket `i >= 1`
@@ -62,35 +32,35 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; HISTOGRAM_BUCKETS],
     /// Total observations.
     pub count: u64,
-    /// Sum of all observations in microseconds.
+    /// Saturating sum of all observations in microseconds.
     pub sum_us: u64,
 }
 
+impl From<offloadnn_telemetry::HistogramSnapshot> for HistogramSnapshot {
+    fn from(s: offloadnn_telemetry::HistogramSnapshot) -> Self {
+        Self { buckets: s.buckets, count: s.count, sum_us: s.sum_us }
+    }
+}
+
 impl HistogramSnapshot {
+    fn as_telemetry(&self) -> offloadnn_telemetry::HistogramSnapshot {
+        offloadnn_telemetry::HistogramSnapshot {
+            buckets: self.buckets,
+            count: self.count,
+            sum_us: self.sum_us,
+        }
+    }
+
     /// Mean observation, or zero when empty.
     pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_micros(self.sum_us / self.count)
+        self.as_telemetry().mean()
     }
 
     /// Upper bound of the bucket containing the `p`-quantile
     /// (`0 < p <= 1`), or zero when empty. Log-bucket resolution: the
     /// estimate is within 2x of the true quantile.
     pub fn quantile(&self, p: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Duration::from_micros(1u64 << i);
-            }
-        }
-        Duration::from_micros(1u64 << (HISTOGRAM_BUCKETS - 1))
+        self.as_telemetry().quantile(p)
     }
 }
 
@@ -100,62 +70,85 @@ impl HistogramSnapshot {
 /// one of `admitted` / `rejected` / `shed` / `expired` at resolution, so
 /// at any quiescent point (no request in flight) the counters satisfy
 /// `submitted = admitted + rejected + shed + expired`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServiceMetrics {
+    registry: Registry,
     /// Requests accepted at ingress.
-    pub submitted: AtomicU64,
+    pub submitted: Arc<Counter>,
     /// Requests granted a slice by the solver.
-    pub admitted: AtomicU64,
+    pub admitted: Arc<Counter>,
     /// Requests the solver declined (infeasible or not worth capacity).
-    pub rejected: AtomicU64,
+    pub rejected: Arc<Counter>,
     /// Requests dropped by backpressure or priority shedding.
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
     /// Requests that waited past their admission deadline.
-    pub expired: AtomicU64,
+    pub expired: Arc<Counter>,
     /// Departure notices processed (capacity released).
-    pub departed: AtomicU64,
+    pub departed: Arc<Counter>,
     /// Solver rounds executed across all shards.
-    pub solver_rounds: AtomicU64,
+    pub solver_rounds: Arc<Counter>,
     /// Solver rounds that returned an error (every request in the round is
     /// counted `rejected`).
-    pub solver_errors: AtomicU64,
+    pub solver_errors: Arc<Counter>,
     /// Highest queue depth observed at round assembly on any shard.
-    pub peak_queue_depth: AtomicU64,
+    pub peak_queue_depth: Arc<Gauge>,
     /// Largest batch resolved in one round.
-    pub peak_batch: AtomicU64,
+    pub peak_batch: Arc<Gauge>,
     /// End-to-end request latency (submit to verdict).
-    pub latency: LatencyHistogram,
+    pub latency: Arc<LatencyHistogram>,
     /// Wall-clock time of each solver round.
-    pub round_time: LatencyHistogram,
+    pub round_time: Arc<LatencyHistogram>,
 }
 
 impl ServiceMetrics {
-    /// Creates zeroed metrics.
+    /// Creates zeroed metrics on a fresh per-service registry.
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        Self {
+            submitted: registry.counter("serve.submitted"),
+            admitted: registry.counter("serve.admitted"),
+            rejected: registry.counter("serve.rejected"),
+            shed: registry.counter("serve.shed"),
+            expired: registry.counter("serve.expired"),
+            departed: registry.counter("serve.departed"),
+            solver_rounds: registry.counter("serve.solver_rounds"),
+            solver_errors: registry.counter("serve.solver_errors"),
+            peak_queue_depth: registry.gauge("serve.peak_queue_depth"),
+            peak_batch: registry.gauge("serve.peak_batch"),
+            latency: registry.phase("serve.latency"),
+            round_time: registry.phase("serve.round"),
+            registry,
+        }
     }
 
-    /// Raises a peak gauge to at least `value`.
-    pub(crate) fn raise_peak(gauge: &AtomicU64, value: u64) {
-        gauge.fetch_max(value, Ordering::Relaxed);
+    /// The per-service telemetry registry holding these instruments —
+    /// snapshot it for the shared JSONL/table exporters.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Copies all counters and histograms.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            admitted: self.admitted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
-            departed: self.departed.load(Ordering::Relaxed),
-            solver_rounds: self.solver_rounds.load(Ordering::Relaxed),
-            solver_errors: self.solver_errors.load(Ordering::Relaxed),
-            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
-            peak_batch: self.peak_batch.load(Ordering::Relaxed),
-            latency: self.latency.snapshot(),
-            round_time: self.round_time.snapshot(),
+            submitted: self.submitted.get(),
+            admitted: self.admitted.get(),
+            rejected: self.rejected.get(),
+            shed: self.shed.get(),
+            expired: self.expired.get(),
+            departed: self.departed.get(),
+            solver_rounds: self.solver_rounds.get(),
+            solver_errors: self.solver_errors.get(),
+            peak_queue_depth: self.peak_queue_depth.get(),
+            peak_batch: self.peak_batch.get(),
+            latency: self.latency.snapshot().into(),
+            round_time: self.round_time.snapshot().into(),
         }
+    }
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -243,7 +236,7 @@ mod tests {
         h.record(Duration::from_micros(3)); // bucket 2
         h.record(Duration::from_micros(1000)); // bucket 10
         h.record(Duration::from_secs(100)); // overflow bucket
-        let s = h.snapshot();
+        let s: HistogramSnapshot = h.snapshot().into();
         assert_eq!(s.count, 5);
         assert_eq!(s.buckets[0], 1);
         assert_eq!(s.buckets[1], 1);
@@ -253,12 +246,28 @@ mod tests {
     }
 
     #[test]
+    fn edge_samples_land_in_first_and_last_bucket() {
+        // The satellite fix: zero-duration and u64::MAX-µs samples must be
+        // counted (first/last bucket), never panic or vanish — and a
+        // pathological sample must not wrap the sum.
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record_us(u64::MAX);
+        h.record(Duration::MAX);
+        let s: HistogramSnapshot = h.snapshot().into();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 2);
+        assert_eq!(s.sum_us, u64::MAX, "sum saturates instead of wrapping");
+    }
+
+    #[test]
     fn quantiles_bound_observations() {
         let h = LatencyHistogram::new();
         for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
             h.record(Duration::from_micros(us));
         }
-        let s = h.snapshot();
+        let s: HistogramSnapshot = h.snapshot().into();
         assert!(s.quantile(0.5) >= Duration::from_micros(32));
         assert!(s.quantile(0.5) <= Duration::from_micros(128));
         assert!(s.quantile(1.0) >= Duration::from_micros(1000));
@@ -271,12 +280,12 @@ mod tests {
     #[test]
     fn conservation_checks_the_four_verdicts() {
         let m = ServiceMetrics::new();
-        m.submitted.fetch_add(10, Ordering::Relaxed);
-        m.admitted.fetch_add(4, Ordering::Relaxed);
-        m.rejected.fetch_add(3, Ordering::Relaxed);
-        m.shed.fetch_add(2, Ordering::Relaxed);
+        m.submitted.add(10);
+        m.admitted.add(4);
+        m.rejected.add(3);
+        m.shed.add(2);
         assert!(!m.snapshot().is_conserved());
-        m.expired.fetch_add(1, Ordering::Relaxed);
+        m.expired.inc();
         let s = m.snapshot();
         assert!(s.is_conserved());
         assert_eq!(s.resolved(), 10);
@@ -285,10 +294,20 @@ mod tests {
     #[test]
     fn peaks_only_rise() {
         let m = ServiceMetrics::new();
-        ServiceMetrics::raise_peak(&m.peak_batch, 5);
-        ServiceMetrics::raise_peak(&m.peak_batch, 3);
+        m.peak_batch.raise(5);
+        m.peak_batch.raise(3);
         assert_eq!(m.snapshot().peak_batch, 5);
-        ServiceMetrics::raise_peak(&m.peak_batch, 9);
+        m.peak_batch.raise(9);
         assert_eq!(m.snapshot().peak_batch, 9);
+    }
+
+    #[test]
+    fn metrics_live_on_the_service_registry() {
+        let m = ServiceMetrics::new();
+        m.submitted.add(7);
+        m.latency.record(Duration::from_micros(50));
+        let snap = m.registry().snapshot();
+        assert!(snap.counters.iter().any(|(n, v)| *n == "serve.submitted" && *v == 7));
+        assert!(snap.phases.iter().any(|(n, h)| *n == "serve.latency" && h.count == 1));
     }
 }

@@ -11,6 +11,7 @@ use offloadnn_core::controller::Controller;
 use offloadnn_core::heuristic::OffloadnnSolver;
 use offloadnn_core::instance::{DotInstance, PathOption};
 use offloadnn_core::task::{Task, TaskId};
+use offloadnn_telemetry::{event, span, Severity};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -179,6 +180,15 @@ impl Service {
             senders.push(tx);
             handles.push(handle);
         }
+        event!(
+            Severity::Info,
+            "serve.service",
+            "fleet started: {} shard(s), queue capacity {}, batch {}x{:?}",
+            config.shards,
+            config.queue_capacity,
+            config.batch_max,
+            config.batch_window
+        );
         Ok(Self { senders, handles, router, metrics, config, draining })
     }
 
@@ -203,6 +213,7 @@ impl Service {
     /// request is not counted), [`SubmitError::NoOptions`] for a request
     /// with no candidate paths (nothing to solve over).
     pub fn submit(&self, task: Task, options: Vec<PathOption>) -> Result<Ticket, SubmitError> {
+        let _ingress = span!("serve.ingress");
         if self.draining.load(Ordering::Acquire) {
             return Err(SubmitError::Draining);
         }
@@ -211,7 +222,7 @@ impl Service {
         }
         let shard = self.router.route(task.id);
         let id = task.id;
-        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        self.metrics.submitted.inc();
         let (responder, rx) = channel::bounded(1);
         let now = Instant::now();
         let request = ServiceRequest {
@@ -227,7 +238,7 @@ impl Service {
                 // Backpressure (or a drain racing this submit): resolve as
                 // shed right here so conservation holds.
                 if let ShardMsg::Request(req) = msg {
-                    self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.shed.inc();
                     self.metrics.latency.record(Duration::ZERO);
                     let _ = req.responder.try_send(Outcome::Shed { shard });
                 }
@@ -252,6 +263,13 @@ impl Service {
         self.metrics.snapshot()
     }
 
+    /// The per-service telemetry registry holding this fleet's counters,
+    /// gauges and histograms — snapshot it for the shared JSONL/table
+    /// exporters ([`offloadnn_telemetry::RegistrySnapshot`]).
+    pub fn telemetry(&self) -> &offloadnn_telemetry::Registry {
+        self.metrics.registry()
+    }
+
     /// Gracefully drains: stops accepting new requests, lets every queued
     /// request reach a verdict (admission, rejection or expiry), joins
     /// the workers and returns the final report. Conservation
@@ -264,13 +282,28 @@ impl Service {
         self.senders.clear();
         let mut shards: Vec<ShardReport> = Vec::with_capacity(self.handles.len());
         for handle in self.handles.drain(..) {
+            // One "serve.drain" sample per shard: drain start to that
+            // worker's exit (joins overlap, so samples are cumulative).
+            let drain_span = span!("serve.drain");
             match handle.join() {
                 Ok(report) => shards.push(report),
                 Err(panic) => std::panic::resume_unwind(panic),
             }
+            drain_span.finish();
         }
         shards.sort_by_key(|r| r.shard);
-        DrainReport { metrics: self.metrics.snapshot(), shards }
+        let metrics = self.metrics.snapshot();
+        event!(
+            Severity::Info,
+            "serve.service",
+            "drained: {} submitted, {} admitted, {} rejected, {} shed, {} expired",
+            metrics.submitted,
+            metrics.admitted,
+            metrics.rejected,
+            metrics.shed,
+            metrics.expired
+        );
+        DrainReport { metrics, shards }
     }
 }
 

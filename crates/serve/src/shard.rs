@@ -7,8 +7,8 @@ use crate::service::{Outcome, ServiceRequest, ShardMsg};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use offloadnn_core::controller::{AdmissionRequest, Controller, ControllerSnapshot};
 use offloadnn_core::instance::Budgets;
+use offloadnn_telemetry::{event, span, Severity};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -70,6 +70,7 @@ impl ShardWorker {
                 Ok(msg) => msg,
                 Err(_) => break, // disconnected and fully drained
             };
+            let batch_span = span!("serve.batch");
             let mut batch: Vec<ServiceRequest> = Vec::new();
             self.handle(first, &mut batch);
 
@@ -88,12 +89,20 @@ impl ShardWorker {
                 }
             }
 
-            ServiceMetrics::raise_peak(&self.metrics.peak_queue_depth, self.rx.len() as u64);
+            self.metrics.peak_queue_depth.raise(self.rx.len() as u64);
 
             // Overload: past the watermark, pull the whole backlog and
             // keep only the highest-priority `batch_max`; the tail is
             // shed *by priority*, not by arrival order.
             if self.rx.len() >= self.config.shed_watermark {
+                event!(
+                    Severity::Warn,
+                    "serve.shard",
+                    "shard {} backlog {} past watermark {}: shedding priority-first",
+                    self.shard,
+                    self.rx.len(),
+                    self.config.shed_watermark
+                );
                 for msg in self.rx.drain() {
                     self.handle(msg, &mut batch);
                 }
@@ -106,6 +115,7 @@ impl ShardWorker {
                     }
                 }
             }
+            batch_span.finish();
 
             if self.round(batch) {
                 rounds += 1;
@@ -131,7 +141,7 @@ impl ShardWorker {
             ShardMsg::Request(req) => batch.push(req),
             ShardMsg::Depart(id) => {
                 self.controller.release(&[id]);
-                self.metrics.departed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.departed.inc();
             }
         }
     }
@@ -149,7 +159,7 @@ impl ShardWorker {
         if live.is_empty() {
             return false;
         }
-        ServiceMetrics::raise_peak(&self.metrics.peak_batch, live.len() as u64);
+        self.metrics.peak_batch.raise(live.len() as u64);
 
         let requests: Vec<AdmissionRequest> = live
             .iter()
@@ -160,7 +170,7 @@ impl ShardWorker {
         match self.controller.submit(requests) {
             Ok(outcome) => {
                 self.metrics.round_time.record(solve_start.elapsed());
-                self.metrics.solver_rounds.fetch_add(1, Ordering::Relaxed);
+                self.metrics.solver_rounds.inc();
                 debug_assert!(outcome.accounts_for(submitted), "round lost a verdict");
                 // Both outcome lists preserve request order, so a single
                 // forward scan pairs verdicts with requests even if a
@@ -185,11 +195,12 @@ impl ShardWorker {
                     }
                 }
             }
-            Err(_) => {
+            Err(e) => {
                 // A malformed round (e.g. an option naming an unknown
                 // block) admits nothing; every caller still gets a
                 // verdict.
-                self.metrics.solver_errors.fetch_add(1, Ordering::Relaxed);
+                self.metrics.solver_errors.inc();
+                event!(Severity::Warn, "serve.shard", "shard {} solver round failed: {e}", self.shard);
                 for req in live {
                     self.resolve(req, Outcome::Rejected { shard: self.shard });
                 }
@@ -208,7 +219,7 @@ impl ShardWorker {
             Outcome::Shed { .. } => &self.metrics.shed,
             Outcome::Expired { .. } => &self.metrics.expired,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
         self.metrics.latency.record(req.enqueued_at.elapsed());
         let _ = req.responder.try_send(outcome);
     }

@@ -1,0 +1,65 @@
+//! Property tests for the consistent-hash router's scaling contract:
+//! growing the ring by one shard must leave the overwhelming majority of
+//! task-to-shard assignments untouched (the property that makes elastic
+//! scaling cheap), and the keys that *do* move may only move to the new
+//! shard — consistent hashing never shuffles keys between old shards.
+
+use offloadnn_core::task::TaskId;
+use offloadnn_serve::Router;
+use proptest::prelude::*;
+
+/// Ids probed per case: large enough that per-shard expectations are in
+/// the hundreds even at the biggest shard count drawn below.
+const KEYS: u32 = 4_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Adding shard `n` to an `n`-shard ring only *adds* ring points, so
+    /// a key whose owner changes must be owned by the new shard — and the
+    /// moved fraction stays near the ideal `1/(n+1)`.
+    fn adding_a_shard_remaps_only_a_bounded_fraction_and_only_to_the_new_shard(
+        shards in 1usize..9,
+        virtual_nodes in 1usize..129,
+    ) {
+        let before = Router::new(shards, virtual_nodes);
+        let after = Router::new(shards + 1, virtual_nodes);
+
+        let mut moved = 0u32;
+        for i in 0..KEYS {
+            let (b, a) = (before.route(TaskId(i)), after.route(TaskId(i)));
+            if b != a {
+                prop_assert_eq!(
+                    a, shards,
+                    "key {} moved from shard {} to old shard {} — \
+                     consistent hashing may only remap onto the new shard",
+                    i, b, a
+                );
+                moved += 1;
+            }
+        }
+
+        // Expectation is KEYS/(shards+1); few virtual nodes make the arc
+        // lengths lumpy, so allow a wide (but still "minority") envelope.
+        let frac = f64::from(moved) / f64::from(KEYS);
+        let ideal = 1.0 / (shards + 1) as f64;
+        prop_assert!(
+            frac <= (3.0 * ideal).min(0.75),
+            "remapped {:.1}% of keys (ideal {:.1}%) going {} -> {} shards with {} vnodes",
+            100.0 * frac, 100.0 * ideal, shards, shards + 1, virtual_nodes
+        );
+    }
+
+    /// Doubling the virtual-node count must not break determinism or
+    /// range: every key routes into `0..shards` identically across calls.
+    fn routing_stays_deterministic_and_in_range(
+        shards in 1usize..9,
+        virtual_nodes in 1usize..129,
+        probe in 0u32..100_000,
+    ) {
+        let r = Router::new(shards, virtual_nodes);
+        let s = r.route(TaskId(probe));
+        prop_assert!(s < shards);
+        prop_assert_eq!(s, r.route(TaskId(probe)));
+    }
+}

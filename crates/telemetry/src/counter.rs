@@ -1,0 +1,91 @@
+//! Lock-free scalar instruments: monotonic counters and peak/level
+//! gauges. One relaxed atomic op per update — safe to call from any
+//! thread, including solver and shard hot paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an instantaneous level or a running peak.
+///
+/// `set` overwrites; `raise` only ever increases (a peak tracker — the
+/// serve runtime uses it for peak queue depth and peak batch size).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to at least `value` (peak semantics).
+    pub fn raise(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_set_overwrites_but_raise_only_rises() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        g.raise(9);
+        g.raise(5);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn counters_are_send_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<Counter>();
+        assert_sync::<Gauge>();
+    }
+}

@@ -1,0 +1,153 @@
+//! A bounded structured event log with ring-buffer semantics: the most
+//! recent `capacity` events are retained, older ones are overwritten and
+//! counted as dropped. Pushing never blocks on a full buffer and never
+//! allocates beyond the event's own message.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Event severity, ordered from least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Diagnostic detail.
+    Debug,
+    /// Normal lifecycle milestones.
+    Info,
+    /// Degraded-but-functioning conditions (shedding, solver errors).
+    Warn,
+    /// Invariant violations and failures.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label, e.g. for JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (counts every event ever pushed, so gaps
+    /// in a snapshot reveal how many were overwritten before it).
+    pub seq: u64,
+    /// Microseconds since the owning registry was created.
+    pub at_us: u64,
+    /// Severity level.
+    pub severity: Severity,
+    /// Static component tag, e.g. `"serve.shard"`.
+    pub target: &'static str,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// The bounded ring buffer behind [`crate::Registry`]'s event log.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl EventLog {
+    /// Creates a log retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends an event; when full, the oldest event is overwritten and
+    /// counted in [`EventLog::dropped`].
+    pub fn push(&self, at_us: u64, severity: Severity, target: &'static str, message: String) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(Event { seq, at_us, severity, target, message });
+    }
+
+    /// Number of events overwritten so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total events ever pushed (retained + overwritten).
+    pub fn pushed(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Copies the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push(log: &EventLog, n: u64) {
+        for i in 0..n {
+            log.push(i, Severity::Info, "test", format!("event {i}"));
+        }
+    }
+
+    #[test]
+    fn retains_the_most_recent_events() {
+        let log = EventLog::new(3);
+        push(&log, 5);
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 2, "oldest two overwritten");
+        assert_eq!(events[2].seq, 4);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.pushed(), 5);
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let log = EventLog::new(8);
+        push(&log, 3);
+        assert_eq!(log.snapshot().len(), 3);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn severities_are_ordered() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Warn.as_str(), "warn");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let log = EventLog::new(0);
+        push(&log, 2);
+        assert_eq!(log.snapshot().len(), 1);
+        assert_eq!(log.dropped(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Exporters for [`RegistrySnapshot`]: machine-readable JSON-lines
+//! ([`RegistrySnapshot::to_jsonl`]) and a human-readable aligned table
+//! (the `Display` impl). Both are hand-rolled — this crate takes no
+//! dependencies, and the formats are small and stable.
+
+use crate::hist::HistogramSnapshot;
+use crate::registry::RegistrySnapshot;
+use std::fmt::{self, Write as _};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn phase_line(name: &str, h: &HistogramSnapshot, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"type\":\"phase\",\"name\":\"{name}\",\"count\":{},\"sum_us\":{},\"mean_us\":{},\
+         \"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{},\"buckets\":[",
+        h.count,
+        h.sum_us,
+        h.mean().as_micros(),
+        h.quantile(0.5).as_micros(),
+        h.quantile(0.9).as_micros(),
+        h.quantile(0.99).as_micros(),
+        h.max_bound().as_micros(),
+    );
+    for (i, b) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{b}");
+    }
+    out.push_str("]}\n");
+}
+
+impl RegistrySnapshot {
+    /// Serialises the snapshot as JSON-lines: one object per counter,
+    /// gauge, phase and event, then one trailing `meta` object.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{value}}}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "{{\"type\":\"gauge\",\"name\":\"{name}\",\"value\":{value}}}");
+        }
+        for (name, h) in &self.phases {
+            phase_line(name, h, &mut out);
+        }
+        for e in &self.events {
+            let _ = write!(
+                out,
+                "{{\"type\":\"event\",\"seq\":{},\"at_us\":{},\"severity\":\"{}\",\"target\":\"{}\",\
+                 \"message\":\"",
+                e.seq,
+                e.at_us,
+                e.severity.as_str(),
+                e.target,
+            );
+            escape_json(&e.message, &mut out);
+            out.push_str("\"}\n");
+        }
+        let _ = writeln!(out, "{{\"type\":\"meta\",\"events_dropped\":{}}}", self.events_dropped);
+        out
+    }
+}
+
+impl fmt::Display for RegistrySnapshot {
+    /// An aligned table: per-phase latency breakdown first (the part the
+    /// `telemetry_report` binary is for), then counters, gauges and the
+    /// retained events.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.phases.is_empty() {
+            writeln!(
+                f,
+                "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                "phase", "count", "mean", "p50", "p90", "p99", "max"
+            )?;
+            for (name, h) in &self.phases {
+                writeln!(
+                    f,
+                    "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                    name,
+                    h.count,
+                    format!("{:.3?}", h.mean()),
+                    format!("{:.3?}", h.quantile(0.5)),
+                    format!("{:.3?}", h.quantile(0.9)),
+                    format!("{:.3?}", h.quantile(0.99)),
+                    format!("{:.3?}", h.max_bound()),
+                )?;
+            }
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "counters")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name:<34} {value:>12}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges")?;
+            for (name, value) in &self.gauges {
+                writeln!(f, "  {name:<34} {value:>12}")?;
+            }
+        }
+        write!(f, "events ({} retained, {} dropped)", self.events.len(), self.events_dropped)?;
+        for e in &self.events {
+            write!(
+                f,
+                "\n  [{:>12.3?}] {:<5} {}: {}",
+                std::time::Duration::from_micros(e.at_us),
+                e.severity.as_str(),
+                e.target,
+                e.message
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::events::Severity;
+    use crate::registry::Registry;
+    use std::time::Duration;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("reqs").add(42);
+        r.gauge("depth").raise(7);
+        r.phase("solve").record(Duration::from_micros(100));
+        r.phase("solve").record(Duration::from_micros(300));
+        r.event(Severity::Warn, "test", "quoted \"message\"\nwith newline");
+        r
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line_and_escapes() {
+        let s = sample_registry().snapshot();
+        let jsonl = s.to_jsonl();
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "not an object: {line}");
+        }
+        assert!(jsonl.contains("\"type\":\"counter\",\"name\":\"reqs\",\"value\":42"));
+        assert!(jsonl.contains("\"type\":\"phase\",\"name\":\"solve\",\"count\":2"));
+        assert!(jsonl.contains("\"events_dropped\":0"));
+        if crate::enabled() {
+            assert!(jsonl.contains("quoted \\\"message\\\"\\nwith newline"), "escaped: {jsonl}");
+        }
+    }
+
+    #[test]
+    fn table_lists_phases_counters_gauges_events() {
+        let text = sample_registry().snapshot().to_string();
+        assert!(text.contains("phase"));
+        assert!(text.contains("solve"));
+        assert!(text.contains("reqs"));
+        assert!(text.contains("depth"));
+        assert!(text.contains("events ("));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let text = Registry::new().snapshot().to_string();
+        assert!(text.contains("events (0 retained, 0 dropped)"));
+        let jsonl = Registry::new().snapshot().to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1, "meta line only: {jsonl}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Fixed-bucket log-scale latency histograms (extracted from the serve
+//! runtime's bespoke metrics so every crate shares one implementation).
+//!
+//! Edge cases are part of the contract: a zero-duration sample lands in
+//! bucket 0, a `u64::MAX`-microsecond (or longer) sample lands in the
+//! overflow bucket, and no sample ever panics or is silently dropped.
+//! The running sum saturates instead of wrapping, so one pathological
+//! sample cannot corrupt the mean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: one sub-microsecond bucket, power-of-two
+/// buckets up to ~2.1 s, and one overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 23;
+
+/// The bucket a `us`-microsecond observation belongs to: bucket 0 for
+/// sub-microsecond, bucket `i >= 1` for `[2^(i-1) µs, 2^i µs)`, and the
+/// last bucket for everything from `2^21 µs` (~2.1 s) up — including
+/// `u64::MAX`.
+pub fn bucket_index(us: u64) -> usize {
+    (64 - us.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Lower bound (inclusive) of bucket `i` in microseconds.
+pub fn bucket_lower_us(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A fixed-bucket log-scale histogram over microsecond durations.
+///
+/// Recording is two relaxed atomic increments plus one saturating
+/// accumulate — safe from any worker thread, snapshotable from any other
+/// without stopping writers.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one observation given directly in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating, not wrapping: a u64::MAX sample must pin the sum at
+        // the ceiling rather than corrupt the mean of everything after it.
+        let _ =
+            self.sum_us.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| Some(s.saturating_add(us)));
+    }
+
+    /// Copies the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; see [`bucket_index`] for the bucket layout.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of all observations in microseconds.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum_us: 0 }
+    }
+
+    /// Mean observation, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_us / self.count)
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile
+    /// (`0 < p <= 1`), or zero when empty. Log-bucket resolution: the
+    /// estimate is within 2x of the true quantile.
+    pub fn quantile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_micros(1u64 << i);
+            }
+        }
+        Duration::from_micros(1u64 << (HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// Upper bound of the highest non-empty bucket, or zero when empty.
+    /// A cheap "max observation" within log-bucket resolution.
+    pub fn max_bound(&self) -> Duration {
+        for (i, &c) in self.buckets.iter().enumerate().rev() {
+            if c > 0 {
+                return Duration::from_micros(1u64 << i);
+            }
+        }
+        Duration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log_spaced() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(0)); // bucket 0
+        h.record(Duration::from_micros(1)); // bucket 1
+        h.record(Duration::from_micros(3)); // bucket 2
+        h.record(Duration::from_micros(1000)); // bucket 10
+        h.record(Duration::from_secs(100)); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_the_first_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::ZERO);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum_us, 0);
+        assert_eq!(s.quantile(0.5), Duration::from_micros(1), "bucket-0 upper bound");
+    }
+
+    #[test]
+    fn u64_max_lands_in_the_last_bucket_without_wrapping() {
+        let h = Histogram::new();
+        h.record_us(u64::MAX);
+        h.record_us(u64::MAX); // a second one must saturate, not wrap
+        h.record(Duration::MAX); // > u64::MAX µs, clamped into the overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 3);
+        assert_eq!(s.sum_us, u64::MAX, "sum saturates at the ceiling");
+        assert!(s.mean() >= Duration::from_micros(u64::MAX / 3));
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(1 << 20), 21);
+        assert_eq!(bucket_index(1 << 21), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_lower_us(i)), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(2 * bucket_lower_us(i) - 1), i, "upper bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_observations() {
+        let h = Histogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert!(s.quantile(0.5) >= Duration::from_micros(32));
+        assert!(s.quantile(0.5) <= Duration::from_micros(128));
+        assert!(s.quantile(1.0) >= Duration::from_micros(1000));
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), Duration::ZERO);
+        assert_eq!(HistogramSnapshot::empty().max_bound(), Duration::ZERO);
+        assert!(s.max_bound() >= Duration::from_micros(1000));
+    }
+}

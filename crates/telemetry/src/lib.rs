@@ -1,0 +1,183 @@
+//! # offloadnn-telemetry — unified tracing, counters and profiling hooks
+//!
+//! One shared observability layer for the whole workspace, replacing the
+//! ad-hoc reporting paths that used to live separately in `core`
+//! (`metrics.rs`/`report.rs`), `serve` (bespoke atomics) and `emu`:
+//!
+//! * **Counters & gauges** ([`Counter`], [`Gauge`]) — one relaxed atomic
+//!   op per update, behind a typed [`Registry`].
+//! * **Spans** ([`Span`], [`span!`]) — scoped monotonic timers that
+//!   aggregate into per-phase log-bucket histograms ([`Histogram`]); the
+//!   solver's clique/tree/alloc phases and the serve runtime's
+//!   ingress/batch/drain paths record through these.
+//! * **Events** ([`Registry::event`], [`event!`]) — a bounded ring-buffer
+//!   structured log with severity levels; overflow overwrites the oldest
+//!   record and counts it, never blocks.
+//! * **Exporters** — JSON-lines ([`RegistrySnapshot::to_jsonl`]) and a
+//!   human-readable table (`Display` on [`RegistrySnapshot`]).
+//!
+//! ## Cost when off
+//!
+//! [`set_enabled`]`(false)` reduces every instrumented hot path to one
+//! predictable branch (no clock reads, no allocation). Building with the
+//! `disabled` feature makes [`enabled`] a constant `false`, so the
+//! instrumentation folds out at compile time. The data primitives stay
+//! real in both configurations: runtimes (e.g. `offloadnn-serve`) use
+//! [`Counter`]/[`Histogram`] for functional accounting such as the
+//! conservation invariant, which must hold with telemetry on *and* off.
+//!
+//! ```
+//! use offloadnn_telemetry as telemetry;
+//!
+//! {
+//!     let _span = telemetry::span!("demo.phase"); // records on drop
+//!     telemetry::count!("demo.items");
+//!     telemetry::event!(telemetry::Severity::Info, "demo", "processed {} item(s)", 1);
+//! }
+//!
+//! let snapshot = telemetry::global().snapshot();
+//! println!("{snapshot}");              // aligned per-phase table
+//! println!("{}", snapshot.to_jsonl()); // machine-readable JSON lines
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod counter;
+mod events;
+mod export;
+mod hist;
+mod registry;
+mod span;
+
+pub use counter::{Counter, Gauge};
+pub use events::{Event, EventLog, Severity};
+pub use hist::{bucket_index, bucket_lower_us, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use registry::{Registry, RegistrySnapshot, DEFAULT_EVENT_CAPACITY};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether instrumentation records anything right now. Constant `false`
+/// when the `disabled` feature is on; otherwise the runtime switch set by
+/// [`set_enabled`] (default `true`).
+pub fn enabled() -> bool {
+    if cfg!(feature = "disabled") {
+        return false;
+    }
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off at runtime (process-wide). Has no effect
+/// under the `disabled` feature, where telemetry is compiled out.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide registry that the [`span!`], [`count!`] and
+/// [`event!`] macros record into. Created on first use. Runtimes needing
+/// isolated accounting (one fleet per test, say) create their own
+/// [`Registry`] instead.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Starts a [`Span`] on the named phase of the [`global`] registry.
+///
+/// The histogram handle is resolved once and cached in a local static, so
+/// steady-state cost is one branch + two clock reads + one atomic record
+/// — no registry lookup. With telemetry off it is one branch.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        if $crate::enabled() {
+            static __PHASE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+                ::std::sync::OnceLock::new();
+            $crate::Span::on(__PHASE.get_or_init(|| $crate::global().phase($name)))
+        } else {
+            $crate::Span::noop()
+        }
+    }};
+}
+
+/// Increments the named counter of the [`global`] registry by one (or by
+/// an explicit amount), with the same local-static handle caching as
+/// [`span!`]. Gated on [`enabled`]: use it for *observational* counts on
+/// hot paths; functional accounting should hold its own [`Counter`].
+#[macro_export]
+macro_rules! count {
+    ($name:literal) => {
+        $crate::count!($name, 1)
+    };
+    ($name:literal, $n:expr) => {{
+        if $crate::enabled() {
+            static __COUNTER: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+                ::std::sync::OnceLock::new();
+            __COUNTER.get_or_init(|| $crate::global().counter($name)).add($n);
+        }
+    }};
+}
+
+/// Appends a formatted event to the [`global`] registry's ring buffer.
+/// The format arguments are not evaluated while telemetry is off.
+#[macro_export]
+macro_rules! event {
+    ($severity:expr, $target:literal, $($arg:tt)+) => {{
+        if $crate::enabled() {
+            $crate::global().event($severity, $target, ::std::format!($($arg)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macros_record_into_the_global_registry() {
+        {
+            let _span = span!("lib.test.phase");
+        }
+        count!("lib.test.count", 3);
+        event!(Severity::Debug, "lib.test", "value {}", 7);
+        let snap = global().snapshot();
+        let phase = snap.phases.iter().find(|(n, _)| *n == "lib.test.phase");
+        let counter = snap.counters.iter().find(|(n, _)| *n == "lib.test.count");
+        if enabled() {
+            assert!(phase.is_some_and(|(_, h)| h.count >= 1));
+            assert!(counter.is_some_and(|(_, v)| *v >= 3));
+            assert!(snap.events.iter().any(|e| e.target == "lib.test" && e.message == "value 7"));
+        } else {
+            assert!(phase.is_none());
+            assert!(counter.is_none());
+        }
+    }
+
+    #[cfg(not(feature = "disabled"))]
+    #[test]
+    fn runtime_switch_stops_recording() {
+        // Serialise against other tests touching the global switch.
+        set_enabled(false);
+        {
+            let span = span!("lib.test.disabled-phase");
+            assert!(!span.is_recording());
+        }
+        count!("lib.test.disabled-count");
+        set_enabled(true);
+        let snap = global().snapshot();
+        assert!(!snap.phases.iter().any(|(n, _)| *n == "lib.test.disabled-phase"));
+        assert!(!snap.counters.iter().any(|(n, _)| *n == "lib.test.disabled-count"));
+    }
+
+    #[cfg(feature = "disabled")]
+    #[test]
+    fn disabled_feature_is_a_constant_off() {
+        assert!(!enabled());
+        set_enabled(true); // must have no effect
+        assert!(!enabled());
+    }
+}

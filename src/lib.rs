@@ -12,6 +12,10 @@
 //! * [`emu`] — the discrete-event edge/radio emulator.
 //! * [`serve`] — the sharded admission-control service runtime
 //!   (batching, backpressure, metrics, load generation).
+//! * [`telemetry`] — zero-dependency instrumentation: lock-free
+//!   counters/gauges, phase span histograms, ring-buffer event log and
+//!   JSONL/table exporters (compile out with the `telemetry-disabled`
+//!   feature).
 //!
 //! ```
 //! use offloadnn::core::{scenario::small_scenario, OffloadnnSolver};
@@ -34,3 +38,4 @@ pub use offloadnn_profiler as profiler;
 pub use offloadnn_radio as radio;
 pub use offloadnn_semoran as semoran;
 pub use offloadnn_serve as serve;
+pub use offloadnn_telemetry as telemetry;
