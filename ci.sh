@@ -24,6 +24,9 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> net integration gate: loopback server/client conservation under a hard timeout"
+timeout 300 cargo test -q -p offloadnn-net --test loopback
+
 echo "==> telemetry overhead gate: workspace builds and tier-1 passes with telemetry compiled out"
 cargo build --workspace --features telemetry-disabled
 cargo test -q --features telemetry-disabled

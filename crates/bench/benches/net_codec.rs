@@ -1,0 +1,81 @@
+//! Wire-codec throughput: how fast do admission frames encode and
+//! decode? Submit frames dominate the ingress path (a whole task plus
+//! its candidate paths per frame), outcome frames the egress; the
+//! streaming case measures the reassembly loop a connection reader runs
+//! over a coalesced burst of frames.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use offloadnn_core::scenario::small_scenario;
+use offloadnn_net::codec::{self, Frame, OutcomeResponse, SubmitRequest};
+use offloadnn_serve::Outcome;
+use std::hint::black_box;
+
+fn submit_frame(ues: usize) -> Frame {
+    let s = small_scenario(ues);
+    Frame::Submit(SubmitRequest {
+        request_id: 42,
+        deadline_us: 2_000_000,
+        task: s.instance.tasks[0].clone(),
+        options: s.instance.options[0].clone(),
+    })
+}
+
+fn outcome_frame() -> Frame {
+    Frame::Outcome(OutcomeResponse {
+        request_id: 42,
+        outcome: Outcome::Admitted { admission: 0.75, rbs: 3.5, shard: 2 },
+    })
+}
+
+fn bench_net_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_codec");
+
+    for ues in [2usize, 5] {
+        let frame = submit_frame(ues);
+        let bytes = codec::encode(&frame);
+        group.bench_with_input(BenchmarkId::new("encode_submit", ues), &frame, |b, frame| {
+            b.iter(|| codec::encode(black_box(frame)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode_submit", ues), &bytes, |b, bytes| {
+            b.iter(|| codec::decode_exact(black_box(bytes)).expect("valid frame"))
+        });
+    }
+
+    {
+        let frame = outcome_frame();
+        let bytes = codec::encode(&frame);
+        group.bench_function("encode_outcome", |b| b.iter(|| codec::encode(black_box(&frame))));
+        group.bench_function("decode_outcome", |b| {
+            b.iter(|| codec::decode_exact(black_box(&bytes)).expect("valid frame"))
+        });
+    }
+
+    // A reader's reassembly loop over one coalesced 64-frame burst.
+    {
+        let burst: Vec<u8> = (0..64u64)
+            .flat_map(|id| {
+                codec::encode(&Frame::Outcome(OutcomeResponse {
+                    request_id: id + 1,
+                    outcome: Outcome::Rejected { shard: id as usize % 4 },
+                }))
+            })
+            .collect();
+        group.bench_function("decode_stream_64", |b| {
+            b.iter(|| {
+                let mut rest: &[u8] = black_box(&burst);
+                let mut frames = 0u32;
+                while let Ok(Some((frame, consumed))) = codec::decode(rest) {
+                    black_box(frame);
+                    rest = &rest[consumed..];
+                    frames += 1;
+                }
+                assert_eq!(frames, 64);
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_net_codec);
+criterion_main!(benches);

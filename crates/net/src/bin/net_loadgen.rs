@@ -1,0 +1,339 @@
+//! Loopback load generator for the `offloadnn-net` TCP frontend.
+//!
+//! Starts a [`NetServer`] on an ephemeral loopback port, drives it with
+//! N concurrent [`Client`] connections pipelining admission submits,
+//! then drains and cross-checks the end-to-end conservation invariant:
+//!
+//! ```text
+//! offered = outcomes received + server-errored + transport-errored
+//! server.submitted = outcomes received  (per verdict class, exactly)
+//! ```
+//!
+//! Exits non-zero on any violation, so CI can gate on it.
+//!
+//! ```text
+//! cargo run --release -p offloadnn-net --bin net_loadgen -- \
+//!     --requests 20000 --clients 4 --shards 4
+//! ```
+
+use offloadnn_core::scenario::small_scenario;
+use offloadnn_core::task::TaskId;
+use offloadnn_net::{Client, ClientConfig, NetConfig, NetError, NetServer};
+use offloadnn_serve::{Outcome, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+net_loadgen — loopback load generator for the offloadnn-net TCP frontend
+
+USAGE: net_loadgen [OPTIONS]
+
+OPTIONS (all optional; defaults in brackets):
+  --requests N        total submits across all clients    [20000]
+  --clients N         concurrent client connections       [4]
+  --window N          per-client pipeline depth           [128]
+  --shards N          service worker shards               [4]
+  --ues N             UEs in the reference scenario       [5]
+  --deadline-ms N     client-shipped admission budget, ms
+                      (0 = server policy deadline)        [0]
+  --max-active N      admitted tasks kept per client
+                      before the oldest departs           [64]
+  --snapshot-every N  interleave a metrics snapshot every
+                      N submits per client (0 = never)    [0]
+  --queue-capacity N  per-shard ingress queue bound       [1024]
+  --batch-max N       max requests per solver round       [64]
+  --batch-window-us N batch assembly window, µs           [2000]
+  --seed N            RNG seed (task mix)                 [7]
+  -h, --help          print this help
+";
+
+struct Args {
+    requests: u64,
+    clients: usize,
+    window: usize,
+    shards: usize,
+    ues: usize,
+    deadline_ms: u64,
+    max_active: usize,
+    snapshot_every: u64,
+    queue_capacity: usize,
+    batch_max: usize,
+    batch_window_us: u64,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        let s = ServiceConfig::default();
+        Self {
+            requests: 20_000,
+            clients: 4,
+            window: 128,
+            shards: s.shards,
+            ues: 5,
+            deadline_ms: 0,
+            max_active: 64,
+            snapshot_every: 0,
+            queue_capacity: s.queue_capacity,
+            batch_max: s.batch_max,
+            batch_window_us: s.batch_window.as_micros() as u64,
+            seed: 7,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "-h" || flag == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
+        let bad = |e: &dyn std::fmt::Display| format!("{flag} {value}: {e}");
+        match flag.as_str() {
+            "--requests" => args.requests = value.parse().map_err(|e| bad(&e))?,
+            "--clients" => args.clients = value.parse().map_err(|e| bad(&e))?,
+            "--window" => args.window = value.parse().map_err(|e| bad(&e))?,
+            "--shards" => args.shards = value.parse().map_err(|e| bad(&e))?,
+            "--ues" => args.ues = value.parse().map_err(|e| bad(&e))?,
+            "--deadline-ms" => args.deadline_ms = value.parse().map_err(|e| bad(&e))?,
+            "--max-active" => args.max_active = value.parse().map_err(|e| bad(&e))?,
+            "--snapshot-every" => args.snapshot_every = value.parse().map_err(|e| bad(&e))?,
+            "--queue-capacity" => args.queue_capacity = value.parse().map_err(|e| bad(&e))?,
+            "--batch-max" => args.batch_max = value.parse().map_err(|e| bad(&e))?,
+            "--batch-window-us" => args.batch_window_us = value.parse().map_err(|e| bad(&e))?,
+            "--seed" => args.seed = value.parse().map_err(|e| bad(&e))?,
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if args.clients == 0 {
+        return Err("--clients must be >= 1".into());
+    }
+    if args.window == 0 {
+        return Err("--window must be >= 1".into());
+    }
+    Ok(args)
+}
+
+/// Per-client verdict tally, observed through the wire.
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    admitted: u64,
+    rejected: u64,
+    shed: u64,
+    expired: u64,
+    server_error: u64,
+    transport_error: u64,
+}
+
+impl Tally {
+    fn outcomes(&self) -> u64 {
+        self.admitted + self.rejected + self.shed + self.expired
+    }
+
+    fn merge(&mut self, o: Tally) {
+        self.admitted += o.admitted;
+        self.rejected += o.rejected;
+        self.shed += o.shed;
+        self.expired += o.expired;
+        self.server_error += o.server_error;
+        self.transport_error += o.transport_error;
+    }
+}
+
+/// How long a verdict may stay outstanding before the run declares the
+/// connection wedged (counts as a transport error, never hangs).
+const VERDICT_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    addr: std::net::SocketAddr,
+    client_idx: usize,
+    requests: u64,
+    args: &Args,
+    protos: &[(offloadnn_core::task::Task, Vec<offloadnn_core::instance::PathOption>)],
+) -> (Tally, u64) {
+    let client = match Client::connect(addr, ClientConfig::default()) {
+        Ok(c) => c,
+        Err(_) => {
+            let t = Tally { transport_error: requests, ..Tally::default() };
+            return (t, 0);
+        }
+    };
+    let deadline = (args.deadline_ms > 0).then(|| Duration::from_millis(args.deadline_ms));
+    let mut rng = StdRng::seed_from_u64(args.seed ^ (client_idx as u64).wrapping_mul(0x9E37_79B9));
+    let mut tally = Tally::default();
+    let mut departed = 0u64;
+    let mut pending = VecDeque::new();
+    let mut active: VecDeque<TaskId> = VecDeque::new();
+
+    let resolve = |p: offloadnn_net::PendingVerdict, tally: &mut Tally, active: &mut VecDeque<TaskId>| {
+        let task = p.task;
+        match p.wait_timeout(VERDICT_TIMEOUT) {
+            Ok(Outcome::Admitted { .. }) => {
+                tally.admitted += 1;
+                active.push_back(task);
+            }
+            Ok(Outcome::Rejected { .. }) => tally.rejected += 1,
+            Ok(Outcome::Shed { .. }) => tally.shed += 1,
+            Ok(Outcome::Expired { .. }) => tally.expired += 1,
+            Err(NetError::Server(_)) => tally.server_error += 1,
+            Err(_) => tally.transport_error += 1,
+        }
+    };
+
+    for i in 0..requests {
+        let proto = &protos[rng.random_range(0..protos.len())];
+        let mut task = proto.0.clone();
+        // Disjoint id spaces keep departures routable per client.
+        task.id = TaskId(u32::try_from(client_idx as u64 * 100_000_000 + i).unwrap_or(u32::MAX));
+        match client.submit(task, proto.1.clone(), deadline) {
+            Ok(p) => pending.push_back(p),
+            Err(_) => tally.transport_error += 1,
+        }
+        if pending.len() >= args.window {
+            if let Some(p) = pending.pop_front() {
+                resolve(p, &mut tally, &mut active);
+            }
+        }
+        while args.max_active > 0 && active.len() > args.max_active {
+            if let Some(id) = active.pop_front() {
+                if client.depart(id).is_ok() {
+                    departed += 1;
+                }
+            }
+        }
+        if args.snapshot_every > 0 && i % args.snapshot_every == args.snapshot_every - 1 {
+            let _ = client.snapshot();
+        }
+    }
+    while let Some(p) = pending.pop_front() {
+        resolve(p, &mut tally, &mut active);
+    }
+    client.close();
+    (tally, departed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let service_config = ServiceConfig {
+        shards: args.shards,
+        queue_capacity: args.queue_capacity,
+        batch_max: args.batch_max,
+        batch_window: Duration::from_micros(args.batch_window_us),
+        ..ServiceConfig::default()
+    };
+    if let Err(e) = service_config.validate() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+
+    let scenario = small_scenario(args.ues);
+    let protos: Vec<_> =
+        scenario.instance.tasks.iter().cloned().zip(scenario.instance.options.iter().cloned()).collect();
+
+    let server =
+        match NetServer::start(("127.0.0.1", 0), NetConfig::default(), service_config, &scenario.instance) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: failed to start server: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let addr = server.local_addr();
+    println!(
+        "net_loadgen: {} requests, {} client(s) x window {}, {} shard(s), seed {} — server {addr}",
+        args.requests, args.clients, args.window, args.shards, args.seed
+    );
+
+    let started = Instant::now();
+    let per_client = args.requests / args.clients as u64;
+    let remainder = args.requests % args.clients as u64;
+    let (mut tally, mut departed) = (Tally::default(), 0u64);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|idx| {
+                let share = per_client + u64::from((idx as u64) < remainder);
+                let (args, protos) = (&args, &protos);
+                scope.spawn(move || run_client(addr, idx, share, args, protos))
+            })
+            .collect();
+        for h in handles {
+            let (t, d) = h.join().expect("client thread");
+            tally.merge(t);
+            departed += d;
+        }
+    });
+    let wall = started.elapsed();
+
+    let report = server.shutdown();
+    let m = &report.metrics;
+    let submit_rate = args.requests as f64 / wall.as_secs_f64().max(1e-9);
+
+    println!("\n— run —");
+    println!(
+        "wall {:.3?}   offered {}   {:.0} submits/s   departed {departed}",
+        wall, args.requests, submit_rate
+    );
+    println!(
+        "outcomes: admitted {}  rejected {}  shed {}  expired {}  server-err {}  transport-err {}",
+        tally.admitted, tally.rejected, tally.shed, tally.expired, tally.server_error, tally.transport_error
+    );
+    println!("\n— server (post-drain) —\n{m}");
+    let telemetry = offloadnn_telemetry::global().snapshot();
+    println!("\n— client-side telemetry (net.encode / net.rtt) —\n{telemetry}");
+
+    // End-to-end conservation: every offered request is accounted for
+    // exactly once, and the wire-observed verdicts match the server's
+    // own counters class by class.
+    let mut violations = Vec::new();
+    if tally.outcomes() + tally.server_error + tally.transport_error != args.requests {
+        violations.push(format!(
+            "offered {} != outcomes {} + server-err {} + transport-err {}",
+            args.requests,
+            tally.outcomes(),
+            tally.server_error,
+            tally.transport_error
+        ));
+    }
+    if !m.is_conserved() {
+        violations.push(format!(
+            "server conservation violated: submitted {} != resolved {}",
+            m.submitted,
+            m.resolved()
+        ));
+    }
+    if tally.transport_error == 0 {
+        for (name, wire, server) in [
+            ("submitted", tally.outcomes(), m.submitted),
+            ("admitted", tally.admitted, m.admitted),
+            ("rejected", tally.rejected, m.rejected),
+            ("shed", tally.shed, m.shed),
+            ("expired", tally.expired, m.expired),
+        ] {
+            if wire != server {
+                violations.push(format!("{name}: wire saw {wire}, server counted {server}"));
+            }
+        }
+    }
+    if violations.is_empty() {
+        println!("\nconservation: OK");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("error: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,498 @@
+//! The client library: a pipelining connection to a [`crate::NetServer`]
+//! with per-request deadline propagation and reconnect with capped
+//! exponential backoff.
+//!
+//! ## Pipelining
+//!
+//! [`Client::submit`] writes the request and returns a
+//! [`PendingVerdict`] immediately; any number of requests may be in
+//! flight at once. A background reader thread demultiplexes responses by
+//! correlation id, so verdicts can be redeemed in any order. The server
+//! bounds each connection's in-flight window — a client pipelining past
+//! it is simply not read until verdicts flush, and the backpressure
+//! reaches [`Client::submit`] through the blocked socket write.
+//!
+//! ## Deadline propagation
+//!
+//! The optional per-submit deadline travels in the frame as a budget in
+//! microseconds. The server applies the *tighter* of that budget and its
+//! own policy deadline ([`offloadnn_serve::ServiceConfig::admission_deadline`]),
+//! so a client can shrink its admission window but never extend it.
+//!
+//! ## Reconnect
+//!
+//! Dialing (initial connect and any redial after the connection dies)
+//! retries with exponential backoff, doubling from
+//! [`ClientConfig::backoff_base`] up to [`ClientConfig::backoff_cap`],
+//! for at most [`ClientConfig::connect_attempts`] attempts. Requests
+//! that were in flight when a connection died resolve as
+//! [`NetError::Disconnected`] — a submit is not idempotent, so the
+//! client never silently replays one; the *next* request dials afresh.
+
+use crate::codec::{self, DepartRequest, DrainRequest, Frame, SnapshotRequest, SubmitRequest};
+use crate::error::NetError;
+use crossbeam::channel::{self, Receiver, Sender};
+use offloadnn_core::instance::PathOption;
+use offloadnn_core::task::{Task, TaskId};
+use offloadnn_serve::{MetricsSnapshot, Outcome};
+use offloadnn_telemetry::{event, Histogram, Severity};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Client`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Dial attempts (initial connect or redial) before giving up with
+    /// [`NetError::Disconnected`].
+    pub connect_attempts: u32,
+    /// Backoff before the second dial attempt; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling — the exponential doubling is capped here.
+    pub backoff_cap: Duration,
+    /// Socket read timeout — the cadence at which the reader thread
+    /// rechecks the close flag while idle.
+    pub read_timeout: Duration,
+    /// Socket write timeout; a server that cannot absorb a request this
+    /// long (window full and never draining it) fails the send.
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(1),
+            connect_attempts: 5,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+            read_timeout: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), NetError> {
+        if self.connect_timeout.is_zero() {
+            return Err(NetError::InvalidConfig("connect_timeout must be > 0"));
+        }
+        if self.connect_attempts == 0 {
+            return Err(NetError::InvalidConfig("connect_attempts must be >= 1"));
+        }
+        if self.backoff_base.is_zero() {
+            return Err(NetError::InvalidConfig("backoff_base must be > 0"));
+        }
+        if self.backoff_cap < self.backoff_base {
+            return Err(NetError::InvalidConfig("backoff_cap must be >= backoff_base"));
+        }
+        if self.read_timeout.is_zero() {
+            return Err(NetError::InvalidConfig("read_timeout must be > 0"));
+        }
+        if self.write_timeout.is_zero() {
+            return Err(NetError::InvalidConfig("write_timeout must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// The round-trip latency histogram (`net.rtt` on the global telemetry
+/// registry): submit write to verdict arrival.
+fn rtt_histogram() -> &'static Arc<Histogram> {
+    static RTT: OnceLock<Arc<Histogram>> = OnceLock::new();
+    RTT.get_or_init(|| offloadnn_telemetry::global().phase("net.rtt"))
+}
+
+/// Responses owed on one connection incarnation, keyed by correlation
+/// id. Owned jointly by the facade (inserts) and that incarnation's
+/// reader thread (removes + delivers; clears on exit). Per-incarnation
+/// so a reader that dies can only fail *its own* requests, never ones
+/// registered after a redial.
+type PendingMap = Arc<Mutex<HashMap<u64, Sender<Frame>>>>;
+
+/// One live connection: write half, reader thread, and the requests in
+/// flight on it.
+struct Conn {
+    stream: TcpStream,
+    reader: JoinHandle<()>,
+    /// Set by the reader when the connection dies (EOF, socket error,
+    /// protocol error or a connection-level server error).
+    dead: Arc<AtomicBool>,
+    pending: PendingMap,
+}
+
+/// A connection to a [`crate::NetServer`]. Submissions pipeline: each
+/// [`Client::submit`] returns a [`PendingVerdict`] redeemable in any
+/// order, and a dead connection is redialed (with backoff) on the next
+/// request. All methods take `&self` and are thread-safe; requests from
+/// multiple threads share the one connection and its in-flight window.
+pub struct Client {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Mutex<Option<Conn>>,
+    /// Tells the reader thread(s) to exit at their next timeout tick.
+    closing: Arc<AtomicBool>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+/// Handle to one pipelined submit; redeem it with
+/// [`PendingVerdict::wait`].
+#[derive(Debug)]
+pub struct PendingVerdict {
+    rx: Receiver<Frame>,
+    sent_at: Instant,
+    /// Id of the submitted task.
+    pub task: TaskId,
+    /// Correlation id the response will carry.
+    pub request_id: u64,
+}
+
+impl PendingVerdict {
+    fn interpret(self, frame: Frame) -> Result<Outcome, NetError> {
+        if offloadnn_telemetry::enabled() {
+            rtt_histogram().record(self.sent_at.elapsed());
+        }
+        match frame {
+            Frame::Outcome(r) => Ok(r.outcome),
+            Frame::Error(e) => Err(NetError::Server(e)),
+            other => Err(NetError::Disconnected(format!(
+                "unexpected {} frame in place of a verdict",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Blocks until the verdict (or a server error) arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Server`] if the server answered with an error frame
+    /// (e.g. it is draining), [`NetError::Disconnected`] if the
+    /// connection died before the verdict arrived.
+    pub fn wait(self) -> Result<Outcome, NetError> {
+        let frame = self
+            .rx
+            .recv()
+            .map_err(|_| NetError::Disconnected("connection died before the verdict".into()))?;
+        self.interpret(frame)
+    }
+
+    /// Like [`PendingVerdict::wait`] with a bound on the blocking time.
+    ///
+    /// # Errors
+    ///
+    /// As [`PendingVerdict::wait`], plus [`NetError::Disconnected`] on
+    /// timeout (the verdict may still arrive later; the handle is
+    /// consumed either way).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Outcome, NetError> {
+        let frame = self
+            .rx
+            .recv_timeout(timeout)
+            .map_err(|_| NetError::Disconnected("no verdict within the timeout".into()))?;
+        self.interpret(frame)
+    }
+}
+
+impl Client {
+    /// Resolves `addr` and dials it (with the configured backoff
+    /// schedule), returning a connected client.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidConfig`] for bad configuration,
+    /// [`NetError::Io`] if `addr` does not resolve,
+    /// [`NetError::Disconnected`] when every dial attempt failed.
+    pub fn connect(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, NetError> {
+        config.validate()?;
+        let addr =
+            addr.to_socket_addrs()?.next().ok_or(NetError::InvalidConfig("address resolved to nothing"))?;
+        let client = Self {
+            addr,
+            config,
+            conn: Mutex::new(None),
+            closing: Arc::new(AtomicBool::new(false)),
+            next_id: AtomicU64::new(1),
+        };
+        // Fail fast on an unreachable server instead of on first use.
+        let first = client.dial()?;
+        *client.conn.lock().expect("conn lock") = Some(first);
+        Ok(client)
+    }
+
+    /// The server address this client dials.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Dials with capped exponential backoff and spawns the connection's
+    /// reader thread.
+    fn dial(&self) -> Result<Conn, NetError> {
+        let mut delay = self.config.backoff_base;
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..self.config.connect_attempts {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(self.config.backoff_cap);
+            }
+            match TcpStream::connect_timeout(&self.addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                    let read_half = stream.try_clone().map_err(NetError::Io)?;
+                    read_half.set_read_timeout(Some(self.config.read_timeout)).map_err(NetError::Io)?;
+                    let dead = Arc::new(AtomicBool::new(false));
+                    let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+                    let reader = {
+                        let pending = Arc::clone(&pending);
+                        let dead = Arc::clone(&dead);
+                        let closing = Arc::clone(&self.closing);
+                        std::thread::Builder::new()
+                            .name("net-client-reader".into())
+                            .spawn(move || read_responses(read_half, &pending, &dead, &closing))
+                            .map_err(NetError::Io)?
+                    };
+                    event!(
+                        Severity::Info,
+                        "net.client",
+                        "connected to {} (attempt {})",
+                        self.addr,
+                        attempt + 1
+                    );
+                    return Ok(Conn { stream, reader, dead, pending });
+                }
+                Err(e) => {
+                    event!(
+                        Severity::Warn,
+                        "net.client",
+                        "dial {} failed (attempt {}): {e}",
+                        self.addr,
+                        attempt + 1
+                    );
+                    last = Some(e);
+                }
+            }
+        }
+        Err(NetError::Disconnected(format!(
+            "gave up dialing {} after {} attempt(s): {}",
+            self.addr,
+            self.config.connect_attempts,
+            last.map_or_else(|| "no attempt made".to_owned(), |e| e.to_string()),
+        )))
+    }
+
+    /// Writes one encoded frame on the live connection — redialing first
+    /// if the previous connection died — and, when the frame expects a
+    /// response, registers its correlation id on that same incarnation's
+    /// pending map (atomically with the write, so a reader death can
+    /// never orphan the slot on the wrong incarnation).
+    fn send(
+        &self,
+        request_id: u64,
+        bytes: &[u8],
+        want_reply: bool,
+    ) -> Result<Option<Receiver<Frame>>, NetError> {
+        let mut guard = self.conn.lock().expect("conn lock");
+        // Reap a dead connection before writing (its reader has already
+        // failed the requests pending on that incarnation).
+        if guard.as_ref().is_some_and(|c| c.dead.load(Ordering::Acquire)) {
+            if let Some(old) = guard.take() {
+                let _ = old.reader.join();
+            }
+        }
+        if guard.is_none() {
+            *guard = Some(self.dial()?);
+        }
+        let conn = guard.as_mut().expect("connection just established");
+        let rx = if want_reply {
+            let (tx, rx) = channel::bounded(1);
+            conn.pending.lock().expect("pending lock").insert(request_id, tx);
+            Some(rx)
+        } else {
+            None
+        };
+        match conn.stream.write_all(bytes) {
+            Ok(()) => Ok(rx),
+            Err(e) => {
+                // The write failed mid-frame: the connection's framing
+                // can no longer be trusted; tear it down. The reader's
+                // exit fails every other request pending on it.
+                conn.pending.lock().expect("pending lock").remove(&request_id);
+                conn.dead.store(true, Ordering::Release);
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                Err(NetError::Io(e))
+            }
+        }
+    }
+
+    /// Submits an admission request, pipelined: returns as soon as the
+    /// frame is written. `deadline` is the admission budget shipped to
+    /// the server (`None` = the server's policy deadline); the server
+    /// enforces the tighter of the two.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] / [`NetError::Disconnected`] when the frame
+    /// could not be written (after any redial attempts).
+    pub fn submit(
+        &self,
+        task: Task,
+        options: Vec<PathOption>,
+        deadline: Option<Duration>,
+    ) -> Result<PendingVerdict, NetError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let task_id = task.id;
+        let deadline_us = deadline.map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1));
+        let frame = Frame::Submit(SubmitRequest { request_id, deadline_us, task, options });
+        let bytes = codec::encode(&frame);
+        let sent_at = Instant::now();
+        let rx = self.send(request_id, &bytes, true)?.expect("reply slot requested");
+        Ok(PendingVerdict { rx, sent_at, task: task_id, request_id })
+    }
+
+    /// Sends a departure notice for an admitted task. Fire-and-forget:
+    /// the server releases the capacity and sends no response.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] / [`NetError::Disconnected`] when the frame
+    /// could not be written.
+    pub fn depart(&self, task: TaskId) -> Result<(), NetError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Depart(DepartRequest { request_id, task });
+        self.send(request_id, &codec::encode(&frame), false).map(|_| ())
+    }
+
+    /// Fetches a point-in-time metrics snapshot from the server
+    /// (blocking; pipelines fine behind in-flight submits).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as for [`Client::submit`];
+    /// [`NetError::Disconnected`] if the connection dies first.
+    pub fn snapshot(&self) -> Result<MetricsSnapshot, NetError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Snapshot(SnapshotRequest { request_id });
+        let rx = self.send(request_id, &codec::encode(&frame), true)?.expect("reply slot requested");
+        Self::wait_metrics(&rx).map(|(m, _)| m)
+    }
+
+    /// Asks the server to drain gracefully and blocks for the final
+    /// metrics snapshot, which the server sends only after every verdict
+    /// owed to this connection has been flushed.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as for [`Client::submit`].
+    pub fn drain(&self) -> Result<MetricsSnapshot, NetError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Drain(DrainRequest { request_id });
+        let rx = self.send(request_id, &codec::encode(&frame), true)?.expect("reply slot requested");
+        Self::wait_metrics(&rx).map(|(m, _)| m)
+    }
+
+    fn wait_metrics(rx: &Receiver<Frame>) -> Result<(MetricsSnapshot, bool), NetError> {
+        match rx.recv() {
+            Ok(Frame::Metrics(m)) => Ok((m.metrics, m.is_final)),
+            Ok(Frame::Error(e)) => Err(NetError::Server(e)),
+            Ok(other) => Err(NetError::Disconnected(format!(
+                "unexpected {} frame in place of metrics",
+                other.type_name()
+            ))),
+            Err(_) => Err(NetError::Disconnected("connection died before the metrics arrived".into())),
+        }
+    }
+
+    /// Closes the connection and joins the reader thread. Pending
+    /// verdicts resolve as [`NetError::Disconnected`]. Dropping the
+    /// client does the same.
+    pub fn close(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        self.closing.store(true, Ordering::Release);
+        if let Some(conn) = self.conn.lock().expect("conn lock").take() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            let _ = conn.reader.join();
+        }
+    }
+}
+
+/// The reader thread of one connection incarnation: decodes response
+/// frames and routes each to its pending request by correlation id. On
+/// exit (EOF, socket error, protocol error or client close), every
+/// request still pending on this incarnation is failed by dropping its
+/// sender.
+fn read_responses(
+    mut stream: TcpStream,
+    pending: &PendingMap,
+    dead: &Arc<AtomicBool>,
+    closing: &Arc<AtomicBool>,
+) {
+    let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    'conn: loop {
+        loop {
+            match codec::decode(&buf) {
+                Ok(Some((frame, consumed))) => {
+                    buf.drain(..consumed);
+                    let id = frame.request_id();
+                    // A connection-level error (id 0) has no owner; the
+                    // server closes the connection after sending it.
+                    if id == 0 {
+                        event!(Severity::Warn, "net.client", "connection-level server error: {frame:?}");
+                        break 'conn;
+                    }
+                    let slot = pending.lock().expect("pending lock").remove(&id);
+                    match slot {
+                        Some(tx) => {
+                            let _ = tx.send(frame);
+                        }
+                        None => {
+                            event!(Severity::Warn, "net.client", "response for unknown request {id}");
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    event!(Severity::Warn, "net.client", "protocol error from server, closing: {e}");
+                    break 'conn;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break 'conn,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => {
+                if closing.load(Ordering::Acquire) {
+                    break 'conn;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break 'conn,
+        }
+    }
+    dead.store(true, Ordering::Release);
+    let _ = stream.shutdown(Shutdown::Both);
+    // Fail everything this incarnation still owes: dropping the senders
+    // disconnects the receivers, surfacing NetError::Disconnected.
+    pending.lock().expect("pending lock").clear();
+}

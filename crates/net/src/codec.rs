@@ -1,0 +1,784 @@
+//! The versioned, length-prefixed binary frame codec.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "ODNN"
+//! 4       1     protocol version (= 1)
+//! 5       1     frame type
+//! 6       2     reserved (must be zero)
+//! 8       4     payload length N, little-endian (<= MAX_PAYLOAD)
+//! 12      N     payload (frame-type specific)
+//! 12+N    4     FNV-1a/32 checksum over bytes [0, 12+N)
+//! ```
+//!
+//! Requests ([`Frame::Submit`], [`Frame::Depart`], [`Frame::Snapshot`],
+//! [`Frame::Drain`]) and responses ([`Frame::Outcome`],
+//! [`Frame::Metrics`], [`Frame::Error`]) all start their payload with a
+//! `u64` correlation id chosen by the client, so requests can be
+//! pipelined and responses arrive in any order.
+//!
+//! The decoder never panics on malformed input: truncation, bad magic,
+//! version skew, unknown types, oversized length prefixes (outer and
+//! inner), checksum corruption and bad enum tags all surface as typed
+//! [`DecodeError`]s. [`decode`] is a *streaming* entry point — it returns
+//! `Ok(None)` while a frame is still incomplete — while [`decode_exact`]
+//! expects exactly one whole frame.
+
+use crate::error::DecodeError;
+use crate::wire::{fnv1a32, Reader, Writer};
+use offloadnn_core::instance::PathOption;
+use offloadnn_core::task::{QualityLevel, Task, TaskId};
+use offloadnn_dnn::block::{BlockId, GroupId, ModelId};
+use offloadnn_dnn::repository::DnnPath;
+use offloadnn_dnn::{Config, PathConfig};
+use offloadnn_radio::SnrDb;
+use offloadnn_serve::metrics::HistogramSnapshot;
+use offloadnn_serve::{MetricsSnapshot, Outcome, SubmitError, HISTOGRAM_BUCKETS};
+use offloadnn_telemetry::{count, span};
+use serde::{Deserialize, Serialize};
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"ODNN";
+
+/// The protocol revision this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Envelope bytes before the payload.
+pub const HEADER_LEN: usize = 12;
+
+/// Envelope bytes after the payload (the checksum).
+pub const TRAILER_LEN: usize = 4;
+
+/// Largest payload the codec accepts (16 MiB). A submit for a task with
+/// hundreds of candidate paths is a few hundred KiB; anything near this
+/// limit is garbage or abuse.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// The frame-type tags (byte 5 of the envelope). Requests are in
+/// `0x01..=0x3F`, responses in `0x41..=0x7F`.
+pub mod frame_type {
+    /// Admission request.
+    pub const SUBMIT: u8 = 0x01;
+    /// Departure notice.
+    pub const DEPART: u8 = 0x02;
+    /// Metrics snapshot request.
+    pub const SNAPSHOT: u8 = 0x03;
+    /// Graceful-drain request.
+    pub const DRAIN: u8 = 0x04;
+    /// Admission verdict response.
+    pub const OUTCOME: u8 = 0x41;
+    /// Metrics snapshot response.
+    pub const METRICS: u8 = 0x42;
+    /// Error response.
+    pub const ERROR: u8 = 0x43;
+}
+
+/// An admission request: a full task description plus its candidate
+/// paths, and the client-side admission-deadline budget in microseconds
+/// (`0` = use the server's policy deadline; otherwise the server enforces
+/// the *tighter* of the two).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitRequest {
+    /// Client-chosen correlation id echoed on the response.
+    pub request_id: u64,
+    /// Admission-deadline budget in µs (0 = server default).
+    pub deadline_us: u64,
+    /// The offloaded CV task and its requirements.
+    pub task: Task,
+    /// Candidate (path, quality) options for the task.
+    pub options: Vec<PathOption>,
+}
+
+/// A departure notice for a previously admitted task. Fire-and-forget:
+/// the server releases the capacity and sends no response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepartRequest {
+    /// Correlation id (unused — departures get no response — but kept so
+    /// every payload starts identically).
+    pub request_id: u64,
+    /// The departing task.
+    pub task: TaskId,
+}
+
+/// Asks for a point-in-time [`MetricsSnapshot`]; answered by
+/// [`Frame::Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotRequest {
+    /// Client-chosen correlation id echoed on the response.
+    pub request_id: u64,
+}
+
+/// Begins a graceful server drain: ingress closes, every in-flight
+/// outcome is flushed to its client, and the drain initiator receives a
+/// final [`Frame::Metrics`] with [`MetricsResponse::is_final`] set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainRequest {
+    /// Client-chosen correlation id echoed on the final metrics frame.
+    pub request_id: u64,
+}
+
+/// The verdict of one submit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutcomeResponse {
+    /// Correlation id of the submit this answers.
+    pub request_id: u64,
+    /// The admission verdict.
+    pub outcome: Outcome,
+}
+
+/// A metrics snapshot (answer to [`Frame::Snapshot`] or, with
+/// [`MetricsResponse::is_final`], to [`Frame::Drain`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsResponse {
+    /// Correlation id of the request this answers.
+    pub request_id: u64,
+    /// Whether this is the final snapshot of a drained server (no further
+    /// frames follow on this connection).
+    pub is_final: bool,
+    /// The service metrics.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Machine-readable reason of an [`ErrorResponse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The service is draining and no longer accepts submits.
+    Draining,
+    /// The submit carried no candidate path options.
+    NoOptions,
+    /// The peer sent bytes the codec rejected (connection closes after
+    /// this frame).
+    Malformed,
+    /// The server is at its connection limit (connection closes after
+    /// this frame).
+    TooManyConnections,
+    /// An internal server failure (e.g. a worker died mid-request).
+    Internal,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::Draining => 0,
+            ErrorCode::NoOptions => 1,
+            ErrorCode::Malformed => 2,
+            ErrorCode::TooManyConnections => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, DecodeError> {
+        Ok(match tag {
+            0 => ErrorCode::Draining,
+            1 => ErrorCode::NoOptions,
+            2 => ErrorCode::Malformed,
+            3 => ErrorCode::TooManyConnections,
+            4 => ErrorCode::Internal,
+            got => return Err(DecodeError::BadEnumTag { what: "error code", got }),
+        })
+    }
+}
+
+impl From<SubmitError> for ErrorCode {
+    fn from(e: SubmitError) -> Self {
+        match e {
+            SubmitError::Draining => ErrorCode::Draining,
+            SubmitError::NoOptions => ErrorCode::NoOptions,
+        }
+    }
+}
+
+/// A request-level or connection-level failure. `request_id` 0 marks a
+/// connection-level error (no specific request caused it).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Correlation id of the offending request, or 0.
+    pub request_id: u64,
+    /// Machine-readable reason.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Everything that can travel on the wire.
+///
+/// Frames are transient — decoded, dispatched and dropped — so the size
+/// skew from the histogram-carrying metrics variant is not worth the
+/// boxing churn at every match site.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// Admission request.
+    Submit(SubmitRequest),
+    /// Departure notice (fire-and-forget).
+    Depart(DepartRequest),
+    /// Metrics snapshot request.
+    Snapshot(SnapshotRequest),
+    /// Graceful-drain request.
+    Drain(DrainRequest),
+    /// Admission verdict.
+    Outcome(OutcomeResponse),
+    /// Metrics snapshot.
+    Metrics(MetricsResponse),
+    /// Request- or connection-level error.
+    Error(ErrorResponse),
+}
+
+impl Frame {
+    /// The wire tag of this frame's type.
+    pub fn frame_type(&self) -> u8 {
+        match self {
+            Frame::Submit(_) => frame_type::SUBMIT,
+            Frame::Depart(_) => frame_type::DEPART,
+            Frame::Snapshot(_) => frame_type::SNAPSHOT,
+            Frame::Drain(_) => frame_type::DRAIN,
+            Frame::Outcome(_) => frame_type::OUTCOME,
+            Frame::Metrics(_) => frame_type::METRICS,
+            Frame::Error(_) => frame_type::ERROR,
+        }
+    }
+
+    /// Short name of the frame type (telemetry labels, log lines).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Frame::Submit(_) => "submit",
+            Frame::Depart(_) => "depart",
+            Frame::Snapshot(_) => "snapshot",
+            Frame::Drain(_) => "drain",
+            Frame::Outcome(_) => "outcome",
+            Frame::Metrics(_) => "metrics",
+            Frame::Error(_) => "error",
+        }
+    }
+
+    /// The correlation id carried in the payload.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Frame::Submit(f) => f.request_id,
+            Frame::Depart(f) => f.request_id,
+            Frame::Snapshot(f) => f.request_id,
+            Frame::Drain(f) => f.request_id,
+            Frame::Outcome(f) => f.request_id,
+            Frame::Metrics(f) => f.request_id,
+            Frame::Error(f) => f.request_id,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- payloads
+
+fn put_quality(w: &mut Writer, q: &QualityLevel) {
+    w.put_f64(q.quality);
+    w.put_f64(q.bits);
+}
+
+fn get_quality(r: &mut Reader<'_>) -> Result<QualityLevel, DecodeError> {
+    Ok(QualityLevel { quality: r.f64("quality.quality")?, bits: r.f64("quality.bits")? })
+}
+
+fn put_task(w: &mut Writer, t: &Task) {
+    w.put_u32(t.id.0);
+    w.put_str(&t.name);
+    w.put_u32(t.group.0);
+    w.put_f64(t.priority);
+    w.put_f64(t.request_rate);
+    w.put_f64(t.min_accuracy);
+    w.put_f64(t.max_latency);
+    w.put_f64(t.snr.0);
+    w.put_seq_len(t.qualities.len());
+    for q in &t.qualities {
+        put_quality(w, q);
+    }
+    w.put_f64(t.difficulty);
+}
+
+fn get_task(r: &mut Reader<'_>) -> Result<Task, DecodeError> {
+    let id = TaskId(r.u32("task.id")?);
+    let name = r.string("task.name")?;
+    let group = GroupId(r.u32("task.group")?);
+    let priority = r.f64("task.priority")?;
+    let request_rate = r.f64("task.request_rate")?;
+    let min_accuracy = r.f64("task.min_accuracy")?;
+    let max_latency = r.f64("task.max_latency")?;
+    let snr = SnrDb(r.f64("task.snr")?);
+    let n = r.seq_len(16, "task.qualities")?;
+    let mut qualities = Vec::with_capacity(n);
+    for _ in 0..n {
+        qualities.push(get_quality(r)?);
+    }
+    let difficulty = r.f64("task.difficulty")?;
+    Ok(Task {
+        id,
+        name,
+        group,
+        priority,
+        request_rate,
+        min_accuracy,
+        max_latency,
+        snr,
+        qualities,
+        difficulty,
+    })
+}
+
+fn put_path_config(w: &mut Writer, c: &PathConfig) {
+    let tag = match c.config {
+        Config::A => 0u8,
+        Config::B => 1,
+        Config::C => 2,
+        Config::D => 3,
+        Config::E => 4,
+    };
+    w.put_u8(tag);
+    w.put_u8(u8::from(c.pruned));
+}
+
+fn get_path_config(r: &mut Reader<'_>) -> Result<PathConfig, DecodeError> {
+    let config = match r.u8("path.config")? {
+        0 => Config::A,
+        1 => Config::B,
+        2 => Config::C,
+        3 => Config::D,
+        4 => Config::E,
+        got => return Err(DecodeError::BadEnumTag { what: "path config", got }),
+    };
+    let pruned = match r.u8("path.pruned")? {
+        0 => false,
+        1 => true,
+        got => return Err(DecodeError::BadEnumTag { what: "path pruned flag", got }),
+    };
+    Ok(PathConfig { config, pruned })
+}
+
+fn put_option(w: &mut Writer, o: &PathOption) {
+    w.put_u32(o.path.model.0);
+    w.put_u32(o.path.group.0);
+    put_path_config(w, &o.path.config);
+    w.put_seq_len(o.path.blocks.len());
+    for b in &o.path.blocks {
+        w.put_u32(b.0);
+    }
+    put_quality(w, &o.quality);
+    w.put_f64(o.accuracy);
+    w.put_f64(o.proc_seconds);
+    w.put_f64(o.training_seconds);
+    w.put_str(&o.label);
+}
+
+fn get_option(r: &mut Reader<'_>) -> Result<PathOption, DecodeError> {
+    let model = ModelId(r.u32("option.model")?);
+    let group = GroupId(r.u32("option.group")?);
+    let config = get_path_config(r)?;
+    let n = r.seq_len(4, "option.blocks")?;
+    let mut blocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        blocks.push(BlockId(r.u32("option.block")?));
+    }
+    let path = DnnPath { model, group, config, blocks };
+    let quality = get_quality(r)?;
+    let accuracy = r.f64("option.accuracy")?;
+    let proc_seconds = r.f64("option.proc_seconds")?;
+    let training_seconds = r.f64("option.training_seconds")?;
+    let label = r.string("option.label")?;
+    Ok(PathOption { path, quality, accuracy, proc_seconds, training_seconds, label })
+}
+
+fn put_outcome(w: &mut Writer, o: &Outcome) {
+    match o {
+        Outcome::Admitted { admission, rbs, shard } => {
+            w.put_u8(0);
+            w.put_f64(*admission);
+            w.put_f64(*rbs);
+            w.put_u64(*shard as u64);
+        }
+        Outcome::Rejected { shard } => {
+            w.put_u8(1);
+            w.put_u64(*shard as u64);
+        }
+        Outcome::Shed { shard } => {
+            w.put_u8(2);
+            w.put_u64(*shard as u64);
+        }
+        Outcome::Expired { shard } => {
+            w.put_u8(3);
+            w.put_u64(*shard as u64);
+        }
+    }
+}
+
+fn get_outcome(r: &mut Reader<'_>) -> Result<Outcome, DecodeError> {
+    Ok(match r.u8("outcome.tag")? {
+        0 => {
+            let admission = r.f64("outcome.admission")?;
+            let rbs = r.f64("outcome.rbs")?;
+            let shard = r.u64("outcome.shard")? as usize;
+            Outcome::Admitted { admission, rbs, shard }
+        }
+        1 => Outcome::Rejected { shard: r.u64("outcome.shard")? as usize },
+        2 => Outcome::Shed { shard: r.u64("outcome.shard")? as usize },
+        3 => Outcome::Expired { shard: r.u64("outcome.shard")? as usize },
+        got => return Err(DecodeError::BadEnumTag { what: "outcome", got }),
+    })
+}
+
+fn put_histogram(w: &mut Writer, h: &HistogramSnapshot) {
+    w.put_seq_len(h.buckets.len());
+    for &b in &h.buckets {
+        w.put_u64(b);
+    }
+    w.put_u64(h.count);
+    w.put_u64(h.sum_us);
+}
+
+fn get_histogram(r: &mut Reader<'_>) -> Result<HistogramSnapshot, DecodeError> {
+    let n = r.seq_len(8, "histogram.buckets")?;
+    if n != HISTOGRAM_BUCKETS {
+        return Err(DecodeError::WrongLength {
+            what: "histogram.buckets",
+            got: n as u32,
+            want: HISTOGRAM_BUCKETS as u32,
+        });
+    }
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    for b in &mut buckets {
+        *b = r.u64("histogram.bucket")?;
+    }
+    let count = r.u64("histogram.count")?;
+    let sum_us = r.u64("histogram.sum_us")?;
+    Ok(HistogramSnapshot { buckets, count, sum_us })
+}
+
+fn put_metrics(w: &mut Writer, m: &MetricsSnapshot) {
+    w.put_u64(m.submitted);
+    w.put_u64(m.admitted);
+    w.put_u64(m.rejected);
+    w.put_u64(m.shed);
+    w.put_u64(m.expired);
+    w.put_u64(m.departed);
+    w.put_u64(m.solver_rounds);
+    w.put_u64(m.solver_errors);
+    w.put_u64(m.peak_queue_depth);
+    w.put_u64(m.peak_batch);
+    put_histogram(w, &m.latency);
+    put_histogram(w, &m.round_time);
+}
+
+fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, DecodeError> {
+    Ok(MetricsSnapshot {
+        submitted: r.u64("metrics.submitted")?,
+        admitted: r.u64("metrics.admitted")?,
+        rejected: r.u64("metrics.rejected")?,
+        shed: r.u64("metrics.shed")?,
+        expired: r.u64("metrics.expired")?,
+        departed: r.u64("metrics.departed")?,
+        solver_rounds: r.u64("metrics.solver_rounds")?,
+        solver_errors: r.u64("metrics.solver_errors")?,
+        peak_queue_depth: r.u64("metrics.peak_queue_depth")?,
+        peak_batch: r.u64("metrics.peak_batch")?,
+        latency: get_histogram(r)?,
+        round_time: get_histogram(r)?,
+    })
+}
+
+fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(frame.request_id());
+    match frame {
+        Frame::Submit(f) => {
+            w.put_u64(f.deadline_us);
+            put_task(&mut w, &f.task);
+            w.put_seq_len(f.options.len());
+            for o in &f.options {
+                put_option(&mut w, o);
+            }
+        }
+        Frame::Depart(f) => w.put_u32(f.task.0),
+        Frame::Snapshot(_) | Frame::Drain(_) => {}
+        Frame::Outcome(f) => put_outcome(&mut w, &f.outcome),
+        Frame::Metrics(f) => {
+            w.put_u8(u8::from(f.is_final));
+            put_metrics(&mut w, &f.metrics);
+        }
+        Frame::Error(f) => {
+            w.put_u8(f.code.tag());
+            w.put_str(&f.message);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
+    let mut r = Reader::new(payload);
+    let request_id = r.u64("request_id")?;
+    let frame = match frame_type {
+        frame_type::SUBMIT => {
+            let deadline_us = r.u64("submit.deadline_us")?;
+            let task = get_task(&mut r)?;
+            let n = r.seq_len(32, "submit.options")?;
+            let mut options = Vec::with_capacity(n);
+            for _ in 0..n {
+                options.push(get_option(&mut r)?);
+            }
+            Frame::Submit(SubmitRequest { request_id, deadline_us, task, options })
+        }
+        frame_type::DEPART => {
+            Frame::Depart(DepartRequest { request_id, task: TaskId(r.u32("depart.task")?) })
+        }
+        frame_type::SNAPSHOT => Frame::Snapshot(SnapshotRequest { request_id }),
+        frame_type::DRAIN => Frame::Drain(DrainRequest { request_id }),
+        frame_type::OUTCOME => Frame::Outcome(OutcomeResponse { request_id, outcome: get_outcome(&mut r)? }),
+        frame_type::METRICS => {
+            let is_final = match r.u8("metrics.is_final")? {
+                0 => false,
+                1 => true,
+                got => return Err(DecodeError::BadEnumTag { what: "metrics final flag", got }),
+            };
+            Frame::Metrics(MetricsResponse { request_id, is_final, metrics: get_metrics(&mut r)? })
+        }
+        frame_type::ERROR => {
+            let code = ErrorCode::from_tag(r.u8("error.code")?)?;
+            let message = r.string("error.message")?;
+            Frame::Error(ErrorResponse { request_id, code, message })
+        }
+        got => return Err(DecodeError::UnknownFrameType { got }),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------- envelope
+
+/// Wraps an already-encoded payload in the envelope (header + checksum).
+/// Exposed so tests can frame hand-crafted hostile payloads with a valid
+/// checksum; production code uses [`encode`].
+pub fn encode_raw(frame_type: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(frame_type);
+    buf.extend_from_slice(&[0, 0]); // reserved
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let checksum = fnv1a32(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
+/// Per-frame-type transmit counters (`net.tx.<type>`). The `count!`
+/// macro needs literal names, hence the match.
+fn count_tx(frame: &Frame) {
+    match frame {
+        Frame::Submit(_) => count!("net.tx.submit"),
+        Frame::Depart(_) => count!("net.tx.depart"),
+        Frame::Snapshot(_) => count!("net.tx.snapshot"),
+        Frame::Drain(_) => count!("net.tx.drain"),
+        Frame::Outcome(_) => count!("net.tx.outcome"),
+        Frame::Metrics(_) => count!("net.tx.metrics"),
+        Frame::Error(_) => count!("net.tx.error"),
+    }
+}
+
+/// Per-frame-type receive counters (`net.rx.<type>`).
+fn count_rx(frame: &Frame) {
+    match frame {
+        Frame::Submit(_) => count!("net.rx.submit"),
+        Frame::Depart(_) => count!("net.rx.depart"),
+        Frame::Snapshot(_) => count!("net.rx.snapshot"),
+        Frame::Drain(_) => count!("net.rx.drain"),
+        Frame::Outcome(_) => count!("net.rx.outcome"),
+        Frame::Metrics(_) => count!("net.rx.metrics"),
+        Frame::Error(_) => count!("net.rx.error"),
+    }
+}
+
+/// Encodes one frame into its wire bytes.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let _span = span!("net.encode");
+    count_tx(frame);
+    encode_raw(frame.frame_type(), &encode_payload(frame))
+}
+
+/// Streaming decode: parses one frame off the front of `buf`.
+///
+/// * `Ok(None)` — the buffer does not yet hold a complete frame (read
+///   more bytes and retry). Header fields that have already arrived are
+///   still validated, so garbage fails fast without waiting for a bogus
+///   payload length to "complete".
+/// * `Ok(Some((frame, consumed)))` — one frame, and how many bytes of
+///   `buf` it used.
+/// * `Err(_)` — the bytes are not a valid frame; the stream cannot be
+///   re-synchronised and the connection should close.
+///
+/// # Errors
+///
+/// Any [`DecodeError`]; never panics, whatever the input.
+pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+    let _span = span!("net.decode");
+    if buf.len() < HEADER_LEN {
+        // Validate the prefix that *has* arrived so garbage fails fast.
+        if !buf.is_empty() && buf[..buf.len().min(4)] != MAGIC[..buf.len().min(4)] {
+            let mut got = [0u8; 4];
+            got[..buf.len().min(4)].copy_from_slice(&buf[..buf.len().min(4)]);
+            return Err(DecodeError::BadMagic { got });
+        }
+        return Ok(None);
+    }
+    if buf[..4] != MAGIC {
+        return Err(DecodeError::BadMagic { got: [buf[0], buf[1], buf[2], buf[3]] });
+    }
+    if buf[4] != VERSION {
+        return Err(DecodeError::UnsupportedVersion { got: buf[4] });
+    }
+    if buf[6] != 0 || buf[7] != 0 {
+        return Err(DecodeError::NonZeroReserved);
+    }
+    let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    if len > MAX_PAYLOAD {
+        return Err(DecodeError::OversizedPayload { len });
+    }
+    let total = HEADER_LEN + len as usize + TRAILER_LEN;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body_end = HEADER_LEN + len as usize;
+    let expected = fnv1a32(&buf[..body_end]);
+    let got = u32::from_le_bytes([buf[body_end], buf[body_end + 1], buf[body_end + 2], buf[body_end + 3]]);
+    if expected != got {
+        return Err(DecodeError::BadChecksum { expected, got });
+    }
+    let frame = decode_payload(buf[5], &buf[HEADER_LEN..body_end])?;
+    count_rx(&frame);
+    Ok(Some((frame, total)))
+}
+
+/// Decodes a buffer expected to hold exactly one whole frame.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] if the buffer is incomplete,
+/// [`DecodeError::TrailingBytes`] if bytes follow the frame, and any
+/// streaming [`decode`] error otherwise. Never panics.
+pub fn decode_exact(buf: &[u8]) -> Result<Frame, DecodeError> {
+    match decode(buf)? {
+        Some((frame, consumed)) if consumed == buf.len() => Ok(frame),
+        Some((_, consumed)) => Err(DecodeError::TrailingBytes { extra: buf.len() - consumed }),
+        None => Err(DecodeError::Truncated { field: "frame" }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offloadnn_core::scenario::small_scenario;
+
+    pub(crate) fn sample_submit() -> Frame {
+        let s = small_scenario(3);
+        Frame::Submit(SubmitRequest {
+            request_id: 42,
+            deadline_us: 1_500_000,
+            task: s.instance.tasks[1].clone(),
+            options: s.instance.options[1].clone(),
+        })
+    }
+
+    fn sample_metrics() -> MetricsSnapshot {
+        let mut latency = HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum_us: 0 };
+        latency.buckets[3] = 17;
+        latency.count = 17;
+        latency.sum_us = 1234;
+        MetricsSnapshot {
+            submitted: 100,
+            admitted: 60,
+            rejected: 20,
+            shed: 15,
+            expired: 5,
+            departed: 30,
+            solver_rounds: 9,
+            solver_errors: 0,
+            peak_queue_depth: 77,
+            peak_batch: 64,
+            latency,
+            round_time: HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum_us: 0 },
+        }
+    }
+
+    pub(crate) fn sample_frames() -> Vec<Frame> {
+        vec![
+            sample_submit(),
+            Frame::Depart(DepartRequest { request_id: 7, task: TaskId(99) }),
+            Frame::Snapshot(SnapshotRequest { request_id: 8 }),
+            Frame::Drain(DrainRequest { request_id: 9 }),
+            Frame::Outcome(OutcomeResponse {
+                request_id: 42,
+                outcome: Outcome::Admitted { admission: 0.75, rbs: 12.5, shard: 3 },
+            }),
+            Frame::Outcome(OutcomeResponse { request_id: 43, outcome: Outcome::Expired { shard: 1 } }),
+            Frame::Metrics(MetricsResponse { request_id: 8, is_final: true, metrics: sample_metrics() }),
+            Frame::Error(ErrorResponse {
+                request_id: 44,
+                code: ErrorCode::Draining,
+                message: "service is draining".to_owned(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_frame_type_round_trips() {
+        for frame in sample_frames() {
+            let bytes = encode(&frame);
+            let decoded = decode_exact(&bytes).expect("round trip");
+            assert_eq!(decoded, frame);
+            // Streaming decode agrees on the byte count.
+            let (streamed, consumed) = decode(&bytes).unwrap().expect("complete");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(streamed, frame);
+        }
+    }
+
+    #[test]
+    fn streaming_decode_waits_for_a_whole_frame() {
+        let bytes = encode(&sample_submit());
+        for cut in 0..bytes.len() {
+            let r = decode(&bytes[..cut]);
+            assert_eq!(r, Ok(None), "prefix of {cut} bytes must be incomplete, not an error");
+        }
+    }
+
+    #[test]
+    fn two_frames_back_to_back_parse_in_order() {
+        let a = Frame::Snapshot(SnapshotRequest { request_id: 1 });
+        let b = Frame::Drain(DrainRequest { request_id: 2 });
+        let mut bytes = encode(&a);
+        bytes.extend_from_slice(&encode(&b));
+        let (first, used) = decode(&bytes).unwrap().unwrap();
+        assert_eq!(first, a);
+        let (second, used2) = decode(&bytes[used..]).unwrap().unwrap();
+        assert_eq!(second, b);
+        assert_eq!(used + used2, bytes.len());
+    }
+
+    #[test]
+    fn foreign_histogram_bucket_count_is_rejected() {
+        let mut w = Writer::new();
+        w.put_u64(5); // request id
+        w.put_u8(0); // not final
+        for _ in 0..10 {
+            w.put_u64(1);
+        }
+        w.put_seq_len(4); // wrong bucket count
+        for _ in 0..4 {
+            w.put_u64(0);
+        }
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u64(0);
+        let bytes = encode_raw(frame_type::METRICS, &w.into_bytes());
+        assert!(matches!(
+            decode_exact(&bytes),
+            Err(DecodeError::WrongLength { what: "histogram.buckets", .. })
+        ));
+    }
+}

@@ -1,0 +1,445 @@
+//! The multithreaded TCP frontend over [`offloadnn_serve::Service`].
+//!
+//! ## Threading model
+//!
+//! ```text
+//! acceptor thread ──┬── conn-0 reader ── conn-0 writer
+//!                   ├── conn-1 reader ── conn-1 writer
+//!                   └── ...                 │
+//!                        │                  └─ waits Tickets, encodes
+//!                        └─ decodes frames,    responses, writes
+//!                           submits to Service
+//! ```
+//!
+//! One acceptor thread owns the listener. Each accepted connection gets a
+//! *reader* thread (decodes frames, feeds the service) and a *writer*
+//! thread (redeems [`Ticket`]s for verdicts and writes responses). The
+//! channel between them is bounded by [`NetConfig::inflight_window`]: a
+//! client that pipelines more submits than the window simply stops being
+//! read — backpressure propagates through the TCP receive buffer instead
+//! of growing server memory.
+//!
+//! ## Drain semantics
+//!
+//! A [`Frame::Drain`] request (or [`NetServer::shutdown`]) fences the
+//! ingress via [`Service::begin_drain`]: subsequent submits are answered
+//! [`ErrorCode::Draining`], while every request already inside the
+//! service still resolves and its outcome is *flushed to the client*
+//! before the connection closes — the writer thread drains its whole
+//! queue before exiting, so drain never strands an in-flight verdict.
+
+use crate::codec::{self, ErrorCode, ErrorResponse, Frame, MetricsResponse, OutcomeResponse};
+use crate::error::NetError;
+use crossbeam::channel::{self, Receiver, Sender};
+use offloadnn_core::instance::DotInstance;
+use offloadnn_serve::{DrainReport, Service, ServiceConfig, Ticket};
+use offloadnn_telemetry::{event, Severity};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of the TCP frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Maximum simultaneously served connections; further connects are
+    /// answered [`ErrorCode::TooManyConnections`] and closed.
+    pub max_connections: usize,
+    /// Bound of each connection's submitted-but-unanswered window. A
+    /// client pipelining past it stops being read until verdicts flush
+    /// (backpressure through the socket, not server memory).
+    pub inflight_window: usize,
+    /// Socket read timeout — the cadence at which an idle reader rechecks
+    /// the shutdown/drain flags.
+    pub read_timeout: Duration,
+    /// Socket write timeout; a connection that cannot absorb its
+    /// responses this long is considered dead.
+    pub write_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 256,
+            inflight_window: 256,
+            read_timeout: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), NetError> {
+        if self.max_connections == 0 {
+            return Err(NetError::InvalidConfig("max_connections must be >= 1"));
+        }
+        if self.inflight_window == 0 {
+            return Err(NetError::InvalidConfig("inflight_window must be >= 1"));
+        }
+        if self.read_timeout.is_zero() {
+            return Err(NetError::InvalidConfig("read_timeout must be > 0"));
+        }
+        if self.write_timeout.is_zero() {
+            return Err(NetError::InvalidConfig("write_timeout must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// What a reader queues for its connection's writer thread.
+#[allow(clippy::large_enum_variant)] // transient, bounded queue; see Frame
+enum WriterMsg {
+    /// A submitted request: redeem the ticket, send the outcome.
+    Verdict { request_id: u64, ticket: Ticket },
+    /// An already-built response frame.
+    Reply(Frame),
+    /// Snapshot the service *at send time* and reply with a final
+    /// metrics frame (the drain acknowledgement).
+    FinalMetrics { request_id: u64 },
+}
+
+/// State shared by the acceptor and every connection thread.
+struct Shared {
+    service: Service,
+    net: NetConfig,
+    admission_deadline: Duration,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running TCP frontend. Start with [`NetServer::start`]; stop with
+/// [`NetServer::shutdown`], which drains the underlying service and
+/// returns its final [`DrainReport`].
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer").field("local_addr", &self.local_addr).finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — see
+    /// [`NetServer::local_addr`]), starts the shard fleet and the
+    /// acceptor thread.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidConfig`] for bad configuration,
+    /// [`NetError::Io`] if the bind fails.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        net: NetConfig,
+        service_config: ServiceConfig,
+        template: &DotInstance,
+    ) -> Result<Self, NetError> {
+        net.validate()?;
+        let service = Service::start(service_config, template).map_err(|e| {
+            NetError::InvalidConfig(match e {
+                offloadnn_serve::ServeError::InvalidConfig(what) => what,
+            })
+        })?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            net,
+            admission_deadline: service_config.admission_deadline,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("net-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        event!(
+            Severity::Info,
+            "net.server",
+            "listening on {local_addr}: {} conn(s) max, window {}",
+            net.max_connections,
+            net.inflight_window
+        );
+        Ok(Self { local_addr, shared, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Point-in-time metrics of the underlying service.
+    pub fn metrics(&self) -> offloadnn_serve::MetricsSnapshot {
+        self.shared.service.metrics()
+    }
+
+    /// Whether a drain has begun (via [`Frame::Drain`] or
+    /// [`NetServer::shutdown`]).
+    pub fn is_draining(&self) -> bool {
+        self.shared.service.is_draining()
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Gracefully stops the frontend: fences the ingress, wakes and joins
+    /// the acceptor, lets every connection flush its in-flight outcomes
+    /// to its client, joins the connection threads, then drains the
+    /// underlying service and returns its final report.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shared.service.begin_drain();
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+        event!(Severity::Info, "net.server", "frontend stopped on {}", self.local_addr);
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("all connection threads joined, no Shared clones remain"));
+        shared.service.drain()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut next_conn_id: u64 = 0;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+        if shared.active.load(Ordering::Acquire) >= shared.net.max_connections {
+            event!(Severity::Warn, "net.server", "rejecting {peer}: connection limit reached");
+            reject_over_limit(stream, shared.net.write_timeout);
+            continue;
+        }
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        event!(Severity::Info, "net.server", "conn {conn_id}: accepted from {peer}");
+        let shared_conn = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("net-conn-{conn_id}"))
+            .spawn(move || {
+                serve_connection(conn_id, stream, &shared_conn);
+                shared_conn.active.fetch_sub(1, Ordering::AcqRel);
+            })
+            .expect("spawn connection thread");
+        shared.conns.lock().expect("conns lock").push(handle);
+    }
+}
+
+/// Best-effort "too many connections" notice before dropping the socket.
+fn reject_over_limit(mut stream: TcpStream, write_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let frame = Frame::Error(ErrorResponse {
+        request_id: 0,
+        code: ErrorCode::TooManyConnections,
+        message: "server is at its connection limit".to_owned(),
+    });
+    let _ = stream.write_all(&codec::encode(&frame));
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// The per-connection reader: decodes frames off the socket and feeds
+/// the service; spawns and finally joins the connection's writer.
+fn serve_connection(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(shared.net.read_timeout)).is_err() {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let _ = write_half.set_write_timeout(Some(shared.net.write_timeout));
+
+    let (tx, rx) = channel::bounded::<WriterMsg>(shared.net.inflight_window);
+    let writer = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("net-conn-{conn_id}-w"))
+            .spawn(move || write_loop(&rx, write_half, &shared))
+            .expect("spawn connection writer")
+    };
+
+    read_loop(stream, shared, &tx);
+
+    // Dropping the sender lets the writer drain its queue — every queued
+    // verdict is redeemed and flushed before the connection dies.
+    drop(tx);
+    let _ = writer.join();
+    event!(Severity::Info, "net.server", "conn {conn_id}: closed");
+}
+
+fn read_loop(mut stream: TcpStream, shared: &Arc<Shared>, tx: &Sender<WriterMsg>) {
+    let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Parse every complete frame currently buffered.
+        loop {
+            match codec::decode(&buf) {
+                Ok(Some((frame, consumed))) => {
+                    buf.drain(..consumed);
+                    if !handle_frame(frame, shared, tx) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    event!(Severity::Warn, "net.server", "protocol error, closing: {e}");
+                    let _ = tx.send(WriterMsg::Reply(Frame::Error(ErrorResponse {
+                        request_id: 0,
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    })));
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatches one decoded request. Returns `false` when the connection
+/// must close.
+fn handle_frame(frame: Frame, shared: &Arc<Shared>, tx: &Sender<WriterMsg>) -> bool {
+    match frame {
+        Frame::Submit(req) => {
+            let budget = if req.deadline_us == 0 {
+                shared.admission_deadline
+            } else {
+                Duration::from_micros(req.deadline_us)
+            };
+            let msg = match shared.service.submit_with_deadline(req.task, req.options, budget) {
+                Ok(ticket) => WriterMsg::Verdict { request_id: req.request_id, ticket },
+                Err(e) => WriterMsg::Reply(Frame::Error(ErrorResponse {
+                    request_id: req.request_id,
+                    code: e.into(),
+                    message: e.to_string(),
+                })),
+            };
+            // A full window blocks here: backpressure through the socket.
+            tx.send(msg).is_ok()
+        }
+        Frame::Depart(req) => {
+            shared.service.depart(req.task);
+            true
+        }
+        Frame::Snapshot(req) => tx
+            .send(WriterMsg::Reply(Frame::Metrics(MetricsResponse {
+                request_id: req.request_id,
+                is_final: false,
+                metrics: shared.service.metrics(),
+            })))
+            .is_ok(),
+        Frame::Drain(req) => {
+            event!(Severity::Info, "net.server", "drain requested (request {})", req.request_id);
+            shared.service.begin_drain();
+            // Queued behind every verdict already in this connection's
+            // window, so the snapshot it carries is taken post-flush.
+            tx.send(WriterMsg::FinalMetrics { request_id: req.request_id }).is_ok()
+        }
+        // A client must not send response frames; treat as protocol abuse.
+        Frame::Outcome(_) | Frame::Metrics(_) | Frame::Error(_) => {
+            let _ = tx.send(WriterMsg::Reply(Frame::Error(ErrorResponse {
+                request_id: frame.request_id(),
+                code: ErrorCode::Malformed,
+                message: format!("unexpected {} frame from client", frame.type_name()),
+            })));
+            false
+        }
+    }
+}
+
+fn write_loop(rx: &Receiver<WriterMsg>, mut stream: TcpStream, shared: &Arc<Shared>) {
+    let mut out: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut alive = true;
+    while let Ok(msg) = rx.recv() {
+        let frame = match msg {
+            WriterMsg::Verdict { request_id, ticket } => {
+                let outcome = ticket.try_wait().or_else(|| {
+                    // About to block on the verdict: flush what earlier
+                    // requests are owed so the client is not starved by
+                    // head-of-line coalescing.
+                    if alive && !out.is_empty() {
+                        if stream.write_all(&out).is_err() {
+                            alive = false;
+                        }
+                        out.clear();
+                    }
+                    ticket.wait()
+                });
+                match outcome {
+                    Some(outcome) => Frame::Outcome(OutcomeResponse { request_id, outcome }),
+                    None => Frame::Error(ErrorResponse {
+                        request_id,
+                        code: ErrorCode::Internal,
+                        message: "worker exited before resolving the request".to_owned(),
+                    }),
+                }
+            }
+            WriterMsg::Reply(frame) => frame,
+            WriterMsg::FinalMetrics { request_id } => Frame::Metrics(MetricsResponse {
+                request_id,
+                is_final: true,
+                metrics: shared.service.metrics(),
+            }),
+        };
+        if !alive {
+            // The socket died: keep redeeming tickets (the service side
+            // must still quiesce) but stop writing.
+            continue;
+        }
+        out.extend_from_slice(&codec::encode(&frame));
+        // Coalesce while more responses are queued; flush on a lull.
+        if rx.is_empty() || out.len() >= 64 * 1024 {
+            if stream.write_all(&out).is_err() {
+                alive = false;
+            }
+            out.clear();
+        }
+    }
+    if alive {
+        if !out.is_empty() {
+            let _ = stream.write_all(&out);
+        }
+        let _ = stream.flush();
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}

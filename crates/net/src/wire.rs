@@ -1,0 +1,265 @@
+//! Byte-level primitives of the wire format: a growable little-endian
+//! writer and a bounds-checked reader.
+//!
+//! Everything multi-byte is little-endian. Floats travel as their IEEE-754
+//! bit patterns ([`f64::to_bits`]), so a round trip is bit-exact. Strings
+//! and sequences carry a `u32` length prefix; the reader validates every
+//! prefix against the bytes actually remaining *before* allocating, so a
+//! hostile length prefix costs nothing and fails with a typed
+//! [`DecodeError`] instead of an allocation blow-up or a panic.
+
+use crate::error::DecodeError;
+
+/// Longest string the codec accepts (64 KiB). Task names and option
+/// labels are tens of bytes; anything near this limit is garbage input.
+pub const MAX_STRING: u32 = 64 * 1024;
+
+/// Append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string, truncated to
+    /// [`MAX_STRING`] bytes at a character boundary (encode never fails;
+    /// nothing in the workspace carries strings anywhere near the limit).
+    pub fn put_str(&mut self, v: &str) {
+        let mut s = v;
+        if s.len() > MAX_STRING as usize {
+            let mut end = MAX_STRING as usize;
+            while !s.is_char_boundary(end) {
+                end -= 1;
+            }
+            s = &s[..end];
+        }
+        self.put_u32(s.len() as u32);
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Appends a sequence length prefix.
+    pub fn put_seq_len(&mut self, len: usize) {
+        debug_assert!(len <= u32::MAX as usize);
+        self.put_u32(len as u32);
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice. Every getter
+/// returns a typed [`DecodeError`] instead of panicking when the bytes
+/// run out.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { field });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, field: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self, field: &'static str) -> Result<u16, DecodeError> {
+        let b = self.take(2, field)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self, field: &'static str) -> Result<u32, DecodeError> {
+        let b = self.take(4, field)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self, field: &'static str) -> Result<u64, DecodeError> {
+        let b = self.take(8, field)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self, field: &'static str) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64(field)?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string, bounded by [`MAX_STRING`]
+    /// and by the bytes actually remaining.
+    pub fn string(&mut self, field: &'static str) -> Result<String, DecodeError> {
+        let len = self.u32(field)?;
+        if len > MAX_STRING || len as usize > self.remaining() {
+            return Err(DecodeError::OversizedString { len });
+        }
+        let bytes = self.take(len as usize, field)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Reads a sequence length prefix, validating that `len` elements of
+    /// at least `min_elem_bytes` each could fit in the remaining bytes.
+    /// This makes a hostile prefix fail before any allocation.
+    pub fn seq_len(&mut self, min_elem_bytes: usize, field: &'static str) -> Result<usize, DecodeError> {
+        let len = self.u32(field)?;
+        let need = (len as u64).saturating_mul(min_elem_bytes.max(1) as u64);
+        if need > self.remaining() as u64 {
+            return Err(DecodeError::OversizedSeq { len });
+        }
+        Ok(len as usize)
+    }
+
+    /// Fails with [`DecodeError::TrailingBytes`] unless everything was
+    /// consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes { extra: self.remaining() });
+        }
+        Ok(())
+    }
+}
+
+/// 32-bit FNV-1a over `bytes` — the frame checksum. Not cryptographic;
+/// it exists to catch corruption and framing bugs, not adversaries.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.125);
+        w.put_str("koalas");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 0xBEEF);
+        assert_eq!(r.u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("d").unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64("e").unwrap(), -0.125);
+        assert_eq!(r.string("f").unwrap(), "koalas");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u64("x"), Err(DecodeError::Truncated { field: "x" }));
+        // Failed read consumed nothing; smaller reads still work.
+        assert_eq!(r.u16("y").unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn hostile_string_prefix_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX); // claims a 4 GiB string
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.string("s"), Err(DecodeError::OversizedString { len: u32::MAX }));
+    }
+
+    #[test]
+    fn hostile_seq_prefix_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_seq_len(1 << 30);
+        w.put_u32(0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.seq_len(8, "opts"), Err(DecodeError::OversizedSeq { len: 1 << 30 }));
+    }
+
+    #[test]
+    fn non_utf8_string_is_rejected() {
+        let mut w = Writer::new();
+        w.put_u32(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).string("s"), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Reference values of FNV-1a/32.
+        assert_eq!(fnv1a32(b""), 0x811c_9dc5);
+        assert_eq!(fnv1a32(b"a"), 0xe40c_292c);
+        assert_eq!(fnv1a32(b"foobar"), 0xbf9c_f968);
+    }
+}

@@ -1,0 +1,287 @@
+//! Property tests for the wire codec: `decode(encode(f)) == f` for every
+//! frame type over generated contents, and the envelope's length prefix
+//! is respected for arbitrary payload sizes.
+
+use offloadnn_core::instance::PathOption;
+use offloadnn_core::task::{QualityLevel, Task, TaskId};
+use offloadnn_dnn::block::{BlockId, GroupId, ModelId};
+use offloadnn_dnn::repository::DnnPath;
+use offloadnn_dnn::{Config, PathConfig};
+use offloadnn_net::codec::{
+    self, DepartRequest, DrainRequest, ErrorCode, ErrorResponse, Frame, MetricsResponse, OutcomeResponse,
+    SnapshotRequest, SubmitRequest, HEADER_LEN, TRAILER_LEN,
+};
+use offloadnn_radio::SnrDb;
+use offloadnn_serve::{HistogramSnapshot, MetricsSnapshot, Outcome, HISTOGRAM_BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+// ------------------------------------------------------------ strategies
+
+fn byte() -> impl Strategy<Value = u8> {
+    (0u16..256).prop_map(|b| b as u8)
+}
+
+fn ascii_string(max_len: usize) -> impl Strategy<Value = String> {
+    vec(32u8..127, 0..max_len).prop_map(|b| String::from_utf8(b).expect("printable ascii"))
+}
+
+fn quality() -> impl Strategy<Value = QualityLevel> {
+    (0.0f64..1.0, 1.0f64..1e7).prop_map(|(quality, bits)| QualityLevel { quality, bits })
+}
+
+fn task() -> impl Strategy<Value = Task> {
+    (
+        0u32..1_000_000,
+        ascii_string(24),
+        0u32..64,
+        0.0f64..10.0,
+        0.0f64..1e4,
+        0.0f64..1.0,
+        1e-3f64..10.0,
+        -20.0f64..40.0,
+        vec(quality(), 0..6),
+        0.0f64..5.0,
+    )
+        .prop_map(
+            |(
+                id,
+                name,
+                group,
+                priority,
+                request_rate,
+                min_accuracy,
+                max_latency,
+                snr,
+                qualities,
+                difficulty,
+            )| Task {
+                id: TaskId(id),
+                name,
+                group: GroupId(group),
+                priority,
+                request_rate,
+                min_accuracy,
+                max_latency,
+                snr: SnrDb(snr),
+                qualities,
+                difficulty,
+            },
+        )
+}
+
+fn path_option() -> impl Strategy<Value = PathOption> {
+    (
+        0u32..32,
+        0u32..64,
+        0u8..5,
+        proptest::bool::ANY,
+        vec(0u32..4096, 0..12),
+        quality(),
+        0.0f64..1.0,
+        0.0f64..0.5,
+        0.0f64..100.0,
+        ascii_string(16),
+    )
+        .prop_map(
+            |(
+                model,
+                group,
+                cfg,
+                pruned,
+                blocks,
+                quality,
+                accuracy,
+                proc_seconds,
+                training_seconds,
+                label,
+            )| {
+                let config = match cfg {
+                    0 => Config::A,
+                    1 => Config::B,
+                    2 => Config::C,
+                    3 => Config::D,
+                    _ => Config::E,
+                };
+                PathOption {
+                    path: DnnPath {
+                        model: ModelId(model),
+                        group: GroupId(group),
+                        config: PathConfig { config, pruned },
+                        blocks: blocks.into_iter().map(BlockId).collect(),
+                    },
+                    quality,
+                    accuracy,
+                    proc_seconds,
+                    training_seconds,
+                    label,
+                }
+            },
+        )
+}
+
+fn outcome() -> impl Strategy<Value = Outcome> {
+    (0u8..4, 1e-3f64..1.0, 0.0f64..100.0, 0usize..64).prop_map(|(tag, admission, rbs, shard)| match tag {
+        0 => Outcome::Admitted { admission, rbs, shard },
+        1 => Outcome::Rejected { shard },
+        2 => Outcome::Shed { shard },
+        _ => Outcome::Expired { shard },
+    })
+}
+
+fn histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (vec(0u64..1_000_000, HISTOGRAM_BUCKETS), 0u64..1_000_000, 0u64..u64::MAX).prop_map(
+        |(counts, count, sum_us)| {
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            buckets.copy_from_slice(&counts);
+            HistogramSnapshot { buckets, count, sum_us }
+        },
+    )
+}
+
+fn metrics() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..4096, 0u64..4096),
+        histogram(),
+        histogram(),
+    )
+        .prop_map(
+            |(
+                (submitted, admitted, rejected, shed, expired),
+                (departed, solver_rounds, solver_errors, peak_queue_depth, peak_batch),
+                latency,
+                round_time,
+            )| {
+                MetricsSnapshot {
+                    submitted,
+                    admitted,
+                    rejected,
+                    shed,
+                    expired,
+                    departed,
+                    solver_rounds,
+                    solver_errors,
+                    peak_queue_depth,
+                    peak_batch,
+                    latency,
+                    round_time,
+                }
+            },
+        )
+}
+
+fn error_code() -> impl Strategy<Value = ErrorCode> {
+    (0u8..5).prop_map(|tag| match tag {
+        0 => ErrorCode::Draining,
+        1 => ErrorCode::NoOptions,
+        2 => ErrorCode::Malformed,
+        3 => ErrorCode::TooManyConnections,
+        _ => ErrorCode::Internal,
+    })
+}
+
+// ------------------------------------------------------------ round trips
+
+fn assert_round_trip(frame: &Frame) -> Result<(), String> {
+    let bytes = codec::encode(frame);
+    match codec::decode_exact(&bytes) {
+        Ok(decoded) if &decoded == frame => {}
+        Ok(decoded) => return Err(format!("round trip changed the frame: {decoded:?} != {frame:?}")),
+        Err(e) => return Err(format!("round trip failed to decode: {e}")),
+    }
+    // The streaming decoder agrees byte-for-byte.
+    match codec::decode(&bytes) {
+        Ok(Some((decoded, consumed))) if consumed == bytes.len() && &decoded == frame => Ok(()),
+        other => Err(format!("streaming decode disagreed: {other:?}")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    fn submit_frames_round_trip(
+        request_id in 0u64..u64::MAX,
+        deadline_us in 0u64..10_000_000_000,
+        task in task(),
+        options in vec(path_option(), 0..5),
+    ) {
+        let frame = Frame::Submit(SubmitRequest { request_id, deadline_us, task, options });
+        assert_round_trip(&frame)?;
+    }
+
+    fn depart_frames_round_trip(request_id in 0u64..u64::MAX, task in 0u32..u32::MAX) {
+        let frame = Frame::Depart(DepartRequest { request_id, task: TaskId(task) });
+        assert_round_trip(&frame)?;
+    }
+
+    fn snapshot_and_drain_frames_round_trip(request_id in 0u64..u64::MAX) {
+        let frame = Frame::Snapshot(SnapshotRequest { request_id });
+        assert_round_trip(&frame)?;
+        let frame = Frame::Drain(DrainRequest { request_id });
+        assert_round_trip(&frame)?;
+    }
+
+    fn outcome_frames_round_trip(request_id in 0u64..u64::MAX, outcome in outcome()) {
+        let frame = Frame::Outcome(OutcomeResponse { request_id, outcome });
+        assert_round_trip(&frame)?;
+    }
+
+    fn metrics_frames_round_trip(
+        request_id in 0u64..u64::MAX,
+        is_final in proptest::bool::ANY,
+        metrics in metrics(),
+    ) {
+        let frame = Frame::Metrics(MetricsResponse { request_id, is_final, metrics });
+        assert_round_trip(&frame)?;
+    }
+
+    fn error_frames_round_trip(
+        request_id in 0u64..u64::MAX,
+        code in error_code(),
+        message in ascii_string(80),
+    ) {
+        let frame = Frame::Error(ErrorResponse { request_id, code, message });
+        assert_round_trip(&frame)?;
+    }
+
+    // -------------------------------------------------- envelope bounds
+
+    /// For arbitrary payload bytes under any frame-type tag, the envelope
+    /// length prefix is exact: the wire size is header + payload +
+    /// trailer, and a successful decode consumes exactly that. Malformed
+    /// payloads get typed errors, never panics.
+    fn length_prefix_respected_for_arbitrary_payloads(
+        ftype in byte(),
+        payload in vec(byte(), 0..600),
+    ) {
+        let bytes = codec::encode_raw(ftype, &payload);
+        prop_assert_eq!(bytes.len(), HEADER_LEN + payload.len() + TRAILER_LEN);
+        match codec::decode(&bytes) {
+            Ok(Some((_, consumed))) => prop_assert_eq!(consumed, bytes.len()),
+            Ok(None) => prop_assert!(false, "complete frame reported as incomplete"),
+            Err(_) => {} // typed rejection of a nonsense payload is fine
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder, streaming or exact.
+    fn arbitrary_bytes_never_panic(bytes in vec(byte(), 0..256)) {
+        let _ = codec::decode(&bytes);
+        let _ = codec::decode_exact(&bytes);
+    }
+
+    /// Every prefix of a valid frame is "incomplete", not an error: a
+    /// streaming reader can buffer byte-by-byte without ever seeing a
+    /// spurious failure.
+    fn valid_frame_prefixes_are_incomplete(task in task(), cut_seed in 0usize..usize::MAX) {
+        let frame = Frame::Submit(SubmitRequest {
+            request_id: 3,
+            deadline_us: 0,
+            task,
+            options: Vec::new(),
+        });
+        let bytes = codec::encode(&frame);
+        let cut = cut_seed % bytes.len();
+        prop_assert_eq!(codec::decode(&bytes[..cut]), Ok(None));
+    }
+}

@@ -1,0 +1,196 @@
+//! Malformed-input hardening: the decoder must reject truncated frames,
+//! bad magic, version skew, hostile length prefixes and corrupted
+//! checksums with *typed* errors — and must never panic, whatever the
+//! bytes. The exhaustive mutation loops at the bottom are the teeth: a
+//! panic anywhere in the decode path fails the test.
+
+use offloadnn_core::scenario::small_scenario;
+use offloadnn_core::task::TaskId;
+use offloadnn_net::codec::{
+    self, encode_raw, frame_type, DepartRequest, DrainRequest, ErrorCode, ErrorResponse, Frame,
+    MetricsResponse, OutcomeResponse, SnapshotRequest, SubmitRequest, HEADER_LEN, MAX_PAYLOAD,
+};
+use offloadnn_net::{decode, decode_exact, encode, DecodeError};
+use offloadnn_serve::{HistogramSnapshot, MetricsSnapshot, Outcome, HISTOGRAM_BUCKETS};
+
+/// One valid frame of every wire type.
+fn valid_frames() -> Vec<Frame> {
+    let s = small_scenario(3);
+    let hist = HistogramSnapshot { buckets: [3; HISTOGRAM_BUCKETS], count: 7, sum_us: 191 };
+    vec![
+        Frame::Submit(SubmitRequest {
+            request_id: 11,
+            deadline_us: 2_000_000,
+            task: s.instance.tasks[0].clone(),
+            options: s.instance.options[0].clone(),
+        }),
+        Frame::Depart(DepartRequest { request_id: 12, task: TaskId(4) }),
+        Frame::Snapshot(SnapshotRequest { request_id: 13 }),
+        Frame::Drain(DrainRequest { request_id: 14 }),
+        Frame::Outcome(OutcomeResponse {
+            request_id: 15,
+            outcome: Outcome::Admitted { admission: 0.5, rbs: 3.25, shard: 1 },
+        }),
+        Frame::Metrics(MetricsResponse {
+            request_id: 16,
+            is_final: false,
+            metrics: MetricsSnapshot {
+                submitted: 9,
+                admitted: 4,
+                rejected: 3,
+                shed: 1,
+                expired: 1,
+                departed: 2,
+                solver_rounds: 5,
+                solver_errors: 0,
+                peak_queue_depth: 6,
+                peak_batch: 4,
+                latency: hist,
+                round_time: hist,
+            },
+        }),
+        Frame::Error(ErrorResponse {
+            request_id: 17,
+            code: ErrorCode::NoOptions,
+            message: "no candidate paths".to_owned(),
+        }),
+    ]
+}
+
+#[test]
+fn truncated_frames_are_incomplete_not_errors() {
+    for frame in valid_frames() {
+        let bytes = encode(&frame);
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode(&bytes[..cut]),
+                Ok(None),
+                "{}-byte prefix of a {} frame must parse as incomplete",
+                cut,
+                frame.type_name()
+            );
+        }
+        // decode_exact names the truncation instead.
+        assert_eq!(decode_exact(&bytes[..bytes.len() - 1]), Err(DecodeError::Truncated { field: "frame" }));
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected_even_on_short_input() {
+    let mut bytes = encode(&valid_frames()[2]);
+    bytes[0] = b'X';
+    assert!(matches!(decode(&bytes), Err(DecodeError::BadMagic { .. })));
+    // The prefix check fires before a whole header arrives: garbage
+    // fails fast instead of waiting for a bogus frame to "complete".
+    assert!(matches!(decode(&bytes[..3]), Err(DecodeError::BadMagic { .. })));
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let mut bytes = encode(&valid_frames()[2]);
+    bytes[4] = offloadnn_net::VERSION + 1;
+    assert_eq!(decode(&bytes), Err(DecodeError::UnsupportedVersion { got: offloadnn_net::VERSION + 1 }));
+}
+
+#[test]
+fn nonzero_reserved_bytes_are_rejected() {
+    let mut bytes = encode(&valid_frames()[3]);
+    bytes[6] = 1;
+    assert_eq!(decode(&bytes), Err(DecodeError::NonZeroReserved));
+}
+
+#[test]
+fn unknown_frame_type_is_rejected() {
+    let bytes = encode_raw(0x3F, &42u64.to_le_bytes());
+    assert_eq!(decode(&bytes), Err(DecodeError::UnknownFrameType { got: 0x3F }));
+}
+
+#[test]
+fn oversized_length_prefix_fails_before_any_allocation() {
+    // A header claiming a payload past MAX_PAYLOAD must be rejected from
+    // the header alone — no waiting for 4 GiB that will never arrive.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&codec::MAGIC);
+    bytes.push(offloadnn_net::VERSION);
+    bytes.push(frame_type::SNAPSHOT);
+    bytes.extend_from_slice(&[0, 0]);
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(bytes.len(), HEADER_LEN);
+    assert_eq!(decode(&bytes), Err(DecodeError::OversizedPayload { len: u32::MAX }));
+    assert_eq!(
+        decode(&[&bytes[..], &[0u8; 64][..]].concat()),
+        Err(DecodeError::OversizedPayload { len: u32::MAX }),
+        "more bytes arriving must not change the verdict"
+    );
+    // Right at the limit the length itself is legal (the frame is then
+    // merely incomplete).
+    bytes[8..12].copy_from_slice(&MAX_PAYLOAD.to_le_bytes());
+    assert_eq!(decode(&bytes), Ok(None));
+}
+
+#[test]
+fn corrupted_checksum_is_rejected() {
+    let bytes = encode(&valid_frames()[0]);
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x01;
+    assert!(matches!(decode(&corrupt), Err(DecodeError::BadChecksum { .. })));
+
+    // A payload flip is caught by the checksum too (FNV-1a steps are
+    // bijective in the accumulator, so any single-bit change must alter
+    // the final hash).
+    let mut corrupt = bytes;
+    corrupt[HEADER_LEN + 3] ^= 0x80;
+    assert!(matches!(decode(&corrupt), Err(DecodeError::BadChecksum { .. })));
+}
+
+#[test]
+fn payload_with_trailing_bytes_is_rejected() {
+    // A snapshot payload is exactly the request id; pad it.
+    let mut payload = 5u64.to_le_bytes().to_vec();
+    payload.extend_from_slice(&[0xAB, 0xCD]);
+    let bytes = encode_raw(frame_type::SNAPSHOT, &payload);
+    assert_eq!(decode(&bytes), Err(DecodeError::TrailingBytes { extra: 2 }));
+}
+
+#[test]
+fn every_single_bit_mutation_is_rejected_without_panicking() {
+    // The conjunction of the header checks and the checksum means *any*
+    // single-bit corruption of a valid frame must surface as a typed
+    // error (or "incomplete" when the mutated length now claims more
+    // bytes than present) — and decoding must never panic.
+    for frame in valid_frames() {
+        let bytes = encode(&frame);
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mutated = bytes.clone();
+                mutated[i] ^= 1 << bit;
+                let streamed = decode(&mutated);
+                assert!(
+                    matches!(streamed, Err(_) | Ok(None)),
+                    "flipping bit {bit} of byte {i} in a {} frame must not yield a valid frame",
+                    frame.type_name()
+                );
+                let _ = decode_exact(&mutated); // must not panic either
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_after_mutation_never_panics() {
+    // Compound corruption: mutate one byte, then truncate anywhere.
+    // Nothing to assert about the value — surviving the loop without a
+    // panic is the property.
+    for frame in valid_frames() {
+        let bytes = encode(&frame);
+        for i in (0..bytes.len()).step_by(7) {
+            let mut mutated = bytes.clone();
+            mutated[i] = mutated[i].wrapping_add(1);
+            for cut in (0..mutated.len()).step_by(11) {
+                let _ = decode(&mutated[..cut]);
+                let _ = decode_exact(&mutated[..cut]);
+            }
+        }
+    }
+}

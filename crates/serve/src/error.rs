@@ -1,9 +1,10 @@
 //! Service-runtime error types.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors raised when constructing or configuring the service.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ServeError {
     /// A configuration field is out of its valid range.
     InvalidConfig(&'static str),
@@ -20,7 +21,7 @@ impl fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// Errors raised by [`crate::service::Service::submit`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SubmitError {
     /// The service is draining and no longer accepts requests.
     Draining,

@@ -58,7 +58,7 @@ mod shard;
 pub use config::ServiceConfig;
 pub use error::{ServeError, SubmitError};
 pub use loadgen::{LoadgenConfig, LoadgenReport, VerdictTally};
-pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use metrics::{HistogramSnapshot, MetricsSnapshot, ServiceMetrics, HISTOGRAM_BUCKETS};
 pub use router::Router;
 pub use service::{DrainReport, Outcome, Service, Ticket};
 pub use shard::ShardReport;

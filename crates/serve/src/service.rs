@@ -12,6 +12,7 @@ use offloadnn_core::heuristic::OffloadnnSolver;
 use offloadnn_core::instance::{DotInstance, PathOption};
 use offloadnn_core::task::{Task, TaskId};
 use offloadnn_telemetry::{event, span, Severity};
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -19,7 +20,7 @@ use std::time::{Duration, Instant};
 
 /// The verdict a request ends with. Every submitted request receives
 /// exactly one of these; the service never drops a request silently.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Outcome {
     /// A slice was granted.
     Admitted {
@@ -213,6 +214,25 @@ impl Service {
     /// request is not counted), [`SubmitError::NoOptions`] for a request
     /// with no candidate paths (nothing to solve over).
     pub fn submit(&self, task: Task, options: Vec<PathOption>) -> Result<Ticket, SubmitError> {
+        self.submit_with_deadline(task, options, self.config.admission_deadline)
+    }
+
+    /// Like [`Service::submit`], but with an explicit per-request
+    /// admission-deadline budget (e.g. a client-side deadline propagated
+    /// over the network). The effective deadline is the *tighter* of
+    /// `deadline_budget` and the service-wide
+    /// [`ServiceConfig::admission_deadline`]: a caller can shrink its
+    /// admission window but never extend it past the service policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Service::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        task: Task,
+        options: Vec<PathOption>,
+        deadline_budget: Duration,
+    ) -> Result<Ticket, SubmitError> {
         let _ingress = span!("serve.ingress");
         if self.draining.load(Ordering::Acquire) {
             return Err(SubmitError::Draining);
@@ -229,7 +249,7 @@ impl Service {
             task,
             options,
             enqueued_at: now,
-            deadline: now + self.config.admission_deadline,
+            deadline: now + deadline_budget.min(self.config.admission_deadline),
             responder,
         };
         match self.senders[shard].try_send(ShardMsg::Request(request)) {
@@ -268,6 +288,22 @@ impl Service {
     /// exporters ([`offloadnn_telemetry::RegistrySnapshot`]).
     pub fn telemetry(&self) -> &offloadnn_telemetry::Registry {
         self.metrics.registry()
+    }
+
+    /// Stops the ingress without tearing the fleet down: every subsequent
+    /// [`Service::submit`] fails with [`SubmitError::Draining`] while
+    /// already-queued requests keep resolving to verdicts. This is the
+    /// hook a frontend (e.g. a network server) uses to fence off new work,
+    /// flush in-flight responses to its own callers, and only then call
+    /// [`Service::drain`] for the final join + report.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether [`Service::begin_drain`] (or [`Service::drain`]) has been
+    /// called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
     }
 
     /// Gracefully drains: stops accepting new requests, lets every queued

@@ -34,6 +34,7 @@
 pub use offloadnn_core as core;
 pub use offloadnn_dnn as dnn;
 pub use offloadnn_emu as emu;
+pub use offloadnn_net as net;
 pub use offloadnn_profiler as profiler;
 pub use offloadnn_radio as radio;
 pub use offloadnn_semoran as semoran;
