@@ -27,9 +27,20 @@ cargo test --workspace -q
 echo "==> net integration gate: loopback server/client conservation under a hard timeout"
 timeout 300 cargo test -q -p offloadnn-net --test loopback
 
+echo "==> reshard gate: deterministic harness on two fixed seeds plus one random one"
+for seed in 1 424242 "$(awk 'BEGIN{srand();print int(rand()*65536)}')"; do
+    echo "    RESHARD_SEED=$seed"
+    RESHARD_SEED="$seed" timeout 300 cargo test -q -p offloadnn-serve --test reshard_harness
+done
+
+echo "==> reshard gate: live 4->8->2 reshard over TCP under sustained load"
+timeout 300 cargo run -q --release -p offloadnn-net --bin net_loadgen -- \
+    --requests 8000 --clients 4 --shards 4 --scale-script "2000:8,5000:2" >/dev/null
+
 echo "==> telemetry overhead gate: workspace builds and tier-1 passes with telemetry compiled out"
 cargo build --workspace --features telemetry-disabled
 cargo test -q --features telemetry-disabled
+timeout 300 cargo test -q -p offloadnn-serve --test reshard_telemetry --features offloadnn-telemetry/disabled
 
 echo "==> cargo bench smoke (criterion --test mode)"
 cargo bench --workspace -- --test >/dev/null

@@ -213,9 +213,54 @@ impl Controller {
     }
 
     /// Removes departed tasks; their exclusive resources are freed (blocks
-    /// still used by other tasks stay resident).
-    pub fn release(&mut self, departed: &[TaskId]) {
+    /// still used by other tasks stay resident). Returns how many active
+    /// tasks were actually removed, so callers can tell a real release
+    /// from a departure for a task this controller never held (which a
+    /// resharding service runtime needs to detect and buffer).
+    pub fn release(&mut self, departed: &[TaskId]) -> usize {
+        let before = self.active.len();
         self.active.retain(|a| !departed.contains(&a.task.id));
+        before - self.active.len()
+    }
+
+    /// Replaces the full platform budgets (an elastic-scaling repartition:
+    /// the shard's slice of the edge changed size). Already-active tasks
+    /// keep their grants; only *future* rounds solve against the new
+    /// capacity, so a shrink can leave the controller transiently above
+    /// budget until tasks depart.
+    pub fn set_budgets(&mut self, budgets: Budgets) {
+        self.budgets = budgets;
+    }
+
+    /// Adopts tasks admitted by another controller (keyspace handoff
+    /// during resharding). Their grants are preserved verbatim; they
+    /// consume residual capacity here exactly as if this controller had
+    /// admitted them.
+    pub fn adopt(&mut self, tasks: Vec<ActiveTask>) {
+        self.active.extend(tasks);
+    }
+
+    /// Extracts and returns every active task matching `predicate`,
+    /// removing it from this controller (the outbound half of a keyspace
+    /// handoff).
+    pub fn extract_if(&mut self, mut predicate: impl FnMut(&ActiveTask) -> bool) -> Vec<ActiveTask> {
+        let mut extracted = Vec::new();
+        let mut kept = Vec::with_capacity(self.active.len());
+        for task in self.active.drain(..) {
+            if predicate(&task) {
+                extracted.push(task);
+            } else {
+                kept.push(task);
+            }
+        }
+        self.active = kept;
+        extracted
+    }
+
+    /// Takes the whole active set, leaving the controller empty (a
+    /// retiring shard hands everything over).
+    pub fn take_active(&mut self) -> Vec<ActiveTask> {
+        std::mem::take(&mut self.active)
     }
 
     /// Re-optimises *all* active tasks from scratch (a global re-plan, as
@@ -423,5 +468,61 @@ mod tests {
         assert!(fully < 2 || !out.rejected.is_empty());
         // Invariant: total radio usage never exceeds the cell.
         assert!(c.deployed().rbs <= inst.budgets.rbs + 1e-9);
+    }
+
+    #[test]
+    fn release_reports_how_many_tasks_it_removed() {
+        let s = small_scenario(5);
+        let mut c = Controller::new(&s.instance, OffloadnnSolver::new());
+        c.submit(requests(&s.instance, 0..3)).unwrap();
+        let held = c.active()[0].task.id;
+        assert_eq!(c.release(&[held, TaskId(999_999)]), 1, "one held, one unknown");
+        assert_eq!(c.release(&[held]), 0, "already gone");
+        assert_eq!(c.active().len(), 2);
+    }
+
+    #[test]
+    fn extract_and_adopt_hand_tasks_over_losslessly() {
+        let s = small_scenario(5);
+        let mut a = Controller::new(&s.instance, OffloadnnSolver::new());
+        a.submit(requests(&s.instance, 0..5)).unwrap();
+        let total = a.active().len();
+        let moved = a.extract_if(|t| t.task.id.0 % 2 == 0);
+        assert!(!moved.is_empty());
+        assert_eq!(a.active().len() + moved.len(), total);
+        for t in a.active() {
+            assert_eq!(t.task.id.0 % 2, 1, "extraction must be exact");
+        }
+
+        let mut b = Controller::new(&s.instance, OffloadnnSolver::new());
+        let usage: f64 = moved.iter().map(ActiveTask::radio_usage).sum();
+        b.adopt(moved);
+        assert!((b.deployed().rbs - usage).abs() < 1e-9, "grants survive adoption verbatim");
+        assert_eq!(a.active().len() + b.active().len(), total);
+    }
+
+    #[test]
+    fn take_active_empties_the_controller() {
+        let s = small_scenario(3);
+        let mut c = Controller::new(&s.instance, OffloadnnSolver::new());
+        c.submit(requests(&s.instance, 0..3)).unwrap();
+        let n = c.active().len();
+        let all = c.take_active();
+        assert_eq!(all.len(), n);
+        assert!(c.active().is_empty());
+        assert_eq!(c.snapshot().active_tasks, 0);
+    }
+
+    #[test]
+    fn set_budgets_rescopes_future_rounds() {
+        let s = small_scenario(5);
+        let mut c = Controller::new(&s.instance, OffloadnnSolver::new());
+        let mut tight = s.instance.budgets;
+        tight.rbs = 1e-6;
+        tight.compute_seconds = 1e-9;
+        c.set_budgets(tight);
+        let out = c.submit(requests(&s.instance, 0..3)).unwrap();
+        assert!(out.admitted.is_empty(), "no capacity after the shrink: {out:?}");
+        assert_eq!(out.rejected.len(), 3);
     }
 }

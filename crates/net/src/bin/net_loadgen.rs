@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
@@ -47,6 +48,11 @@ OPTIONS (all optional; defaults in brackets):
   --batch-max N       max requests per solver round       [64]
   --batch-window-us N batch assembly window, µs           [2000]
   --seed N            RNG seed (task mix)                 [7]
+  --scale-script S    comma-separated at:shards steps, e.g.
+                      \"5000:8,15000:2\" — a control client
+                      reshards the live server to `shards`
+                      once `at` submits have been offered
+                      across all clients                  [none]
   -h, --help          print this help
 ";
 
@@ -63,6 +69,7 @@ struct Args {
     batch_max: usize,
     batch_window_us: u64,
     seed: u64,
+    scale_script: Vec<(u64, u32)>,
 }
 
 impl Default for Args {
@@ -81,8 +88,27 @@ impl Default for Args {
             batch_max: s.batch_max,
             batch_window_us: s.batch_window.as_micros() as u64,
             seed: 7,
+            scale_script: Vec::new(),
         }
     }
+}
+
+/// Parses `"at:shards,at:shards"` into scale-script steps.
+fn parse_scale_script(value: &str) -> Result<Vec<(u64, u32)>, String> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|step| {
+            let (at, shards) =
+                step.split_once(':').ok_or_else(|| format!("scale step {step:?}: expected at:shards"))?;
+            let at: u64 = at.trim().parse().map_err(|e| format!("scale step {step:?}: {e}"))?;
+            let shards: u32 = shards.trim().parse().map_err(|e| format!("scale step {step:?}: {e}"))?;
+            if shards == 0 {
+                return Err(format!("scale step {step:?}: target must be at least one shard"));
+            }
+            Ok((at, shards))
+        })
+        .collect()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -108,6 +134,7 @@ fn parse_args() -> Result<Args, String> {
             "--batch-max" => args.batch_max = value.parse().map_err(|e| bad(&e))?,
             "--batch-window-us" => args.batch_window_us = value.parse().map_err(|e| bad(&e))?,
             "--seed" => args.seed = value.parse().map_err(|e| bad(&e))?,
+            "--scale-script" => args.scale_script = parse_scale_script(&value)?,
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
@@ -157,10 +184,12 @@ fn run_client(
     requests: u64,
     args: &Args,
     protos: &[(offloadnn_core::task::Task, Vec<offloadnn_core::instance::PathOption>)],
+    offered: &AtomicU64,
 ) -> (Tally, u64) {
     let client = match Client::connect(addr, ClientConfig::default()) {
         Ok(c) => c,
         Err(_) => {
+            offered.fetch_add(requests, Ordering::Relaxed);
             let t = Tally { transport_error: requests, ..Tally::default() };
             return (t, 0);
         }
@@ -196,6 +225,7 @@ fn run_client(
             Ok(p) => pending.push_back(p),
             Err(_) => tally.transport_error += 1,
         }
+        offered.fetch_add(1, Ordering::Relaxed);
         if pending.len() >= args.window {
             if let Some(p) = pending.pop_front() {
                 resolve(p, &mut tally, &mut active);
@@ -261,18 +291,58 @@ fn main() -> ExitCode {
     let per_client = args.requests / args.clients as u64;
     let remainder = args.requests % args.clients as u64;
     let (mut tally, mut departed) = (Tally::default(), 0u64);
+    let offered = AtomicU64::new(0);
+    let clients_done = AtomicBool::new(false);
+    let mut scale_errors = 0u64;
+    let mut reshards: Vec<offloadnn_net::codec::ScaleResponse> = Vec::new();
     std::thread::scope(|scope| {
+        // A dedicated control connection walks the scale script while the
+        // load clients pipeline submits: each step fires once the global
+        // offered count passes its threshold (or immediately once every
+        // client has finished, so trailing steps still run).
+        let controller = (!args.scale_script.is_empty()).then(|| {
+            let (script, offered, clients_done) = (&args.scale_script, &offered, &clients_done);
+            scope.spawn(move || {
+                let mut responses = Vec::new();
+                let mut errors = 0u64;
+                let Ok(client) = Client::connect(addr, ClientConfig::default()) else {
+                    return (responses, script.len() as u64);
+                };
+                let mut script = script.clone();
+                script.sort_unstable();
+                for (at, shards) in script {
+                    while offered.load(Ordering::Relaxed) < at && !clients_done.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    match client.scale_to(shards) {
+                        Ok(resp) => responses.push(resp),
+                        Err(e) => {
+                            eprintln!("error: scale_to({shards}) failed: {e}");
+                            errors += 1;
+                        }
+                    }
+                }
+                client.close();
+                (responses, errors)
+            })
+        });
         let handles: Vec<_> = (0..args.clients)
             .map(|idx| {
                 let share = per_client + u64::from((idx as u64) < remainder);
-                let (args, protos) = (&args, &protos);
-                scope.spawn(move || run_client(addr, idx, share, args, protos))
+                let (args, protos, offered) = (&args, &protos, &offered);
+                scope.spawn(move || run_client(addr, idx, share, args, protos, offered))
             })
             .collect();
         for h in handles {
             let (t, d) = h.join().expect("client thread");
             tally.merge(t);
             departed += d;
+        }
+        clients_done.store(true, Ordering::Relaxed);
+        if let Some(c) = controller {
+            let (responses, errors) = c.join().expect("scale controller thread");
+            reshards = responses;
+            scale_errors = errors;
         }
     });
     let wall = started.elapsed();
@@ -290,6 +360,12 @@ fn main() -> ExitCode {
         "outcomes: admitted {}  rejected {}  shed {}  expired {}  server-err {}  transport-err {}",
         tally.admitted, tally.rejected, tally.shed, tally.expired, tally.server_error, tally.transport_error
     );
+    for r in &reshards {
+        println!(
+            "reshard:  {} -> {} shards, {} in-flight tasks migrated (generation {})",
+            r.from_shards, r.to_shards, r.migrated, r.generation
+        );
+    }
     println!("\n— server (post-drain) —\n{m}");
     let telemetry = offloadnn_telemetry::global().snapshot();
     println!("\n— client-side telemetry (net.encode / net.rtt) —\n{telemetry}");
@@ -312,6 +388,23 @@ fn main() -> ExitCode {
             "server conservation violated: submitted {} != resolved {}",
             m.submitted,
             m.resolved()
+        ));
+    }
+    if scale_errors > 0 || reshards.len() != args.scale_script.len() {
+        violations.push(format!(
+            "scale script: {} of {} steps completed, {} errored",
+            reshards.len(),
+            args.scale_script.len(),
+            scale_errors
+        ));
+    }
+    // Steps that targeted the current shard count are no-ops and don't
+    // bump the server's reshard counter.
+    let effective = reshards.iter().filter(|r| r.from_shards != r.to_shards).count() as u64;
+    if m.reshards != effective {
+        violations.push(format!(
+            "server counted {} reshards, script performed {effective} topology changes",
+            m.reshards
         ));
     }
     if tally.transport_error == 0 {

@@ -29,7 +29,9 @@
 //! [`NetError::Disconnected`] — a submit is not idempotent, so the
 //! client never silently replays one; the *next* request dials afresh.
 
-use crate::codec::{self, DepartRequest, DrainRequest, Frame, SnapshotRequest, SubmitRequest};
+use crate::codec::{
+    self, DepartRequest, DrainRequest, Frame, ScaleRequest, ScaleResponse, SnapshotRequest, SubmitRequest,
+};
 use crate::error::NetError;
 use crossbeam::channel::{self, Receiver, Sender};
 use offloadnn_core::instance::PathOption;
@@ -404,6 +406,31 @@ impl Client {
         let frame = Frame::Drain(DrainRequest { request_id });
         let rx = self.send(request_id, &codec::encode(&frame), true)?.expect("reply slot requested");
         Self::wait_metrics(&rx).map(|(m, _)| m)
+    }
+
+    /// Asks the server to reshape its shard fleet to `shards` workers
+    /// and blocks for the [`ScaleResponse`]. Pipelines fine behind
+    /// in-flight submits: traffic keeps flowing while the server
+    /// reshards.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Server`] with [`crate::codec::ErrorCode::InvalidScale`]
+    /// if the server refused (zero shards, draining); transport errors as
+    /// for [`Client::submit`].
+    pub fn scale_to(&self, shards: u32) -> Result<ScaleResponse, NetError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Scale(ScaleRequest { request_id, shards });
+        let rx = self.send(request_id, &codec::encode(&frame), true)?.expect("reply slot requested");
+        match rx.recv() {
+            Ok(Frame::Scaled(r)) => Ok(r),
+            Ok(Frame::Error(e)) => Err(NetError::Server(e)),
+            Ok(other) => Err(NetError::Disconnected(format!(
+                "unexpected {} frame in place of a scale response",
+                other.type_name()
+            ))),
+            Err(_) => Err(NetError::Disconnected("connection died before the scale response arrived".into())),
+        }
     }
 
     fn wait_metrics(rx: &Receiver<Frame>) -> Result<(MetricsSnapshot, bool), NetError> {

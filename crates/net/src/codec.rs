@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "ODNN"
-//! 4       1     protocol version (= 1)
+//! 4       1     protocol version (1 or 2)
 //! 5       1     frame type
 //! 6       2     reserved (must be zero)
 //! 8       4     payload length N, little-endian (<= MAX_PAYLOAD)
@@ -14,10 +14,20 @@
 //! ```
 //!
 //! Requests ([`Frame::Submit`], [`Frame::Depart`], [`Frame::Snapshot`],
-//! [`Frame::Drain`]) and responses ([`Frame::Outcome`],
-//! [`Frame::Metrics`], [`Frame::Error`]) all start their payload with a
-//! `u64` correlation id chosen by the client, so requests can be
-//! pipelined and responses arrive in any order.
+//! [`Frame::Drain`], [`Frame::Scale`]) and responses
+//! ([`Frame::Outcome`], [`Frame::Metrics`], [`Frame::Scaled`],
+//! [`Frame::Error`]) all start their payload with a `u64` correlation id
+//! chosen by the client, so requests can be pipelined and responses
+//! arrive in any order.
+//!
+//! ## Version history
+//!
+//! * **v1** — initial protocol.
+//! * **v2** — adds the elastic-resharding frames [`Frame::Scale`] /
+//!   [`Frame::Scaled`] and appends `reshards` / `migrated` /
+//!   `generation` to the metrics payload. The decoder still accepts v1
+//!   frames (the new metrics fields read as zero); the encoder always
+//!   emits v2.
 //!
 //! The decoder never panics on malformed input: truncation, bad magic,
 //! version skew, unknown types, oversized length prefixes (outer and
@@ -42,8 +52,11 @@ use serde::{Deserialize, Serialize};
 /// The four magic bytes opening every frame.
 pub const MAGIC: [u8; 4] = *b"ODNN";
 
-/// The protocol revision this build speaks.
-pub const VERSION: u8 = 1;
+/// The protocol revision this build emits.
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol revision this build still decodes.
+pub const MIN_VERSION: u8 = 1;
 
 /// Envelope bytes before the payload.
 pub const HEADER_LEN: usize = 12;
@@ -67,12 +80,16 @@ pub mod frame_type {
     pub const SNAPSHOT: u8 = 0x03;
     /// Graceful-drain request.
     pub const DRAIN: u8 = 0x04;
+    /// Elastic-reshard request (protocol v2).
+    pub const SCALE: u8 = 0x05;
     /// Admission verdict response.
     pub const OUTCOME: u8 = 0x41;
     /// Metrics snapshot response.
     pub const METRICS: u8 = 0x42;
     /// Error response.
     pub const ERROR: u8 = 0x43;
+    /// Elastic-reshard response (protocol v2).
+    pub const SCALED: u8 = 0x44;
 }
 
 /// An admission request: a full task description plus its candidate
@@ -119,6 +136,33 @@ pub struct DrainRequest {
     pub request_id: u64,
 }
 
+/// Asks the server to reshape its shard fleet to `shards` workers at
+/// runtime ([`offloadnn_serve::Service::scale_to`]); answered by
+/// [`Frame::Scaled`] (or [`Frame::Error`] with
+/// [`ErrorCode::InvalidScale`]). Protocol v2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScaleRequest {
+    /// Client-chosen correlation id echoed on the response.
+    pub request_id: u64,
+    /// Desired shard count (must be >= 1).
+    pub shards: u32,
+}
+
+/// The result of a completed reshard. Protocol v2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScaleResponse {
+    /// Correlation id of the scale request this answers.
+    pub request_id: u64,
+    /// Shard count before the reshard.
+    pub from_shards: u32,
+    /// Shard count after the reshard.
+    pub to_shards: u32,
+    /// In-flight tasks migrated to new owner shards.
+    pub migrated: u64,
+    /// Ring generation after the reshard.
+    pub generation: u64,
+}
+
 /// The verdict of one submit.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OutcomeResponse {
@@ -156,6 +200,9 @@ pub enum ErrorCode {
     TooManyConnections,
     /// An internal server failure (e.g. a worker died mid-request).
     Internal,
+    /// A [`Frame::Scale`] was rejected (zero shards, or the service is
+    /// draining). Protocol v2.
+    InvalidScale,
 }
 
 impl ErrorCode {
@@ -166,6 +213,7 @@ impl ErrorCode {
             ErrorCode::Malformed => 2,
             ErrorCode::TooManyConnections => 3,
             ErrorCode::Internal => 4,
+            ErrorCode::InvalidScale => 5,
         }
     }
 
@@ -176,6 +224,7 @@ impl ErrorCode {
             2 => ErrorCode::Malformed,
             3 => ErrorCode::TooManyConnections,
             4 => ErrorCode::Internal,
+            5 => ErrorCode::InvalidScale,
             got => return Err(DecodeError::BadEnumTag { what: "error code", got }),
         })
     }
@@ -218,10 +267,14 @@ pub enum Frame {
     Snapshot(SnapshotRequest),
     /// Graceful-drain request.
     Drain(DrainRequest),
+    /// Elastic-reshard request (protocol v2).
+    Scale(ScaleRequest),
     /// Admission verdict.
     Outcome(OutcomeResponse),
     /// Metrics snapshot.
     Metrics(MetricsResponse),
+    /// Elastic-reshard response (protocol v2).
+    Scaled(ScaleResponse),
     /// Request- or connection-level error.
     Error(ErrorResponse),
 }
@@ -234,8 +287,10 @@ impl Frame {
             Frame::Depart(_) => frame_type::DEPART,
             Frame::Snapshot(_) => frame_type::SNAPSHOT,
             Frame::Drain(_) => frame_type::DRAIN,
+            Frame::Scale(_) => frame_type::SCALE,
             Frame::Outcome(_) => frame_type::OUTCOME,
             Frame::Metrics(_) => frame_type::METRICS,
+            Frame::Scaled(_) => frame_type::SCALED,
             Frame::Error(_) => frame_type::ERROR,
         }
     }
@@ -247,8 +302,10 @@ impl Frame {
             Frame::Depart(_) => "depart",
             Frame::Snapshot(_) => "snapshot",
             Frame::Drain(_) => "drain",
+            Frame::Scale(_) => "scale",
             Frame::Outcome(_) => "outcome",
             Frame::Metrics(_) => "metrics",
+            Frame::Scaled(_) => "scaled",
             Frame::Error(_) => "error",
         }
     }
@@ -260,8 +317,10 @@ impl Frame {
             Frame::Depart(f) => f.request_id,
             Frame::Snapshot(f) => f.request_id,
             Frame::Drain(f) => f.request_id,
+            Frame::Scale(f) => f.request_id,
             Frame::Outcome(f) => f.request_id,
             Frame::Metrics(f) => f.request_id,
+            Frame::Scaled(f) => f.request_id,
             Frame::Error(f) => f.request_id,
         }
     }
@@ -461,22 +520,46 @@ fn put_metrics(w: &mut Writer, m: &MetricsSnapshot) {
     w.put_u64(m.solver_errors);
     w.put_u64(m.peak_queue_depth);
     w.put_u64(m.peak_batch);
+    // v2 additions sit between the v1 counters and the histograms.
+    w.put_u64(m.reshards);
+    w.put_u64(m.migrated);
+    w.put_u64(m.generation);
     put_histogram(w, &m.latency);
     put_histogram(w, &m.round_time);
 }
 
-fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, DecodeError> {
+fn get_metrics(r: &mut Reader<'_>, version: u8) -> Result<MetricsSnapshot, DecodeError> {
+    let submitted = r.u64("metrics.submitted")?;
+    let admitted = r.u64("metrics.admitted")?;
+    let rejected = r.u64("metrics.rejected")?;
+    let shed = r.u64("metrics.shed")?;
+    let expired = r.u64("metrics.expired")?;
+    let departed = r.u64("metrics.departed")?;
+    let solver_rounds = r.u64("metrics.solver_rounds")?;
+    let solver_errors = r.u64("metrics.solver_errors")?;
+    let peak_queue_depth = r.u64("metrics.peak_queue_depth")?;
+    let peak_batch = r.u64("metrics.peak_batch")?;
+    // A v1 peer predates elastic resharding: its payload has no reshard
+    // counters, which therefore read as zero.
+    let (reshards, migrated, generation) = if version >= 2 {
+        (r.u64("metrics.reshards")?, r.u64("metrics.migrated")?, r.u64("metrics.generation")?)
+    } else {
+        (0, 0, 0)
+    };
     Ok(MetricsSnapshot {
-        submitted: r.u64("metrics.submitted")?,
-        admitted: r.u64("metrics.admitted")?,
-        rejected: r.u64("metrics.rejected")?,
-        shed: r.u64("metrics.shed")?,
-        expired: r.u64("metrics.expired")?,
-        departed: r.u64("metrics.departed")?,
-        solver_rounds: r.u64("metrics.solver_rounds")?,
-        solver_errors: r.u64("metrics.solver_errors")?,
-        peak_queue_depth: r.u64("metrics.peak_queue_depth")?,
-        peak_batch: r.u64("metrics.peak_batch")?,
+        submitted,
+        admitted,
+        rejected,
+        shed,
+        expired,
+        departed,
+        solver_rounds,
+        solver_errors,
+        reshards,
+        migrated,
+        generation,
+        peak_queue_depth,
+        peak_batch,
         latency: get_histogram(r)?,
         round_time: get_histogram(r)?,
     })
@@ -496,6 +579,13 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
         }
         Frame::Depart(f) => w.put_u32(f.task.0),
         Frame::Snapshot(_) | Frame::Drain(_) => {}
+        Frame::Scale(f) => w.put_u32(f.shards),
+        Frame::Scaled(f) => {
+            w.put_u32(f.from_shards);
+            w.put_u32(f.to_shards);
+            w.put_u64(f.migrated);
+            w.put_u64(f.generation);
+        }
         Frame::Outcome(f) => put_outcome(&mut w, &f.outcome),
         Frame::Metrics(f) => {
             w.put_u8(u8::from(f.is_final));
@@ -509,7 +599,7 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
+fn decode_payload(version: u8, frame_type: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
     let mut r = Reader::new(payload);
     let request_id = r.u64("request_id")?;
     let frame = match frame_type {
@@ -528,6 +618,18 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, DecodeError> 
         }
         frame_type::SNAPSHOT => Frame::Snapshot(SnapshotRequest { request_id }),
         frame_type::DRAIN => Frame::Drain(DrainRequest { request_id }),
+        // The reshard frames did not exist in v1; a v1 frame claiming
+        // one of their tags is garbage, not forward compatibility.
+        frame_type::SCALE if version >= 2 => {
+            Frame::Scale(ScaleRequest { request_id, shards: r.u32("scale.shards")? })
+        }
+        frame_type::SCALED if version >= 2 => Frame::Scaled(ScaleResponse {
+            request_id,
+            from_shards: r.u32("scaled.from_shards")?,
+            to_shards: r.u32("scaled.to_shards")?,
+            migrated: r.u64("scaled.migrated")?,
+            generation: r.u64("scaled.generation")?,
+        }),
         frame_type::OUTCOME => Frame::Outcome(OutcomeResponse { request_id, outcome: get_outcome(&mut r)? }),
         frame_type::METRICS => {
             let is_final = match r.u8("metrics.is_final")? {
@@ -535,7 +637,7 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, DecodeError> 
                 1 => true,
                 got => return Err(DecodeError::BadEnumTag { what: "metrics final flag", got }),
             };
-            Frame::Metrics(MetricsResponse { request_id, is_final, metrics: get_metrics(&mut r)? })
+            Frame::Metrics(MetricsResponse { request_id, is_final, metrics: get_metrics(&mut r, version)? })
         }
         frame_type::ERROR => {
             let code = ErrorCode::from_tag(r.u8("error.code")?)?;
@@ -550,13 +652,21 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, DecodeError> 
 
 // ---------------------------------------------------------------- envelope
 
-/// Wraps an already-encoded payload in the envelope (header + checksum).
-/// Exposed so tests can frame hand-crafted hostile payloads with a valid
-/// checksum; production code uses [`encode`].
+/// Wraps an already-encoded payload in the envelope (header + checksum)
+/// at the current [`VERSION`]. Exposed so tests can frame hand-crafted
+/// hostile payloads with a valid checksum; production code uses
+/// [`encode`].
 pub fn encode_raw(frame_type: u8, payload: &[u8]) -> Vec<u8> {
+    encode_raw_versioned(VERSION, frame_type, payload)
+}
+
+/// Like [`encode_raw`] but with an explicit protocol version byte, so
+/// compatibility tests can frame payloads as an older (or bogus) peer
+/// would.
+pub fn encode_raw_versioned(version: u8, frame_type: u8, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
     buf.extend_from_slice(&MAGIC);
-    buf.push(VERSION);
+    buf.push(version);
     buf.push(frame_type);
     buf.extend_from_slice(&[0, 0]); // reserved
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -574,8 +684,10 @@ fn count_tx(frame: &Frame) {
         Frame::Depart(_) => count!("net.tx.depart"),
         Frame::Snapshot(_) => count!("net.tx.snapshot"),
         Frame::Drain(_) => count!("net.tx.drain"),
+        Frame::Scale(_) => count!("net.tx.scale"),
         Frame::Outcome(_) => count!("net.tx.outcome"),
         Frame::Metrics(_) => count!("net.tx.metrics"),
+        Frame::Scaled(_) => count!("net.tx.scaled"),
         Frame::Error(_) => count!("net.tx.error"),
     }
 }
@@ -587,8 +699,10 @@ fn count_rx(frame: &Frame) {
         Frame::Depart(_) => count!("net.rx.depart"),
         Frame::Snapshot(_) => count!("net.rx.snapshot"),
         Frame::Drain(_) => count!("net.rx.drain"),
+        Frame::Scale(_) => count!("net.rx.scale"),
         Frame::Outcome(_) => count!("net.rx.outcome"),
         Frame::Metrics(_) => count!("net.rx.metrics"),
+        Frame::Scaled(_) => count!("net.rx.scaled"),
         Frame::Error(_) => count!("net.rx.error"),
     }
 }
@@ -628,8 +742,9 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
     if buf[..4] != MAGIC {
         return Err(DecodeError::BadMagic { got: [buf[0], buf[1], buf[2], buf[3]] });
     }
-    if buf[4] != VERSION {
-        return Err(DecodeError::UnsupportedVersion { got: buf[4] });
+    let version = buf[4];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(DecodeError::UnsupportedVersion { got: version });
     }
     if buf[6] != 0 || buf[7] != 0 {
         return Err(DecodeError::NonZeroReserved);
@@ -648,7 +763,7 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
     if expected != got {
         return Err(DecodeError::BadChecksum { expected, got });
     }
-    let frame = decode_payload(buf[5], &buf[HEADER_LEN..body_end])?;
+    let frame = decode_payload(version, buf[5], &buf[HEADER_LEN..body_end])?;
     count_rx(&frame);
     Ok(Some((frame, total)))
 }
@@ -697,6 +812,9 @@ mod tests {
             departed: 30,
             solver_rounds: 9,
             solver_errors: 0,
+            reshards: 2,
+            migrated: 11,
+            generation: 2,
             peak_queue_depth: 77,
             peak_batch: 64,
             latency,
@@ -710,6 +828,14 @@ mod tests {
             Frame::Depart(DepartRequest { request_id: 7, task: TaskId(99) }),
             Frame::Snapshot(SnapshotRequest { request_id: 8 }),
             Frame::Drain(DrainRequest { request_id: 9 }),
+            Frame::Scale(ScaleRequest { request_id: 10, shards: 6 }),
+            Frame::Scaled(ScaleResponse {
+                request_id: 10,
+                from_shards: 4,
+                to_shards: 6,
+                migrated: 13,
+                generation: 1,
+            }),
             Frame::Outcome(OutcomeResponse {
                 request_id: 42,
                 outcome: Outcome::Admitted { admission: 0.75, rbs: 12.5, shard: 3 },
@@ -764,8 +890,8 @@ mod tests {
         let mut w = Writer::new();
         w.put_u64(5); // request id
         w.put_u8(0); // not final
-        for _ in 0..10 {
-            w.put_u64(1);
+        for _ in 0..13 {
+            w.put_u64(1); // the 13 v2 counter fields
         }
         w.put_seq_len(4); // wrong bucket count
         for _ in 0..4 {
@@ -779,6 +905,72 @@ mod tests {
         assert!(matches!(
             decode_exact(&bytes),
             Err(DecodeError::WrongLength { what: "histogram.buckets", .. })
+        ));
+    }
+
+    /// Encodes `m` the way a v1 peer would: the ten original counters,
+    /// no reshard fields.
+    fn encode_v1_metrics_payload(request_id: u64, is_final: bool, m: &MetricsSnapshot) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(request_id);
+        w.put_u8(u8::from(is_final));
+        for v in [
+            m.submitted,
+            m.admitted,
+            m.rejected,
+            m.shed,
+            m.expired,
+            m.departed,
+            m.solver_rounds,
+            m.solver_errors,
+            m.peak_queue_depth,
+            m.peak_batch,
+        ] {
+            w.put_u64(v);
+        }
+        put_histogram(&mut w, &m.latency);
+        put_histogram(&mut w, &m.round_time);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn v1_metrics_frames_still_decode_with_zero_reshard_fields() {
+        let m = sample_metrics();
+        let payload = encode_v1_metrics_payload(8, true, &m);
+        let bytes = encode_raw_versioned(1, frame_type::METRICS, &payload);
+        let decoded = decode_exact(&bytes).expect("v1 metrics decode");
+        let Frame::Metrics(resp) = decoded else { panic!("expected metrics, got {decoded:?}") };
+        assert_eq!(resp.request_id, 8);
+        assert!(resp.is_final);
+        assert_eq!(resp.metrics.submitted, m.submitted);
+        assert_eq!(resp.metrics.peak_batch, m.peak_batch);
+        assert_eq!(resp.metrics.latency, m.latency);
+        assert_eq!(resp.metrics.reshards, 0, "v1 has no reshard counters");
+        assert_eq!(resp.metrics.migrated, 0);
+        assert_eq!(resp.metrics.generation, 0);
+    }
+
+    #[test]
+    fn v1_request_frames_still_decode() {
+        // Request payloads are unchanged between v1 and v2; only the
+        // envelope version differs.
+        for frame in [
+            Frame::Snapshot(SnapshotRequest { request_id: 3 }),
+            Frame::Drain(DrainRequest { request_id: 4 }),
+            Frame::Depart(DepartRequest { request_id: 5, task: TaskId(12) }),
+        ] {
+            let bytes = encode_raw_versioned(1, frame.frame_type(), &encode_payload(&frame));
+            assert_eq!(decode_exact(&bytes).expect("v1 decode"), frame);
+        }
+    }
+
+    #[test]
+    fn scale_frames_are_not_valid_in_v1() {
+        let frame = Frame::Scale(ScaleRequest { request_id: 1, shards: 4 });
+        let bytes = encode_raw_versioned(1, frame.frame_type(), &encode_payload(&frame));
+        assert!(matches!(
+            decode_exact(&bytes),
+            Err(DecodeError::UnknownFrameType { got: frame_type::SCALE })
         ));
     }
 }

@@ -28,7 +28,7 @@
 //! before the connection closes — the writer thread drains its whole
 //! queue before exiting, so drain never strands an in-flight verdict.
 
-use crate::codec::{self, ErrorCode, ErrorResponse, Frame, MetricsResponse, OutcomeResponse};
+use crate::codec::{self, ErrorCode, ErrorResponse, Frame, MetricsResponse, OutcomeResponse, ScaleResponse};
 use crate::error::NetError;
 use crossbeam::channel::{self, Receiver, Sender};
 use offloadnn_core::instance::DotInstance;
@@ -149,6 +149,8 @@ impl NetServer {
         let service = Service::start(service_config, template).map_err(|e| {
             NetError::InvalidConfig(match e {
                 offloadnn_serve::ServeError::InvalidConfig(what) => what,
+                // Unreachable at start, but keep the mapping total.
+                offloadnn_serve::ServeError::Draining => "service is draining",
             })
         })?;
         let listener = TcpListener::bind(addr)?;
@@ -197,6 +199,20 @@ impl NetServer {
     /// Connections currently being served.
     pub fn active_connections(&self) -> usize {
         self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Reshapes the underlying service's shard fleet at runtime (the
+    /// server-side twin of a client's [`Frame::Scale`]); traffic keeps
+    /// flowing throughout. See [`Service::scale_to`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Service::scale_to`] errors.
+    pub fn scale_to(
+        &self,
+        shards: usize,
+    ) -> Result<offloadnn_serve::ReshardReport, offloadnn_serve::ServeError> {
+        self.shared.service.scale_to(shards)
     }
 
     /// Gracefully stops the frontend: fences the ingress, wakes and joins
@@ -375,8 +391,35 @@ fn handle_frame(frame: Frame, shared: &Arc<Shared>, tx: &Sender<WriterMsg>) -> b
             // window, so the snapshot it carries is taken post-flush.
             tx.send(WriterMsg::FinalMetrics { request_id: req.request_id }).is_ok()
         }
+        Frame::Scale(req) => {
+            event!(
+                Severity::Info,
+                "net.server",
+                "scale to {} shard(s) requested (request {})",
+                req.shards,
+                req.request_id
+            );
+            // Runs on the reader thread: this connection's pipelined
+            // frames wait in the TCP buffer while the fleet reshapes
+            // (milliseconds), other connections are untouched.
+            let reply = match shared.service.scale_to(req.shards as usize) {
+                Ok(r) => Frame::Scaled(ScaleResponse {
+                    request_id: req.request_id,
+                    from_shards: r.from_shards as u32,
+                    to_shards: r.to_shards as u32,
+                    migrated: r.migrated,
+                    generation: r.generation,
+                }),
+                Err(e) => Frame::Error(ErrorResponse {
+                    request_id: req.request_id,
+                    code: ErrorCode::InvalidScale,
+                    message: e.to_string(),
+                }),
+            };
+            tx.send(WriterMsg::Reply(reply)).is_ok()
+        }
         // A client must not send response frames; treat as protocol abuse.
-        Frame::Outcome(_) | Frame::Metrics(_) | Frame::Error(_) => {
+        Frame::Outcome(_) | Frame::Metrics(_) | Frame::Scaled(_) | Frame::Error(_) => {
             let _ = tx.send(WriterMsg::Reply(Frame::Error(ErrorResponse {
                 request_id: frame.request_id(),
                 code: ErrorCode::Malformed,

@@ -9,7 +9,7 @@ use offloadnn_dnn::repository::DnnPath;
 use offloadnn_dnn::{Config, PathConfig};
 use offloadnn_net::codec::{
     self, DepartRequest, DrainRequest, ErrorCode, ErrorResponse, Frame, MetricsResponse, OutcomeResponse,
-    SnapshotRequest, SubmitRequest, HEADER_LEN, TRAILER_LEN,
+    ScaleRequest, ScaleResponse, SnapshotRequest, SubmitRequest, HEADER_LEN, TRAILER_LEN,
 };
 use offloadnn_radio::SnrDb;
 use offloadnn_serve::{HistogramSnapshot, MetricsSnapshot, Outcome, HISTOGRAM_BUCKETS};
@@ -143,6 +143,7 @@ fn metrics() -> impl Strategy<Value = MetricsSnapshot> {
     (
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..4096, 0u64..4096),
+        (0u64..1 << 20, 0u64..1 << 30, 0u64..1 << 20),
         histogram(),
         histogram(),
     )
@@ -150,6 +151,7 @@ fn metrics() -> impl Strategy<Value = MetricsSnapshot> {
             |(
                 (submitted, admitted, rejected, shed, expired),
                 (departed, solver_rounds, solver_errors, peak_queue_depth, peak_batch),
+                (reshards, migrated, generation),
                 latency,
                 round_time,
             )| {
@@ -162,6 +164,9 @@ fn metrics() -> impl Strategy<Value = MetricsSnapshot> {
                     departed,
                     solver_rounds,
                     solver_errors,
+                    reshards,
+                    migrated,
+                    generation,
                     peak_queue_depth,
                     peak_batch,
                     latency,
@@ -172,12 +177,13 @@ fn metrics() -> impl Strategy<Value = MetricsSnapshot> {
 }
 
 fn error_code() -> impl Strategy<Value = ErrorCode> {
-    (0u8..5).prop_map(|tag| match tag {
+    (0u8..6).prop_map(|tag| match tag {
         0 => ErrorCode::Draining,
         1 => ErrorCode::NoOptions,
         2 => ErrorCode::Malformed,
         3 => ErrorCode::TooManyConnections,
-        _ => ErrorCode::Internal,
+        4 => ErrorCode::Internal,
+        _ => ErrorCode::InvalidScale,
     })
 }
 
@@ -242,6 +248,22 @@ proptest! {
         message in ascii_string(80),
     ) {
         let frame = Frame::Error(ErrorResponse { request_id, code, message });
+        assert_round_trip(&frame)?;
+    }
+
+    fn scale_frames_round_trip(request_id in 0u64..u64::MAX, shards in 1u32..1024) {
+        let frame = Frame::Scale(ScaleRequest { request_id, shards });
+        assert_round_trip(&frame)?;
+    }
+
+    fn scaled_frames_round_trip(
+        request_id in 0u64..u64::MAX,
+        from_shards in 1u32..1024,
+        to_shards in 1u32..1024,
+        migrated in 0u64..1 << 40,
+        generation in 0u64..1 << 30,
+    ) {
+        let frame = Frame::Scaled(ScaleResponse { request_id, from_shards, to_shards, migrated, generation });
         assert_round_trip(&frame)?;
     }
 

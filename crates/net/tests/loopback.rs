@@ -244,6 +244,98 @@ fn client_deadline_propagates_to_the_server() {
     assert!(report.metrics.is_conserved());
 }
 
+/// Live resharding under pipelined load, end to end through the wire: a
+/// client streams submits while a controller connection reshapes the
+/// fleet twice (4 → 6 → 3) with `Scale` frames. Zero verdicts are lost,
+/// the final snapshot conserves, and the server's reshard counters match
+/// the acknowledged `Scaled` responses.
+#[test]
+fn reshard_under_pipelined_load_conserves() {
+    const REQUESTS: u64 = 360;
+
+    let (server, protos) = start_server(ServiceConfig {
+        shards: 4,
+        batch_max: 16,
+        batch_window: Duration::from_micros(500),
+        ..ServiceConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let client = Client::connect(addr, ClientConfig::default()).expect("connect submitter");
+    let controller = Client::connect(addr, ClientConfig::default()).expect("connect controller");
+
+    let mut tally = Tally::default();
+    let mut pending = std::collections::VecDeque::new();
+    let mut admitted_ids: Vec<TaskId> = Vec::new();
+    let mut migrated_total = 0u64;
+    for i in 0..REQUESTS {
+        // Reshard mid-stream, with verdicts outstanding in the pipeline
+        // both times: grow at a third, shrink below start at two thirds.
+        if i == REQUESTS / 3 {
+            let resp = controller.scale_to(6).expect("scale 4 -> 6");
+            assert_eq!((resp.from_shards, resp.to_shards, resp.generation), (4, 6, 1));
+            migrated_total += resp.migrated;
+        }
+        if i == 2 * REQUESTS / 3 {
+            let resp = controller.scale_to(3).expect("scale 6 -> 3");
+            assert_eq!((resp.from_shards, resp.to_shards, resp.generation), (6, 3, 2));
+            migrated_total += resp.migrated;
+        }
+
+        let proto = &protos[i as usize % protos.len()];
+        let mut task = proto.0.clone();
+        task.id = TaskId(i as u32);
+        match client.submit(task, proto.1.clone(), None) {
+            Ok(p) => pending.push_back(p),
+            Err(_) => tally.errored += 1,
+        }
+        if pending.len() >= 48 {
+            let p = pending.pop_front().expect("non-empty");
+            let task = p.task;
+            let verdict = p.wait_timeout(Duration::from_secs(20));
+            if matches!(verdict, Ok(Outcome::Admitted { .. })) {
+                admitted_ids.push(task);
+            }
+            tally.absorb(verdict);
+        }
+        // Departures keep flowing across ring generations: after a
+        // reshard these route to the task's *new* owner (or are orphan-
+        // buffered until its migration lands).
+        if i % 11 == 10 {
+            if let Some(id) = admitted_ids.pop() {
+                client.depart(id).expect("depart");
+            }
+        }
+    }
+    for p in pending {
+        tally.absorb(p.wait_timeout(Duration::from_secs(20)));
+    }
+
+    // An invalid scale target is refused with a typed error, without
+    // disturbing the stream.
+    match controller.scale_to(0) {
+        Err(NetError::Server(e)) => assert_eq!(e.code, ErrorCode::InvalidScale),
+        other => panic!("scale_to(0) must be refused InvalidScale, got {other:?}"),
+    }
+
+    client.close();
+    controller.close();
+    let report = server.shutdown();
+    let m = &report.metrics;
+
+    assert_eq!(tally.errored, 0, "a live reshard must not lose a single verdict: {tally:?}");
+    assert_eq!(tally.outcomes(), REQUESTS, "every request resolves exactly once: {tally:?}");
+    assert!(m.is_conserved(), "server conservation violated: {m:?}");
+    assert_eq!(m.submitted, REQUESTS);
+    assert_eq!(m.admitted, tally.admitted);
+    assert_eq!(m.rejected, tally.rejected);
+    assert_eq!(m.shed, tally.shed);
+    assert_eq!(m.expired, tally.expired);
+    assert_eq!(m.reshards, 2, "both topology changes counted");
+    assert_eq!(m.generation, 2);
+    assert_eq!(m.migrated, migrated_total, "server-counted migrations match the Scaled acks");
+}
+
 /// Dialing a dead address retries with backoff and then fails with a
 /// typed error instead of hanging or panicking.
 #[test]

@@ -8,7 +8,8 @@ use offloadnn_core::scenario::small_scenario;
 use offloadnn_core::task::TaskId;
 use offloadnn_net::codec::{
     self, encode_raw, frame_type, DepartRequest, DrainRequest, ErrorCode, ErrorResponse, Frame,
-    MetricsResponse, OutcomeResponse, SnapshotRequest, SubmitRequest, HEADER_LEN, MAX_PAYLOAD,
+    MetricsResponse, OutcomeResponse, ScaleRequest, ScaleResponse, SnapshotRequest, SubmitRequest,
+    HEADER_LEN, MAX_PAYLOAD,
 };
 use offloadnn_net::{decode, decode_exact, encode, DecodeError};
 use offloadnn_serve::{HistogramSnapshot, MetricsSnapshot, Outcome, HISTOGRAM_BUCKETS};
@@ -43,6 +44,9 @@ fn valid_frames() -> Vec<Frame> {
                 departed: 2,
                 solver_rounds: 5,
                 solver_errors: 0,
+                reshards: 1,
+                migrated: 3,
+                generation: 1,
                 peak_queue_depth: 6,
                 peak_batch: 4,
                 latency: hist,
@@ -53,6 +57,14 @@ fn valid_frames() -> Vec<Frame> {
             request_id: 17,
             code: ErrorCode::NoOptions,
             message: "no candidate paths".to_owned(),
+        }),
+        Frame::Scale(ScaleRequest { request_id: 18, shards: 6 }),
+        Frame::Scaled(ScaleResponse {
+            request_id: 18,
+            from_shards: 4,
+            to_shards: 6,
+            migrated: 9,
+            generation: 1,
         }),
     ]
 }

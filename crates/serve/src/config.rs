@@ -28,6 +28,24 @@ pub struct ServiceConfig {
     pub shed_watermark: usize,
     /// Virtual nodes per shard on the consistent-hash ring.
     pub virtual_nodes: usize,
+    /// Fault injection for chaos testing; inert by default.
+    pub chaos: ChaosConfig,
+}
+
+/// Fault injection knobs, used by the reshard/chaos test harness to
+/// prove the service degrades instead of hanging or corrupting its
+/// accounting. The default injects nothing and costs nothing on the hot
+/// path (two branch checks per solver round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosConfig {
+    /// Panic the worker thread of shard `.0` when it begins solver round
+    /// `.1` (1-based). The panic is deliberately *not* caught by the
+    /// worker: the harness verifies the rest of the fleet keeps serving
+    /// and that [`crate::Service::scale_to`] self-heals the dead shard.
+    pub panic_shard_at_round: Option<(usize, u64)>,
+    /// Sleep this long inside every solver round (a pathologically slow
+    /// solver). [`Duration::ZERO`] disables the injection.
+    pub slow_solver: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -40,6 +58,7 @@ impl Default for ServiceConfig {
             admission_deadline: Duration::from_secs(5),
             shed_watermark: 512,
             virtual_nodes: 64,
+            chaos: ChaosConfig::default(),
         }
     }
 }

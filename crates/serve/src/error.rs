@@ -8,12 +8,16 @@ use std::fmt;
 pub enum ServeError {
     /// A configuration field is out of its valid range.
     InvalidConfig(&'static str),
+    /// The operation is not available on a draining service (e.g.
+    /// [`crate::Service::scale_to`] after a drain began).
+    Draining,
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::InvalidConfig(what) => write!(f, "invalid service config: {what}"),
+            ServeError::Draining => f.write_str("service is draining"),
         }
     }
 }

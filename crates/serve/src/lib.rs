@@ -55,10 +55,10 @@ pub mod router;
 pub mod service;
 mod shard;
 
-pub use config::ServiceConfig;
+pub use config::{ChaosConfig, ServiceConfig};
 pub use error::{ServeError, SubmitError};
 pub use loadgen::{LoadgenConfig, LoadgenReport, VerdictTally};
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, ServiceMetrics, HISTOGRAM_BUCKETS};
 pub use router::Router;
-pub use service::{DrainReport, Outcome, Service, Ticket};
+pub use service::{DrainReport, Outcome, ReshardReport, Service, Ticket};
 pub use shard::ShardReport;

@@ -6,7 +6,7 @@
 //! binary and the `serve_throughput` bench.
 
 use crate::config::ServiceConfig;
-use crate::service::{DrainReport, Outcome, Service, Ticket};
+use crate::service::{DrainReport, Outcome, ReshardReport, Service, Ticket};
 use offloadnn_core::instance::DotInstance;
 use offloadnn_core::task::TaskId;
 use offloadnn_radio::{ArrivalProcess, Arrivals};
@@ -91,6 +91,8 @@ pub struct LoadgenReport {
     pub wall: Duration,
     /// Verdicts observed through tickets.
     pub tally: VerdictTally,
+    /// Reshards executed mid-run (empty unless a scale script ran).
+    pub reshards: Vec<ReshardReport>,
     /// The service's own final report.
     pub drain: DrainReport,
 }
@@ -149,6 +151,13 @@ impl fmt::Display for LoadgenReport {
             pct(m.expired),
         )?;
         writeln!(f, "{m}")?;
+        for r in &self.reshards {
+            writeln!(
+                f,
+                "reshard:    {} -> {} shards, {} in-flight tasks migrated (generation {})",
+                r.from_shards, r.to_shards, r.migrated, r.generation,
+            )?;
+        }
         for s in &self.drain.shards {
             writeln!(
                 f,
@@ -185,7 +194,35 @@ impl fmt::Display for LoadgenReport {
 /// Panics if the template has no tasks or if the service cannot start
 /// (invalid `service` config).
 pub fn run(service_config: ServiceConfig, cfg: LoadgenConfig, template: &DotInstance) -> LoadgenReport {
+    run_scripted(service_config, cfg, &[], template)
+}
+
+/// Like [`run`], but executes a scale script while the load is offered:
+/// each `(at, shards)` step calls [`Service::scale_to`]`(shards)` just
+/// before request number `at` is submitted (steps at or past
+/// `cfg.requests` fire after the last submit, before drain). Steps are
+/// executed in ascending `at` order regardless of input order.
+///
+/// Budget-partition invariants (`DrainReport::within_budgets`) are not
+/// meaningful after a reshard — adopted tasks may transiently exceed a
+/// shard's partition — so scripted callers should gate on
+/// [`LoadgenReport::is_conserved`] only.
+///
+/// # Panics
+///
+/// Panics like [`run`], and additionally if a script step is invalid
+/// (target of zero shards).
+pub fn run_scripted(
+    service_config: ServiceConfig,
+    cfg: LoadgenConfig,
+    script: &[(u64, usize)],
+    template: &DotInstance,
+) -> LoadgenReport {
     assert!(!template.tasks.is_empty(), "template needs at least one prototype task");
+    let mut script: Vec<(u64, usize)> = script.to_vec();
+    script.sort_unstable();
+    let mut next_step = 0usize;
+    let mut reshards: Vec<ReshardReport> = Vec::new();
     let service = Service::start(service_config, template).expect("service start");
     let shards = service_config.shards;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -198,6 +235,14 @@ pub fn run(service_config: ServiceConfig, cfg: LoadgenConfig, template: &DotInst
     let mut sim_origin: Option<f64> = None;
 
     for i in 0..cfg.requests {
+        // Scale steps due at this request fire before it is submitted,
+        // so the submit exercises the post-reshard routing state.
+        while next_step < script.len() && script[next_step].0 <= i {
+            let target = script[next_step].1;
+            next_step += 1;
+            reshards.push(service.scale_to(target).expect("scale script step"));
+        }
+
         // Pacing: map the simulated arrival timestamp to wall clock.
         let t = arrivals.next().expect("arrival stream is infinite");
         if cfg.time_scale > 0.0 {
@@ -251,11 +296,19 @@ pub fn run(service_config: ServiceConfig, cfg: LoadgenConfig, template: &DotInst
         }
         tally.observe(outcome);
     }
+    // Steps scripted at or past the end of the stream fire against a
+    // fully loaded fleet, right before drain.
+    while next_step < script.len() {
+        let target = script[next_step].1;
+        next_step += 1;
+        reshards.push(service.scale_to(target).expect("scale script step"));
+    }
+
     // Leave `active` tasks in place: drain must cope with a loaded fleet.
     let drain = service.drain();
     let wall = started.elapsed();
 
-    LoadgenReport { config: cfg, shards, wall, tally, drain }
+    LoadgenReport { config: cfg, shards, wall, tally, reshards, drain }
 }
 
 #[cfg(test)]
@@ -294,5 +347,22 @@ mod tests {
         };
         let report = run(service_config, cfg, &s.instance);
         assert!(report.is_conserved(), "{report}");
+    }
+
+    #[test]
+    fn scripted_run_reshards_live_and_conserves() {
+        let s = small_scenario(5);
+        let service_config = ServiceConfig { shards: 4, ..ServiceConfig::default() };
+        let cfg = LoadgenConfig { requests: 400, max_active: 24, ..LoadgenConfig::default() };
+        // Grow mid-stream, shrink near the end, and once more against the
+        // loaded fleet right before drain.
+        let report = run_scripted(service_config, cfg, &[(100, 8), (250, 2), (400, 3)], &s.instance);
+        assert!(report.is_conserved(), "{report}");
+        assert_eq!(report.reshards.len(), 3, "{report}");
+        assert_eq!(report.reshards[0].from_shards, 4);
+        assert_eq!(report.reshards[0].to_shards, 8);
+        assert_eq!(report.reshards[2].generation, 3);
+        assert_eq!(report.drain.metrics.reshards, 3);
+        assert_eq!(report.tally.resolved(), 400);
     }
 }

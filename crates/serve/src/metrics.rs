@@ -90,6 +90,12 @@ pub struct ServiceMetrics {
     /// Solver rounds that returned an error (every request in the round is
     /// counted `rejected`).
     pub solver_errors: Arc<Counter>,
+    /// Completed [`crate::Service::scale_to`] topology changes.
+    pub reshards: Arc<Counter>,
+    /// In-flight tasks migrated to a new owner shard across all reshards.
+    pub migrated: Arc<Counter>,
+    /// Current ring generation (0 at start, +1 per completed reshard).
+    pub generation: Arc<Gauge>,
     /// Highest queue depth observed at round assembly on any shard.
     pub peak_queue_depth: Arc<Gauge>,
     /// Largest batch resolved in one round.
@@ -113,6 +119,9 @@ impl ServiceMetrics {
             departed: registry.counter("serve.departed"),
             solver_rounds: registry.counter("serve.solver_rounds"),
             solver_errors: registry.counter("serve.solver_errors"),
+            reshards: registry.counter("serve.reshards"),
+            migrated: registry.counter("serve.migrated"),
+            generation: registry.gauge("serve.generation"),
             peak_queue_depth: registry.gauge("serve.peak_queue_depth"),
             peak_batch: registry.gauge("serve.peak_batch"),
             latency: registry.phase("serve.latency"),
@@ -138,6 +147,9 @@ impl ServiceMetrics {
             departed: self.departed.get(),
             solver_rounds: self.solver_rounds.get(),
             solver_errors: self.solver_errors.get(),
+            reshards: self.reshards.get(),
+            migrated: self.migrated.get(),
+            generation: self.generation.get(),
             peak_queue_depth: self.peak_queue_depth.get(),
             peak_batch: self.peak_batch.get(),
             latency: self.latency.snapshot().into(),
@@ -171,6 +183,12 @@ pub struct MetricsSnapshot {
     pub solver_rounds: u64,
     /// Solver rounds that errored.
     pub solver_errors: u64,
+    /// Completed reshards (topology changes).
+    pub reshards: u64,
+    /// In-flight tasks migrated across all reshards.
+    pub migrated: u64,
+    /// Ring generation at snapshot time.
+    pub generation: u64,
     /// Highest observed queue depth.
     pub peak_queue_depth: u64,
     /// Largest batch resolved in one round.
@@ -206,6 +224,11 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "rounds    {:>8}   errors   {:>8}   departed {:>8}   peak queue {:>5}   peak batch {:>5}",
             self.solver_rounds, self.solver_errors, self.departed, self.peak_queue_depth, self.peak_batch
+        )?;
+        writeln!(
+            f,
+            "reshards  {:>8}   migrated {:>8}   generation {:>6}",
+            self.reshards, self.migrated, self.generation
         )?;
         writeln!(
             f,

@@ -75,21 +75,44 @@ impl Router {
 /// *normaliser*, not a capacity, and is kept whole so each shard scores
 /// training cost on the same scale as a single controller would.
 ///
+/// The per-shard shares are computed by running remainder — every shard
+/// but the last gets `total / n`, and the last gets whatever is left —
+/// so the partitions sum to the total *exactly* (bitwise, not just to
+/// rounding error). Elastic resharding repartitions from the original
+/// total on every [`crate::Service::scale_to`], so without exactness a
+/// long grow/shrink sequence would drift the fleet's aggregate capacity.
+///
 /// # Panics
 ///
 /// Panics if `shards` is zero.
 pub fn partition_budgets(total: Budgets, shards: usize) -> Vec<Budgets> {
     assert!(shards > 0, "at least one shard");
     let n = shards as f64;
-    vec![
-        Budgets {
-            rbs: total.rbs / n,
-            compute_seconds: total.compute_seconds / n,
-            training_seconds: total.training_seconds,
-            memory_bytes: total.memory_bytes / n,
-        };
-        shards
-    ]
+    let share = Budgets {
+        rbs: total.rbs / n,
+        compute_seconds: total.compute_seconds / n,
+        training_seconds: total.training_seconds,
+        memory_bytes: total.memory_bytes / n,
+    };
+    // Accumulate the first n-1 shares in partition order, then give the
+    // last shard `total - acc`: summing the partitions back in the same
+    // order reproduces `acc + (total - acc)`, cancelling the rounding
+    // error of the division.
+    let mut acc = Budgets { rbs: 0.0, compute_seconds: 0.0, training_seconds: 0.0, memory_bytes: 0.0 };
+    let mut parts = Vec::with_capacity(shards);
+    for _ in 0..shards - 1 {
+        parts.push(share);
+        acc.rbs += share.rbs;
+        acc.compute_seconds += share.compute_seconds;
+        acc.memory_bytes += share.memory_bytes;
+    }
+    parts.push(Budgets {
+        rbs: total.rbs - acc.rbs,
+        compute_seconds: total.compute_seconds - acc.compute_seconds,
+        training_seconds: total.training_seconds,
+        memory_bytes: total.memory_bytes - acc.memory_bytes,
+    });
+    parts
 }
 
 #[cfg(test)]
@@ -148,6 +171,57 @@ mod tests {
         assert!((memory - total.memory_bytes).abs() < 1e-3);
         for p in &parts {
             assert!((p.training_seconds - total.training_seconds).abs() < 1e-12, "normaliser kept whole");
+        }
+    }
+
+    #[test]
+    fn budgets_partition_sums_exactly_for_awkward_shard_counts() {
+        // 1/3, 1/7 etc. are not representable in binary floating point;
+        // the running-remainder scheme must still make the partitions sum
+        // *bitwise exactly* to the total.
+        let total = Budgets { rbs: 50.0, compute_seconds: 2.5, training_seconds: 1000.0, memory_bytes: 8e9 };
+        for shards in 1..=23 {
+            let parts = partition_budgets(total, shards);
+            assert_eq!(parts.len(), shards);
+            let mut sum =
+                Budgets { rbs: 0.0, compute_seconds: 0.0, training_seconds: 0.0, memory_bytes: 0.0 };
+            // Sum in partition order — the same order the remainder was
+            // peeled off — so exactness is deterministic.
+            for p in &parts {
+                sum.rbs += p.rbs;
+                sum.compute_seconds += p.compute_seconds;
+                sum.memory_bytes += p.memory_bytes;
+            }
+            assert_eq!(sum.rbs, total.rbs, "{shards} shards: rbs drifted");
+            assert_eq!(sum.compute_seconds, total.compute_seconds, "{shards} shards: compute drifted");
+            assert_eq!(sum.memory_bytes, total.memory_bytes, "{shards} shards: memory drifted");
+        }
+    }
+
+    #[test]
+    fn repeated_repartition_cycles_do_not_drift_capacity() {
+        // The elastic-resharding regression: every scale_to repartitions
+        // from the *original* total, so 100 grow/shrink cycles must leave
+        // the summed fleet capacity identical to the starting total.
+        let total = Budgets { rbs: 50.0, compute_seconds: 2.5, training_seconds: 1000.0, memory_bytes: 8e9 };
+        let mut shards = 4usize;
+        for cycle in 0..100 {
+            shards = match cycle % 4 {
+                0 => shards * 2,
+                1 => (shards / 3).max(1),
+                2 => shards + 3,
+                _ => (shards.saturating_sub(2)).max(1),
+            };
+            let parts = partition_budgets(total, shards);
+            let rbs: f64 = parts.iter().map(|b| b.rbs).sum();
+            let compute: f64 = parts.iter().map(|b| b.compute_seconds).sum();
+            let memory: f64 = parts.iter().map(|b| b.memory_bytes).sum();
+            assert_eq!(rbs, total.rbs, "cycle {cycle} ({shards} shards): rbs drifted");
+            assert_eq!(compute, total.compute_seconds, "cycle {cycle} ({shards} shards): compute drifted");
+            assert_eq!(memory, total.memory_bytes, "cycle {cycle} ({shards} shards): memory drifted");
+            for p in &parts {
+                assert_eq!(p.training_seconds, total.training_seconds, "normaliser kept whole");
+            }
         }
     }
 }

@@ -1,20 +1,22 @@
 //! The service facade: starts the shard fleet, routes submissions and
-//! departures, exposes metrics and performs graceful drain.
+//! departures, reshapes the fleet at runtime ([`Service::scale_to`]),
+//! exposes metrics and performs graceful drain.
 
-use crate::config::ServiceConfig;
+use crate::config::{ChaosConfig, ServiceConfig};
 use crate::error::{ServeError, SubmitError};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::router::{partition_budgets, Router};
-use crate::shard::{ShardReport, ShardWorker};
+use crate::shard::{ShardExit, ShardReport, ShardWorker};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
-use offloadnn_core::controller::Controller;
+use offloadnn_core::controller::{ActiveTask, Controller};
 use offloadnn_core::heuristic::OffloadnnSolver;
-use offloadnn_core::instance::{DotInstance, PathOption};
+use offloadnn_core::instance::{Budgets, DotInstance, PathOption};
 use offloadnn_core::task::{Task, TaskId};
 use offloadnn_telemetry::{event, span, Severity};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -68,12 +70,25 @@ pub(crate) struct ServiceRequest {
     pub responder: Sender<Outcome>,
 }
 
+/// A reshard order delivered to a surviving shard: adopt the new budget
+/// partition, extract every active task the new ring maps elsewhere and
+/// hand the extracted tasks back on `reply`.
+pub(crate) struct ReshardCmd {
+    pub router: Arc<Router>,
+    pub budgets: Budgets,
+    pub reply: Sender<Vec<ActiveTask>>,
+}
+
 /// Messages on a shard's ingress queue.
 pub(crate) enum ShardMsg {
     /// An admission request.
     Request(ServiceRequest),
     /// A departure notice: release the task's capacity.
     Depart(TaskId),
+    /// A reshard order (see [`ReshardCmd`]).
+    Reshard(ReshardCmd),
+    /// In-flight tasks migrating in from another shard's keyspace.
+    Adopt(Vec<ActiveTask>),
 }
 
 /// Handle to one submitted request; redeem it for the verdict.
@@ -88,8 +103,9 @@ pub struct Ticket {
 
 impl Ticket {
     /// Blocks until the verdict arrives. `None` only if the worker died
-    /// without resolving (a bug — workers resolve everything, even while
-    /// draining).
+    /// without resolving — which cannot happen outside chaos injection
+    /// ([`crate::config::ChaosConfig`]): workers resolve everything,
+    /// even while draining.
     pub fn wait(&self) -> Option<Outcome> {
         self.rx.recv().ok()
     }
@@ -108,33 +124,80 @@ impl Ticket {
 /// Final report of [`Service::drain`].
 #[derive(Debug, Clone)]
 pub struct DrainReport {
-    /// Metrics at drain completion (quiescent, so conservation holds).
+    /// Metrics at drain completion (quiescent, so conservation holds —
+    /// unless chaos injection killed a shard, see
+    /// [`DrainReport::lost_shards`]).
     pub metrics: MetricsSnapshot,
-    /// Per-shard final state.
+    /// Per-shard final state of the fleet that was live at drain time.
     pub shards: Vec<ShardReport>,
+    /// Final reports of shards retired by earlier [`Service::scale_to`]
+    /// calls (their peaks/rounds are not represented in `shards`).
+    pub retired: Vec<ShardReport>,
+    /// Shards whose worker thread panicked (chaos injection) and
+    /// therefore produced no report. Zero in any healthy run.
+    pub lost_shards: usize,
 }
 
 impl DrainReport {
     /// Whether every shard's peak usage stayed within its budget
-    /// partition.
+    /// partition. Note that a reshard hands migrated tasks to shards
+    /// that admitted none of them, so a fleet that resharded under load
+    /// may transiently exceed a partition; this check is meaningful for
+    /// fixed-topology runs.
     pub fn within_budgets(&self) -> bool {
-        self.shards.iter().all(ShardReport::within_budgets)
+        self.shards.iter().chain(self.retired.iter()).all(ShardReport::within_budgets)
     }
+}
+
+/// Result of one [`Service::scale_to`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReshardReport {
+    /// Shard count before the reshard.
+    pub from_shards: usize,
+    /// Shard count after the reshard.
+    pub to_shards: usize,
+    /// In-flight (admitted, not yet departed) tasks that moved to a new
+    /// owner shard.
+    pub migrated: u64,
+    /// Ring generation after the reshard (starts at 0, +1 per reshard).
+    pub generation: u64,
+}
+
+/// The routing state swapped atomically by a reshard: the ring and the
+/// per-shard ingress senders it indexes into always change together.
+#[derive(Debug)]
+struct RoutingState {
+    router: Arc<Router>,
+    senders: Vec<Sender<ShardMsg>>,
 }
 
 /// A running sharded admission-control service over the OffloaDNN
 /// controller. See the [crate docs](crate) for the architecture.
 ///
-/// `Service` is `Sync`: `submit` / `depart` / `metrics` may be called
-/// from any number of threads concurrently.
+/// `Service` is `Sync`: `submit` / `depart` / `metrics` / `scale_to`
+/// may be called from any number of threads concurrently.
 #[derive(Debug)]
 pub struct Service {
-    senders: Vec<Sender<ShardMsg>>,
-    handles: Vec<JoinHandle<ShardReport>>,
-    router: Router,
+    /// Ring + senders behind one lock so a submit routes and enqueues
+    /// against a single consistent generation (see `scale_to` for the
+    /// ordering argument).
+    routing: RwLock<RoutingState>,
+    /// Worker join handles; index == shard. Grow pushes, shrink
+    /// truncates, self-heal replaces in place.
+    handles: Mutex<Vec<JoinHandle<ShardExit>>>,
+    /// Final reports of shards retired by scale-downs.
+    retired: Mutex<Vec<ShardReport>>,
+    /// Serialises reshards (and fences drain against them).
+    reshard_lock: Mutex<()>,
     metrics: Arc<ServiceMetrics>,
     config: ServiceConfig,
-    draining: Arc<AtomicBool>,
+    /// Cleared instance template (cost tables, rate model, `alpha`) used
+    /// to build controllers for shards spawned after start.
+    template: DotInstance,
+    /// The undivided edge budgets; every reshard repartitions from this
+    /// original total so capacity cannot drift across generations.
+    total_budgets: Budgets,
+    draining: AtomicBool,
 }
 
 impl Service {
@@ -149,9 +212,8 @@ impl Service {
     /// configuration.
     pub fn start(config: ServiceConfig, template: &DotInstance) -> Result<Self, ServeError> {
         config.validate()?;
-        let router = Router::new(config.shards, config.virtual_nodes);
+        let router = Arc::new(Router::new(config.shards, config.virtual_nodes));
         let metrics = Arc::new(ServiceMetrics::new());
-        let draining = Arc::new(AtomicBool::new(false));
         let partitions = partition_budgets(template.budgets, config.shards);
 
         // Shard controllers share the block cost tables and rate model but
@@ -165,21 +227,8 @@ impl Service {
         let mut handles = Vec::with_capacity(config.shards);
         for (shard, budgets) in partitions.into_iter().enumerate() {
             let (tx, rx) = channel::bounded(config.queue_capacity);
-            shard_template.budgets = budgets;
-            let worker = ShardWorker {
-                shard,
-                rx,
-                controller: Controller::new(&shard_template, OffloadnnSolver::new()),
-                budgets,
-                config,
-                metrics: Arc::clone(&metrics),
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("serve-shard-{shard}"))
-                .spawn(move || worker.run())
-                .expect("spawn shard worker");
+            handles.push(spawn_worker(shard, budgets, rx, &shard_template, config, &metrics));
             senders.push(tx);
-            handles.push(handle);
         }
         event!(
             Severity::Info,
@@ -190,17 +239,41 @@ impl Service {
             config.batch_max,
             config.batch_window
         );
-        Ok(Self { senders, handles, router, metrics, config, draining })
+        Ok(Self {
+            routing: RwLock::new(RoutingState { router, senders }),
+            handles: Mutex::new(handles),
+            retired: Mutex::new(Vec::new()),
+            reshard_lock: Mutex::new(()),
+            metrics,
+            config,
+            template: shard_template,
+            total_budgets: template.budgets,
+            draining: AtomicBool::new(false),
+        })
     }
 
-    /// The configuration the service was started with.
+    /// The configuration the service was started with. `shards` reflects
+    /// the *initial* fleet size; [`Service::shards`] gives the current
+    /// one.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
     }
 
-    /// The router (e.g. to predict a task's shard).
-    pub fn router(&self) -> &Router {
-        &self.router
+    /// The current router (e.g. to predict a task's shard). A reshard
+    /// replaces the router, so the returned ring describes the
+    /// generation live at call time.
+    pub fn router(&self) -> Arc<Router> {
+        Arc::clone(&self.routing.read().expect("routing lock").router)
+    }
+
+    /// Current number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.routing.read().expect("routing lock").senders.len()
+    }
+
+    /// Current ring generation (0 at start, +1 per completed reshard).
+    pub fn generation(&self) -> u64 {
+        self.metrics.generation.get()
     }
 
     /// Submits an admission request, returning a [`Ticket`] for the
@@ -240,7 +313,12 @@ impl Service {
         if options.is_empty() {
             return Err(SubmitError::NoOptions);
         }
-        let shard = self.router.route(task.id);
+        // Route and enqueue under one read guard: a concurrent reshard
+        // swaps the router and senders only after this enqueue, so the
+        // message FIFO-precedes the shard's `Reshard` order and resolves
+        // before (or during) the handoff — never against a stale ring.
+        let routing = self.routing.read().expect("routing lock");
+        let shard = routing.router.route(task.id);
         let id = task.id;
         self.metrics.submitted.inc();
         let (responder, rx) = channel::bounded(1);
@@ -252,11 +330,12 @@ impl Service {
             deadline: now + deadline_budget.min(self.config.admission_deadline),
             responder,
         };
-        match self.senders[shard].try_send(ShardMsg::Request(request)) {
+        match routing.senders[shard].try_send(ShardMsg::Request(request)) {
             Ok(()) => {}
             Err(TrySendError::Full(msg)) | Err(TrySendError::Disconnected(msg)) => {
-                // Backpressure (or a drain racing this submit): resolve as
-                // shed right here so conservation holds.
+                // Backpressure (or a dead/draining shard racing this
+                // submit): resolve as shed right here so conservation
+                // holds.
                 if let ShardMsg::Request(req) = msg {
                     self.metrics.shed.inc();
                     self.metrics.latency.record(Duration::ZERO);
@@ -269,12 +348,203 @@ impl Service {
 
     /// Notifies the service that an admitted task has departed; its
     /// shard releases the capacity. Routed by the same consistent hash as
-    /// the submission, so it reaches the controller that holds the task.
-    /// Blocks only while that shard's queue is full (departures are never
-    /// shed — dropping one would leak capacity).
+    /// the submission — on the *current* ring, so after a reshard the
+    /// notice reaches the task's new owner (which buffers it if the
+    /// migration is still in flight). Blocks only while that shard's
+    /// queue is full (departures are never shed — dropping one would leak
+    /// capacity).
     pub fn depart(&self, task: TaskId) {
-        let shard = self.router.route(task);
-        let _ = self.senders[shard].send(ShardMsg::Depart(task));
+        let routing = self.routing.read().expect("routing lock");
+        let shard = routing.router.route(task);
+        let _ = routing.senders[shard].send(ShardMsg::Depart(task));
+    }
+
+    /// Reshapes the fleet to `new_shards` worker shards at runtime,
+    /// without stopping ingress and without losing a verdict or a unit
+    /// of capacity:
+    ///
+    /// 1. the next ring generation and budget partitions are built;
+    /// 2. new shards (on a grow) are spawned idle;
+    /// 3. the routing state — ring *and* senders — is swapped under the
+    ///    write lock, so every message enqueued before the swap
+    ///    FIFO-precedes the reshard order on its shard's queue;
+    /// 4. surviving shards adopt their new budget partition and hand
+    ///    over every in-flight task the new ring maps elsewhere; retired
+    ///    shards drain their pre-swap backlog to verdicts and exit;
+    /// 5. migrated tasks are delivered to their new owners, which also
+    ///    reconcile departures that arrived ahead of the migration.
+    ///
+    /// A shard found dead (chaos injection) is respawned with a fresh
+    /// controller instead of failing the reshard.
+    ///
+    /// Concurrent `scale_to` calls serialise; `submit`/`depart` never
+    /// block on a reshard beyond the routing-swap window.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] if `new_shards` is zero,
+    /// [`ServeError::Draining`] once a drain has begun.
+    pub fn scale_to(&self, new_shards: usize) -> Result<ReshardReport, ServeError> {
+        if new_shards == 0 {
+            return Err(ServeError::InvalidConfig("shards must be >= 1"));
+        }
+        let _reshard_guard = self.reshard_lock.lock().expect("reshard lock");
+        if self.draining.load(Ordering::Acquire) {
+            return Err(ServeError::Draining);
+        }
+        let old_shards = self.shards();
+        if new_shards == old_shards {
+            return Ok(ReshardReport {
+                from_shards: old_shards,
+                to_shards: new_shards,
+                migrated: 0,
+                generation: self.metrics.generation.get(),
+            });
+        }
+        let reshard_span = span!("serve.reshard");
+        let new_router = Arc::new(Router::new(new_shards, self.config.virtual_nodes));
+        let partitions = partition_budgets(self.total_budgets, new_shards);
+        let mut handles = self.handles.lock().expect("handles lock");
+
+        // Spawn the newcomers idle: they must exist before the swap so a
+        // post-swap submit routed to them finds a live queue.
+        let mut new_senders = Vec::new();
+        for (shard, &budgets) in partitions.iter().enumerate().skip(old_shards) {
+            let (tx, rx) = channel::bounded(self.config.queue_capacity);
+            handles.push(spawn_worker(shard, budgets, rx, &self.template, self.config, &self.metrics));
+            new_senders.push(tx);
+        }
+
+        // Atomic handover: after this block every submit/depart routes on
+        // the new ring into the new sender set. Retired senders drop here,
+        // so each retiree sees its pre-swap backlog, then disconnect.
+        {
+            let mut routing = self.routing.write().expect("routing lock");
+            routing.router = Arc::clone(&new_router);
+            if new_shards > old_shards {
+                routing.senders.extend(new_senders);
+            } else {
+                routing.senders.truncate(new_shards);
+            }
+        }
+        let retiring_handles: Vec<JoinHandle<ShardExit>> =
+            if new_shards < old_shards { handles.split_off(new_shards) } else { Vec::new() };
+
+        // Order every survivor to repartition and evacuate remapped keys.
+        let survivors = old_shards.min(new_shards);
+        let mut moved: Vec<ActiveTask> = Vec::new();
+        let mut replies: Vec<(usize, Receiver<Vec<ActiveTask>>)> = Vec::with_capacity(survivors);
+        for (shard, &budgets) in partitions.iter().enumerate().take(survivors) {
+            let (reply, reply_rx) = channel::bounded(1);
+            let cmd = ReshardCmd { router: Arc::clone(&new_router), budgets, reply };
+            let sender = self.routing.read().expect("routing lock").senders[shard].clone();
+            if sender.send(ShardMsg::Reshard(cmd)).is_err() {
+                // Disconnected queue: the worker is dead (chaos). Respawn
+                // it with a fresh controller; its in-flight tasks are
+                // gone with the panic.
+                self.heal_shard(shard, budgets, &mut handles, &mut moved);
+            } else {
+                replies.push((shard, reply_rx));
+            }
+        }
+
+        // Collect the evacuated tasks. A worker dying between the order
+        // and its reply is also healed here.
+        for (shard, reply_rx) in replies {
+            match reply_rx.recv() {
+                Ok(tasks) => moved.extend(tasks),
+                Err(_) => self.heal_shard(shard, partitions[shard], &mut handles, &mut moved),
+            }
+        }
+
+        // Retired shards drain to exit; their still-active tasks join the
+        // migration set.
+        let mut retired = self.retired.lock().expect("retired lock");
+        let mut lost = 0usize;
+        for handle in retiring_handles {
+            match handle.join() {
+                Ok(exit) => {
+                    retired.push(exit.report);
+                    moved.extend(exit.active);
+                }
+                Err(_) => lost += 1,
+            }
+        }
+        drop(retired);
+        if lost > 0 {
+            event!(
+                Severity::Warn,
+                "serve.service",
+                "reshard: {lost} retiring shard(s) had panicked; their in-flight tasks are lost"
+            );
+        }
+
+        // Deliver each migrated task to its new owner. The Adopt is
+        // enqueued on the same channel later departures use, so FIFO
+        // guarantees the owner holds the task before a post-reshard
+        // departure reaches it (and pre-Adopt departures are buffered by
+        // the owner's orphan set).
+        let migrated = moved.len() as u64;
+        let mut by_owner: Vec<Vec<ActiveTask>> = (0..new_shards).map(|_| Vec::new()).collect();
+        for task in moved {
+            by_owner[new_router.route(task.task.id)].push(task);
+        }
+        {
+            let routing = self.routing.read().expect("routing lock");
+            for (shard, tasks) in by_owner.into_iter().enumerate() {
+                if !tasks.is_empty() {
+                    let _ = routing.senders[shard].send(ShardMsg::Adopt(tasks));
+                }
+            }
+        }
+        drop(handles);
+
+        let generation = self.metrics.generation.get() + 1;
+        self.metrics.generation.set(generation);
+        self.metrics.reshards.inc();
+        self.metrics.migrated.add(migrated);
+        reshard_span.finish();
+        event!(
+            Severity::Info,
+            "serve.service",
+            "resharded {old_shards} -> {new_shards} shard(s): {migrated} task(s) migrated, generation {generation}"
+        );
+        Ok(ReshardReport { from_shards: old_shards, to_shards: new_shards, migrated, generation })
+    }
+
+    /// Replaces a dead shard with a fresh worker (fresh controller, same
+    /// budget partition). If the old worker somehow exited cleanly its
+    /// report is kept and its tasks are salvaged into `moved`.
+    fn heal_shard(
+        &self,
+        shard: usize,
+        budgets: Budgets,
+        handles: &mut [JoinHandle<ShardExit>],
+        moved: &mut Vec<ActiveTask>,
+    ) {
+        event!(Severity::Warn, "serve.service", "shard {shard} is dead; respawning with a fresh controller");
+        let (tx, rx) = channel::bounded(self.config.queue_capacity);
+        // The replacement runs with chaos injection cleared: the fault
+        // already fired, and a heal that re-arms the same trigger (the
+        // fresh worker restarts its round counter) would never converge.
+        let mut config = self.config;
+        config.chaos = ChaosConfig::default();
+        let fresh = spawn_worker(shard, budgets, rx, &self.template, config, &self.metrics);
+        let old = std::mem::replace(&mut handles[shard], fresh);
+        self.routing.write().expect("routing lock").senders[shard] = tx;
+        match old.join() {
+            Ok(exit) => {
+                self.retired.lock().expect("retired lock").push(exit.report);
+                moved.extend(exit.active);
+            }
+            Err(_) => {
+                event!(
+                    Severity::Warn,
+                    "serve.service",
+                    "shard {shard} worker had panicked; its in-flight tasks are lost"
+                );
+            }
+        }
     }
 
     /// Point-in-time metrics; callable from any thread while the service
@@ -295,7 +565,9 @@ impl Service {
     /// already-queued requests keep resolving to verdicts. This is the
     /// hook a frontend (e.g. a network server) uses to fence off new work,
     /// flush in-flight responses to its own callers, and only then call
-    /// [`Service::drain`] for the final join + report.
+    /// [`Service::drain`] for the final join + report. It also fences
+    /// resharding: a [`Service::scale_to`] issued afterwards fails with
+    /// [`ServeError::Draining`].
     pub fn begin_drain(&self) {
         self.draining.store(true, Ordering::Release);
     }
@@ -306,28 +578,44 @@ impl Service {
         self.draining.load(Ordering::Acquire)
     }
 
-    /// Gracefully drains: stops accepting new requests, lets every queued
-    /// request reach a verdict (admission, rejection or expiry), joins
-    /// the workers and returns the final report. Conservation
-    /// (`submitted = admitted + rejected + shed + expired`) holds on the
-    /// returned metrics.
-    pub fn drain(mut self) -> DrainReport {
+    /// Gracefully drains: stops accepting new requests, waits out any
+    /// in-flight reshard, lets every queued request reach a verdict
+    /// (admission, rejection or expiry), joins the workers and returns
+    /// the final report. Conservation (`submitted = admitted + rejected +
+    /// shed + expired`) holds on the returned metrics unless chaos
+    /// injection killed a worker mid-flight
+    /// ([`DrainReport::lost_shards`]).
+    pub fn drain(self) -> DrainReport {
         self.draining.store(true, Ordering::Release);
+        // Serialise against scale_to: once the lock is held, the handle
+        // set is stable and any later scale_to fails with Draining.
+        let reshard_guard = self.reshard_lock.lock().expect("reshard lock");
         // Dropping the senders disconnects the queues; each worker keeps
         // resolving until its queue is empty, then exits.
-        self.senders.clear();
-        let mut shards: Vec<ShardReport> = Vec::with_capacity(self.handles.len());
-        for handle in self.handles.drain(..) {
+        self.routing.write().expect("routing lock").senders.clear();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handles lock"));
+        let mut shards: Vec<ShardReport> = Vec::with_capacity(handles.len());
+        let mut lost_shards = 0usize;
+        for handle in handles {
             // One "serve.drain" sample per shard: drain start to that
             // worker's exit (joins overlap, so samples are cumulative).
             let drain_span = span!("serve.drain");
             match handle.join() {
-                Ok(report) => shards.push(report),
-                Err(panic) => std::panic::resume_unwind(panic),
+                Ok(exit) => shards.push(exit.report),
+                Err(_) => lost_shards += 1,
             }
             drain_span.finish();
         }
+        drop(reshard_guard);
+        if lost_shards > 0 {
+            event!(
+                Severity::Warn,
+                "serve.service",
+                "drain: {lost_shards} worker(s) had panicked and produced no report"
+            );
+        }
         shards.sort_by_key(|r| r.shard);
+        let retired = std::mem::take(&mut *self.retired.lock().expect("retired lock"));
         let metrics = self.metrics.snapshot();
         event!(
             Severity::Info,
@@ -339,7 +627,7 @@ impl Service {
             metrics.shed,
             metrics.expired
         );
-        DrainReport { metrics, shards }
+        DrainReport { metrics, shards, retired, lost_shards }
     }
 }
 
@@ -349,8 +637,38 @@ impl Drop for Service {
     /// resolving its backlog. The workers are detached, not joined.
     fn drop(&mut self) {
         self.draining.store(true, Ordering::Release);
-        self.senders.clear();
+        if let Ok(mut routing) = self.routing.write() {
+            routing.senders.clear();
+        }
     }
+}
+
+/// Spawns one shard worker thread over a fresh controller scoped to
+/// `budgets`.
+fn spawn_worker(
+    shard: usize,
+    budgets: Budgets,
+    rx: Receiver<ShardMsg>,
+    template: &DotInstance,
+    config: ServiceConfig,
+    metrics: &Arc<ServiceMetrics>,
+) -> JoinHandle<ShardExit> {
+    let mut shard_template = template.clone();
+    shard_template.budgets = budgets;
+    let worker = ShardWorker {
+        shard,
+        rx,
+        controller: Controller::new(&shard_template, OffloadnnSolver::new()),
+        budgets,
+        config,
+        metrics: Arc::clone(metrics),
+        orphans: HashSet::new(),
+        pending_reshards: Vec::new(),
+    };
+    std::thread::Builder::new()
+        .name(format!("serve-shard-{shard}"))
+        .spawn(move || worker.run())
+        .expect("spawn shard worker")
 }
 
 #[cfg(test)]
@@ -377,6 +695,7 @@ mod tests {
         assert!(report.metrics.is_conserved());
         assert_eq!(report.metrics.submitted, 1);
         assert_eq!(report.metrics.admitted, 1);
+        assert_eq!(report.lost_shards, 0);
         assert!(report.within_budgets());
     }
 
@@ -390,7 +709,7 @@ mod tests {
         // Can't use the drained service (moved), so check the error path
         // on a fresh service mid-drain instead.
         let service = Service::start(ServiceConfig::default(), &s.instance).unwrap();
-        service.draining.store(true, Ordering::Release);
+        service.begin_drain();
         assert_eq!(service.submit(task, options).unwrap_err(), SubmitError::Draining);
         assert_eq!(service.metrics().submitted, 0, "rejected submits are not counted");
     }
@@ -516,5 +835,98 @@ mod tests {
         drop(service);
         // The worker resolves the in-flight request before exiting.
         assert!(ticket.wait().is_some());
+    }
+
+    #[test]
+    fn scale_to_zero_is_invalid_and_same_count_is_a_noop() {
+        let s = small_scenario(3);
+        let service =
+            Service::start(ServiceConfig { shards: 2, ..ServiceConfig::default() }, &s.instance).unwrap();
+        assert!(matches!(service.scale_to(0), Err(ServeError::InvalidConfig(_))));
+        let report = service.scale_to(2).unwrap();
+        assert_eq!(report.from_shards, 2);
+        assert_eq!(report.to_shards, 2);
+        assert_eq!(report.migrated, 0);
+        assert_eq!(report.generation, 0, "a no-op does not advance the generation");
+        assert_eq!(service.metrics().reshards, 0);
+    }
+
+    #[test]
+    fn scale_after_begin_drain_is_refused() {
+        let s = small_scenario(3);
+        let service =
+            Service::start(ServiceConfig { shards: 2, ..ServiceConfig::default() }, &s.instance).unwrap();
+        service.begin_drain();
+        assert_eq!(service.scale_to(4).unwrap_err(), ServeError::Draining);
+    }
+
+    #[test]
+    fn scale_up_keeps_serving_and_conserves() {
+        let s = small_scenario(5);
+        let cfg = ServiceConfig { shards: 2, ..ServiceConfig::default() };
+        let service = Service::start(cfg, &s.instance).unwrap();
+        let mut admitted = Vec::new();
+        for id in 0..20u32 {
+            let (task, options) = unique_task(&s.instance, (id % 5) as usize, 3000 + id);
+            let ticket = service.submit(task, options).unwrap();
+            if ticket.wait().unwrap().is_admitted() {
+                admitted.push(ticket.task);
+            }
+        }
+        let report = service.scale_to(5).unwrap();
+        assert_eq!(report.from_shards, 2);
+        assert_eq!(report.to_shards, 5);
+        assert_eq!(report.generation, 1);
+        assert_eq!(service.shards(), 5);
+        // The fleet keeps serving on the new ring.
+        for id in 0..20u32 {
+            let (task, options) = unique_task(&s.instance, (id % 5) as usize, 4000 + id);
+            let ticket = service.submit(task, options).unwrap();
+            if ticket.wait().unwrap().is_admitted() {
+                admitted.push(ticket.task);
+            }
+        }
+        for id in &admitted {
+            service.depart(*id);
+        }
+        let drained = service.drain();
+        assert!(drained.metrics.is_conserved());
+        assert_eq!(drained.metrics.departed as usize, admitted.len());
+        assert_eq!(drained.metrics.reshards, 1);
+        assert_eq!(drained.metrics.generation, 1);
+        assert_eq!(drained.lost_shards, 0);
+        let active: usize = drained.shards.iter().map(|r| r.snapshot.active_tasks).sum();
+        assert_eq!(active, 0, "every admitted task departed cleanly across the reshard");
+    }
+
+    #[test]
+    fn scale_down_migrates_in_flight_tasks_to_survivors() {
+        let s = small_scenario(5);
+        let cfg = ServiceConfig { shards: 4, ..ServiceConfig::default() };
+        let service = Service::start(cfg, &s.instance).unwrap();
+        let mut admitted = Vec::new();
+        for id in 0..16u32 {
+            let (task, options) = unique_task(&s.instance, (id % 5) as usize, 5000 + id);
+            let ticket = service.submit(task, options).unwrap();
+            if ticket.wait().unwrap().is_admitted() {
+                admitted.push(ticket.task);
+            }
+        }
+        assert!(!admitted.is_empty());
+        let report = service.scale_to(1).unwrap();
+        assert_eq!(report.to_shards, 1);
+        assert_eq!(service.shards(), 1);
+        // Every departure now routes to the lone survivor, which must
+        // hold (or have buffered a departure for) every migrated task.
+        for id in &admitted {
+            service.depart(*id);
+        }
+        let drained = service.drain();
+        assert!(drained.metrics.is_conserved());
+        assert_eq!(drained.metrics.departed as usize, admitted.len());
+        assert_eq!(drained.shards.len(), 1);
+        assert_eq!(drained.shards[0].snapshot.active_tasks, 0, "all migrated capacity released");
+        assert_eq!(drained.retired.len(), 3, "three shards retired with reports");
+        assert_eq!(drained.lost_shards, 0);
     }
 }

@@ -1,16 +1,25 @@
 //! The per-shard worker: batch assembly, expiry, priority shedding,
-//! solver rounds and departure handling around one `Controller`.
+//! solver rounds, departure handling and reshard handoffs around one
+//! `Controller`.
 
 use crate::config::ServiceConfig;
 use crate::metrics::ServiceMetrics;
-use crate::service::{Outcome, ServiceRequest, ShardMsg};
+use crate::service::{Outcome, ReshardCmd, ServiceRequest, ShardMsg};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
-use offloadnn_core::controller::{AdmissionRequest, Controller, ControllerSnapshot};
+use offloadnn_core::controller::{ActiveTask, AdmissionRequest, Controller, ControllerSnapshot};
 use offloadnn_core::instance::Budgets;
+use offloadnn_core::task::TaskId;
 use offloadnn_telemetry::{event, span, Severity};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Upper bound on buffered orphan departures (departure notices that
+/// arrived before the migration handing us the task). Reconciliation
+/// removes entries, so in a healthy fleet the set stays tiny; the cap
+/// only bounds memory against a caller departing ids that never existed.
+const ORPHAN_CAP: usize = 65_536;
 
 /// Final state a shard worker returns when it exits (after
 /// [`crate::service::Service::drain`] or when the service is dropped).
@@ -18,11 +27,13 @@ use std::time::Instant;
 pub struct ShardReport {
     /// Shard index.
     pub shard: usize,
-    /// The budget partition this shard was given.
+    /// The budget partition this shard was given (the latest one, if the
+    /// fleet resharded).
     pub budgets: Budgets,
     /// Controller state at exit.
     pub snapshot: ControllerSnapshot,
-    /// Highest admission-weighted RB usage observed after any round.
+    /// Highest admission-weighted RB usage observed after any round
+    /// since the last reshard (peaks reset when the partition changes).
     pub peak_rbs: f64,
     /// Highest compute usage observed after any round (GPU-s/s).
     pub peak_compute: f64,
@@ -44,6 +55,14 @@ impl ShardReport {
     }
 }
 
+/// What a worker thread yields on exit: its report plus whatever tasks
+/// were still active, so a scale-down can migrate them to the surviving
+/// shards instead of leaking their capacity.
+pub(crate) struct ShardExit {
+    pub report: ShardReport,
+    pub active: Vec<ActiveTask>,
+}
+
 /// One shard's worker state; consumed by [`ShardWorker::run`] on its own
 /// thread.
 pub(crate) struct ShardWorker {
@@ -53,16 +72,23 @@ pub(crate) struct ShardWorker {
     pub budgets: Budgets,
     pub config: ServiceConfig,
     pub metrics: Arc<ServiceMetrics>,
+    /// Departures that outran their task's migration: a departure routed
+    /// here before the matching `Adopt` arrived. Reconciled on adoption.
+    pub orphans: HashSet<TaskId>,
+    /// Reshard orders received mid-batch; executed after the current
+    /// round so every pre-swap request resolves before the handoff.
+    pub pending_reshards: Vec<ReshardCmd>,
 }
 
 impl ShardWorker {
     /// The worker loop: blocks for the first message of a round, fills a
     /// batch within the batching window, sheds overload priority-first,
     /// expires stale requests and resolves the rest through the
-    /// controller. Exits — returning the final report — once every sender
-    /// is gone and the queue is empty, so draining never strands a
+    /// controller. Reshard orders execute between rounds. Exits —
+    /// returning the final report and any still-active tasks — once every
+    /// sender is gone and the queue is empty, so draining never strands a
     /// request.
-    pub(crate) fn run(mut self) -> ShardReport {
+    pub(crate) fn run(mut self) -> ShardExit {
         let mut peak = (0.0f64, 0.0f64, 0.0f64);
         let mut rounds = 0u64;
         loop {
@@ -117,15 +143,24 @@ impl ShardWorker {
             }
             batch_span.finish();
 
-            if self.round(batch) {
+            if self.round(batch, rounds + 1) {
                 rounds += 1;
                 let snap = self.controller.snapshot();
                 peak.0 = peak.0.max(snap.rbs);
                 peak.1 = peak.1.max(snap.compute_seconds);
                 peak.2 = peak.2.max(snap.memory_bytes);
             }
+
+            // Execute reshard orders only after the round: every request
+            // that FIFO-preceded the order has its verdict, and any that
+            // followed it (same batch) was admitted into a controller the
+            // extraction below immediately re-checks against the new
+            // ring.
+            for cmd in std::mem::take(&mut self.pending_reshards) {
+                self.execute_reshard(cmd, &mut peak);
+            }
         }
-        ShardReport {
+        let report = ShardReport {
             shard: self.shard,
             budgets: self.budgets,
             snapshot: self.controller.snapshot(),
@@ -133,21 +168,62 @@ impl ShardWorker {
             peak_compute: peak.1,
             peak_memory: peak.2,
             rounds,
-        }
+        };
+        ShardExit { report, active: self.controller.take_active() }
     }
 
     fn handle(&mut self, msg: ShardMsg, batch: &mut Vec<ServiceRequest>) {
         match msg {
             ShardMsg::Request(req) => batch.push(req),
             ShardMsg::Depart(id) => {
-                self.controller.release(&[id]);
+                if self.controller.release(&[id]) == 0 && self.orphans.len() < ORPHAN_CAP {
+                    // The departure outran the migration handing us this
+                    // task (or names an id we never held): remember it so
+                    // a later Adopt does not resurrect departed capacity.
+                    self.orphans.insert(id);
+                }
                 self.metrics.departed.inc();
+            }
+            ShardMsg::Reshard(cmd) => self.pending_reshards.push(cmd),
+            ShardMsg::Adopt(tasks) => {
+                let mut keep = Vec::with_capacity(tasks.len());
+                for task in tasks {
+                    // A buffered orphan departure settles here: the task
+                    // departed while its migration was in flight, so its
+                    // capacity is simply never adopted.
+                    if !self.orphans.remove(&task.task.id) {
+                        keep.push(task);
+                    }
+                }
+                self.controller.adopt(keep);
             }
         }
     }
 
+    /// Applies one reshard order: adopt the new budget partition, then
+    /// evacuate every active task the new ring maps to another shard.
+    fn execute_reshard(&mut self, cmd: ReshardCmd, peak: &mut (f64, f64, f64)) {
+        self.budgets = cmd.budgets;
+        self.controller.set_budgets(cmd.budgets);
+        let shard = self.shard;
+        let evacuated = self.controller.extract_if(|a| cmd.router.route(a.task.id) != shard);
+        // Peaks restart against the new partition: a peak recorded under
+        // the previous budgets says nothing about the new ones.
+        *peak = (0.0, 0.0, 0.0);
+        event!(
+            Severity::Info,
+            "serve.shard",
+            "shard {} resharded: {} task(s) evacuated, budgets rescoped",
+            shard,
+            evacuated.len()
+        );
+        let _ = cmd.reply.send(evacuated);
+    }
+
     /// Resolves one batch; returns whether a solver round actually ran.
-    fn round(&mut self, batch: Vec<ServiceRequest>) -> bool {
+    /// `round_no` is the 1-based number this round will get if it runs
+    /// (chaos injection is keyed on it).
+    fn round(&mut self, batch: Vec<ServiceRequest>, round_no: u64) -> bool {
         if batch.is_empty() {
             return false;
         }
@@ -158,6 +234,14 @@ impl ShardWorker {
         }
         if live.is_empty() {
             return false;
+        }
+        if let Some((shard, at_round)) = self.config.chaos.panic_shard_at_round {
+            if shard == self.shard && at_round == round_no {
+                panic!("chaos injection: shard {shard} panics entering solver round {at_round}");
+            }
+        }
+        if !self.config.chaos.slow_solver.is_zero() {
+            std::thread::sleep(self.config.chaos.slow_solver);
         }
         self.metrics.peak_batch.raise(live.len() as u64);
 

@@ -50,6 +50,58 @@ proptest! {
         );
     }
 
+    /// The elastic-reshard contract for *arbitrary* jumps, not just +1:
+    /// rerouting from `old_n` to `new_n` shards moves at most the ideal
+    /// `|new_n - old_n| / max(old_n, new_n)` fraction of the keyspace,
+    /// plus slack for the finite virtual-node resolution. This is the
+    /// bound `Service::scale_to` relies on to keep migration cheap.
+    fn arbitrary_rescale_moves_a_bounded_fraction(
+        old_n in 1usize..11,
+        new_n in 1usize..11,
+        virtual_nodes in 16usize..129,
+    ) {
+        prop_assume!(old_n != new_n);
+        let before = Router::new(old_n, virtual_nodes);
+        let after = Router::new(new_n, virtual_nodes);
+
+        let moved = (0..KEYS).filter(|&i| before.route(TaskId(i)) != after.route(TaskId(i))).count();
+        let frac = moved as f64 / f64::from(KEYS);
+        let ideal = old_n.abs_diff(new_n) as f64 / old_n.max(new_n) as f64;
+        const EPSILON: f64 = 0.25;
+        prop_assert!(
+            frac <= ideal + EPSILON,
+            "remapped {:.1}% of keys (ideal {:.1}% + ε {:.0}%) going {} -> {} shards with {} vnodes",
+            100.0 * frac, 100.0 * ideal, 100.0 * EPSILON, old_n, new_n, virtual_nodes
+        );
+    }
+
+    /// Scaling *down* removes ring points belonging only to the retired
+    /// shards, so a key owned by a surviving shard must keep its owner:
+    /// unchanged shards never gain keys they did not already own, and
+    /// every key that does move belonged to a retired shard.
+    fn scaling_down_never_remaps_keys_between_survivors(
+        old_n in 2usize..11,
+        new_n in 1usize..10,
+        virtual_nodes in 1usize..129,
+    ) {
+        prop_assume!(new_n < old_n);
+        let before = Router::new(old_n, virtual_nodes);
+        let after = Router::new(new_n, virtual_nodes);
+
+        for i in 0..KEYS {
+            let (b, a) = (before.route(TaskId(i)), after.route(TaskId(i)));
+            prop_assert!(a < new_n, "key {} routed to retired shard {}", i, a);
+            if b < new_n {
+                prop_assert_eq!(
+                    a, b,
+                    "key {} moved from surviving shard {} to {} on a {} -> {} shrink — \
+                     survivors' keyspaces must be untouched",
+                    i, b, a, old_n, new_n
+                );
+            }
+        }
+    }
+
     /// Doubling the virtual-node count must not break determinism or
     /// range: every key routes into `0..shards` identically across calls.
     fn routing_stays_deterministic_and_in_range(

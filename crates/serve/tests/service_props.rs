@@ -43,6 +43,7 @@ fn run_randomized(shape: Shape) -> LoadgenReport {
         admission_deadline: Duration::from_micros(shape.deadline_us),
         shed_watermark: shape.shed_watermark,
         virtual_nodes: 16,
+        chaos: Default::default(),
     };
     let cfg = LoadgenConfig {
         requests: shape.requests,

@@ -294,7 +294,14 @@ impl<T> Drop for Receiver<T> {
         let mut state = self.shared.state.lock().unwrap();
         state.receivers -= 1;
         if state.receivers == 0 {
+            // Match crossbeam-channel: disconnecting the receive side
+            // discards everything still queued, so in-flight messages'
+            // `Drop` impls run now rather than whenever the last sender
+            // goes away (a waiter on a reply channel inside a queued
+            // message must learn about the disconnect promptly).
+            let orphaned: VecDeque<T> = std::mem::take(&mut state.queue);
             drop(state);
+            drop(orphaned);
             self.shared.not_full.notify_all();
         }
     }
