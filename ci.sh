@@ -37,10 +37,19 @@ echo "==> reshard gate: live 4->8->2 reshard over TCP under sustained load"
 timeout 300 cargo run -q --release -p offloadnn-net --bin net_loadgen -- \
     --requests 8000 --clients 4 --shards 4 --scale-script "2000:8,5000:2" >/dev/null
 
+echo "==> reactor gate: live 4->8->2 reshard through the epoll frontend"
+timeout 300 cargo run -q --release -p offloadnn-net --bin net_loadgen -- \
+    --frontend reactor --requests 8000 --clients 4 --shards 4 --scale-script "2000:8,5000:2" >/dev/null
+
+echo "==> reactor gate: 512 concurrent connections on the fixed-size event-loop pool"
+timeout 300 cargo run -q --release -p offloadnn-net --bin net_loadgen -- \
+    --frontend reactor --requests 5120 --clients 512 --window 4 --shards 2 --ues 3 >/dev/null
+
 echo "==> telemetry overhead gate: workspace builds and tier-1 passes with telemetry compiled out"
 cargo build --workspace --features telemetry-disabled
 cargo test -q --features telemetry-disabled
 timeout 300 cargo test -q -p offloadnn-serve --test reshard_telemetry --features offloadnn-telemetry/disabled
+timeout 300 cargo test -q -p offloadnn-net --test net_telemetry --features offloadnn-telemetry/disabled
 
 echo "==> cargo bench smoke (criterion --test mode)"
 cargo bench --workspace -- --test >/dev/null

@@ -18,7 +18,7 @@
 
 use offloadnn_core::scenario::small_scenario;
 use offloadnn_core::task::TaskId;
-use offloadnn_net::{Client, ClientConfig, NetConfig, NetError, NetServer};
+use offloadnn_net::{AnyServer, Client, ClientConfig, Frontend, NetConfig, NetError};
 use offloadnn_serve::{Outcome, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -33,8 +33,15 @@ net_loadgen — loopback load generator for the offloadnn-net TCP frontend
 USAGE: net_loadgen [OPTIONS]
 
 OPTIONS (all optional; defaults in brackets):
+  --frontend F        TCP frontend serving the run:
+                      'threads' (reader+writer pair per
+                      connection) or 'reactor' (fixed epoll
+                      event-loop pool)                    [threads]
   --requests N        total submits across all clients    [20000]
-  --clients N         concurrent client connections       [4]
+  --clients N         concurrent client connections; the
+                      server's connection limit is raised
+                      to fit, so 512+ works against the
+                      reactor frontend                    [4]
   --window N          per-client pipeline depth           [128]
   --shards N          service worker shards               [4]
   --ues N             UEs in the reference scenario       [5]
@@ -57,6 +64,7 @@ OPTIONS (all optional; defaults in brackets):
 ";
 
 struct Args {
+    frontend: Frontend,
     requests: u64,
     clients: usize,
     window: usize,
@@ -76,6 +84,7 @@ impl Default for Args {
     fn default() -> Self {
         let s = ServiceConfig::default();
         Self {
+            frontend: Frontend::default(),
             requests: 20_000,
             clients: 4,
             window: 128,
@@ -122,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
         let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
         let bad = |e: &dyn std::fmt::Display| format!("{flag} {value}: {e}");
         match flag.as_str() {
+            "--frontend" => args.frontend = value.parse().map_err(|e| bad(&e))?,
             "--requests" => args.requests = value.parse().map_err(|e| bad(&e))?,
             "--clients" => args.clients = value.parse().map_err(|e| bad(&e))?,
             "--window" => args.window = value.parse().map_err(|e| bad(&e))?,
@@ -273,18 +283,30 @@ fn main() -> ExitCode {
     let protos: Vec<_> =
         scenario.instance.tasks.iter().cloned().zip(scenario.instance.options.iter().cloned()).collect();
 
-    let server =
-        match NetServer::start(("127.0.0.1", 0), NetConfig::default(), service_config, &scenario.instance) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: failed to start server: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+    // Raise the connection limit to fit the requested client fleet (+
+    // the control connection and the shutdown wake), so --clients 512
+    // exercises concurrency rather than the TooManyConnections path.
+    let net_config = NetConfig {
+        max_connections: NetConfig::default().max_connections.max(args.clients + 8),
+        ..NetConfig::default()
+    };
+    let server = match AnyServer::start(
+        args.frontend,
+        ("127.0.0.1", 0),
+        net_config,
+        service_config,
+        &scenario.instance,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let addr = server.local_addr();
     println!(
-        "net_loadgen: {} requests, {} client(s) x window {}, {} shard(s), seed {} — server {addr}",
-        args.requests, args.clients, args.window, args.shards, args.seed
+        "net_loadgen: frontend {}, {} requests, {} concurrent connection(s) x window {}, {} shard(s), seed {} — server {addr}",
+        args.frontend, args.requests, args.clients, args.window, args.shards, args.seed
     );
 
     let started = Instant::now();

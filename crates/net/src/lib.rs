@@ -11,13 +11,17 @@
 //!   never panics on malformed input: truncation, bad magic, version
 //!   skew, hostile length prefixes and corrupted checksums all surface
 //!   as typed [`DecodeError`]s.
-//! * **Server** ([`server`]) — a multithreaded TCP frontend over
-//!   `std::net`: one acceptor thread, a reader + writer thread per
-//!   connection with read/write timeouts, a bounded per-connection
+//! * **Server** — two interchangeable TCP frontends behind the
+//!   [`Frontend`] switch (or directly), with identical wire behaviour:
+//!   the threaded [`server::NetServer`] (one acceptor, a reader +
+//!   writer thread per connection) and the epoll-based
+//!   [`async_server::AsyncServer`] (a fixed pool of event loops built
+//!   on `offloadnn-reactor`, multiplexing hundreds of connections onto
+//!   a handful of threads). Both enforce a bounded per-connection
 //!   in-flight window (backpressure propagates through the TCP receive
-//!   buffer, not server memory), a connection-count limit, and graceful
-//!   drain that flushes every in-flight verdict to its client before
-//!   closing.
+//!   buffer, not server memory), a connection-count limit, capped
+//!   backoff on accept errors, and graceful drain that flushes every
+//!   in-flight verdict to its client before closing.
 //! * **Client** ([`client`]) — a pipelining client library with
 //!   per-request deadline propagation (the client's budget travels in
 //!   the frame; the server enforces the *tighter* of it and its own
@@ -26,7 +30,9 @@
 //!
 //! Hot paths record through [`offloadnn_telemetry`]: `net.encode` /
 //! `net.decode` / `net.rtt` span histograms, per-frame-type `net.tx.*` /
-//! `net.rx.*` counters, and connection lifecycle events.
+//! `net.rx.*` counters, the `net.conns` gauge, reactor loop counters
+//! (`net.epoll.wakeups`, `net.readiness.{read,write}`), and connection
+//! lifecycle events.
 //!
 //! ```no_run
 //! use offloadnn_core::scenario::small_scenario;
@@ -56,13 +62,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod async_server;
+mod backoff;
 pub mod client;
 pub mod codec;
 pub mod error;
+pub mod frontend;
+mod instruments;
 pub mod server;
 pub mod wire;
 
+pub use async_server::{AsyncServer, ReactorConfig};
 pub use client::{Client, ClientConfig, PendingVerdict};
 pub use codec::{decode, decode_exact, encode, ErrorCode, Frame, MAGIC, MAX_PAYLOAD, VERSION};
 pub use error::{DecodeError, NetError};
+pub use frontend::{AnyServer, Frontend};
 pub use server::{NetConfig, NetServer};

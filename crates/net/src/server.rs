@@ -28,8 +28,10 @@
 //! before the connection closes — the writer thread drains its whole
 //! queue before exiting, so drain never strands an in-flight verdict.
 
+use crate::backoff::AcceptBackoff;
 use crate::codec::{self, ErrorCode, ErrorResponse, Frame, MetricsResponse, OutcomeResponse, ScaleResponse};
 use crate::error::NetError;
+use crate::instruments::NetInstruments;
 use crossbeam::channel::{self, Receiver, Sender};
 use offloadnn_core::instance::DotInstance;
 use offloadnn_serve::{DrainReport, Service, ServiceConfig, Ticket};
@@ -113,6 +115,7 @@ struct Shared {
     shutdown: AtomicBool,
     active: AtomicUsize,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    instruments: Option<NetInstruments>,
 }
 
 /// A running TCP frontend. Start with [`NetServer::start`]; stop with
@@ -162,6 +165,7 @@ impl NetServer {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
+            instruments: NetInstruments::new(),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -240,13 +244,27 @@ impl NetServer {
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     let mut next_conn_id: u64 = 0;
-    for stream in listener.incoming() {
+    let mut backoff = AcceptBackoff::new();
+    loop {
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
-        let stream = match stream {
-            Ok(s) => s,
-            Err(_) => continue,
+        let stream = match listener.accept() {
+            Ok((s, _)) => {
+                backoff.on_success();
+                s
+            }
+            Err(e) => {
+                // ECONNABORTED and friends retry immediately; fd/memory
+                // exhaustion (EMFILE/ENFILE/...) pauses with capped
+                // exponential backoff so the acceptor cannot spin on an
+                // error the very next accept would re-hit.
+                event!(Severity::Warn, "net.server", "accept failed: {e}");
+                if let Some(pause) = backoff.on_error(&e) {
+                    std::thread::sleep(pause);
+                }
+                continue;
+            }
         };
         let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
         if shared.active.load(Ordering::Acquire) >= shared.net.max_connections {
@@ -257,6 +275,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         let conn_id = next_conn_id;
         next_conn_id += 1;
         shared.active.fetch_add(1, Ordering::AcqRel);
+        if let Some(instruments) = &shared.instruments {
+            instruments.conns.add(1);
+        }
         event!(Severity::Info, "net.server", "conn {conn_id}: accepted from {peer}");
         let shared_conn = Arc::clone(shared);
         let handle = std::thread::Builder::new()
@@ -264,6 +285,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             .spawn(move || {
                 serve_connection(conn_id, stream, &shared_conn);
                 shared_conn.active.fetch_sub(1, Ordering::AcqRel);
+                if let Some(instruments) = &shared_conn.instruments {
+                    instruments.conns.sub(1);
+                }
             })
             .expect("spawn connection thread");
         shared.conns.lock().expect("conns lock").push(handle);
@@ -271,7 +295,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 /// Best-effort "too many connections" notice before dropping the socket.
-fn reject_over_limit(mut stream: TcpStream, write_timeout: Duration) {
+/// Shared by both frontends.
+pub(crate) fn reject_over_limit(mut stream: TcpStream, write_timeout: Duration) {
     let _ = stream.set_write_timeout(Some(write_timeout));
     let frame = Frame::Error(ErrorResponse {
         request_id: 0,

@@ -1,5 +1,10 @@
-//! Loopback integration tests: a real [`NetServer`] on an ephemeral
-//! port, driven by real [`Client`]s over TCP.
+//! Loopback integration tests: a real server on an ephemeral port,
+//! driven by real [`Client`]s over TCP.
+//!
+//! Every scenario is parameterized over the [`Frontend`] — the threaded
+//! [`offloadnn_net::NetServer`] and the epoll
+//! [`offloadnn_net::AsyncServer`] must pass the identical assertions,
+//! which is the executable definition of their feature parity.
 //!
 //! The load-bearing assertions are the conservation invariant
 //! (`submitted = admitted + rejected + shed + expired`, end-to-end
@@ -9,7 +14,7 @@
 use offloadnn_core::scenario::small_scenario;
 use offloadnn_core::task::TaskId;
 use offloadnn_net::codec::ErrorCode;
-use offloadnn_net::{Client, ClientConfig, NetConfig, NetError, NetServer};
+use offloadnn_net::{AnyServer, Client, ClientConfig, Frontend, NetConfig, NetError};
 use offloadnn_serve::{Outcome, ServiceConfig};
 use std::time::Duration;
 
@@ -24,13 +29,15 @@ fn quick_service() -> ServiceConfig {
 }
 
 fn start_server(
+    frontend: Frontend,
     config: ServiceConfig,
-) -> (NetServer, Vec<(offloadnn_core::task::Task, Vec<offloadnn_core::instance::PathOption>)>) {
+) -> (AnyServer, Vec<(offloadnn_core::task::Task, Vec<offloadnn_core::instance::PathOption>)>) {
     let scenario = small_scenario(4);
     let protos: Vec<_> =
         scenario.instance.tasks.iter().cloned().zip(scenario.instance.options.iter().cloned()).collect();
-    let server = NetServer::start(("127.0.0.1", 0), NetConfig::default(), config, &scenario.instance)
-        .expect("start server");
+    let server =
+        AnyServer::start(frontend, ("127.0.0.1", 0), NetConfig::default(), config, &scenario.instance)
+            .expect("start server");
     (server, protos)
 }
 
@@ -64,12 +71,11 @@ impl Tally {
 /// departures, interleaved metrics snapshots) and every offered request
 /// is accounted for exactly once — on the wire and in the server's own
 /// counters, class by class.
-#[test]
-fn mixed_workload_conserves_every_request() {
+fn run_mixed_workload(frontend: Frontend) {
     const CLIENTS: usize = 4;
     const PER_CLIENT: u64 = 120;
 
-    let (server, protos) = start_server(quick_service());
+    let (server, protos) = start_server(frontend, quick_service());
     let addr = server.local_addr();
 
     let mut total = Tally::default();
@@ -143,22 +149,34 @@ fn mixed_workload_conserves_every_request() {
     assert_eq!(m.expired, total.expired);
 }
 
+#[test]
+fn mixed_workload_conserves_every_request() {
+    run_mixed_workload(Frontend::Threads);
+}
+
+#[test]
+fn mixed_workload_conserves_every_request_reactor() {
+    run_mixed_workload(Frontend::Reactor);
+}
+
 /// Drain delivers every in-flight outcome: requests pipelined *before*
 /// the drain (and still queued behind a slow batch window when it lands)
 /// all resolve to real verdicts, and the drain acknowledgement carries a
 /// post-flush snapshot.
-#[test]
-fn drain_flushes_every_inflight_outcome() {
+fn run_drain_flush(frontend: Frontend) {
     const INFLIGHT: u64 = 24;
 
     // A slow solver cadence so the pipelined submits are still queued
     // when the drain lands.
-    let (server, protos) = start_server(ServiceConfig {
-        shards: 2,
-        batch_max: 64,
-        batch_window: Duration::from_millis(150),
-        ..ServiceConfig::default()
-    });
+    let (server, protos) = start_server(
+        frontend,
+        ServiceConfig {
+            shards: 2,
+            batch_max: 64,
+            batch_window: Duration::from_millis(150),
+            ..ServiceConfig::default()
+        },
+    );
     let addr = server.local_addr();
 
     let submitter = Client::connect(addr, ClientConfig::default()).expect("connect submitter");
@@ -210,18 +228,30 @@ fn drain_flushes_every_inflight_outcome() {
     assert!(report.metrics.is_conserved(), "post-drain conservation: {:?}", report.metrics);
 }
 
+#[test]
+fn drain_flushes_every_inflight_outcome() {
+    run_drain_flush(Frontend::Threads);
+}
+
+#[test]
+fn drain_flushes_every_inflight_outcome_reactor() {
+    run_drain_flush(Frontend::Reactor);
+}
+
 /// The client-shipped deadline is enforced server-side: a budget far
 /// tighter than the batch window expires the request instead of waiting
 /// for a solver round. (The tighter of the client budget and the
 /// service's own admission deadline wins.)
-#[test]
-fn client_deadline_propagates_to_the_server() {
-    let (server, protos) = start_server(ServiceConfig {
-        shards: 1,
-        batch_max: 64,
-        batch_window: Duration::from_millis(100),
-        ..ServiceConfig::default()
-    });
+fn run_deadline_propagation(frontend: Frontend) {
+    let (server, protos) = start_server(
+        frontend,
+        ServiceConfig {
+            shards: 1,
+            batch_max: 64,
+            batch_window: Duration::from_millis(100),
+            ..ServiceConfig::default()
+        },
+    );
     let addr = server.local_addr();
     let client = Client::connect(addr, ClientConfig::default()).expect("connect");
 
@@ -244,21 +274,33 @@ fn client_deadline_propagates_to_the_server() {
     assert!(report.metrics.is_conserved());
 }
 
+#[test]
+fn client_deadline_propagates_to_the_server() {
+    run_deadline_propagation(Frontend::Threads);
+}
+
+#[test]
+fn client_deadline_propagates_to_the_server_reactor() {
+    run_deadline_propagation(Frontend::Reactor);
+}
+
 /// Live resharding under pipelined load, end to end through the wire: a
 /// client streams submits while a controller connection reshapes the
 /// fleet twice (4 → 6 → 3) with `Scale` frames. Zero verdicts are lost,
 /// the final snapshot conserves, and the server's reshard counters match
 /// the acknowledged `Scaled` responses.
-#[test]
-fn reshard_under_pipelined_load_conserves() {
+fn run_reshard_under_load(frontend: Frontend) {
     const REQUESTS: u64 = 360;
 
-    let (server, protos) = start_server(ServiceConfig {
-        shards: 4,
-        batch_max: 16,
-        batch_window: Duration::from_micros(500),
-        ..ServiceConfig::default()
-    });
+    let (server, protos) = start_server(
+        frontend,
+        ServiceConfig {
+            shards: 4,
+            batch_max: 16,
+            batch_window: Duration::from_micros(500),
+            ..ServiceConfig::default()
+        },
+    );
     let addr = server.local_addr();
 
     let client = Client::connect(addr, ClientConfig::default()).expect("connect submitter");
@@ -336,8 +378,19 @@ fn reshard_under_pipelined_load_conserves() {
     assert_eq!(m.migrated, migrated_total, "server-counted migrations match the Scaled acks");
 }
 
+#[test]
+fn reshard_under_pipelined_load_conserves() {
+    run_reshard_under_load(Frontend::Threads);
+}
+
+#[test]
+fn reshard_under_pipelined_load_conserves_reactor() {
+    run_reshard_under_load(Frontend::Reactor);
+}
+
 /// Dialing a dead address retries with backoff and then fails with a
-/// typed error instead of hanging or panicking.
+/// typed error instead of hanging or panicking. (Client-side only — no
+/// frontend involved.)
 #[test]
 fn dial_backoff_gives_up_with_a_typed_error() {
     // Bind-then-drop guarantees a port with no listener behind it.

@@ -1,0 +1,322 @@
+//! The safe epoll wrapper: interest registration and readiness polling.
+
+use crate::sys;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// What readiness a registration asks for. `EPOLLRDHUP` (peer shut its
+/// write side) is always requested alongside read interest, and
+/// `EPOLLERR`/`EPOLLHUP` are reported by the kernel unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer half-closed).
+    pub readable: bool,
+    /// Wake when the fd accepts writes again.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read interest only.
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    /// Write interest only.
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    /// No interest — the fd stays registered but reports only errors.
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+
+    fn bits(self) -> u32 {
+        let mut bits = 0;
+        if self.readable {
+            bits |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness notification out of [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The user token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable.
+    pub readable: bool,
+    /// The fd accepts writes.
+    pub writable: bool,
+    /// An error condition is pending on the fd (`EPOLLERR`).
+    pub error: bool,
+    /// The peer closed the connection (`EPOLLHUP`).
+    pub hangup: bool,
+    /// The peer shut down its write side (`EPOLLRDHUP`): reads will
+    /// drain what is buffered and then return EOF.
+    pub read_closed: bool,
+}
+
+/// Reusable readiness buffer for [`Epoll::wait`]; sized once, filled by
+/// the kernel each call.
+pub struct Events {
+    raw: Vec<sys::epoll_event>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer reporting at most `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { raw: vec![sys::epoll_event { events: 0, u64: 0 }; capacity], len: 0 }
+    }
+
+    /// Events delivered by the most recent [`Epoll::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|raw| {
+            let bits = raw.events;
+            Event {
+                token: raw.u64,
+                readable: bits & sys::EPOLLIN != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                error: bits & sys::EPOLLERR != 0,
+                hangup: bits & sys::EPOLLHUP != 0,
+                read_closed: bits & sys::EPOLLRDHUP != 0,
+            }
+        })
+    }
+
+    /// Number of events delivered by the most recent [`Epoll::wait`].
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the most recent wait timed out with no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An epoll instance: register fds with a `u64` token, poll readiness.
+///
+/// Level-triggered (the kernel default): a readable fd keeps reporting
+/// readable until drained, which lets the event loop stop mid-stream —
+/// e.g. to apply backpressure — without losing the wakeup.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_create1` failure as [`io::Error`].
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers involved; the return value is checked.
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    fn ctl(&self, op: sys::c_int, fd: RawFd, event: Option<&mut sys::epoll_event>) -> io::Result<()> {
+        let ptr = event.map_or(std::ptr::null_mut(), |e| e as *mut sys::epoll_event);
+        // SAFETY: `ptr` is null (DEL) or points at a live epoll_event on
+        // the caller's stack for the duration of the call.
+        let rc = unsafe { sys::epoll_ctl(self.fd, op, fd, ptr) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure as [`io::Error`].
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut event = sys::epoll_event { events: interest.bits(), u64: token };
+        self.ctl(sys::EPOLL_CTL_ADD, fd, Some(&mut event))
+    }
+
+    /// Replaces the interest (and token) of an already-registered fd.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure as [`io::Error`].
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut event = sys::epoll_event { events: interest.bits(), u64: token };
+        self.ctl(sys::EPOLL_CTL_MOD, fd, Some(&mut event))
+    }
+
+    /// Deregisters `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure as [`io::Error`].
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Blocks until readiness arrives (or `timeout` passes; `None` waits
+    /// forever), filling `events`. Returns the event count; an interrupt
+    /// (`EINTR`) reports as zero events rather than an error, so callers
+    /// just loop.
+    ///
+    /// # Errors
+    ///
+    /// Any other `epoll_wait` failure as [`io::Error`].
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: sys::c_int = match timeout {
+            None => -1,
+            Some(d) if d.is_zero() => 0,
+            // Round a sub-millisecond timeout up: 0 would busy-spin.
+            Some(d) => d.as_millis().clamp(1, sys::c_int::MAX as u128) as sys::c_int,
+        };
+        events.len = 0;
+        // SAFETY: the buffer outlives the call and its capacity bound is
+        // passed as maxevents, so the kernel writes only within it.
+        let rc = unsafe {
+            sys::epoll_wait(self.fd, events.raw.as_mut_ptr(), events.raw.len() as sys::c_int, timeout_ms)
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        events.len = rc as usize;
+        Ok(events.len)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this instance and closed once.
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+/// Switches a file descriptor's `O_NONBLOCK` flag.
+///
+/// # Errors
+///
+/// The `fcntl` failure as [`io::Error`].
+pub fn set_nonblocking(fd: RawFd, nonblocking: bool) -> io::Result<()> {
+    // SAFETY: F_GETFL/F_SETFL take no pointers; return values checked.
+    unsafe {
+        let flags = sys::fcntl(fd, sys::F_GETFL);
+        if flags < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let flags = if nonblocking { flags | sys::O_NONBLOCK } else { flags & !sys::O_NONBLOCK };
+        if sys::fcntl(fd, sys::F_SETFL, flags) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    #[test]
+    fn wait_times_out_with_no_events() {
+        let epoll = Epoll::new().expect("epoll");
+        let mut events = Events::with_capacity(4);
+        let started = Instant::now();
+        let n = epoll.wait(&mut events, Some(Duration::from_millis(20))).expect("wait");
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(started.elapsed() >= Duration::from_millis(15), "the timeout actually elapsed");
+    }
+
+    #[test]
+    fn socket_becomes_readable_when_peer_writes() {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let epoll = Epoll::new().expect("epoll");
+        epoll.add(server.as_raw_fd(), 7, Interest::READABLE).expect("add");
+        let mut events = Events::with_capacity(4);
+
+        // Nothing written yet: a short wait sees nothing.
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_millis(10))).expect("wait"), 0);
+
+        client.write_all(b"ping").expect("write");
+        let n = epoll.wait(&mut events, Some(Duration::from_secs(5))).expect("wait");
+        assert_eq!(n, 1);
+        let event = events.iter().next().expect("one event");
+        assert_eq!(event.token, 7);
+        assert!(event.readable);
+        assert!(!event.error);
+    }
+
+    #[test]
+    fn modify_switches_interest_and_delete_deregisters() {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+
+        let epoll = Epoll::new().expect("epoll");
+        // Write interest on an idle socket: immediately writable.
+        epoll.add(server.as_raw_fd(), 1, Interest::WRITABLE).expect("add");
+        let mut events = Events::with_capacity(4);
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_secs(5))).expect("wait"), 1);
+        assert!(events.iter().next().expect("event").writable);
+
+        // Swap to read interest: quiet until the peer writes.
+        epoll.modify(server.as_raw_fd(), 2, Interest::READABLE).expect("modify");
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_millis(10))).expect("wait"), 0);
+        client.write_all(b"x").expect("write");
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_secs(5))).expect("wait"), 1);
+        let event = events.iter().next().expect("event");
+        assert_eq!(event.token, 2, "modify replaced the token");
+        assert!(event.readable);
+
+        // After delete the pending readability no longer reports.
+        epoll.delete(server.as_raw_fd()).expect("delete");
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_millis(10))).expect("wait"), 0);
+    }
+
+    #[test]
+    fn peer_shutdown_reports_read_closed() {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+
+        let epoll = Epoll::new().expect("epoll");
+        epoll.add(server.as_raw_fd(), 9, Interest::READABLE).expect("add");
+        client.shutdown(std::net::Shutdown::Write).expect("shutdown");
+
+        let mut events = Events::with_capacity(4);
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_secs(5))).expect("wait"), 1);
+        let event = events.iter().next().expect("event");
+        assert!(event.read_closed, "EPOLLRDHUP after the peer half-closed");
+    }
+
+    #[test]
+    fn set_nonblocking_toggles_wouldblock() {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let _client = std::net::TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+
+        set_nonblocking(server.as_raw_fd(), true).expect("nonblocking on");
+        let mut buf = [0u8; 8];
+        let err = std::io::Read::read(&mut (&server), &mut buf).expect_err("no data yet");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        set_nonblocking(server.as_raw_fd(), false).expect("nonblocking off");
+    }
+}

@@ -1,0 +1,33 @@
+//! `offloadnn-reactor` — minimal, dependency-free epoll event-loop
+//! primitives for the `offloadnn-net` async frontend.
+//!
+//! The crate wraps exactly the kernel surface a readiness-driven TCP
+//! server needs and nothing more:
+//!
+//! - [`Epoll`] — level-triggered interest registration ([`Epoll::add`] /
+//!   [`Epoll::modify`] / [`Epoll::delete`]) and polling ([`Epoll::wait`])
+//!   with `u64` user tokens;
+//! - [`Events`] / [`Event`] — the reusable readiness buffer and decoded
+//!   per-fd readiness flags;
+//! - [`Waker`] — self-pipe cross-thread wakeup so other threads can
+//!   unpark a loop sitting in `epoll_wait`;
+//! - [`set_nonblocking`] — the `fcntl` toggle every registered socket
+//!   needs.
+//!
+//! The raw `extern "C"` declarations live in the private `sys` module —
+//! the registry is unreachable in this environment, so there is no `libc`
+//! dependency; the declarations are the crate's own vendored stand-in.
+//! All `unsafe` in the workspace's networking stack is confined to this
+//! crate: `offloadnn-net` keeps its `#![forbid(unsafe_code)]`.
+//!
+//! Linux-only by construction (epoll is a Linux API), matching the
+//! workspace's deployment target.
+
+#![deny(missing_docs)]
+
+mod epoll;
+mod sys;
+mod waker;
+
+pub use epoll::{set_nonblocking, Epoll, Event, Events, Interest};
+pub use waker::Waker;

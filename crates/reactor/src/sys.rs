@@ -1,0 +1,59 @@
+//! Raw Linux syscall surface: `extern "C"` declarations and the ABI
+//! constants the event loop needs, in the vendored-stand-in style of this
+//! workspace (no `libc` crate — the registry is unreachable, and the six
+//! calls below are the crate's entire kernel surface).
+//!
+//! Everything here is `pub(crate)`; the safe wrappers live in
+//! [`crate::epoll`] and [`crate::waker`].
+
+#![allow(non_camel_case_types)]
+
+pub(crate) type c_int = i32;
+pub(crate) type c_void = std::ffi::c_void;
+
+/// One readiness record, as the kernel fills it in `epoll_wait`.
+///
+/// The x86 ABI packs this struct (no padding between `events` and the
+/// 64-bit user data); other Linux targets use natural alignment. Getting
+/// this wrong corrupts every second event, so mirror the kernel headers
+/// exactly.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+#[derive(Clone, Copy)]
+pub(crate) struct epoll_event {
+    pub events: u32,
+    pub u64: u64,
+}
+
+pub(crate) const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+pub(crate) const EPOLL_CTL_ADD: c_int = 1;
+pub(crate) const EPOLL_CTL_DEL: c_int = 2;
+pub(crate) const EPOLL_CTL_MOD: c_int = 3;
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+
+pub(crate) const F_GETFL: c_int = 3;
+pub(crate) const F_SETFL: c_int = 4;
+pub(crate) const O_NONBLOCK: c_int = 0o4000;
+pub(crate) const O_CLOEXEC: c_int = 0o2000000;
+
+extern "C" {
+    pub(crate) fn epoll_create1(flags: c_int) -> c_int;
+    pub(crate) fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub(crate) fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    pub(crate) fn close(fd: c_int) -> c_int;
+    pub(crate) fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+    pub(crate) fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    pub(crate) fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    pub(crate) fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}

@@ -53,6 +53,25 @@ impl Gauge {
         self.0.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Increments the level by `n` (for up/down resource gauges such as
+    /// live connection counts).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrements the level by `n`, saturating at zero so a racing
+    /// decrement can never wrap the gauge to `u64::MAX`.
+    pub fn sub(&self, n: u64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(n);
+            match self.0.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -80,6 +99,16 @@ mod tests {
         g.raise(9);
         g.raise(5);
         assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn gauge_add_and_sub_track_a_level_and_saturate() {
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "sub saturates instead of wrapping");
     }
 
     #[test]
