@@ -45,11 +45,26 @@ echo "==> reactor gate: 512 concurrent connections on the fixed-size event-loop 
 timeout 300 cargo run -q --release -p offloadnn-net --bin net_loadgen -- \
     --frontend reactor --requests 5120 --clients 512 --window 4 --shards 2 --ues 3 >/dev/null
 
+echo "==> gateway gate: deterministic kill-one-node failover harness on fixed + random seeds"
+for seed in 42 31337 "$(awk 'BEGIN{srand();print int(rand()*65536)}')"; do
+    echo "    GATEWAY_SEED=$seed"
+    GATEWAY_SEED="$seed" timeout 300 cargo test -q -p offloadnn-gateway --test failover_harness
+done
+
+echo "==> gateway gate: live 3-node loopback cluster, one node killed mid-run"
+timeout 300 cargo run -q --release -p offloadnn-gateway --bin gateway_loadgen -- \
+    --nodes 3 --requests 3000 --clients 4 --kill-node-at 1200 >/dev/null
+
+echo "==> gateway gate: hedged requests through the reactor frontend"
+timeout 300 cargo run -q --release -p offloadnn-gateway --bin gateway_loadgen -- \
+    --frontend reactor --nodes 2 --requests 2000 --hedge --deadline-ms 40 >/dev/null
+
 echo "==> telemetry overhead gate: workspace builds and tier-1 passes with telemetry compiled out"
 cargo build --workspace --features telemetry-disabled
 cargo test -q --features telemetry-disabled
 timeout 300 cargo test -q -p offloadnn-serve --test reshard_telemetry --features offloadnn-telemetry/disabled
 timeout 300 cargo test -q -p offloadnn-net --test net_telemetry --features offloadnn-telemetry/disabled
+timeout 300 cargo test -q -p offloadnn-gateway --test gateway_telemetry --features offloadnn-telemetry/disabled
 
 echo "==> cargo bench smoke (criterion --test mode)"
 cargo bench --workspace -- --test >/dev/null

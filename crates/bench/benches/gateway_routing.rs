@@ -1,0 +1,62 @@
+//! Gateway routing hot path: one weighted-rendezvous decision per
+//! submit, so the per-key cost bounds the gateway's ingress rate. The
+//! score is O(nodes) per key (one hash + one log each), so `route`
+//! should scale linearly with pool size; `rank` additionally sorts and
+//! allocates, which is why the data path only uses it for failover
+//! analysis, never per submit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use offloadnn_gateway::router::{self, Candidate};
+use std::hint::black_box;
+
+/// A pool shaped like a live cluster: seeds from synthetic addresses,
+/// weights spread as if nodes carried different load.
+fn pool(nodes: usize) -> Vec<Candidate> {
+    (0..nodes)
+        .map(|i| Candidate {
+            index: i,
+            seed: router::node_seed(&format!("10.0.{}.{}:4000", i / 256, i % 256)),
+            weight: 1.0 / (1.0 + (i % 7) as f64),
+        })
+        .collect()
+}
+
+fn bench_gateway_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway_routing");
+
+    for nodes in [3usize, 16, 64] {
+        let candidates = pool(nodes);
+        group.bench_with_input(BenchmarkId::new("route", nodes), &candidates, |b, candidates| {
+            let mut key = 0u64;
+            b.iter(|| {
+                key = key.wrapping_add(1);
+                router::route(black_box(key), black_box(candidates))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rank", nodes), &candidates, |b, candidates| {
+            let mut key = 0u64;
+            b.iter(|| {
+                key = key.wrapping_add(1);
+                router::rank(black_box(key), black_box(candidates))
+            })
+        });
+    }
+
+    // The failover shape: one node excluded, route over the survivors —
+    // what the data path actually pays while a node sits ejected.
+    for nodes in [3usize, 16, 64] {
+        let survivors: Vec<Candidate> = pool(nodes).into_iter().filter(|c| c.index != nodes / 2).collect();
+        group.bench_with_input(BenchmarkId::new("route_one_ejected", nodes), &survivors, |b, survivors| {
+            let mut key = 0u64;
+            b.iter(|| {
+                key = key.wrapping_add(1);
+                router::route(black_box(key), black_box(survivors))
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_gateway_routing);
+criterion_main!(benches);

@@ -1,0 +1,475 @@
+//! Loopback load generator for the `offloadnn-gateway` cluster tier.
+//!
+//! Starts N backend [`NetServer`] nodes on ephemeral loopback ports,
+//! fronts them with a [`Gateway`], exposes the gateway itself through
+//! the selected TCP frontend ([`AnyServer::start_with_backend`]), and
+//! drives it with a fleet of [`Client`] connections pipelining
+//! admission submits. Optionally kills one backend node mid-run so the
+//! gateway's ejection + failover path carries live traffic.
+//!
+//! The run is conservation-gated: every offered request must resolve
+//! exactly once at the wire, the gateway's own ledger must balance,
+//! and every backend node — including the killed one — must be locally
+//! conserved. Exits non-zero on any violation, so CI can gate on it.
+//!
+//! ```text
+//! cargo run --release -p offloadnn-gateway --bin gateway_loadgen -- \
+//!     --nodes 3 --requests 3000 --kill-node-at 1200
+//! ```
+
+use offloadnn_core::scenario::small_scenario;
+use offloadnn_core::task::TaskId;
+use offloadnn_gateway::{Gateway, GatewayConfig, HedgeConfig};
+use offloadnn_net::{AnyServer, Client, ClientConfig, Frontend, NetConfig, NetError, NetServer};
+use offloadnn_serve::{Outcome, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+gateway_loadgen — loopback load generator for the offloadnn-gateway tier
+
+Topology: N backend serve nodes <- gateway <- TCP frontend <- clients.
+
+OPTIONS (all optional; defaults in brackets):
+  --frontend F        TCP frontend for the gateway's own
+                      listening side: 'threads' or 'reactor' [threads]
+  --nodes N           backend serve nodes in the pool       [3]
+  --requests N        total submits across all clients      [3000]
+  --clients N         concurrent client connections         [4]
+  --window N          per-client pipeline depth             [64]
+  --shards N          worker shards per backend node        [2]
+  --ues N             UEs in the reference scenario         [4]
+  --deadline-ms N     client-shipped admission budget, ms
+                      (0 = gateway policy deadline)         [0]
+  --max-active N      admitted tasks kept per client
+                      before the oldest departs             [64]
+  --kill-node-at N    shut one backend node down once N
+                      submits have been offered across all
+                      clients (0 = never)                   [0]
+  --kill-node IDX     which node --kill-node-at shuts down  [1]
+  --hedge             enable deadline-aware hedging         [off]
+  --seed N            RNG seed (task mix)                   [7]
+  -h, --help          print this help
+";
+
+struct Args {
+    frontend: Frontend,
+    nodes: usize,
+    requests: u64,
+    clients: usize,
+    window: usize,
+    shards: usize,
+    ues: usize,
+    deadline_ms: u64,
+    max_active: usize,
+    kill_node_at: u64,
+    kill_node: usize,
+    hedge: bool,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            frontend: Frontend::default(),
+            nodes: 3,
+            requests: 3000,
+            clients: 4,
+            window: 64,
+            shards: 2,
+            ues: 4,
+            deadline_ms: 0,
+            max_active: 64,
+            kill_node_at: 0,
+            kill_node: 1,
+            hedge: false,
+            seed: 7,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "-h" || flag == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        if flag == "--hedge" {
+            args.hedge = true;
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
+        let bad = |e: &dyn std::fmt::Display| format!("{flag} {value}: {e}");
+        match flag.as_str() {
+            "--frontend" => args.frontend = value.parse().map_err(|e| bad(&e))?,
+            "--nodes" => args.nodes = value.parse().map_err(|e| bad(&e))?,
+            "--requests" => args.requests = value.parse().map_err(|e| bad(&e))?,
+            "--clients" => args.clients = value.parse().map_err(|e| bad(&e))?,
+            "--window" => args.window = value.parse().map_err(|e| bad(&e))?,
+            "--shards" => args.shards = value.parse().map_err(|e| bad(&e))?,
+            "--ues" => args.ues = value.parse().map_err(|e| bad(&e))?,
+            "--deadline-ms" => args.deadline_ms = value.parse().map_err(|e| bad(&e))?,
+            "--max-active" => args.max_active = value.parse().map_err(|e| bad(&e))?,
+            "--kill-node-at" => args.kill_node_at = value.parse().map_err(|e| bad(&e))?,
+            "--kill-node" => args.kill_node = value.parse().map_err(|e| bad(&e))?,
+            "--seed" => args.seed = value.parse().map_err(|e| bad(&e))?,
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if args.nodes == 0 {
+        return Err("--nodes must be >= 1".into());
+    }
+    if args.clients == 0 {
+        return Err("--clients must be >= 1".into());
+    }
+    if args.window == 0 {
+        return Err("--window must be >= 1".into());
+    }
+    if args.kill_node_at > 0 {
+        if args.nodes < 2 {
+            return Err("--kill-node-at needs at least 2 nodes (someone must survive)".into());
+        }
+        if args.kill_node >= args.nodes {
+            return Err("--kill-node index out of range".into());
+        }
+    }
+    Ok(args)
+}
+
+/// Per-client verdict tally, observed through the wire.
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    admitted: u64,
+    rejected: u64,
+    shed: u64,
+    expired: u64,
+    server_error: u64,
+    transport_error: u64,
+}
+
+impl Tally {
+    fn outcomes(&self) -> u64 {
+        self.admitted + self.rejected + self.shed + self.expired
+    }
+
+    fn merge(&mut self, o: Tally) {
+        self.admitted += o.admitted;
+        self.rejected += o.rejected;
+        self.shed += o.shed;
+        self.expired += o.expired;
+        self.server_error += o.server_error;
+        self.transport_error += o.transport_error;
+    }
+}
+
+/// How long a wire verdict may stay outstanding before the run declares
+/// the connection wedged. Generous: a kill mid-run legitimately parks a
+/// ticket for the full gateway deadline + grace while failover runs.
+const VERDICT_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn run_client(
+    addr: std::net::SocketAddr,
+    client_idx: usize,
+    requests: u64,
+    args: &Args,
+    protos: &[(offloadnn_core::task::Task, Vec<offloadnn_core::instance::PathOption>)],
+    offered: &AtomicU64,
+) -> (Tally, u64) {
+    let client = match Client::connect(addr, ClientConfig::default()) {
+        Ok(c) => c,
+        Err(_) => {
+            offered.fetch_add(requests, Ordering::Relaxed);
+            let t = Tally { transport_error: requests, ..Tally::default() };
+            return (t, 0);
+        }
+    };
+    let deadline = (args.deadline_ms > 0).then(|| Duration::from_millis(args.deadline_ms));
+    let mut rng = StdRng::seed_from_u64(args.seed ^ (client_idx as u64).wrapping_mul(0x9E37_79B9));
+    let mut tally = Tally::default();
+    let mut departed = 0u64;
+    let mut pending = VecDeque::new();
+    let mut active: VecDeque<TaskId> = VecDeque::new();
+
+    let resolve = |p: offloadnn_net::PendingVerdict, tally: &mut Tally, active: &mut VecDeque<TaskId>| {
+        let task = p.task;
+        match p.wait_timeout(VERDICT_TIMEOUT) {
+            Ok(Outcome::Admitted { .. }) => {
+                tally.admitted += 1;
+                active.push_back(task);
+            }
+            Ok(Outcome::Rejected { .. }) => tally.rejected += 1,
+            Ok(Outcome::Shed { .. }) => tally.shed += 1,
+            Ok(Outcome::Expired { .. }) => tally.expired += 1,
+            Err(NetError::Server(_)) => tally.server_error += 1,
+            Err(_) => tally.transport_error += 1,
+        }
+    };
+
+    for i in 0..requests {
+        let proto = &protos[rng.random_range(0..protos.len())];
+        let mut task = proto.0.clone();
+        // Disjoint id spaces keep departures routable per client.
+        task.id = TaskId(u32::try_from(client_idx as u64 * 100_000_000 + i).unwrap_or(u32::MAX));
+        match client.submit(task, proto.1.clone(), deadline) {
+            Ok(p) => pending.push_back(p),
+            Err(_) => tally.transport_error += 1,
+        }
+        offered.fetch_add(1, Ordering::Relaxed);
+        if pending.len() >= args.window {
+            if let Some(p) = pending.pop_front() {
+                resolve(p, &mut tally, &mut active);
+            }
+        }
+        while args.max_active > 0 && active.len() > args.max_active {
+            if let Some(id) = active.pop_front() {
+                if client.depart(id).is_ok() {
+                    departed += 1;
+                }
+            }
+        }
+    }
+    while let Some(p) = pending.pop_front() {
+        resolve(p, &mut tally, &mut active);
+    }
+    client.close();
+    (tally, departed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let scenario = small_scenario(args.ues);
+    let protos: Vec<_> =
+        scenario.instance.tasks.iter().cloned().zip(scenario.instance.options.iter().cloned()).collect();
+    let service_config = ServiceConfig { shards: args.shards, ..ServiceConfig::default() };
+    if let Err(e) = service_config.validate() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+
+    // Backend pool: each node is a full serve stack behind its own TCP
+    // frontend, exactly what a remote edge node would run.
+    let nodes: Vec<Mutex<Option<NetServer>>> = match (0..args.nodes)
+        .map(|_| {
+            NetServer::start(("127.0.0.1", 0), NetConfig::default(), service_config, &scenario.instance)
+                .map(|n| Mutex::new(Some(n)))
+        })
+        .collect()
+    {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: failed to start backend node: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let node_addrs: Vec<_> = nodes
+        .iter()
+        .map(|n| n.lock().expect("node lock").as_ref().expect("node live").local_addr())
+        .collect();
+
+    // Fast-failover tuning so a mid-run kill resolves well inside the
+    // verdict timeout; the defaults are sized for real WAN probes.
+    let gateway_config = GatewayConfig {
+        health_interval: Duration::from_millis(50),
+        health_timeout: Duration::from_millis(250),
+        eject_after: 2,
+        probation: Duration::from_millis(500),
+        default_deadline: Duration::from_secs(2),
+        verdict_grace: Duration::from_secs(2),
+        hedge: HedgeConfig { enabled: args.hedge, min_samples: 32 },
+        ..GatewayConfig::default()
+    };
+    let gateway = match Gateway::start(&node_addrs, gateway_config) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: failed to start gateway: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The gateway is itself a Backend, so it mounts behind the same
+    // reactor-or-threads frontend switch the single-node server uses.
+    let net_config = NetConfig {
+        max_connections: NetConfig::default().max_connections.max(args.clients + 8),
+        ..NetConfig::default()
+    };
+    let frontend = match AnyServer::start_with_backend(args.frontend, ("127.0.0.1", 0), net_config, gateway) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to start gateway frontend: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = frontend.local_addr();
+    println!(
+        "gateway_loadgen: frontend {}, {} node(s) x {} shard(s), {} requests, {} client(s) x window {}, seed {}{} — gateway {addr}",
+        args.frontend,
+        args.nodes,
+        args.shards,
+        args.requests,
+        args.clients,
+        args.window,
+        args.seed,
+        if args.kill_node_at > 0 {
+            format!(", killing node {} at {} offered", args.kill_node, args.kill_node_at)
+        } else {
+            String::new()
+        },
+    );
+
+    let started = Instant::now();
+    let per_client = args.requests / args.clients as u64;
+    let remainder = args.requests % args.clients as u64;
+    let (mut tally, mut departed) = (Tally::default(), 0u64);
+    let offered = AtomicU64::new(0);
+    let mut node_reports = Vec::new();
+    std::thread::scope(|scope| {
+        // The killer waits for the offered threshold, then shuts the
+        // victim down with tickets still in flight — the gateway must
+        // eject it and finish those tickets on survivors.
+        let killer = (args.kill_node_at > 0).then(|| {
+            let (offered, victim) = (&offered, &nodes[args.kill_node]);
+            scope.spawn(move || {
+                while offered.load(Ordering::Relaxed) < args.kill_node_at {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let server = victim.lock().expect("node lock").take().expect("victim live");
+                let at = offered.load(Ordering::Relaxed);
+                let report = server.shutdown();
+                println!("killed node {} at {} offered", args.kill_node, at);
+                report
+            })
+        });
+        let handles: Vec<_> = (0..args.clients)
+            .map(|idx| {
+                let share = per_client + u64::from((idx as u64) < remainder);
+                let (args, protos, offered) = (&args, &protos, &offered);
+                scope.spawn(move || run_client(addr, idx, share, args, protos, offered))
+            })
+            .collect();
+        for h in handles {
+            let (t, d) = h.join().expect("client thread");
+            tally.merge(t);
+            departed += d;
+        }
+        if let Some(k) = killer {
+            node_reports.push((args.kill_node, k.join().expect("killer thread"), true));
+        }
+    });
+    let wall = started.elapsed();
+
+    // Frontend drain returns the gateway's ledger; then drain whatever
+    // backend nodes are still alive.
+    let report = frontend.shutdown();
+    let m = &report.metrics;
+    for (idx, node) in nodes.iter().enumerate() {
+        if let Some(server) = node.lock().expect("node lock").take() {
+            node_reports.push((idx, server.shutdown(), false));
+        }
+    }
+    node_reports.sort_by_key(|(idx, _, _)| *idx);
+    let submit_rate = args.requests as f64 / wall.as_secs_f64().max(1e-9);
+
+    println!("\n— run —");
+    println!(
+        "wall {:.3?}   offered {}   {:.0} submits/s   departed {departed}",
+        wall, args.requests, submit_rate
+    );
+    println!(
+        "outcomes: admitted {}  rejected {}  shed {}  expired {}  server-err {}  transport-err {}",
+        tally.admitted, tally.rejected, tally.shed, tally.expired, tally.server_error, tally.transport_error
+    );
+    println!("\n— gateway (post-drain) —\n{m}");
+    for (idx, r, killed) in &node_reports {
+        let nm = &r.metrics;
+        println!(
+            "node {idx}{}: submitted {}  admitted {}  departed {}  conserved {}",
+            if *killed { " (killed)" } else { "" },
+            nm.submitted,
+            nm.admitted,
+            nm.departed,
+            nm.is_conserved(),
+        );
+    }
+    let telemetry = offloadnn_telemetry::global().snapshot();
+    println!("\n— telemetry (gw.* / net.*) —\n{telemetry}");
+
+    // End-to-end conservation: every offered request is accounted for
+    // exactly once at the wire, the gateway ledger balances, and every
+    // node — including a killed one — is locally conserved.
+    let mut violations = Vec::new();
+    if tally.outcomes() + tally.server_error + tally.transport_error != args.requests {
+        violations.push(format!(
+            "offered {} != outcomes {} + server-err {} + transport-err {}",
+            args.requests,
+            tally.outcomes(),
+            tally.server_error,
+            tally.transport_error
+        ));
+    }
+    if !m.is_conserved() {
+        violations.push(format!(
+            "gateway conservation violated: submitted {} != resolved {}",
+            m.submitted,
+            m.resolved()
+        ));
+    }
+    if tally.transport_error == 0 {
+        for (name, wire, gateway) in [
+            ("submitted", tally.outcomes(), m.submitted),
+            ("admitted", tally.admitted, m.admitted),
+            ("rejected", tally.rejected, m.rejected),
+            ("shed", tally.shed, m.shed),
+            ("expired", tally.expired, m.expired),
+        ] {
+            if wire != gateway {
+                violations.push(format!("{name}: wire saw {wire}, gateway counted {gateway}"));
+            }
+        }
+    }
+    let mut node_admitted = 0u64;
+    for (idx, r, _) in &node_reports {
+        let nm = &r.metrics;
+        node_admitted += nm.admitted;
+        if !nm.is_conserved() {
+            violations.push(format!(
+                "node {idx} conservation violated: submitted {} != resolved {}",
+                nm.submitted,
+                nm.resolved()
+            ));
+        }
+        if nm.departed > nm.admitted {
+            violations
+                .push(format!("node {idx} departed {} more than it admitted {}", nm.departed, nm.admitted));
+        }
+    }
+    // A submit that reached a node right as it died may be admitted
+    // there with the verdict lost in the close; the gateway retries it
+    // elsewhere, so nodes can admit more — never fewer — than the
+    // gateway acknowledged.
+    if node_admitted < m.admitted {
+        violations
+            .push(format!("nodes admitted {node_admitted} in total, gateway acknowledged {}", m.admitted));
+    }
+    if violations.is_empty() {
+        println!("\nconservation: OK");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("error: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,146 @@
+//! Gateway configuration and validation.
+
+use offloadnn_net::ClientConfig;
+use std::time::Duration;
+
+/// Deadline-aware request hedging knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Master switch. Off by default: hedging trades duplicate backend
+    /// work for tail latency, which is only worth it once a deployment
+    /// has measured its tails.
+    pub enabled: bool,
+    /// Minimum per-node RTT observations before that node's p99 is
+    /// trusted to trigger a hedge. Below this the gateway never hedges
+    /// against the node (cold histograms produce garbage quantiles).
+    pub min_samples: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        Self { enabled: false, min_samples: 32 }
+    }
+}
+
+/// Tuning for a [`crate::Gateway`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Period of the health monitor's probe sweep across all nodes.
+    pub health_interval: Duration,
+    /// How long one Metrics probe may block before counting as a miss.
+    pub health_timeout: Duration,
+    /// Consecutive missed health checks after which a node is ejected.
+    pub eject_after: u32,
+    /// How long an ejected node sits out before a probe may readmit it.
+    pub probation: Duration,
+    /// The gateway's own admission budget policy: submits carrying no
+    /// client deadline get this budget, and client deadlines are
+    /// tightened to at most this (mirroring the serve-side rule that a
+    /// backend may tighten but never extend its policy).
+    pub default_deadline: Duration,
+    /// Extra time past a ticket's deadline the gateway keeps waiting for
+    /// an in-flight backend verdict before writing the ticket off as
+    /// expired and handing the straggler to the reaper.
+    pub verdict_grace: Duration,
+    /// Maximum submit attempts per ticket across failovers (the first
+    /// attempt counts, so `3` means the primary plus two retries).
+    pub retry_limit: u32,
+    /// Deadline-aware hedging.
+    pub hedge: HedgeConfig,
+    /// Transport tuning for the per-node backend clients. The default
+    /// fails fast (one connect attempt, short timeout): the failover
+    /// path, not the transport retry loop, owns recovery from a dead
+    /// node.
+    pub client: ClientConfig,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        let client = ClientConfig {
+            connect_attempts: 1,
+            connect_timeout: Duration::from_millis(500),
+            ..ClientConfig::default()
+        };
+        Self {
+            health_interval: Duration::from_millis(250),
+            health_timeout: Duration::from_millis(500),
+            eject_after: 3,
+            probation: Duration::from_secs(2),
+            default_deadline: Duration::from_secs(5),
+            verdict_grace: Duration::from_secs(5),
+            retry_limit: 3,
+            hedge: HedgeConfig::default(),
+            client,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Checks every field is in range.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), GatewayError> {
+        if self.health_interval.is_zero() {
+            return Err(GatewayError::InvalidConfig("health_interval must be positive"));
+        }
+        if self.health_timeout.is_zero() {
+            return Err(GatewayError::InvalidConfig("health_timeout must be positive"));
+        }
+        if self.eject_after == 0 {
+            return Err(GatewayError::InvalidConfig("eject_after must be at least 1"));
+        }
+        if self.default_deadline.is_zero() {
+            return Err(GatewayError::InvalidConfig("default_deadline must be positive"));
+        }
+        if self.retry_limit == 0 {
+            return Err(GatewayError::InvalidConfig("retry_limit must be at least 1"));
+        }
+        if self.hedge.min_samples == 0 {
+            return Err(GatewayError::InvalidConfig("hedge.min_samples must be at least 1"));
+        }
+        self.client.validate().map_err(|_| GatewayError::InvalidConfig("client config out of range"))
+    }
+}
+
+/// Gateway construction errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayError {
+    /// A configuration field is out of its valid range.
+    InvalidConfig(&'static str),
+    /// The node pool was empty.
+    NoNodes,
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig(what) => write!(f, "invalid gateway config: {what}"),
+            Self::NoNodes => write!(f, "gateway needs at least one backend node"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(GatewayConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_fields_are_named() {
+        let c = GatewayConfig { eject_after: 0, ..GatewayConfig::default() };
+        assert_eq!(c.validate(), Err(GatewayError::InvalidConfig("eject_after must be at least 1")));
+        let c = GatewayConfig { retry_limit: 0, ..GatewayConfig::default() };
+        assert!(c.validate().is_err());
+        let hedge = HedgeConfig { min_samples: 0, ..HedgeConfig::default() };
+        let c = GatewayConfig { hedge, ..GatewayConfig::default() };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,737 @@
+//! The gateway proper: the node pool, the submit path with failover and
+//! hedging, and the [`Backend`] implementation that puts the whole
+//! cluster tier behind an `offloadnn-net` frontend.
+//!
+//! # Verdict conservation
+//!
+//! The gateway maintains the same invariant its backends do: every
+//! counted submit resolves to exactly one of admitted / rejected / shed
+//! / expired ([`offloadnn_serve::MetricsSnapshot::is_conserved`]).
+//! Cluster-level events map onto the verdict classes:
+//!
+//! * a ticket that exhausts its retry budget, or finds no healthy node,
+//!   resolves **Shed** (cluster backpressure);
+//! * a ticket whose deadline (plus `verdict_grace`) passes before any
+//!   backend answers resolves **Expired**;
+//! * everything else relays the winning backend verdict verbatim.
+//!
+//! Hedging introduces *duplicate* backend submits, which threatens
+//! double-counting: the dedup rule is that exactly one attempt — the
+//! first to deliver a verdict — settles the ticket, and every other
+//! outstanding attempt is handed to the reaper, which waits out its
+//! verdict and sends a [`offloadnn_net::Client::depart`] iff the loser
+//! was *admitted* on its node. So the cluster-wide ledger stays
+//! balanced: the winner's admission is owned by the caller (departed via
+//! [`Gateway`] depart like any admission), the loser's admission is
+//! departed by the reaper, and loser rejections/sheds/expiries need no
+//! compensation. Synthesized gateway verdicts carry `shard: 0`.
+
+use crate::config::{GatewayConfig, GatewayError};
+use crate::health;
+use crate::instruments::GwInstruments;
+use crate::node::Node;
+use crate::router::{self, Candidate};
+use crossbeam::channel::{self, Receiver, Sender};
+use offloadnn_core::instance::PathOption;
+use offloadnn_core::task::{Task, TaskId};
+use offloadnn_net::codec::ErrorCode;
+use offloadnn_net::{Backend, NetError, PendingOutcome, PendingVerdict};
+use offloadnn_serve::{
+    DrainReport, MetricsSnapshot, Outcome, ReshardReport, ServeError, ServiceMetrics, SubmitError,
+};
+use offloadnn_telemetry::{event, span, Severity};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Polling slice while racing two in-flight attempts (no `select` over
+/// verdict channels, so the ticket alternates bounded waits).
+const RACE_SLICE: Duration = Duration::from_micros(500);
+
+/// State shared between the gateway handle, its tickets and its threads.
+pub(crate) struct GatewayInner {
+    pub(crate) nodes: Vec<Arc<Node>>,
+    pub(crate) config: GatewayConfig,
+    /// The gateway's own conservation ledger (one verdict per submit).
+    pub(crate) metrics: ServiceMetrics,
+    draining: AtomicBool,
+    /// Which node admitted each live task, so departs route back there.
+    routes: Mutex<HashMap<TaskId, usize>>,
+    /// Hand-off to the reaper thread; `None` once drain has begun (late
+    /// losers are then reaped inline).
+    reaper_tx: Mutex<Option<Sender<Loser>>>,
+    instruments: Option<GwInstruments>,
+}
+
+impl GatewayInner {
+    /// Routable candidates: healthy nodes minus the `exclude`d indices.
+    fn healthy_candidates(&self, exclude: &[usize]) -> Vec<Candidate> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| !exclude.contains(i) && n.is_healthy())
+            .map(|(i, n)| n.candidate(i))
+            .collect()
+    }
+
+    /// Publishes the `gw.nodes.healthy` gauge.
+    pub(crate) fn publish_healthy_gauge(&self) {
+        if let Some(ins) = &self.instruments {
+            ins.nodes_healthy.set(self.nodes.iter().filter(|n| n.is_healthy()).count() as u64);
+        }
+    }
+
+    /// Ejects a node from the data path (dropped connection or failed
+    /// send — stronger evidence than a missed probe).
+    fn eject_node(&self, index: usize, why: &NetError) {
+        if self.nodes[index].eject(self.config.probation) {
+            event!(Severity::Warn, "gw.failover", "ejected {}: {why}", self.nodes[index].addr);
+        }
+        self.publish_healthy_gauge();
+    }
+
+    /// Hands a losing attempt to the reaper thread (inline once the
+    /// reaper is gone, i.e. during drain).
+    fn hand_to_reaper(&self, loser: Loser) {
+        let sent = {
+            let guard = self.reaper_tx.lock().expect("reaper tx lock poisoned");
+            match guard.as_ref() {
+                Some(tx) => tx.send(loser).map_err(|e| e.0).err(),
+                None => Some(loser),
+            }
+        };
+        if let Some(loser) = sent {
+            reap(self, &loser);
+        }
+    }
+}
+
+/// A duplicate or abandoned in-flight attempt whose verdict must still
+/// be accounted for (see the conservation notes in the module docs).
+struct Loser {
+    node: usize,
+    task: TaskId,
+    pv: PendingVerdict,
+    /// How long the reaper waits for the verdict before giving up.
+    deadline: Instant,
+}
+
+/// Waits out a loser's verdict; an admitted duplicate is departed on its
+/// node so the cluster doesn't leak the capacity.
+fn reap(inner: &GatewayInner, loser: &Loser) {
+    let wait = loser.deadline.saturating_duration_since(Instant::now()) + Duration::from_millis(10);
+    if let Some(Ok(Outcome::Admitted { .. })) = loser.pv.poll_wait(wait) {
+        if let Ok(client) = inner.nodes[loser.node].client(&inner.config.client) {
+            let _ = client.depart(loser.task);
+        }
+    }
+}
+
+/// The reaper thread body: drains losers until the gateway closes the
+/// channel at drain time.
+fn reaper_loop(inner: &Arc<GatewayInner>, rx: &Receiver<Loser>) {
+    while let Ok(loser) = rx.recv() {
+        reap(inner, &loser);
+    }
+}
+
+/// One in-flight backend submit owned by a [`GwPending`].
+struct Attempt {
+    node: usize,
+    pv: PendingVerdict,
+    started: Instant,
+    is_hedge: bool,
+}
+
+/// What [`GwPending::launch`] did.
+enum Launch {
+    /// An attempt is in flight.
+    Launched,
+    /// No healthy untried node remains.
+    NoCandidate,
+    /// The send failed (the node was ejected); the caller retries.
+    Failed,
+}
+
+/// Mutable ticket state behind the [`GwPending`] lock.
+struct PendState {
+    task: Task,
+    options: Vec<PathOption>,
+    born: Instant,
+    deadline: Instant,
+    /// Failover submits launched (hedges excluded); bounded by
+    /// [`GatewayConfig::retry_limit`].
+    attempts: u32,
+    /// Node indices already attempted (never re-tried for this ticket).
+    tried: Vec<usize>,
+    primary: Option<Attempt>,
+    hedge: Option<Attempt>,
+    /// The one-shot hedge has fired (or been forfeited).
+    hedged: bool,
+    done: Option<Outcome>,
+}
+
+/// A pending cluster verdict: the gateway-side analogue of
+/// [`offloadnn_serve::Ticket`]. Resolution (including failover retries
+/// and hedging) happens lazily inside [`PendingOutcome::wait`] /
+/// [`PendingOutcome::try_wait`], on the caller's thread.
+pub struct GwPending {
+    inner: Arc<GatewayInner>,
+    state: Mutex<PendState>,
+}
+
+impl GwPending {
+    /// Routes and launches one backend submit. `try_wait` never calls
+    /// this (dialling blocks); `wait` does.
+    fn launch(&self, st: &mut PendState, now: Instant, is_hedge: bool) -> Launch {
+        let pick = {
+            let _route = span!("gw.route");
+            router::route(u64::from(st.task.id.0), &self.inner.healthy_candidates(&st.tried))
+        };
+        let Some(index) = pick else {
+            return Launch::NoCandidate;
+        };
+        st.tried.push(index);
+        if is_hedge {
+            st.hedged = true;
+            if let Some(ins) = &self.inner.instruments {
+                ins.hedges.inc();
+            }
+        } else {
+            if st.attempts > 0 {
+                // A prior attempt failed and this ticket moves to a
+                // survivor with whatever deadline budget remains.
+                if let Some(ins) = &self.inner.instruments {
+                    ins.failover.inc();
+                }
+            }
+            st.attempts += 1;
+        }
+        let remaining = st.deadline.saturating_duration_since(now);
+        let node = &self.inner.nodes[index];
+        match node
+            .client(&self.inner.config.client)
+            .and_then(|c| c.submit(st.task.clone(), st.options.clone(), Some(remaining)))
+        {
+            Ok(pv) => {
+                let attempt = Attempt { node: index, pv, started: now, is_hedge };
+                if is_hedge {
+                    st.hedge = Some(attempt);
+                } else {
+                    st.primary = Some(attempt);
+                }
+                Launch::Launched
+            }
+            Err(err) => {
+                self.inner.eject_node(index, &err);
+                Launch::Failed
+            }
+        }
+    }
+
+    /// Whether the deadline-aware hedger should fire now: the primary
+    /// node's observed p99 (once trustworthy) projects past the
+    /// ticket's deadline, i.e. waiting out another p99 would blow it.
+    fn hedge_due(&self, st: &PendState, now: Instant) -> bool {
+        let config = &self.inner.config;
+        if !config.hedge.enabled || st.hedged || st.hedge.is_some() {
+            return false;
+        }
+        let Some(primary) = &st.primary else {
+            return false;
+        };
+        let rtt = self.inner.nodes[primary.node].rtt.snapshot();
+        if rtt.count < config.hedge.min_samples {
+            return false;
+        }
+        now + rtt.quantile(0.99) >= st.deadline
+    }
+
+    /// Books the final verdict: counts it on the gateway ledger, records
+    /// the admission route for departs, and hands every other
+    /// outstanding attempt to the reaper.
+    fn settle(&self, st: &mut PendState, outcome: Outcome, winner: Option<&Attempt>) -> Outcome {
+        let reap_deadline = st.deadline + self.inner.config.verdict_grace;
+        for attempt in st.primary.take().into_iter().chain(st.hedge.take()) {
+            self.inner.hand_to_reaper(Loser {
+                node: attempt.node,
+                task: st.task.id,
+                pv: attempt.pv,
+                deadline: reap_deadline,
+            });
+        }
+        let metrics = &self.inner.metrics;
+        match outcome {
+            Outcome::Admitted { .. } => {
+                metrics.admitted.inc();
+                if let Some(winner) = winner {
+                    self.inner.routes.lock().expect("routes lock poisoned").insert(st.task.id, winner.node);
+                    if winner.is_hedge {
+                        if let Some(ins) = &self.inner.instruments {
+                            ins.hedge_wins.inc();
+                        }
+                    }
+                }
+            }
+            Outcome::Rejected { .. } => metrics.rejected.inc(),
+            Outcome::Shed { .. } => metrics.shed.inc(),
+            Outcome::Expired { .. } => metrics.expired.inc(),
+        }
+        metrics.latency.record(st.born.elapsed());
+        st.done = Some(outcome);
+        outcome
+    }
+
+    /// Handles a completed attempt. `Some(outcome)` settles the ticket;
+    /// `None` means the attempt failed in a retryable way and was
+    /// cleared (the resolve loop re-routes).
+    fn absorb(
+        &self,
+        st: &mut PendState,
+        winner_is_hedge: bool,
+        result: Result<Outcome, NetError>,
+    ) -> Option<Outcome> {
+        let taken = if winner_is_hedge { st.hedge.take() } else { st.primary.take() };
+        let attempt = taken.expect("absorbed attempt must exist");
+        match result {
+            Ok(outcome) => {
+                self.inner.nodes[attempt.node].rtt.record(attempt.started.elapsed());
+                Some(self.settle(st, outcome, Some(&attempt)))
+            }
+            Err(err) => {
+                match &err {
+                    // The node refused deliberately (draining) or died
+                    // mid-request: stop routing to it and retry the
+                    // ticket elsewhere.
+                    NetError::Server(e) if e.code == ErrorCode::Draining => {
+                        self.inner.eject_node(attempt.node, &err);
+                    }
+                    NetError::Server(_) => {
+                        // Node-local request failure (e.g. a chaos-killed
+                        // worker): retry elsewhere, leave node health to
+                        // the prober.
+                    }
+                    _ => self.inner.eject_node(attempt.node, &err),
+                }
+                None
+            }
+        }
+    }
+
+    /// The resolution engine. With `block` false this is a cheap poll
+    /// (no dialling, no sleeping) that may leave the ticket mid-failover
+    /// for the next `wait` to finish.
+    fn resolve(&self, block: bool) -> Option<Outcome> {
+        let mut st = self.state.lock().expect("pending state lock poisoned");
+        loop {
+            if let Some(done) = st.done {
+                return Some(done);
+            }
+            let now = Instant::now();
+            // An attempt whose node has been ejected (by the health
+            // monitor or another ticket's failure) may never resolve —
+            // the connection could be half-dead. Abandon it to the
+            // reaper (which departs it iff a verdict does surface as an
+            // admission) and fail over with the remaining budget.
+            for is_hedge in [false, true] {
+                let slot = if is_hedge { &mut st.hedge } else { &mut st.primary };
+                if let Some(attempt) = slot.take() {
+                    if self.inner.nodes[attempt.node].is_healthy() {
+                        *slot = Some(attempt);
+                    } else {
+                        let reap_deadline = st.deadline + self.inner.config.verdict_grace;
+                        let task = st.task.id;
+                        self.inner.hand_to_reaper(Loser {
+                            node: attempt.node,
+                            task,
+                            pv: attempt.pv,
+                            deadline: reap_deadline,
+                        });
+                    }
+                }
+            }
+            // Promote a surviving hedge if the primary slot is empty.
+            if st.primary.is_none() {
+                if let Some(hedge) = st.hedge.take() {
+                    st.primary = Some(hedge);
+                }
+            }
+            if st.primary.is_none() {
+                // Nothing in flight: either give the ticket its terminal
+                // verdict or (blocking mode) launch the next attempt.
+                if now >= st.deadline {
+                    return Some(self.settle(&mut st, Outcome::Expired { shard: 0 }, None));
+                }
+                if st.attempts >= self.inner.config.retry_limit {
+                    return Some(self.settle(&mut st, Outcome::Shed { shard: 0 }, None));
+                }
+                if !block {
+                    return None;
+                }
+                match self.launch(&mut st, now, false) {
+                    Launch::Launched => {}
+                    Launch::NoCandidate => {
+                        return Some(self.settle(&mut st, Outcome::Shed { shard: 0 }, None));
+                    }
+                    Launch::Failed => continue,
+                }
+            }
+            // Fire the one-shot hedge when the primary's tail projects
+            // past the deadline. A failed hedge launch is forfeited
+            // (`launch` marked `hedged`), never retried.
+            if block && self.hedge_due(&st, now) {
+                let _ = self.launch(&mut st, now, true);
+            }
+            // Abandon the ticket once deadline + grace has passed with
+            // attempts still in flight.
+            if now >= st.deadline + self.inner.config.verdict_grace {
+                return Some(self.settle(&mut st, Outcome::Expired { shard: 0 }, None));
+            }
+            // Poll / race the in-flight attempts.
+            let two = st.hedge.is_some();
+            if let Some(primary) = &st.primary {
+                let slice = if !block {
+                    Duration::ZERO
+                } else if two || self.could_hedge(&st) {
+                    RACE_SLICE
+                } else {
+                    // Nothing can preempt the primary: sleep toward the
+                    // grace horizon in one bounded chunk.
+                    (st.deadline + self.inner.config.verdict_grace)
+                        .saturating_duration_since(now)
+                        .min(Duration::from_millis(20))
+                };
+                let polled = if slice.is_zero() { primary.pv.poll() } else { primary.pv.poll_wait(slice) };
+                if let Some(result) = polled {
+                    if let Some(out) = self.absorb(&mut st, false, result) {
+                        return Some(out);
+                    }
+                    continue;
+                }
+            }
+            if let Some(hedge) = &st.hedge {
+                let polled = if block { hedge.pv.poll_wait(RACE_SLICE) } else { hedge.pv.poll() };
+                if let Some(result) = polled {
+                    if let Some(out) = self.absorb(&mut st, true, result) {
+                        return Some(out);
+                    }
+                    continue;
+                }
+            }
+            if !block {
+                return None;
+            }
+        }
+    }
+
+    /// Whether a hedge could still fire later (keeps the race loop on
+    /// short slices so the trigger isn't slept past).
+    fn could_hedge(&self, st: &PendState) -> bool {
+        self.inner.config.hedge.enabled && !st.hedged && st.hedge.is_none()
+    }
+}
+
+impl PendingOutcome for GwPending {
+    fn try_wait(&self) -> Option<Outcome> {
+        self.resolve(false)
+    }
+
+    fn wait(&self) -> Option<Outcome> {
+        self.resolve(true)
+    }
+}
+
+impl std::fmt::Debug for GwPending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GwPending").finish_non_exhaustive()
+    }
+}
+
+/// A cluster frontend over a pool of backend serve nodes.
+///
+/// See the crate docs for the architecture; in one line: weighted
+/// rendezvous routing over health-checked nodes, failover with the
+/// remaining deadline budget, optional deadline-aware hedging, and a
+/// conservation ledger equivalent to a single node's.
+pub struct Gateway {
+    inner: Arc<GatewayInner>,
+    monitor: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
+    /// Dropping this stops the health monitor.
+    shutdown_tx: Option<Sender<()>>,
+}
+
+impl Gateway {
+    /// Starts a gateway over `addrs` (each the address of a running
+    /// `offloadnn-net` frontend). Nodes start healthy with weight 1 and
+    /// are dialled lazily; the first health sweep corrects both.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::NoNodes`] for an empty pool,
+    /// [`GatewayError::InvalidConfig`] from config validation.
+    pub fn start(addrs: &[SocketAddr], config: GatewayConfig) -> Result<Self, GatewayError> {
+        config.validate()?;
+        if addrs.is_empty() {
+            return Err(GatewayError::NoNodes);
+        }
+        let nodes: Vec<Arc<Node>> = addrs.iter().map(|a| Arc::new(Node::new(*a))).collect();
+        let (reaper_tx, reaper_rx) = channel::unbounded();
+        let inner = Arc::new(GatewayInner {
+            nodes,
+            config,
+            metrics: ServiceMetrics::new(),
+            draining: AtomicBool::new(false),
+            routes: Mutex::new(HashMap::new()),
+            reaper_tx: Mutex::new(Some(reaper_tx)),
+            instruments: GwInstruments::new(),
+        });
+        inner.publish_healthy_gauge();
+        let (shutdown_tx, shutdown_rx) = channel::bounded::<()>(1);
+        let monitor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("gw-health".into())
+                .spawn(move || health::monitor_loop(&inner, &shutdown_rx))
+                .expect("spawn gw-health thread")
+        };
+        let reaper = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("gw-reaper".into())
+                .spawn(move || reaper_loop(&inner, &reaper_rx))
+                .expect("spawn gw-reaper thread")
+        };
+        Ok(Self { inner, monitor: Some(monitor), reaper: Some(reaper), shutdown_tx: Some(shutdown_tx) })
+    }
+
+    /// Nodes currently eligible for routing.
+    pub fn healthy_nodes(&self) -> usize {
+        self.inner.nodes.iter().filter(|n| n.is_healthy()).count()
+    }
+
+    /// The pool size (healthy or not).
+    pub fn pool_size(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// Point-in-time snapshot of the gateway's own ledger.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Whether a drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Acquire)
+    }
+
+    /// Submits a task to the cluster with the gateway's default
+    /// deadline. See [`Backend::submit`] for the full contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Backend::submit`].
+    pub fn submit(&self, task: Task, options: Vec<PathOption>) -> Result<GwPending, SubmitError> {
+        self.do_submit(task, options, None)
+    }
+
+    fn do_submit(
+        &self,
+        task: Task,
+        options: Vec<PathOption>,
+        budget: Option<Duration>,
+    ) -> Result<GwPending, SubmitError> {
+        if self.is_draining() {
+            return Err(SubmitError::Draining);
+        }
+        if options.is_empty() {
+            return Err(SubmitError::NoOptions);
+        }
+        // A client can tighten its admission window but never extend it
+        // past the gateway policy — the same rule serve applies.
+        let policy = self.inner.config.default_deadline;
+        let budget = budget.map_or(policy, |b| b.min(policy));
+        self.inner.metrics.submitted.inc();
+        let now = Instant::now();
+        let pending = GwPending {
+            inner: Arc::clone(&self.inner),
+            state: Mutex::new(PendState {
+                task,
+                options,
+                born: now,
+                deadline: now + budget,
+                attempts: 0,
+                tried: Vec::new(),
+                primary: None,
+                hedge: None,
+                hedged: false,
+                done: None,
+            }),
+        };
+        // Launch the first attempt eagerly so tickets pipeline: the
+        // submit is on the wire when this returns, and `wait` only
+        // collects (or fails over). A ticket that cannot launch here
+        // (all sends fail, or no healthy node) resolves in `wait`.
+        {
+            let mut st = pending.state.lock().expect("pending state lock poisoned");
+            while st.primary.is_none() && st.attempts < self.inner.config.retry_limit {
+                match pending.launch(&mut st, Instant::now(), false) {
+                    Launch::Launched | Launch::NoCandidate => break,
+                    Launch::Failed => {}
+                }
+            }
+        }
+        Ok(pending)
+    }
+
+    /// Forwards a departure to the node that admitted the task (a no-op
+    /// for tasks the gateway never admitted).
+    pub fn depart(&self, task: TaskId) {
+        let node = self.inner.routes.lock().expect("routes lock poisoned").remove(&task);
+        if let Some(index) = node {
+            if let Ok(client) = self.inner.nodes[index].client(&self.inner.config.client) {
+                if client.depart(task).is_ok() {
+                    self.inner.metrics.departed.inc();
+                }
+            }
+        }
+    }
+
+    /// Broadcasts a reshard to every healthy node; the report aggregates
+    /// the per-node responses (summed migrations, max generation).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Draining`] after drain began;
+    /// [`ServeError::InvalidConfig`] for a zero target or when no
+    /// healthy node accepted the reshard.
+    pub fn scale_to(&self, shards: usize) -> Result<ReshardReport, ServeError> {
+        if self.is_draining() {
+            return Err(ServeError::Draining);
+        }
+        if shards == 0 {
+            return Err(ServeError::InvalidConfig("gateway scale target must be at least one shard"));
+        }
+        let target =
+            u32::try_from(shards).map_err(|_| ServeError::InvalidConfig("scale target too large"))?;
+        let mut report: Option<ReshardReport> = None;
+        for node in self.inner.nodes.iter().filter(|n| n.is_healthy()) {
+            match node.client(&self.inner.config.client).and_then(|c| c.scale_to(target)) {
+                Ok(r) => {
+                    let agg = report.get_or_insert(ReshardReport {
+                        from_shards: r.from_shards as usize,
+                        to_shards: shards,
+                        migrated: 0,
+                        generation: 0,
+                    });
+                    agg.migrated += r.migrated;
+                    agg.generation = agg.generation.max(r.generation);
+                }
+                Err(_) => node.drop_client(),
+            }
+        }
+        match report {
+            Some(r) => {
+                self.inner.metrics.reshards.inc();
+                self.inner.metrics.migrated.add(r.migrated);
+                self.inner.metrics.generation.set(r.generation);
+                Ok(r)
+            }
+            None => Err(ServeError::InvalidConfig("no healthy node accepted the reshard")),
+        }
+    }
+
+    /// Stops accepting submits (already-issued tickets still resolve).
+    pub fn begin_drain(&self) {
+        self.inner.draining.store(true, Ordering::Release);
+    }
+
+    /// Drains the gateway: stops the monitor, lets the reaper finish
+    /// deduplicating, and reports the gateway's final ledger. The
+    /// *backend nodes are not drained* — the gateway routes to them but
+    /// does not own their lifecycle.
+    pub fn drain(mut self) -> DrainReport {
+        self.begin_drain();
+        drop(self.shutdown_tx.take());
+        if let Some(handle) = self.monitor.take() {
+            let _ = handle.join();
+        }
+        // Disconnect the reaper only after the monitor is gone: every
+        // ticket has resolved by the time a frontend calls drain, so no
+        // new losers can arrive.
+        *self.inner.reaper_tx.lock().expect("reaper tx lock poisoned") = None;
+        if let Some(handle) = self.reaper.take() {
+            let _ = handle.join();
+        }
+        DrainReport {
+            metrics: self.inner.metrics.snapshot(),
+            shards: Vec::new(),
+            retired: Vec::new(),
+            lost_shards: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("nodes", &self.inner.nodes)
+            .field("draining", &self.is_draining())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        // A dropped (not drained) gateway must not leave threads parked
+        // forever.
+        drop(self.shutdown_tx.take());
+        *self.inner.reaper_tx.lock().expect("reaper tx lock poisoned") = None;
+        if let Some(handle) = self.monitor.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.reaper.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Backend for Gateway {
+    type Pending = GwPending;
+
+    fn submit(
+        &self,
+        task: Task,
+        options: Vec<PathOption>,
+        budget: Option<Duration>,
+    ) -> Result<GwPending, SubmitError> {
+        self.do_submit(task, options, budget)
+    }
+
+    fn depart(&self, task: TaskId) {
+        Gateway::depart(self, task);
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        Gateway::metrics(self)
+    }
+
+    fn begin_drain(&self) {
+        Gateway::begin_drain(self);
+    }
+
+    fn is_draining(&self) -> bool {
+        Gateway::is_draining(self)
+    }
+
+    fn scale_to(&self, shards: usize) -> Result<ReshardReport, ServeError> {
+        Gateway::scale_to(self, shards)
+    }
+
+    fn drain(self) -> DrainReport {
+        Gateway::drain(self)
+    }
+}

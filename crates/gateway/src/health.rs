@@ -1,0 +1,100 @@
+//! The health monitor: periodic Metrics-frame probes, ejection after K
+//! consecutive misses, probation-gated readmission, and weight updates.
+//!
+//! One thread sweeps the pool every `health_interval`. Healthy nodes are
+//! probed with [`offloadnn_net::Client::snapshot_timeout`] — a node that
+//! cannot answer a metrics request within `health_timeout` counts a
+//! miss; `eject_after` consecutive misses ejects it. Ejected nodes are
+//! left alone until their probation window elapses, then probed once: a
+//! success readmits them (weight reset from the fresh snapshot), a
+//! failure restarts probation.
+//!
+//! A successful probe also refreshes the node's routing weight from the
+//! reported load: `weight = 1 / (1 + in_flight + queued)` where
+//! `in_flight = admitted − departed` and `queued = submitted − resolved`.
+//! More remaining budget ⇒ more of the key space, and the rendezvous
+//! scores of the *other* nodes are untouched by the update.
+
+use crate::gateway::GatewayInner;
+use crate::node::Node;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use offloadnn_serve::MetricsSnapshot;
+use offloadnn_telemetry::{event, Severity};
+use std::sync::Arc;
+
+/// Routing weight from a node's reported load.
+fn weight_from(snapshot: &MetricsSnapshot) -> f64 {
+    let in_flight = snapshot.admitted.saturating_sub(snapshot.departed);
+    let queued = snapshot.submitted.saturating_sub(snapshot.resolved());
+    1.0 / (1.0 + (in_flight + queued) as f64)
+}
+
+/// Probes one node and applies the state machine transition.
+fn probe(inner: &GatewayInner, node: &Node) {
+    let config = &inner.config;
+    if node.is_healthy() {
+        match node.client(&config.client).and_then(|c| c.snapshot_timeout(config.health_timeout)) {
+            Ok(snapshot) => {
+                node.note_probe_ok();
+                node.set_weight(weight_from(&snapshot));
+            }
+            Err(err) => {
+                // The connection (if any) is suspect either way.
+                node.drop_client();
+                if node.note_probe_miss(config.eject_after) && node.eject(config.probation) {
+                    event!(Severity::Warn, "gw.health", "ejected {}: {err}", node.addr);
+                }
+            }
+        }
+    } else if node.probation_over() {
+        match node.client(&config.client).and_then(|c| c.snapshot_timeout(config.health_timeout)) {
+            Ok(snapshot) => {
+                node.set_weight(weight_from(&snapshot));
+                node.readmit();
+                event!(Severity::Info, "gw.health", "readmitted {}", node.addr);
+            }
+            Err(_) => {
+                node.drop_client();
+                node.extend_probation(config.probation);
+            }
+        }
+    }
+}
+
+/// The monitor thread body: sweep, publish the healthy-node gauge,
+/// sleep until the next tick or shutdown (the sender side of
+/// `shutdown_rx` is dropped by [`crate::Gateway`] drain).
+pub(crate) fn monitor_loop(inner: &Arc<GatewayInner>, shutdown_rx: &Receiver<()>) {
+    loop {
+        for node in &inner.nodes {
+            probe(inner, node);
+        }
+        inner.publish_healthy_gauge();
+        match shutdown_rx.recv_timeout(inner.config.health_interval) {
+            Err(RecvTimeoutError::Timeout) => {}
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_shrinks_with_load() {
+        let metrics = offloadnn_serve::ServiceMetrics::new();
+        assert_eq!(weight_from(&metrics.snapshot()), 1.0);
+        metrics.submitted.add(10);
+        metrics.admitted.add(6);
+        metrics.rejected.add(2);
+        metrics.shed.inc();
+        metrics.expired.inc();
+        metrics.departed.add(2);
+        // in_flight = 4, queued = 0 ⇒ 1/5.
+        assert_eq!(weight_from(&metrics.snapshot()), 0.2);
+        metrics.submitted.add(4);
+        // 4 still queued ⇒ 1/9.
+        assert!((weight_from(&metrics.snapshot()) - 1.0 / 9.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! Gateway telemetry handles.
+//!
+//! The cluster tier reports four instruments into the global registry:
+//!
+//! * `gw.nodes.healthy` — gauge of nodes currently eligible for routing;
+//! * `gw.failover` — tickets re-routed to a survivor after their node
+//!   failed mid-flight;
+//! * `gw.hedges` — duplicate submits launched by the deadline-aware
+//!   hedger;
+//! * `gw.hedge_wins` — hedged tickets whose duplicate delivered the
+//!   winning verdict.
+//!
+//! Plus the `gw.route` span histogram around every rendezvous-routing
+//! decision (recorded via the `span!` macro at the call site). As in
+//! `offloadnn-net`, the handles are resolved once at gateway start and
+//! only when telemetry is enabled; with it off (runtime switch or the
+//! `disabled` feature) the whole struct is `None`.
+
+use offloadnn_telemetry::{Counter, Gauge};
+use std::sync::Arc;
+
+/// Cached instrument handles, held by the gateway's shared state.
+pub(crate) struct GwInstruments {
+    /// Level gauge of nodes currently routable.
+    pub nodes_healthy: Arc<Gauge>,
+    /// Tickets retried on a survivor after a node failure.
+    pub failover: Arc<Counter>,
+    /// Duplicate submits launched by the hedger.
+    pub hedges: Arc<Counter>,
+    /// Hedged tickets won by the duplicate.
+    pub hedge_wins: Arc<Counter>,
+}
+
+impl GwInstruments {
+    /// Resolves the handles from the global registry, or `None` while
+    /// telemetry is off (so disabled builds never touch the registry).
+    pub(crate) fn new() -> Option<Self> {
+        if !offloadnn_telemetry::enabled() {
+            return None;
+        }
+        let registry = offloadnn_telemetry::global();
+        Some(Self {
+            nodes_healthy: registry.gauge("gw.nodes.healthy"),
+            failover: registry.counter("gw.failover"),
+            hedges: registry.counter("gw.hedges"),
+            hedge_wins: registry.counter("gw.hedge_wins"),
+        })
+    }
+}

@@ -1,0 +1,82 @@
+//! # offloadnn-gateway — the multi-node offloading tier
+//!
+//! One `offloadnn-serve` node admits tasks against *its own* capacity.
+//! This crate scales the admission service out: a [`Gateway`] owns a
+//! pool of backend serve nodes (each an `offloadnn-net` endpoint
+//! speaking the v2 wire protocol) and presents the whole cluster as a
+//! single admission backend — including over the network, since
+//! [`Gateway`] implements [`offloadnn_net::Backend`] and therefore
+//! slots behind either TCP frontend via
+//! [`offloadnn_net::AnyServer::start_with_backend`].
+//!
+//! Four mechanisms, one per module:
+//!
+//! * **Routing** ([`router`]) — weighted rendezvous hashing. Each
+//!   submit's task id is scored against every healthy node
+//!   (`-weight / ln(u)`, the logarithmic method); the weight is the
+//!   node's reported admission headroom from its latest health
+//!   snapshot. Ejecting a node remaps only the keys it was winning.
+//! * **Health** ([`crate::health`], internal) — a monitor thread probes
+//!   every node each `health_interval` with a Metrics frame
+//!   ([`offloadnn_net::Client::snapshot_timeout`]). `eject_after`
+//!   consecutive misses ejects a node; after `probation` a successful
+//!   probe readmits it.
+//! * **Failover** — a node that drops its connection (or starts
+//!   draining) mid-request is ejected immediately and the in-flight
+//!   ticket is retried on a survivor with the *remaining* deadline
+//!   budget, up to `retry_limit` attempts; a ticket that runs out of
+//!   nodes, retries or time resolves Shed / Expired so the gateway's
+//!   conservation ledger ([`Gateway::metrics`]) stays balanced.
+//! * **Hedging** — optionally ([`HedgeConfig`]), a ticket whose primary
+//!   node's observed p99 RTT projects past the ticket deadline is
+//!   duplicated to the next-ranked node; the first verdict wins and the
+//!   loser is reaped (departed iff it was admitted), so no verdict is
+//!   double-counted and no backend capacity leaks.
+//!
+//! Telemetry: `gw.nodes.healthy` gauge, `gw.failover` / `gw.hedges` /
+//! `gw.hedge_wins` counters and the `gw.route` span histogram, all
+//! compiled out with the `offloadnn-telemetry/disabled` feature.
+//!
+//! ```no_run
+//! use offloadnn_core::scenario::small_scenario;
+//! use offloadnn_gateway::{Gateway, GatewayConfig};
+//! use offloadnn_net::{NetConfig, NetServer};
+//! use offloadnn_serve::ServiceConfig;
+//!
+//! let scenario = small_scenario(5);
+//! // Three single-node backends...
+//! let nodes: Vec<_> = (0..3)
+//!     .map(|_| {
+//!         NetServer::start(
+//!             ("127.0.0.1", 0),
+//!             NetConfig::default(),
+//!             ServiceConfig::default(),
+//!             &scenario.instance,
+//!         )
+//!         .unwrap()
+//!     })
+//!     .collect();
+//! let addrs: Vec<_> = nodes.iter().map(|n| n.local_addr()).collect();
+//! // ...one cluster.
+//! let gateway = Gateway::start(&addrs, GatewayConfig::default()).unwrap();
+//! let pending = gateway
+//!     .submit(scenario.instance.tasks[0].clone(), scenario.instance.options[0].clone())
+//!     .unwrap();
+//! use offloadnn_net::PendingOutcome;
+//! println!("cluster verdict: {:?}", pending.wait());
+//! let report = gateway.drain();
+//! assert!(report.metrics.is_conserved());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+mod gateway;
+mod health;
+mod instruments;
+mod node;
+pub mod router;
+
+pub use config::{GatewayConfig, GatewayError, HedgeConfig};
+pub use gateway::{Gateway, GwPending};

@@ -1,0 +1,196 @@
+//! Per-backend-node state: lazy client, health/ejection state machine,
+//! routing weight and the RTT histogram feeding the hedger.
+//!
+//! The failover state machine per node:
+//!
+//! ```text
+//!            K consecutive missed probes,
+//!            or a transport failure on the data path
+//!   Healthy ──────────────────────────────────────▶ Ejected
+//!      ▲                                               │
+//!      │  probe succeeds after the probation window    │
+//!      └───────────────────────────────────────────────┘
+//!              (a failed probe restarts probation)
+//! ```
+//!
+//! While `Ejected`, the node is invisible to routing. The data path may
+//! eject a node directly (a dropped connection is stronger evidence than
+//! a missed probe); only the health monitor readmits.
+
+use crate::router::Candidate;
+use offloadnn_net::{Client, ClientConfig, NetError};
+use offloadnn_telemetry::Histogram;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One backend serve node in the gateway's pool.
+pub(crate) struct Node {
+    /// Where the node's `offloadnn-net` frontend listens.
+    pub addr: SocketAddr,
+    /// Stable rendezvous seed (hash of the address string).
+    pub seed: u64,
+    /// Lazily dialled shared client; dropped on transport failure so the
+    /// next use re-dials.
+    client: Mutex<Option<Arc<Client>>>,
+    /// Whether the node is currently routable.
+    healthy: AtomicBool,
+    /// Consecutive missed health probes while healthy.
+    misses: AtomicU32,
+    /// Earliest instant a probe may readmit the node after an ejection.
+    probation_until: Mutex<Option<Instant>>,
+    /// Routing weight as f64 bits (headroom from the last health probe).
+    weight_bits: AtomicU64,
+    /// Gateway-observed submit→verdict round trips against this node;
+    /// its p99 drives the deadline-aware hedger.
+    pub rtt: Histogram,
+}
+
+impl Node {
+    pub(crate) fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            seed: crate::router::node_seed(&addr.to_string()),
+            client: Mutex::new(None),
+            healthy: AtomicBool::new(true),
+            misses: AtomicU32::new(0),
+            probation_until: Mutex::new(None),
+            weight_bits: AtomicU64::new(1.0f64.to_bits()),
+            rtt: Histogram::new(),
+        }
+    }
+
+    /// The shared client for this node, dialling on first use (or after
+    /// a [`Node::drop_client`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::connect`] failures; the slot stays empty.
+    pub(crate) fn client(&self, config: &ClientConfig) -> Result<Arc<Client>, NetError> {
+        let mut slot = self.client.lock().expect("node client lock poisoned");
+        if let Some(c) = slot.as_ref() {
+            return Ok(Arc::clone(c));
+        }
+        let c = Arc::new(Client::connect(self.addr, *config)?);
+        *slot = Some(Arc::clone(&c));
+        Ok(c)
+    }
+
+    /// Forgets the cached client (its connection is suspect); the next
+    /// [`Node::client`] call re-dials.
+    pub(crate) fn drop_client(&self) {
+        *self.client.lock().expect("node client lock poisoned") = None;
+    }
+
+    pub(crate) fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn weight(&self) -> f64 {
+        f64::from_bits(self.weight_bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn set_weight(&self, w: f64) {
+        self.weight_bits.store(w.to_bits(), Ordering::Relaxed);
+    }
+
+    /// This node as a routing candidate at pool position `index`.
+    pub(crate) fn candidate(&self, index: usize) -> Candidate {
+        Candidate { index, seed: self.seed, weight: self.weight() }
+    }
+
+    /// Records a successful health probe: clears the miss streak.
+    pub(crate) fn note_probe_ok(&self) {
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Records a missed health probe; returns `true` if this miss
+    /// crossed the ejection threshold (the caller ejects).
+    pub(crate) fn note_probe_miss(&self, eject_after: u32) -> bool {
+        self.misses.fetch_add(1, Ordering::Relaxed) + 1 >= eject_after
+    }
+
+    /// Ejects the node: unroutable until a probe readmits it after the
+    /// probation window. Idempotent; returns `true` only on the
+    /// healthy→ejected transition so callers can log/count it once.
+    pub(crate) fn eject(&self, probation: Duration) -> bool {
+        let flipped = self.healthy.swap(false, Ordering::AcqRel);
+        *self.probation_until.lock().expect("probation lock poisoned") = Some(Instant::now() + probation);
+        self.drop_client();
+        flipped
+    }
+
+    /// Whether the probation window has elapsed (only meaningful while
+    /// ejected).
+    pub(crate) fn probation_over(&self) -> bool {
+        match *self.probation_until.lock().expect("probation lock poisoned") {
+            Some(until) => Instant::now() >= until,
+            None => true,
+        }
+    }
+
+    /// Restarts the probation window after a failed readmission probe.
+    pub(crate) fn extend_probation(&self, probation: Duration) {
+        *self.probation_until.lock().expect("probation lock poisoned") = Some(Instant::now() + probation);
+    }
+
+    /// Readmits the node after a successful post-probation probe.
+    pub(crate) fn readmit(&self) {
+        self.misses.store(0, Ordering::Relaxed);
+        *self.probation_until.lock().expect("probation lock poisoned") = None;
+        self.healthy.store(true, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("addr", &self.addr)
+            .field("healthy", &self.is_healthy())
+            .field("weight", &self.weight())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Node {
+        Node::new("127.0.0.1:9999".parse().unwrap())
+    }
+
+    #[test]
+    fn misses_accumulate_to_the_threshold() {
+        let n = node();
+        assert!(!n.note_probe_miss(3));
+        assert!(!n.note_probe_miss(3));
+        assert!(n.note_probe_miss(3));
+        n.note_probe_ok();
+        assert!(!n.note_probe_miss(3));
+    }
+
+    #[test]
+    fn eject_is_reported_once_and_probation_gates_readmission() {
+        let n = node();
+        assert!(n.is_healthy());
+        assert!(n.eject(Duration::from_millis(20)));
+        assert!(!n.eject(Duration::from_millis(20)), "second eject must not re-report");
+        assert!(!n.is_healthy());
+        assert!(!n.probation_over());
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(n.probation_over());
+        n.readmit();
+        assert!(n.is_healthy());
+    }
+
+    #[test]
+    fn weight_round_trips_through_bits() {
+        let n = node();
+        n.set_weight(0.125);
+        assert_eq!(n.weight(), 0.125);
+        assert_eq!(n.candidate(2).weight, 0.125);
+        assert_eq!(n.candidate(2).index, 2);
+    }
+}

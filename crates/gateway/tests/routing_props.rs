@@ -1,0 +1,94 @@
+//! Property tests of the gateway's weighted rendezvous router: routing
+//! is a deterministic pure function, ejected nodes are never selected,
+//! and ejecting a node remaps *only* the keys that node was winning
+//! (the minimal-disruption property failover relies on).
+
+use offloadnn_gateway::router::{node_seed, rank, route, Candidate};
+use proptest::prelude::*;
+
+/// A pool of distinct candidates from loopback-style addresses, with
+/// weights spread over two orders of magnitude.
+fn arb_pool() -> impl Strategy<Value = Vec<Candidate>> {
+    (2usize..12, proptest::collection::vec(0.05f64..5.0, 12)).prop_map(|(n, weights)| {
+        (0..n)
+            .map(|i| Candidate {
+                index: i,
+                seed: node_seed(&format!("10.0.0.{}:4000", i + 1)),
+                weight: weights[i],
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Same key, same pool ⇒ same decision, independent of candidate
+    /// order (selection is by score, not position).
+    #[test]
+    fn routing_is_deterministic_and_order_independent(
+        pool in arb_pool(),
+        key in 0u64..1_000_000,
+    ) {
+        let first = route(key, &pool);
+        prop_assert_eq!(first, route(key, &pool));
+        let mut reversed = pool.clone();
+        reversed.reverse();
+        prop_assert_eq!(first, route(key, &reversed));
+        prop_assert_eq!(first, rank(key, &pool).first().copied());
+    }
+
+    /// Removing (ejecting) one node leaves every other key's decision
+    /// unchanged; the ejected node's keys move to their runner-up.
+    #[test]
+    fn ejecting_a_node_remaps_only_its_own_keys(
+        pool in arb_pool(),
+        victim_pick in 0usize..4096,
+    ) {
+        let victim = victim_pick % pool.len();
+        let survivors: Vec<Candidate> =
+            pool.iter().copied().filter(|c| c.index != victim).collect();
+        for key in 0..512u64 {
+            let before = route(key, &pool).unwrap();
+            let after = route(key, &survivors).unwrap();
+            if before == victim {
+                // The key the victim was winning moves to its previous
+                // runner-up...
+                prop_assert_eq!(Some(after), rank(key, &pool).get(1).copied());
+            } else {
+                // ...and every other key stays put.
+                prop_assert_eq!(after, before);
+            }
+        }
+    }
+
+    /// An ejected node (absent from the candidate slice) is never
+    /// routed to, whatever its weight was.
+    #[test]
+    fn never_routes_to_an_ejected_node(
+        pool in arb_pool(),
+        victim_pick in 0usize..4096,
+        keys in proptest::collection::vec(0u64..1_000_000, 64),
+    ) {
+        let victim = victim_pick % pool.len();
+        let survivors: Vec<Candidate> =
+            pool.iter().copied().filter(|c| c.index != victim).collect();
+        for key in keys {
+            let winner = route(key, &survivors).unwrap();
+            prop_assert_ne!(winner, victim);
+            prop_assert!(!rank(key, &survivors).contains(&victim));
+        }
+    }
+
+    /// The full ranking is a permutation of the pool: failover can walk
+    /// it to the last survivor.
+    #[test]
+    fn rank_is_a_total_permutation(pool in arb_pool(), key in 0u64..1_000_000) {
+        let mut order = rank(key, &pool);
+        prop_assert_eq!(order.len(), pool.len());
+        order.sort_unstable();
+        let mut expect: Vec<usize> = pool.iter().map(|c| c.index).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(order, expect);
+    }
+}

@@ -27,8 +27,8 @@
 //!             waker
 //! ```
 //!
-//! The completion thread exists because [`Ticket`] redemption blocks and
-//! an event loop must never block. Routing **every** reply of a
+//! The completion thread exists because [`PendingOutcome`] redemption
+//! blocks and an event loop must never block. Routing **every** reply of a
 //! connection through its loop's FIFO completion channel reproduces the
 //! threaded frontend's per-connection writer-queue ordering exactly:
 //! verdicts flush in submit order, a drain's final metrics snapshot is
@@ -45,9 +45,10 @@
 //! like the threaded server's bounded writer channel. Deadline
 //! propagation, drain-flush, live `Scale` frames and the
 //! incomplete-vs-malformed codec distinction are all inherited from the
-//! same [`Service`] + [`codec`] layers; the loopback suite runs the same
+//! same [`Backend`] + [`codec`] layers; the loopback suite runs the same
 //! assertions against either frontend.
 
+use crate::backend::{Backend, PendingOutcome};
 use crate::backoff::AcceptBackoff;
 use crate::codec::{self, ErrorCode, ErrorResponse, Frame, MetricsResponse, OutcomeResponse, ScaleResponse};
 use crate::error::NetError;
@@ -56,7 +57,7 @@ use crate::server::{reject_over_limit, NetConfig};
 use crossbeam::channel::{self, Receiver, Sender};
 use offloadnn_core::instance::DotInstance;
 use offloadnn_reactor::{Epoll, Event, Events, Interest, Waker};
-use offloadnn_serve::{DrainReport, Service, ServiceConfig, Ticket};
+use offloadnn_serve::{DrainReport, Service, ServiceConfig};
 use offloadnn_telemetry::{event, Severity};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -120,9 +121,9 @@ impl ReactorConfig {
 /// What an event loop hands its completion thread. FIFO per loop, which
 /// gives each connection the threaded frontend's writer-queue ordering.
 #[allow(clippy::large_enum_variant)] // transient, window-bounded queue
-enum CompletionMsg {
+enum CompletionMsg<P: PendingOutcome> {
     /// Redeem the ticket (blocking) and reply with the outcome.
-    Verdict { token: u64, request_id: u64, ticket: Ticket },
+    Verdict { token: u64, request_id: u64, ticket: P },
     /// Encode an already-built frame.
     Reply { token: u64, frame: Frame },
     /// Snapshot the service *at completion time* — i.e. after every
@@ -142,11 +143,10 @@ struct Done {
 
 /// State shared by the acceptor, the event loops, the completion threads
 /// and the [`AsyncServer`] handle.
-struct AsyncShared {
-    service: Service,
+struct AsyncShared<B: Backend> {
+    service: B,
     net: NetConfig,
     reactor: ReactorConfig,
-    admission_deadline: Duration,
     shutdown: AtomicBool,
     active: AtomicUsize,
     instruments: Option<NetInstruments>,
@@ -158,19 +158,21 @@ struct LoopHandle {
     waker: Arc<Waker>,
 }
 
-/// A running reactor frontend. Start with [`AsyncServer::start`]; stop
-/// with [`AsyncServer::shutdown`], which drains the underlying service
-/// and returns its final [`DrainReport`].
-pub struct AsyncServer {
+/// A running reactor frontend over any [`Backend`] (an in-process
+/// [`Service`] fleet by default). Start with [`AsyncServer::start`] (or
+/// [`AsyncServer::start_with_backend`]); stop with
+/// [`AsyncServer::shutdown`], which drains the backend and returns its
+/// final [`DrainReport`].
+pub struct AsyncServer<B: Backend = Service> {
     local_addr: SocketAddr,
-    shared: Arc<AsyncShared>,
+    shared: Arc<AsyncShared<B>>,
     wakers: Vec<Arc<Waker>>,
     acceptor: Option<JoinHandle<()>>,
     loops: Vec<JoinHandle<()>>,
     completions: Vec<JoinHandle<()>>,
 }
 
-impl std::fmt::Debug for AsyncServer {
+impl<B: Backend> std::fmt::Debug for AsyncServer<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AsyncServer")
             .field("local_addr", &self.local_addr)
@@ -179,7 +181,7 @@ impl std::fmt::Debug for AsyncServer {
     }
 }
 
-impl AsyncServer {
+impl AsyncServer<Service> {
     /// Binds `addr` (use port 0 for an ephemeral port), starts the shard
     /// fleet, the event-loop pool and the acceptor thread.
     ///
@@ -194,21 +196,39 @@ impl AsyncServer {
         service_config: ServiceConfig,
         template: &DotInstance,
     ) -> Result<Self, NetError> {
-        net.validate()?;
-        reactor.validate()?;
         let service = Service::start(service_config, template).map_err(|e| {
             NetError::InvalidConfig(match e {
                 offloadnn_serve::ServeError::InvalidConfig(what) => what,
                 offloadnn_serve::ServeError::Draining => "service is draining",
             })
         })?;
+        Self::start_with_backend(addr, net, reactor, service)
+    }
+}
+
+impl<B: Backend> AsyncServer<B> {
+    /// Binds `addr` and serves an already-running backend (e.g. a
+    /// cluster gateway) over the same wire protocol and event-loop pool
+    /// as [`AsyncServer::start`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidConfig`] for bad configuration,
+    /// [`NetError::Io`] if the bind or reactor setup fails.
+    pub fn start_with_backend(
+        addr: impl ToSocketAddrs,
+        net: NetConfig,
+        reactor: ReactorConfig,
+        backend: B,
+    ) -> Result<Self, NetError> {
+        net.validate()?;
+        reactor.validate()?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(AsyncShared {
-            service,
+            service: backend,
             net,
             reactor,
-            admission_deadline: service_config.admission_deadline,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             instruments: NetInstruments::new(),
@@ -223,7 +243,7 @@ impl AsyncServer {
             let waker = Arc::new(Waker::new()?);
             epoll.add(waker.fd(), WAKE_TOKEN, Interest::READABLE)?;
             let (incoming_tx, incoming_rx) = channel::unbounded::<TcpStream>();
-            let (comp_tx, comp_rx) = channel::unbounded::<CompletionMsg>();
+            let (comp_tx, comp_rx) = channel::unbounded::<CompletionMsg<B::Pending>>();
             let done = Arc::new(Mutex::new(Vec::<Done>::new()));
 
             completions.push({
@@ -280,7 +300,7 @@ impl AsyncServer {
         self.local_addr
     }
 
-    /// Point-in-time metrics of the underlying service.
+    /// Point-in-time metrics of the underlying backend.
     pub fn metrics(&self) -> offloadnn_serve::MetricsSnapshot {
         self.shared.service.metrics()
     }
@@ -296,12 +316,12 @@ impl AsyncServer {
         self.shared.active.load(Ordering::Acquire)
     }
 
-    /// Reshapes the underlying service's shard fleet at runtime; traffic
-    /// keeps flowing throughout. See [`Service::scale_to`].
+    /// Reshapes the underlying backend at runtime; traffic keeps flowing
+    /// throughout. See [`Backend::scale_to`].
     ///
     /// # Errors
     ///
-    /// Propagates [`Service::scale_to`] errors.
+    /// Propagates [`Backend::scale_to`] errors.
     pub fn scale_to(
         &self,
         shards: usize,
@@ -343,7 +363,7 @@ impl AsyncServer {
 
 /// Blocking accept with capped backoff; dispatches connections to the
 /// event loops round-robin.
-fn accept_loop(listener: &TcpListener, shared: &Arc<AsyncShared>, handles: &[LoopHandle]) {
+fn accept_loop<B: Backend>(listener: &TcpListener, shared: &Arc<AsyncShared<B>>, handles: &[LoopHandle]) {
     let mut backoff = AcceptBackoff::new();
     let mut next_loop = 0usize;
     loop {
@@ -390,9 +410,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<AsyncShared>, handles: &[Loo
 }
 
 /// Redeems tickets and encodes replies off the event loop, FIFO.
-fn completion_loop(
-    rx: &Receiver<CompletionMsg>,
-    shared: &Arc<AsyncShared>,
+fn completion_loop<B: Backend>(
+    rx: &Receiver<CompletionMsg<B::Pending>>,
+    shared: &Arc<AsyncShared<B>>,
     done: &Mutex<Vec<Done>>,
     waker: &Waker,
 ) {
@@ -488,20 +508,20 @@ fn token_of(gen: u32, idx: usize) -> u64 {
     (u64::from(gen) << 32) | idx as u64
 }
 
-struct EventLoop {
+struct EventLoop<B: Backend> {
     loop_id: usize,
-    shared: Arc<AsyncShared>,
+    shared: Arc<AsyncShared<B>>,
     epoll: Epoll,
     waker: Arc<Waker>,
     incoming: Receiver<TcpStream>,
-    comp_tx: Sender<CompletionMsg>,
+    comp_tx: Sender<CompletionMsg<B::Pending>>,
     done: Arc<Mutex<Vec<Done>>>,
     slots: Vec<Slot>,
     free: Vec<usize>,
     live: usize,
 }
 
-impl EventLoop {
+impl<B: Backend> EventLoop<B> {
     fn run(&mut self) {
         let mut events = Events::with_capacity(self.shared.reactor.max_events);
         let mut ready: Vec<Event> = Vec::with_capacity(self.shared.reactor.max_events);
@@ -697,7 +717,7 @@ impl EventLoop {
 
     /// Queues a reply on the completion channel, bumping the
     /// connection's pending count.
-    fn send_completion(&mut self, idx: usize, msg: CompletionMsg) {
+    fn send_completion(&mut self, idx: usize, msg: CompletionMsg<B::Pending>) {
         let conn = self.slots[idx].conn.as_mut().expect("resolved conn");
         conn.pending += 1;
         if self.comp_tx.send(msg).is_err() {
@@ -715,12 +735,10 @@ impl EventLoop {
         let token = token_of(self.slots[idx].gen, idx);
         match frame {
             Frame::Submit(req) => {
-                let budget = if req.deadline_us == 0 {
-                    self.shared.admission_deadline
-                } else {
-                    Duration::from_micros(req.deadline_us)
-                };
-                let msg = match self.shared.service.submit_with_deadline(req.task, req.options, budget) {
+                // deadline_us == 0 is the wire encoding of "no client
+                // deadline": the backend applies its own policy default.
+                let budget = (req.deadline_us != 0).then(|| Duration::from_micros(req.deadline_us));
+                let msg = match self.shared.service.submit(req.task, req.options, budget) {
                     Ok(ticket) => CompletionMsg::Verdict { token, request_id: req.request_id, ticket },
                     Err(e) => CompletionMsg::Reply {
                         token,

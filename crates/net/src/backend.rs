@@ -1,0 +1,147 @@
+//! The service surface a TCP frontend serves.
+//!
+//! Both frontends ([`crate::server::NetServer`] and
+//! [`crate::async_server::AsyncServer`]) were written against
+//! [`offloadnn_serve::Service`] directly. [`Backend`] extracts the exact
+//! coupling surface they used — submit, depart, metrics, drain fencing,
+//! scale and final drain — so the *same* frontends (and the
+//! [`crate::Frontend`] switch over them) can also serve any other
+//! admission-shaped runtime, e.g. a cluster gateway that fans submits
+//! out to a fleet of serve nodes. `Service` implements the trait with
+//! zero behavioural change; the frontends default their type parameter
+//! to it, so existing call sites compile untouched.
+//!
+//! ## Deadline ownership
+//!
+//! The wire protocol ships a Submit's deadline budget as
+//! `deadline_us == 0` for "no client deadline". The frontends used to
+//! translate that into [`offloadnn_serve::ServiceConfig::admission_deadline`]
+//! themselves; with multiple backends the *default* budget is backend
+//! policy, so [`Backend::submit`] takes `Option<Duration>` and each
+//! implementation applies its own default for `None`. `Service` keeps
+//! the exact former behaviour: `None` means its configured admission
+//! deadline, and an explicit budget is clamped to never exceed it.
+
+use offloadnn_core::instance::PathOption;
+use offloadnn_core::task::{Task, TaskId};
+use offloadnn_serve::{
+    DrainReport, MetricsSnapshot, Outcome, ReshardReport, ServeError, Service, SubmitError, Ticket,
+};
+use std::time::Duration;
+
+/// A handle to one in-flight submission, redeemable for its verdict by
+/// the frontend's writer (threaded) or completion (reactor) thread.
+///
+/// `None` from [`PendingOutcome::wait`] means the backend lost the
+/// request without resolving it (e.g. a chaos-killed shard worker); the
+/// frontend answers the client with an `Internal` error frame.
+pub trait PendingOutcome: Send + 'static {
+    /// Returns the verdict if it is already available, without blocking.
+    fn try_wait(&self) -> Option<Outcome>;
+
+    /// Blocks until the verdict arrives (or the backend gives up).
+    fn wait(&self) -> Option<Outcome>;
+}
+
+impl PendingOutcome for Ticket {
+    fn try_wait(&self) -> Option<Outcome> {
+        Ticket::try_wait(self)
+    }
+
+    fn wait(&self) -> Option<Outcome> {
+        Ticket::wait(self)
+    }
+}
+
+/// What a TCP frontend needs from the runtime it fronts.
+///
+/// The methods mirror the wire protocol one-to-one: Submit / Depart /
+/// Snapshot / Drain / Scale frames each dispatch to exactly one of
+/// them. Implementations must be callable from many connection threads
+/// concurrently (`Sync`), and [`Backend::drain`] is called exactly once
+/// after every connection has flushed.
+pub trait Backend: Send + Sync + Sized + 'static {
+    /// The in-flight-submission handle this backend issues.
+    type Pending: PendingOutcome;
+
+    /// Submits an admission request. `budget` is the client's deadline
+    /// budget (`None` = the backend's policy default); the backend may
+    /// tighten but never extend its own policy with it.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] for requests refused at ingress (draining, no
+    /// candidate options); these become error frames, not verdicts.
+    fn submit(
+        &self,
+        task: Task,
+        options: Vec<PathOption>,
+        budget: Option<Duration>,
+    ) -> Result<Self::Pending, SubmitError>;
+
+    /// Releases the capacity of an admitted task (fire-and-forget).
+    fn depart(&self, task: TaskId);
+
+    /// Point-in-time metrics.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Fences the ingress: subsequent submits fail with
+    /// [`SubmitError::Draining`] while in-flight requests still resolve.
+    fn begin_drain(&self);
+
+    /// Whether a drain has begun.
+    fn is_draining(&self) -> bool;
+
+    /// Reshapes the backend to `shards` workers at runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] when the reshape is refused (zero shards,
+    /// draining, no healthy capacity).
+    fn scale_to(&self, shards: usize) -> Result<ReshardReport, ServeError>;
+
+    /// Drains outstanding work and returns the final report. The
+    /// frontends call this once, after the last connection closed.
+    fn drain(self) -> DrainReport;
+}
+
+impl Backend for Service {
+    type Pending = Ticket;
+
+    fn submit(
+        &self,
+        task: Task,
+        options: Vec<PathOption>,
+        budget: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        match budget {
+            // submit_with_deadline clamps to the policy deadline.
+            Some(budget) => self.submit_with_deadline(task, options, budget),
+            None => Service::submit(self, task, options),
+        }
+    }
+
+    fn depart(&self, task: TaskId) {
+        Service::depart(self, task);
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        Service::metrics(self)
+    }
+
+    fn begin_drain(&self) {
+        Service::begin_drain(self);
+    }
+
+    fn is_draining(&self) -> bool {
+        Service::is_draining(self)
+    }
+
+    fn scale_to(&self, shards: usize) -> Result<ReshardReport, ServeError> {
+        Service::scale_to(self, shards)
+    }
+
+    fn drain(self) -> DrainReport {
+        Service::drain(self)
+    }
+}

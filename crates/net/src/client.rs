@@ -22,18 +22,23 @@
 //! ## Reconnect
 //!
 //! Dialing (initial connect and any redial after the connection dies)
-//! retries with exponential backoff, doubling from
-//! [`ClientConfig::backoff_base`] up to [`ClientConfig::backoff_cap`],
-//! for at most [`ClientConfig::connect_attempts`] attempts. Requests
-//! that were in flight when a connection died resolve as
-//! [`NetError::Disconnected`] — a submit is not idempotent, so the
-//! client never silently replays one; the *next* request dials afresh.
+//! retries with capped exponential backoff *with decorrelated jitter*:
+//! each pause is drawn uniformly from `[backoff_base, min(backoff_cap,
+//! 3 × previous)]`, for at most [`ClientConfig::connect_attempts`]
+//! attempts. The jitter matters at fleet scale — a deterministic
+//! doubling schedule makes every client of a dead server sleep the same
+//! amounts from the same trigger and stampede it in lockstep the moment
+//! it recovers. Requests that were in flight when a connection died
+//! resolve as [`NetError::Disconnected`] — a submit is not idempotent,
+//! so the client never silently replays one; the *next* request dials
+//! afresh.
 
+use crate::backoff::{entropy_seed, ReconnectBackoff};
 use crate::codec::{
     self, DepartRequest, DrainRequest, Frame, ScaleRequest, ScaleResponse, SnapshotRequest, SubmitRequest,
 };
 use crate::error::NetError;
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use offloadnn_core::instance::PathOption;
 use offloadnn_core::task::{Task, TaskId};
 use offloadnn_serve::{MetricsSnapshot, Outcome};
@@ -54,9 +59,10 @@ pub struct ClientConfig {
     /// Dial attempts (initial connect or redial) before giving up with
     /// [`NetError::Disconnected`].
     pub connect_attempts: u32,
-    /// Backoff before the second dial attempt; doubles per attempt.
+    /// Lower bound of every reconnect pause (and the bound the jittered
+    /// envelope grows from).
     pub backoff_base: Duration,
-    /// Backoff ceiling — the exponential doubling is capped here.
+    /// Backoff ceiling — every jittered pause is clamped here.
     pub backoff_cap: Duration,
     /// Socket read timeout — the cadence at which the reader thread
     /// rechecks the close flag while idle.
@@ -166,7 +172,7 @@ pub struct PendingVerdict {
 }
 
 impl PendingVerdict {
-    fn interpret(self, frame: Frame) -> Result<Outcome, NetError> {
+    fn interpret_ref(&self, frame: Frame) -> Result<Outcome, NetError> {
         if offloadnn_telemetry::enabled() {
             rtt_histogram().record(self.sent_at.elapsed());
         }
@@ -192,7 +198,7 @@ impl PendingVerdict {
             .rx
             .recv()
             .map_err(|_| NetError::Disconnected("connection died before the verdict".into()))?;
-        self.interpret(frame)
+        self.interpret_ref(frame)
     }
 
     /// Like [`PendingVerdict::wait`] with a bound on the blocking time.
@@ -207,7 +213,38 @@ impl PendingVerdict {
             .rx
             .recv_timeout(timeout)
             .map_err(|_| NetError::Disconnected("no verdict within the timeout".into()))?;
-        self.interpret(frame)
+        self.interpret_ref(frame)
+    }
+
+    /// Non-blocking, non-consuming check: `None` while the verdict is
+    /// still in flight, `Some(...)` once it resolved. Racing two
+    /// submissions (a hedged request) needs exactly this shape — the
+    /// vendored channel has no `select`, so the racer alternates polls
+    /// on both handles.
+    ///
+    /// Once `Some(...)` has been returned, the verdict is consumed and
+    /// further polls report the connection as closed.
+    pub fn poll(&self) -> Option<Result<Outcome, NetError>> {
+        match self.rx.try_recv() {
+            Ok(frame) => Some(self.interpret_ref(frame)),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                Some(Err(NetError::Disconnected("connection died before the verdict".into())))
+            }
+        }
+    }
+
+    /// Like [`PendingVerdict::poll`] but blocks up to `timeout` for the
+    /// verdict. `None` strictly means the timeout elapsed with the
+    /// request still in flight.
+    pub fn poll_wait(&self, timeout: Duration) -> Option<Result<Outcome, NetError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Some(self.interpret_ref(frame)),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                Some(Err(NetError::Disconnected("connection died before the verdict".into())))
+            }
+        }
     }
 }
 
@@ -242,15 +279,15 @@ impl Client {
         self.addr
     }
 
-    /// Dials with capped exponential backoff and spawns the connection's
-    /// reader thread.
+    /// Dials with capped, decorrelated-jitter backoff and spawns the
+    /// connection's reader thread.
     fn dial(&self) -> Result<Conn, NetError> {
-        let mut delay = self.config.backoff_base;
+        let mut backoff =
+            ReconnectBackoff::new(self.config.backoff_base, self.config.backoff_cap, entropy_seed());
         let mut last: Option<std::io::Error> = None;
         for attempt in 0..self.config.connect_attempts {
             if attempt > 0 {
-                std::thread::sleep(delay);
-                delay = (delay * 2).min(self.config.backoff_cap);
+                std::thread::sleep(backoff.next_delay());
             }
             match TcpStream::connect_timeout(&self.addr, self.config.connect_timeout) {
                 Ok(stream) => {
@@ -392,6 +429,36 @@ impl Client {
         let frame = Frame::Snapshot(SnapshotRequest { request_id });
         let rx = self.send(request_id, &codec::encode(&frame), true)?.expect("reply slot requested");
         Self::wait_metrics(&rx).map(|(m, _)| m)
+    }
+
+    /// Like [`Client::snapshot`] with a bound on the blocking time — the
+    /// shape a health prober needs: a node that cannot answer a metrics
+    /// request within the timeout counts as a missed check instead of
+    /// wedging the prober.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::snapshot`], plus [`NetError::Disconnected`] when the
+    /// timeout elapses first (the response is discarded by the reader if
+    /// it arrives later).
+    pub fn snapshot_timeout(&self, timeout: Duration) -> Result<MetricsSnapshot, NetError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Snapshot(SnapshotRequest { request_id });
+        let rx = self.send(request_id, &codec::encode(&frame), true)?.expect("reply slot requested");
+        match rx.recv_timeout(timeout) {
+            Ok(Frame::Metrics(m)) => Ok(m.metrics),
+            Ok(Frame::Error(e)) => Err(NetError::Server(e)),
+            Ok(other) => Err(NetError::Disconnected(format!(
+                "unexpected {} frame in place of metrics",
+                other.type_name()
+            ))),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(NetError::Disconnected("no metrics within the timeout".into()))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(NetError::Disconnected("connection died before the metrics arrived".into()))
+            }
+        }
     }
 
     /// Asks the server to drain gracefully and blocks for the final

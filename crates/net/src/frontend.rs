@@ -5,12 +5,19 @@
 //! in [`crate::async_server`]); [`AnyServer`] lets tests, the load
 //! generator and the benches run the identical workload against either
 //! one, selected by a [`Frontend`] value parsed from e.g. a CLI flag.
+//!
+//! Both frontends (and therefore [`AnyServer`]) are generic over the
+//! [`Backend`] they serve, defaulting to the in-process
+//! [`offloadnn_serve::Service`]; [`AnyServer::start_with_backend`] puts
+//! any other backend — e.g. an `offloadnn-gateway` cluster tier — behind
+//! the same switch.
 
 use crate::async_server::{AsyncServer, ReactorConfig};
+use crate::backend::Backend;
 use crate::error::NetError;
 use crate::server::{NetConfig, NetServer};
 use offloadnn_core::instance::DotInstance;
-use offloadnn_serve::{DrainReport, ServiceConfig};
+use offloadnn_serve::{DrainReport, Service, ServiceConfig};
 use std::net::{SocketAddr, ToSocketAddrs};
 
 /// Which TCP frontend serves the connections.
@@ -47,15 +54,23 @@ impl std::fmt::Display for Frontend {
 }
 
 /// A running frontend of either flavour, with the shared server surface.
-#[derive(Debug)]
-pub enum AnyServer {
+pub enum AnyServer<B: Backend = Service> {
     /// A thread-per-connection server.
-    Threads(NetServer),
+    Threads(NetServer<B>),
     /// A reactor (epoll) server.
-    Reactor(AsyncServer),
+    Reactor(AsyncServer<B>),
 }
 
-impl AnyServer {
+impl<B: Backend> std::fmt::Debug for AnyServer<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Threads(s) => f.debug_tuple("Threads").field(s).finish(),
+            Self::Reactor(s) => f.debug_tuple("Reactor").field(s).finish(),
+        }
+    }
+}
+
+impl AnyServer<Service> {
     /// Starts the selected frontend (the reactor one with
     /// [`ReactorConfig::default`]; use [`AnyServer::start_reactor`] to
     /// tune it).
@@ -93,6 +108,29 @@ impl AnyServer {
     ) -> Result<Self, NetError> {
         AsyncServer::start(addr, net, reactor, service_config, template).map(Self::Reactor)
     }
+}
+
+impl<B: Backend> AnyServer<B> {
+    /// Starts the selected frontend over an already-running backend (the
+    /// reactor one with [`ReactorConfig::default`]).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying `start_with_backend` reports.
+    pub fn start_with_backend(
+        frontend: Frontend,
+        addr: impl ToSocketAddrs,
+        net: NetConfig,
+        backend: B,
+    ) -> Result<Self, NetError> {
+        match frontend {
+            Frontend::Threads => NetServer::start_with_backend(addr, net, backend).map(Self::Threads),
+            Frontend::Reactor => {
+                AsyncServer::start_with_backend(addr, net, ReactorConfig::default(), backend)
+                    .map(Self::Reactor)
+            }
+        }
+    }
 
     /// Which frontend this is.
     pub fn frontend(&self) -> Frontend {
@@ -110,7 +148,7 @@ impl AnyServer {
         }
     }
 
-    /// Point-in-time metrics of the underlying service.
+    /// Point-in-time metrics of the underlying backend.
     pub fn metrics(&self) -> offloadnn_serve::MetricsSnapshot {
         match self {
             Self::Threads(s) => s.metrics(),
@@ -134,11 +172,11 @@ impl AnyServer {
         }
     }
 
-    /// Reshapes the underlying service's shard fleet at runtime.
+    /// Reshapes the underlying backend at runtime.
     ///
     /// # Errors
     ///
-    /// Propagates `Service::scale_to` errors.
+    /// Propagates [`Backend::scale_to`] errors.
     pub fn scale_to(
         &self,
         shards: usize,
@@ -149,7 +187,7 @@ impl AnyServer {
         }
     }
 
-    /// Gracefully stops the frontend and drains the service.
+    /// Gracefully stops the frontend and drains the backend.
     pub fn shutdown(self) -> DrainReport {
         match self {
             Self::Threads(s) => s.shutdown(),

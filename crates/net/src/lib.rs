@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 
 pub mod async_server;
+pub mod backend;
 mod backoff;
 pub mod client;
 pub mod codec;
@@ -73,6 +74,7 @@ pub mod server;
 pub mod wire;
 
 pub use async_server::{AsyncServer, ReactorConfig};
+pub use backend::{Backend, PendingOutcome};
 pub use client::{Client, ClientConfig, PendingVerdict};
 pub use codec::{decode, decode_exact, encode, ErrorCode, Frame, MAGIC, MAX_PAYLOAD, VERSION};
 pub use error::{DecodeError, NetError};

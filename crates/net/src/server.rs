@@ -28,13 +28,14 @@
 //! before the connection closes — the writer thread drains its whole
 //! queue before exiting, so drain never strands an in-flight verdict.
 
+use crate::backend::{Backend, PendingOutcome};
 use crate::backoff::AcceptBackoff;
 use crate::codec::{self, ErrorCode, ErrorResponse, Frame, MetricsResponse, OutcomeResponse, ScaleResponse};
 use crate::error::NetError;
 use crate::instruments::NetInstruments;
 use crossbeam::channel::{self, Receiver, Sender};
 use offloadnn_core::instance::DotInstance;
-use offloadnn_serve::{DrainReport, Service, ServiceConfig, Ticket};
+use offloadnn_serve::{DrainReport, Service, ServiceConfig};
 use offloadnn_telemetry::{event, Severity};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -97,9 +98,9 @@ impl NetConfig {
 
 /// What a reader queues for its connection's writer thread.
 #[allow(clippy::large_enum_variant)] // transient, bounded queue; see Frame
-enum WriterMsg {
+enum WriterMsg<P: PendingOutcome> {
     /// A submitted request: redeem the ticket, send the outcome.
-    Verdict { request_id: u64, ticket: Ticket },
+    Verdict { request_id: u64, ticket: P },
     /// An already-built response frame.
     Reply(Frame),
     /// Snapshot the service *at send time* and reply with a final
@@ -108,32 +109,32 @@ enum WriterMsg {
 }
 
 /// State shared by the acceptor and every connection thread.
-struct Shared {
-    service: Service,
+struct Shared<B: Backend> {
+    service: B,
     net: NetConfig,
-    admission_deadline: Duration,
     shutdown: AtomicBool,
     active: AtomicUsize,
     conns: Mutex<Vec<JoinHandle<()>>>,
     instruments: Option<NetInstruments>,
 }
 
-/// A running TCP frontend. Start with [`NetServer::start`]; stop with
-/// [`NetServer::shutdown`], which drains the underlying service and
-/// returns its final [`DrainReport`].
-pub struct NetServer {
+/// A running TCP frontend over any [`Backend`] (an in-process
+/// [`Service`] fleet by default). Start with [`NetServer::start`] (or
+/// [`NetServer::start_with_backend`]); stop with [`NetServer::shutdown`],
+/// which drains the backend and returns its final [`DrainReport`].
+pub struct NetServer<B: Backend = Service> {
     local_addr: SocketAddr,
-    shared: Arc<Shared>,
+    shared: Arc<Shared<B>>,
     acceptor: Option<JoinHandle<()>>,
 }
 
-impl std::fmt::Debug for NetServer {
+impl<B: Backend> std::fmt::Debug for NetServer<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetServer").field("local_addr", &self.local_addr).finish_non_exhaustive()
     }
 }
 
-impl NetServer {
+impl NetServer<Service> {
     /// Binds `addr` (use port 0 for an ephemeral port — see
     /// [`NetServer::local_addr`]), starts the shard fleet and the
     /// acceptor thread.
@@ -148,7 +149,6 @@ impl NetServer {
         service_config: ServiceConfig,
         template: &DotInstance,
     ) -> Result<Self, NetError> {
-        net.validate()?;
         let service = Service::start(service_config, template).map_err(|e| {
             NetError::InvalidConfig(match e {
                 offloadnn_serve::ServeError::InvalidConfig(what) => what,
@@ -156,12 +156,30 @@ impl NetServer {
                 offloadnn_serve::ServeError::Draining => "service is draining",
             })
         })?;
+        Self::start_with_backend(addr, net, service)
+    }
+}
+
+impl<B: Backend> NetServer<B> {
+    /// Binds `addr` and serves an already-running backend (e.g. a
+    /// cluster gateway) over the same wire protocol and threading model
+    /// as [`NetServer::start`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidConfig`] for bad configuration,
+    /// [`NetError::Io`] if the bind fails.
+    pub fn start_with_backend(
+        addr: impl ToSocketAddrs,
+        net: NetConfig,
+        backend: B,
+    ) -> Result<Self, NetError> {
+        net.validate()?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            service,
+            service: backend,
             net,
-            admission_deadline: service_config.admission_deadline,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
@@ -189,7 +207,7 @@ impl NetServer {
         self.local_addr
     }
 
-    /// Point-in-time metrics of the underlying service.
+    /// Point-in-time metrics of the underlying backend.
     pub fn metrics(&self) -> offloadnn_serve::MetricsSnapshot {
         self.shared.service.metrics()
     }
@@ -205,13 +223,13 @@ impl NetServer {
         self.shared.active.load(Ordering::Acquire)
     }
 
-    /// Reshapes the underlying service's shard fleet at runtime (the
-    /// server-side twin of a client's [`Frame::Scale`]); traffic keeps
-    /// flowing throughout. See [`Service::scale_to`].
+    /// Reshapes the underlying backend at runtime (the server-side twin
+    /// of a client's [`Frame::Scale`]); traffic keeps flowing
+    /// throughout. See [`Backend::scale_to`].
     ///
     /// # Errors
     ///
-    /// Propagates [`Service::scale_to`] errors.
+    /// Propagates [`Backend::scale_to`] errors.
     pub fn scale_to(
         &self,
         shards: usize,
@@ -242,7 +260,7 @@ impl NetServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+fn accept_loop<B: Backend>(listener: &TcpListener, shared: &Arc<Shared<B>>) {
     let mut next_conn_id: u64 = 0;
     let mut backoff = AcceptBackoff::new();
     loop {
@@ -309,7 +327,7 @@ pub(crate) fn reject_over_limit(mut stream: TcpStream, write_timeout: Duration) 
 
 /// The per-connection reader: decodes frames off the socket and feeds
 /// the service; spawns and finally joins the connection's writer.
-fn serve_connection(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
+fn serve_connection<B: Backend>(conn_id: u64, stream: TcpStream, shared: &Arc<Shared<B>>) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(shared.net.read_timeout)).is_err() {
         return;
@@ -320,7 +338,7 @@ fn serve_connection(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
     };
     let _ = write_half.set_write_timeout(Some(shared.net.write_timeout));
 
-    let (tx, rx) = channel::bounded::<WriterMsg>(shared.net.inflight_window);
+    let (tx, rx) = channel::bounded::<WriterMsg<B::Pending>>(shared.net.inflight_window);
     let writer = {
         let shared = Arc::clone(shared);
         std::thread::Builder::new()
@@ -338,7 +356,7 @@ fn serve_connection(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
     event!(Severity::Info, "net.server", "conn {conn_id}: closed");
 }
 
-fn read_loop(mut stream: TcpStream, shared: &Arc<Shared>, tx: &Sender<WriterMsg>) {
+fn read_loop<B: Backend>(mut stream: TcpStream, shared: &Arc<Shared<B>>, tx: &Sender<WriterMsg<B::Pending>>) {
     let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
     let mut chunk = [0u8; 16 * 1024];
     loop {
@@ -363,6 +381,14 @@ fn read_loop(mut stream: TcpStream, shared: &Arc<Shared>, tx: &Sender<WriterMsg>
                 }
             }
         }
+        // Stop reading once shutdown began (buffered frames above were
+        // still served): a peer that keeps sending — e.g. a gateway
+        // health prober snapshotting on an interval shorter than the
+        // read timeout — must not be able to hold the drain open
+        // forever. Owed verdicts still flush through the writer.
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return, // peer closed
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
@@ -379,15 +405,17 @@ fn read_loop(mut stream: TcpStream, shared: &Arc<Shared>, tx: &Sender<WriterMsg>
 
 /// Dispatches one decoded request. Returns `false` when the connection
 /// must close.
-fn handle_frame(frame: Frame, shared: &Arc<Shared>, tx: &Sender<WriterMsg>) -> bool {
+fn handle_frame<B: Backend>(
+    frame: Frame,
+    shared: &Arc<Shared<B>>,
+    tx: &Sender<WriterMsg<B::Pending>>,
+) -> bool {
     match frame {
         Frame::Submit(req) => {
-            let budget = if req.deadline_us == 0 {
-                shared.admission_deadline
-            } else {
-                Duration::from_micros(req.deadline_us)
-            };
-            let msg = match shared.service.submit_with_deadline(req.task, req.options, budget) {
+            // deadline_us == 0 is the wire encoding of "no client
+            // deadline": the backend applies its own policy default.
+            let budget = (req.deadline_us != 0).then(|| Duration::from_micros(req.deadline_us));
+            let msg = match shared.service.submit(req.task, req.options, budget) {
                 Ok(ticket) => WriterMsg::Verdict { request_id: req.request_id, ticket },
                 Err(e) => WriterMsg::Reply(Frame::Error(ErrorResponse {
                     request_id: req.request_id,
@@ -455,7 +483,11 @@ fn handle_frame(frame: Frame, shared: &Arc<Shared>, tx: &Sender<WriterMsg>) -> b
     }
 }
 
-fn write_loop(rx: &Receiver<WriterMsg>, mut stream: TcpStream, shared: &Arc<Shared>) {
+fn write_loop<B: Backend>(
+    rx: &Receiver<WriterMsg<B::Pending>>,
+    mut stream: TcpStream,
+    shared: &Arc<Shared<B>>,
+) {
     let mut out: Vec<u8> = Vec::with_capacity(16 * 1024);
     let mut alive = true;
     while let Ok(msg) = rx.recv() {

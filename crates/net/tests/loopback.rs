@@ -412,6 +412,6 @@ fn dial_backoff_gives_up_with_a_typed_error() {
         }
         other => panic!("dialing a dead port must fail Disconnected, got {other:?}"),
     }
-    // Two backoff sleeps happened: 5 ms then 10 ms.
-    assert!(started.elapsed() >= Duration::from_millis(15), "backoff sleeps actually ran");
+    // Two jittered backoff sleeps happened, each at least backoff_base.
+    assert!(started.elapsed() >= Duration::from_millis(10), "backoff sleeps actually ran");
 }

@@ -12,6 +12,9 @@
 //! * [`emu`] — the discrete-event edge/radio emulator.
 //! * [`serve`] — the sharded admission-control service runtime
 //!   (batching, backpressure, metrics, load generation).
+//! * [`gateway`] — the multi-node offloading tier: health-checked
+//!   weighted-rendezvous routing over a pool of serve nodes, with
+//!   automatic failover and deadline-aware hedged requests.
 //! * [`telemetry`] — zero-dependency instrumentation: lock-free
 //!   counters/gauges, phase span histograms, ring-buffer event log and
 //!   JSONL/table exporters (compile out with the `telemetry-disabled`
@@ -34,6 +37,7 @@
 pub use offloadnn_core as core;
 pub use offloadnn_dnn as dnn;
 pub use offloadnn_emu as emu;
+pub use offloadnn_gateway as gateway;
 pub use offloadnn_net as net;
 pub use offloadnn_profiler as profiler;
 pub use offloadnn_radio as radio;
