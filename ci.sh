@@ -59,12 +59,29 @@ echo "==> gateway gate: hedged requests through the reactor frontend"
 timeout 300 cargo run -q --release -p offloadnn-gateway --bin gateway_loadgen -- \
     --frontend reactor --nodes 2 --requests 2000 --hedge --deadline-ms 40 >/dev/null
 
+echo "==> plancache gate: cached-equals-fresh equivalence on fixed + random seeds"
+for seed in "$(awk 'BEGIN{srand();print int(rand()*65536)}')"; do
+    echo "    PLANCACHE_SEED=$seed (plus the baked-in fixed seeds)"
+    PLANCACHE_SEED="$seed" timeout 300 cargo test -q -p offloadnn-serve --test plancache_equivalence
+done
+timeout 300 cargo test -q -p offloadnn-serve --test plancache_staleness
+
+echo "==> plancache gate: Zipf loadgen hit-rate + solve-path speedup with conservation intact"
+# The large scenario with per-request rounds is where the solver cost
+# dominates; measured speedup is 1.3-1.5x, gated at 1.15x with a 0.70
+# hit-rate floor. The binary exits non-zero on any conservation breach.
+timeout 600 cargo run -q --release -p offloadnn-serve --bin serve_loadgen -- \
+    --requests 2000 --scenario large --batch-max 1 --shape-skew 1.2 --shape-pool 32 \
+    --seed 7 --plan-cache true --compare-baseline true \
+    --min-hit-rate 0.70 --min-speedup 1.15 >/dev/null
+
 echo "==> telemetry overhead gate: workspace builds and tier-1 passes with telemetry compiled out"
 cargo build --workspace --features telemetry-disabled
 cargo test -q --features telemetry-disabled
 timeout 300 cargo test -q -p offloadnn-serve --test reshard_telemetry --features offloadnn-telemetry/disabled
 timeout 300 cargo test -q -p offloadnn-net --test net_telemetry --features offloadnn-telemetry/disabled
 timeout 300 cargo test -q -p offloadnn-gateway --test gateway_telemetry --features offloadnn-telemetry/disabled
+timeout 300 cargo test -q -p offloadnn-plancache --features offloadnn-telemetry/disabled
 
 echo "==> cargo bench smoke (criterion --test mode)"
 cargo bench --workspace -- --test >/dev/null

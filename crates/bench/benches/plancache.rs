@@ -1,0 +1,113 @@
+//! Plan-cache hot paths under contention: a lookup that hits, a
+//! miss-then-insert (with eviction churn once the arena is full), and
+//! the single-flight path where every thread asks for the same missing
+//! key at once — swept over 1, 8 and 64 threads hammering one shared
+//! cache, since that is how the serve shards and the gateway actually
+//! use it. One measured sample is a fixed batch of operations split
+//! across the thread count, so samples are comparable across sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use offloadnn_plancache::{PlanCache, PlanCacheConfig, PlanKey, ShapeFingerprint};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Operations per measured sample, split evenly across the threads.
+const OPS: u64 = 8192;
+
+/// Well-spread synthetic keys (golden-ratio multiply, like the shard
+/// router's own mixing).
+fn key(i: u64) -> PlanKey {
+    PlanKey {
+        shape: ShapeFingerprint(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        bucket: (i % 7) as u16,
+        generation: 0,
+    }
+}
+
+/// Runs `op(thread, step)` for `OPS` total iterations split across
+/// `threads`; every thread walks the same `step` range `0..OPS/threads`
+/// so callers can choose between disjoint keys (`thread * per + step`)
+/// and deliberately colliding ones (`step` alone).
+fn hammer(threads: u64, op: &(impl Fn(u64, u64) + Sync)) {
+    let per = OPS / threads;
+    if threads == 1 {
+        for step in 0..per {
+            op(0, step);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                for step in 0..per {
+                    op(t, step);
+                }
+            });
+        }
+    });
+}
+
+fn bench_plancache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plancache");
+    group.sample_size(20);
+
+    for threads in [1u64, 8, 64] {
+        // Hit path: a resident working set smaller than capacity, so
+        // every lookup lands (and flips the CLOCK reference bit).
+        let cache: PlanCache<u64> = PlanCache::new(PlanCacheConfig::default());
+        let resident = (cache.config().capacity as u64) / 2;
+        for i in 0..resident {
+            cache.insert(key(i), i, false);
+        }
+        group.bench_with_input(BenchmarkId::new("hit", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let per = OPS / threads;
+                let cache = &cache;
+                hammer(threads, &|t, step| {
+                    black_box(cache.lookup(black_box(&key((t * per + step) % resident))));
+                });
+            })
+        });
+
+        // Miss path: every lookup is a fresh key, followed by the
+        // insert a shard would do after solving — past capacity this is
+        // also the CLOCK eviction path.
+        let cache: PlanCache<u64> = PlanCache::new(PlanCacheConfig::default());
+        let fresh = AtomicU64::new(1 << 32);
+        group.bench_with_input(BenchmarkId::new("miss_insert", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let base = fresh.fetch_add(OPS, Ordering::Relaxed);
+                let per = OPS / threads;
+                let cache = &cache;
+                hammer(threads, &|t, step| {
+                    let k = key(base + t * per + step);
+                    black_box(cache.lookup(black_box(&k)));
+                    cache.insert(k, step, false);
+                });
+            })
+        });
+
+        // Single-flight path: all threads ask for the same missing key
+        // in lockstep rounds — one leader computes, the rest block on
+        // the flight — measuring the dedup coordination itself.
+        let cache: PlanCache<u64> = PlanCache::new(PlanCacheConfig::default());
+        let round = AtomicU64::new(1 << 48);
+        group.bench_with_input(BenchmarkId::new("single_flight", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let base = round.fetch_add(OPS, Ordering::Relaxed);
+                let cache = &cache;
+                hammer(threads, &|_, step| {
+                    // Every thread asks for the same `step` key, so each
+                    // wave is one leader plus `threads - 1` followers.
+                    let k = key(base + step);
+                    black_box(cache.get_or_compute(k, || (step, false)));
+                });
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_plancache);
+criterion_main!(benches);

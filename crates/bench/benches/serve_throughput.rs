@@ -24,6 +24,7 @@ fn run_once(shards: usize, batch_max: usize, requests: u64) -> u64 {
         seed: 7,
         max_active: 32,
         time_scale: 0.0,
+        ..LoadgenConfig::default()
     };
     let report = loadgen::run(service_config, cfg, &scenario.instance);
     assert!(report.is_conserved(), "bench run lost a request:\n{report}");

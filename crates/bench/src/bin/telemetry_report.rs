@@ -10,8 +10,11 @@
 //! The run is then repeated with telemetry switched off
 //! ([`offloadnn_telemetry::set_enabled`]) to show (a) the wall-clock
 //! overhead of instrumentation and (b) that the service's conservation
-//! invariant holds identically in both configurations. Exits non-zero if
-//! conservation is violated in either run.
+//! invariant holds identically in both configurations. A third pass
+//! replays one Zipf-skewed stream twice — plan cache off, then on — and
+//! prints the before/after solve-path comparison (solver rounds, mean
+//! round time, throughput, hit rate). Exits non-zero if conservation is
+//! violated in any run.
 //!
 //! ```text
 //! cargo run --release -p offloadnn-bench --bin telemetry_report -- \
@@ -21,6 +24,7 @@
 use offloadnn_core::heuristic::OffloadnnSolver;
 use offloadnn_core::scenario::small_scenario;
 use offloadnn_emu::colosseum::{validate, ColosseumConfig};
+use offloadnn_plancache::PlanCacheConfig;
 use offloadnn_radio::ArrivalProcess;
 use offloadnn_serve::{loadgen, LoadgenConfig, LoadgenReport, ServiceConfig};
 use std::process::ExitCode;
@@ -97,6 +101,7 @@ fn run_workload(args: &Args) -> Result<(LoadgenReport, Duration), Box<dyn std::e
         seed: args.seed,
         max_active: 64,
         time_scale: 0.0,
+        ..LoadgenConfig::default()
     };
     let start = Instant::now();
     let report = loadgen::run(service_config, cfg, &scenario.instance);
@@ -185,6 +190,62 @@ fn main() -> ExitCode {
             eprintln!("error: phase {phase} recorded no samples — instrumentation regressed");
             return ExitCode::FAILURE;
         }
+    }
+
+    // Pass 3: the same Zipf-skewed stream twice — plan cache off, then
+    // on — isolating what the cache saves on the solve path.
+    let scenario = small_scenario(args.ues);
+    let cold_config = ServiceConfig {
+        shards: args.shards,
+        batch_window: Duration::from_micros(500),
+        ..ServiceConfig::default()
+    };
+    let warm_config = ServiceConfig { plan_cache: Some(PlanCacheConfig::default()), ..cold_config };
+    let zipf = LoadgenConfig {
+        requests: args.requests,
+        process: ArrivalProcess::Poisson { rate_hz: 20_000.0 },
+        seed: args.seed,
+        max_active: 64,
+        shape_skew: 1.2,
+        shape_pool: 32,
+        ..LoadgenConfig::default()
+    };
+    let cold = loadgen::run(cold_config, zipf, &scenario.instance);
+    let warm = loadgen::run(warm_config, zipf, &scenario.instance);
+    println!();
+    println!("=== plan cache (same Zipf stream: skew 1.2, pool 32; cache off -> on) ===");
+    let (cm, wm) = (&cold.drain.metrics, &warm.drain.metrics);
+    println!("solver rounds:   {} -> {}", cm.solver_rounds, wm.solver_rounds);
+    println!("round mean:      {:.3?} -> {:.3?}", cm.round_time.mean(), wm.round_time.mean());
+    println!(
+        "throughput:      {:.0} -> {:.0} verdicts/s ({:+.1}%)",
+        cold.throughput_hz(),
+        warm.throughput_hz(),
+        100.0 * (warm.throughput_hz() - cold.throughput_hz()) / cold.throughput_hz().max(1e-9),
+    );
+    let Some(pc) = warm.drain.plan_cache else {
+        eprintln!("error: cached run reported no plan-cache stats");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "hit rate:        {:.1}% ({} hits, {} negative, {} misses)",
+        100.0 * pc.hit_rate(),
+        pc.hits,
+        pc.negative_hits,
+        pc.misses,
+    );
+    if !cold.is_conserved() || !warm.is_conserved() {
+        eprintln!("error: conservation violated in the plan-cache comparison");
+        return ExitCode::FAILURE;
+    }
+    if pc.hits + pc.negative_hits == 0 {
+        eprintln!("error: a Zipf-skewed stream produced zero plan-cache hits");
+        return ExitCode::FAILURE;
+    }
+    let after = offloadnn_telemetry::global().snapshot();
+    if !after.phases.iter().any(|(n, h)| *n == "plancache.lookup" && h.count > 0) {
+        eprintln!("error: phase plancache.lookup recorded no samples — instrumentation regressed");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -212,6 +212,77 @@ impl Controller {
         Ok(AdmissionOutcome { admitted, rejected })
     }
 
+    /// Attempts to admit `task` by re-validating a previously solved plan
+    /// (`options[option]` at admission fraction `admission` with `rbs`
+    /// radio blocks) against the *live* ledger, instead of running the
+    /// solver. This is the validation-on-hit half of the plan cache: the
+    /// cached plan is only a proposal, and every constraint the verifier
+    /// checks for a fresh solve — accuracy (1f), rate support (1e),
+    /// latency (1g) and the three budget caps with block sharing — is
+    /// re-checked here against the current deployment before any budget
+    /// moves.
+    ///
+    /// On success the task is activated exactly as [`Controller::submit`]
+    /// would have activated it (same `ActiveTask`, same budget deltas) and
+    /// the grant is returned. On any failed check the controller is left
+    /// untouched and `None` is returned; the caller falls through to a
+    /// full solve.
+    pub fn try_apply_plan(
+        &mut self,
+        task: Task,
+        options: &[PathOption],
+        option: usize,
+        admission: f64,
+        rbs: f64,
+    ) -> Option<ActiveTask> {
+        let tol = crate::objective::TOLERANCE;
+        let opt = options.get(option)?;
+        // Malformed plans (stale across catalog changes) must not panic.
+        if opt.path.blocks.iter().any(|b| (b.0 as usize) >= self.block_memory.len()) {
+            return None;
+        }
+        if !(admission > 0.0 && admission <= 1.0 + tol && rbs.is_finite()) || rbs < 0.0 {
+            return None;
+        }
+        // (1f) accuracy.
+        if opt.accuracy < task.min_accuracy - tol {
+            return None;
+        }
+        let bits_per_rb = self.rate.bits_per_rb(task.snr);
+        // (1e) rate support: z * lambda * beta <= B * r.
+        if admission * task.request_rate * opt.quality.bits > bits_per_rb * rbs * (1.0 + 1e-6) {
+            return None;
+        }
+        // (1g) latency: beta/(B r) + P <= L.
+        let latency = opt.quality.bits / (bits_per_rb * rbs.max(f64::MIN_POSITIVE)) + opt.proc_seconds;
+        if latency > task.max_latency * (1.0 + 1e-6) {
+            return None;
+        }
+        // Budget caps against the live deployment, counting shared blocks
+        // once — exactly how `verify` scores a fresh solution.
+        let deployed = self.deployed();
+        if deployed.rbs + admission * rbs > self.budgets.rbs * (1.0 + tol) {
+            return None;
+        }
+        let compute = admission * task.request_rate * opt.proc_seconds;
+        if deployed.compute_seconds + compute > self.budgets.compute_seconds * (1.0 + tol) {
+            return None;
+        }
+        let new_memory: f64 = opt
+            .path
+            .blocks
+            .iter()
+            .filter(|b| !deployed.blocks.contains(b))
+            .map(|b| self.block_memory[b.0 as usize])
+            .sum();
+        if deployed.memory_bytes + new_memory > self.budgets.memory_bytes * (1.0 + tol) {
+            return None;
+        }
+        let active = ActiveTask { option: opt.clone(), task, admission, rbs };
+        self.active.push(active.clone());
+        Some(active)
+    }
+
     /// Removes departed tasks; their exclusive resources are freed (blocks
     /// still used by other tasks stay resident). Returns how many active
     /// tasks were actually removed, so callers can tell a real release
@@ -511,6 +582,71 @@ mod tests {
         assert_eq!(all.len(), n);
         assert!(c.active().is_empty());
         assert_eq!(c.snapshot().active_tasks, 0);
+    }
+
+    #[test]
+    fn try_apply_plan_reproduces_the_cold_solve() {
+        let s = small_scenario(5);
+        let mut cold = Controller::new(&s.instance, OffloadnnSolver::new());
+        let mut warm = cold.clone();
+        let out = cold.submit(requests(&s.instance, 0..5)).unwrap();
+        assert!(!out.admitted.is_empty());
+        // Replay every grant through the validation path on the twin.
+        for grant in &out.admitted {
+            let t = grant.task.id.0 as usize;
+            let opts = &s.instance.options[t];
+            let o = opts.iter().position(|c| c == &grant.option).unwrap();
+            let applied = warm
+                .try_apply_plan(grant.task.clone(), opts, o, grant.admission, grant.rbs)
+                .expect("fresh grant must re-validate");
+            assert_eq!(&applied, grant);
+        }
+        let (a, b) = (cold.snapshot(), warm.snapshot());
+        assert_eq!(a.active_tasks, b.active_tasks);
+        assert!((a.rbs - b.rbs).abs() < 1e-12);
+        assert!((a.compute_seconds - b.compute_seconds).abs() < 1e-12);
+        assert!((a.memory_bytes - b.memory_bytes).abs() < 1e-6);
+    }
+
+    #[test]
+    fn try_apply_plan_rejects_infeasible_proposals_untouched() {
+        let s = small_scenario(3);
+        let mut c = Controller::new(&s.instance, OffloadnnSolver::new());
+        let task = s.instance.tasks[0].clone();
+        let opts = s.instance.options[0].clone();
+        let before = c.snapshot();
+
+        // Out-of-range option index.
+        assert!(c.try_apply_plan(task.clone(), &opts, opts.len(), 1.0, 4.0).is_none());
+        // Zero admission is not a plan.
+        assert!(c.try_apply_plan(task.clone(), &opts, 0, 0.0, 4.0).is_none());
+        // One RB cannot meet the latency bound for a full-quality image.
+        assert!(c.try_apply_plan(task.clone(), &opts, 0, 1.0, 1e-3).is_none());
+        // Unknown block id in a (corrupted) option must not panic.
+        let mut bad = opts.clone();
+        bad[0].path.blocks.push(offloadnn_dnn::BlockId(9_999_999));
+        assert!(c.try_apply_plan(task.clone(), &bad, 0, 1.0, 4.0).is_none());
+
+        assert_eq!(c.snapshot(), before, "failed applies must not move budgets");
+    }
+
+    #[test]
+    fn try_apply_plan_respects_the_live_ledger() {
+        let s = small_scenario(5);
+        let mut c = Controller::new(&s.instance, OffloadnnSolver::new());
+        let out = c.submit(requests(&s.instance, 0..5)).unwrap();
+        let grant = out.admitted[0].clone();
+        let t = grant.task.id.0 as usize;
+        let opts = &s.instance.options[t];
+        let o = opts.iter().position(|x| x == &grant.option).unwrap();
+        // Shrink the cell under the running load: the same plan that was
+        // valid at mint time must now fail validation.
+        let mut tight = s.instance.budgets;
+        tight.rbs = c.deployed().rbs;
+        c.set_budgets(tight);
+        let mut fresh = grant.task.clone();
+        fresh.id = TaskId(1_000);
+        assert!(c.try_apply_plan(fresh, opts, o, grant.admission, grant.rbs).is_none());
     }
 
     #[test]

@@ -21,7 +21,8 @@ use offloadnn_core::scenario::small_scenario;
 use offloadnn_core::task::TaskId;
 use offloadnn_gateway::{Gateway, GatewayConfig, HedgeConfig};
 use offloadnn_net::{AnyServer, Client, ClientConfig, Frontend, NetConfig, NetError, NetServer};
-use offloadnn_serve::{Outcome, ServiceConfig};
+use offloadnn_plancache::PlanCacheConfig;
+use offloadnn_serve::{Outcome, ServiceConfig, ShapePool};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
@@ -53,6 +54,11 @@ OPTIONS (all optional; defaults in brackets):
                       clients (0 = never)                   [0]
   --kill-node IDX     which node --kill-node-at shuts down  [1]
   --hedge             enable deadline-aware hedging         [off]
+  --shape-skew S      Zipf exponent of the task-shape mix;
+                      0 keeps the uniform prototype draw    [0]
+  --shape-pool N      distinct shapes in the Zipf pool      [64]
+  --gw-cache          enable the gateway-level plan cache
+                      (routing affinity + negative entries) [off]
   --seed N            RNG seed (task mix)                   [7]
   -h, --help          print this help
 ";
@@ -70,6 +76,9 @@ struct Args {
     kill_node_at: u64,
     kill_node: usize,
     hedge: bool,
+    shape_skew: f64,
+    shape_pool: usize,
+    gw_cache: bool,
     seed: u64,
 }
 
@@ -88,6 +97,9 @@ impl Default for Args {
             kill_node_at: 0,
             kill_node: 1,
             hedge: false,
+            shape_skew: 0.0,
+            shape_pool: 64,
+            gw_cache: false,
             seed: 7,
         }
     }
@@ -105,6 +117,10 @@ fn parse_args() -> Result<Args, String> {
             args.hedge = true;
             continue;
         }
+        if flag == "--gw-cache" {
+            args.gw_cache = true;
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
         let bad = |e: &dyn std::fmt::Display| format!("{flag} {value}: {e}");
         match flag.as_str() {
@@ -119,6 +135,8 @@ fn parse_args() -> Result<Args, String> {
             "--max-active" => args.max_active = value.parse().map_err(|e| bad(&e))?,
             "--kill-node-at" => args.kill_node_at = value.parse().map_err(|e| bad(&e))?,
             "--kill-node" => args.kill_node = value.parse().map_err(|e| bad(&e))?,
+            "--shape-skew" => args.shape_skew = value.parse().map_err(|e| bad(&e))?,
+            "--shape-pool" => args.shape_pool = value.parse().map_err(|e| bad(&e))?,
             "--seed" => args.seed = value.parse().map_err(|e| bad(&e))?,
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
@@ -180,6 +198,7 @@ fn run_client(
     requests: u64,
     args: &Args,
     protos: &[(offloadnn_core::task::Task, Vec<offloadnn_core::instance::PathOption>)],
+    shapes: Option<&ShapePool>,
     offered: &AtomicU64,
 ) -> (Tally, u64) {
     let client = match Client::connect(addr, ClientConfig::default()) {
@@ -213,8 +232,21 @@ fn run_client(
     };
 
     for i in 0..requests {
-        let proto = &protos[rng.random_range(0..protos.len())];
+        // With the Zipf pool active, popular shape ranks repeat
+        // bit-identically across clients, so the gateway's plan cache
+        // (and any node-level cache behind it) has something to hit.
+        let (proto, jitter) = match shapes {
+            Some(pool) => {
+                let (proto, priority, rate) = pool.draw(&mut rng);
+                (&protos[proto], Some((priority, rate)))
+            }
+            None => (&protos[rng.random_range(0..protos.len())], None),
+        };
         let mut task = proto.0.clone();
+        if let Some((priority, rate)) = jitter {
+            task.priority = (task.priority * priority).clamp(0.05, 1.0);
+            task.request_rate *= rate;
+        }
         // Disjoint id spaces keep departures routable per client.
         task.id = TaskId(u32::try_from(client_idx as u64 * 100_000_000 + i).unwrap_or(u32::MAX));
         match client.submit(task, proto.1.clone(), deadline) {
@@ -253,6 +285,8 @@ fn main() -> ExitCode {
     let scenario = small_scenario(args.ues);
     let protos: Vec<_> =
         scenario.instance.tasks.iter().cloned().zip(scenario.instance.options.iter().cloned()).collect();
+    let shapes = (args.shape_skew > 0.0)
+        .then(|| ShapePool::new(args.shape_pool, args.shape_skew, protos.len(), args.seed));
     let service_config = ServiceConfig { shards: args.shards, ..ServiceConfig::default() };
     if let Err(e) = service_config.validate() {
         eprintln!("error: {e}");
@@ -289,6 +323,7 @@ fn main() -> ExitCode {
         default_deadline: Duration::from_secs(2),
         verdict_grace: Duration::from_secs(2),
         hedge: HedgeConfig { enabled: args.hedge, min_samples: 32 },
+        plan_cache: args.gw_cache.then(PlanCacheConfig::default),
         ..GatewayConfig::default()
     };
     let gateway = match Gateway::start(&node_addrs, gateway_config) {
@@ -328,6 +363,14 @@ fn main() -> ExitCode {
             String::new()
         },
     );
+    if args.shape_skew > 0.0 {
+        println!(
+            "shapes: Zipf skew {:.2} over a pool of {} deterministic shapes (gateway cache {})",
+            args.shape_skew,
+            args.shape_pool,
+            if args.gw_cache { "on" } else { "off" },
+        );
+    }
 
     let started = Instant::now();
     let per_client = args.requests / args.clients as u64;
@@ -356,7 +399,8 @@ fn main() -> ExitCode {
             .map(|idx| {
                 let share = per_client + u64::from((idx as u64) < remainder);
                 let (args, protos, offered) = (&args, &protos, &offered);
-                scope.spawn(move || run_client(addr, idx, share, args, protos, offered))
+                let shapes = shapes.as_ref();
+                scope.spawn(move || run_client(addr, idx, share, args, protos, shapes, offered))
             })
             .collect();
         for h in handles {
@@ -392,6 +436,16 @@ fn main() -> ExitCode {
         tally.admitted, tally.rejected, tally.shed, tally.expired, tally.server_error, tally.transport_error
     );
     println!("\n— gateway (post-drain) —\n{m}");
+    if let Some(pc) = &report.plan_cache {
+        println!(
+            "plan cache: hit rate {:.1}% ({} affinity hits, {} negative, {} misses, {} invalidated)",
+            100.0 * pc.hit_rate(),
+            pc.hits,
+            pc.negative_hits,
+            pc.misses,
+            pc.invalidations,
+        );
+    }
     for (idx, r, killed) in &node_reports {
         let nm = &r.metrics;
         println!(

@@ -1,6 +1,7 @@
 //! Gateway configuration and validation.
 
 use offloadnn_net::ClientConfig;
+use offloadnn_plancache::PlanCacheConfig;
 use std::time::Duration;
 
 /// Deadline-aware request hedging knobs.
@@ -47,6 +48,11 @@ pub struct GatewayConfig {
     pub retry_limit: u32,
     /// Deadline-aware hedging.
     pub hedge: HedgeConfig,
+    /// Cluster-level plan cache: memoizes which node last admitted a
+    /// task shape (routing affinity) and, under a short negative TTL,
+    /// shapes the cluster rejected outright. `None` (the default)
+    /// disables caching and leaves the submit path untouched.
+    pub plan_cache: Option<PlanCacheConfig>,
     /// Transport tuning for the per-node backend clients. The default
     /// fails fast (one connect attempt, short timeout): the failover
     /// path, not the transport retry loop, owns recovery from a dead
@@ -70,6 +76,7 @@ impl Default for GatewayConfig {
             verdict_grace: Duration::from_secs(5),
             retry_limit: 3,
             hedge: HedgeConfig::default(),
+            plan_cache: None,
             client,
         }
     }
@@ -99,6 +106,9 @@ impl GatewayConfig {
         }
         if self.hedge.min_samples == 0 {
             return Err(GatewayError::InvalidConfig("hedge.min_samples must be at least 1"));
+        }
+        if let Some(pc) = &self.plan_cache {
+            pc.validate().map_err(|_| GatewayError::InvalidConfig("plan_cache knobs must be positive"))?;
         }
         self.client.validate().map_err(|_| GatewayError::InvalidConfig("client config out of range"))
     }
@@ -142,5 +152,10 @@ mod tests {
         let hedge = HedgeConfig { min_samples: 0, ..HedgeConfig::default() };
         let c = GatewayConfig { hedge, ..GatewayConfig::default() };
         assert!(c.validate().is_err());
+        let pc = PlanCacheConfig { capacity: 0, ..PlanCacheConfig::default() };
+        let c = GatewayConfig { plan_cache: Some(pc), ..GatewayConfig::default() };
+        assert_eq!(c.validate(), Err(GatewayError::InvalidConfig("plan_cache knobs must be positive")));
+        let c = GatewayConfig { plan_cache: Some(PlanCacheConfig::default()), ..GatewayConfig::default() };
+        assert!(c.validate().is_ok());
     }
 }

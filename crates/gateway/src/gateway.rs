@@ -25,6 +25,24 @@
 //! [`Gateway`] depart like any admission), the loser's admission is
 //! departed by the reaper, and loser rejections/sheds/expiries need no
 //! compensation. Synthesized gateway verdicts carry `shard: 0`.
+//!
+//! # Plan caching
+//!
+//! With [`GatewayConfig::plan_cache`] set, the gateway keeps an
+//! [`offloadnn_plancache::PlanCache`] over task-shape fingerprints. The
+//! cluster tier cannot replay a solver plan (the backends own their
+//! ledgers), so the cached value is weaker than serve's: an **affinity**
+//! entry remembers which node last admitted the shape (that node is
+//! routed first, skipping the rendezvous pick), and a **negative** entry
+//! remembers the cluster rejected the shape (the submit resolves
+//! Rejected locally under the short negative TTL, without burning a
+//! backend round trip). Affinity is only a routing hint — failover,
+//! hedging and the conservation ledger are unchanged — so no
+//! single-flight is used here: every admission consumes backend
+//! capacity, and duplicate suppression is the hedging reaper's job.
+//! The epoch is bumped whenever the pool changes underneath the cache
+//! (node ejected, node readmitted, cluster reshard), and the ring
+//! generation from the last reshard is part of every key.
 
 use crate::config::{GatewayConfig, GatewayError};
 use crate::health;
@@ -36,6 +54,7 @@ use offloadnn_core::instance::PathOption;
 use offloadnn_core::task::{Task, TaskId};
 use offloadnn_net::codec::ErrorCode;
 use offloadnn_net::{Backend, NetError, PendingOutcome, PendingVerdict};
+use offloadnn_plancache::{shape_fingerprint, PlanCache, PlanCacheStats, PlanKey};
 use offloadnn_serve::{
     DrainReport, MetricsSnapshot, Outcome, ReshardReport, ServeError, ServiceMetrics, SubmitError,
 };
@@ -51,6 +70,16 @@ use std::time::{Duration, Instant};
 /// verdict channels, so the ticket alternates bounded waits).
 const RACE_SLICE: Duration = Duration::from_micros(500);
 
+/// What the cluster tier memoizes per task shape: a routing affinity
+/// (positive entries) or a cluster-level rejection (negative entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GwPlan {
+    /// The pool index of the node that last admitted this shape.
+    Affinity { node: usize },
+    /// The cluster rejected this shape (cached under the negative TTL).
+    Rejected,
+}
+
 /// State shared between the gateway handle, its tickets and its threads.
 pub(crate) struct GatewayInner {
     pub(crate) nodes: Vec<Arc<Node>>,
@@ -64,6 +93,8 @@ pub(crate) struct GatewayInner {
     /// losers are then reaped inline).
     reaper_tx: Mutex<Option<Sender<Loser>>>,
     instruments: Option<GwInstruments>,
+    /// Cluster-level plan cache (`None` leaves the submit path as-is).
+    pub(crate) plan_cache: Option<PlanCache<GwPlan>>,
 }
 
 impl GatewayInner {
@@ -89,8 +120,33 @@ impl GatewayInner {
     fn eject_node(&self, index: usize, why: &NetError) {
         if self.nodes[index].eject(self.config.probation) {
             event!(Severity::Warn, "gw.failover", "ejected {}: {why}", self.nodes[index].addr);
+            // Affinity entries pointing at the dead node are now routing
+            // lies; resident entries are dropped lazily via the epoch.
+            self.invalidate_plans();
         }
         self.publish_healthy_gauge();
+    }
+
+    /// Bumps the plan-cache epoch after a pool change (ejection,
+    /// readmission, reshard); a no-op without a cache.
+    pub(crate) fn invalidate_plans(&self) {
+        if let Some(cache) = &self.plan_cache {
+            cache.bump_epoch();
+        }
+    }
+
+    /// The cache key for a submit, or `None` when caching is off. The
+    /// bucket is the healthy-node count (coarse cluster capacity — a
+    /// different pool size must not reuse plans minted for another) and
+    /// the generation is the ring generation from the last reshard.
+    fn plan_key(&self, task: &Task, options: &[PathOption]) -> Option<PlanKey> {
+        self.plan_cache.as_ref()?;
+        let healthy = self.nodes.iter().filter(|n| n.is_healthy()).count();
+        Some(PlanKey {
+            shape: shape_fingerprint(task, options),
+            bucket: u16::try_from(healthy).unwrap_or(u16::MAX),
+            generation: self.metrics.generation.get(),
+        })
     }
 
     /// Hands a losing attempt to the reaper thread (inline once the
@@ -167,6 +223,10 @@ struct PendState {
     attempts: u32,
     /// Node indices already attempted (never re-tried for this ticket).
     tried: Vec<usize>,
+    /// Cached-affinity node to try before consulting the router.
+    preferred: Option<usize>,
+    /// Plan-cache key for this submit (`None` with caching off).
+    key: Option<PlanKey>,
     primary: Option<Attempt>,
     hedge: Option<Attempt>,
     /// The one-shot hedge has fired (or been forfeited).
@@ -187,10 +247,15 @@ impl GwPending {
     /// Routes and launches one backend submit. `try_wait` never calls
     /// this (dialling blocks); `wait` does.
     fn launch(&self, st: &mut PendState, now: Instant, is_hedge: bool) -> Launch {
-        let pick = {
+        // A cached affinity short-circuits the rendezvous pick once (the
+        // node that admitted this shape most recently very likely still
+        // can); on failover the router takes over as usual.
+        let preferred =
+            st.preferred.take().filter(|&p| !st.tried.contains(&p) && self.inner.nodes[p].is_healthy());
+        let pick = preferred.or_else(|| {
             let _route = span!("gw.route");
             router::route(u64::from(st.task.id.0), &self.inner.healthy_candidates(&st.tried))
-        };
+        });
         let Some(index) = pick else {
             return Launch::NoCandidate;
         };
@@ -279,6 +344,22 @@ impl GwPending {
             Outcome::Rejected { .. } => metrics.rejected.inc(),
             Outcome::Shed { .. } => metrics.shed.inc(),
             Outcome::Expired { .. } => metrics.expired.inc(),
+        }
+        if let (Some(cache), Some(key)) = (&self.inner.plan_cache, st.key) {
+            match outcome {
+                // Remember where this shape fits so the next submit
+                // routes straight there.
+                Outcome::Admitted { .. } => {
+                    if let Some(winner) = winner {
+                        cache.insert(key, GwPlan::Affinity { node: winner.node }, false);
+                    }
+                }
+                // A backend said "infeasible here, now": cacheable only
+                // under the short negative TTL. Shed/expired verdicts are
+                // transient gateway-side conditions and are never cached.
+                Outcome::Rejected { .. } => cache.insert(key, GwPlan::Rejected, true),
+                Outcome::Shed { .. } | Outcome::Expired { .. } => {}
+            }
         }
         metrics.latency.record(st.born.elapsed());
         st.done = Some(outcome);
@@ -480,14 +561,17 @@ impl Gateway {
         }
         let nodes: Vec<Arc<Node>> = addrs.iter().map(|a| Arc::new(Node::new(*a))).collect();
         let (reaper_tx, reaper_rx) = channel::unbounded();
+        let metrics = ServiceMetrics::new();
+        let plan_cache = config.plan_cache.map(|pc| PlanCache::with_registry(pc, metrics.registry()));
         let inner = Arc::new(GatewayInner {
             nodes,
             config,
-            metrics: ServiceMetrics::new(),
+            metrics,
             draining: AtomicBool::new(false),
             routes: Mutex::new(HashMap::new()),
             reaper_tx: Mutex::new(Some(reaper_tx)),
             instruments: GwInstruments::new(),
+            plan_cache,
         });
         inner.publish_healthy_gauge();
         let (shutdown_tx, shutdown_rx) = channel::bounded::<()>(1);
@@ -556,6 +640,39 @@ impl Gateway {
         let budget = budget.map_or(policy, |b| b.min(policy));
         self.inner.metrics.submitted.inc();
         let now = Instant::now();
+        // Consult the plan cache before anything touches the wire: a
+        // fresh negative entry resolves the ticket Rejected right here
+        // (counted on the ledger like any verdict), a fresh affinity
+        // entry seeds the preferred node for the first launch.
+        let key = self.inner.plan_key(&task, &options);
+        let mut preferred = None;
+        if let (Some(cache), Some(key)) = (&self.inner.plan_cache, &key) {
+            match cache.lookup(key).map(|c| c.value) {
+                Some(GwPlan::Rejected) => {
+                    self.inner.metrics.rejected.inc();
+                    self.inner.metrics.latency.record(now.elapsed());
+                    return Ok(GwPending {
+                        inner: Arc::clone(&self.inner),
+                        state: Mutex::new(PendState {
+                            task,
+                            options,
+                            born: now,
+                            deadline: now + budget,
+                            attempts: 0,
+                            tried: Vec::new(),
+                            preferred: None,
+                            key: None,
+                            primary: None,
+                            hedge: None,
+                            hedged: false,
+                            done: Some(Outcome::Rejected { shard: 0 }),
+                        }),
+                    });
+                }
+                Some(GwPlan::Affinity { node }) => preferred = Some(node),
+                None => {}
+            }
+        }
         let pending = GwPending {
             inner: Arc::clone(&self.inner),
             state: Mutex::new(PendState {
@@ -565,6 +682,8 @@ impl Gateway {
                 deadline: now + budget,
                 attempts: 0,
                 tried: Vec::new(),
+                preferred,
+                key,
                 primary: None,
                 hedge: None,
                 hedged: false,
@@ -638,6 +757,9 @@ impl Gateway {
                 self.inner.metrics.reshards.inc();
                 self.inner.metrics.migrated.add(r.migrated);
                 self.inner.metrics.generation.set(r.generation);
+                // The new generation fences fresh lookups; the epoch bump
+                // drops plans minted under the old topology.
+                self.inner.invalidate_plans();
                 Ok(r)
             }
             None => Err(ServeError::InvalidConfig("no healthy node accepted the reshard")),
@@ -671,7 +793,13 @@ impl Gateway {
             shards: Vec::new(),
             retired: Vec::new(),
             lost_shards: 0,
+            plan_cache: self.inner.plan_cache.as_ref().map(PlanCache::stats),
         }
+    }
+
+    /// Counters of the cluster plan cache, or `None` with caching off.
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        self.inner.plan_cache.as_ref().map(PlanCache::stats)
     }
 }
 

@@ -10,10 +10,15 @@
 //! failure restarts probation.
 //!
 //! A successful probe also refreshes the node's routing weight from the
-//! reported load: `weight = 1 / (1 + in_flight + queued)` where
-//! `in_flight = admitted − departed` and `queued = submitted − resolved`.
-//! More remaining budget ⇒ more of the key space, and the rendezvous
-//! scores of the *other* nodes are untouched by the update.
+//! reported load and solver cost:
+//! `weight = 1 / (1 + in_flight + queued + round_ms)` where
+//! `in_flight = admitted − departed`, `queued = submitted − resolved`
+//! and `round_ms` is the node's mean solver round in milliseconds (from
+//! the wire `round_time` histogram, mirroring the node-local
+//! `solver.round_ms` gauge). A node whose solver is grinding gets less
+//! of the key space even when its queue looks shallow. More remaining
+//! budget ⇒ more of the key space, and the rendezvous scores of the
+//! *other* nodes are untouched by the update.
 
 use crate::gateway::GatewayInner;
 use crate::node::Node;
@@ -22,11 +27,12 @@ use offloadnn_serve::MetricsSnapshot;
 use offloadnn_telemetry::{event, Severity};
 use std::sync::Arc;
 
-/// Routing weight from a node's reported load.
+/// Routing weight from a node's reported load and mean solver round.
 fn weight_from(snapshot: &MetricsSnapshot) -> f64 {
     let in_flight = snapshot.admitted.saturating_sub(snapshot.departed);
     let queued = snapshot.submitted.saturating_sub(snapshot.resolved());
-    1.0 / (1.0 + (in_flight + queued) as f64)
+    let round_ms = snapshot.round_time.mean().as_secs_f64() * 1e3;
+    1.0 / (1.0 + (in_flight + queued) as f64 + round_ms)
 }
 
 /// Probes one node and applies the state machine transition.
@@ -51,6 +57,10 @@ fn probe(inner: &GatewayInner, node: &Node) {
             Ok(snapshot) => {
                 node.set_weight(weight_from(&snapshot));
                 node.readmit();
+                // Readmission restores capacity, so cached cluster-level
+                // rejections (and affinities picked while the node was
+                // out) are stale.
+                inner.invalidate_plans();
                 event!(Severity::Info, "gw.health", "readmitted {}", node.addr);
             }
             Err(_) => {
@@ -96,5 +106,20 @@ mod tests {
         metrics.submitted.add(4);
         // 4 still queued ⇒ 1/9.
         assert!((weight_from(&metrics.snapshot()) - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_shrinks_with_solver_round_time() {
+        use std::time::Duration;
+        let fast = offloadnn_serve::ServiceMetrics::new();
+        let slow = offloadnn_serve::ServiceMetrics::new();
+        for _ in 0..8 {
+            fast.round_time.record(Duration::from_micros(100));
+            slow.round_time.record(Duration::from_millis(20));
+        }
+        let (wf, ws) = (weight_from(&fast.snapshot()), weight_from(&slow.snapshot()));
+        assert!(ws < wf, "a grinding solver must shed key space: fast {wf} vs slow {ws}");
+        // ~20 ms mean ⇒ weight near 1/21 (log-bucket resolution: within 2x).
+        assert!(ws < 1.0 / 10.0 && ws > 1.0 / 50.0, "slow weight {ws} out of range");
     }
 }

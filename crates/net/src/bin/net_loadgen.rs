@@ -19,7 +19,8 @@
 use offloadnn_core::scenario::small_scenario;
 use offloadnn_core::task::TaskId;
 use offloadnn_net::{AnyServer, Client, ClientConfig, Frontend, NetConfig, NetError};
-use offloadnn_serve::{Outcome, ServiceConfig};
+use offloadnn_plancache::PlanCacheConfig;
+use offloadnn_serve::{Outcome, ServiceConfig, ShapePool};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
@@ -60,6 +61,11 @@ OPTIONS (all optional; defaults in brackets):
                       reshards the live server to `shards`
                       once `at` submits have been offered
                       across all clients                  [none]
+  --shape-skew S      Zipf exponent of the task-shape mix;
+                      0 keeps the uniform prototype draw  [0]
+  --shape-pool N      distinct shapes in the Zipf pool    [64]
+  --plan-cache B      true|false — enable the server-side
+                      admission plan cache                [false]
   -h, --help          print this help
 ";
 
@@ -78,6 +84,9 @@ struct Args {
     batch_window_us: u64,
     seed: u64,
     scale_script: Vec<(u64, u32)>,
+    shape_skew: f64,
+    shape_pool: usize,
+    plan_cache: bool,
 }
 
 impl Default for Args {
@@ -98,6 +107,9 @@ impl Default for Args {
             batch_window_us: s.batch_window.as_micros() as u64,
             seed: 7,
             scale_script: Vec::new(),
+            shape_skew: 0.0,
+            shape_pool: 64,
+            plan_cache: false,
         }
     }
 }
@@ -145,6 +157,9 @@ fn parse_args() -> Result<Args, String> {
             "--batch-window-us" => args.batch_window_us = value.parse().map_err(|e| bad(&e))?,
             "--seed" => args.seed = value.parse().map_err(|e| bad(&e))?,
             "--scale-script" => args.scale_script = parse_scale_script(&value)?,
+            "--shape-skew" => args.shape_skew = value.parse().map_err(|e| bad(&e))?,
+            "--shape-pool" => args.shape_pool = value.parse().map_err(|e| bad(&e))?,
+            "--plan-cache" => args.plan_cache = value.parse().map_err(|e| bad(&e))?,
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
@@ -194,6 +209,7 @@ fn run_client(
     requests: u64,
     args: &Args,
     protos: &[(offloadnn_core::task::Task, Vec<offloadnn_core::instance::PathOption>)],
+    shapes: Option<&ShapePool>,
     offered: &AtomicU64,
 ) -> (Tally, u64) {
     let client = match Client::connect(addr, ClientConfig::default()) {
@@ -227,8 +243,21 @@ fn run_client(
     };
 
     for i in 0..requests {
-        let proto = &protos[rng.random_range(0..protos.len())];
+        // With the Zipf pool active, popular shape ranks repeat
+        // bit-identically (the same jitter every draw) across every
+        // client, so the server-side plan cache has something to hit.
+        let (proto, jitter) = match shapes {
+            Some(pool) => {
+                let (proto, priority, rate) = pool.draw(&mut rng);
+                (&protos[proto], Some((priority, rate)))
+            }
+            None => (&protos[rng.random_range(0..protos.len())], None),
+        };
         let mut task = proto.0.clone();
+        if let Some((priority, rate)) = jitter {
+            task.priority = (task.priority * priority).clamp(0.05, 1.0);
+            task.request_rate *= rate;
+        }
         // Disjoint id spaces keep departures routable per client.
         task.id = TaskId(u32::try_from(client_idx as u64 * 100_000_000 + i).unwrap_or(u32::MAX));
         match client.submit(task, proto.1.clone(), deadline) {
@@ -272,6 +301,7 @@ fn main() -> ExitCode {
         queue_capacity: args.queue_capacity,
         batch_max: args.batch_max,
         batch_window: Duration::from_micros(args.batch_window_us),
+        plan_cache: args.plan_cache.then(PlanCacheConfig::default),
         ..ServiceConfig::default()
     };
     if let Err(e) = service_config.validate() {
@@ -282,6 +312,8 @@ fn main() -> ExitCode {
     let scenario = small_scenario(args.ues);
     let protos: Vec<_> =
         scenario.instance.tasks.iter().cloned().zip(scenario.instance.options.iter().cloned()).collect();
+    let shapes = (args.shape_skew > 0.0)
+        .then(|| ShapePool::new(args.shape_pool, args.shape_skew, protos.len(), args.seed));
 
     // Raise the connection limit to fit the requested client fleet (+
     // the control connection and the shutdown wake), so --clients 512
@@ -308,6 +340,14 @@ fn main() -> ExitCode {
         "net_loadgen: frontend {}, {} requests, {} concurrent connection(s) x window {}, {} shard(s), seed {} — server {addr}",
         args.frontend, args.requests, args.clients, args.window, args.shards, args.seed
     );
+    if args.shape_skew > 0.0 {
+        println!(
+            "shapes: Zipf skew {:.2} over a pool of {} deterministic shapes (plan cache {})",
+            args.shape_skew,
+            args.shape_pool,
+            if args.plan_cache { "on" } else { "off" },
+        );
+    }
 
     let started = Instant::now();
     let per_client = args.requests / args.clients as u64;
@@ -352,7 +392,8 @@ fn main() -> ExitCode {
             .map(|idx| {
                 let share = per_client + u64::from((idx as u64) < remainder);
                 let (args, protos, offered) = (&args, &protos, &offered);
-                scope.spawn(move || run_client(addr, idx, share, args, protos, offered))
+                let shapes = shapes.as_ref();
+                scope.spawn(move || run_client(addr, idx, share, args, protos, shapes, offered))
             })
             .collect();
         for h in handles {
@@ -389,6 +430,17 @@ fn main() -> ExitCode {
         );
     }
     println!("\n— server (post-drain) —\n{m}");
+    if let Some(pc) = &report.plan_cache {
+        println!(
+            "plan cache: hit rate {:.1}% ({} hits, {} negative, {} misses, {} evictions, {} invalidated)",
+            100.0 * pc.hit_rate(),
+            pc.hits,
+            pc.negative_hits,
+            pc.misses,
+            pc.evictions,
+            pc.invalidations,
+        );
+    }
     let telemetry = offloadnn_telemetry::global().snapshot();
     println!("\n— client-side telemetry (net.encode / net.rtt) —\n{telemetry}");
 

@@ -1,0 +1,55 @@
+//! Concurrent admission plan cache for repeat task shapes.
+//!
+//! Edge CV workloads are dominated by *repeat shapes*: the same model
+//! family, accuracy target and latency class arriving over and over with
+//! fresh identities. The OffloaDNN heuristic nevertheless rebuilds the
+//! feasible-path clique and re-solves the convex `(z, r)` allocation from
+//! scratch for every submission. This crate memoizes the solver's *plan*
+//! — which DNN path to run, at what admission fraction and RB grant —
+//! never its verdict:
+//!
+//! - **Key** = [`shape_fingerprint`] (canonical FNV-1a/64 over the QoS
+//!   and option-set fields, identity excluded) + [`budget_bucket`]
+//!   (coarse headroom level) + ring generation — see [`PlanKey`].
+//! - **Hit** = a proposal only. Admission re-validates the plan against
+//!   the live ledger (`Controller::try_apply_plan`) and falls through to
+//!   a cold solve when validation fails, so budget conservation never
+//!   depends on cache freshness.
+//! - **Miss** = single-flight: concurrent misses for one key coalesce
+//!   onto one solver run whose plan fans out to all waiters
+//!   ([`singleflight`]).
+//! - **Staleness** = bounded capacity with CLOCK second-chance eviction,
+//!   per-entry TTL (shorter for negative entries), and O(1) epoch
+//!   invalidation ([`PlanCache::bump_epoch`]) wired to reshards, budget
+//!   repartitions and chaos heals.
+//!
+//! The cache is generic over the memoized value: the serve tier stores
+//! full [`CachedPlan`]s, the gateway tier stores routing affinity.
+//!
+//! # Example
+//!
+//! ```
+//! use offloadnn_plancache::{CachedPlan, PlanCache, PlanCacheConfig, PlanKey, ShapeFingerprint};
+//!
+//! let cache: PlanCache<CachedPlan> = PlanCache::new(PlanCacheConfig::default());
+//! let key = PlanKey { shape: ShapeFingerprint(42), bucket: 0, generation: 0 };
+//! cache.insert(key, CachedPlan::Admit { option: 0, admission: 1.0, rbs: 4.0 }, false);
+//! assert!(cache.lookup(&key).is_some());
+//! cache.bump_epoch(); // e.g. the service resharded
+//! assert!(cache.lookup(&key).is_none());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+pub mod fingerprint;
+mod plan;
+pub mod singleflight;
+mod stats;
+
+pub use cache::{Cached, PlanCache, PlanCacheConfig};
+pub use fingerprint::{budget_bucket, shape_fingerprint, PlanKey, ShapeFingerprint};
+pub use plan::CachedPlan;
+pub use singleflight::{FlightAttempt, FlightFollower, FlightLeader};
+pub use stats::PlanCacheStats;

@@ -1,0 +1,52 @@
+//! The concrete plan value memoized by the serve tier.
+
+/// A memoized solver decision for one task shape.
+///
+/// The cache stores the *plan* — which option to run and how much to
+/// grant — never the verdict. An `Admit` plan is only a proposal: on every
+/// hit it is re-validated against the live ledger
+/// (`Controller::try_apply_plan`) before any budget moves, and falls
+/// through to a cold solve if validation fails.
+///
+/// The serve tier only mints `Admit` entries for *full* admissions
+/// (`z = 1`): a full grant's sizing is the shape's unconstrained optimum
+/// (rate-driven RBs, independent of residual headroom), so a validated
+/// replay hands out what a fresh solve grants whenever the ledger has
+/// slack. Partial grants are shaped by the exact residual at solve time
+/// and are never memoized — replaying one later would apply a stale
+/// fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CachedPlan {
+    /// Admit on `options[option]` with this admission fraction and RB grant.
+    Admit {
+        /// Index into the request's option slice.
+        option: usize,
+        /// Admission fraction `z` in `(0, 1]`.
+        admission: f64,
+        /// Radio resource blocks `r` granted.
+        rbs: f64,
+    },
+    /// The shape was infeasible when last solved (negative entry; cached
+    /// under the shorter negative TTL).
+    ///
+    /// Unlike an `Admit` plan there is nothing to re-validate — the
+    /// rejection depends on the whole ledger, not one task's footprint —
+    /// so the entry carries the minting shard's ledger stamp instead. A
+    /// hit replays the rejection only while the stamp still matches
+    /// (i.e. the ledger has not moved since the solver said no); any
+    /// admit, departure, adoption or reshard bumps the stamp and the
+    /// next hit falls through to a fresh solve. With a deterministic
+    /// solver this makes negative hits bit-identical to cold solves.
+    Infeasible {
+        /// [`ledger stamp`](CachedPlan::Infeasible) of the shard whose
+        /// solver produced the rejection, at mint time.
+        ledger: u64,
+    },
+}
+
+impl CachedPlan {
+    /// Whether this is a negative (infeasible-shape) entry.
+    pub fn is_negative(&self) -> bool {
+        matches!(self, CachedPlan::Infeasible { .. })
+    }
+}

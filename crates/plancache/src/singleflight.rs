@@ -1,0 +1,242 @@
+//! Single-flight dedup: concurrent misses for one key run the solver once.
+//!
+//! The first miss for a key becomes the *leader* and owns the solve;
+//! later misses become *followers* that block (briefly, with a timeout)
+//! on the leader's result. A leader that is dropped without completing —
+//! solver error, shard panic, round abandoned — aborts the flight and
+//! wakes every follower so they fall back to a local solve; nobody waits
+//! on a corpse.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::cache::{Cached, PlanCache};
+use crate::fingerprint::PlanKey;
+
+enum FlightState<V> {
+    Pending,
+    Done(Cached<V>),
+    Aborted,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+impl<V> Flight<V> {
+    fn new() -> Self {
+        Flight { state: Mutex::new(FlightState::Pending), cv: Condvar::new() }
+    }
+
+    fn settle(&self, state: FlightState<V>) {
+        *self.state.lock().expect("flight state poisoned") = state;
+        self.cv.notify_all();
+    }
+}
+
+/// The per-cache registry of in-flight solves.
+pub(crate) struct FlightTable<V> {
+    inner: Mutex<HashMap<PlanKey, Arc<Flight<V>>>>,
+}
+
+impl<V: Clone> FlightTable<V> {
+    pub(crate) fn new() -> Self {
+        FlightTable { inner: Mutex::new(HashMap::new()) }
+    }
+
+    pub(crate) fn begin<'a>(&'a self, cache: &'a PlanCache<V>, key: PlanKey) -> FlightAttempt<'a, V> {
+        let mut table = self.inner.lock().expect("flight table poisoned");
+        if let Some(flight) = table.get(&key) {
+            let flight = Arc::clone(flight);
+            drop(table);
+            cache.stats.singleflight_followers.fetch_add(1, Ordering::Relaxed);
+            FlightAttempt::Follower(FlightFollower { cache, flight })
+        } else {
+            let flight = Arc::new(Flight::new());
+            table.insert(key, Arc::clone(&flight));
+            drop(table);
+            cache.stats.singleflight_leads.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &cache.mirror {
+                m.singleflight.inc();
+            }
+            FlightAttempt::Leader(FlightLeader { cache, key, flight, finished: false })
+        }
+    }
+
+    /// Unregisters `flight` from `key`, but only if it is still the
+    /// registered one — a replacement flight started after an abort must
+    /// not be evicted by the late cleanup of its predecessor.
+    fn unregister(&self, key: &PlanKey, flight: &Arc<Flight<V>>) {
+        let mut table = self.inner.lock().expect("flight table poisoned");
+        if table.get(key).is_some_and(|f| Arc::ptr_eq(f, flight)) {
+            table.remove(key);
+        }
+    }
+}
+
+/// The outcome of [`PlanCache::begin_flight`]: lead the solve or follow
+/// an in-flight one.
+pub enum FlightAttempt<'a, V: Clone> {
+    /// This caller owns the solve; it must call [`FlightLeader::complete`]
+    /// (or drop the leader to abort the flight).
+    Leader(FlightLeader<'a, V>),
+    /// Another caller is already solving this key.
+    Follower(FlightFollower<'a, V>),
+}
+
+/// Ownership of an in-flight solve for one key.
+pub struct FlightLeader<'a, V: Clone> {
+    cache: &'a PlanCache<V>,
+    key: PlanKey,
+    flight: Arc<Flight<V>>,
+    finished: bool,
+}
+
+impl<V: Clone> FlightLeader<'_, V> {
+    /// Publishes the solved plan: inserts it into the cache, then fans it
+    /// out to every waiting follower.
+    pub fn complete(mut self, value: V, negative: bool) {
+        self.cache.insert(self.key, value.clone(), negative);
+        self.flight.settle(FlightState::Done(Cached { value, negative }));
+        self.cache.flights.unregister(&self.key, &self.flight);
+        self.finished = true;
+    }
+
+    /// The key this leader is solving for.
+    pub fn key(&self) -> PlanKey {
+        self.key
+    }
+}
+
+impl<V: Clone> Drop for FlightLeader<'_, V> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.flight.settle(FlightState::Aborted);
+            self.cache.flights.unregister(&self.key, &self.flight);
+        }
+    }
+}
+
+/// A handle on someone else's in-flight solve.
+pub struct FlightFollower<'a, V: Clone> {
+    cache: &'a PlanCache<V>,
+    flight: Arc<Flight<V>>,
+}
+
+impl<V: Clone> FlightFollower<'_, V> {
+    /// Waits up to `timeout` for the leader's plan. Returns `None` on
+    /// timeout (counted) or if the leader aborted — in both cases the
+    /// caller should solve locally.
+    pub fn wait(&self, timeout: Duration) -> Option<Cached<V>> {
+        let guard = self.flight.state.lock().expect("flight state poisoned");
+        let (guard, _timeout_result) = self
+            .flight
+            .cv
+            .wait_timeout_while(guard, timeout, |state| matches!(state, FlightState::Pending))
+            .expect("flight state poisoned");
+        match &*guard {
+            FlightState::Done(cached) => Some(cached.clone()),
+            FlightState::Aborted => None,
+            FlightState::Pending => {
+                self.cache.stats.singleflight_timeouts.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::PlanCacheConfig;
+    use crate::fingerprint::ShapeFingerprint;
+    use std::sync::atomic::AtomicU64;
+    use std::thread;
+
+    fn key(n: u64) -> PlanKey {
+        PlanKey { shape: ShapeFingerprint(n), bucket: 0, generation: 0 }
+    }
+
+    fn cache() -> PlanCache<u64> {
+        PlanCache::new(PlanCacheConfig::default())
+    }
+
+    #[test]
+    fn second_miss_becomes_follower_and_receives_the_plan() {
+        let cache = cache();
+        let leader = match cache.begin_flight(key(1)) {
+            FlightAttempt::Leader(l) => l,
+            FlightAttempt::Follower(_) => panic!("first miss must lead"),
+        };
+        let follower = match cache.begin_flight(key(1)) {
+            FlightAttempt::Follower(f) => f,
+            FlightAttempt::Leader(_) => panic!("second miss must follow"),
+        };
+        leader.complete(77, false);
+        assert_eq!(follower.wait(Duration::from_secs(1)).expect("fanned out").value, 77);
+        let s = cache.stats();
+        assert_eq!((s.singleflight_leads, s.singleflight_followers, s.singleflight_timeouts), (1, 1, 0));
+        // The plan also landed in the cache for later arrivals.
+        assert_eq!(cache.lookup(&key(1)).expect("cached").value, 77);
+    }
+
+    #[test]
+    fn aborted_leader_wakes_followers_and_frees_the_key() {
+        let cache = cache();
+        let leader = match cache.begin_flight(key(2)) {
+            FlightAttempt::Leader(l) => l,
+            FlightAttempt::Follower(_) => panic!("must lead"),
+        };
+        let follower = match cache.begin_flight(key(2)) {
+            FlightAttempt::Follower(f) => f,
+            FlightAttempt::Leader(_) => panic!("must follow"),
+        };
+        drop(leader);
+        assert!(follower.wait(Duration::from_secs(1)).is_none());
+        // The key is leadable again.
+        assert!(matches!(cache.begin_flight(key(2)), FlightAttempt::Leader(_)));
+    }
+
+    #[test]
+    fn follower_timeout_is_counted() {
+        let cache = cache();
+        let _leader = match cache.begin_flight(key(3)) {
+            FlightAttempt::Leader(l) => l,
+            FlightAttempt::Follower(_) => panic!("must lead"),
+        };
+        let follower = match cache.begin_flight(key(3)) {
+            FlightAttempt::Follower(f) => f,
+            FlightAttempt::Leader(_) => panic!("must follow"),
+        };
+        assert!(follower.wait(Duration::from_millis(5)).is_none());
+        assert_eq!(cache.stats().singleflight_timeouts, 1);
+    }
+
+    #[test]
+    fn concurrent_misses_compute_exactly_once() {
+        let cache = Arc::new(cache());
+        let computes = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computes = Arc::clone(&computes);
+                thread::spawn(move || {
+                    cache.get_or_compute(key(4), || {
+                        computes.fetch_add(1, Ordering::Relaxed);
+                        // Hold the flight open long enough for followers
+                        // to actually block on it.
+                        thread::sleep(Duration::from_millis(20));
+                        (123, false)
+                    })
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().expect("thread panicked"), 123);
+        }
+        assert_eq!(computes.load(Ordering::Relaxed), 1, "solver must run once");
+    }
+}

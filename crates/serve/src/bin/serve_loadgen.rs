@@ -10,7 +10,8 @@
 //!     --requests 10000 --shards 4 --process poisson --rate-hz 5000
 //! ```
 
-use offloadnn_core::scenario::small_scenario;
+use offloadnn_core::scenario::{large_scenario, small_scenario, LoadLevel, Scenario};
+use offloadnn_plancache::PlanCacheConfig;
 use offloadnn_radio::ArrivalProcess;
 use offloadnn_serve::{loadgen, LoadgenConfig, ServiceConfig};
 use std::process::ExitCode;
@@ -38,11 +39,31 @@ OPTIONS (all optional; defaults in brackets):
   --shed-watermark N    backlog depth triggering priority
                         shedding                           [512]
   --ues N               UEs in the reference scenario      [5]
+  --scenario KIND       small | large — small is Table IV's
+                        5-UE reference; large is the T = 20,
+                        125-structure scenario whose solver
+                        rounds are expensive enough to make
+                        plan-cache speedups visible          [small]
   --scale-script S      comma-separated at:shards steps, e.g.
                         \"100:8,250:2\" — reshard to the given
                         shard count just before request `at`
                         is offered (per-shard budget checks
                         are skipped when scripted)          [none]
+  --shape-skew S        Zipf exponent of the shape mix; 0
+                        disables the pool (every request a
+                        fresh shape)                        [0]
+  --shape-pool N        distinct shapes in the Zipf pool    [64]
+  --plan-cache B        true|false — enable the admission
+                        plan cache                          [false]
+  --min-hit-rate F      exit non-zero unless the plan-cache
+                        hit rate reaches F (0..1); requires
+                        --plan-cache true                   [none]
+  --compare-baseline B  true|false — rerun the identical
+                        stream without the cache and report
+                        the solve-path speedup              [false]
+  --min-speedup F       with --compare-baseline, exit
+                        non-zero unless cached/baseline
+                        throughput ratio reaches F          [none]
   -h, --help            print this help
 ";
 
@@ -60,7 +81,14 @@ struct Args {
     deadline_ms: u64,
     shed_watermark: usize,
     ues: usize,
+    scenario_kind: ScenarioKind,
     scale_script: Vec<(u64, usize)>,
+    shape_skew: f64,
+    shape_pool: usize,
+    plan_cache: bool,
+    min_hit_rate: Option<f64>,
+    compare_baseline: bool,
+    min_speedup: Option<f64>,
 }
 
 #[derive(Clone, Copy)]
@@ -68,6 +96,12 @@ enum ProcessKind {
     Poisson,
     Periodic,
     Bursty,
+}
+
+#[derive(Clone, Copy)]
+enum ScenarioKind {
+    Small,
+    Large,
 }
 
 impl Default for Args {
@@ -88,7 +122,14 @@ impl Default for Args {
             deadline_ms: s.admission_deadline.as_millis() as u64,
             shed_watermark: s.shed_watermark,
             ues: 5,
+            scenario_kind: ScenarioKind::Small,
             scale_script: Vec::new(),
+            shape_skew: l.shape_skew,
+            shape_pool: l.shape_pool,
+            plan_cache: false,
+            min_hit_rate: None,
+            compare_baseline: false,
+            min_speedup: None,
         }
     }
 }
@@ -142,7 +183,20 @@ fn parse_args() -> Result<Args, String> {
             "--deadline-ms" => args.deadline_ms = value.parse().map_err(|e| bad(&e))?,
             "--shed-watermark" => args.shed_watermark = value.parse().map_err(|e| bad(&e))?,
             "--ues" => args.ues = value.parse().map_err(|e| bad(&e))?,
+            "--scenario" => {
+                args.scenario_kind = match value.as_str() {
+                    "small" => ScenarioKind::Small,
+                    "large" => ScenarioKind::Large,
+                    other => return Err(format!("--scenario {other}: expected small|large")),
+                }
+            }
             "--scale-script" => args.scale_script = parse_scale_script(&value)?,
+            "--shape-skew" => args.shape_skew = value.parse().map_err(|e| bad(&e))?,
+            "--shape-pool" => args.shape_pool = value.parse().map_err(|e| bad(&e))?,
+            "--plan-cache" => args.plan_cache = value.parse().map_err(|e| bad(&e))?,
+            "--min-hit-rate" => args.min_hit_rate = Some(value.parse().map_err(|e| bad(&e))?),
+            "--compare-baseline" => args.compare_baseline = value.parse().map_err(|e| bad(&e))?,
+            "--min-speedup" => args.min_speedup = Some(value.parse().map_err(|e| bad(&e))?),
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
@@ -177,6 +231,7 @@ fn main() -> ExitCode {
         batch_window: Duration::from_micros(args.batch_window_us),
         admission_deadline: Duration::from_millis(args.deadline_ms),
         shed_watermark: args.shed_watermark,
+        plan_cache: args.plan_cache.then(PlanCacheConfig::default),
         ..ServiceConfig::default()
     };
     if let Err(e) = service_config.validate() {
@@ -189,9 +244,14 @@ fn main() -> ExitCode {
         seed: args.seed,
         max_active: args.max_active,
         time_scale: args.time_scale,
+        shape_skew: args.shape_skew,
+        shape_pool: args.shape_pool,
     };
 
-    let scenario = small_scenario(args.ues);
+    let scenario: Scenario = match args.scenario_kind {
+        ScenarioKind::Small => small_scenario(args.ues),
+        ScenarioKind::Large => large_scenario(LoadLevel::Medium),
+    };
     let report = loadgen::run_scripted(service_config, cfg, &args.scale_script, &scenario.instance);
     println!("{report}");
 
@@ -205,6 +265,34 @@ fn main() -> ExitCode {
     if args.scale_script.is_empty() && !report.drain.within_budgets() {
         eprintln!("error: a shard exceeded its budget partition");
         return ExitCode::FAILURE;
+    }
+    if let Some(min) = args.min_hit_rate {
+        let rate = report.drain.plan_cache.map_or(0.0, |pc| pc.hit_rate());
+        if rate < min {
+            eprintln!("error: plan-cache hit rate {rate:.3} below the required {min:.3}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.compare_baseline {
+        // Same seed, same stream, same service shape — only the cache
+        // differs, so the throughput ratio isolates the solve path.
+        let baseline_config = ServiceConfig { plan_cache: None, ..service_config };
+        let baseline = loadgen::run_scripted(baseline_config, cfg, &args.scale_script, &scenario.instance);
+        if !baseline.is_conserved() {
+            eprintln!("error: conservation violated in the no-cache baseline");
+            return ExitCode::FAILURE;
+        }
+        let speedup = report.throughput_hz() / baseline.throughput_hz().max(1e-9);
+        println!(
+            "baseline:   {:.0} verdicts/s without the plan cache — solve-path speedup {speedup:.2}x",
+            baseline.throughput_hz(),
+        );
+        if let Some(min) = args.min_speedup {
+            if speedup < min {
+                eprintln!("error: solve-path speedup {speedup:.2}x below the required {min:.2}x");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

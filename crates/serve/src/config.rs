@@ -1,6 +1,7 @@
 //! Service-runtime configuration.
 
 use crate::error::ServeError;
+use offloadnn_plancache::PlanCacheConfig;
 use std::time::Duration;
 
 /// Tuning knobs of the sharded admission service.
@@ -28,6 +29,10 @@ pub struct ServiceConfig {
     pub shed_watermark: usize,
     /// Virtual nodes per shard on the consistent-hash ring.
     pub virtual_nodes: usize,
+    /// Plan cache for repeat task shapes: `Some` enables per-shard plan
+    /// memoization with single-flight dedup; `None` (the default) keeps
+    /// the cold-solve path byte-identical to previous releases.
+    pub plan_cache: Option<PlanCacheConfig>,
     /// Fault injection for chaos testing; inert by default.
     pub chaos: ChaosConfig,
 }
@@ -58,6 +63,7 @@ impl Default for ServiceConfig {
             admission_deadline: Duration::from_secs(5),
             shed_watermark: 512,
             virtual_nodes: 64,
+            plan_cache: None,
             chaos: ChaosConfig::default(),
         }
     }
@@ -91,6 +97,11 @@ impl ServiceConfig {
         if self.virtual_nodes == 0 {
             return Err(ServeError::InvalidConfig("virtual_nodes must be >= 1"));
         }
+        if let Some(pc) = &self.plan_cache {
+            if pc.validate().is_err() {
+                return Err(ServeError::InvalidConfig("plan_cache knobs must be positive"));
+            }
+        }
         Ok(())
     }
 }
@@ -107,7 +118,8 @@ mod tests {
     #[test]
     fn each_zero_field_is_rejected() {
         let base = ServiceConfig::default();
-        let cases: [(&str, ServiceConfig); 7] = [
+        let bad_cache = PlanCacheConfig { capacity: 0, ..PlanCacheConfig::default() };
+        let cases: [(&str, ServiceConfig); 8] = [
             ("shards", ServiceConfig { shards: 0, ..base }),
             ("queue", ServiceConfig { queue_capacity: 0, ..base }),
             ("batch", ServiceConfig { batch_max: 0, ..base }),
@@ -115,6 +127,7 @@ mod tests {
             ("deadline", ServiceConfig { admission_deadline: Duration::ZERO, ..base }),
             ("watermark", ServiceConfig { shed_watermark: 0, ..base }),
             ("vnodes", ServiceConfig { virtual_nodes: 0, ..base }),
+            ("plancache", ServiceConfig { plan_cache: Some(bad_cache), ..base }),
         ];
         for (name, cfg) in cases {
             assert!(cfg.validate().is_err(), "{name} should be rejected");

@@ -57,7 +57,7 @@ mod shard;
 
 pub use config::{ChaosConfig, ServiceConfig};
 pub use error::{ServeError, SubmitError};
-pub use loadgen::{LoadgenConfig, LoadgenReport, VerdictTally};
+pub use loadgen::{LoadgenConfig, LoadgenReport, ShapePool, VerdictTally};
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, ServiceMetrics, HISTOGRAM_BUCKETS};
 pub use router::Router;
 pub use service::{DrainReport, Outcome, ReshardReport, Service, Ticket};

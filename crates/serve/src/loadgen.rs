@@ -32,6 +32,17 @@ pub struct LoadgenConfig {
     /// pacing: requests are offered as fast as the ingress accepts them
     /// (a saturation test).
     pub time_scale: f64,
+    /// Zipf exponent of the shape distribution. `0.0` (the default)
+    /// keeps the historical behaviour — every request gets fresh
+    /// per-request jitter, so no two shapes repeat. Positive values
+    /// switch to a deterministic [`ShapePool`]: request shapes are drawn
+    /// from `shape_pool` ranks with weight `1/(k+1)^skew`, and a re-draw
+    /// of the same rank is bit-identical — the workload a plan cache can
+    /// actually hit on.
+    pub shape_skew: f64,
+    /// Distinct shapes in the Zipf pool (ignored while `shape_skew` is
+    /// `0.0`).
+    pub shape_pool: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -42,7 +53,61 @@ impl Default for LoadgenConfig {
             seed: 7,
             max_active: 64,
             time_scale: 0.0,
+            shape_skew: 0.0,
+            shape_pool: 64,
         }
+    }
+}
+
+/// Deterministic pool of task shapes for the Zipf workload mode.
+///
+/// Shape `k` is minted once from `seed ^ k·φ` (golden-ratio spacing
+/// keeps neighbouring ranks decorrelated) and stored materialized, so
+/// every re-draw of rank `k` produces the *same* priority and rate —
+/// which is exactly what makes two requests share a plan-cache
+/// fingerprint. Ranks are drawn with Zipf weights `1/(k+1)^s` via a
+/// binary search over the normalized CDF.
+///
+/// Public so the `offloadnn-net` and `offloadnn-gateway` load generators
+/// can offer the identical skewed stream over the wire.
+pub struct ShapePool {
+    /// Materialized `(prototype index, priority factor, rate factor)`.
+    shapes: Vec<(usize, f64, f64)>,
+    /// Cumulative Zipf weights, normalized to end at 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ShapePool {
+    /// Materializes `pool` shapes over `protos` prototypes with Zipf
+    /// exponent `skew`; the same `(pool, skew, protos, seed)` always
+    /// yields the same pool.
+    pub fn new(pool: usize, skew: f64, protos: usize, seed: u64) -> Self {
+        let pool = pool.max(1);
+        let mut shapes = Vec::with_capacity(pool);
+        for k in 0..pool {
+            let mut r = StdRng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let proto = r.random_range(0..protos);
+            let priority = r.random_range(0.6f64..1.4);
+            let rate = r.random_range(0.8f64..1.2);
+            shapes.push((proto, priority, rate));
+        }
+        let mut cdf = Vec::with_capacity(pool);
+        let mut acc = 0.0f64;
+        for k in 0..pool {
+            acc += ((k + 1) as f64).powf(skew).recip();
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Self { shapes, cdf }
+    }
+
+    /// Draws one `(prototype index, priority factor, rate factor)` rank.
+    pub fn draw(&self, rng: &mut StdRng) -> (usize, f64, f64) {
+        let u = rng.random_range(0.0f64..1.0);
+        let k = self.cdf.partition_point(|&c| c < u).min(self.shapes.len() - 1);
+        self.shapes[k]
     }
 }
 
@@ -137,6 +202,26 @@ impl fmt::Display for LoadgenReport {
             self.shards,
             self.wall,
         )?;
+        if self.config.shape_skew > 0.0 {
+            writeln!(
+                f,
+                "shapes:     Zipf skew {:.2} over a pool of {} deterministic shapes",
+                self.config.shape_skew, self.config.shape_pool,
+            )?;
+        }
+        if let Some(pc) = &self.drain.plan_cache {
+            writeln!(
+                f,
+                "plan cache: hit rate {:.1}% ({} hits, {} negative, {} misses, {} evictions, {} invalidated, {} revalidation misses)",
+                100.0 * pc.hit_rate(),
+                pc.hits,
+                pc.negative_hits,
+                pc.misses,
+                pc.evictions,
+                pc.invalidations,
+                pc.validation_failures,
+            )?;
+        }
         writeln!(f, "throughput: {:.0} verdicts/s", self.throughput_hz())?;
         writeln!(
             f,
@@ -227,6 +312,8 @@ pub fn run_scripted(
     let shards = service_config.shards;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut arrivals = Arrivals::new(cfg.process, cfg.seed ^ 0x5eed);
+    let shape_pool = (cfg.shape_skew > 0.0)
+        .then(|| ShapePool::new(cfg.shape_pool, cfg.shape_skew, template.tasks.len(), cfg.seed));
 
     let mut tally = VerdictTally::default();
     let mut pending: VecDeque<Ticket> = VecDeque::new();
@@ -254,12 +341,21 @@ pub fn run_scripted(
         }
 
         // A fresh task derived from a prototype: unique id, jittered
-        // priority (so shedding has an order to respect) and rate.
-        let proto = rng.random_range(0..template.tasks.len());
+        // priority (so shedding has an order to respect) and rate. With
+        // the Zipf pool active the jitter comes from the materialized
+        // shape rank instead, so popular shapes repeat bit-identically.
+        let (proto, priority_factor, rate_factor) = match &shape_pool {
+            Some(pool) => pool.draw(&mut rng),
+            None => (
+                rng.random_range(0..template.tasks.len()),
+                rng.random_range(0.6f64..1.4),
+                rng.random_range(0.8f64..1.2),
+            ),
+        };
         let mut task = template.tasks[proto].clone();
         task.id = TaskId(i as u32);
-        task.priority = (task.priority * rng.random_range(0.6f64..1.4)).clamp(0.05, 1.0);
-        task.request_rate *= rng.random_range(0.8..1.2);
+        task.priority = (task.priority * priority_factor).clamp(0.05, 1.0);
+        task.request_rate *= rate_factor;
         let ticket = service
             .submit(task, template.options[proto].clone())
             .expect("not draining and options non-empty");
@@ -326,6 +422,50 @@ mod tests {
         assert!(report.drain.within_budgets(), "{report}");
         assert_eq!(report.tally.resolved(), 300);
         assert!(report.tally.admitted > 0, "some capacity must be granted: {report}");
+    }
+
+    #[test]
+    fn zipf_run_with_plan_cache_conserves_and_hits() {
+        use offloadnn_plancache::PlanCacheConfig;
+        let s = small_scenario(5);
+        let service_config = ServiceConfig {
+            shards: 2,
+            plan_cache: Some(PlanCacheConfig::default()),
+            ..ServiceConfig::default()
+        };
+        let cfg = LoadgenConfig {
+            requests: 600,
+            max_active: 16,
+            shape_skew: 1.2,
+            shape_pool: 32,
+            ..LoadgenConfig::default()
+        };
+        let report = run(service_config, cfg, &s.instance);
+        assert!(report.is_conserved(), "{report}");
+        let pc = report.drain.plan_cache.expect("cache enabled");
+        assert!(pc.lookups() > 0, "{report}");
+        assert!(pc.hits + pc.negative_hits > 0, "a skewed stream must hit: {report}");
+        let shown = format!("{report}");
+        assert!(shown.contains("Zipf skew 1.20"), "header echoes the skew: {shown}");
+        assert!(shown.contains("plan cache: hit rate"), "header echoes the hit rate: {shown}");
+    }
+
+    #[test]
+    fn zipf_pool_draws_are_deterministic() {
+        let pool = ShapePool::new(16, 1.0, 3, 42);
+        let twin = ShapePool::new(16, 1.0, 3, 42);
+        assert_eq!(pool.shapes, twin.shapes);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(pool.draw(&mut a), twin.draw(&mut b));
+        }
+        // Skew concentrates mass on the head ranks.
+        let mut rng = StdRng::seed_from_u64(3);
+        let skewed = ShapePool::new(16, 1.5, 3, 42);
+        let head = skewed.shapes[0];
+        let hits = (0..1000).filter(|_| skewed.draw(&mut rng) == head).count();
+        assert!(hits > 250, "rank 0 should dominate a 1.5-skew stream, got {hits}/1000");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use offloadnn_core::controller::{ActiveTask, Controller};
 use offloadnn_core::heuristic::OffloadnnSolver;
 use offloadnn_core::instance::{Budgets, DotInstance, PathOption};
 use offloadnn_core::task::{Task, TaskId};
+use offloadnn_plancache::{CachedPlan, PlanCache, PlanCacheStats};
 use offloadnn_telemetry::{event, span, Severity};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -136,6 +137,9 @@ pub struct DrainReport {
     /// Shards whose worker thread panicked (chaos injection) and
     /// therefore produced no report. Zero in any healthy run.
     pub lost_shards: usize,
+    /// Final plan-cache statistics, when the service ran with
+    /// [`crate::config::ServiceConfig::plan_cache`] enabled.
+    pub plan_cache: Option<PlanCacheStats>,
 }
 
 impl DrainReport {
@@ -197,6 +201,10 @@ pub struct Service {
     /// The undivided edge budgets; every reshard repartitions from this
     /// original total so capacity cannot drift across generations.
     total_budgets: Budgets,
+    /// Service-wide plan cache shared by every shard worker (`None` when
+    /// disabled). Lives on the service so reshards, repartitions and
+    /// heals can invalidate it.
+    plan_cache: Option<Arc<PlanCache<CachedPlan>>>,
     draining: AtomicBool,
 }
 
@@ -214,6 +222,8 @@ impl Service {
         config.validate()?;
         let router = Arc::new(Router::new(config.shards, config.virtual_nodes));
         let metrics = Arc::new(ServiceMetrics::new());
+        let plan_cache =
+            config.plan_cache.map(|pc| Arc::new(PlanCache::with_registry(pc, metrics.registry())));
         let partitions = partition_budgets(template.budgets, config.shards);
 
         // Shard controllers share the block cost tables and rate model but
@@ -227,7 +237,7 @@ impl Service {
         let mut handles = Vec::with_capacity(config.shards);
         for (shard, budgets) in partitions.into_iter().enumerate() {
             let (tx, rx) = channel::bounded(config.queue_capacity);
-            handles.push(spawn_worker(shard, budgets, rx, &shard_template, config, &metrics));
+            handles.push(spawn_worker(shard, budgets, rx, &shard_template, config, &metrics, &plan_cache));
             senders.push(tx);
         }
         event!(
@@ -248,6 +258,7 @@ impl Service {
             config,
             template: shard_template,
             total_budgets: template.budgets,
+            plan_cache,
             draining: AtomicBool::new(false),
         })
     }
@@ -411,7 +422,15 @@ impl Service {
         let mut new_senders = Vec::new();
         for (shard, &budgets) in partitions.iter().enumerate().skip(old_shards) {
             let (tx, rx) = channel::bounded(self.config.queue_capacity);
-            handles.push(spawn_worker(shard, budgets, rx, &self.template, self.config, &self.metrics));
+            handles.push(spawn_worker(
+                shard,
+                budgets,
+                rx,
+                &self.template,
+                self.config,
+                &self.metrics,
+                &self.plan_cache,
+            ));
             new_senders.push(tx);
         }
 
@@ -503,6 +522,12 @@ impl Service {
         self.metrics.generation.set(generation);
         self.metrics.reshards.inc();
         self.metrics.migrated.add(migrated);
+        // Plans minted under the old ring and budget partition are stale:
+        // the generation in the key already fences new lookups, and the
+        // epoch bump drops the resident entries themselves.
+        if let Some(cache) = &self.plan_cache {
+            cache.bump_epoch();
+        }
         reshard_span.finish();
         event!(
             Severity::Info,
@@ -529,9 +554,15 @@ impl Service {
         // fresh worker restarts its round counter) would never converge.
         let mut config = self.config;
         config.chaos = ChaosConfig::default();
-        let fresh = spawn_worker(shard, budgets, rx, &self.template, config, &self.metrics);
+        let fresh = spawn_worker(shard, budgets, rx, &self.template, config, &self.metrics, &self.plan_cache);
         let old = std::mem::replace(&mut handles[shard], fresh);
         self.routing.write().expect("routing lock").senders[shard] = tx;
+        // The panic took the dead worker's ledger with it; plans minted
+        // against that ledger must not seed the fresh controller. A heal
+        // does not change the ring generation, so this needs the epoch.
+        if let Some(cache) = &self.plan_cache {
+            cache.bump_epoch();
+        }
         match old.join() {
             Ok(exit) => {
                 self.retired.lock().expect("retired lock").push(exit.report);
@@ -551,6 +582,12 @@ impl Service {
     /// runs.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Point-in-time plan-cache statistics, or `None` when the service
+    /// runs without a plan cache.
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        self.plan_cache.as_ref().map(|c| c.stats())
     }
 
     /// The per-service telemetry registry holding this fleet's counters,
@@ -627,7 +664,8 @@ impl Service {
             metrics.shed,
             metrics.expired
         );
-        DrainReport { metrics, shards, retired, lost_shards }
+        let plan_cache = self.plan_cache.as_ref().map(|c| c.stats());
+        DrainReport { metrics, shards, retired, lost_shards, plan_cache }
     }
 }
 
@@ -652,6 +690,7 @@ fn spawn_worker(
     template: &DotInstance,
     config: ServiceConfig,
     metrics: &Arc<ServiceMetrics>,
+    plan_cache: &Option<Arc<PlanCache<CachedPlan>>>,
 ) -> JoinHandle<ShardExit> {
     let mut shard_template = template.clone();
     shard_template.budgets = budgets;
@@ -662,6 +701,8 @@ fn spawn_worker(
         budgets,
         config,
         metrics: Arc::clone(metrics),
+        plan_cache: plan_cache.clone(),
+        ledger: 0,
         orphans: HashSet::new(),
         pending_reshards: Vec::new(),
     };

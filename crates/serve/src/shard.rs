@@ -9,6 +9,9 @@ use crossbeam::channel::{Receiver, RecvTimeoutError};
 use offloadnn_core::controller::{ActiveTask, AdmissionRequest, Controller, ControllerSnapshot};
 use offloadnn_core::instance::Budgets;
 use offloadnn_core::task::TaskId;
+use offloadnn_plancache::{
+    budget_bucket, shape_fingerprint, CachedPlan, FlightAttempt, FlightLeader, PlanCache, PlanKey,
+};
 use offloadnn_telemetry::{event, span, Severity};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -55,6 +58,12 @@ impl ShardReport {
     }
 }
 
+/// What the cache pass hands back to the round: the requests that
+/// still need a solver round plus, aligned by index, the key to
+/// publish each solved plan under and the single-flight leadership
+/// token if this request owns the solve for its key.
+type CachePass<'c> = (Vec<ServiceRequest>, Vec<Option<PlanKey>>, Vec<Option<FlightLeader<'c, CachedPlan>>>);
+
 /// What a worker thread yields on exit: its report plus whatever tasks
 /// were still active, so a scale-down can migrate them to the surviving
 /// shards instead of leaking their capacity.
@@ -72,6 +81,15 @@ pub(crate) struct ShardWorker {
     pub budgets: Budgets,
     pub config: ServiceConfig,
     pub metrics: Arc<ServiceMetrics>,
+    /// Service-wide plan cache shared by every shard worker; `None` keeps
+    /// the cold-solve path exactly as before.
+    pub plan_cache: Option<Arc<PlanCache<CachedPlan>>>,
+    /// Monotonic count of ledger mutations (admits, departures,
+    /// adoptions, reshards). Stamped into negative cache entries so a
+    /// memoized rejection only replays while the ledger is literally
+    /// unchanged since the solver produced it — the negative-path
+    /// counterpart of `Controller::try_apply_plan` re-validation.
+    pub ledger: u64,
     /// Departures that outran their task's migration: a departure routed
     /// here before the matching `Adopt` arrived. Reconciled on adoption.
     pub orphans: HashSet<TaskId>,
@@ -176,7 +194,9 @@ impl ShardWorker {
         match msg {
             ShardMsg::Request(req) => batch.push(req),
             ShardMsg::Depart(id) => {
-                if self.controller.release(&[id]) == 0 && self.orphans.len() < ORPHAN_CAP {
+                if self.controller.release(&[id]) > 0 {
+                    self.ledger += 1;
+                } else if self.orphans.len() < ORPHAN_CAP {
                     // The departure outran the migration handing us this
                     // task (or names an id we never held): remember it so
                     // a later Adopt does not resurrect departed capacity.
@@ -195,6 +215,9 @@ impl ShardWorker {
                         keep.push(task);
                     }
                 }
+                if !keep.is_empty() {
+                    self.ledger += 1;
+                }
                 self.controller.adopt(keep);
             }
         }
@@ -203,6 +226,7 @@ impl ShardWorker {
     /// Applies one reshard order: adopt the new budget partition, then
     /// evacuate every active task the new ring maps to another shard.
     fn execute_reshard(&mut self, cmd: ReshardCmd, peak: &mut (f64, f64, f64)) {
+        self.ledger += 1;
         self.budgets = cmd.budgets;
         self.controller.set_budgets(cmd.budgets);
         let shard = self.shard;
@@ -245,7 +269,22 @@ impl ShardWorker {
         }
         self.metrics.peak_batch.raise(live.len() as u64);
 
-        let requests: Vec<AdmissionRequest> = live
+        // Plan-cache pass: resolve repeat shapes from memoized plans
+        // (re-validated against the live ledger); only the remainder pays
+        // for a solver round. With the cache off, this is the identity.
+        let cache = self.plan_cache.clone();
+        let (to_solve, keys, mut leads) = match cache.as_deref() {
+            Some(cache) => self.cache_pass(cache, live),
+            None => {
+                let n = live.len();
+                (live, vec![None; n], Vec::new())
+            }
+        };
+        if to_solve.is_empty() {
+            return true; // every request was answered from cache
+        }
+
+        let requests: Vec<AdmissionRequest> = to_solve
             .iter()
             .map(|r| AdmissionRequest { task: r.task.clone(), options: r.options.clone() })
             .collect();
@@ -255,15 +294,38 @@ impl ShardWorker {
             Ok(outcome) => {
                 self.metrics.round_time.record(solve_start.elapsed());
                 self.metrics.solver_rounds.inc();
+                let mean_ms = self.metrics.round_time.snapshot().mean().as_secs_f64() * 1e3;
+                self.metrics.solver_round_ms.set(mean_ms.round() as u64);
                 debug_assert!(outcome.accounts_for(submitted), "round lost a verdict");
+                // The round's admits all landed inside `submit`, so one
+                // bump here lets the rejections minted below carry the
+                // post-round ledger stamp.
+                if !outcome.admitted.is_empty() {
+                    self.ledger += 1;
+                }
                 // Both outcome lists preserve request order, so a single
                 // forward scan pairs verdicts with requests even if a
                 // caller submitted duplicate task ids in one batch.
                 let mut admitted = outcome.admitted.into_iter().peekable();
                 let mut rejected = outcome.rejected.into_iter().peekable();
-                for req in live {
+                for (i, req) in to_solve.into_iter().enumerate() {
+                    let plan;
                     if admitted.peek().is_some_and(|a| a.task.id == req.task.id) {
                         let grant = admitted.next().expect("peeked");
+                        // Only the unconstrained optimum is worth
+                        // memoizing: a full admission's sizing depends on
+                        // the shape alone, so a validated replay matches
+                        // what a fresh solve would grant. A partial grant
+                        // is shaped by the residual headroom at solve
+                        // time — replaying it later would hand out a
+                        // stale fraction — so it is never cached.
+                        plan = (grant.admission >= 1.0 - 1e-9)
+                            .then(|| {
+                                req.options.iter().position(|o| o == &grant.option).map(|option| {
+                                    CachedPlan::Admit { option, admission: grant.admission, rbs: grant.rbs }
+                                })
+                            })
+                            .flatten();
                         self.resolve(
                             req,
                             Outcome::Admitted {
@@ -275,22 +337,164 @@ impl ShardWorker {
                     } else {
                         debug_assert!(rejected.peek() == Some(&req.task.id), "verdict misaligned");
                         rejected.next();
+                        plan = Some(CachedPlan::Infeasible { ledger: self.ledger_stamp() });
                         self.resolve(req, Outcome::Rejected { shard: self.shard });
+                    }
+                    // Publish the solved plan: through the flight (fans
+                    // out to waiters) if this request led one, else a
+                    // plain insert.
+                    if let (Some(cache), Some(Some(key))) = (cache.as_deref(), keys.get(i)) {
+                        if let Some(plan) = plan {
+                            let negative = plan.is_negative();
+                            match leads.get_mut(i).and_then(Option::take) {
+                                Some(leader) => leader.complete(plan, negative),
+                                None => cache.insert(*key, plan, negative),
+                            }
+                        }
                     }
                 }
             }
             Err(e) => {
                 // A malformed round (e.g. an option naming an unknown
                 // block) admits nothing; every caller still gets a
-                // verdict.
+                // verdict. Solver errors are not cached as infeasible —
+                // dropping the flight leaders aborts their flights so
+                // waiters fall back to their own solve.
                 self.metrics.solver_errors.inc();
                 event!(Severity::Warn, "serve.shard", "shard {} solver round failed: {e}", self.shard);
-                for req in live {
+                leads.clear();
+                for req in to_solve {
                     self.resolve(req, Outcome::Rejected { shard: self.shard });
                 }
             }
         }
         true
+    }
+
+    /// Splits `live` into cache-resolved requests (answered in place) and
+    /// the remainder that needs a solver round. Returns the remainder
+    /// plus, aligned by index, the cache key to publish each solved plan
+    /// under (`None` = don't publish: cache off, or a duplicate shape
+    /// already being solved in this batch) and the single-flight
+    /// leadership token if this request owns the solve for its key.
+    fn cache_pass<'c>(
+        &mut self,
+        cache: &'c PlanCache<CachedPlan>,
+        live: Vec<ServiceRequest>,
+    ) -> CachePass<'c> {
+        let generation = self.metrics.generation.get();
+        let bucket = budget_bucket(&self.controller.snapshot().headroom, &self.budgets);
+        let mut to_solve = Vec::new();
+        let mut keys: Vec<Option<PlanKey>> = Vec::new();
+        let mut leads: Vec<Option<FlightLeader<'c, CachedPlan>>> = Vec::new();
+        for req in live {
+            let key = PlanKey { shape: shape_fingerprint(&req.task, &req.options), bucket, generation };
+            if let Some(cached) = cache.lookup(&key) {
+                match self.apply_cached(cache, &key, cached.value, req) {
+                    None => continue, // resolved from cache
+                    Some(req) => {
+                        // Validation failed: solve fresh and re-publish.
+                        to_solve.push(req);
+                        keys.push(Some(key));
+                        leads.push(None);
+                        continue;
+                    }
+                }
+            }
+            // Batch-local dedup: if an earlier request in this batch
+            // already solves this key, just ride the same round.
+            if keys.contains(&Some(key)) {
+                to_solve.push(req);
+                keys.push(None);
+                leads.push(None);
+                continue;
+            }
+            // Cross-shard single-flight: lead the solve or briefly wait
+            // for another shard's in-flight one.
+            match cache.begin_flight(key) {
+                FlightAttempt::Leader(leader) => {
+                    to_solve.push(req);
+                    keys.push(Some(key));
+                    leads.push(Some(leader));
+                }
+                FlightAttempt::Follower(follower) => {
+                    match follower.wait(cache.config().flight_wait) {
+                        Some(cached) => {
+                            if let Some(req) = self.apply_cached(cache, &key, cached.value, req) {
+                                to_solve.push(req);
+                                keys.push(Some(key));
+                                leads.push(None);
+                            }
+                        }
+                        None => {
+                            // Leader aborted or too slow: solve locally.
+                            to_solve.push(req);
+                            keys.push(Some(key));
+                            leads.push(None);
+                        }
+                    }
+                }
+            }
+        }
+        (to_solve, keys, leads)
+    }
+
+    /// The value stamped into negative cache entries: shard id folded
+    /// into the high bits so an entry minted by one shard never replays
+    /// on another (each shard rejects against its own budget partition),
+    /// plus the mutation counter so any ledger movement retires it.
+    fn ledger_stamp(&self) -> u64 {
+        ((self.shard as u64) << 48) | (self.ledger & ((1 << 48) - 1))
+    }
+
+    /// Applies a memoized plan to one request: a negative entry rejects
+    /// immediately iff its ledger stamp still matches (nothing moved
+    /// since the solver said no, so a fresh solve would say no again); an
+    /// admit plan is re-validated against the live ledger and activates
+    /// exactly as a cold solve would. Returns the request back when
+    /// either check fails (the entry is dropped and the caller falls
+    /// through to a fresh solve).
+    fn apply_cached(
+        &mut self,
+        cache: &PlanCache<CachedPlan>,
+        key: &PlanKey,
+        plan: CachedPlan,
+        req: ServiceRequest,
+    ) -> Option<ServiceRequest> {
+        match plan {
+            CachedPlan::Infeasible { ledger } => {
+                if ledger == self.ledger_stamp() {
+                    self.resolve(req, Outcome::Rejected { shard: self.shard });
+                    None
+                } else {
+                    // The ledger moved (or another shard minted this):
+                    // capacity may have freed up, so the rejection can no
+                    // longer be replayed verbatim.
+                    cache.note_validation_failure(key);
+                    Some(req)
+                }
+            }
+            CachedPlan::Admit { option, admission, rbs } => {
+                match self.controller.try_apply_plan(req.task.clone(), &req.options, option, admission, rbs) {
+                    Some(grant) => {
+                        self.ledger += 1;
+                        self.resolve(
+                            req,
+                            Outcome::Admitted {
+                                admission: grant.admission,
+                                rbs: grant.rbs,
+                                shard: self.shard,
+                            },
+                        );
+                        None
+                    }
+                    None => {
+                        cache.note_validation_failure(key);
+                        Some(req)
+                    }
+                }
+            }
+        }
     }
 
     /// Delivers a verdict: bumps the matching counter, records latency

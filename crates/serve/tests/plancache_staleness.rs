@@ -1,0 +1,251 @@
+//! Staleness harness: every event that can make a memoized plan wrong —
+//! TTL expiry (positive and the shorter negative TTL), capacity
+//! eviction, reshard/repartition generation bumps, and chaos-healed
+//! respawns — must force the serving stack back to a fresh solve. Each
+//! test drives the real `Service` (sequential submit → wait, so counter
+//! reads are race-free) and asserts on the plan-cache statistics plus
+//! the solver-round counter.
+
+use offloadnn_core::scenario::{small_scenario, Scenario};
+use offloadnn_core::task::{Task, TaskId};
+use offloadnn_plancache::{PlanCacheConfig, PlanCacheStats};
+use offloadnn_serve::{ChaosConfig, Outcome, Service, ServiceConfig};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+fn config(shards: usize, plan_cache: PlanCacheConfig) -> ServiceConfig {
+    ServiceConfig {
+        shards,
+        batch_max: 1,
+        batch_window: Duration::from_micros(50),
+        queue_capacity: 256,
+        shed_watermark: 256,
+        admission_deadline: Duration::from_secs(30),
+        plan_cache: Some(plan_cache),
+        ..ServiceConfig::default()
+    }
+}
+
+/// A shape the solver always rejects: the request rate is inflated until
+/// the compute cost of admitting any fraction exceeds its utility.
+/// Rejections leave the ledger untouched, so repeat submissions replay
+/// the negative entry deterministically.
+fn infeasible_task(scenario: &Scenario, id: u32, variant: u64) -> Task {
+    let mut task = scenario.instance.tasks[0].clone();
+    task.id = TaskId(id);
+    task.request_rate *= 1.0e6 + variant as f64;
+    task
+}
+
+fn submit_wait(service: &Service, task: Task, proto: usize, scenario: &Scenario) -> Outcome {
+    service
+        .submit(task, scenario.instance.options[proto].clone())
+        .expect("not draining")
+        .wait()
+        .expect("worker resolves everything")
+}
+
+fn stats(service: &Service) -> PlanCacheStats {
+    service.plan_cache_stats().expect("plan cache configured")
+}
+
+#[test]
+fn positive_ttl_expiry_forces_a_fresh_solve() {
+    let scenario = small_scenario(3);
+    let pc = PlanCacheConfig {
+        ttl: Duration::from_millis(300),
+        negative_ttl: Duration::from_millis(40),
+        ..PlanCacheConfig::default()
+    };
+    let service = Service::start(config(1, pc), &scenario.instance).expect("service start");
+
+    // Warm: one repeated shape against a slack ledger replays its plan.
+    let mut active: VecDeque<TaskId> = VecDeque::new();
+    for i in 0..20u32 {
+        let mut task = scenario.instance.tasks[0].clone();
+        task.id = TaskId(i);
+        if submit_wait(&service, task, 0, &scenario).is_admitted() {
+            active.push_back(TaskId(i));
+        }
+        while active.len() > 4 {
+            service.depart(active.pop_front().expect("non-empty"));
+        }
+    }
+    let warm = stats(&service);
+    assert!(warm.hits > 0, "warm phase never hit: {warm:?}");
+
+    // Sit out the TTL; the resident plan must now be discarded and the
+    // next request for the shape must pay for a solver round again.
+    std::thread::sleep(Duration::from_millis(400));
+    let rounds_before = service.metrics().solver_rounds;
+    let mut task = scenario.instance.tasks[0].clone();
+    task.id = TaskId(1000);
+    submit_wait(&service, task, 0, &scenario);
+    let after = stats(&service);
+    assert!(after.expirations > warm.expirations, "TTL never expired the entry: {warm:?} -> {after:?}");
+    assert!(service.metrics().solver_rounds > rounds_before, "expiry did not re-solve");
+    assert!(service.drain().metrics.is_conserved());
+}
+
+#[test]
+fn negative_ttl_expires_rejections_sooner_than_plans() {
+    let scenario = small_scenario(3);
+    let pc = PlanCacheConfig {
+        ttl: Duration::from_millis(300),
+        negative_ttl: Duration::from_millis(40),
+        ..PlanCacheConfig::default()
+    };
+    let service = Service::start(config(1, pc), &scenario.instance).expect("service start");
+
+    // One admitted shape (minted under the long TTL), then a rejected
+    // one (minted under the short negative TTL).
+    let mut task = scenario.instance.tasks[0].clone();
+    task.id = TaskId(0);
+    assert!(submit_wait(&service, task, 0, &scenario).is_admitted());
+    assert!(!submit_wait(&service, infeasible_task(&scenario, 1, 0), 0, &scenario).is_admitted());
+
+    // An immediate repeat replays the rejection (the ledger has not
+    // moved since the rejection was minted).
+    assert!(!submit_wait(&service, infeasible_task(&scenario, 2, 0), 0, &scenario).is_admitted());
+    let mid = stats(&service);
+    assert!(mid.negative_hits > 0, "rejection was not replayed: {mid:?}");
+
+    // Wait past the negative TTL but well inside the positive one.
+    std::thread::sleep(Duration::from_millis(80));
+    assert!(!submit_wait(&service, infeasible_task(&scenario, 3, 0), 0, &scenario).is_admitted());
+    let late = stats(&service);
+    assert!(late.expirations > mid.expirations, "negative entry outlived its TTL: {mid:?} -> {late:?}");
+
+    // The positive plan from the same window is still alive and replays.
+    let mut task = scenario.instance.tasks[0].clone();
+    task.id = TaskId(4);
+    submit_wait(&service, task, 0, &scenario);
+    let end = stats(&service);
+    assert!(end.hits > mid.hits, "positive entry should have survived the short sleep: {end:?}");
+    assert!(service.drain().metrics.is_conserved());
+}
+
+#[test]
+fn eviction_under_capacity_pressure_forces_fresh_solves() {
+    let scenario = small_scenario(3);
+    let pc = PlanCacheConfig { capacity: 4, shards: 1, ..PlanCacheConfig::default() };
+    let service = Service::start(config(1, pc), &scenario.instance).expect("service start");
+
+    // Twelve distinct always-rejected shapes through a 4-slot cache:
+    // the early entries must be evicted.
+    for k in 0..12u32 {
+        assert!(!submit_wait(&service, infeasible_task(&scenario, k, k as u64), 0, &scenario).is_admitted());
+    }
+    let filled = stats(&service);
+    assert!(filled.evictions > 0, "12 inserts through 4 slots evicted nothing: {filled:?}");
+
+    // The first shape is long evicted: resubmitting it is a miss and a
+    // fresh solve, not a replay.
+    let rounds_before = service.metrics().solver_rounds;
+    assert!(!submit_wait(&service, infeasible_task(&scenario, 100, 0), 0, &scenario).is_admitted());
+    let after = stats(&service);
+    assert_eq!(
+        after.hits + after.negative_hits,
+        filled.hits + filled.negative_hits,
+        "an evicted entry must not hit: {filled:?} -> {after:?}"
+    );
+    assert!(after.misses > filled.misses);
+    assert!(service.metrics().solver_rounds > rounds_before);
+    assert!(service.drain().metrics.is_conserved());
+}
+
+#[test]
+fn reshard_and_repartition_force_fresh_solves() {
+    let scenario = small_scenario(3);
+    let service = Service::start(config(2, PlanCacheConfig::default()), &scenario.instance).expect("start");
+
+    // Warm a negative entry and confirm it replays. The ids are pinned
+    // to one shard: a rejection stamped by one shard's ledger never
+    // replays on the other (each shard rejects against its own budget
+    // partition), so cross-shard ids would re-solve instead of hitting.
+    let router = service.router();
+    let pinned: Vec<u32> = (0..200u32).filter(|&id| router.route(TaskId(id)) == 0).take(4).collect();
+    assert!(pinned.len() >= 3, "ring mapped fewer than 3 of 200 ids to shard 0");
+    for &id in &pinned {
+        assert!(!submit_wait(&service, infeasible_task(&scenario, id, 0), 0, &scenario).is_admitted());
+    }
+    let warm = stats(&service);
+    assert!(warm.negative_hits > 0, "warm phase never replayed: {warm:?}");
+
+    // Scale out: the ring generation changes (and the epoch is bumped),
+    // so the warmed shape must be solved fresh under its new key.
+    service.scale_to(3).expect("scale out");
+    let rounds_before = service.metrics().solver_rounds;
+    assert!(!submit_wait(&service, infeasible_task(&scenario, 100, 0), 0, &scenario).is_admitted());
+    let after_out = stats(&service);
+    assert_eq!(
+        after_out.hits + after_out.negative_hits,
+        warm.hits + warm.negative_hits,
+        "a reshard must not leave replayable entries: {warm:?} -> {after_out:?}"
+    );
+    assert!(after_out.misses > warm.misses);
+    assert!(service.metrics().solver_rounds > rounds_before, "reshard did not re-solve");
+
+    // Scale back in: a repartition to fewer, larger budget slices —
+    // again no replay of anything minted before.
+    service.scale_to(1).expect("scale in");
+    let before_in = stats(&service);
+    assert!(!submit_wait(&service, infeasible_task(&scenario, 101, 0), 0, &scenario).is_admitted());
+    let after_in = stats(&service);
+    assert_eq!(
+        after_in.hits + after_in.negative_hits,
+        before_in.hits + before_in.negative_hits,
+        "a repartition must not leave replayable entries: {before_in:?} -> {after_in:?}"
+    );
+    assert!(service.drain().metrics.is_conserved());
+}
+
+#[test]
+fn chaos_heal_forces_fresh_solves() {
+    let scenario = small_scenario(3);
+    let mut cfg = config(2, PlanCacheConfig::default());
+    cfg.chaos = ChaosConfig { panic_shard_at_round: Some((1, 3)), slow_solver: Duration::ZERO };
+    let service = Service::start(cfg, &scenario.instance).expect("service start");
+
+    // Drive traffic until shard 1 panics (its stranded tickets resolve
+    // `None`; everything else resolves normally).
+    let mut lost = 0u64;
+    for i in 0..200u32 {
+        let proto = i as usize % scenario.instance.tasks.len();
+        let mut task = scenario.instance.tasks[proto].clone();
+        task.id = TaskId(i);
+        let ticket = service.submit(task, scenario.instance.options[proto].clone()).expect("not draining");
+        if ticket.wait().is_none() {
+            lost += 1;
+        }
+    }
+    assert!(lost > 0, "chaos round was never reached");
+
+    // Heal: a topology change respawns the dead worker (a same-count
+    // scale_to is a no-op), bumps the generation and the cache epoch —
+    // nothing minted before the panic may replay afterwards.
+    service.scale_to(3).expect("heal");
+    let healed = stats(&service);
+    let rounds_before = service.metrics().solver_rounds;
+    // Two post-heal submissions of one never-seen shape, pinned to the
+    // same shard of the new ring: the first must pay for a fresh solve,
+    // the second replays the freshly minted rejection — proving the
+    // cache works again after the respawn.
+    let router = service.router();
+    let pinned: Vec<u32> = (10_000..10_200u32)
+        .filter(|&id| router.route(TaskId(id)) == router.route(TaskId(10_000)))
+        .take(2)
+        .collect();
+    assert_eq!(pinned.len(), 2);
+    for &id in &pinned {
+        assert!(!submit_wait(&service, infeasible_task(&scenario, id, 0), 0, &scenario).is_admitted());
+    }
+    let after = stats(&service);
+    assert!(service.metrics().solver_rounds > rounds_before, "post-heal solve did not happen");
+    assert!(
+        after.negative_hits > healed.negative_hits,
+        "post-heal entries must be replayable again: {healed:?} -> {after:?}"
+    );
+    let drain = service.drain();
+    assert_eq!(drain.lost_shards, 0, "heal already replaced the dead worker");
+}

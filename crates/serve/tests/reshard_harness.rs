@@ -49,6 +49,7 @@ fn harness_config(shards: usize) -> ServiceConfig {
         shed_watermark: 4096,
         virtual_nodes: 64,
         chaos: ChaosConfig::default(),
+        plan_cache: None,
     }
 }
 

@@ -44,6 +44,7 @@ fn run_randomized(shape: Shape) -> LoadgenReport {
         shed_watermark: shape.shed_watermark,
         virtual_nodes: 16,
         chaos: Default::default(),
+        plan_cache: None,
     };
     let cfg = LoadgenConfig {
         requests: shape.requests,
@@ -51,6 +52,7 @@ fn run_randomized(shape: Shape) -> LoadgenReport {
         seed: shape.seed,
         max_active: shape.max_active,
         time_scale: 0.0,
+        ..LoadgenConfig::default()
     };
     let scenario = small_scenario(5);
     loadgen::run(service_config, cfg, &scenario.instance)

@@ -15,6 +15,11 @@
 //! * [`gateway`] — the multi-node offloading tier: health-checked
 //!   weighted-rendezvous routing over a pool of serve nodes, with
 //!   automatic failover and deadline-aware hedged requests.
+//! * [`plancache`] — the shared admission plan cache: canonical
+//!   task-shape fingerprints, sharded CLOCK eviction, per-entry TTL
+//!   (shorter for negative entries), epoch invalidation on topology
+//!   changes and single-flight solver dedup; wired into the serve
+//!   shards and the gateway affinity tier.
 //! * [`telemetry`] — zero-dependency instrumentation: lock-free
 //!   counters/gauges, phase span histograms, ring-buffer event log and
 //!   JSONL/table exporters (compile out with the `telemetry-disabled`
@@ -39,6 +44,7 @@ pub use offloadnn_dnn as dnn;
 pub use offloadnn_emu as emu;
 pub use offloadnn_gateway as gateway;
 pub use offloadnn_net as net;
+pub use offloadnn_plancache as plancache;
 pub use offloadnn_profiler as profiler;
 pub use offloadnn_radio as radio;
 pub use offloadnn_semoran as semoran;
