@@ -59,6 +59,16 @@ echo "==> gateway gate: hedged requests through the reactor frontend"
 timeout 300 cargo run -q --release -p offloadnn-gateway --bin gateway_loadgen -- \
     --frontend reactor --nodes 2 --requests 2000 --hedge --deadline-ms 40 >/dev/null
 
+echo "==> discovery gate: deterministic membership-churn harness on fixed + random seeds"
+for seed in 42 31337 "$(awk 'BEGIN{srand();print int(rand()*65536)}')"; do
+    echo "    DISCOVERY_SEED=$seed"
+    DISCOVERY_SEED="$seed" timeout 300 cargo test -q -p offloadnn-gateway --test discovery_harness
+done
+
+echo "==> discovery gate: live hot-join + graceful leave under load"
+timeout 300 cargo run -q --release -p offloadnn-gateway --bin gateway_loadgen -- \
+    --nodes 2 --requests 3000 --clients 4 --join-node-at 600 --leave-node-at 1800 >/dev/null
+
 echo "==> plancache gate: cached-equals-fresh equivalence on fixed + random seeds"
 for seed in "$(awk 'BEGIN{srand();print int(rand()*65536)}')"; do
     echo "    PLANCACHE_SEED=$seed (plus the baked-in fixed seeds)"
@@ -81,6 +91,7 @@ cargo test -q --features telemetry-disabled
 timeout 300 cargo test -q -p offloadnn-serve --test reshard_telemetry --features offloadnn-telemetry/disabled
 timeout 300 cargo test -q -p offloadnn-net --test net_telemetry --features offloadnn-telemetry/disabled
 timeout 300 cargo test -q -p offloadnn-gateway --test gateway_telemetry --features offloadnn-telemetry/disabled
+timeout 300 cargo test -q -p offloadnn-gateway --test discovery_harness --features offloadnn-telemetry/disabled
 timeout 300 cargo test -q -p offloadnn-plancache --features offloadnn-telemetry/disabled
 
 echo "==> cargo bench smoke (criterion --test mode)"

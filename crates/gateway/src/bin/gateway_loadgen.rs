@@ -5,7 +5,11 @@
 //! the selected TCP frontend ([`AnyServer::start_with_backend`]), and
 //! drives it with a fleet of [`Client`] connections pipelining
 //! admission submits. Optionally kills one backend node mid-run so the
-//! gateway's ejection + failover path carries live traffic.
+//! gateway's ejection + failover path carries live traffic, hot-joins a
+//! brand-new node over the wire (`--join-node-at`, a v3 Announce frame
+//! followed by probation), or gracefully departs a node
+//! (`--leave-node-at`, a v3 Leave frame) while its in-flight verdicts
+//! drain.
 //!
 //! The run is conservation-gated: every offered request must resolve
 //! exactly once at the wire, the gateway's own ledger must balance,
@@ -15,6 +19,8 @@
 //! ```text
 //! cargo run --release -p offloadnn-gateway --bin gateway_loadgen -- \
 //!     --nodes 3 --requests 3000 --kill-node-at 1200
+//! cargo run --release -p offloadnn-gateway --bin gateway_loadgen -- \
+//!     --nodes 2 --requests 3000 --join-node-at 600 --leave-node-at 1800
 //! ```
 
 use offloadnn_core::scenario::small_scenario;
@@ -53,6 +59,16 @@ OPTIONS (all optional; defaults in brackets):
                       submits have been offered across all
                       clients (0 = never)                   [0]
   --kill-node IDX     which node --kill-node-at shuts down  [1]
+  --join-node-at N    hot-join one extra backend node once N
+                      submits have been offered: it starts,
+                      announces itself over the wire (v3
+                      Announce frame) and serves traffic
+                      after probation (0 = never)           [0]
+  --leave-node-at N   gracefully leave one backend node once
+                      N submits have been offered (a v3
+                      Leave frame; the server stays up to
+                      flush in-flight verdicts) (0 = never) [0]
+  --leave-node IDX    which node --leave-node-at departs    [0]
   --hedge             enable deadline-aware hedging         [off]
   --shape-skew S      Zipf exponent of the task-shape mix;
                       0 keeps the uniform prototype draw    [0]
@@ -75,6 +91,9 @@ struct Args {
     max_active: usize,
     kill_node_at: u64,
     kill_node: usize,
+    join_node_at: u64,
+    leave_node_at: u64,
+    leave_node: usize,
     hedge: bool,
     shape_skew: f64,
     shape_pool: usize,
@@ -96,6 +115,9 @@ impl Default for Args {
             max_active: 64,
             kill_node_at: 0,
             kill_node: 1,
+            join_node_at: 0,
+            leave_node_at: 0,
+            leave_node: 0,
             hedge: false,
             shape_skew: 0.0,
             shape_pool: 64,
@@ -135,6 +157,9 @@ fn parse_args() -> Result<Args, String> {
             "--max-active" => args.max_active = value.parse().map_err(|e| bad(&e))?,
             "--kill-node-at" => args.kill_node_at = value.parse().map_err(|e| bad(&e))?,
             "--kill-node" => args.kill_node = value.parse().map_err(|e| bad(&e))?,
+            "--join-node-at" => args.join_node_at = value.parse().map_err(|e| bad(&e))?,
+            "--leave-node-at" => args.leave_node_at = value.parse().map_err(|e| bad(&e))?,
+            "--leave-node" => args.leave_node = value.parse().map_err(|e| bad(&e))?,
             "--shape-skew" => args.shape_skew = value.parse().map_err(|e| bad(&e))?,
             "--shape-pool" => args.shape_pool = value.parse().map_err(|e| bad(&e))?,
             "--seed" => args.seed = value.parse().map_err(|e| bad(&e))?,
@@ -156,6 +181,17 @@ fn parse_args() -> Result<Args, String> {
         }
         if args.kill_node >= args.nodes {
             return Err("--kill-node index out of range".into());
+        }
+    }
+    if args.leave_node_at > 0 {
+        if args.nodes < 2 && args.join_node_at == 0 {
+            return Err("--leave-node-at needs at least 2 nodes (someone must survive)".into());
+        }
+        if args.leave_node >= args.nodes {
+            return Err("--leave-node index out of range".into());
+        }
+        if args.kill_node_at > 0 && args.leave_node == args.kill_node {
+            return Err("--leave-node and --kill-node must differ".into());
         }
     }
     Ok(args)
@@ -363,6 +399,12 @@ fn main() -> ExitCode {
             String::new()
         },
     );
+    if args.join_node_at > 0 {
+        println!("discovery: hot-joining one node at {} offered", args.join_node_at);
+    }
+    if args.leave_node_at > 0 {
+        println!("discovery: node {} leaves gracefully at {} offered", args.leave_node, args.leave_node_at);
+    }
     if args.shape_skew > 0.0 {
         println!(
             "shapes: Zipf skew {:.2} over a pool of {} deterministic shapes (gateway cache {})",
@@ -378,6 +420,7 @@ fn main() -> ExitCode {
     let (mut tally, mut departed) = (Tally::default(), 0u64);
     let offered = AtomicU64::new(0);
     let mut node_reports = Vec::new();
+    let mut joined_server = None;
     std::thread::scope(|scope| {
         // The killer waits for the offered threshold, then shuts the
         // victim down with tickets still in flight — the gateway must
@@ -393,6 +436,53 @@ fn main() -> ExitCode {
                 let report = server.shutdown();
                 println!("killed node {} at {} offered", args.kill_node, at);
                 report
+            })
+        });
+        // The joiner starts a brand-new backend node mid-run and
+        // announces it to the gateway *over the wire* — the v3 Announce
+        // frame travels through the TCP frontend, the node sits out its
+        // probation, and only then starts absorbing traffic.
+        let joiner = (args.join_node_at > 0).then(|| {
+            let (offered, scenario) = (&offered, &scenario);
+            scope.spawn(move || {
+                while offered.load(Ordering::Relaxed) < args.join_node_at {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let server = NetServer::start(
+                    ("127.0.0.1", 0),
+                    NetConfig::default(),
+                    service_config,
+                    &scenario.instance,
+                )
+                .expect("start hot-join node");
+                let at = offered.load(Ordering::Relaxed);
+                let ack = server.announce_to(addr).expect("announce over the wire");
+                println!(
+                    "joined node {} at {at} offered: {:?} ({} members known)",
+                    server.local_addr(),
+                    ack.decision,
+                    ack.members.len()
+                );
+                server
+            })
+        });
+        // The leaver sends a graceful Leave frame for one seed node but
+        // keeps its server running: the gateway must stop routing new
+        // work to it while in-flight tickets fail over or finish.
+        let leaver = (args.leave_node_at > 0).then(|| {
+            let offered = &offered;
+            let leave_addr = node_addrs[args.leave_node];
+            scope.spawn(move || {
+                while offered.load(Ordering::Relaxed) < args.leave_node_at {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let at = offered.load(Ordering::Relaxed);
+                let client = Client::connect(addr, ClientConfig::default()).expect("leave client");
+                let resp = client
+                    .leave(&leave_addr.to_string(), u64::MAX, Duration::from_secs(5))
+                    .expect("leave rpc");
+                client.close();
+                println!("node {} left at {at} offered: {:?}", args.leave_node, resp.decision);
             })
         });
         let handles: Vec<_> = (0..args.clients)
@@ -411,6 +501,12 @@ fn main() -> ExitCode {
         if let Some(k) = killer {
             node_reports.push((args.kill_node, k.join().expect("killer thread"), true));
         }
+        if let Some(l) = leaver {
+            l.join().expect("leaver thread");
+        }
+        if let Some(j) = joiner {
+            joined_server = Some(j.join().expect("joiner thread"));
+        }
     });
     let wall = started.elapsed();
 
@@ -422,6 +518,9 @@ fn main() -> ExitCode {
         if let Some(server) = node.lock().expect("node lock").take() {
             node_reports.push((idx, server.shutdown(), false));
         }
+    }
+    if let Some(server) = joined_server {
+        node_reports.push((args.nodes, server.shutdown(), false));
     }
     node_reports.sort_by_key(|(idx, _, _)| *idx);
     let submit_rate = args.requests as f64 / wall.as_secs_f64().max(1e-9);

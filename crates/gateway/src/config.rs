@@ -34,6 +34,15 @@ pub struct GatewayConfig {
     pub eject_after: u32,
     /// How long an ejected node sits out before a probe may readmit it.
     pub probation: Duration,
+    /// Consecutive failed probes of an unhealthy (probing or ejected)
+    /// node after which the monitor starts backing off: past this count
+    /// the probe stride doubles per failure, so a long-dead node stops
+    /// costing a connect timeout every sweep.
+    pub probe_backoff_after: u32,
+    /// Cap on the probe-backoff stride, in monitor sweeps. A long-dead
+    /// node is still probed at least once per `probe_backoff_limit`
+    /// sweeps, bounding how stale its revival can go unnoticed.
+    pub probe_backoff_limit: u32,
     /// The gateway's own admission budget policy: submits carrying no
     /// client deadline get this budget, and client deadlines are
     /// tightened to at most this (mirroring the serve-side rule that a
@@ -72,6 +81,8 @@ impl Default for GatewayConfig {
             health_timeout: Duration::from_millis(500),
             eject_after: 3,
             probation: Duration::from_secs(2),
+            probe_backoff_after: 4,
+            probe_backoff_limit: 64,
             default_deadline: Duration::from_secs(5),
             verdict_grace: Duration::from_secs(5),
             retry_limit: 3,
@@ -97,6 +108,9 @@ impl GatewayConfig {
         }
         if self.eject_after == 0 {
             return Err(GatewayError::InvalidConfig("eject_after must be at least 1"));
+        }
+        if self.probe_backoff_limit == 0 {
+            return Err(GatewayError::InvalidConfig("probe_backoff_limit must be at least 1"));
         }
         if self.default_deadline.is_zero() {
             return Err(GatewayError::InvalidConfig("default_deadline must be positive"));
@@ -149,6 +163,8 @@ mod tests {
         assert_eq!(c.validate(), Err(GatewayError::InvalidConfig("eject_after must be at least 1")));
         let c = GatewayConfig { retry_limit: 0, ..GatewayConfig::default() };
         assert!(c.validate().is_err());
+        let c = GatewayConfig { probe_backoff_limit: 0, ..GatewayConfig::default() };
+        assert_eq!(c.validate(), Err(GatewayError::InvalidConfig("probe_backoff_limit must be at least 1")));
         let hedge = HedgeConfig { min_samples: 0, ..HedgeConfig::default() };
         let c = GatewayConfig { hedge, ..GatewayConfig::default() };
         assert!(c.validate().is_err());

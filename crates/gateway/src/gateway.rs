@@ -47,13 +47,15 @@
 use crate::config::{GatewayConfig, GatewayError};
 use crate::health;
 use crate::instruments::GwInstruments;
-use crate::node::Node;
+use crate::membership::{AnnounceOutcome, LeaveOutcome, Membership};
 use crate::router::{self, Candidate};
 use crossbeam::channel::{self, Receiver, Sender};
 use offloadnn_core::instance::PathOption;
 use offloadnn_core::task::{Task, TaskId};
 use offloadnn_net::codec::ErrorCode;
-use offloadnn_net::{Backend, NetError, PendingOutcome, PendingVerdict};
+use offloadnn_net::{
+    Backend, MemberInfo, MembershipAck, MembershipDecision, NetError, PendingOutcome, PendingVerdict,
+};
 use offloadnn_plancache::{shape_fingerprint, PlanCache, PlanCacheStats, PlanKey};
 use offloadnn_serve::{
     DrainReport, MetricsSnapshot, Outcome, ReshardReport, ServeError, ServiceMetrics, SubmitError,
@@ -82,7 +84,7 @@ pub(crate) enum GwPlan {
 
 /// State shared between the gateway handle, its tickets and its threads.
 pub(crate) struct GatewayInner {
-    pub(crate) nodes: Vec<Arc<Node>>,
+    pub(crate) membership: Membership,
     pub(crate) config: GatewayConfig,
     /// The gateway's own conservation ledger (one verdict per submit).
     pub(crate) metrics: ServiceMetrics,
@@ -100,31 +102,28 @@ pub(crate) struct GatewayInner {
 impl GatewayInner {
     /// Routable candidates: healthy nodes minus the `exclude`d indices.
     fn healthy_candidates(&self, exclude: &[usize]) -> Vec<Candidate> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(i, n)| !exclude.contains(i) && n.is_healthy())
-            .map(|(i, n)| n.candidate(i))
-            .collect()
+        self.membership.healthy_candidates(exclude)
     }
 
-    /// Publishes the `gw.nodes.healthy` gauge.
-    pub(crate) fn publish_healthy_gauge(&self) {
+    /// Publishes the `gw.nodes.healthy` and `gw.membership.size` gauges.
+    pub(crate) fn publish_membership_gauges(&self) {
         if let Some(ins) = &self.instruments {
-            ins.nodes_healthy.set(self.nodes.iter().filter(|n| n.is_healthy()).count() as u64);
+            ins.nodes_healthy.set(self.membership.healthy_count() as u64);
+            ins.membership_size.set(self.membership.len() as u64);
         }
     }
 
     /// Ejects a node from the data path (dropped connection or failed
     /// send — stronger evidence than a missed probe).
     fn eject_node(&self, index: usize, why: &NetError) {
-        if self.nodes[index].eject(self.config.probation) {
-            event!(Severity::Warn, "gw.failover", "ejected {}: {why}", self.nodes[index].addr);
+        let node = self.membership.node(index);
+        if node.eject(self.config.probation) {
+            event!(Severity::Warn, "gw.failover", "ejected {}: {why}", node.addr);
             // Affinity entries pointing at the dead node are now routing
             // lies; resident entries are dropped lazily via the epoch.
             self.invalidate_plans();
         }
-        self.publish_healthy_gauge();
+        self.publish_membership_gauges();
     }
 
     /// Bumps the plan-cache epoch after a pool change (ejection,
@@ -141,7 +140,7 @@ impl GatewayInner {
     /// the generation is the ring generation from the last reshard.
     fn plan_key(&self, task: &Task, options: &[PathOption]) -> Option<PlanKey> {
         self.plan_cache.as_ref()?;
-        let healthy = self.nodes.iter().filter(|n| n.is_healthy()).count();
+        let healthy = self.membership.healthy_count();
         Some(PlanKey {
             shape: shape_fingerprint(task, options),
             bucket: u16::try_from(healthy).unwrap_or(u16::MAX),
@@ -180,7 +179,7 @@ struct Loser {
 fn reap(inner: &GatewayInner, loser: &Loser) {
     let wait = loser.deadline.saturating_duration_since(Instant::now()) + Duration::from_millis(10);
     if let Some(Ok(Outcome::Admitted { .. })) = loser.pv.poll_wait(wait) {
-        if let Ok(client) = inner.nodes[loser.node].client(&inner.config.client) {
+        if let Ok(client) = inner.membership.node(loser.node).client(&inner.config.client) {
             let _ = client.depart(loser.task);
         }
     }
@@ -250,8 +249,10 @@ impl GwPending {
         // A cached affinity short-circuits the rendezvous pick once (the
         // node that admitted this shape most recently very likely still
         // can); on failover the router takes over as usual.
-        let preferred =
-            st.preferred.take().filter(|&p| !st.tried.contains(&p) && self.inner.nodes[p].is_healthy());
+        let preferred = st
+            .preferred
+            .take()
+            .filter(|&p| !st.tried.contains(&p) && self.inner.membership.node(p).is_healthy());
         let pick = preferred.or_else(|| {
             let _route = span!("gw.route");
             router::route(u64::from(st.task.id.0), &self.inner.healthy_candidates(&st.tried))
@@ -276,7 +277,7 @@ impl GwPending {
             st.attempts += 1;
         }
         let remaining = st.deadline.saturating_duration_since(now);
-        let node = &self.inner.nodes[index];
+        let node = self.inner.membership.node(index);
         match node
             .client(&self.inner.config.client)
             .and_then(|c| c.submit(st.task.clone(), st.options.clone(), Some(remaining)))
@@ -308,7 +309,7 @@ impl GwPending {
         let Some(primary) = &st.primary else {
             return false;
         };
-        let rtt = self.inner.nodes[primary.node].rtt.snapshot();
+        let rtt = self.inner.membership.node(primary.node).rtt.snapshot();
         if rtt.count < config.hedge.min_samples {
             return false;
         }
@@ -379,7 +380,7 @@ impl GwPending {
         let attempt = taken.expect("absorbed attempt must exist");
         match result {
             Ok(outcome) => {
-                self.inner.nodes[attempt.node].rtt.record(attempt.started.elapsed());
+                self.inner.membership.node(attempt.node).rtt.record(attempt.started.elapsed());
                 Some(self.settle(st, outcome, Some(&attempt)))
             }
             Err(err) => {
@@ -413,14 +414,15 @@ impl GwPending {
             }
             let now = Instant::now();
             // An attempt whose node has been ejected (by the health
-            // monitor or another ticket's failure) may never resolve —
-            // the connection could be half-dead. Abandon it to the
+            // monitor or another ticket's failure) or departed (graceful
+            // leave) may never resolve — the connection could be
+            // half-dead or the node on its way down. Abandon it to the
             // reaper (which departs it iff a verdict does surface as an
             // admission) and fail over with the remaining budget.
             for is_hedge in [false, true] {
                 let slot = if is_hedge { &mut st.hedge } else { &mut st.primary };
                 if let Some(attempt) = slot.take() {
-                    if self.inner.nodes[attempt.node].is_healthy() {
+                    if self.inner.membership.node(attempt.node).is_healthy() {
                         *slot = Some(attempt);
                     } else {
                         let reap_deadline = st.deadline + self.inner.config.verdict_grace;
@@ -559,12 +561,12 @@ impl Gateway {
         if addrs.is_empty() {
             return Err(GatewayError::NoNodes);
         }
-        let nodes: Vec<Arc<Node>> = addrs.iter().map(|a| Arc::new(Node::new(*a))).collect();
+        let membership = Membership::new(addrs);
         let (reaper_tx, reaper_rx) = channel::unbounded();
         let metrics = ServiceMetrics::new();
         let plan_cache = config.plan_cache.map(|pc| PlanCache::with_registry(pc, metrics.registry()));
         let inner = Arc::new(GatewayInner {
-            nodes,
+            membership,
             config,
             metrics,
             draining: AtomicBool::new(false),
@@ -573,7 +575,7 @@ impl Gateway {
             instruments: GwInstruments::new(),
             plan_cache,
         });
-        inner.publish_healthy_gauge();
+        inner.publish_membership_gauges();
         let (shutdown_tx, shutdown_rx) = channel::bounded::<()>(1);
         let monitor = {
             let inner = Arc::clone(&inner);
@@ -594,12 +596,74 @@ impl Gateway {
 
     /// Nodes currently eligible for routing.
     pub fn healthy_nodes(&self) -> usize {
-        self.inner.nodes.iter().filter(|n| n.is_healthy()).count()
+        self.inner.membership.healthy_count()
     }
 
-    /// The pool size (healthy or not).
+    /// The pool size including probing, ejected and departed members
+    /// (the pool is append-only; see [`crate::membership`]).
     pub fn pool_size(&self) -> usize {
-        self.inner.nodes.len()
+        self.inner.membership.len()
+    }
+
+    /// The cluster view as it travels in a membership frame.
+    pub fn members(&self) -> Vec<MemberInfo> {
+        self.inner.membership.members()
+    }
+
+    /// Monotonic membership change counter (bumped per applied
+    /// join/restart/leave).
+    pub fn membership_version(&self) -> u64 {
+        self.inner.membership.version()
+    }
+
+    /// Applies a node's announce (protocol v3 `Announce` frame, or
+    /// called directly in-process). A new address joins in `Probing` —
+    /// invisible to routing until a health probe succeeds; a strictly
+    /// newer incarnation of a known address re-enters `Probing`;
+    /// duplicates and stale incarnations are ignored. See
+    /// [`crate::membership`] for the ordering rules.
+    pub fn announce(&self, addr: SocketAddr, incarnation: u64) -> MembershipAck {
+        let outcome = self.inner.membership.announce(addr, incarnation);
+        let decision = match outcome {
+            AnnounceOutcome::Joined | AnnounceOutcome::Restarted => {
+                if let Some(ins) = &self.inner.instruments {
+                    ins.joins.inc();
+                }
+                event!(Severity::Info, "gw.membership", "announce {addr} inc {incarnation}: {outcome:?}");
+                MembershipDecision::Accepted
+            }
+            AnnounceOutcome::Duplicate => MembershipDecision::Duplicate,
+            AnnounceOutcome::Stale => MembershipDecision::Stale,
+        };
+        self.inner.publish_membership_gauges();
+        MembershipAck { decision, members: self.inner.membership.members() }
+    }
+
+    /// Applies a node's graceful leave (protocol v3 `Leave` frame, or
+    /// called directly in-process). The node departs iff the incarnation
+    /// is at least its registered stamp; in-flight tickets against it
+    /// fail over to survivors with their remaining deadline budget, and
+    /// a later replay of its old announce cannot resurrect it.
+    pub fn leave(&self, addr: SocketAddr, incarnation: u64) -> MembershipAck {
+        let before = self.inner.membership.version();
+        let outcome = self.inner.membership.leave(addr, incarnation);
+        let decision = match outcome {
+            LeaveOutcome::Departed => {
+                // Count (and invalidate plans) only on the first,
+                // applied leave — the version bumps exactly then.
+                if self.inner.membership.version() != before {
+                    if let Some(ins) = &self.inner.instruments {
+                        ins.leaves.inc();
+                    }
+                    self.inner.invalidate_plans();
+                    event!(Severity::Info, "gw.membership", "leave {addr} inc {incarnation}");
+                }
+                MembershipDecision::Accepted
+            }
+            LeaveOutcome::Stale | LeaveOutcome::Unknown => MembershipDecision::Stale,
+        };
+        self.inner.publish_membership_gauges();
+        MembershipAck { decision, members: self.inner.membership.members() }
     }
 
     /// Point-in-time snapshot of the gateway's own ledger.
@@ -711,7 +775,7 @@ impl Gateway {
     pub fn depart(&self, task: TaskId) {
         let node = self.inner.routes.lock().expect("routes lock poisoned").remove(&task);
         if let Some(index) = node {
-            if let Ok(client) = self.inner.nodes[index].client(&self.inner.config.client) {
+            if let Ok(client) = self.inner.membership.node(index).client(&self.inner.config.client) {
                 if client.depart(task).is_ok() {
                     self.inner.metrics.departed.inc();
                 }
@@ -737,7 +801,7 @@ impl Gateway {
         let target =
             u32::try_from(shards).map_err(|_| ServeError::InvalidConfig("scale target too large"))?;
         let mut report: Option<ReshardReport> = None;
-        for node in self.inner.nodes.iter().filter(|n| n.is_healthy()) {
+        for node in self.inner.membership.snapshot().iter().filter(|n| n.is_healthy()) {
             match node.client(&self.inner.config.client).and_then(|c| c.scale_to(target)) {
                 Ok(r) => {
                     let agg = report.get_or_insert(ReshardReport {
@@ -806,7 +870,7 @@ impl Gateway {
 impl std::fmt::Debug for Gateway {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Gateway")
-            .field("nodes", &self.inner.nodes)
+            .field("membership", &self.inner.membership)
             .field("draining", &self.is_draining())
             .finish_non_exhaustive()
     }
@@ -857,6 +921,14 @@ impl Backend for Gateway {
 
     fn scale_to(&self, shards: usize) -> Result<ReshardReport, ServeError> {
         Gateway::scale_to(self, shards)
+    }
+
+    fn announce(&self, addr: SocketAddr, incarnation: u64) -> MembershipAck {
+        Gateway::announce(self, addr, incarnation)
+    }
+
+    fn leave(&self, addr: SocketAddr, incarnation: u64) -> MembershipAck {
+        Gateway::leave(self, addr, incarnation)
     }
 
     fn drain(self) -> DrainReport {

@@ -1,13 +1,30 @@
-//! The health monitor: periodic Metrics-frame probes, ejection after K
-//! consecutive misses, probation-gated readmission, and weight updates.
+//! The health monitor: periodic Metrics-frame probes driving the node
+//! lifecycle state machine — ejection after K consecutive misses,
+//! probation-gated readmission, join-through-probation promotion of
+//! announced nodes, and weight updates.
 //!
-//! One thread sweeps the pool every `health_interval`. Healthy nodes are
-//! probed with [`offloadnn_net::Client::snapshot_timeout`] — a node that
-//! cannot answer a metrics request within `health_timeout` counts a
-//! miss; `eject_after` consecutive misses ejects it. Ejected nodes are
-//! left alone until their probation window elapses, then probed once: a
-//! success readmits them (weight reset from the fresh snapshot), a
-//! failure restarts probation.
+//! One thread sweeps the membership pool every `health_interval`. What a
+//! probe does depends on the node's state:
+//!
+//! * **Healthy** — probed every sweep with
+//!   [`offloadnn_net::Client::snapshot_timeout`]; a node that cannot
+//!   answer within `health_timeout` counts a miss, and `eject_after`
+//!   consecutive misses ejects it. A success refreshes the routing
+//!   weight (below).
+//! * **Probing** — a node that announced itself and has not yet proven
+//!   it answers. The first successful probe promotes it to `Healthy`
+//!   (and invalidates cached plans — the pool just grew); until then it
+//!   receives zero traffic.
+//! * **Ejected** — left alone until probation elapses, then probed: a
+//!   success readmits it, a failure restarts probation.
+//! * **Departed** — never probed; the node left.
+//!
+//! Probes of *unhealthy* (probing/ejected) nodes back off: after
+//! `probe_backoff_after` consecutive failures the probe stride doubles
+//! per failure, capped at `probe_backoff_limit` sweeps. Without this a
+//! node that announced and then died — or an ejected node that never
+//! comes back — costs the monitor a full connect timeout every sweep,
+//! forever, crowding out the probes that matter.
 //!
 //! A successful probe also refreshes the node's routing weight from the
 //! reported load and solver cost:
@@ -23,6 +40,7 @@
 use crate::gateway::GatewayInner;
 use crate::node::Node;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
+use offloadnn_net::MemberState;
 use offloadnn_serve::MetricsSnapshot;
 use offloadnn_telemetry::{event, Severity};
 use std::sync::Arc;
@@ -38,48 +56,78 @@ fn weight_from(snapshot: &MetricsSnapshot) -> f64 {
 /// Probes one node and applies the state machine transition.
 fn probe(inner: &GatewayInner, node: &Node) {
     let config = &inner.config;
-    if node.is_healthy() {
-        match node.client(&config.client).and_then(|c| c.snapshot_timeout(config.health_timeout)) {
-            Ok(snapshot) => {
-                node.note_probe_ok();
-                node.set_weight(weight_from(&snapshot));
-            }
-            Err(err) => {
-                // The connection (if any) is suspect either way.
-                node.drop_client();
-                if node.note_probe_miss(config.eject_after) && node.eject(config.probation) {
-                    event!(Severity::Warn, "gw.health", "ejected {}: {err}", node.addr);
+    match node.state() {
+        MemberState::Healthy => {
+            match node.client(&config.client).and_then(|c| c.snapshot_timeout(config.health_timeout)) {
+                Ok(snapshot) => {
+                    node.note_probe_ok();
+                    node.set_weight(weight_from(&snapshot));
+                }
+                Err(err) => {
+                    // The connection (if any) is suspect either way.
+                    node.drop_client();
+                    if node.note_probe_miss(config.eject_after) && node.eject(config.probation) {
+                        event!(Severity::Warn, "gw.health", "ejected {}: {err}", node.addr);
+                    }
                 }
             }
         }
-    } else if node.probation_over() {
-        match node.client(&config.client).and_then(|c| c.snapshot_timeout(config.health_timeout)) {
-            Ok(snapshot) => {
-                node.set_weight(weight_from(&snapshot));
-                node.readmit();
-                // Readmission restores capacity, so cached cluster-level
-                // rejections (and affinities picked while the node was
-                // out) are stale.
-                inner.invalidate_plans();
-                event!(Severity::Info, "gw.health", "readmitted {}", node.addr);
+        MemberState::Probing => {
+            if !node.probe_due() {
+                return;
             }
-            Err(_) => {
-                node.drop_client();
-                node.extend_probation(config.probation);
+            match node.client(&config.client).and_then(|c| c.snapshot_timeout(config.health_timeout)) {
+                Ok(snapshot) => {
+                    node.set_weight(weight_from(&snapshot));
+                    if node.promote() {
+                        // The pool just grew a routable node: cached
+                        // cluster-level rejections (and affinities picked
+                        // under the smaller pool) are stale.
+                        inner.invalidate_plans();
+                        event!(Severity::Info, "gw.health", "promoted {}", node.addr);
+                    }
+                }
+                Err(_) => {
+                    node.drop_client();
+                    node.note_probe_failed(config.probe_backoff_after, config.probe_backoff_limit);
+                }
             }
         }
+        MemberState::Ejected => {
+            if !node.probation_over() || !node.probe_due() {
+                return;
+            }
+            match node.client(&config.client).and_then(|c| c.snapshot_timeout(config.health_timeout)) {
+                Ok(snapshot) => {
+                    node.set_weight(weight_from(&snapshot));
+                    if node.readmit() {
+                        // Readmission restores capacity, so cached
+                        // cluster-level rejections (and affinities picked
+                        // while the node was out) are stale.
+                        inner.invalidate_plans();
+                        event!(Severity::Info, "gw.health", "readmitted {}", node.addr);
+                    }
+                }
+                Err(_) => {
+                    node.drop_client();
+                    node.extend_probation(config.probation);
+                    node.note_probe_failed(config.probe_backoff_after, config.probe_backoff_limit);
+                }
+            }
+        }
+        MemberState::Departed => {}
     }
 }
 
-/// The monitor thread body: sweep, publish the healthy-node gauge,
-/// sleep until the next tick or shutdown (the sender side of
-/// `shutdown_rx` is dropped by [`crate::Gateway`] drain).
+/// The monitor thread body: sweep a snapshot of the membership pool,
+/// publish the gauges, sleep until the next tick or shutdown (the sender
+/// side of `shutdown_rx` is dropped by [`crate::Gateway`] drain).
 pub(crate) fn monitor_loop(inner: &Arc<GatewayInner>, shutdown_rx: &Receiver<()>) {
     loop {
-        for node in &inner.nodes {
-            probe(inner, node);
+        for node in inner.membership.snapshot() {
+            probe(inner, &node);
         }
-        inner.publish_healthy_gauge();
+        inner.publish_membership_gauges();
         match shutdown_rx.recv_timeout(inner.config.health_interval) {
             Err(RecvTimeoutError::Timeout) => {}
             Ok(()) | Err(RecvTimeoutError::Disconnected) => return,

@@ -1,8 +1,12 @@
 //! Gateway telemetry handles.
 //!
-//! The cluster tier reports four instruments into the global registry:
+//! The cluster tier reports these instruments into the global registry:
 //!
 //! * `gw.nodes.healthy` — gauge of nodes currently eligible for routing;
+//! * `gw.membership.size` — gauge of the whole pool (probing, ejected
+//!   and departed members included);
+//! * `gw.joins` — accepted announces (new nodes and restarts);
+//! * `gw.leaves` — accepted graceful leaves;
 //! * `gw.failover` — tickets re-routed to a survivor after their node
 //!   failed mid-flight;
 //! * `gw.hedges` — duplicate submits launched by the deadline-aware
@@ -23,6 +27,12 @@ use std::sync::Arc;
 pub(crate) struct GwInstruments {
     /// Level gauge of nodes currently routable.
     pub nodes_healthy: Arc<Gauge>,
+    /// Level gauge of the whole membership pool.
+    pub membership_size: Arc<Gauge>,
+    /// Accepted announces (joins and restarts).
+    pub joins: Arc<Counter>,
+    /// Accepted graceful leaves.
+    pub leaves: Arc<Counter>,
     /// Tickets retried on a survivor after a node failure.
     pub failover: Arc<Counter>,
     /// Duplicate submits launched by the hedger.
@@ -41,6 +51,9 @@ impl GwInstruments {
         let registry = offloadnn_telemetry::global();
         Some(Self {
             nodes_healthy: registry.gauge("gw.nodes.healthy"),
+            membership_size: registry.gauge("gw.membership.size"),
+            joins: registry.counter("gw.joins"),
+            leaves: registry.counter("gw.leaves"),
             failover: registry.counter("gw.failover"),
             hedges: registry.counter("gw.hedges"),
             hedge_wins: registry.counter("gw.hedge_wins"),

@@ -3,13 +3,13 @@
 //! One `offloadnn-serve` node admits tasks against *its own* capacity.
 //! This crate scales the admission service out: a [`Gateway`] owns a
 //! pool of backend serve nodes (each an `offloadnn-net` endpoint
-//! speaking the v2 wire protocol) and presents the whole cluster as a
+//! speaking the v3 wire protocol) and presents the whole cluster as a
 //! single admission backend — including over the network, since
 //! [`Gateway`] implements [`offloadnn_net::Backend`] and therefore
 //! slots behind either TCP frontend via
 //! [`offloadnn_net::AnyServer::start_with_backend`].
 //!
-//! Four mechanisms, one per module:
+//! Five mechanisms, one per module:
 //!
 //! * **Routing** ([`router`]) — weighted rendezvous hashing. Each
 //!   submit's task id is scored against every healthy node
@@ -32,8 +32,19 @@
 //!   duplicated to the next-ranked node; the first verdict wins and the
 //!   loser is reaped (departed iff it was admitted), so no verdict is
 //!   double-counted and no backend capacity leaks.
+//! * **Discovery** ([`membership`]) — the pool is dynamic. A node
+//!   announces itself (protocol v3 `Announce` frame, or
+//!   [`Gateway::announce`] in-process) under a per-process incarnation
+//!   stamp and joins in `Probing`: visible in membership views, probed
+//!   by the monitor, but unroutable until a probe succeeds
+//!   (join-through-probation). A graceful [`Gateway::leave`] departs the
+//!   node — its in-flight tickets fail over with their remaining
+//!   deadline budget exactly as an ejection's do — and the incarnation
+//!   ordering guarantees a delayed replay of its old announce never
+//!   resurrects it.
 //!
-//! Telemetry: `gw.nodes.healthy` gauge, `gw.failover` / `gw.hedges` /
+//! Telemetry: `gw.nodes.healthy` / `gw.membership.size` gauges,
+//! `gw.joins` / `gw.leaves` / `gw.failover` / `gw.hedges` /
 //! `gw.hedge_wins` counters and the `gw.route` span histogram, all
 //! compiled out with the `offloadnn-telemetry/disabled` feature.
 //!
@@ -75,8 +86,10 @@ pub mod config;
 mod gateway;
 mod health;
 mod instruments;
+pub mod membership;
 mod node;
 pub mod router;
 
 pub use config::{GatewayConfig, GatewayError, HedgeConfig};
 pub use gateway::{Gateway, GwPending};
+pub use membership::{AnnounceOutcome, LeaveOutcome, Membership};

@@ -1,9 +1,11 @@
 //! Verifies the gateway instruments end to end: after real cluster
-//! traffic (including a node kill, so failover fires), the global
-//! registry holds the `gw.nodes.healthy` gauge, the `gw.failover` /
-//! `gw.hedges` / `gw.hedge_wins` counters and the `gw.route` span
-//! histogram — and under `--features offloadnn-telemetry/disabled` the
-//! same traffic flows with none of those names registered.
+//! traffic (including a node kill, so failover fires, plus a
+//! membership announce/leave round), the global registry holds the
+//! `gw.nodes.healthy` / `gw.membership.size` gauges, the
+//! `gw.failover` / `gw.hedges` / `gw.hedge_wins` / `gw.joins` /
+//! `gw.leaves` counters and the `gw.route` span histogram — and under
+//! `--features offloadnn-telemetry/disabled` the same traffic flows
+//! with none of those names registered.
 //!
 //! Run both ways (ci.sh does):
 //!   cargo test -p offloadnn-gateway --test gateway_telemetry
@@ -61,6 +63,20 @@ fn gateway_instruments_follow_the_telemetry_build() {
         submit(i);
     }
 
+    // One membership round: a ghost joiner (never probeable, so the
+    // healthy gauge is untouched) announces, replays its announce, then
+    // leaves twice. Exactly one join and one leave must count.
+    let ghost = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve a port");
+        let a = listener.local_addr().expect("listener addr");
+        drop(listener);
+        a
+    };
+    gateway.announce(ghost, 1);
+    gateway.announce(ghost, 1); // duplicate: must not count as a join
+    gateway.leave(ghost, 1);
+    gateway.leave(ghost, 1); // replay: must not count twice
+
     let report = gateway.drain();
     assert!(report.metrics.is_conserved(), "traffic must conserve regardless of telemetry build");
     assert_eq!(report.metrics.submitted, 64);
@@ -85,9 +101,23 @@ fn gateway_instruments_follow_the_telemetry_build() {
         // zero — they must not have fired.
         assert_eq!(counter("gw.hedges").unwrap_or(0), 0);
         assert_eq!(counter("gw.hedge_wins").unwrap_or(0), 0);
+        // The membership round counted each applied change exactly once,
+        // and the pool gauge reflects the (append-only) three entries.
+        assert_eq!(counter("gw.joins"), Some(1), "one accepted announce, duplicates ignored");
+        assert_eq!(counter("gw.leaves"), Some(1), "one applied leave, replays ignored");
+        assert_eq!(gauge("gw.membership.size"), Some(3), "two seeds plus the ghost joiner");
         assert!(gw_events > 0, "ejection must emit a gw.* event");
     } else {
-        for name in ["gw.nodes.healthy", "gw.failover", "gw.hedges", "gw.hedge_wins", "gw.route"] {
+        for name in [
+            "gw.nodes.healthy",
+            "gw.membership.size",
+            "gw.failover",
+            "gw.hedges",
+            "gw.hedge_wins",
+            "gw.joins",
+            "gw.leaves",
+            "gw.route",
+        ] {
             assert!(
                 counter(name).is_none() && gauge(name).is_none() && phase(name).is_none(),
                 "{name} must not register in a telemetry-disabled build"

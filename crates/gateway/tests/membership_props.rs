@@ -1,0 +1,220 @@
+//! Property tests of the membership engine and its interplay with
+//! weighted rendezvous routing:
+//!
+//! * a graceful leave removes exactly the victim from the candidate set
+//!   and remaps *only* the keys the victim was winning;
+//! * a hot join (once promoted) wins only its own keys — the moved
+//!   fraction is bounded near the newcomer's fair share;
+//! * an announce never changes routing before promotion
+//!   (join-through-probation);
+//! * incarnation ordering matches a reference model under arbitrary
+//!   announce/leave interleavings — in particular a replayed stale
+//!   announce never resurrects a departed node;
+//! * the rendezvous ranking over the surviving candidates stays a
+//!   permutation through arbitrary churn.
+
+use offloadnn_gateway::router::{rank, route};
+use offloadnn_gateway::{AnnounceOutcome, LeaveOutcome, Membership};
+use offloadnn_net::MemberState;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+fn addr(i: usize) -> SocketAddr {
+    format!("10.1.0.{}:4000", i + 1).parse().expect("valid addr")
+}
+
+fn seeded(n: usize) -> Membership {
+    let addrs: Vec<SocketAddr> = (0..n).map(addr).collect();
+    Membership::new(&addrs)
+}
+
+/// One membership operation against a small address universe.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Announce { node: usize, inc: u64 },
+    Leave { node: usize, inc: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..2, 0usize..5, 1u64..6).prop_map(|(kind, node, inc)| {
+            if kind == 0 {
+                Op::Announce { node, inc }
+            } else {
+                Op::Leave { node, inc }
+            }
+        }),
+        1..40,
+    )
+}
+
+/// Reference model of one address's record: highest applied incarnation
+/// and whether it departed under it.
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    inc: u64,
+    departed: bool,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A graceful leave removes exactly the victim from the candidate
+    /// set, and re-routing moves only the keys the victim was winning
+    /// (each to its previous runner-up).
+    #[test]
+    fn leave_remaps_only_the_victims_keys(
+        n in 2usize..10,
+        victim_pick in 0usize..4096,
+    ) {
+        let m = seeded(n);
+        let victim = victim_pick % n;
+        let before = m.candidates();
+        prop_assert_eq!(before.len(), n);
+        prop_assert_eq!(m.leave(addr(victim), 0), LeaveOutcome::Departed);
+        let after = m.candidates();
+        prop_assert_eq!(after.len(), n - 1);
+        prop_assert!(after.iter().all(|c| c.index != victim));
+        for key in 0..512u64 {
+            let was = route(key, &before).unwrap();
+            let now = route(key, &after).unwrap();
+            if was == victim {
+                prop_assert_eq!(Some(now), rank(key, &before).get(1).copied());
+            } else {
+                prop_assert_eq!(now, was);
+            }
+        }
+    }
+
+    /// A join, once promoted, wins only its own keys: every moved key
+    /// moved *to* the newcomer, and the moved fraction stays within a
+    /// generous factor of the newcomer's fair share `1/(n+1)`.
+    #[test]
+    fn join_moves_only_the_keys_the_newcomer_wins(n in 2usize..10) {
+        const KEYS: u64 = 4096;
+        let before = seeded(n).candidates();
+        // The pool after the joiner is promoted: same seeds plus one.
+        let grown = seeded(n + 1);
+        let after = grown.candidates();
+        prop_assert_eq!(after.len(), n + 1);
+        let newcomer = n;
+        let mut moved = 0u64;
+        for key in 0..KEYS {
+            let was = route(key, &before).unwrap();
+            let now = route(key, &after).unwrap();
+            if now != was {
+                prop_assert_eq!(now, newcomer, "a moved key must move to the newcomer");
+                moved += 1;
+            }
+        }
+        // Equal weights ⇒ expected share KEYS/(n+1); allow 4x for hash
+        // variance (the property is "bounded disruption", not balance).
+        let bound = 4 * KEYS / (n as u64 + 1);
+        prop_assert!(moved <= bound, "join moved {moved} of {KEYS} keys (bound {bound})");
+        prop_assert!(moved > 0, "the newcomer won nothing over {KEYS} keys");
+    }
+
+    /// Join-through-probation at the routing layer: an accepted announce
+    /// changes the membership view but not the candidate set — routing
+    /// is untouched until a health probe promotes the joiner.
+    #[test]
+    fn an_unpromoted_joiner_never_routes(
+        n in 1usize..6,
+        inc in 1u64..1000,
+        keys in proptest::collection::vec(0u64..1_000_000, 32),
+    ) {
+        let m = seeded(n);
+        let before = m.candidates();
+        prop_assert_eq!(m.announce(addr(n), inc), AnnounceOutcome::Joined);
+        prop_assert_eq!(m.len(), n + 1);
+        let after = m.candidates();
+        prop_assert_eq!(&after, &before, "probing joiner leaked into the candidates");
+        for key in keys {
+            prop_assert_eq!(route(key, &after), route(key, &before));
+            prop_assert!(!rank(key, &after).contains(&n));
+        }
+    }
+
+    /// The engine agrees with a reference incarnation model under any
+    /// interleaving of announces and leaves; a stale replay never
+    /// resurrects a departed node, and every pool mutation bumps the
+    /// version exactly once.
+    #[test]
+    fn incarnation_ordering_matches_the_model(ops in arb_ops()) {
+        let m = Membership::new(&[]);
+        let mut model: HashMap<usize, Record> = HashMap::new();
+        let mut expected_version = 0u64;
+        for op in ops {
+            match op {
+                Op::Announce { node, inc } => {
+                    let outcome = m.announce(addr(node), inc);
+                    match model.get_mut(&node) {
+                        None => {
+                            prop_assert_eq!(outcome, AnnounceOutcome::Joined);
+                            model.insert(node, Record { inc, departed: false });
+                            expected_version += 1;
+                        }
+                        Some(rec) if inc > rec.inc => {
+                            prop_assert_eq!(outcome, AnnounceOutcome::Restarted);
+                            *rec = Record { inc, departed: false };
+                            expected_version += 1;
+                        }
+                        Some(rec) if inc == rec.inc && !rec.departed => {
+                            prop_assert_eq!(outcome, AnnounceOutcome::Duplicate);
+                        }
+                        Some(_) => prop_assert_eq!(outcome, AnnounceOutcome::Stale),
+                    }
+                }
+                Op::Leave { node, inc } => {
+                    let outcome = m.leave(addr(node), inc);
+                    match model.get_mut(&node) {
+                        None => prop_assert_eq!(outcome, LeaveOutcome::Unknown),
+                        Some(rec) if inc >= rec.inc => {
+                            prop_assert_eq!(outcome, LeaveOutcome::Departed);
+                            if !rec.departed {
+                                expected_version += 1;
+                            }
+                            rec.departed = true;
+                        }
+                        Some(_) => prop_assert_eq!(outcome, LeaveOutcome::Stale),
+                    }
+                }
+            }
+            // The engine's view matches the model after every step: a
+            // node is Departed iff the model says so (and Probing
+            // otherwise — nothing promotes in this test).
+            for member in m.members() {
+                let node = (0..5).find(|&i| addr(i).to_string() == member.addr).expect("known addr");
+                let rec = model.get(&node).expect("member implies a model record");
+                prop_assert_eq!(member.incarnation, rec.inc);
+                let want = if rec.departed { MemberState::Departed } else { MemberState::Probing };
+                prop_assert_eq!(member.state, want);
+            }
+            prop_assert_eq!(m.len(), model.len());
+            prop_assert_eq!(m.version(), expected_version);
+        }
+    }
+
+    /// Through arbitrary graceful leaves, the rendezvous ranking over
+    /// the surviving candidates stays a permutation of exactly the
+    /// survivors — failover can always walk it to the last node.
+    #[test]
+    fn rank_stays_a_permutation_under_churn(
+        n in 2usize..10,
+        leaves in proptest::collection::vec(0usize..10, 0..6),
+        key in 0u64..1_000_000,
+    ) {
+        let m = seeded(n);
+        for leaver in leaves {
+            let _ = m.leave(addr(leaver % n), 0);
+        }
+        let candidates = m.candidates();
+        let mut order = rank(key, &candidates);
+        prop_assert_eq!(order.len(), candidates.len());
+        order.sort_unstable();
+        let mut expect: Vec<usize> = candidates.iter().map(|c| c.index).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(order, expect);
+    }
+}

@@ -150,6 +150,9 @@ struct AsyncShared<B: Backend> {
     shutdown: AtomicBool,
     active: AtomicUsize,
     instruments: Option<NetInstruments>,
+    /// Armed by [`AsyncServer::announce_to`]; fired (once) when the
+    /// node drains or shuts down, so the gateway deregisters it.
+    leave_notice: Mutex<Option<Arc<crate::backend::LeaveNotice>>>,
 }
 
 /// The acceptor's handle to one event loop.
@@ -232,6 +235,7 @@ impl<B: Backend> AsyncServer<B> {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             instruments: NetInstruments::new(),
+            leave_notice: Mutex::new(None),
         });
 
         let mut handles = Vec::with_capacity(reactor.event_loops);
@@ -329,11 +333,56 @@ impl<B: Backend> AsyncServer<B> {
         self.shared.service.scale_to(shards)
     }
 
+    /// Registers this node with a gateway's membership engine, exactly
+    /// as [`crate::server::NetServer::announce_to`] does for the
+    /// threaded frontend: announce under a fresh wall-clock incarnation,
+    /// arm a graceful leave for drain/shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors when the gateway cannot be reached or does not
+    /// answer; the announce can simply be retried.
+    pub fn announce_to(&self, gateway: SocketAddr) -> Result<codec::MembershipResponse, NetError> {
+        let incarnation = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(1, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .max(1);
+        self.announce_to_as(gateway, incarnation)
+    }
+
+    /// [`AsyncServer::announce_to`] with an explicit incarnation stamp.
+    ///
+    /// # Errors
+    ///
+    /// As [`AsyncServer::announce_to`].
+    pub fn announce_to_as(
+        &self,
+        gateway: SocketAddr,
+        incarnation: u64,
+    ) -> Result<codec::MembershipResponse, NetError> {
+        let config = crate::backend::membership_client_config();
+        let timeout = crate::backend::MEMBERSHIP_RPC_TIMEOUT;
+        let client = crate::client::Client::connect(gateway, config)?;
+        let addr = self.local_addr.to_string();
+        let reply = client.announce(&addr, incarnation, timeout)?;
+        let notice = Arc::new(crate::backend::LeaveNotice::new(gateway, addr, incarnation, config, timeout));
+        let hook_notice = Arc::clone(&notice);
+        let _ = self.shared.service.on_drain(Box::new(move || hook_notice.fire()));
+        *self.shared.leave_notice.lock().expect("leave notice lock") = Some(notice);
+        Ok(reply)
+    }
+
     /// Gracefully stops the frontend: fences the ingress, stops the
     /// acceptor, lets every connection flush its in-flight outcomes to
     /// its client, joins the fixed thread pool, then drains the
     /// underlying service and returns its final report.
     pub fn shutdown(mut self) -> DrainReport {
+        // Deregister from the gateway (if announced) before fencing, so
+        // the cluster stops routing to this node while its in-flight
+        // work can still resolve.
+        if let Some(notice) = self.shared.leave_notice.lock().expect("leave notice lock").take() {
+            notice.fire();
+        }
         self.shared.service.begin_drain();
         self.shared.shutdown.store(true, Ordering::Release);
         // Wake the acceptor out of its blocking accept().
@@ -787,8 +836,34 @@ impl<B: Backend> EventLoop<B> {
                     CompletionMsg::Scale { token, request_id: req.request_id, shards: req.shards },
                 );
             }
+            Frame::Announce(req) => {
+                // Membership bookkeeping is a map update, not a reshard:
+                // cheap enough to run inline like a snapshot.
+                let frame = crate::backend::membership_frame(
+                    &self.shared.service,
+                    req.request_id,
+                    &req.addr,
+                    req.incarnation,
+                    false,
+                );
+                self.send_completion(idx, CompletionMsg::Reply { token, frame });
+            }
+            Frame::Leave(req) => {
+                let frame = crate::backend::membership_frame(
+                    &self.shared.service,
+                    req.request_id,
+                    &req.addr,
+                    req.incarnation,
+                    true,
+                );
+                self.send_completion(idx, CompletionMsg::Reply { token, frame });
+            }
             // A client must not send response frames.
-            Frame::Outcome(_) | Frame::Metrics(_) | Frame::Scaled(_) | Frame::Error(_) => {
+            Frame::Outcome(_)
+            | Frame::Metrics(_)
+            | Frame::Scaled(_)
+            | Frame::Membership(_)
+            | Frame::Error(_) => {
                 let frame = Frame::Error(ErrorResponse {
                     request_id: frame.request_id(),
                     code: ErrorCode::Malformed,

@@ -22,12 +22,33 @@
 //! the exact former behaviour: `None` means its configured admission
 //! deadline, and an explicit budget is clamped to never exceed it.
 
+use crate::codec::{MemberInfo, MembershipDecision};
 use offloadnn_core::instance::PathOption;
 use offloadnn_core::task::{Task, TaskId};
 use offloadnn_serve::{
     DrainReport, MetricsSnapshot, Outcome, ReshardReport, ServeError, Service, SubmitError, Ticket,
 };
+use std::net::SocketAddr;
 use std::time::Duration;
+
+/// The answer to a membership request ([`Backend::announce`] /
+/// [`Backend::leave`]): the decision plus the backend's cluster view,
+/// exactly what travels back in a [`crate::Frame::Membership`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipAck {
+    /// How the request was judged.
+    pub decision: MembershipDecision,
+    /// The cluster after applying the request (empty when the backend
+    /// manages no membership).
+    pub members: Vec<MemberInfo>,
+}
+
+impl MembershipAck {
+    /// The ack of a backend that manages no cluster membership.
+    pub fn unsupported() -> Self {
+        MembershipAck { decision: MembershipDecision::Unsupported, members: Vec::new() }
+    }
+}
 
 /// A handle to one in-flight submission, redeemable for its verdict by
 /// the frontend's writer (threaded) or completion (reactor) thread.
@@ -100,9 +121,118 @@ pub trait Backend: Send + Sync + Sized + 'static {
     /// draining, no healthy capacity).
     fn scale_to(&self, shards: usize) -> Result<ReshardReport, ServeError>;
 
+    /// A node registering itself (protocol v3 [`crate::Frame::Announce`]).
+    /// Backends that manage no cluster membership — a plain serve node —
+    /// keep the default, which answers `Unsupported`.
+    fn announce(&self, addr: SocketAddr, incarnation: u64) -> MembershipAck {
+        let _ = (addr, incarnation);
+        MembershipAck::unsupported()
+    }
+
+    /// A node deregistering ahead of a graceful drain (protocol v3
+    /// [`crate::Frame::Leave`]). Same default as [`Backend::announce`].
+    fn leave(&self, addr: SocketAddr, incarnation: u64) -> MembershipAck {
+        let _ = (addr, incarnation);
+        MembershipAck::unsupported()
+    }
+
+    /// Registers a hook to run when this backend's drain begins (either
+    /// fence direction: [`Backend::begin_drain`] or [`Backend::drain`]).
+    /// Returns `false` if the backend does not support drain hooks — the
+    /// caller must then arrange its own notification. If the drain has
+    /// already begun, a supporting backend runs the hook immediately.
+    fn on_drain(&self, hook: Box<dyn FnOnce() + Send>) -> bool {
+        let _ = hook;
+        false
+    }
+
     /// Drains outstanding work and returns the final report. The
     /// frontends call this once, after the last connection closed.
     fn drain(self) -> DrainReport;
+}
+
+/// A pending gateway deregistration, armed by a frontend's
+/// `announce_to` and fired at most once — on drain-hook, shutdown, or
+/// whichever comes first. Firing dials the gateway fail-fast and sends
+/// a [`crate::Frame::Leave`]; errors are swallowed (a gateway that
+/// cannot be reached will notice the departure through its health
+/// probes, exactly as a crash-leave).
+#[derive(Debug)]
+pub struct LeaveNotice {
+    gateway: SocketAddr,
+    addr: String,
+    incarnation: u64,
+    config: crate::client::ClientConfig,
+    timeout: Duration,
+    fired: std::sync::atomic::AtomicBool,
+}
+
+impl LeaveNotice {
+    pub(crate) fn new(
+        gateway: SocketAddr,
+        addr: String,
+        incarnation: u64,
+        config: crate::client::ClientConfig,
+        timeout: Duration,
+    ) -> Self {
+        Self { gateway, addr, incarnation, config, timeout, fired: std::sync::atomic::AtomicBool::new(false) }
+    }
+
+    /// Sends the leave, best-effort, exactly once across every caller.
+    pub fn fire(&self) {
+        if self.fired.swap(true, std::sync::atomic::Ordering::AcqRel) {
+            return;
+        }
+        if let Ok(client) = crate::client::Client::connect(self.gateway, self.config) {
+            let _ = client.leave(&self.addr, self.incarnation, self.timeout);
+        }
+    }
+}
+
+/// How long a frontend waits for the gateway's answer to an announce or
+/// leave before giving up (best-effort either way).
+pub(crate) const MEMBERSHIP_RPC_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The fail-fast dialing profile for membership traffic: a gateway that
+/// cannot be reached promptly is treated as unreachable, not retried
+/// into — registration is re-attemptable and deregistration is
+/// best-effort.
+pub(crate) fn membership_client_config() -> crate::client::ClientConfig {
+    crate::client::ClientConfig {
+        connect_attempts: 1,
+        connect_timeout: Duration::from_millis(500),
+        ..crate::client::ClientConfig::default()
+    }
+}
+
+/// Shared frontend dispatch for the membership frames: parses the
+/// address, consults the backend, and builds the reply frame. An
+/// unparseable address answers a `Malformed` error frame (the
+/// connection stays open — the envelope itself was valid).
+pub(crate) fn membership_frame<B: Backend>(
+    backend: &B,
+    request_id: u64,
+    addr: &str,
+    incarnation: u64,
+    is_leave: bool,
+) -> crate::Frame {
+    let parsed: Result<SocketAddr, _> = addr.parse();
+    match parsed {
+        Ok(sock) => {
+            let ack =
+                if is_leave { backend.leave(sock, incarnation) } else { backend.announce(sock, incarnation) };
+            crate::Frame::Membership(crate::codec::MembershipResponse {
+                request_id,
+                decision: ack.decision,
+                members: ack.members,
+            })
+        }
+        Err(_) => crate::Frame::Error(crate::codec::ErrorResponse {
+            request_id,
+            code: crate::ErrorCode::Malformed,
+            message: format!("unparseable member address {addr:?}"),
+        }),
+    }
 }
 
 impl Backend for Service {
@@ -139,6 +269,11 @@ impl Backend for Service {
 
     fn scale_to(&self, shards: usize) -> Result<ReshardReport, ServeError> {
         Service::scale_to(self, shards)
+    }
+
+    fn on_drain(&self, hook: Box<dyn FnOnce() + Send>) -> bool {
+        Service::on_drain(self, hook);
+        true
     }
 
     fn drain(self) -> DrainReport {

@@ -35,7 +35,8 @@
 
 use crate::backoff::{entropy_seed, ReconnectBackoff};
 use crate::codec::{
-    self, DepartRequest, DrainRequest, Frame, ScaleRequest, ScaleResponse, SnapshotRequest, SubmitRequest,
+    self, AnnounceRequest, DepartRequest, DrainRequest, Frame, LeaveRequest, MembershipResponse,
+    ScaleRequest, ScaleResponse, SnapshotRequest, SubmitRequest,
 };
 use crate::error::NetError;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -497,6 +498,70 @@ impl Client {
                 other.type_name()
             ))),
             Err(_) => Err(NetError::Disconnected("connection died before the scale response arrived".into())),
+        }
+    }
+
+    /// Announces a serve node to a gateway: "`addr` is alive under
+    /// `incarnation`, dial it". Blocks for the [`MembershipResponse`]
+    /// (protocol v3). The caller is typically the node's own frontend
+    /// ([`crate::server::NetServer::announce_to`]) rather than an
+    /// admission client.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as for [`Client::submit`];
+    /// [`NetError::Disconnected`] when `timeout` elapses first or the
+    /// peer answers with something other than a membership frame.
+    pub fn announce(
+        &self,
+        addr: &str,
+        incarnation: u64,
+        timeout: Duration,
+    ) -> Result<MembershipResponse, NetError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Announce(AnnounceRequest { request_id, addr: addr.to_owned(), incarnation });
+        let rx = self.send(request_id, &codec::encode(&frame), true)?.expect("reply slot requested");
+        Self::wait_membership(&rx, timeout, "announce")
+    }
+
+    /// Deregisters a serve node from a gateway ahead of a graceful
+    /// drain. Blocks for the [`MembershipResponse`], which the gateway
+    /// sends once it has stopped routing new work to the node (protocol
+    /// v3).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::announce`].
+    pub fn leave(
+        &self,
+        addr: &str,
+        incarnation: u64,
+        timeout: Duration,
+    ) -> Result<MembershipResponse, NetError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Leave(LeaveRequest { request_id, addr: addr.to_owned(), incarnation });
+        let rx = self.send(request_id, &codec::encode(&frame), true)?.expect("reply slot requested");
+        Self::wait_membership(&rx, timeout, "leave")
+    }
+
+    fn wait_membership(
+        rx: &Receiver<Frame>,
+        timeout: Duration,
+        what: &str,
+    ) -> Result<MembershipResponse, NetError> {
+        match rx.recv_timeout(timeout) {
+            Ok(Frame::Membership(m)) => Ok(m),
+            Ok(Frame::Error(e)) => Err(NetError::Server(e)),
+            Ok(other) => Err(NetError::Disconnected(format!(
+                "unexpected {} frame in place of a {what} response",
+                other.type_name()
+            ))),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(NetError::Disconnected(format!("no {what} response within the timeout")))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(NetError::Disconnected(format!("connection died before the {what} response arrived")))
+            }
         }
     }
 

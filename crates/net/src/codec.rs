@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "ODNN"
-//! 4       1     protocol version (1 or 2)
+//! 4       1     protocol version (1, 2 or 3)
 //! 5       1     frame type
 //! 6       2     reserved (must be zero)
 //! 8       4     payload length N, little-endian (<= MAX_PAYLOAD)
@@ -14,8 +14,9 @@
 //! ```
 //!
 //! Requests ([`Frame::Submit`], [`Frame::Depart`], [`Frame::Snapshot`],
-//! [`Frame::Drain`], [`Frame::Scale`]) and responses
-//! ([`Frame::Outcome`], [`Frame::Metrics`], [`Frame::Scaled`],
+//! [`Frame::Drain`], [`Frame::Scale`], [`Frame::Announce`],
+//! [`Frame::Leave`]) and responses ([`Frame::Outcome`],
+//! [`Frame::Metrics`], [`Frame::Scaled`], [`Frame::Membership`],
 //! [`Frame::Error`]) all start their payload with a `u64` correlation id
 //! chosen by the client, so requests can be pipelined and responses
 //! arrive in any order.
@@ -26,8 +27,21 @@
 //! * **v2** — adds the elastic-resharding frames [`Frame::Scale`] /
 //!   [`Frame::Scaled`] and appends `reshards` / `migrated` /
 //!   `generation` to the metrics payload. The decoder still accepts v1
-//!   frames (the new metrics fields read as zero); the encoder always
-//!   emits v2.
+//!   frames (the new metrics fields read as zero).
+//! * **v3** — adds the cluster auto-discovery frames
+//!   [`Frame::Announce`] / [`Frame::Leave`] / [`Frame::Membership`], by
+//!   which serve nodes register with (and deregister from) a gateway.
+//!
+//! Each frame is stamped with the *lowest* protocol version that can
+//! express it (see [`frame_min_version`]): a Submit still travels as v1
+//! and a Metrics frame as v2, so a peer built against an older revision
+//! keeps decoding every frame type it knows. The decoder, for its part,
+//! **skips** well-formed frames stamped with a version newer than its
+//! cap — the envelope layout (magic / length / trailing checksum) is
+//! fixed across versions, so an old peer can verify the checksum and
+//! step over a frame type it cannot parse without desyncing the stream
+//! ([`decode_capped`] pins this; a bad checksum on such a frame is still
+//! fatal, since nothing else about it can be trusted).
 //!
 //! The decoder never panics on malformed input: truncation, bad magic,
 //! version skew, unknown types, oversized length prefixes (outer and
@@ -52,8 +66,10 @@ use serde::{Deserialize, Serialize};
 /// The four magic bytes opening every frame.
 pub const MAGIC: [u8; 4] = *b"ODNN";
 
-/// The protocol revision this build emits.
-pub const VERSION: u8 = 2;
+/// The newest protocol revision this build understands. Individual
+/// frames are emitted at their own minimum version (see
+/// [`frame_min_version`]), never above this.
+pub const VERSION: u8 = 3;
 
 /// Oldest protocol revision this build still decodes.
 pub const MIN_VERSION: u8 = 1;
@@ -82,6 +98,10 @@ pub mod frame_type {
     pub const DRAIN: u8 = 0x04;
     /// Elastic-reshard request (protocol v2).
     pub const SCALE: u8 = 0x05;
+    /// Node self-registration with a gateway (protocol v3).
+    pub const ANNOUNCE: u8 = 0x06;
+    /// Node deregistration ahead of a graceful drain (protocol v3).
+    pub const LEAVE: u8 = 0x07;
     /// Admission verdict response.
     pub const OUTCOME: u8 = 0x41;
     /// Metrics snapshot response.
@@ -90,6 +110,8 @@ pub mod frame_type {
     pub const ERROR: u8 = 0x43;
     /// Elastic-reshard response (protocol v2).
     pub const SCALED: u8 = 0x44;
+    /// Membership decision + cluster view response (protocol v3).
+    pub const MEMBERSHIP: u8 = 0x45;
 }
 
 /// An admission request: a full task description plus its candidate
@@ -161,6 +183,138 @@ pub struct ScaleResponse {
     pub migrated: u64,
     /// Ring generation after the reshard.
     pub generation: u64,
+}
+
+/// Lifecycle state of one cluster member, as the gateway's membership
+/// engine tracks it (protocol v3). The wire tags are part of the
+/// protocol; the state machine itself lives in `offloadnn-gateway`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberState {
+    /// Announced but not yet health-probed: invisible to routing until a
+    /// probe succeeds (join-through-probation).
+    Probing,
+    /// Routable.
+    Healthy,
+    /// Temporarily unroutable (missed probes or a data-path failure);
+    /// a post-probation probe readmits it.
+    Ejected,
+    /// Left the cluster (graceful [`Frame::Leave`] or an operator
+    /// decision); only a *newer incarnation* announce brings it back.
+    Departed,
+}
+
+impl MemberState {
+    fn tag(self) -> u8 {
+        match self {
+            MemberState::Probing => 0,
+            MemberState::Healthy => 1,
+            MemberState::Ejected => 2,
+            MemberState::Departed => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, DecodeError> {
+        Ok(match tag {
+            0 => MemberState::Probing,
+            1 => MemberState::Healthy,
+            2 => MemberState::Ejected,
+            3 => MemberState::Departed,
+            got => return Err(DecodeError::BadEnumTag { what: "member state", got }),
+        })
+    }
+}
+
+/// How the gateway judged an [`AnnounceRequest`] or [`LeaveRequest`]
+/// (protocol v3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MembershipDecision {
+    /// The request was applied (a join, restart or departure took
+    /// effect).
+    Accepted,
+    /// The same incarnation was already known: a harmless replay,
+    /// nothing changed.
+    Duplicate,
+    /// The incarnation is older than the one on record (or replays one
+    /// that already departed); the request was ignored.
+    Stale,
+    /// The receiving backend does not manage a cluster membership (e.g.
+    /// a single serve node was addressed directly).
+    Unsupported,
+}
+
+impl MembershipDecision {
+    fn tag(self) -> u8 {
+        match self {
+            MembershipDecision::Accepted => 0,
+            MembershipDecision::Duplicate => 1,
+            MembershipDecision::Stale => 2,
+            MembershipDecision::Unsupported => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, DecodeError> {
+        Ok(match tag {
+            0 => MembershipDecision::Accepted,
+            1 => MembershipDecision::Duplicate,
+            2 => MembershipDecision::Stale,
+            3 => MembershipDecision::Unsupported,
+            got => return Err(DecodeError::BadEnumTag { what: "membership decision", got }),
+        })
+    }
+}
+
+/// One member in a [`MembershipResponse`] cluster view (protocol v3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberInfo {
+    /// The member's `offloadnn-net` frontend address.
+    pub addr: String,
+    /// The incarnation under which the member is currently registered.
+    pub incarnation: u64,
+    /// Its lifecycle state.
+    pub state: MemberState,
+}
+
+/// A serve node registering itself with a gateway (protocol v3). The
+/// incarnation is a per-process monotonic stamp (e.g. startup time in
+/// nanoseconds): announces carrying an incarnation older than the one
+/// on record are ignored, so a delayed or replayed announce can never
+/// resurrect a node that has since departed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnounceRequest {
+    /// Client-chosen correlation id echoed on the response.
+    pub request_id: u64,
+    /// The announcing node's own frontend address, as the gateway should
+    /// dial it.
+    pub addr: String,
+    /// The node's incarnation stamp.
+    pub incarnation: u64,
+}
+
+/// A serve node deregistering ahead of a graceful drain (protocol v3).
+/// Answered by [`Frame::Membership`] once the gateway has stopped
+/// routing new work to the node; in-flight tickets fail over to the
+/// survivors with their remaining deadline budget.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaveRequest {
+    /// Client-chosen correlation id echoed on the response.
+    pub request_id: u64,
+    /// The departing node's frontend address.
+    pub addr: String,
+    /// The incarnation under which the node announced (a leave with an
+    /// older incarnation than the record is stale and ignored).
+    pub incarnation: u64,
+}
+
+/// The gateway's answer to an announce or leave: the decision plus a
+/// point-in-time view of the whole cluster (protocol v3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipResponse {
+    /// Correlation id of the request this answers.
+    pub request_id: u64,
+    /// How the request was judged.
+    pub decision: MembershipDecision,
+    /// The cluster as the gateway sees it after applying the request.
+    pub members: Vec<MemberInfo>,
 }
 
 /// The verdict of one submit.
@@ -269,12 +423,18 @@ pub enum Frame {
     Drain(DrainRequest),
     /// Elastic-reshard request (protocol v2).
     Scale(ScaleRequest),
+    /// Node self-registration with a gateway (protocol v3).
+    Announce(AnnounceRequest),
+    /// Node deregistration ahead of a graceful drain (protocol v3).
+    Leave(LeaveRequest),
     /// Admission verdict.
     Outcome(OutcomeResponse),
     /// Metrics snapshot.
     Metrics(MetricsResponse),
     /// Elastic-reshard response (protocol v2).
     Scaled(ScaleResponse),
+    /// Membership decision + cluster view (protocol v3).
+    Membership(MembershipResponse),
     /// Request- or connection-level error.
     Error(ErrorResponse),
 }
@@ -288,9 +448,12 @@ impl Frame {
             Frame::Snapshot(_) => frame_type::SNAPSHOT,
             Frame::Drain(_) => frame_type::DRAIN,
             Frame::Scale(_) => frame_type::SCALE,
+            Frame::Announce(_) => frame_type::ANNOUNCE,
+            Frame::Leave(_) => frame_type::LEAVE,
             Frame::Outcome(_) => frame_type::OUTCOME,
             Frame::Metrics(_) => frame_type::METRICS,
             Frame::Scaled(_) => frame_type::SCALED,
+            Frame::Membership(_) => frame_type::MEMBERSHIP,
             Frame::Error(_) => frame_type::ERROR,
         }
     }
@@ -303,9 +466,12 @@ impl Frame {
             Frame::Snapshot(_) => "snapshot",
             Frame::Drain(_) => "drain",
             Frame::Scale(_) => "scale",
+            Frame::Announce(_) => "announce",
+            Frame::Leave(_) => "leave",
             Frame::Outcome(_) => "outcome",
             Frame::Metrics(_) => "metrics",
             Frame::Scaled(_) => "scaled",
+            Frame::Membership(_) => "membership",
             Frame::Error(_) => "error",
         }
     }
@@ -318,9 +484,12 @@ impl Frame {
             Frame::Snapshot(f) => f.request_id,
             Frame::Drain(f) => f.request_id,
             Frame::Scale(f) => f.request_id,
+            Frame::Announce(f) => f.request_id,
+            Frame::Leave(f) => f.request_id,
             Frame::Outcome(f) => f.request_id,
             Frame::Metrics(f) => f.request_id,
             Frame::Scaled(f) => f.request_id,
+            Frame::Membership(f) => f.request_id,
             Frame::Error(f) => f.request_id,
         }
     }
@@ -565,6 +734,19 @@ fn get_metrics(r: &mut Reader<'_>, version: u8) -> Result<MetricsSnapshot, Decod
     })
 }
 
+fn put_member(w: &mut Writer, m: &MemberInfo) {
+    w.put_str(&m.addr);
+    w.put_u64(m.incarnation);
+    w.put_u8(m.state.tag());
+}
+
+fn get_member(r: &mut Reader<'_>) -> Result<MemberInfo, DecodeError> {
+    let addr = r.string("member.addr")?;
+    let incarnation = r.u64("member.incarnation")?;
+    let state = MemberState::from_tag(r.u8("member.state")?)?;
+    Ok(MemberInfo { addr, incarnation, state })
+}
+
 fn encode_payload(frame: &Frame) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u64(frame.request_id());
@@ -580,6 +762,21 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
         Frame::Depart(f) => w.put_u32(f.task.0),
         Frame::Snapshot(_) | Frame::Drain(_) => {}
         Frame::Scale(f) => w.put_u32(f.shards),
+        Frame::Announce(f) => {
+            w.put_str(&f.addr);
+            w.put_u64(f.incarnation);
+        }
+        Frame::Leave(f) => {
+            w.put_str(&f.addr);
+            w.put_u64(f.incarnation);
+        }
+        Frame::Membership(f) => {
+            w.put_u8(f.decision.tag());
+            w.put_seq_len(f.members.len());
+            for m in &f.members {
+                put_member(&mut w, m);
+            }
+        }
         Frame::Scaled(f) => {
             w.put_u32(f.from_shards);
             w.put_u32(f.to_shards);
@@ -630,6 +827,27 @@ fn decode_payload(version: u8, frame_type: u8, payload: &[u8]) -> Result<Frame, 
             migrated: r.u64("scaled.migrated")?,
             generation: r.u64("scaled.generation")?,
         }),
+        // Likewise the discovery frames did not exist before v3.
+        frame_type::ANNOUNCE if version >= 3 => Frame::Announce(AnnounceRequest {
+            request_id,
+            addr: r.string("announce.addr")?,
+            incarnation: r.u64("announce.incarnation")?,
+        }),
+        frame_type::LEAVE if version >= 3 => Frame::Leave(LeaveRequest {
+            request_id,
+            addr: r.string("leave.addr")?,
+            incarnation: r.u64("leave.incarnation")?,
+        }),
+        frame_type::MEMBERSHIP if version >= 3 => {
+            let decision = MembershipDecision::from_tag(r.u8("membership.decision")?)?;
+            // addr length prefix (4) + incarnation (8) + state tag (1).
+            let n = r.seq_len(13, "membership.members")?;
+            let mut members = Vec::with_capacity(n);
+            for _ in 0..n {
+                members.push(get_member(&mut r)?);
+            }
+            Frame::Membership(MembershipResponse { request_id, decision, members })
+        }
         frame_type::OUTCOME => Frame::Outcome(OutcomeResponse { request_id, outcome: get_outcome(&mut r)? }),
         frame_type::METRICS => {
             let is_final = match r.u8("metrics.is_final")? {
@@ -685,9 +903,12 @@ fn count_tx(frame: &Frame) {
         Frame::Snapshot(_) => count!("net.tx.snapshot"),
         Frame::Drain(_) => count!("net.tx.drain"),
         Frame::Scale(_) => count!("net.tx.scale"),
+        Frame::Announce(_) => count!("net.tx.announce"),
+        Frame::Leave(_) => count!("net.tx.leave"),
         Frame::Outcome(_) => count!("net.tx.outcome"),
         Frame::Metrics(_) => count!("net.tx.metrics"),
         Frame::Scaled(_) => count!("net.tx.scaled"),
+        Frame::Membership(_) => count!("net.tx.membership"),
         Frame::Error(_) => count!("net.tx.error"),
     }
 }
@@ -700,18 +921,36 @@ fn count_rx(frame: &Frame) {
         Frame::Snapshot(_) => count!("net.rx.snapshot"),
         Frame::Drain(_) => count!("net.rx.drain"),
         Frame::Scale(_) => count!("net.rx.scale"),
+        Frame::Announce(_) => count!("net.rx.announce"),
+        Frame::Leave(_) => count!("net.rx.leave"),
         Frame::Outcome(_) => count!("net.rx.outcome"),
         Frame::Metrics(_) => count!("net.rx.metrics"),
         Frame::Scaled(_) => count!("net.rx.scaled"),
+        Frame::Membership(_) => count!("net.rx.membership"),
         Frame::Error(_) => count!("net.rx.error"),
     }
 }
 
-/// Encodes one frame into its wire bytes.
+/// The lowest protocol version able to express `frame` — the version its
+/// envelope is stamped with, so a peer built against an older revision
+/// keeps understanding every frame type it knows.
+pub fn frame_min_version(frame: &Frame) -> u8 {
+    match frame {
+        Frame::Submit(_) | Frame::Depart(_) | Frame::Snapshot(_) | Frame::Drain(_) => 1,
+        Frame::Outcome(_) | Frame::Error(_) => 1,
+        // Metrics grew the reshard fields in v2 and this build always
+        // writes them, so the frame must be stamped v2.
+        Frame::Scale(_) | Frame::Scaled(_) | Frame::Metrics(_) => 2,
+        Frame::Announce(_) | Frame::Leave(_) | Frame::Membership(_) => 3,
+    }
+}
+
+/// Encodes one frame into its wire bytes, stamped with the lowest
+/// protocol version that can express it (see [`frame_min_version`]).
 pub fn encode(frame: &Frame) -> Vec<u8> {
     let _span = span!("net.encode");
     count_tx(frame);
-    encode_raw(frame.frame_type(), &encode_payload(frame))
+    encode_raw_versioned(frame_min_version(frame), frame.frame_type(), &encode_payload(frame))
 }
 
 /// Streaming decode: parses one frame off the front of `buf`.
@@ -729,43 +968,80 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
 ///
 /// Any [`DecodeError`]; never panics, whatever the input.
 pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+    decode_capped(buf, VERSION)
+}
+
+/// [`decode`] with an explicit version cap: behaves exactly like a peer
+/// built when `cap` was the newest protocol revision.
+///
+/// A well-formed frame stamped with a version above `cap` is **skipped**
+/// — its envelope (magic / length / trailing checksum) is laid out
+/// identically in every version, so the checksum can be verified and the
+/// frame stepped over without desyncing the stream; `consumed` then
+/// covers the skipped bytes too. A frame above `cap` whose checksum does
+/// not verify is fatal ([`DecodeError::UnsupportedVersion`]): nothing
+/// about it can be trusted, not even its length. This is how v1/v2
+/// clients survive a v3 peer's discovery frames.
+///
+/// # Errors
+///
+/// Any [`DecodeError`]; never panics, whatever the input.
+pub fn decode_capped(buf: &[u8], cap: u8) -> Result<Option<(Frame, usize)>, DecodeError> {
     let _span = span!("net.decode");
-    if buf.len() < HEADER_LEN {
-        // Validate the prefix that *has* arrived so garbage fails fast.
-        if !buf.is_empty() && buf[..buf.len().min(4)] != MAGIC[..buf.len().min(4)] {
-            let mut got = [0u8; 4];
-            got[..buf.len().min(4)].copy_from_slice(&buf[..buf.len().min(4)]);
-            return Err(DecodeError::BadMagic { got });
+    let mut offset = 0;
+    loop {
+        let rest = &buf[offset..];
+        if rest.len() < HEADER_LEN {
+            // Validate the prefix that *has* arrived so garbage fails fast.
+            if !rest.is_empty() && rest[..rest.len().min(4)] != MAGIC[..rest.len().min(4)] {
+                let mut got = [0u8; 4];
+                got[..rest.len().min(4)].copy_from_slice(&rest[..rest.len().min(4)]);
+                return Err(DecodeError::BadMagic { got });
+            }
+            return Ok(None);
         }
-        return Ok(None);
+        if rest[..4] != MAGIC {
+            return Err(DecodeError::BadMagic { got: [rest[0], rest[1], rest[2], rest[3]] });
+        }
+        let version = rest[4];
+        if version < MIN_VERSION {
+            return Err(DecodeError::UnsupportedVersion { got: version });
+        }
+        if rest[6] != 0 || rest[7] != 0 {
+            return Err(DecodeError::NonZeroReserved);
+        }
+        let len = u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]);
+        if len > MAX_PAYLOAD {
+            return Err(DecodeError::OversizedPayload { len });
+        }
+        let total = HEADER_LEN + len as usize + TRAILER_LEN;
+        if rest.len() < total {
+            return Ok(None);
+        }
+        let body_end = HEADER_LEN + len as usize;
+        let expected = fnv1a32(&rest[..body_end]);
+        let got =
+            u32::from_le_bytes([rest[body_end], rest[body_end + 1], rest[body_end + 2], rest[body_end + 3]]);
+        if version > cap {
+            // A frame from the future. Its envelope checksummed out ⇒ the
+            // length was honest and the stream stays in sync: step over
+            // it. A checksum mismatch means the envelope itself cannot be
+            // trusted (the "length" may be noise), so the only safe move
+            // is to drop the connection.
+            if expected != got {
+                return Err(DecodeError::UnsupportedVersion { got: version });
+            }
+            count!("net.rx.skipped");
+            offset += total;
+            continue;
+        }
+        if expected != got {
+            return Err(DecodeError::BadChecksum { expected, got });
+        }
+        let frame = decode_payload(version, rest[5], &rest[HEADER_LEN..body_end])?;
+        count_rx(&frame);
+        return Ok(Some((frame, offset + total)));
     }
-    if buf[..4] != MAGIC {
-        return Err(DecodeError::BadMagic { got: [buf[0], buf[1], buf[2], buf[3]] });
-    }
-    let version = buf[4];
-    if !(MIN_VERSION..=VERSION).contains(&version) {
-        return Err(DecodeError::UnsupportedVersion { got: version });
-    }
-    if buf[6] != 0 || buf[7] != 0 {
-        return Err(DecodeError::NonZeroReserved);
-    }
-    let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
-    if len > MAX_PAYLOAD {
-        return Err(DecodeError::OversizedPayload { len });
-    }
-    let total = HEADER_LEN + len as usize + TRAILER_LEN;
-    if buf.len() < total {
-        return Ok(None);
-    }
-    let body_end = HEADER_LEN + len as usize;
-    let expected = fnv1a32(&buf[..body_end]);
-    let got = u32::from_le_bytes([buf[body_end], buf[body_end + 1], buf[body_end + 2], buf[body_end + 3]]);
-    if expected != got {
-        return Err(DecodeError::BadChecksum { expected, got });
-    }
-    let frame = decode_payload(version, buf[5], &buf[HEADER_LEN..body_end])?;
-    count_rx(&frame);
-    Ok(Some((frame, total)))
 }
 
 /// Decodes a buffer expected to hold exactly one whole frame.
@@ -842,6 +1118,42 @@ mod tests {
             }),
             Frame::Outcome(OutcomeResponse { request_id: 43, outcome: Outcome::Expired { shard: 1 } }),
             Frame::Metrics(MetricsResponse { request_id: 8, is_final: true, metrics: sample_metrics() }),
+            Frame::Announce(AnnounceRequest {
+                request_id: 11,
+                addr: "127.0.0.1:9000".to_owned(),
+                incarnation: 170_000_000_123,
+            }),
+            Frame::Leave(LeaveRequest {
+                request_id: 12,
+                addr: "127.0.0.1:9000".to_owned(),
+                incarnation: 170_000_000_123,
+            }),
+            Frame::Membership(MembershipResponse {
+                request_id: 11,
+                decision: MembershipDecision::Accepted,
+                members: vec![
+                    MemberInfo {
+                        addr: "127.0.0.1:9000".to_owned(),
+                        incarnation: 170_000_000_123,
+                        state: MemberState::Probing,
+                    },
+                    MemberInfo {
+                        addr: "127.0.0.1:9001".to_owned(),
+                        incarnation: 0,
+                        state: MemberState::Healthy,
+                    },
+                    MemberInfo {
+                        addr: "127.0.0.1:9002".to_owned(),
+                        incarnation: 3,
+                        state: MemberState::Departed,
+                    },
+                ],
+            }),
+            Frame::Membership(MembershipResponse {
+                request_id: 12,
+                decision: MembershipDecision::Unsupported,
+                members: vec![],
+            }),
             Frame::Error(ErrorResponse {
                 request_id: 44,
                 code: ErrorCode::Draining,
@@ -972,5 +1284,113 @@ mod tests {
             decode_exact(&bytes),
             Err(DecodeError::UnknownFrameType { got: frame_type::SCALE })
         ));
+    }
+
+    #[test]
+    fn membership_frames_are_not_valid_before_v3() {
+        for (frame, tag) in [
+            (
+                Frame::Announce(AnnounceRequest {
+                    request_id: 1,
+                    addr: "127.0.0.1:9000".to_owned(),
+                    incarnation: 5,
+                }),
+                frame_type::ANNOUNCE,
+            ),
+            (
+                Frame::Leave(LeaveRequest {
+                    request_id: 2,
+                    addr: "127.0.0.1:9000".to_owned(),
+                    incarnation: 5,
+                }),
+                frame_type::LEAVE,
+            ),
+            (
+                Frame::Membership(MembershipResponse {
+                    request_id: 3,
+                    decision: MembershipDecision::Accepted,
+                    members: vec![],
+                }),
+                frame_type::MEMBERSHIP,
+            ),
+        ] {
+            for version in [1, 2] {
+                let bytes = encode_raw_versioned(version, tag, &encode_payload(&frame));
+                assert!(
+                    matches!(decode_exact(&bytes), Err(DecodeError::UnknownFrameType { got }) if got == tag),
+                    "a v{version} envelope must not carry frame type {tag:#04x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frames_are_stamped_with_their_minimum_version() {
+        for frame in sample_frames() {
+            let bytes = encode(&frame);
+            assert_eq!(
+                bytes[4],
+                frame_min_version(&frame),
+                "{} must travel at its minimum version",
+                frame.type_name()
+            );
+            assert!(frame_min_version(&frame) <= VERSION);
+        }
+    }
+
+    /// The forward-compatibility contract the v3 frames rely on: a peer
+    /// capped at v1/v2 steps over well-formed frames from the future and
+    /// keeps decoding the stream behind them.
+    #[test]
+    fn capped_decoders_skip_future_frames_without_desync() {
+        let announce = Frame::Announce(AnnounceRequest {
+            request_id: 1,
+            addr: "127.0.0.1:9000".to_owned(),
+            incarnation: 7,
+        });
+        let snapshot = Frame::Snapshot(SnapshotRequest { request_id: 2 });
+        let mut bytes = encode(&announce);
+        let skipped = bytes.len();
+        bytes.extend_from_slice(&encode(&snapshot));
+        for cap in [1, 2] {
+            let (frame, consumed) = decode_capped(&bytes, cap)
+                .expect("future frame must be skipped, not fatal")
+                .expect("the known frame behind it must decode");
+            assert_eq!(frame, snapshot, "cap {cap}");
+            assert_eq!(consumed, bytes.len(), "consumed must cover the skipped frame too");
+        }
+        // An uncapped decoder sees both frames in order.
+        let (first, used) = decode(&bytes).unwrap().unwrap();
+        assert_eq!(first, announce);
+        assert_eq!(used, skipped);
+    }
+
+    #[test]
+    fn a_lone_future_frame_is_incomplete_not_an_error() {
+        let announce = Frame::Announce(AnnounceRequest {
+            request_id: 1,
+            addr: "127.0.0.1:9000".to_owned(),
+            incarnation: 7,
+        });
+        let bytes = encode(&announce);
+        // Nothing decodable yet — more bytes may follow.
+        assert_eq!(decode_capped(&bytes, 2), Ok(None));
+        // Same for every truncation of the future frame.
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_capped(&bytes[..cut], 2), Ok(None), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn a_corrupt_future_frame_is_fatal() {
+        let announce = Frame::Announce(AnnounceRequest {
+            request_id: 1,
+            addr: "127.0.0.1:9000".to_owned(),
+            incarnation: 7,
+        });
+        let mut bytes = encode(&announce);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // break the checksum
+        assert!(matches!(decode_capped(&bytes, 2), Err(DecodeError::UnsupportedVersion { got: 3 })));
     }
 }

@@ -187,6 +187,40 @@ impl<B: Backend> AnyServer<B> {
         }
     }
 
+    /// Registers this node with a gateway's membership engine and arms
+    /// a graceful leave for drain/shutdown. See
+    /// [`NetServer::announce_to`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors when the gateway cannot be reached or does not
+    /// answer; the announce can simply be retried.
+    pub fn announce_to(
+        &self,
+        gateway: SocketAddr,
+    ) -> Result<crate::codec::MembershipResponse, crate::NetError> {
+        match self {
+            Self::Threads(s) => s.announce_to(gateway),
+            Self::Reactor(s) => s.announce_to(gateway),
+        }
+    }
+
+    /// [`AnyServer::announce_to`] with an explicit incarnation stamp.
+    ///
+    /// # Errors
+    ///
+    /// As [`AnyServer::announce_to`].
+    pub fn announce_to_as(
+        &self,
+        gateway: SocketAddr,
+        incarnation: u64,
+    ) -> Result<crate::codec::MembershipResponse, crate::NetError> {
+        match self {
+            Self::Threads(s) => s.announce_to_as(gateway, incarnation),
+            Self::Reactor(s) => s.announce_to_as(gateway, incarnation),
+        }
+    }
+
     /// Gracefully stops the frontend and drains the backend.
     pub fn shutdown(self) -> DrainReport {
         match self {

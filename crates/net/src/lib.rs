@@ -74,9 +74,12 @@ pub mod server;
 pub mod wire;
 
 pub use async_server::{AsyncServer, ReactorConfig};
-pub use backend::{Backend, PendingOutcome};
+pub use backend::{Backend, MembershipAck, PendingOutcome};
 pub use client::{Client, ClientConfig, PendingVerdict};
-pub use codec::{decode, decode_exact, encode, ErrorCode, Frame, MAGIC, MAX_PAYLOAD, VERSION};
+pub use codec::{
+    decode, decode_capped, decode_exact, encode, ErrorCode, Frame, MemberInfo, MemberState,
+    MembershipDecision, MAGIC, MAX_PAYLOAD, VERSION,
+};
 pub use error::{DecodeError, NetError};
 pub use frontend::{AnyServer, Frontend};
 pub use server::{NetConfig, NetServer};

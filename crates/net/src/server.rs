@@ -116,6 +116,9 @@ struct Shared<B: Backend> {
     active: AtomicUsize,
     conns: Mutex<Vec<JoinHandle<()>>>,
     instruments: Option<NetInstruments>,
+    /// Armed by [`NetServer::announce_to`]; fired (once) when the node
+    /// drains or shuts down, so the gateway deregisters it gracefully.
+    leave_notice: Mutex<Option<Arc<crate::backend::LeaveNotice>>>,
 }
 
 /// A running TCP frontend over any [`Backend`] (an in-process
@@ -184,6 +187,7 @@ impl<B: Backend> NetServer<B> {
             active: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
             instruments: NetInstruments::new(),
+            leave_notice: Mutex::new(None),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -237,11 +241,66 @@ impl<B: Backend> NetServer<B> {
         self.shared.service.scale_to(shards)
     }
 
+    /// Registers this node with a gateway's membership engine (protocol
+    /// v3): sends an [`Frame::Announce`] carrying [`NetServer::local_addr`]
+    /// under a fresh wall-clock incarnation, and arms a graceful
+    /// [`Frame::Leave`] to fire when the node drains or shuts down. The
+    /// gateway health-probes the node before routing any traffic to it
+    /// (join-through-probation).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors when the gateway cannot be reached or does not
+    /// answer; the announce can simply be retried.
+    pub fn announce_to(&self, gateway: SocketAddr) -> Result<codec::MembershipResponse, NetError> {
+        // Startup wall-clock nanoseconds: monotonic across restarts of
+        // the same node (modulo clock regression), which is all the
+        // incarnation ordering needs.
+        let incarnation = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(1, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .max(1);
+        self.announce_to_as(gateway, incarnation)
+    }
+
+    /// [`NetServer::announce_to`] with an explicit incarnation stamp
+    /// (tests and restart simulations pick their own ordering).
+    ///
+    /// # Errors
+    ///
+    /// As [`NetServer::announce_to`].
+    pub fn announce_to_as(
+        &self,
+        gateway: SocketAddr,
+        incarnation: u64,
+    ) -> Result<codec::MembershipResponse, NetError> {
+        let config = crate::backend::membership_client_config();
+        let timeout = crate::backend::MEMBERSHIP_RPC_TIMEOUT;
+        let client = crate::client::Client::connect(gateway, config)?;
+        let addr = self.local_addr.to_string();
+        let reply = client.announce(&addr, incarnation, timeout)?;
+        let notice = Arc::new(crate::backend::LeaveNotice::new(gateway, addr, incarnation, config, timeout));
+        // Preferred path: the backend tells us when its drain begins
+        // (a wire-level Drain frame fences the service without passing
+        // through shutdown()). Fallback either way: shutdown() fires the
+        // stored notice, and firing is idempotent.
+        let hook_notice = Arc::clone(&notice);
+        let _ = self.shared.service.on_drain(Box::new(move || hook_notice.fire()));
+        *self.shared.leave_notice.lock().expect("leave notice lock") = Some(notice);
+        Ok(reply)
+    }
+
     /// Gracefully stops the frontend: fences the ingress, wakes and joins
     /// the acceptor, lets every connection flush its in-flight outcomes
     /// to its client, joins the connection threads, then drains the
     /// underlying service and returns its final report.
     pub fn shutdown(mut self) -> DrainReport {
+        // Deregister from the gateway (if announced) before fencing, so
+        // the cluster stops routing to this node while its in-flight
+        // work can still resolve.
+        if let Some(notice) = self.shared.leave_notice.lock().expect("leave notice lock").take() {
+            notice.fire();
+        }
         self.shared.service.begin_drain();
         self.shared.shutdown.store(true, Ordering::Release);
         // Wake the acceptor out of its blocking accept().
@@ -471,8 +530,28 @@ fn handle_frame<B: Backend>(
             };
             tx.send(WriterMsg::Reply(reply)).is_ok()
         }
+        Frame::Announce(req) => {
+            let reply = crate::backend::membership_frame(
+                &shared.service,
+                req.request_id,
+                &req.addr,
+                req.incarnation,
+                false,
+            );
+            tx.send(WriterMsg::Reply(reply)).is_ok()
+        }
+        Frame::Leave(req) => {
+            let reply = crate::backend::membership_frame(
+                &shared.service,
+                req.request_id,
+                &req.addr,
+                req.incarnation,
+                true,
+            );
+            tx.send(WriterMsg::Reply(reply)).is_ok()
+        }
         // A client must not send response frames; treat as protocol abuse.
-        Frame::Outcome(_) | Frame::Metrics(_) | Frame::Scaled(_) | Frame::Error(_) => {
+        Frame::Outcome(_) | Frame::Metrics(_) | Frame::Scaled(_) | Frame::Membership(_) | Frame::Error(_) => {
             let _ = tx.send(WriterMsg::Reply(Frame::Error(ErrorResponse {
                 request_id: frame.request_id(),
                 code: ErrorCode::Malformed,

@@ -7,11 +7,14 @@
 
 mod common;
 
-use common::{ascii_string, byte, error_code, metrics, outcome, path_option, task};
+use common::{
+    ascii_string, byte, error_code, member_info, membership_decision, metrics, outcome, path_option, task,
+};
 use offloadnn_core::task::TaskId;
 use offloadnn_net::codec::{
-    self, DepartRequest, DrainRequest, ErrorResponse, Frame, MetricsResponse, OutcomeResponse, ScaleRequest,
-    ScaleResponse, SnapshotRequest, SubmitRequest, HEADER_LEN, TRAILER_LEN,
+    self, AnnounceRequest, DepartRequest, DrainRequest, ErrorResponse, Frame, LeaveRequest,
+    MembershipResponse, MetricsResponse, OutcomeResponse, ScaleRequest, ScaleResponse, SnapshotRequest,
+    SubmitRequest, HEADER_LEN, TRAILER_LEN,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -94,6 +97,62 @@ proptest! {
     ) {
         let frame = Frame::Scaled(ScaleResponse { request_id, from_shards, to_shards, migrated, generation });
         assert_round_trip(&frame)?;
+    }
+
+    fn announce_and_leave_frames_round_trip(
+        request_id in 0u64..u64::MAX,
+        addr in ascii_string(40),
+        incarnation in 0u64..u64::MAX,
+    ) {
+        let frame = Frame::Announce(AnnounceRequest {
+            request_id,
+            addr: addr.clone(),
+            incarnation,
+        });
+        assert_round_trip(&frame)?;
+        let frame = Frame::Leave(LeaveRequest { request_id, addr, incarnation });
+        assert_round_trip(&frame)?;
+    }
+
+    fn membership_frames_round_trip(
+        request_id in 0u64..u64::MAX,
+        decision in membership_decision(),
+        members in vec(member_info(), 0..8),
+    ) {
+        let frame = Frame::Membership(MembershipResponse { request_id, decision, members });
+        assert_round_trip(&frame)?;
+    }
+
+    /// Forward compatibility: a v1 or v2 client receiving any v3
+    /// membership frame followed by a frame it understands skips the
+    /// unknown one and decodes the next without desync — the skip
+    /// consumes exactly the unknown frame's bytes.
+    fn old_clients_skip_membership_frames_without_desync(
+        cap in 1u8..3,
+        addr in ascii_string(40),
+        incarnation in 0u64..u64::MAX,
+        members in vec(member_info(), 0..6),
+    ) {
+        for future in [
+            Frame::Announce(AnnounceRequest { request_id: 1, addr: addr.clone(), incarnation }),
+            Frame::Leave(LeaveRequest { request_id: 2, addr: addr.clone(), incarnation }),
+            Frame::Membership(MembershipResponse {
+                request_id: 3,
+                decision: codec::MembershipDecision::Accepted,
+                members: members.clone(),
+            }),
+        ] {
+            let mut stream = codec::encode(&future);
+            let tail = Frame::Snapshot(SnapshotRequest { request_id: 9 });
+            stream.extend_from_slice(&codec::encode(&tail));
+            match codec::decode_capped(&stream, cap) {
+                Ok(Some((decoded, consumed))) => {
+                    prop_assert_eq!(decoded, tail, "old client must surface the next known frame");
+                    prop_assert_eq!(consumed, stream.len(), "skip must consume the exact frame length");
+                }
+                other => prop_assert!(false, "old client desynced: {:?}", other),
+            }
+        }
     }
 
     // -------------------------------------------------- envelope bounds

@@ -9,7 +9,7 @@ use offloadnn_core::task::{QualityLevel, Task, TaskId};
 use offloadnn_dnn::block::{BlockId, GroupId, ModelId};
 use offloadnn_dnn::repository::DnnPath;
 use offloadnn_dnn::{Config, PathConfig};
-use offloadnn_net::codec::ErrorCode;
+use offloadnn_net::codec::{ErrorCode, MemberInfo, MemberState, MembershipDecision};
 use offloadnn_radio::SnrDb;
 use offloadnn_serve::{HistogramSnapshot, MetricsSnapshot, Outcome, HISTOGRAM_BUCKETS};
 use proptest::collection::vec;
@@ -181,5 +181,31 @@ pub fn error_code() -> impl Strategy<Value = ErrorCode> {
         3 => ErrorCode::TooManyConnections,
         4 => ErrorCode::Internal,
         _ => ErrorCode::InvalidScale,
+    })
+}
+
+pub fn member_state() -> impl Strategy<Value = MemberState> {
+    (0u8..4).prop_map(|tag| match tag {
+        0 => MemberState::Probing,
+        1 => MemberState::Healthy,
+        2 => MemberState::Ejected,
+        _ => MemberState::Departed,
+    })
+}
+
+pub fn membership_decision() -> impl Strategy<Value = MembershipDecision> {
+    (0u8..4).prop_map(|tag| match tag {
+        0 => MembershipDecision::Accepted,
+        1 => MembershipDecision::Duplicate,
+        2 => MembershipDecision::Stale,
+        _ => MembershipDecision::Unsupported,
+    })
+}
+
+pub fn member_info() -> impl Strategy<Value = MemberInfo> {
+    (ascii_string(40), 0u64..u64::MAX, member_state()).prop_map(|(addr, incarnation, state)| MemberInfo {
+        addr,
+        incarnation,
+        state,
     })
 }

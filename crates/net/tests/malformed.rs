@@ -7,9 +7,9 @@
 use offloadnn_core::scenario::small_scenario;
 use offloadnn_core::task::TaskId;
 use offloadnn_net::codec::{
-    self, encode_raw, frame_type, DepartRequest, DrainRequest, ErrorCode, ErrorResponse, Frame,
-    MetricsResponse, OutcomeResponse, ScaleRequest, ScaleResponse, SnapshotRequest, SubmitRequest,
-    HEADER_LEN, MAX_PAYLOAD,
+    self, encode_raw, frame_type, AnnounceRequest, DepartRequest, DrainRequest, ErrorCode, ErrorResponse,
+    Frame, LeaveRequest, MemberInfo, MemberState, MembershipDecision, MembershipResponse, MetricsResponse,
+    OutcomeResponse, ScaleRequest, ScaleResponse, SnapshotRequest, SubmitRequest, HEADER_LEN, MAX_PAYLOAD,
 };
 use offloadnn_net::{decode, decode_exact, encode, DecodeError};
 use offloadnn_serve::{HistogramSnapshot, MetricsSnapshot, Outcome, HISTOGRAM_BUCKETS};
@@ -66,6 +66,20 @@ fn valid_frames() -> Vec<Frame> {
             migrated: 9,
             generation: 1,
         }),
+        Frame::Announce(AnnounceRequest {
+            request_id: 19,
+            addr: "10.0.0.7:4100".to_owned(),
+            incarnation: 41,
+        }),
+        Frame::Leave(LeaveRequest { request_id: 20, addr: "10.0.0.7:4100".to_owned(), incarnation: 41 }),
+        Frame::Membership(MembershipResponse {
+            request_id: 21,
+            decision: MembershipDecision::Accepted,
+            members: vec![
+                MemberInfo { addr: "10.0.0.7:4100".to_owned(), incarnation: 41, state: MemberState::Probing },
+                MemberInfo { addr: "10.0.0.8:4100".to_owned(), incarnation: 0, state: MemberState::Healthy },
+            ],
+        }),
     ]
 }
 
@@ -102,6 +116,49 @@ fn wrong_version_is_rejected() {
     let mut bytes = encode(&valid_frames()[2]);
     bytes[4] = offloadnn_net::VERSION + 1;
     assert_eq!(decode(&bytes), Err(DecodeError::UnsupportedVersion { got: offloadnn_net::VERSION + 1 }));
+}
+
+#[test]
+fn old_version_clients_skip_membership_frames_without_desync() {
+    // A v1 or v2 client on a mixed stream — a v3 announce, then a frame
+    // it knows — must skip the announce whole and surface the snapshot:
+    // graceful forward compatibility, not a connection error.
+    let announce =
+        Frame::Announce(AnnounceRequest { request_id: 1, addr: "10.0.0.9:4100".to_owned(), incarnation: 7 });
+    let tail = Frame::Snapshot(SnapshotRequest { request_id: 2 });
+    let mut stream = encode(&announce);
+    let announce_len = stream.len();
+    stream.extend_from_slice(&encode(&tail));
+    for cap in [1u8, 2] {
+        assert_eq!(
+            codec::decode_capped(&stream, cap),
+            Ok(Some((tail.clone(), stream.len()))),
+            "a v{cap} client must skip the v3 frame and decode the snapshot"
+        );
+        // A lone unknown frame is skipped silently: the stream is simply
+        // "incomplete" until a known frame arrives.
+        assert_eq!(codec::decode_capped(&stream[..announce_len], cap), Ok(None));
+    }
+    // A current client sees both frames in order.
+    let (first, consumed) = codec::decode(&stream).unwrap().expect("announce decodes at v3");
+    assert_eq!(first, announce);
+    assert_eq!(consumed, announce_len);
+}
+
+#[test]
+fn corrupt_future_frames_are_fatal_for_old_clients() {
+    // The skip path only trusts a future frame's length if its checksum
+    // verifies; corruption must surface as a typed error, not a silent
+    // mis-skip.
+    let announce =
+        Frame::Announce(AnnounceRequest { request_id: 1, addr: "10.0.0.9:4100".to_owned(), incarnation: 7 });
+    let mut bytes = encode(&announce);
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    assert_eq!(
+        codec::decode_capped(&bytes, 1),
+        Err(DecodeError::UnsupportedVersion { got: offloadnn_net::VERSION })
+    );
 }
 
 #[test]

@@ -206,6 +206,24 @@ pub struct Service {
     /// heals can invalidate it.
     plan_cache: Option<Arc<PlanCache<CachedPlan>>>,
     draining: AtomicBool,
+    /// Hooks fired exactly once, when the drain fence first goes up
+    /// (whether via [`Service::begin_drain`], [`Service::drain`] or
+    /// drop). A network frontend registers its gateway leave-notice
+    /// here so the cluster learns of the departure before the fleet
+    /// tears down.
+    drain_hooks: DrainHooks,
+}
+
+/// The pending drain hooks. A newtype only so the closures stay out of
+/// the service's `Debug` output.
+#[derive(Default)]
+struct DrainHooks(Mutex<Vec<Box<dyn FnOnce() + Send>>>);
+
+impl std::fmt::Debug for DrainHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.0.lock().map(|h| h.len()).unwrap_or(0);
+        write!(f, "DrainHooks({n} pending)")
+    }
 }
 
 impl Service {
@@ -260,6 +278,7 @@ impl Service {
             total_budgets: template.budgets,
             plan_cache,
             draining: AtomicBool::new(false),
+            drain_hooks: DrainHooks::default(),
         })
     }
 
@@ -606,7 +625,39 @@ impl Service {
     /// resharding: a [`Service::scale_to`] issued afterwards fails with
     /// [`ServeError::Draining`].
     pub fn begin_drain(&self) {
-        self.draining.store(true, Ordering::Release);
+        self.fence();
+    }
+
+    /// Raises the drain fence and, on the first raising only, runs every
+    /// registered drain hook. `swap` (not `store`) makes the first-time
+    /// decision atomic, so concurrent fencers fire the hooks once.
+    fn fence(&self) {
+        if !self.draining.swap(true, Ordering::AcqRel) {
+            let hooks = std::mem::take(&mut *self.drain_hooks.0.lock().expect("drain hooks lock"));
+            for hook in hooks {
+                hook();
+            }
+        }
+    }
+
+    /// Registers a hook to run when the drain fence first goes up (any
+    /// of [`Service::begin_drain`], [`Service::drain`] or drop). If the
+    /// drain has already begun the hook runs immediately, on the caller.
+    pub fn on_drain(&self, hook: Box<dyn FnOnce() + Send>) {
+        if self.is_draining() {
+            hook();
+            return;
+        }
+        self.drain_hooks.0.lock().expect("drain hooks lock").push(hook);
+        // The fence may have gone up between the check and the push; the
+        // fencer may already have swept the hooks, so re-check and sweep
+        // again rather than strand the hook unrun.
+        if self.is_draining() {
+            let hooks = std::mem::take(&mut *self.drain_hooks.0.lock().expect("drain hooks lock"));
+            for hook in hooks {
+                hook();
+            }
+        }
     }
 
     /// Whether [`Service::begin_drain`] (or [`Service::drain`]) has been
@@ -623,7 +674,7 @@ impl Service {
     /// injection killed a worker mid-flight
     /// ([`DrainReport::lost_shards`]).
     pub fn drain(self) -> DrainReport {
-        self.draining.store(true, Ordering::Release);
+        self.fence();
         // Serialise against scale_to: once the lock is held, the handle
         // set is stable and any later scale_to fails with Draining.
         let reshard_guard = self.reshard_lock.lock().expect("reshard lock");
@@ -674,7 +725,7 @@ impl Drop for Service {
     /// cleanly: the senders disconnect and each worker exits after
     /// resolving its backlog. The workers are detached, not joined.
     fn drop(&mut self) {
-        self.draining.store(true, Ordering::Release);
+        self.fence();
         if let Ok(mut routing) = self.routing.write() {
             routing.senders.clear();
         }
@@ -753,6 +804,41 @@ mod tests {
         service.begin_drain();
         assert_eq!(service.submit(task, options).unwrap_err(), SubmitError::Draining);
         assert_eq!(service.metrics().submitted, 0, "rejected submits are not counted");
+    }
+
+    #[test]
+    fn drain_hooks_fire_exactly_once_on_the_first_fence() {
+        use std::sync::atomic::AtomicU32;
+        let s = small_scenario(3);
+        let service = Service::start(ServiceConfig::default(), &s.instance).unwrap();
+        let fired = Arc::new(AtomicU32::new(0));
+        for _ in 0..2 {
+            let fired = Arc::clone(&fired);
+            service.on_drain(Box::new(move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "hooks must wait for the fence");
+        service.begin_drain();
+        assert_eq!(fired.load(Ordering::SeqCst), 2, "both hooks fire when the fence goes up");
+        service.begin_drain();
+        let report = service.drain();
+        assert!(report.metrics.is_conserved());
+        assert_eq!(fired.load(Ordering::SeqCst), 2, "later fences must not re-fire");
+    }
+
+    #[test]
+    fn drain_hook_registered_after_the_fence_runs_immediately() {
+        use std::sync::atomic::AtomicU32;
+        let s = small_scenario(3);
+        let service = Service::start(ServiceConfig::default(), &s.instance).unwrap();
+        service.begin_drain();
+        let fired = Arc::new(AtomicU32::new(0));
+        let fired2 = Arc::clone(&fired);
+        service.on_drain(Box::new(move || {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "late hooks run on the caller");
     }
 
     #[test]
