@@ -69,6 +69,19 @@ echo "==> discovery gate: live hot-join + graceful leave under load"
 timeout 300 cargo run -q --release -p offloadnn-gateway --bin gateway_loadgen -- \
     --nodes 2 --requests 3000 --clients 4 --join-node-at 600 --leave-node-at 1800 >/dev/null
 
+echo "==> federation gate: deterministic two-cluster overflow harness on fixed + random seeds"
+for seed in 42 31337 "$(awk 'BEGIN{srand();print int(rand()*65536)}')"; do
+    echo "    FEDERATION_SEED=$seed"
+    FEDERATION_SEED="$seed" timeout 300 cargo test -q -p offloadnn-gateway --test federation_harness
+done
+
+echo "==> federation gate: live two-gateway overflow forwarding over the wire"
+timeout 300 cargo run -q --release -p offloadnn-gateway --bin gateway_loadgen -- \
+    --nodes 1 --shards 1 --queue-capacity 8 --requests 2000 --clients 4 --peer >/dev/null
+
+echo "==> admitter gate: the same workload conserves through every tier behind the unified API"
+timeout 300 cargo test -q -p offloadnn-gateway --test admitter_conservation
+
 echo "==> plancache gate: cached-equals-fresh equivalence on fixed + random seeds"
 for seed in "$(awk 'BEGIN{srand();print int(rand()*65536)}')"; do
     echo "    PLANCACHE_SEED=$seed (plus the baked-in fixed seeds)"
@@ -92,6 +105,7 @@ timeout 300 cargo test -q -p offloadnn-serve --test reshard_telemetry --features
 timeout 300 cargo test -q -p offloadnn-net --test net_telemetry --features offloadnn-telemetry/disabled
 timeout 300 cargo test -q -p offloadnn-gateway --test gateway_telemetry --features offloadnn-telemetry/disabled
 timeout 300 cargo test -q -p offloadnn-gateway --test discovery_harness --features offloadnn-telemetry/disabled
+timeout 300 cargo test -q -p offloadnn-gateway --test federation_harness --features offloadnn-telemetry/disabled
 timeout 300 cargo test -q -p offloadnn-plancache --features offloadnn-telemetry/disabled
 
 echo "==> cargo bench smoke (criterion --test mode)"

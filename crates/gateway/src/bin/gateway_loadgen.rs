@@ -7,31 +7,38 @@
 //! admission submits. Optionally kills one backend node mid-run so the
 //! gateway's ejection + failover path carries live traffic, hot-joins a
 //! brand-new node over the wire (`--join-node-at`, a v3 Announce frame
-//! followed by probation), or gracefully departs a node
+//! followed by probation), gracefully departs a node
 //! (`--leave-node-at`, a v3 Leave frame) while its in-flight verdicts
-//! drain.
+//! drain, or federates the gateway with a second full cluster
+//! (`--peer`): the primary cluster is deliberately starved
+//! (`--queue-capacity`) so its would-be `Shed` overflow forwards over
+//! protocol-v4 `Forward` frames to the peer, and the run requires that
+//! overflow to actually land there.
 //!
 //! The run is conservation-gated: every offered request must resolve
 //! exactly once at the wire, the gateway's own ledger must balance,
-//! and every backend node — including the killed one — must be locally
-//! conserved. Exits non-zero on any violation, so CI can gate on it.
+//! and every backend node — including the killed one and the peer
+//! cluster's — must be locally conserved. Exits non-zero on any
+//! violation, so CI can gate on it. The flag surface, verdict tally
+//! and driver loop are the shared ones from
+//! [`offloadnn_serve::loadgen::args`]; each connection's [`Client`] is
+//! driven purely as a `&dyn Admitter`.
 //!
 //! ```text
 //! cargo run --release -p offloadnn-gateway --bin gateway_loadgen -- \
 //!     --nodes 3 --requests 3000 --kill-node-at 1200
 //! cargo run --release -p offloadnn-gateway --bin gateway_loadgen -- \
-//!     --nodes 2 --requests 3000 --join-node-at 600 --leave-node-at 1800
+//!     --nodes 1 --shards 1 --queue-capacity 8 --requests 2000 --peer
 //! ```
 
+use offloadnn_core::instance::PathOption;
 use offloadnn_core::scenario::small_scenario;
-use offloadnn_core::task::TaskId;
-use offloadnn_gateway::{Gateway, GatewayConfig, HedgeConfig};
-use offloadnn_net::{AnyServer, Client, ClientConfig, Frontend, NetConfig, NetError, NetServer};
+use offloadnn_core::task::Task;
+use offloadnn_gateway::{FederationConfig, Gateway, GatewayConfig, HedgeConfig};
+use offloadnn_net::{AnyServer, Client, ClientConfig, Frontend, NetConfig, NetServer};
 use offloadnn_plancache::PlanCacheConfig;
-use offloadnn_serve::{Outcome, ServiceConfig, ShapePool};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use std::collections::VecDeque;
+use offloadnn_serve::loadgen::args::{self, CommonArgs, DriveConfig, DriveReport, WireTally};
+use offloadnn_serve::{ServiceConfig, ShapePool};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -40,7 +47,8 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "\
 gateway_loadgen — loopback load generator for the offloadnn-gateway tier
 
-Topology: N backend serve nodes <- gateway <- TCP frontend <- clients.
+Topology: N backend serve nodes <- gateway <- TCP frontend <- clients,
+optionally federated with a second peer cluster (--peer).
 
 OPTIONS (all optional; defaults in brackets):
   --frontend F        TCP frontend for the gateway's own
@@ -55,6 +63,10 @@ OPTIONS (all optional; defaults in brackets):
                       (0 = gateway policy deadline)         [0]
   --max-active N      admitted tasks kept per client
                       before the oldest departs             [64]
+  --queue-capacity N  per-shard ingress queue bound on the
+                      primary cluster's nodes; shrink it to
+                      starve the cluster into shedding (the
+                      --peer overflow lever)                [1024]
   --kill-node-at N    shut one backend node down once N
                       submits have been offered across all
                       clients (0 = never)                   [0]
@@ -70,6 +82,12 @@ OPTIONS (all optional; defaults in brackets):
                       flush in-flight verdicts) (0 = never) [0]
   --leave-node IDX    which node --leave-node-at departs    [0]
   --hedge             enable deadline-aware hedging         [off]
+  --peer              federate with a second cluster: the
+                      primary gateway forwards its would-be
+                      Shed overflow to it over protocol-v4
+                      Forward frames; the run fails unless
+                      overflow actually lands there         [off]
+  --peer-nodes N      backend nodes in the peer cluster     [2]
   --shape-skew S      Zipf exponent of the task-shape mix;
                       0 keeps the uniform prototype draw    [0]
   --shape-pool N      distinct shapes in the Zipf pool      [64]
@@ -79,251 +97,164 @@ OPTIONS (all optional; defaults in brackets):
   -h, --help          print this help
 ";
 
-struct Args {
-    frontend: Frontend,
+/// The flags only this binary understands.
+struct Extra {
     nodes: usize,
-    requests: u64,
-    clients: usize,
-    window: usize,
-    shards: usize,
-    ues: usize,
-    deadline_ms: u64,
-    max_active: usize,
+    queue_capacity: usize,
     kill_node_at: u64,
     kill_node: usize,
     join_node_at: u64,
     leave_node_at: u64,
     leave_node: usize,
     hedge: bool,
-    shape_skew: f64,
-    shape_pool: usize,
     gw_cache: bool,
-    seed: u64,
+    peer: bool,
+    peer_nodes: usize,
 }
 
-impl Default for Args {
-    fn default() -> Self {
-        Self {
-            frontend: Frontend::default(),
-            nodes: 3,
-            requests: 3000,
-            clients: 4,
-            window: 64,
-            shards: 2,
-            ues: 4,
-            deadline_ms: 0,
-            max_active: 64,
-            kill_node_at: 0,
-            kill_node: 1,
-            join_node_at: 0,
-            leave_node_at: 0,
-            leave_node: 0,
-            hedge: false,
-            shape_skew: 0.0,
-            shape_pool: 64,
-            gw_cache: false,
-            seed: 7,
-        }
-    }
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        if flag == "-h" || flag == "--help" {
-            print!("{USAGE}");
-            std::process::exit(0);
-        }
-        if flag == "--hedge" {
-            args.hedge = true;
-            continue;
-        }
-        if flag == "--gw-cache" {
-            args.gw_cache = true;
-            continue;
+fn parse_args() -> Result<(CommonArgs, Extra), String> {
+    let mut common = CommonArgs { requests: 3000, window: 64, ues: 4, ..CommonArgs::default() };
+    let mut extra = Extra {
+        nodes: 3,
+        queue_capacity: ServiceConfig::default().queue_capacity,
+        kill_node_at: 0,
+        kill_node: 1,
+        join_node_at: 0,
+        leave_node_at: 0,
+        leave_node: 0,
+        hedge: false,
+        gw_cache: false,
+        peer: false,
+        peer_nodes: 2,
+    };
+    args::parse(USAGE, &mut common, |flag, it| {
+        // The value-less switches are claimed before any value is
+        // pulled; every other extra flag takes exactly one value.
+        match flag {
+            "--hedge" => {
+                extra.hedge = true;
+                return Ok(true);
+            }
+            "--gw-cache" => {
+                extra.gw_cache = true;
+                return Ok(true);
+            }
+            "--peer" => {
+                extra.peer = true;
+                return Ok(true);
+            }
+            "--nodes" | "--queue-capacity" | "--kill-node-at" | "--kill-node" | "--join-node-at"
+            | "--leave-node-at" | "--leave-node" | "--peer-nodes" => {}
+            _ => return Ok(false),
         }
         let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
         let bad = |e: &dyn std::fmt::Display| format!("{flag} {value}: {e}");
-        match flag.as_str() {
-            "--frontend" => args.frontend = value.parse().map_err(|e| bad(&e))?,
-            "--nodes" => args.nodes = value.parse().map_err(|e| bad(&e))?,
-            "--requests" => args.requests = value.parse().map_err(|e| bad(&e))?,
-            "--clients" => args.clients = value.parse().map_err(|e| bad(&e))?,
-            "--window" => args.window = value.parse().map_err(|e| bad(&e))?,
-            "--shards" => args.shards = value.parse().map_err(|e| bad(&e))?,
-            "--ues" => args.ues = value.parse().map_err(|e| bad(&e))?,
-            "--deadline-ms" => args.deadline_ms = value.parse().map_err(|e| bad(&e))?,
-            "--max-active" => args.max_active = value.parse().map_err(|e| bad(&e))?,
-            "--kill-node-at" => args.kill_node_at = value.parse().map_err(|e| bad(&e))?,
-            "--kill-node" => args.kill_node = value.parse().map_err(|e| bad(&e))?,
-            "--join-node-at" => args.join_node_at = value.parse().map_err(|e| bad(&e))?,
-            "--leave-node-at" => args.leave_node_at = value.parse().map_err(|e| bad(&e))?,
-            "--leave-node" => args.leave_node = value.parse().map_err(|e| bad(&e))?,
-            "--shape-skew" => args.shape_skew = value.parse().map_err(|e| bad(&e))?,
-            "--shape-pool" => args.shape_pool = value.parse().map_err(|e| bad(&e))?,
-            "--seed" => args.seed = value.parse().map_err(|e| bad(&e))?,
-            other => return Err(format!("unknown flag {other} (try --help)")),
+        match flag {
+            "--nodes" => extra.nodes = value.parse().map_err(|e| bad(&e))?,
+            "--queue-capacity" => extra.queue_capacity = value.parse().map_err(|e| bad(&e))?,
+            "--kill-node-at" => extra.kill_node_at = value.parse().map_err(|e| bad(&e))?,
+            "--kill-node" => extra.kill_node = value.parse().map_err(|e| bad(&e))?,
+            "--join-node-at" => extra.join_node_at = value.parse().map_err(|e| bad(&e))?,
+            "--leave-node-at" => extra.leave_node_at = value.parse().map_err(|e| bad(&e))?,
+            "--leave-node" => extra.leave_node = value.parse().map_err(|e| bad(&e))?,
+            "--peer-nodes" => extra.peer_nodes = value.parse().map_err(|e| bad(&e))?,
+            _ => unreachable!("guarded above"),
         }
-    }
-    if args.nodes == 0 {
+        Ok(true)
+    })?;
+    if extra.nodes == 0 {
         return Err("--nodes must be >= 1".into());
     }
-    if args.clients == 0 {
-        return Err("--clients must be >= 1".into());
-    }
-    if args.window == 0 {
-        return Err("--window must be >= 1".into());
-    }
-    if args.kill_node_at > 0 {
-        if args.nodes < 2 {
+    if extra.kill_node_at > 0 {
+        if extra.nodes < 2 {
             return Err("--kill-node-at needs at least 2 nodes (someone must survive)".into());
         }
-        if args.kill_node >= args.nodes {
+        if extra.kill_node >= extra.nodes {
             return Err("--kill-node index out of range".into());
         }
     }
-    if args.leave_node_at > 0 {
-        if args.nodes < 2 && args.join_node_at == 0 {
+    if extra.leave_node_at > 0 {
+        if extra.nodes < 2 && extra.join_node_at == 0 {
             return Err("--leave-node-at needs at least 2 nodes (someone must survive)".into());
         }
-        if args.leave_node >= args.nodes {
+        if extra.leave_node >= extra.nodes {
             return Err("--leave-node index out of range".into());
         }
-        if args.kill_node_at > 0 && args.leave_node == args.kill_node {
+        if extra.kill_node_at > 0 && extra.leave_node == extra.kill_node {
             return Err("--leave-node and --kill-node must differ".into());
         }
     }
-    Ok(args)
-}
-
-/// Per-client verdict tally, observed through the wire.
-#[derive(Debug, Default, Clone, Copy)]
-struct Tally {
-    admitted: u64,
-    rejected: u64,
-    shed: u64,
-    expired: u64,
-    server_error: u64,
-    transport_error: u64,
-}
-
-impl Tally {
-    fn outcomes(&self) -> u64 {
-        self.admitted + self.rejected + self.shed + self.expired
+    if extra.peer && extra.peer_nodes == 0 {
+        return Err("--peer-nodes must be >= 1".into());
     }
-
-    fn merge(&mut self, o: Tally) {
-        self.admitted += o.admitted;
-        self.rejected += o.rejected;
-        self.shed += o.shed;
-        self.expired += o.expired;
-        self.server_error += o.server_error;
-        self.transport_error += o.transport_error;
-    }
+    Ok((common, extra))
 }
 
-/// How long a wire verdict may stay outstanding before the run declares
-/// the connection wedged. Generous: a kill mid-run legitimately parks a
-/// ticket for the full gateway deadline + grace while failover runs.
-const VERDICT_TIMEOUT: Duration = Duration::from_secs(30);
-
+/// One driver connection: dial, hand the client to the shared
+/// tier-agnostic drive loop, hang up. A failed dial charges this
+/// driver's whole share as transport errors.
 fn run_client(
     addr: std::net::SocketAddr,
-    client_idx: usize,
-    requests: u64,
-    args: &Args,
-    protos: &[(offloadnn_core::task::Task, Vec<offloadnn_core::instance::PathOption>)],
+    cfg: DriveConfig,
+    protos: &[(Task, Vec<PathOption>)],
     shapes: Option<&ShapePool>,
     offered: &AtomicU64,
-) -> (Tally, u64) {
+) -> DriveReport {
     let client = match Client::connect(addr, ClientConfig::default()) {
         Ok(c) => c,
         Err(_) => {
-            offered.fetch_add(requests, Ordering::Relaxed);
-            let t = Tally { transport_error: requests, ..Tally::default() };
-            return (t, 0);
+            offered.fetch_add(cfg.requests, Ordering::Relaxed);
+            return DriveReport {
+                tally: WireTally { transport: cfg.requests, ..WireTally::default() },
+                departed: 0,
+            };
         }
     };
-    let deadline = (args.deadline_ms > 0).then(|| Duration::from_millis(args.deadline_ms));
-    let mut rng = StdRng::seed_from_u64(args.seed ^ (client_idx as u64).wrapping_mul(0x9E37_79B9));
-    let mut tally = Tally::default();
-    let mut departed = 0u64;
-    let mut pending = VecDeque::new();
-    let mut active: VecDeque<TaskId> = VecDeque::new();
-
-    let resolve = |p: offloadnn_net::PendingVerdict, tally: &mut Tally, active: &mut VecDeque<TaskId>| {
-        let task = p.task;
-        match p.wait_timeout(VERDICT_TIMEOUT) {
-            Ok(Outcome::Admitted { .. }) => {
-                tally.admitted += 1;
-                active.push_back(task);
-            }
-            Ok(Outcome::Rejected { .. }) => tally.rejected += 1,
-            Ok(Outcome::Shed { .. }) => tally.shed += 1,
-            Ok(Outcome::Expired { .. }) => tally.expired += 1,
-            Err(NetError::Server(_)) => tally.server_error += 1,
-            Err(_) => tally.transport_error += 1,
-        }
-    };
-
-    for i in 0..requests {
-        // With the Zipf pool active, popular shape ranks repeat
-        // bit-identically across clients, so the gateway's plan cache
-        // (and any node-level cache behind it) has something to hit.
-        let (proto, jitter) = match shapes {
-            Some(pool) => {
-                let (proto, priority, rate) = pool.draw(&mut rng);
-                (&protos[proto], Some((priority, rate)))
-            }
-            None => (&protos[rng.random_range(0..protos.len())], None),
-        };
-        let mut task = proto.0.clone();
-        if let Some((priority, rate)) = jitter {
-            task.priority = (task.priority * priority).clamp(0.05, 1.0);
-            task.request_rate *= rate;
-        }
-        // Disjoint id spaces keep departures routable per client.
-        task.id = TaskId(u32::try_from(client_idx as u64 * 100_000_000 + i).unwrap_or(u32::MAX));
-        match client.submit(task, proto.1.clone(), deadline) {
-            Ok(p) => pending.push_back(p),
-            Err(_) => tally.transport_error += 1,
-        }
-        offered.fetch_add(1, Ordering::Relaxed);
-        if pending.len() >= args.window {
-            if let Some(p) = pending.pop_front() {
-                resolve(p, &mut tally, &mut active);
-            }
-        }
-        while args.max_active > 0 && active.len() > args.max_active {
-            if let Some(id) = active.pop_front() {
-                if client.depart(id).is_ok() {
-                    departed += 1;
-                }
-            }
-        }
-    }
-    while let Some(p) = pending.pop_front() {
-        resolve(p, &mut tally, &mut active);
-    }
+    let report = args::drive(&client, &cfg, protos, shapes, offered);
     client.close();
-    (tally, departed)
+    report
+}
+
+/// Fast-failover gateway tuning so a mid-run kill (or a peer digest
+/// gap) resolves well inside the verdict timeout; the defaults are
+/// sized for real WAN probes.
+fn fast_gateway_config() -> GatewayConfig {
+    GatewayConfig {
+        health_interval: Duration::from_millis(50),
+        health_timeout: Duration::from_millis(250),
+        eject_after: 2,
+        probation: Duration::from_millis(500),
+        default_deadline: Duration::from_secs(2),
+        verdict_grace: Duration::from_secs(2),
+        ..GatewayConfig::default()
+    }
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
+    let (common, extra) = match parse_args() {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
-    let scenario = small_scenario(args.ues);
+    let frontend_kind: Frontend = match common.frontend.parse() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: --frontend {}: {e}", common.frontend);
+            return ExitCode::from(2);
+        }
+    };
+    let scenario = small_scenario(common.ues);
     let protos: Vec<_> =
         scenario.instance.tasks.iter().cloned().zip(scenario.instance.options.iter().cloned()).collect();
-    let shapes = (args.shape_skew > 0.0)
-        .then(|| ShapePool::new(args.shape_pool, args.shape_skew, protos.len(), args.seed));
-    let service_config = ServiceConfig { shards: args.shards, ..ServiceConfig::default() };
+    let shapes = (common.shape_skew > 0.0)
+        .then(|| ShapePool::new(common.shape_pool, common.shape_skew, protos.len(), common.seed));
+    let service_config = ServiceConfig {
+        shards: common.shards,
+        queue_capacity: extra.queue_capacity,
+        ..ServiceConfig::default()
+    };
     if let Err(e) = service_config.validate() {
         eprintln!("error: {e}");
         return ExitCode::from(2);
@@ -331,7 +262,7 @@ fn main() -> ExitCode {
 
     // Backend pool: each node is a full serve stack behind its own TCP
     // frontend, exactly what a remote edge node would run.
-    let nodes: Vec<Mutex<Option<NetServer>>> = match (0..args.nodes)
+    let nodes: Vec<Mutex<Option<NetServer>>> = match (0..extra.nodes)
         .map(|_| {
             NetServer::start(("127.0.0.1", 0), NetConfig::default(), service_config, &scenario.instance)
                 .map(|n| Mutex::new(Some(n)))
@@ -349,19 +280,65 @@ fn main() -> ExitCode {
         .map(|n| n.lock().expect("node lock").as_ref().expect("node live").local_addr())
         .collect();
 
-    // Fast-failover tuning so a mid-run kill resolves well inside the
-    // verdict timeout; the defaults are sized for real WAN probes.
-    let gateway_config = GatewayConfig {
-        health_interval: Duration::from_millis(50),
-        health_timeout: Duration::from_millis(250),
-        eject_after: 2,
-        probation: Duration::from_millis(500),
-        default_deadline: Duration::from_secs(2),
-        verdict_grace: Duration::from_secs(2),
-        hedge: HedgeConfig { enabled: args.hedge, min_samples: 32 },
-        plan_cache: args.gw_cache.then(PlanCacheConfig::default),
-        ..GatewayConfig::default()
+    // The peer cluster (--peer) is a second, independent gateway over
+    // its own node pool with *default* queue capacity — plenty of
+    // headroom to absorb the primary's overflow. It never forwards back
+    // (no federation config of its own), so the topology is a strict
+    // overflow drain.
+    let peer_cluster = if extra.peer {
+        let peer_service = ServiceConfig { shards: common.shards, ..ServiceConfig::default() };
+        let peer_nodes: Vec<NetServer> = match (0..extra.peer_nodes)
+            .map(|_| {
+                NetServer::start(("127.0.0.1", 0), NetConfig::default(), peer_service, &scenario.instance)
+            })
+            .collect()
+        {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: failed to start peer backend node: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let peer_addrs: Vec<_> = peer_nodes.iter().map(NetServer::local_addr).collect();
+        let peer_gateway = match Gateway::start(&peer_addrs, fast_gateway_config()) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: failed to start peer gateway: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let peer_frontend = match AnyServer::start_with_backend(
+            frontend_kind,
+            ("127.0.0.1", 0),
+            NetConfig::default(),
+            peer_gateway,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: failed to start peer gateway frontend: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        Some((peer_frontend, peer_nodes))
+    } else {
+        None
     };
+
+    let mut gateway_config = GatewayConfig {
+        hedge: HedgeConfig { enabled: extra.hedge, min_samples: 32 },
+        plan_cache: extra.gw_cache.then(PlanCacheConfig::default),
+        ..fast_gateway_config()
+    };
+    if let Some((peer_frontend, _)) = &peer_cluster {
+        // Fast digest cadence for the same reason as the fast health
+        // probes: the peer must be scored (digested) early in the run.
+        gateway_config.federation = Some(FederationConfig {
+            digest_interval: Duration::from_millis(50),
+            digest_timeout: Duration::from_millis(250),
+            eject_after: 2,
+            ..FederationConfig::new("loadgen-primary", vec![peer_frontend.local_addr()])
+        });
+    }
     let gateway = match Gateway::start(&node_addrs, gateway_config) {
         Ok(g) => g,
         Err(e) => {
@@ -373,10 +350,10 @@ fn main() -> ExitCode {
     // The gateway is itself a Backend, so it mounts behind the same
     // reactor-or-threads frontend switch the single-node server uses.
     let net_config = NetConfig {
-        max_connections: NetConfig::default().max_connections.max(args.clients + 8),
+        max_connections: NetConfig::default().max_connections.max(common.clients + 8),
         ..NetConfig::default()
     };
-    let frontend = match AnyServer::start_with_backend(args.frontend, ("127.0.0.1", 0), net_config, gateway) {
+    let frontend = match AnyServer::start_with_backend(frontend_kind, ("127.0.0.1", 0), net_config, gateway) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: failed to start gateway frontend: {e}");
@@ -384,40 +361,51 @@ fn main() -> ExitCode {
         }
     };
     let addr = frontend.local_addr();
-    println!(
-        "gateway_loadgen: frontend {}, {} node(s) x {} shard(s), {} requests, {} client(s) x window {}, seed {}{} — gateway {addr}",
-        args.frontend,
-        args.nodes,
-        args.shards,
-        args.requests,
-        args.clients,
-        args.window,
-        args.seed,
-        if args.kill_node_at > 0 {
-            format!(", killing node {} at {} offered", args.kill_node, args.kill_node_at)
-        } else {
-            String::new()
-        },
+    args::print_header(
+        "gateway",
+        &common.frontend,
+        common.seed,
+        format_args!(
+            "{} node(s) x {} shard(s), {} requests, {} client(s) x window {}{} — gateway {addr}",
+            extra.nodes,
+            common.shards,
+            common.requests,
+            common.clients,
+            common.window,
+            if extra.kill_node_at > 0 {
+                format!(", killing node {} at {} offered", extra.kill_node, extra.kill_node_at)
+            } else {
+                String::new()
+            },
+        ),
     );
-    if args.join_node_at > 0 {
-        println!("discovery: hot-joining one node at {} offered", args.join_node_at);
+    if let Some((peer_frontend, _)) = &peer_cluster {
+        println!(
+            "federation: overflow forwards to peer cluster {} ({} node(s), queue capacity {} locally)",
+            peer_frontend.local_addr(),
+            extra.peer_nodes,
+            extra.queue_capacity,
+        );
     }
-    if args.leave_node_at > 0 {
-        println!("discovery: node {} leaves gracefully at {} offered", args.leave_node, args.leave_node_at);
+    if extra.join_node_at > 0 {
+        println!("discovery: hot-joining one node at {} offered", extra.join_node_at);
     }
-    if args.shape_skew > 0.0 {
+    if extra.leave_node_at > 0 {
+        println!("discovery: node {} leaves gracefully at {} offered", extra.leave_node, extra.leave_node_at);
+    }
+    if common.shape_skew > 0.0 {
         println!(
             "shapes: Zipf skew {:.2} over a pool of {} deterministic shapes (gateway cache {})",
-            args.shape_skew,
-            args.shape_pool,
-            if args.gw_cache { "on" } else { "off" },
+            common.shape_skew,
+            common.shape_pool,
+            if extra.gw_cache { "on" } else { "off" },
         );
     }
 
     let started = Instant::now();
-    let per_client = args.requests / args.clients as u64;
-    let remainder = args.requests % args.clients as u64;
-    let (mut tally, mut departed) = (Tally::default(), 0u64);
+    let per_client = common.requests / common.clients as u64;
+    let remainder = common.requests % common.clients as u64;
+    let mut total = DriveReport::default();
     let offered = AtomicU64::new(0);
     let mut node_reports = Vec::new();
     let mut joined_server = None;
@@ -425,16 +413,17 @@ fn main() -> ExitCode {
         // The killer waits for the offered threshold, then shuts the
         // victim down with tickets still in flight — the gateway must
         // eject it and finish those tickets on survivors.
-        let killer = (args.kill_node_at > 0).then(|| {
-            let (offered, victim) = (&offered, &nodes[args.kill_node]);
+        let killer = (extra.kill_node_at > 0).then(|| {
+            let (offered, victim) = (&offered, &nodes[extra.kill_node]);
+            let (kill_node, kill_node_at) = (extra.kill_node, extra.kill_node_at);
             scope.spawn(move || {
-                while offered.load(Ordering::Relaxed) < args.kill_node_at {
+                while offered.load(Ordering::Relaxed) < kill_node_at {
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 let server = victim.lock().expect("node lock").take().expect("victim live");
                 let at = offered.load(Ordering::Relaxed);
                 let report = server.shutdown();
-                println!("killed node {} at {} offered", args.kill_node, at);
+                println!("killed node {kill_node} at {at} offered");
                 report
             })
         });
@@ -442,10 +431,11 @@ fn main() -> ExitCode {
         // announces it to the gateway *over the wire* — the v3 Announce
         // frame travels through the TCP frontend, the node sits out its
         // probation, and only then starts absorbing traffic.
-        let joiner = (args.join_node_at > 0).then(|| {
+        let joiner = (extra.join_node_at > 0).then(|| {
             let (offered, scenario) = (&offered, &scenario);
+            let join_node_at = extra.join_node_at;
             scope.spawn(move || {
-                while offered.load(Ordering::Relaxed) < args.join_node_at {
+                while offered.load(Ordering::Relaxed) < join_node_at {
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 let server = NetServer::start(
@@ -469,11 +459,12 @@ fn main() -> ExitCode {
         // The leaver sends a graceful Leave frame for one seed node but
         // keeps its server running: the gateway must stop routing new
         // work to it while in-flight tickets fail over or finish.
-        let leaver = (args.leave_node_at > 0).then(|| {
+        let leaver = (extra.leave_node_at > 0).then(|| {
             let offered = &offered;
-            let leave_addr = node_addrs[args.leave_node];
+            let leave_addr = node_addrs[extra.leave_node];
+            let (leave_node, leave_node_at) = (extra.leave_node, extra.leave_node_at);
             scope.spawn(move || {
-                while offered.load(Ordering::Relaxed) < args.leave_node_at {
+                while offered.load(Ordering::Relaxed) < leave_node_at {
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 let at = offered.load(Ordering::Relaxed);
@@ -482,24 +473,25 @@ fn main() -> ExitCode {
                     .leave(&leave_addr.to_string(), u64::MAX, Duration::from_secs(5))
                     .expect("leave rpc");
                 client.close();
-                println!("node {} left at {at} offered: {:?}", args.leave_node, resp.decision);
+                println!("node {leave_node} left at {at} offered: {:?}", resp.decision);
             })
         });
-        let handles: Vec<_> = (0..args.clients)
+        let handles: Vec<_> = (0..common.clients)
             .map(|idx| {
                 let share = per_client + u64::from((idx as u64) < remainder);
-                let (args, protos, offered) = (&args, &protos, &offered);
+                let cfg = DriveConfig::from_common(&common, idx, share);
+                let (protos, offered) = (&protos, &offered);
                 let shapes = shapes.as_ref();
-                scope.spawn(move || run_client(addr, idx, share, args, protos, shapes, offered))
+                scope.spawn(move || run_client(addr, cfg, protos, shapes, offered))
             })
             .collect();
         for h in handles {
-            let (t, d) = h.join().expect("client thread");
-            tally.merge(t);
-            departed += d;
+            let r = h.join().expect("client thread");
+            total.tally.merge(r.tally);
+            total.departed += r.departed;
         }
         if let Some(k) = killer {
-            node_reports.push((args.kill_node, k.join().expect("killer thread"), true));
+            node_reports.push((extra.kill_node, k.join().expect("killer thread"), true));
         }
         if let Some(l) = leaver {
             l.join().expect("leaver thread");
@@ -509,9 +501,11 @@ fn main() -> ExitCode {
         }
     });
     let wall = started.elapsed();
+    let tally = total.tally;
 
     // Frontend drain returns the gateway's ledger; then drain whatever
-    // backend nodes are still alive.
+    // backend nodes are still alive, then (in --peer mode) the peer
+    // cluster — its gateway first, its nodes after.
     let report = frontend.shutdown();
     let m = &report.metrics;
     for (idx, node) in nodes.iter().enumerate() {
@@ -520,20 +514,22 @@ fn main() -> ExitCode {
         }
     }
     if let Some(server) = joined_server {
-        node_reports.push((args.nodes, server.shutdown(), false));
+        node_reports.push((extra.nodes, server.shutdown(), false));
     }
     node_reports.sort_by_key(|(idx, _, _)| *idx);
-    let submit_rate = args.requests as f64 / wall.as_secs_f64().max(1e-9);
+    let peer_reports = peer_cluster.map(|(peer_frontend, peer_nodes)| {
+        let gw = peer_frontend.shutdown();
+        let node_reports: Vec<_> = peer_nodes.into_iter().map(NetServer::shutdown).collect();
+        (gw, node_reports)
+    });
+    let submit_rate = common.requests as f64 / wall.as_secs_f64().max(1e-9);
 
     println!("\n— run —");
     println!(
-        "wall {:.3?}   offered {}   {:.0} submits/s   departed {departed}",
-        wall, args.requests, submit_rate
+        "wall {:.3?}   offered {}   {:.0} submits/s   departed {}",
+        wall, common.requests, submit_rate, total.departed
     );
-    println!(
-        "outcomes: admitted {}  rejected {}  shed {}  expired {}  server-err {}  transport-err {}",
-        tally.admitted, tally.rejected, tally.shed, tally.expired, tally.server_error, tally.transport_error
-    );
+    println!("outcomes: {tally}");
     println!("\n— gateway (post-drain) —\n{m}");
     if let Some(pc) = &report.plan_cache {
         println!(
@@ -556,20 +552,40 @@ fn main() -> ExitCode {
             nm.is_conserved(),
         );
     }
+    if let Some((gw, peer_node_reports)) = &peer_reports {
+        let pm = &gw.metrics;
+        println!(
+            "peer gateway: submitted {}  admitted {}  shed {}  conserved {}",
+            pm.submitted,
+            pm.admitted,
+            pm.shed,
+            pm.is_conserved(),
+        );
+        for (idx, r) in peer_node_reports.iter().enumerate() {
+            let nm = &r.metrics;
+            println!(
+                "peer node {idx}: submitted {}  admitted {}  departed {}  conserved {}",
+                nm.submitted,
+                nm.admitted,
+                nm.departed,
+                nm.is_conserved(),
+            );
+        }
+    }
     let telemetry = offloadnn_telemetry::global().snapshot();
     println!("\n— telemetry (gw.* / net.*) —\n{telemetry}");
 
     // End-to-end conservation: every offered request is accounted for
     // exactly once at the wire, the gateway ledger balances, and every
-    // node — including a killed one — is locally conserved.
+    // node — including a killed one and the peer cluster's — is locally
+    // conserved.
     let mut violations = Vec::new();
-    if tally.outcomes() + tally.server_error + tally.transport_error != args.requests {
+    if tally.outcomes() + tally.errors() != common.requests {
         violations.push(format!(
-            "offered {} != outcomes {} + server-err {} + transport-err {}",
-            args.requests,
+            "offered {} != outcomes {} + errors {}",
+            common.requests,
             tally.outcomes(),
-            tally.server_error,
-            tally.transport_error
+            tally.errors(),
         ));
     }
     if !m.is_conserved() {
@@ -579,7 +595,7 @@ fn main() -> ExitCode {
             m.resolved()
         ));
     }
-    if tally.transport_error == 0 {
+    if tally.errors() == 0 {
         for (name, wire, gateway) in [
             ("submitted", tally.outcomes(), m.submitted),
             ("admitted", tally.admitted, m.admitted),
@@ -608,10 +624,36 @@ fn main() -> ExitCode {
                 .push(format!("node {idx} departed {} more than it admitted {}", nm.departed, nm.admitted));
         }
     }
+    if let Some((gw, peer_node_reports)) = &peer_reports {
+        let pm = &gw.metrics;
+        if !pm.is_conserved() {
+            violations.push(format!(
+                "peer gateway conservation violated: submitted {} != resolved {}",
+                pm.submitted,
+                pm.resolved()
+            ));
+        }
+        // The whole point of the federated run: the primary's overflow
+        // must actually reach the peer cluster over the wire.
+        if pm.submitted == 0 {
+            violations.push("no overflow was forwarded to the peer cluster".into());
+        }
+        for (idx, r) in peer_node_reports.iter().enumerate() {
+            let nm = &r.metrics;
+            node_admitted += nm.admitted;
+            if !nm.is_conserved() {
+                violations.push(format!(
+                    "peer node {idx} conservation violated: submitted {} != resolved {}",
+                    nm.submitted,
+                    nm.resolved()
+                ));
+            }
+        }
+    }
     // A submit that reached a node right as it died may be admitted
     // there with the verdict lost in the close; the gateway retries it
-    // elsewhere, so nodes can admit more — never fewer — than the
-    // gateway acknowledged.
+    // elsewhere, so nodes (across both clusters) can admit more — never
+    // fewer — than the gateway acknowledged.
     if node_admitted < m.admitted {
         violations
             .push(format!("nodes admitted {node_admitted} in total, gateway acknowledged {}", m.admitted));

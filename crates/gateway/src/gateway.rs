@@ -48,22 +48,25 @@ use crate::config::{GatewayConfig, GatewayError};
 use crate::health;
 use crate::instruments::GwInstruments;
 use crate::membership::{AnnounceOutcome, LeaveOutcome, Membership};
+use crate::peer::{self, PeerSet};
 use crate::router::{self, Candidate};
 use crossbeam::channel::{self, Receiver, Sender};
 use offloadnn_core::instance::PathOption;
 use offloadnn_core::task::{Task, TaskId};
 use offloadnn_net::codec::ErrorCode;
 use offloadnn_net::{
-    Backend, MemberInfo, MembershipAck, MembershipDecision, NetError, PendingOutcome, PendingVerdict,
+    Backend, ForwardInfo, MemberInfo, MembershipAck, MembershipDecision, NetError, PeerDigest,
+    PendingOutcome, PendingVerdict,
 };
 use offloadnn_plancache::{shape_fingerprint, PlanCache, PlanCacheStats, PlanKey};
 use offloadnn_serve::{
-    DrainReport, MetricsSnapshot, Outcome, ReshardReport, ServeError, ServiceMetrics, SubmitError,
+    Admitter, DrainReport, MetricsSnapshot, Outcome, ReshardReport, ServeError, ServiceMetrics, SubmitError,
+    VerdictError, VerdictHandle,
 };
 use offloadnn_telemetry::{event, span, Severity};
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -82,6 +85,28 @@ pub(crate) enum GwPlan {
     Rejected,
 }
 
+/// Where an admitted task lives, so its depart routes back there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// Admitted on a local backend node (pool index).
+    Node(usize),
+    /// Admitted on a federated peer's cluster (peer index) after an
+    /// overflow forward.
+    Peer(usize),
+}
+
+/// Always-on federation counters, independent of telemetry gating, so
+/// harnesses and loadgens can assert overflow behaviour even in
+/// telemetry-disabled builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ForwardStats {
+    /// Tickets the local cluster would have shed that were forwarded to
+    /// a federated peer instead.
+    pub forwards: u64,
+    /// Forwarded tickets the peer cluster admitted.
+    pub forward_wins: u64,
+}
+
 /// State shared between the gateway handle, its tickets and its threads.
 pub(crate) struct GatewayInner {
     pub(crate) membership: Membership,
@@ -89,8 +114,16 @@ pub(crate) struct GatewayInner {
     /// The gateway's own conservation ledger (one verdict per submit).
     pub(crate) metrics: ServiceMetrics,
     draining: AtomicBool,
-    /// Which node admitted each live task, so departs route back there.
-    routes: Mutex<HashMap<TaskId, usize>>,
+    /// Where each live admitted task went, so departs route back there.
+    routes: Mutex<HashMap<TaskId, Route>>,
+    /// Federated peer gateways (`None` without [`GatewayConfig::federation`]).
+    pub(crate) peers: Option<PeerSet>,
+    /// This gateway process's incarnation stamp, sent in `PeerHello`.
+    pub(crate) incarnation: u64,
+    /// Always-on forward counter (see [`ForwardStats`]).
+    forwards: AtomicU64,
+    /// Always-on forward-win counter (see [`ForwardStats`]).
+    forward_wins: AtomicU64,
     /// Hand-off to the reaper thread; `None` once drain has begun (late
     /// losers are then reaped inline).
     reaper_tx: Mutex<Option<Sender<Loser>>>,
@@ -134,17 +167,58 @@ impl GatewayInner {
         }
     }
 
+    /// Bumps a federated peer's plan-cache scope epoch (the peer's
+    /// cluster state moved, or the peer went down): entries minted while
+    /// serving that peer's forwarded overflow are orphaned without
+    /// touching local or other-peer entries.
+    pub(crate) fn bump_peer_scope(&self, scope: u64) {
+        if let Some(cache) = &self.plan_cache {
+            cache.bump_scope_epoch(scope);
+        }
+    }
+
+    /// Publishes the `gw.peers.healthy` gauge.
+    pub(crate) fn publish_peer_gauges(&self) {
+        if let (Some(ins), Some(peers)) = (&self.instruments, &self.peers) {
+            ins.peers_healthy.set(peers.healthy_count() as u64);
+        }
+    }
+
+    /// Counts an overflow forward handed to a peer.
+    fn count_forward(&self) {
+        self.forwards.fetch_add(1, Ordering::Relaxed);
+        if let Some(ins) = &self.instruments {
+            ins.forwards.inc();
+        }
+    }
+
+    /// Counts a forwarded ticket the peer admitted.
+    fn count_forward_win(&self) {
+        self.forward_wins.fetch_add(1, Ordering::Relaxed);
+        if let Some(ins) = &self.instruments {
+            ins.forward_wins.inc();
+        }
+    }
+
     /// The cache key for a submit, or `None` when caching is off. The
     /// bucket is the healthy-node count (coarse cluster capacity — a
     /// different pool size must not reuse plans minted for another) and
     /// the generation is the ring generation from the last reshard.
-    fn plan_key(&self, task: &Task, options: &[PathOption]) -> Option<PlanKey> {
-        self.plan_cache.as_ref()?;
+    /// Forwarded-in traffic passes the origin gateway's `scope`: its
+    /// entries key under that peer's scope epoch so they can be dropped
+    /// wholesale when the origin's cluster state moves
+    /// ([`GatewayInner::bump_peer_scope`]).
+    fn plan_key(&self, task: &Task, options: &[PathOption], scope: Option<u64>) -> Option<PlanKey> {
+        let cache = self.plan_cache.as_ref()?;
         let healthy = self.membership.healthy_count();
-        Some(PlanKey {
+        let key = PlanKey {
             shape: shape_fingerprint(task, options),
             bucket: u16::try_from(healthy).unwrap_or(u16::MAX),
             generation: self.metrics.generation.get(),
+        };
+        Some(match scope {
+            Some(scope) => cache.scoped_key(key, scope),
+            None => key,
         })
     }
 
@@ -230,6 +304,20 @@ struct PendState {
     hedge: Option<Attempt>,
     /// The one-shot hedge has fired (or been forfeited).
     hedged: bool,
+    /// Forward hops this ticket may still take (0 = must resolve here).
+    fwd_hops: u8,
+    /// The originating gateway's identity when this ticket arrived via a
+    /// `Forward` frame; `None` for locally submitted tickets.
+    origin: Option<String>,
+    /// Gateway identities this task has already visited (seeded from the
+    /// incoming `Forward` frame's tried-set, grown per forward attempt);
+    /// a cluster in this set is never forwarded to again.
+    tried_peers: Vec<String>,
+    /// A node relayed Shed during a *non-blocking* poll: the verdict was
+    /// consumed but settling is deferred so the next blocking wait can
+    /// try an overflow forward first (dialling a peer must not happen on
+    /// the poll path).
+    shed_pending: bool,
     done: Option<Outcome>,
 }
 
@@ -334,7 +422,11 @@ impl GwPending {
             Outcome::Admitted { .. } => {
                 metrics.admitted.inc();
                 if let Some(winner) = winner {
-                    self.inner.routes.lock().expect("routes lock poisoned").insert(st.task.id, winner.node);
+                    self.inner
+                        .routes
+                        .lock()
+                        .expect("routes lock poisoned")
+                        .insert(st.task.id, Route::Node(winner.node));
                     if winner.is_hedge {
                         if let Some(ins) = &self.inner.instruments {
                             ins.hedge_wins.inc();
@@ -367,20 +459,149 @@ impl GwPending {
         outcome
     }
 
+    /// Whether an overflow forward could still rescue this ticket: the
+    /// gateway is federated, hops remain, and an untried live peer
+    /// exists. Cheap (no I/O) — used to decide between shedding now and
+    /// deferring to a blocking wait that can actually forward.
+    fn could_forward(&self, st: &PendState) -> bool {
+        match &self.inner.peers {
+            Some(peers) => st.fwd_hops > 0 && peers.pick(&st.tried_peers).is_some(),
+            None => false,
+        }
+    }
+
+    /// Attempts to rescue a ticket the local cluster would shed by
+    /// forwarding it to the least-loaded untried peer with the
+    /// *remaining* deadline budget. `Some(outcome)` settled the ticket
+    /// with the peer's verdict (counted on this gateway's ledger — a
+    /// forwarded ticket still resolves exactly one verdict at its
+    /// origin); `None` means no peer could take it — federation off, no
+    /// hops or budget left, every eligible peer tried, or the chosen
+    /// peer crashed mid-forward — and the caller sheds locally.
+    fn try_forward(&self, st: &mut PendState) -> Option<Outcome> {
+        let peers = self.inner.peers.as_ref()?;
+        if st.fwd_hops == 0 {
+            return None;
+        }
+        loop {
+            let remaining = st.deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (index, chosen) = peers.pick(&st.tried_peers)?;
+            st.tried_peers.push(chosen.addr_string.clone());
+            let origin = st.origin.clone().unwrap_or_else(|| peers.identity.clone());
+            // The wire tried-set names every cluster this task has
+            // touched — this gateway and the origin included — so the
+            // receiving peer can never bounce the task back around a
+            // cycle, whatever its own peer list looks like.
+            let mut tried = st.tried_peers.clone();
+            if !tried.contains(&peers.identity) {
+                tried.push(peers.identity.clone());
+            }
+            if !tried.contains(&origin) {
+                tried.push(origin.clone());
+            }
+            let sent = chosen.client(&self.inner.config.client).and_then(|c| {
+                c.forward(
+                    st.task.clone(),
+                    st.options.clone(),
+                    Some(remaining),
+                    st.fwd_hops - 1,
+                    &origin,
+                    &tried,
+                )
+            });
+            match sent {
+                Ok(pv) => {
+                    self.inner.count_forward();
+                    event!(Severity::Info, "gw.federation", "forwarded {:?} to {}", st.task.id, chosen.addr);
+                    let horizon = st.deadline + self.inner.config.verdict_grace;
+                    let wait = horizon.saturating_duration_since(Instant::now());
+                    match pv.poll_wait(wait) {
+                        Some(Ok(outcome)) => return Some(self.settle_forwarded(st, outcome, index)),
+                        Some(Err(_)) | None => {
+                            // The peer died (or went silent) mid-forward:
+                            // fall back to a local Shed so the ticket is
+                            // never lost to federation. If the peer did
+                            // admit before crashing, that admission lives
+                            // and dies with the peer's own ledger.
+                            chosen.note_forward_failed();
+                            return None;
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Could not even hand the task over; nothing is in
+                    // flight there, so the next-best peer may be tried.
+                    chosen.note_forward_failed();
+                }
+            }
+        }
+    }
+
+    /// Books a peer-delivered verdict: reaps any outstanding local
+    /// attempts, counts the verdict on this gateway's ledger (verdict
+    /// conservation is per-gateway: the forward still resolves exactly
+    /// one verdict here, while the peer counts its own submit + verdict
+    /// on its own ledger), and records a peer route so a later depart
+    /// reaches the admitting cluster. Peer verdicts are never fed to the
+    /// local plan cache — they describe the peer's capacity, not ours.
+    fn settle_forwarded(&self, st: &mut PendState, outcome: Outcome, peer: usize) -> Outcome {
+        let reap_deadline = st.deadline + self.inner.config.verdict_grace;
+        for attempt in st.primary.take().into_iter().chain(st.hedge.take()) {
+            self.inner.hand_to_reaper(Loser {
+                node: attempt.node,
+                task: st.task.id,
+                pv: attempt.pv,
+                deadline: reap_deadline,
+            });
+        }
+        let metrics = &self.inner.metrics;
+        match outcome {
+            Outcome::Admitted { .. } => {
+                metrics.admitted.inc();
+                self.inner.count_forward_win();
+                self.inner.routes.lock().expect("routes lock poisoned").insert(st.task.id, Route::Peer(peer));
+            }
+            Outcome::Rejected { .. } => metrics.rejected.inc(),
+            Outcome::Shed { .. } => metrics.shed.inc(),
+            Outcome::Expired { .. } => metrics.expired.inc(),
+        }
+        metrics.latency.record(st.born.elapsed());
+        st.done = Some(outcome);
+        outcome
+    }
+
     /// Handles a completed attempt. `Some(outcome)` settles the ticket;
     /// `None` means the attempt failed in a retryable way and was
-    /// cleared (the resolve loop re-routes).
+    /// cleared (the resolve loop re-routes), or — for a node-relayed
+    /// Shed during a non-blocking poll — settling was deferred behind
+    /// `shed_pending` so a blocking wait can try a forward first.
     fn absorb(
         &self,
         st: &mut PendState,
         winner_is_hedge: bool,
         result: Result<Outcome, NetError>,
+        block: bool,
     ) -> Option<Outcome> {
         let taken = if winner_is_hedge { st.hedge.take() } else { st.primary.take() };
         let attempt = taken.expect("absorbed attempt must exist");
         match result {
             Ok(outcome) => {
                 self.inner.membership.node(attempt.node).rtt.record(attempt.started.elapsed());
+                // A node-relayed Shed is the cluster saying "saturated":
+                // the one signal overflow forwarding exists for.
+                if matches!(outcome, Outcome::Shed { .. }) && self.could_forward(st) {
+                    if block {
+                        if let Some(out) = self.try_forward(st) {
+                            return Some(out);
+                        }
+                    } else {
+                        st.shed_pending = true;
+                        return None;
+                    }
+                }
                 Some(self.settle(st, outcome, Some(&attempt)))
             }
             Err(err) => {
@@ -405,14 +626,33 @@ impl GwPending {
 
     /// The resolution engine. With `block` false this is a cheap poll
     /// (no dialling, no sleeping) that may leave the ticket mid-failover
-    /// for the next `wait` to finish.
-    fn resolve(&self, block: bool) -> Option<Outcome> {
+    /// for the next `wait` to finish. A `limit` bounds how long a
+    /// blocking resolve may run before giving the caller back an
+    /// unresolved `None` (the [`VerdictHandle::wait_timeout`] contract);
+    /// every ticket still resolves by deadline + grace without one.
+    fn resolve(&self, block: bool, limit: Option<Instant>) -> Option<Outcome> {
         let mut st = self.state.lock().expect("pending state lock poisoned");
         loop {
             if let Some(done) = st.done {
                 return Some(done);
             }
             let now = Instant::now();
+            if block && limit.is_some_and(|l| now >= l) {
+                return None;
+            }
+            // A node relayed Shed during an earlier non-blocking poll:
+            // the deferred decision — forward or accept the shed — runs
+            // now that blocking (and therefore dialling) is allowed.
+            if st.shed_pending {
+                if !block {
+                    return None;
+                }
+                st.shed_pending = false;
+                if let Some(out) = self.try_forward(&mut st) {
+                    return Some(out);
+                }
+                return Some(self.settle(&mut st, Outcome::Shed { shard: 0 }, None));
+            }
             // An attempt whose node has been ejected (by the health
             // monitor or another ticket's failure) or departed (graceful
             // leave) may never resolve — the connection could be
@@ -449,6 +689,17 @@ impl GwPending {
                     return Some(self.settle(&mut st, Outcome::Expired { shard: 0 }, None));
                 }
                 if st.attempts >= self.inner.config.retry_limit {
+                    // The local cluster is out of retries: the one exit
+                    // that isn't a Shed is an overflow forward to a
+                    // federated peer (blocking mode only — a poll defers
+                    // the decision to the next wait).
+                    if block {
+                        if let Some(out) = self.try_forward(&mut st) {
+                            return Some(out);
+                        }
+                    } else if self.could_forward(&st) {
+                        return None;
+                    }
                     return Some(self.settle(&mut st, Outcome::Shed { shard: 0 }, None));
                 }
                 if !block {
@@ -457,6 +708,11 @@ impl GwPending {
                 match self.launch(&mut st, now, false) {
                     Launch::Launched => {}
                     Launch::NoCandidate => {
+                        // No healthy local node remains; a federated peer
+                        // may still have capacity.
+                        if let Some(out) = self.try_forward(&mut st) {
+                            return Some(out);
+                        }
                         return Some(self.settle(&mut st, Outcome::Shed { shard: 0 }, None));
                     }
                     Launch::Failed => continue,
@@ -487,9 +743,13 @@ impl GwPending {
                         .saturating_duration_since(now)
                         .min(Duration::from_millis(20))
                 };
+                let slice = match limit {
+                    Some(l) => slice.min(l.saturating_duration_since(now)),
+                    None => slice,
+                };
                 let polled = if slice.is_zero() { primary.pv.poll() } else { primary.pv.poll_wait(slice) };
                 if let Some(result) = polled {
-                    if let Some(out) = self.absorb(&mut st, false, result) {
+                    if let Some(out) = self.absorb(&mut st, false, result, block) {
                         return Some(out);
                     }
                     continue;
@@ -498,7 +758,7 @@ impl GwPending {
             if let Some(hedge) = &st.hedge {
                 let polled = if block { hedge.pv.poll_wait(RACE_SLICE) } else { hedge.pv.poll() };
                 if let Some(result) = polled {
-                    if let Some(out) = self.absorb(&mut st, true, result) {
+                    if let Some(out) = self.absorb(&mut st, true, result, block) {
                         return Some(out);
                     }
                     continue;
@@ -519,11 +779,25 @@ impl GwPending {
 
 impl PendingOutcome for GwPending {
     fn try_wait(&self) -> Option<Outcome> {
-        self.resolve(false)
+        self.resolve(false, None)
     }
 
     fn wait(&self) -> Option<Outcome> {
-        self.resolve(true)
+        self.resolve(true, None)
+    }
+}
+
+impl VerdictHandle for GwPending {
+    fn poll(&self) -> Option<Result<Outcome, VerdictError>> {
+        self.resolve(false, None).map(Ok)
+    }
+
+    fn wait(self: Box<Self>) -> Result<Outcome, VerdictError> {
+        self.resolve(true, None).ok_or(VerdictError::Lost)
+    }
+
+    fn wait_timeout(self: Box<Self>, timeout: Duration) -> Result<Outcome, VerdictError> {
+        self.resolve(true, Some(Instant::now() + timeout)).ok_or(VerdictError::TimedOut)
     }
 }
 
@@ -543,9 +817,14 @@ pub struct Gateway {
     inner: Arc<GatewayInner>,
     monitor: Option<JoinHandle<()>>,
     reaper: Option<JoinHandle<()>>,
-    /// Dropping this stops the health monitor.
+    /// The federation digest thread (`None` without federation).
+    digest: Option<JoinHandle<()>>,
+    /// Dropping this stops the health monitor and the digest thread.
     shutdown_tx: Option<Sender<()>>,
 }
+
+/// Process-wide gateway incarnation stamps (sent in `PeerHello` frames).
+static GW_INCARNATION: AtomicU64 = AtomicU64::new(1);
 
 impl Gateway {
     /// Starts a gateway over `addrs` (each the address of a running
@@ -565,25 +844,42 @@ impl Gateway {
         let (reaper_tx, reaper_rx) = channel::unbounded();
         let metrics = ServiceMetrics::new();
         let plan_cache = config.plan_cache.map(|pc| PlanCache::with_registry(pc, metrics.registry()));
+        let peers = config.federation.as_ref().map(|fed| PeerSet::new(&fed.peers, fed.identity.clone()));
         let inner = Arc::new(GatewayInner {
             membership,
             config,
             metrics,
             draining: AtomicBool::new(false),
             routes: Mutex::new(HashMap::new()),
+            peers,
+            incarnation: GW_INCARNATION.fetch_add(1, Ordering::Relaxed),
+            forwards: AtomicU64::new(0),
+            forward_wins: AtomicU64::new(0),
             reaper_tx: Mutex::new(Some(reaper_tx)),
             instruments: GwInstruments::new(),
             plan_cache,
         });
         inner.publish_membership_gauges();
+        inner.publish_peer_gauges();
         let (shutdown_tx, shutdown_rx) = channel::bounded::<()>(1);
         let monitor = {
             let inner = Arc::clone(&inner);
+            let shutdown_rx = shutdown_rx.clone();
             std::thread::Builder::new()
                 .name("gw-health".into())
                 .spawn(move || health::monitor_loop(&inner, &shutdown_rx))
                 .expect("spawn gw-health thread")
         };
+        // The digest thread shares the monitor's shutdown channel:
+        // shutdown is signalled by dropping the sender, which wakes every
+        // cloned receiver.
+        let digest = inner.peers.as_ref().map(|_| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("gw-digest".into())
+                .spawn(move || peer::digest_loop(&inner, &shutdown_rx))
+                .expect("spawn gw-digest thread")
+        });
         let reaper = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
@@ -591,7 +887,13 @@ impl Gateway {
                 .spawn(move || reaper_loop(&inner, &reaper_rx))
                 .expect("spawn gw-reaper thread")
         };
-        Ok(Self { inner, monitor: Some(monitor), reaper: Some(reaper), shutdown_tx: Some(shutdown_tx) })
+        Ok(Self {
+            inner,
+            monitor: Some(monitor),
+            reaper: Some(reaper),
+            digest,
+            shutdown_tx: Some(shutdown_tx),
+        })
     }
 
     /// Nodes currently eligible for routing.
@@ -683,14 +985,18 @@ impl Gateway {
     ///
     /// As [`Backend::submit`].
     pub fn submit(&self, task: Task, options: Vec<PathOption>) -> Result<GwPending, SubmitError> {
-        self.do_submit(task, options, None)
+        self.submit_inner(task, options, None, None)
     }
 
-    fn do_submit(
+    /// The one submit path, for both local submits (`forwarded` `None`)
+    /// and tasks arriving via a protocol-v4 `Forward` frame (`forwarded`
+    /// carries the origin identity, remaining hops and tried-set).
+    fn submit_inner(
         &self,
         task: Task,
         options: Vec<PathOption>,
         budget: Option<Duration>,
+        forwarded: Option<ForwardInfo>,
     ) -> Result<GwPending, SubmitError> {
         if self.is_draining() {
             return Err(SubmitError::Draining);
@@ -699,16 +1005,33 @@ impl Gateway {
             return Err(SubmitError::NoOptions);
         }
         // A client can tighten its admission window but never extend it
-        // past the gateway policy — the same rule serve applies.
+        // past the gateway policy — the same rule serve applies. A
+        // forwarded task's budget is the *remaining* budget its origin
+        // put on the wire, tightened the same way.
         let policy = self.inner.config.default_deadline;
         let budget = budget.map_or(policy, |b| b.min(policy));
         self.inner.metrics.submitted.inc();
         let now = Instant::now();
+        // Federation seeds: a local ticket may take `hop_limit` hops and
+        // has visited no cluster; a forwarded one inherits the sender's
+        // remaining hops and tried-set (so re-forwarding can only reach
+        // clusters the task has never seen).
+        let (fwd_hops, origin, tried_peers, scope) = match forwarded {
+            Some(info) => {
+                let scope = router::node_seed(&info.origin);
+                (info.hops, Some(info.origin), info.tried, Some(scope))
+            }
+            None => {
+                let hops = self.inner.config.federation.as_ref().map_or(0, |fed| fed.hop_limit);
+                (hops, None, Vec::new(), None)
+            }
+        };
         // Consult the plan cache before anything touches the wire: a
         // fresh negative entry resolves the ticket Rejected right here
         // (counted on the ledger like any verdict), a fresh affinity
-        // entry seeds the preferred node for the first launch.
-        let key = self.inner.plan_key(&task, &options);
+        // entry seeds the preferred node for the first launch. Forwarded
+        // traffic keys under the origin gateway's scope epoch.
+        let key = self.inner.plan_key(&task, &options, scope);
         let mut preferred = None;
         if let (Some(cache), Some(key)) = (&self.inner.plan_cache, &key) {
             match cache.lookup(key).map(|c| c.value) {
@@ -729,6 +1052,10 @@ impl Gateway {
                             primary: None,
                             hedge: None,
                             hedged: false,
+                            fwd_hops: 0,
+                            origin: None,
+                            tried_peers: Vec::new(),
+                            shed_pending: false,
                             done: Some(Outcome::Rejected { shard: 0 }),
                         }),
                     });
@@ -751,6 +1078,10 @@ impl Gateway {
                 primary: None,
                 hedge: None,
                 hedged: false,
+                fwd_hops,
+                origin,
+                tried_peers,
+                shed_pending: false,
                 done: None,
             }),
         };
@@ -770,17 +1101,46 @@ impl Gateway {
         Ok(pending)
     }
 
-    /// Forwards a departure to the node that admitted the task (a no-op
-    /// for tasks the gateway never admitted).
+    /// Forwards a departure to wherever the task was admitted — a local
+    /// backend node, or (for a forwarded-then-admitted task) the peer
+    /// gateway whose cluster took it, so the work departs on exactly one
+    /// cluster. A no-op for tasks the gateway never admitted.
     pub fn depart(&self, task: TaskId) {
-        let node = self.inner.routes.lock().expect("routes lock poisoned").remove(&task);
-        if let Some(index) = node {
-            if let Ok(client) = self.inner.membership.node(index).client(&self.inner.config.client) {
-                if client.depart(task).is_ok() {
-                    self.inner.metrics.departed.inc();
+        let route = self.inner.routes.lock().expect("routes lock poisoned").remove(&task);
+        match route {
+            Some(Route::Node(index)) => {
+                if let Ok(client) = self.inner.membership.node(index).client(&self.inner.config.client) {
+                    if client.depart(task).is_ok() {
+                        self.inner.metrics.departed.inc();
+                    }
                 }
             }
+            Some(Route::Peer(index)) => {
+                if let Some(peers) = &self.inner.peers {
+                    if let Ok(client) = peers.peers[index].client(&self.inner.config.client) {
+                        if client.depart(task).is_ok() {
+                            self.inner.metrics.departed.inc();
+                        }
+                    }
+                }
+            }
+            None => {}
         }
+    }
+
+    /// Always-on federation counters (see [`ForwardStats`]); zero for a
+    /// non-federated gateway.
+    pub fn forward_stats(&self) -> ForwardStats {
+        ForwardStats {
+            forwards: self.inner.forwards.load(Ordering::Relaxed),
+            forward_wins: self.inner.forward_wins.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Federated peers currently answering load digests (zero without
+    /// federation).
+    pub fn healthy_peers(&self) -> usize {
+        self.inner.peers.as_ref().map_or(0, PeerSet::healthy_count)
     }
 
     /// Broadcasts a reshard to every healthy node; the report aggregates
@@ -845,6 +1205,9 @@ impl Gateway {
         if let Some(handle) = self.monitor.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.digest.take() {
+            let _ = handle.join();
+        }
         // Disconnect the reaper only after the monitor is gone: every
         // ticket has resolved by the time a frontend calls drain, so no
         // new losers can arrive.
@@ -885,6 +1248,9 @@ impl Drop for Gateway {
         if let Some(handle) = self.monitor.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.digest.take() {
+            let _ = handle.join();
+        }
         if let Some(handle) = self.reaper.take() {
             let _ = handle.join();
         }
@@ -900,7 +1266,36 @@ impl Backend for Gateway {
         options: Vec<PathOption>,
         budget: Option<Duration>,
     ) -> Result<GwPending, SubmitError> {
-        self.do_submit(task, options, budget)
+        self.submit_inner(task, options, budget, None)
+    }
+
+    fn forward(
+        &self,
+        task: Task,
+        options: Vec<PathOption>,
+        budget: Option<Duration>,
+        info: ForwardInfo,
+    ) -> Result<GwPending, SubmitError> {
+        self.submit_inner(task, options, budget, Some(info))
+    }
+
+    fn peer_load(&self, peer_addr: &str, peer_incarnation: u64) -> Option<PeerDigest> {
+        // Any gateway can answer a digest, federated or not (a
+        // non-federated gateway simply never *sends* one). The digest is
+        // the overflow picker's ranking signal on the asking side:
+        // healthy-node count and aggregate routing weight say how much
+        // capacity is here, the verdict-latency p50 says how fast this
+        // cluster answers, and the membership version fences plan-cache
+        // scopes across our reshards and churn.
+        event!(Severity::Info, "gw.federation", "digest for peer {peer_addr} inc {peer_incarnation}");
+        let remaining_budget: f64 = self.inner.healthy_candidates(&[]).iter().map(|c| c.weight).sum();
+        let round_ms_p50 = self.inner.metrics.latency.snapshot().quantile(0.5).as_secs_f64() * 1e3;
+        Some(PeerDigest {
+            healthy_nodes: u32::try_from(self.inner.membership.healthy_count()).unwrap_or(u32::MAX),
+            remaining_budget,
+            round_ms_p50,
+            epoch: self.inner.membership.version(),
+        })
     }
 
     fn depart(&self, task: TaskId) {
@@ -933,5 +1328,34 @@ impl Backend for Gateway {
 
     fn drain(self) -> DrainReport {
         Gateway::drain(self)
+    }
+}
+
+impl Admitter for Gateway {
+    fn submit(
+        &self,
+        task: Task,
+        options: Vec<PathOption>,
+        deadline: Option<Duration>,
+    ) -> Result<offloadnn_serve::PendingVerdict, SubmitError> {
+        let id = task.id;
+        let pending = self.submit_inner(task, options, deadline, None)?;
+        Ok(offloadnn_serve::PendingVerdict::new(id, Box::new(pending)))
+    }
+
+    fn depart(&self, task: TaskId) {
+        Gateway::depart(self, task);
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        Some(Gateway::metrics(self))
+    }
+
+    fn begin_drain(&self) {
+        Gateway::begin_drain(self);
+    }
+
+    fn tier(&self) -> &'static str {
+        "gateway"
     }
 }

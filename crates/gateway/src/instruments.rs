@@ -12,7 +12,12 @@
 //! * `gw.hedges` — duplicate submits launched by the deadline-aware
 //!   hedger;
 //! * `gw.hedge_wins` — hedged tickets whose duplicate delivered the
-//!   winning verdict.
+//!   winning verdict;
+//! * `gw.peers.healthy` — gauge of federated peer gateways currently
+//!   answering load digests;
+//! * `gw.forwards` — tickets the local cluster would have shed that
+//!   were forwarded to a federated peer;
+//! * `gw.forward_wins` — forwarded tickets the peer cluster admitted.
 //!
 //! Plus the `gw.route` span histogram around every rendezvous-routing
 //! decision (recorded via the `span!` macro at the call site). As in
@@ -39,6 +44,12 @@ pub(crate) struct GwInstruments {
     pub hedges: Arc<Counter>,
     /// Hedged tickets won by the duplicate.
     pub hedge_wins: Arc<Counter>,
+    /// Level gauge of federated peers currently answering digests.
+    pub peers_healthy: Arc<Gauge>,
+    /// Tickets forwarded to a federated peer instead of shed locally.
+    pub forwards: Arc<Counter>,
+    /// Forwarded tickets admitted by the peer cluster.
+    pub forward_wins: Arc<Counter>,
 }
 
 impl GwInstruments {
@@ -57,6 +68,9 @@ impl GwInstruments {
             failover: registry.counter("gw.failover"),
             hedges: registry.counter("gw.hedges"),
             hedge_wins: registry.counter("gw.hedge_wins"),
+            peers_healthy: registry.gauge("gw.peers.healthy"),
+            forwards: registry.counter("gw.forwards"),
+            forward_wins: registry.counter("gw.forward_wins"),
         })
     }
 }

@@ -88,8 +88,9 @@ mod health;
 mod instruments;
 pub mod membership;
 mod node;
+mod peer;
 pub mod router;
 
-pub use config::{GatewayConfig, GatewayError, HedgeConfig};
-pub use gateway::{Gateway, GwPending};
+pub use config::{FederationConfig, GatewayConfig, GatewayError, HedgeConfig};
+pub use gateway::{ForwardStats, Gateway, GwPending};
 pub use membership::{AnnounceOutcome, LeaveOutcome, Membership};

@@ -1,0 +1,304 @@
+//! Federated peer gateways: the digest loop and the overflow-target
+//! picker.
+//!
+//! A federated gateway ([`crate::FederationConfig`]) keeps one [`Peer`]
+//! per configured peer gateway. A dedicated digest thread sweeps the
+//! peer set every `digest_interval`, sending a protocol-v4 `PeerHello`
+//! and recording the `PeerLoad` answer: healthy-node count, aggregate
+//! remaining budget, solver-round p50 and the peer's membership epoch.
+//! The digest is what makes overflow forwarding *informed* — when the
+//! local cluster sheds, [`PeerSet::pick`] ranks the untried, live peers
+//! by their advertised headroom and the forward goes to the best one,
+//! not to a random neighbour.
+//!
+//! Peer liveness follows the same philosophy as node health
+//! ([`crate::health`]) but is deliberately simpler: `eject_after`
+//! consecutive missed digests marks a peer down (no forwards routed to
+//! it), and a single successful digest brings it back. There is no
+//! probation — a forward to a half-dead peer fails fast and falls back
+//! to a local Shed, so the cost of optimism is bounded.
+//!
+//! Plan-cache coupling: entries minted while serving a peer's forwarded
+//! overflow are scoped to that peer
+//! ([`offloadnn_plancache::PlanCache::scoped_key`]). When a digest
+//! reports a new peer epoch — the peer's cluster resharded or changed
+//! membership — or the peer goes down, the scope epoch is bumped, so a
+//! forwarded shape never replays a stale negative entry minted against
+//! the peer's old cluster state.
+
+use crate::gateway::GatewayInner;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use offloadnn_net::{Client, ClientConfig, NetError, PeerDigest};
+use offloadnn_telemetry::{event, Severity};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One federated peer gateway.
+pub(crate) struct Peer {
+    /// The peer gateway's frontend address.
+    pub addr: SocketAddr,
+    /// The address as it appears in `Forward` tried-sets (string
+    /// equality is the loop-prevention rule).
+    pub addr_string: String,
+    /// Plan-cache scope for entries minted while serving this peer's
+    /// overflow (hash of the address string).
+    pub scope: u64,
+    /// Lazily dialled shared client, dropped on failure so the next use
+    /// re-dials (same pattern as [`crate::node::Node`]).
+    client: Mutex<Option<Arc<Client>>>,
+    /// Whether the peer currently answers digests. Starts `true`: a
+    /// freshly configured peer is given the benefit of the doubt until
+    /// `eject_after` digests have actually missed.
+    healthy: AtomicBool,
+    /// Consecutive missed digests.
+    misses: AtomicU32,
+    /// Last load digest the peer answered (`None` until the first).
+    digest: Mutex<Option<PeerDigest>>,
+}
+
+impl Peer {
+    pub(crate) fn new(addr: SocketAddr) -> Self {
+        let addr_string = addr.to_string();
+        let scope = crate::router::node_seed(&addr_string);
+        Self {
+            addr,
+            addr_string,
+            scope,
+            client: Mutex::new(None),
+            healthy: AtomicBool::new(true),
+            misses: AtomicU32::new(0),
+            digest: Mutex::new(None),
+        }
+    }
+
+    /// The shared client for this peer, dialling on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::connect`] failures; the slot stays empty.
+    pub(crate) fn client(&self, config: &ClientConfig) -> Result<Arc<Client>, NetError> {
+        let mut slot = self.client.lock().expect("peer client lock poisoned");
+        if let Some(c) = slot.as_ref() {
+            return Ok(Arc::clone(c));
+        }
+        let c = Arc::new(Client::connect(self.addr, *config)?);
+        *slot = Some(Arc::clone(&c));
+        Ok(c)
+    }
+
+    /// Forgets the cached client; the next use re-dials.
+    pub(crate) fn drop_client(&self) {
+        *self.client.lock().expect("peer client lock poisoned") = None;
+    }
+
+    pub(crate) fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Acquire)
+    }
+
+    /// The last answered digest, if any.
+    pub(crate) fn digest(&self) -> Option<PeerDigest> {
+        *self.digest.lock().expect("peer digest lock poisoned")
+    }
+
+    /// Records a successful digest; returns the previous digest so the
+    /// caller can detect an epoch change.
+    fn note_digest(&self, d: PeerDigest) -> Option<PeerDigest> {
+        self.misses.store(0, Ordering::Relaxed);
+        self.healthy.store(true, Ordering::Release);
+        self.digest.lock().expect("peer digest lock poisoned").replace(d)
+    }
+
+    /// Records a missed digest; returns `true` on the healthy→down
+    /// transition (the caller logs and invalidates once).
+    fn note_miss(&self, eject_after: u32) -> bool {
+        let missed = self.misses.fetch_add(1, Ordering::Relaxed) + 1;
+        if missed >= eject_after {
+            return self.healthy.swap(false, Ordering::AcqRel);
+        }
+        false
+    }
+
+    /// Records a failed forward (send error or mid-flight crash): the
+    /// connection is suspect, and the peer is pessimistically marked
+    /// down until the next successful digest — a data-path failure is
+    /// stronger evidence than a missed digest, exactly the node rule.
+    pub(crate) fn note_forward_failed(&self) {
+        self.drop_client();
+        self.healthy.store(false, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for Peer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Peer")
+            .field("addr", &self.addr)
+            .field("healthy", &self.is_healthy())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The federated peer pool plus this gateway's own federation identity.
+pub(crate) struct PeerSet {
+    pub(crate) peers: Vec<Peer>,
+    /// This gateway's identity in `Forward` origin/tried fields.
+    pub(crate) identity: String,
+}
+
+impl PeerSet {
+    pub(crate) fn new(addrs: &[SocketAddr], identity: String) -> Self {
+        Self { peers: addrs.iter().copied().map(Peer::new).collect(), identity }
+    }
+
+    /// Peers currently answering digests.
+    pub(crate) fn healthy_count(&self) -> usize {
+        self.peers.iter().filter(|p| p.is_healthy()).count()
+    }
+
+    /// The least-loaded live peer not yet in `tried`, or `None` when
+    /// every eligible peer has been tried (or none is live). Load
+    /// ranking uses the advertised digest —
+    /// `remaining_budget / (1 + round_ms_p50)`, zero headroom excluded —
+    /// and a live peer that has not answered a digest yet ranks last
+    /// (score 0) rather than being skipped, so forwarding still works in
+    /// the window before the first digest sweep completes.
+    pub(crate) fn pick(&self, tried: &[String]) -> Option<(usize, &Peer)> {
+        let mut best: Option<(usize, &Peer, f64)> = None;
+        for (index, peer) in self.peers.iter().enumerate() {
+            if !peer.is_healthy() || tried.contains(&peer.addr_string) {
+                continue;
+            }
+            let score = match peer.digest() {
+                Some(d) => {
+                    if d.healthy_nodes == 0 || d.remaining_budget <= 0.0 {
+                        continue; // advertises no capacity: a forward there is a guaranteed shed
+                    }
+                    d.remaining_budget / (1.0 + d.round_ms_p50)
+                }
+                None => 0.0,
+            };
+            if best.is_none_or(|(_, _, b)| score > b) {
+                best = Some((index, peer, score));
+            }
+        }
+        best.map(|(index, peer, _)| (index, peer))
+    }
+}
+
+/// One digest sweep across the peer set.
+fn sweep(inner: &GatewayInner, peers: &PeerSet) {
+    let Some(fed) = &inner.config.federation else { return };
+    for peer in &peers.peers {
+        let answer = peer
+            .client(&inner.config.client)
+            .and_then(|c| c.peer_hello(&peers.identity, inner.incarnation, fed.digest_timeout));
+        match answer {
+            Ok(load) => {
+                let digest = PeerDigest {
+                    healthy_nodes: load.healthy_nodes,
+                    remaining_budget: load.remaining_budget,
+                    round_ms_p50: load.round_ms_p50,
+                    epoch: load.epoch,
+                };
+                let prev = peer.note_digest(digest);
+                // A changed epoch means the peer's cluster state moved
+                // (reshard, membership churn): plans minted while serving
+                // its overflow are stale.
+                if prev.is_some_and(|p| p.epoch != load.epoch) {
+                    inner.bump_peer_scope(peer.scope);
+                    event!(Severity::Info, "gw.federation", "peer {} epoch -> {}", peer.addr, load.epoch);
+                }
+            }
+            Err(err) => {
+                peer.drop_client();
+                if peer.note_miss(fed.eject_after) {
+                    inner.bump_peer_scope(peer.scope);
+                    event!(Severity::Warn, "gw.federation", "peer {} down: {err}", peer.addr);
+                }
+            }
+        }
+    }
+    inner.publish_peer_gauges();
+}
+
+/// The digest thread body: sweep, publish the gauge, sleep until the
+/// next tick or shutdown (the sender side of `shutdown_rx` is dropped by
+/// [`crate::Gateway`] drain).
+pub(crate) fn digest_loop(inner: &Arc<GatewayInner>, shutdown_rx: &Receiver<()>) {
+    let Some(peers) = inner.peers.as_ref() else { return };
+    let Some(fed) = &inner.config.federation else { return };
+    loop {
+        sweep(inner, peers);
+        match shutdown_rx.recv_timeout(fed.digest_interval) {
+            Err(RecvTimeoutError::Timeout) => {}
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(budget: f64, round_ms: f64) -> PeerDigest {
+        PeerDigest { healthy_nodes: 2, remaining_budget: budget, round_ms_p50: round_ms, epoch: 0 }
+    }
+
+    fn set(n: usize) -> PeerSet {
+        let addrs: Vec<SocketAddr> =
+            (0..n).map(|i| format!("127.0.0.1:{}", 7100 + i).parse().unwrap()).collect();
+        PeerSet::new(&addrs, "127.0.0.1:7000".into())
+    }
+
+    #[test]
+    fn pick_prefers_the_most_headroom_per_round_millisecond() {
+        let peers = set(3);
+        peers.peers[0].note_digest(digest(1.0, 0.0));
+        peers.peers[1].note_digest(digest(4.0, 1.0)); // score 2.0 — best
+        peers.peers[2].note_digest(digest(1.5, 0.0));
+        let (index, _) = peers.pick(&[]).expect("a peer must be picked");
+        assert_eq!(index, 1);
+    }
+
+    #[test]
+    fn pick_skips_tried_down_and_capacity_less_peers() {
+        let peers = set(3);
+        peers.peers[0].note_digest(digest(8.0, 0.0));
+        peers.peers[1].note_digest(digest(4.0, 0.0));
+        peers.peers[2].note_digest(PeerDigest {
+            healthy_nodes: 0,
+            remaining_budget: 9.0,
+            round_ms_p50: 0.0,
+            epoch: 0,
+        });
+        // Best is tried, the zero-node peer is ineligible: second-best wins.
+        let tried = vec![peers.peers[0].addr_string.clone()];
+        assert_eq!(peers.pick(&tried).expect("peer 1 eligible").0, 1);
+        // Down peers are skipped even when untried.
+        peers.peers[1].note_forward_failed();
+        assert!(peers.pick(&tried).is_none(), "no eligible peer remains");
+    }
+
+    #[test]
+    fn an_undigested_peer_is_a_last_resort_not_a_hole() {
+        let peers = set(2);
+        // No digest answered yet anywhere: forwarding must still find a
+        // target (score 0 beats nothing).
+        assert!(peers.pick(&[]).is_some());
+        peers.peers[1].note_digest(digest(0.5, 0.0));
+        assert_eq!(peers.pick(&[]).expect("digested peer wins").0, 1);
+    }
+
+    #[test]
+    fn misses_accumulate_and_one_digest_restores() {
+        let peers = set(1);
+        let p = &peers.peers[0];
+        assert!(!p.note_miss(3));
+        assert!(!p.note_miss(3));
+        assert!(p.note_miss(3), "third miss reports the transition");
+        assert!(!p.is_healthy());
+        assert!(!p.note_miss(3), "already down: no re-report");
+        assert!(p.note_digest(digest(1.0, 0.0)).is_none());
+        assert!(p.is_healthy());
+    }
+}

@@ -1,0 +1,138 @@
+//! One workload, every tier: the same seeded mixed workload (Zipf shape
+//! pool, pipelined window, periodic departures and metrics probes) runs
+//! through an in-process [`Service`], a loopback TCP [`Client`] and a
+//! two-node [`Gateway`] — each held only as `Box<dyn Admitter + '_>`,
+//! driven by the one shared loop body
+//! ([`offloadnn_serve::loadgen::args::drive`]).
+//!
+//! Per tier, the run must conserve end to end: every offered submit
+//! resolves exactly one verdict (no errors on a healthy loopback), the
+//! tier's own ledger balances, and the driver-side tally matches the
+//! ledger class by class. Verdict *mixes* legitimately differ across
+//! tiers (capacities differ — one service vs. a two-node cluster), so
+//! only the arithmetic is compared, never the mix.
+
+use offloadnn_core::instance::PathOption;
+use offloadnn_core::scenario::small_scenario;
+use offloadnn_core::task::Task;
+use offloadnn_gateway::{Gateway, GatewayConfig};
+use offloadnn_net::{AnyServer, Client, ClientConfig, Frontend, NetConfig, NetServer};
+use offloadnn_serve::loadgen::args::{self, DriveConfig, DriveReport, VERDICT_TIMEOUT};
+use offloadnn_serve::metrics::MetricsSnapshot;
+use offloadnn_serve::{Admitter, Service, ServiceConfig, ShapePool};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const REQUESTS: u64 = 400;
+const SEED: u64 = 0xAD31_77E5;
+
+fn drive_config() -> DriveConfig {
+    DriveConfig {
+        requests: REQUESTS,
+        driver: 0,
+        seed: SEED,
+        window: 32,
+        max_active: 16,
+        deadline: None,
+        verdict_timeout: VERDICT_TIMEOUT,
+        snapshot_every: 100,
+    }
+}
+
+fn workload() -> (Vec<(Task, Vec<PathOption>)>, ShapePool) {
+    let scenario = small_scenario(5);
+    let protos: Vec<_> =
+        scenario.instance.tasks.iter().cloned().zip(scenario.instance.options.iter().cloned()).collect();
+    let shapes = ShapePool::new(32, 1.1, protos.len(), SEED);
+    (protos, shapes)
+}
+
+/// Runs the identical workload through one boxed tier and returns what
+/// the driver saw.
+fn drive_tier(tier: Box<dyn Admitter + '_>, expected_tier: &'static str) -> DriveReport {
+    assert_eq!(tier.tier(), expected_tier);
+    let (protos, shapes) = workload();
+    let offered = AtomicU64::new(0);
+    let report = args::drive(&*tier, &drive_config(), &protos, Some(&shapes), &offered);
+    assert_eq!(offered.load(Ordering::Relaxed), REQUESTS, "{expected_tier}: offered count drifted");
+    report
+}
+
+/// The per-tier conservation contract: no errors on a healthy loopback,
+/// one verdict per offered submit, and a driver tally that matches the
+/// tier's own ledger class by class.
+fn assert_conserved(tier: &'static str, report: &DriveReport, ledger: &MetricsSnapshot) {
+    let tally = &report.tally;
+    assert_eq!(tally.errors(), 0, "{tier}: errors on a healthy loopback: {tally:?}");
+    assert_eq!(tally.outcomes(), REQUESTS, "{tier}: verdicts lost: {tally:?}");
+    assert!(ledger.is_conserved(), "{tier}: ledger leaked: {ledger:?}");
+    assert_eq!(ledger.submitted, REQUESTS, "{tier}: ledger missed submits");
+    for (class, wire, counted) in [
+        ("admitted", tally.admitted, ledger.admitted),
+        ("rejected", tally.rejected, ledger.rejected),
+        ("shed", tally.shed, ledger.shed),
+        ("expired", tally.expired, ledger.expired),
+    ] {
+        assert_eq!(wire, counted, "{tier}: {class} wire saw {wire}, ledger counted {counted}");
+    }
+    assert!(ledger.departed <= ledger.admitted, "{tier}: departed more than admitted");
+}
+
+#[test]
+fn the_same_workload_conserves_through_every_tier() {
+    // Tier 1: the in-process service.
+    let scenario = small_scenario(5);
+    let service = Service::start(ServiceConfig { shards: 2, ..ServiceConfig::default() }, &scenario.instance)
+        .expect("start service");
+    let report = drive_tier(Box::new(&service), "service");
+    let drain = service.drain();
+    assert_conserved("service", &report, &drain.metrics);
+
+    // Tier 2: the same service stack behind a loopback TCP frontend,
+    // driven through a wire client.
+    let server = AnyServer::start(
+        Frontend::default(),
+        ("127.0.0.1", 0),
+        NetConfig::default(),
+        ServiceConfig { shards: 2, ..ServiceConfig::default() },
+        &scenario.instance,
+    )
+    .expect("start loopback server");
+    let client = Client::connect(server.local_addr(), ClientConfig::default()).expect("connect");
+    let report = drive_tier(Box::new(&client), "net");
+    client.close();
+    let drain = server.shutdown();
+    assert_conserved("net", &report, &drain.metrics);
+
+    // Tier 3: a two-node cluster behind a gateway.
+    let nodes: Vec<NetServer> = (0..2)
+        .map(|_| {
+            NetServer::start(
+                ("127.0.0.1", 0),
+                NetConfig::default(),
+                ServiceConfig { shards: 2, ..ServiceConfig::default() },
+                &scenario.instance,
+            )
+            .expect("start backend node")
+        })
+        .collect();
+    let addrs: Vec<_> = nodes.iter().map(NetServer::local_addr).collect();
+    let gateway = Gateway::start(
+        &addrs,
+        GatewayConfig {
+            health_interval: Duration::from_millis(50),
+            health_timeout: Duration::from_millis(250),
+            default_deadline: Duration::from_secs(2),
+            verdict_grace: Duration::from_secs(2),
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("start gateway");
+    let report = drive_tier(Box::new(&gateway), "gateway");
+    let drain = gateway.drain();
+    assert_conserved("gateway", &report, &drain.metrics);
+    for node in nodes {
+        let r = node.shutdown();
+        assert!(r.metrics.is_conserved(), "backend node leaked: {:?}", r.metrics);
+    }
+}

@@ -25,8 +25,8 @@ use offloadnn_core::instance::PathOption;
 use offloadnn_core::scenario::small_scenario;
 use offloadnn_core::task::{Task, TaskId};
 use offloadnn_gateway::{Gateway, GatewayConfig};
-use offloadnn_net::{MemberState, MembershipDecision, NetConfig, NetServer, PendingOutcome};
-use offloadnn_serve::{Outcome, ServiceConfig};
+use offloadnn_net::{MemberState, MembershipDecision, NetConfig, NetServer};
+use offloadnn_serve::{Admitter, Outcome, PendingVerdict, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
@@ -134,19 +134,23 @@ fn membership_churn_mid_stream_loses_zero_verdicts() {
     let mut addr4 = None;
     let mut node1_report = None;
 
-    let mut window: VecDeque<(TaskId, offloadnn_gateway::GwPending)> = VecDeque::new();
+    // The driver loop speaks the unified admission API only; the
+    // concrete Gateway stays in scope for the management plane
+    // (announce/leave/membership views, drain).
+    let admitter: &dyn Admitter = &gateway;
+    let mut window: VecDeque<PendingVerdict> = VecDeque::new();
     let mut verdicts: u64 = 0;
     let mut admitted: u64 = 0;
 
-    let settle =
-        |(task, pending): (TaskId, offloadnn_gateway::GwPending), verdicts: &mut u64, admitted: &mut u64| {
-            let outcome = pending.wait().expect("every ticket resolves exactly one verdict");
-            *verdicts += 1;
-            if let Outcome::Admitted { .. } = outcome {
-                *admitted += 1;
-                gateway.depart(task);
-            }
-        };
+    let settle = |pending: PendingVerdict, verdicts: &mut u64, admitted: &mut u64| {
+        let task = pending.task();
+        let outcome = pending.wait().expect("every ticket resolves exactly one verdict");
+        *verdicts += 1;
+        if let Outcome::Admitted { .. } = outcome {
+            *admitted += 1;
+            admitter.depart(task);
+        }
+    };
 
     for (i, offered) in trace.iter().enumerate() {
         match i {
@@ -229,10 +233,10 @@ fn membership_churn_mid_stream_loses_zero_verdicts() {
                 "an unprobed node must stay gated at submit {i}"
             );
         }
-        let pending = gateway
-            .submit(offered.task.clone(), offered.options.clone())
+        let pending = admitter
+            .submit(offered.task.clone(), offered.options.clone(), None)
             .expect("gateway accepts submits until drained");
-        window.push_back((offered.task.id, pending));
+        window.push_back(pending);
         if window.len() >= WINDOW {
             settle(window.pop_front().unwrap(), &mut verdicts, &mut admitted);
         }
@@ -314,26 +318,28 @@ fn an_unreachable_joiner_never_receives_traffic() {
     drop(listener);
     assert_eq!(gateway.announce(ghost, 1).decision, MembershipDecision::Accepted);
 
-    let mut window = VecDeque::new();
+    let admitter: &dyn Admitter = &gateway;
+    let mut window: VecDeque<PendingVerdict> = VecDeque::new();
     let mut verdicts = 0u64;
-    for offered in &trace {
-        assert_eq!(member_state(&gateway, ghost), MemberState::Probing);
-        let pending =
-            gateway.submit(offered.task.clone(), offered.options.clone()).expect("gateway accepts submits");
-        window.push_back((offered.task.id, pending));
-        if window.len() >= 16 {
-            let (task, pending): (TaskId, offloadnn_gateway::GwPending) = window.pop_front().unwrap();
-            if let Some(Outcome::Admitted { .. }) = pending.wait() {
-                gateway.depart(task);
-            }
-            verdicts += 1;
-        }
-    }
-    for (task, pending) in window.drain(..) {
-        if let Some(Outcome::Admitted { .. }) = pending.wait() {
-            gateway.depart(task);
+    let mut settle = |pending: PendingVerdict| {
+        let task = pending.task();
+        if let Ok(Outcome::Admitted { .. }) = pending.wait() {
+            admitter.depart(task);
         }
         verdicts += 1;
+    };
+    for offered in &trace {
+        assert_eq!(member_state(&gateway, ghost), MemberState::Probing);
+        let pending = admitter
+            .submit(offered.task.clone(), offered.options.clone(), None)
+            .expect("gateway accepts submits");
+        window.push_back(pending);
+        if window.len() >= 16 {
+            settle(window.pop_front().unwrap());
+        }
+    }
+    for pending in window.drain(..) {
+        settle(pending);
     }
     assert_eq!(verdicts, TOTAL as u64);
     assert_eq!(gateway.healthy_nodes(), 1);

@@ -20,8 +20,8 @@ use offloadnn_core::instance::PathOption;
 use offloadnn_core::scenario::small_scenario;
 use offloadnn_core::task::{Task, TaskId};
 use offloadnn_gateway::{Gateway, GatewayConfig};
-use offloadnn_net::{NetConfig, NetServer, PendingOutcome};
-use offloadnn_serve::{Outcome, ServiceConfig};
+use offloadnn_net::{NetConfig, NetServer};
+use offloadnn_serve::{Admitter, Outcome, PendingVerdict, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
@@ -97,20 +97,24 @@ fn killing_one_node_mid_stream_loses_zero_verdicts() {
     let addrs: Vec<_> = nodes.iter().map(|n| n.as_ref().unwrap().local_addr()).collect();
     let gateway = Gateway::start(&addrs, fast_config()).expect("start gateway");
 
-    let mut window: VecDeque<(TaskId, offloadnn_gateway::GwPending)> = VecDeque::new();
+    // The driver loop speaks the unified admission API only; the
+    // concrete Gateway is needed solely for the management plane
+    // (membership, drain).
+    let admitter: &dyn Admitter = &gateway;
+    let mut window: VecDeque<PendingVerdict> = VecDeque::new();
     let mut verdicts: u64 = 0;
     let mut admitted: u64 = 0;
     let mut victim_report = None;
 
-    let settle =
-        |(task, pending): (TaskId, offloadnn_gateway::GwPending), verdicts: &mut u64, admitted: &mut u64| {
-            let outcome = pending.wait().expect("every ticket resolves exactly one verdict");
-            *verdicts += 1;
-            if let Outcome::Admitted { .. } = outcome {
-                *admitted += 1;
-                gateway.depart(task);
-            }
-        };
+    let settle = |pending: PendingVerdict, verdicts: &mut u64, admitted: &mut u64| {
+        let task = pending.task();
+        let outcome = pending.wait().expect("every ticket resolves exactly one verdict");
+        *verdicts += 1;
+        if let Outcome::Admitted { .. } = outcome {
+            *admitted += 1;
+            admitter.depart(task);
+        }
+    };
 
     for (i, offered) in trace.iter().enumerate() {
         if i == KILL_AT {
@@ -120,10 +124,10 @@ fn killing_one_node_mid_stream_loses_zero_verdicts() {
             // survivors.
             victim_report = Some(nodes[VICTIM].take().unwrap().shutdown());
         }
-        let pending = gateway
-            .submit(offered.task.clone(), offered.options.clone())
+        let pending = admitter
+            .submit(offered.task.clone(), offered.options.clone(), None)
             .expect("gateway accepts submits until drained");
-        window.push_back((offered.task.id, pending));
+        window.push_back(pending);
         if window.len() >= WINDOW {
             settle(window.pop_front().unwrap(), &mut verdicts, &mut admitted);
         }
@@ -196,27 +200,28 @@ fn three_node_cluster_spreads_and_conserves() {
     let addrs: Vec<_> = nodes.iter().map(|n| n.local_addr()).collect();
     let gateway = Gateway::start(&addrs, fast_config()).expect("start gateway");
 
+    let admitter: &dyn Admitter = &gateway;
     let mut verdicts = 0u64;
-    let mut window = VecDeque::new();
-    for offered in &trace {
-        let pending =
-            gateway.submit(offered.task.clone(), offered.options.clone()).expect("gateway accepts submits");
-        window.push_back((offered.task.id, pending));
-        if window.len() >= 32 {
-            let (task, pending): (TaskId, offloadnn_gateway::GwPending) = window.pop_front().unwrap();
-            let outcome = pending.wait().expect("ticket resolves");
-            verdicts += 1;
-            if matches!(outcome, Outcome::Admitted { .. }) {
-                gateway.depart(task);
-            }
-        }
-    }
-    for (task, pending) in window.drain(..) {
+    let mut window: VecDeque<PendingVerdict> = VecDeque::new();
+    let mut settle = |pending: PendingVerdict| {
+        let task = pending.task();
         let outcome = pending.wait().expect("ticket resolves");
         verdicts += 1;
         if matches!(outcome, Outcome::Admitted { .. }) {
-            gateway.depart(task);
+            admitter.depart(task);
         }
+    };
+    for offered in &trace {
+        let pending = admitter
+            .submit(offered.task.clone(), offered.options.clone(), None)
+            .expect("gateway accepts submits");
+        window.push_back(pending);
+        if window.len() >= 32 {
+            settle(window.pop_front().unwrap());
+        }
+    }
+    for pending in window.drain(..) {
+        settle(pending);
     }
     assert_eq!(verdicts, TOTAL as u64);
 

@@ -858,11 +858,50 @@ impl<B: Backend> EventLoop<B> {
                 );
                 self.send_completion(idx, CompletionMsg::Reply { token, frame });
             }
+            Frame::PeerHello(req) => {
+                // A load digest is a couple of atomic reads: cheap enough
+                // to answer inline like a snapshot.
+                let frame = match self.shared.service.peer_load(&req.addr, req.incarnation) {
+                    Some(d) => Frame::PeerLoad(crate::codec::PeerLoadResponse {
+                        request_id: req.request_id,
+                        healthy_nodes: d.healthy_nodes,
+                        remaining_budget: d.remaining_budget,
+                        round_ms_p50: d.round_ms_p50,
+                        epoch: d.epoch,
+                    }),
+                    None => Frame::Error(ErrorResponse {
+                        request_id: req.request_id,
+                        code: ErrorCode::Internal,
+                        message: "backend is not a federation gateway".to_owned(),
+                    }),
+                };
+                self.send_completion(idx, CompletionMsg::Reply { token, frame });
+            }
+            Frame::Forward(req) => {
+                // Submit parity, carrying the origin's *remaining*
+                // deadline and the loop-freedom metadata.
+                let budget = (req.deadline_us != 0).then(|| Duration::from_micros(req.deadline_us));
+                let info =
+                    crate::backend::ForwardInfo { origin: req.origin, tried: req.tried, hops: req.hops };
+                let msg = match self.shared.service.forward(req.task, req.options, budget, info) {
+                    Ok(ticket) => CompletionMsg::Verdict { token, request_id: req.request_id, ticket },
+                    Err(e) => CompletionMsg::Reply {
+                        token,
+                        frame: Frame::Error(ErrorResponse {
+                            request_id: req.request_id,
+                            code: e.into(),
+                            message: e.to_string(),
+                        }),
+                    },
+                };
+                self.send_completion(idx, msg);
+            }
             // A client must not send response frames.
             Frame::Outcome(_)
             | Frame::Metrics(_)
             | Frame::Scaled(_)
             | Frame::Membership(_)
+            | Frame::PeerLoad(_)
             | Frame::Error(_) => {
                 let frame = Frame::Error(ErrorResponse {
                     request_id: frame.request_id(),

@@ -50,6 +50,36 @@ impl MembershipAck {
     }
 }
 
+/// A backend's answer to a peer gateway's load-digest request
+/// ([`Backend::peer_load`]): what travels back in a
+/// [`crate::Frame::PeerLoad`] frame, minus the correlation id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerDigest {
+    /// Routable (healthy) nodes behind this backend.
+    pub healthy_nodes: u32,
+    /// Aggregate remaining admission budget across those nodes; higher
+    /// is emptier.
+    pub remaining_budget: f64,
+    /// p50 of the cluster's solver round time, in milliseconds.
+    pub round_ms_p50: f64,
+    /// The backend's cluster epoch (membership version). A change tells
+    /// peers to drop plans they cached against this cluster.
+    pub epoch: u64,
+}
+
+/// The federation metadata riding on a [`crate::Frame::Forward`]:
+/// everything beyond an ordinary submit that the receiving backend
+/// needs for loop-free re-forwarding and peer-scoped plan caching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardInfo {
+    /// The gateway where the task first arrived.
+    pub origin: String,
+    /// Every gateway that has already held this task, origin included.
+    pub tried: Vec<String>,
+    /// Remaining hop budget (0 = the receiver must decide locally).
+    pub hops: u8,
+}
+
 /// A handle to one in-flight submission, redeemable for its verdict by
 /// the frontend's writer (threaded) or completion (reactor) thread.
 ///
@@ -134,6 +164,39 @@ pub trait Backend: Send + Sync + Sized + 'static {
     fn leave(&self, addr: SocketAddr, incarnation: u64) -> MembershipAck {
         let _ = (addr, incarnation);
         MembershipAck::unsupported()
+    }
+
+    /// An overflow admission forwarded from a peer gateway (protocol v4
+    /// [`crate::Frame::Forward`]). The default treats it as an ordinary
+    /// submit: a backend that manages no federation ignores the hop and
+    /// tried-set metadata and decides locally, which is exactly the
+    /// hop-budget-exhausted behaviour a federated gateway also falls
+    /// back to. `budget` is the *remaining* deadline carried over from
+    /// the origin, never the origin's policy default.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] for requests refused at ingress, exactly as
+    /// [`Backend::submit`].
+    fn forward(
+        &self,
+        task: Task,
+        options: Vec<PathOption>,
+        budget: Option<Duration>,
+        info: ForwardInfo,
+    ) -> Result<Self::Pending, SubmitError> {
+        let _ = info;
+        self.submit(task, options, budget)
+    }
+
+    /// A peer gateway asking for this backend's load digest (protocol
+    /// v4 [`crate::Frame::PeerHello`]). `None` — the default — means the
+    /// backend is not a federation member (e.g. a plain serve node was
+    /// addressed); the frontend answers an error frame and the asking
+    /// peer marks the address unusable as a forwarding target.
+    fn peer_load(&self, peer_addr: &str, peer_incarnation: u64) -> Option<PeerDigest> {
+        let _ = (peer_addr, peer_incarnation);
+        None
     }
 
     /// Registers a hook to run when this backend's drain begins (either

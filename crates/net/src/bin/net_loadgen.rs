@@ -5,25 +5,28 @@
 //! then drains and cross-checks the end-to-end conservation invariant:
 //!
 //! ```text
-//! offered = outcomes received + server-errored + transport-errored
+//! offered = outcomes received + refused + transport-errored + lost
 //! server.submitted = outcomes received  (per verdict class, exactly)
 //! ```
 //!
-//! Exits non-zero on any violation, so CI can gate on it.
+//! Exits non-zero on any violation, so CI can gate on it. The flag
+//! surface, verdict tally and driver loop are the shared ones from
+//! [`offloadnn_serve::loadgen::args`] — each connection's [`Client`] is
+//! driven purely as a `&dyn Admitter`, the same loop body the other
+//! tiers use.
 //!
 //! ```text
 //! cargo run --release -p offloadnn-net --bin net_loadgen -- \
 //!     --requests 20000 --clients 4 --shards 4
 //! ```
 
+use offloadnn_core::instance::PathOption;
 use offloadnn_core::scenario::small_scenario;
-use offloadnn_core::task::TaskId;
-use offloadnn_net::{AnyServer, Client, ClientConfig, Frontend, NetConfig, NetError};
+use offloadnn_core::task::Task;
+use offloadnn_net::{AnyServer, Client, ClientConfig, Frontend, NetConfig};
 use offloadnn_plancache::PlanCacheConfig;
-use offloadnn_serve::{Outcome, ServiceConfig, ShapePool};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use std::collections::VecDeque;
+use offloadnn_serve::loadgen::args::{self, CommonArgs, DriveConfig, DriveReport, WireTally};
+use offloadnn_serve::{ServiceConfig, ShapePool};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -69,239 +72,96 @@ OPTIONS (all optional; defaults in brackets):
   -h, --help          print this help
 ";
 
-struct Args {
-    frontend: Frontend,
-    requests: u64,
-    clients: usize,
-    window: usize,
-    shards: usize,
-    ues: usize,
-    deadline_ms: u64,
-    max_active: usize,
+/// The flags only this binary understands.
+struct Extra {
     snapshot_every: u64,
     queue_capacity: usize,
     batch_max: usize,
     batch_window_us: u64,
-    seed: u64,
     scale_script: Vec<(u64, u32)>,
-    shape_skew: f64,
-    shape_pool: usize,
     plan_cache: bool,
 }
 
-impl Default for Args {
-    fn default() -> Self {
-        let s = ServiceConfig::default();
-        Self {
-            frontend: Frontend::default(),
-            requests: 20_000,
-            clients: 4,
-            window: 128,
-            shards: s.shards,
-            ues: 5,
-            deadline_ms: 0,
-            max_active: 64,
-            snapshot_every: 0,
-            queue_capacity: s.queue_capacity,
-            batch_max: s.batch_max,
-            batch_window_us: s.batch_window.as_micros() as u64,
-            seed: 7,
-            scale_script: Vec::new(),
-            shape_skew: 0.0,
-            shape_pool: 64,
-            plan_cache: false,
-        }
-    }
-}
-
-/// Parses `"at:shards,at:shards"` into scale-script steps.
-fn parse_scale_script(value: &str) -> Result<Vec<(u64, u32)>, String> {
-    value
-        .split(',')
-        .filter(|s| !s.is_empty())
-        .map(|step| {
-            let (at, shards) =
-                step.split_once(':').ok_or_else(|| format!("scale step {step:?}: expected at:shards"))?;
-            let at: u64 = at.trim().parse().map_err(|e| format!("scale step {step:?}: {e}"))?;
-            let shards: u32 = shards.trim().parse().map_err(|e| format!("scale step {step:?}: {e}"))?;
-            if shards == 0 {
-                return Err(format!("scale step {step:?}: target must be at least one shard"));
-            }
-            Ok((at, shards))
-        })
-        .collect()
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        if flag == "-h" || flag == "--help" {
-            print!("{USAGE}");
-            std::process::exit(0);
+fn parse_args() -> Result<(CommonArgs, Extra), String> {
+    let s = ServiceConfig::default();
+    let mut common = CommonArgs { requests: 20_000, window: 128, shards: s.shards, ..CommonArgs::default() };
+    let mut extra = Extra {
+        snapshot_every: 0,
+        queue_capacity: s.queue_capacity,
+        batch_max: s.batch_max,
+        batch_window_us: s.batch_window.as_micros() as u64,
+        scale_script: Vec::new(),
+        plan_cache: false,
+    };
+    args::parse(USAGE, &mut common, |flag, it| {
+        match flag {
+            "--snapshot-every" | "--queue-capacity" | "--batch-max" | "--batch-window-us"
+            | "--scale-script" | "--plan-cache" => {}
+            _ => return Ok(false),
         }
         let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
         let bad = |e: &dyn std::fmt::Display| format!("{flag} {value}: {e}");
-        match flag.as_str() {
-            "--frontend" => args.frontend = value.parse().map_err(|e| bad(&e))?,
-            "--requests" => args.requests = value.parse().map_err(|e| bad(&e))?,
-            "--clients" => args.clients = value.parse().map_err(|e| bad(&e))?,
-            "--window" => args.window = value.parse().map_err(|e| bad(&e))?,
-            "--shards" => args.shards = value.parse().map_err(|e| bad(&e))?,
-            "--ues" => args.ues = value.parse().map_err(|e| bad(&e))?,
-            "--deadline-ms" => args.deadline_ms = value.parse().map_err(|e| bad(&e))?,
-            "--max-active" => args.max_active = value.parse().map_err(|e| bad(&e))?,
-            "--snapshot-every" => args.snapshot_every = value.parse().map_err(|e| bad(&e))?,
-            "--queue-capacity" => args.queue_capacity = value.parse().map_err(|e| bad(&e))?,
-            "--batch-max" => args.batch_max = value.parse().map_err(|e| bad(&e))?,
-            "--batch-window-us" => args.batch_window_us = value.parse().map_err(|e| bad(&e))?,
-            "--seed" => args.seed = value.parse().map_err(|e| bad(&e))?,
-            "--scale-script" => args.scale_script = parse_scale_script(&value)?,
-            "--shape-skew" => args.shape_skew = value.parse().map_err(|e| bad(&e))?,
-            "--shape-pool" => args.shape_pool = value.parse().map_err(|e| bad(&e))?,
-            "--plan-cache" => args.plan_cache = value.parse().map_err(|e| bad(&e))?,
-            other => return Err(format!("unknown flag {other} (try --help)")),
+        match flag {
+            "--snapshot-every" => extra.snapshot_every = value.parse().map_err(|e| bad(&e))?,
+            "--queue-capacity" => extra.queue_capacity = value.parse().map_err(|e| bad(&e))?,
+            "--batch-max" => extra.batch_max = value.parse().map_err(|e| bad(&e))?,
+            "--batch-window-us" => extra.batch_window_us = value.parse().map_err(|e| bad(&e))?,
+            "--scale-script" => extra.scale_script = args::parse_scale_script(&value)?,
+            "--plan-cache" => extra.plan_cache = value.parse().map_err(|e| bad(&e))?,
+            _ => unreachable!("guarded above"),
         }
-    }
-    if args.clients == 0 {
-        return Err("--clients must be >= 1".into());
-    }
-    if args.window == 0 {
-        return Err("--window must be >= 1".into());
-    }
-    Ok(args)
+        Ok(true)
+    })?;
+    Ok((common, extra))
 }
 
-/// Per-client verdict tally, observed through the wire.
-#[derive(Debug, Default, Clone, Copy)]
-struct Tally {
-    admitted: u64,
-    rejected: u64,
-    shed: u64,
-    expired: u64,
-    server_error: u64,
-    transport_error: u64,
-}
-
-impl Tally {
-    fn outcomes(&self) -> u64 {
-        self.admitted + self.rejected + self.shed + self.expired
-    }
-
-    fn merge(&mut self, o: Tally) {
-        self.admitted += o.admitted;
-        self.rejected += o.rejected;
-        self.shed += o.shed;
-        self.expired += o.expired;
-        self.server_error += o.server_error;
-        self.transport_error += o.transport_error;
-    }
-}
-
-/// How long a verdict may stay outstanding before the run declares the
-/// connection wedged (counts as a transport error, never hangs).
-const VERDICT_TIMEOUT: Duration = Duration::from_secs(30);
-
-#[allow(clippy::too_many_arguments)]
+/// One driver connection: dial, hand the client to the shared
+/// tier-agnostic drive loop, hang up. A failed dial charges this
+/// driver's whole share as transport errors (the submits were offered
+/// to a dead endpoint).
 fn run_client(
     addr: std::net::SocketAddr,
-    client_idx: usize,
-    requests: u64,
-    args: &Args,
-    protos: &[(offloadnn_core::task::Task, Vec<offloadnn_core::instance::PathOption>)],
+    cfg: DriveConfig,
+    protos: &[(Task, Vec<PathOption>)],
     shapes: Option<&ShapePool>,
     offered: &AtomicU64,
-) -> (Tally, u64) {
+) -> DriveReport {
     let client = match Client::connect(addr, ClientConfig::default()) {
         Ok(c) => c,
         Err(_) => {
-            offered.fetch_add(requests, Ordering::Relaxed);
-            let t = Tally { transport_error: requests, ..Tally::default() };
-            return (t, 0);
+            offered.fetch_add(cfg.requests, Ordering::Relaxed);
+            return DriveReport {
+                tally: WireTally { transport: cfg.requests, ..WireTally::default() },
+                departed: 0,
+            };
         }
     };
-    let deadline = (args.deadline_ms > 0).then(|| Duration::from_millis(args.deadline_ms));
-    let mut rng = StdRng::seed_from_u64(args.seed ^ (client_idx as u64).wrapping_mul(0x9E37_79B9));
-    let mut tally = Tally::default();
-    let mut departed = 0u64;
-    let mut pending = VecDeque::new();
-    let mut active: VecDeque<TaskId> = VecDeque::new();
-
-    let resolve = |p: offloadnn_net::PendingVerdict, tally: &mut Tally, active: &mut VecDeque<TaskId>| {
-        let task = p.task;
-        match p.wait_timeout(VERDICT_TIMEOUT) {
-            Ok(Outcome::Admitted { .. }) => {
-                tally.admitted += 1;
-                active.push_back(task);
-            }
-            Ok(Outcome::Rejected { .. }) => tally.rejected += 1,
-            Ok(Outcome::Shed { .. }) => tally.shed += 1,
-            Ok(Outcome::Expired { .. }) => tally.expired += 1,
-            Err(NetError::Server(_)) => tally.server_error += 1,
-            Err(_) => tally.transport_error += 1,
-        }
-    };
-
-    for i in 0..requests {
-        // With the Zipf pool active, popular shape ranks repeat
-        // bit-identically (the same jitter every draw) across every
-        // client, so the server-side plan cache has something to hit.
-        let (proto, jitter) = match shapes {
-            Some(pool) => {
-                let (proto, priority, rate) = pool.draw(&mut rng);
-                (&protos[proto], Some((priority, rate)))
-            }
-            None => (&protos[rng.random_range(0..protos.len())], None),
-        };
-        let mut task = proto.0.clone();
-        if let Some((priority, rate)) = jitter {
-            task.priority = (task.priority * priority).clamp(0.05, 1.0);
-            task.request_rate *= rate;
-        }
-        // Disjoint id spaces keep departures routable per client.
-        task.id = TaskId(u32::try_from(client_idx as u64 * 100_000_000 + i).unwrap_or(u32::MAX));
-        match client.submit(task, proto.1.clone(), deadline) {
-            Ok(p) => pending.push_back(p),
-            Err(_) => tally.transport_error += 1,
-        }
-        offered.fetch_add(1, Ordering::Relaxed);
-        if pending.len() >= args.window {
-            if let Some(p) = pending.pop_front() {
-                resolve(p, &mut tally, &mut active);
-            }
-        }
-        while args.max_active > 0 && active.len() > args.max_active {
-            if let Some(id) = active.pop_front() {
-                if client.depart(id).is_ok() {
-                    departed += 1;
-                }
-            }
-        }
-        if args.snapshot_every > 0 && i % args.snapshot_every == args.snapshot_every - 1 {
-            let _ = client.snapshot();
-        }
-    }
-    while let Some(p) = pending.pop_front() {
-        resolve(p, &mut tally, &mut active);
-    }
+    let report = args::drive(&client, &cfg, protos, shapes, offered);
     client.close();
-    (tally, departed)
+    report
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
+    let (common, extra) = match parse_args() {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    let frontend: Frontend = match common.frontend.parse() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: --frontend {}: {e}", common.frontend);
+            return ExitCode::from(2);
+        }
+    };
     let service_config = ServiceConfig {
-        shards: args.shards,
-        queue_capacity: args.queue_capacity,
-        batch_max: args.batch_max,
-        batch_window: Duration::from_micros(args.batch_window_us),
-        plan_cache: args.plan_cache.then(PlanCacheConfig::default),
+        shards: common.shards,
+        queue_capacity: extra.queue_capacity,
+        batch_max: extra.batch_max,
+        batch_window: Duration::from_micros(extra.batch_window_us),
+        plan_cache: extra.plan_cache.then(PlanCacheConfig::default),
         ..ServiceConfig::default()
     };
     if let Err(e) = service_config.validate() {
@@ -309,50 +169,50 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let scenario = small_scenario(args.ues);
+    let scenario = small_scenario(common.ues);
     let protos: Vec<_> =
         scenario.instance.tasks.iter().cloned().zip(scenario.instance.options.iter().cloned()).collect();
-    let shapes = (args.shape_skew > 0.0)
-        .then(|| ShapePool::new(args.shape_pool, args.shape_skew, protos.len(), args.seed));
+    let shapes = (common.shape_skew > 0.0)
+        .then(|| ShapePool::new(common.shape_pool, common.shape_skew, protos.len(), common.seed));
 
     // Raise the connection limit to fit the requested client fleet (+
     // the control connection and the shutdown wake), so --clients 512
     // exercises concurrency rather than the TooManyConnections path.
     let net_config = NetConfig {
-        max_connections: NetConfig::default().max_connections.max(args.clients + 8),
+        max_connections: NetConfig::default().max_connections.max(common.clients + 8),
         ..NetConfig::default()
     };
-    let server = match AnyServer::start(
-        args.frontend,
-        ("127.0.0.1", 0),
-        net_config,
-        service_config,
-        &scenario.instance,
-    ) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: failed to start server: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let server =
+        match AnyServer::start(frontend, ("127.0.0.1", 0), net_config, service_config, &scenario.instance) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: failed to start server: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     let addr = server.local_addr();
-    println!(
-        "net_loadgen: frontend {}, {} requests, {} concurrent connection(s) x window {}, {} shard(s), seed {} — server {addr}",
-        args.frontend, args.requests, args.clients, args.window, args.shards, args.seed
+    args::print_header(
+        "net",
+        &common.frontend,
+        common.seed,
+        format_args!(
+            "{} requests, {} concurrent connection(s) x window {}, {} shard(s) — server {addr}",
+            common.requests, common.clients, common.window, common.shards
+        ),
     );
-    if args.shape_skew > 0.0 {
+    if common.shape_skew > 0.0 {
         println!(
             "shapes: Zipf skew {:.2} over a pool of {} deterministic shapes (plan cache {})",
-            args.shape_skew,
-            args.shape_pool,
-            if args.plan_cache { "on" } else { "off" },
+            common.shape_skew,
+            common.shape_pool,
+            if extra.plan_cache { "on" } else { "off" },
         );
     }
 
     let started = Instant::now();
-    let per_client = args.requests / args.clients as u64;
-    let remainder = args.requests % args.clients as u64;
-    let (mut tally, mut departed) = (Tally::default(), 0u64);
+    let per_client = common.requests / common.clients as u64;
+    let remainder = common.requests % common.clients as u64;
+    let mut total = DriveReport::default();
     let offered = AtomicU64::new(0);
     let clients_done = AtomicBool::new(false);
     let mut scale_errors = 0u64;
@@ -361,9 +221,10 @@ fn main() -> ExitCode {
         // A dedicated control connection walks the scale script while the
         // load clients pipeline submits: each step fires once the global
         // offered count passes its threshold (or immediately once every
-        // client has finished, so trailing steps still run).
-        let controller = (!args.scale_script.is_empty()).then(|| {
-            let (script, offered, clients_done) = (&args.scale_script, &offered, &clients_done);
+        // client has finished, so trailing steps still run). Resharding
+        // is management plane, so it stays on the concrete Client.
+        let controller = (!extra.scale_script.is_empty()).then(|| {
+            let (script, offered, clients_done) = (&extra.scale_script, &offered, &clients_done);
             scope.spawn(move || {
                 let mut responses = Vec::new();
                 let mut errors = 0u64;
@@ -388,18 +249,20 @@ fn main() -> ExitCode {
                 (responses, errors)
             })
         });
-        let handles: Vec<_> = (0..args.clients)
+        let handles: Vec<_> = (0..common.clients)
             .map(|idx| {
                 let share = per_client + u64::from((idx as u64) < remainder);
-                let (args, protos, offered) = (&args, &protos, &offered);
+                let mut cfg = DriveConfig::from_common(&common, idx, share);
+                cfg.snapshot_every = extra.snapshot_every;
+                let (protos, offered) = (&protos, &offered);
                 let shapes = shapes.as_ref();
-                scope.spawn(move || run_client(addr, idx, share, args, protos, shapes, offered))
+                scope.spawn(move || run_client(addr, cfg, protos, shapes, offered))
             })
             .collect();
         for h in handles {
-            let (t, d) = h.join().expect("client thread");
-            tally.merge(t);
-            departed += d;
+            let r = h.join().expect("client thread");
+            total.tally.merge(r.tally);
+            total.departed += r.departed;
         }
         clients_done.store(true, Ordering::Relaxed);
         if let Some(c) = controller {
@@ -409,20 +272,18 @@ fn main() -> ExitCode {
         }
     });
     let wall = started.elapsed();
+    let tally = total.tally;
 
     let report = server.shutdown();
     let m = &report.metrics;
-    let submit_rate = args.requests as f64 / wall.as_secs_f64().max(1e-9);
+    let submit_rate = common.requests as f64 / wall.as_secs_f64().max(1e-9);
 
     println!("\n— run —");
     println!(
-        "wall {:.3?}   offered {}   {:.0} submits/s   departed {departed}",
-        wall, args.requests, submit_rate
+        "wall {:.3?}   offered {}   {:.0} submits/s   departed {}",
+        wall, common.requests, submit_rate, total.departed
     );
-    println!(
-        "outcomes: admitted {}  rejected {}  shed {}  expired {}  server-err {}  transport-err {}",
-        tally.admitted, tally.rejected, tally.shed, tally.expired, tally.server_error, tally.transport_error
-    );
+    println!("outcomes: {tally}");
     for r in &reshards {
         println!(
             "reshard:  {} -> {} shards, {} in-flight tasks migrated (generation {})",
@@ -448,13 +309,12 @@ fn main() -> ExitCode {
     // exactly once, and the wire-observed verdicts match the server's
     // own counters class by class.
     let mut violations = Vec::new();
-    if tally.outcomes() + tally.server_error + tally.transport_error != args.requests {
+    if tally.outcomes() + tally.errors() != common.requests {
         violations.push(format!(
-            "offered {} != outcomes {} + server-err {} + transport-err {}",
-            args.requests,
+            "offered {} != outcomes {} + errors {}",
+            common.requests,
             tally.outcomes(),
-            tally.server_error,
-            tally.transport_error
+            tally.errors(),
         ));
     }
     if !m.is_conserved() {
@@ -464,11 +324,11 @@ fn main() -> ExitCode {
             m.resolved()
         ));
     }
-    if scale_errors > 0 || reshards.len() != args.scale_script.len() {
+    if scale_errors > 0 || reshards.len() != extra.scale_script.len() {
         violations.push(format!(
             "scale script: {} of {} steps completed, {} errored",
             reshards.len(),
-            args.scale_script.len(),
+            extra.scale_script.len(),
             scale_errors
         ));
     }
@@ -481,7 +341,7 @@ fn main() -> ExitCode {
             m.reshards
         ));
     }
-    if tally.transport_error == 0 {
+    if tally.errors() == 0 {
         for (name, wire, server) in [
             ("submitted", tally.outcomes(), m.submitted),
             ("admitted", tally.admitted, m.admitted),

@@ -35,14 +35,15 @@
 
 use crate::backoff::{entropy_seed, ReconnectBackoff};
 use crate::codec::{
-    self, AnnounceRequest, DepartRequest, DrainRequest, Frame, LeaveRequest, MembershipResponse,
-    ScaleRequest, ScaleResponse, SnapshotRequest, SubmitRequest,
+    self, AnnounceRequest, DepartRequest, DrainRequest, ForwardRequest, Frame, LeaveRequest,
+    MembershipResponse, PeerHelloRequest, PeerLoadResponse, ScaleRequest, ScaleResponse, SnapshotRequest,
+    SubmitRequest,
 };
 use crate::error::NetError;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use offloadnn_core::instance::PathOption;
 use offloadnn_core::task::{Task, TaskId};
-use offloadnn_serve::{MetricsSnapshot, Outcome};
+use offloadnn_serve::{Admitter, MetricsSnapshot, Outcome, SubmitError, VerdictError};
 use offloadnn_telemetry::{event, Histogram, Severity};
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -87,6 +88,15 @@ impl Default for ClientConfig {
 }
 
 impl ClientConfig {
+    /// A builder starting from [`ClientConfig::default`]. Every setter
+    /// keeps the remaining fields at their defaults, and
+    /// [`ClientConfigBuilder::build`] validates the result, so an
+    /// invalid combination is caught where it was written rather than
+    /// at first dial.
+    pub fn builder() -> ClientConfigBuilder {
+        ClientConfigBuilder { config: Self::default() }
+    }
+
     /// Validates every field.
     ///
     /// # Errors
@@ -112,6 +122,60 @@ impl ClientConfig {
             return Err(NetError::InvalidConfig("write_timeout must be > 0"));
         }
         Ok(())
+    }
+}
+
+/// Builder for [`ClientConfig`] — see [`ClientConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ClientConfigBuilder {
+    config: ClientConfig,
+}
+
+impl ClientConfigBuilder {
+    /// Sets the per-attempt TCP connect timeout.
+    #[must_use]
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.config.connect_timeout = timeout;
+        self
+    }
+
+    /// Sets the number of dial attempts before giving up.
+    #[must_use]
+    pub fn connect_attempts(mut self, attempts: u32) -> Self {
+        self.config.connect_attempts = attempts;
+        self
+    }
+
+    /// Sets the reconnect backoff envelope (base and cap).
+    #[must_use]
+    pub fn backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.config.backoff_base = base;
+        self.config.backoff_cap = cap;
+        self
+    }
+
+    /// Sets the socket read timeout.
+    #[must_use]
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.config.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the socket write timeout.
+    #[must_use]
+    pub fn write_timeout(mut self, timeout: Duration) -> Self {
+        self.config.write_timeout = timeout;
+        self
+    }
+
+    /// Validates and returns the finished config.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidConfig`] naming the offending field.
+    pub fn build(self) -> Result<ClientConfig, NetError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -405,6 +469,79 @@ impl Client {
         Ok(PendingVerdict { rx, sent_at, task: task_id, request_id })
     }
 
+    /// Forwards an overflow admission to a peer gateway (protocol v4).
+    /// Pipelined exactly like [`Client::submit`] — the peer answers with
+    /// an ordinary outcome frame. `remaining` is the deadline budget
+    /// left on the origin gateway (`None` = the task never had one),
+    /// `hops` the remaining forward budget, and `tried` every gateway
+    /// that has already held the task (origin included).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`].
+    pub fn forward(
+        &self,
+        task: Task,
+        options: Vec<PathOption>,
+        remaining: Option<Duration>,
+        hops: u8,
+        origin: &str,
+        tried: &[String],
+    ) -> Result<PendingVerdict, NetError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let task_id = task.id;
+        let deadline_us = remaining.map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1));
+        let frame = Frame::Forward(ForwardRequest {
+            request_id,
+            deadline_us,
+            hops,
+            origin: origin.to_owned(),
+            tried: tried.to_vec(),
+            task,
+            options,
+        });
+        let bytes = codec::encode(&frame);
+        let sent_at = Instant::now();
+        let rx = self.send(request_id, &bytes, true)?.expect("reply slot requested");
+        Ok(PendingVerdict { rx, sent_at, task: task_id, request_id })
+    }
+
+    /// Asks a peer gateway for its load digest (protocol v4), blocking
+    /// up to `timeout` — the shape the federation digest loop needs: a
+    /// peer that cannot answer within the timeout counts as a missed
+    /// digest instead of wedging the loop. `addr` / `incarnation`
+    /// identify the *asking* gateway, so the peer can dial it back.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as for [`Client::submit`]; [`NetError::Server`]
+    /// when the addressed backend is not a federation gateway;
+    /// [`NetError::Disconnected`] when `timeout` elapses first.
+    pub fn peer_hello(
+        &self,
+        addr: &str,
+        incarnation: u64,
+        timeout: Duration,
+    ) -> Result<PeerLoadResponse, NetError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::PeerHello(PeerHelloRequest { request_id, addr: addr.to_owned(), incarnation });
+        let rx = self.send(request_id, &codec::encode(&frame), true)?.expect("reply slot requested");
+        match rx.recv_timeout(timeout) {
+            Ok(Frame::PeerLoad(d)) => Ok(d),
+            Ok(Frame::Error(e)) => Err(NetError::Server(e)),
+            Ok(other) => Err(NetError::Disconnected(format!(
+                "unexpected {} frame in place of a load digest",
+                other.type_name()
+            ))),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(NetError::Disconnected("no load digest within the timeout".into()))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(NetError::Disconnected("connection died before the load digest arrived".into()))
+            }
+        }
+    }
+
     /// Sends a departure notice for an admitted task. Fire-and-forget:
     /// the server releases the capacity and sends no response.
     ///
@@ -582,6 +719,76 @@ impl Client {
     /// client does the same.
     pub fn close(self) {
         drop(self);
+    }
+}
+
+/// Maps a tier-specific wire failure onto the unified
+/// [`VerdictError`] vocabulary: typed server refusals stay
+/// distinguishable from transport deaths, so the cross-tier drivers
+/// keep their separate tallies (and the conservation cross-checks that
+/// depend on them).
+fn verdict_error(e: NetError) -> VerdictError {
+    match e {
+        NetError::Server(err) => VerdictError::Refused(err.message),
+        other => VerdictError::Transport(other.to_string()),
+    }
+}
+
+impl offloadnn_serve::VerdictHandle for PendingVerdict {
+    fn poll(&self) -> Option<Result<Outcome, VerdictError>> {
+        PendingVerdict::poll(self).map(|r| r.map_err(verdict_error))
+    }
+
+    fn wait(self: Box<Self>) -> Result<Outcome, VerdictError> {
+        PendingVerdict::wait(*self).map_err(verdict_error)
+    }
+
+    fn wait_timeout(self: Box<Self>, timeout: Duration) -> Result<Outcome, VerdictError> {
+        // poll_wait distinguishes "bound elapsed" from "connection
+        // died", which the consuming wait_timeout folds together.
+        match PendingVerdict::poll_wait(&self, timeout) {
+            Some(r) => r.map_err(verdict_error),
+            None => Err(VerdictError::TimedOut),
+        }
+    }
+}
+
+impl Admitter for Client {
+    fn submit(
+        &self,
+        task: Task,
+        options: Vec<PathOption>,
+        deadline: Option<Duration>,
+    ) -> Result<offloadnn_serve::PendingVerdict, SubmitError> {
+        let task_id = task.id;
+        match Client::submit(self, task, options, deadline) {
+            Ok(pending) => Ok(offloadnn_serve::PendingVerdict::new(task_id, Box::new(pending))),
+            // A submit that could not be written was never accepted
+            // anywhere: the unified ingress refusal, not a lost verdict.
+            Err(_) => Err(SubmitError::Unavailable),
+        }
+    }
+
+    fn depart(&self, task: TaskId) {
+        // Fire-and-forget on the trait: a transport error here is
+        // indistinguishable from a client that crashed after admission,
+        // which the server side already tolerates.
+        let _ = Client::depart(self, task);
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.snapshot().ok()
+    }
+
+    fn begin_drain(&self) {
+        // The wire protocol's drain is a full fence + final snapshot;
+        // discarding the snapshot leaves exactly the fence semantics
+        // the trait asks for. Best-effort, as for depart.
+        let _ = self.drain();
+    }
+
+    fn tier(&self) -> &'static str {
+        "net"
     }
 }
 

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "ODNN"
-//! 4       1     protocol version (1, 2 or 3)
+//! 4       1     protocol version (1 through 4)
 //! 5       1     frame type
 //! 6       2     reserved (must be zero)
 //! 8       4     payload length N, little-endian (<= MAX_PAYLOAD)
@@ -31,6 +31,12 @@
 //! * **v3** — adds the cluster auto-discovery frames
 //!   [`Frame::Announce`] / [`Frame::Leave`] / [`Frame::Membership`], by
 //!   which serve nodes register with (and deregister from) a gateway.
+//! * **v4** — adds the cross-gateway federation frames
+//!   [`Frame::PeerHello`] / [`Frame::PeerLoad`] / [`Frame::Forward`]:
+//!   gateways exchange periodic load digests and forward overflow
+//!   admissions to the least-loaded peer, carrying the remaining
+//!   deadline budget, a hop budget and the set of gateways already
+//!   tried (loop freedom).
 //!
 //! Each frame is stamped with the *lowest* protocol version that can
 //! express it (see [`frame_min_version`]): a Submit still travels as v1
@@ -69,7 +75,7 @@ pub const MAGIC: [u8; 4] = *b"ODNN";
 /// The newest protocol revision this build understands. Individual
 /// frames are emitted at their own minimum version (see
 /// [`frame_min_version`]), never above this.
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
 
 /// Oldest protocol revision this build still decodes.
 pub const MIN_VERSION: u8 = 1;
@@ -102,6 +108,10 @@ pub mod frame_type {
     pub const ANNOUNCE: u8 = 0x06;
     /// Node deregistration ahead of a graceful drain (protocol v3).
     pub const LEAVE: u8 = 0x07;
+    /// Gateway-to-gateway load-digest request (protocol v4).
+    pub const PEER_HELLO: u8 = 0x08;
+    /// Gateway-to-gateway overflow forward (protocol v4).
+    pub const FORWARD: u8 = 0x09;
     /// Admission verdict response.
     pub const OUTCOME: u8 = 0x41;
     /// Metrics snapshot response.
@@ -112,6 +122,8 @@ pub mod frame_type {
     pub const SCALED: u8 = 0x44;
     /// Membership decision + cluster view response (protocol v3).
     pub const MEMBERSHIP: u8 = 0x45;
+    /// Gateway load-digest response (protocol v4).
+    pub const PEER_LOAD: u8 = 0x46;
 }
 
 /// An admission request: a full task description plus its candidate
@@ -305,6 +317,68 @@ pub struct LeaveRequest {
     pub incarnation: u64,
 }
 
+/// One gateway introducing itself to a peer gateway and asking for its
+/// load digest (protocol v4). Sent periodically by the federation
+/// digest loop; answered by [`Frame::PeerLoad`]. The incarnation is the
+/// sender's per-process monotonic stamp, so a peer can tell a restart
+/// from a replay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerHelloRequest {
+    /// Client-chosen correlation id echoed on the response.
+    pub request_id: u64,
+    /// The sending gateway's own frontend address, as the peer should
+    /// dial it back (and as it appears in [`ForwardRequest::tried`]).
+    pub addr: String,
+    /// The sending gateway's incarnation stamp.
+    pub incarnation: u64,
+}
+
+/// A gateway's load digest (protocol v4): the three signals a peer needs
+/// to rank forwarding targets without dialing every node itself.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeerLoadResponse {
+    /// Correlation id of the [`Frame::PeerHello`] this answers.
+    pub request_id: u64,
+    /// Routable (healthy) nodes behind the answering gateway.
+    pub healthy_nodes: u32,
+    /// Aggregate remaining admission budget across those nodes — in-flight
+    /// and queued work subtracted from capacity; higher is emptier.
+    pub remaining_budget: f64,
+    /// The p50 of the answering cluster's solver `round_ms` — how quickly
+    /// a forwarded admission would actually be decided.
+    pub round_ms_p50: f64,
+    /// The answering gateway's cluster epoch (its membership version).
+    /// A change invalidates plans the receiver cached against this peer.
+    pub epoch: u64,
+}
+
+/// An overflow admission forwarded from a saturated gateway to a peer
+/// (protocol v4). Carries the *remaining* deadline budget (never the
+/// origin's policy default), a hop budget, and every gateway already
+/// visited, so a task can neither loop nor revisit a peer. Answered by
+/// an ordinary [`Frame::Outcome`] (or [`Frame::Error`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForwardRequest {
+    /// Client-chosen correlation id echoed on the response.
+    pub request_id: u64,
+    /// Remaining deadline budget in µs (0 = the origin had no deadline;
+    /// the receiver applies its own policy).
+    pub deadline_us: u64,
+    /// Remaining hop budget: how many more times this task may be
+    /// forwarded on. 0 means the receiver must decide locally.
+    pub hops: u8,
+    /// The gateway where the task first arrived (peer-scoped plan-cache
+    /// keying on the receiver).
+    pub origin: String,
+    /// Every gateway that has already held this task, origin included;
+    /// the receiver never forwards to an address in this set.
+    pub tried: Vec<String>,
+    /// The offloaded CV task and its requirements.
+    pub task: Task,
+    /// Candidate (path, quality) options for the task.
+    pub options: Vec<PathOption>,
+}
+
 /// The gateway's answer to an announce or leave: the decision plus a
 /// point-in-time view of the whole cluster (protocol v3).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -389,6 +463,10 @@ impl From<SubmitError> for ErrorCode {
         match e {
             SubmitError::Draining => ErrorCode::Draining,
             SubmitError::NoOptions => ErrorCode::NoOptions,
+            // A backend can only report its *own* ingress unreachable as
+            // an internal failure; the variant exists for client-side
+            // Admitter impls and normally never crosses the wire.
+            SubmitError::Unavailable => ErrorCode::Internal,
         }
     }
 }
@@ -427,6 +505,10 @@ pub enum Frame {
     Announce(AnnounceRequest),
     /// Node deregistration ahead of a graceful drain (protocol v3).
     Leave(LeaveRequest),
+    /// Gateway-to-gateway load-digest request (protocol v4).
+    PeerHello(PeerHelloRequest),
+    /// Overflow admission forwarded between gateways (protocol v4).
+    Forward(ForwardRequest),
     /// Admission verdict.
     Outcome(OutcomeResponse),
     /// Metrics snapshot.
@@ -435,6 +517,8 @@ pub enum Frame {
     Scaled(ScaleResponse),
     /// Membership decision + cluster view (protocol v3).
     Membership(MembershipResponse),
+    /// Gateway load digest (protocol v4).
+    PeerLoad(PeerLoadResponse),
     /// Request- or connection-level error.
     Error(ErrorResponse),
 }
@@ -450,10 +534,13 @@ impl Frame {
             Frame::Scale(_) => frame_type::SCALE,
             Frame::Announce(_) => frame_type::ANNOUNCE,
             Frame::Leave(_) => frame_type::LEAVE,
+            Frame::PeerHello(_) => frame_type::PEER_HELLO,
+            Frame::Forward(_) => frame_type::FORWARD,
             Frame::Outcome(_) => frame_type::OUTCOME,
             Frame::Metrics(_) => frame_type::METRICS,
             Frame::Scaled(_) => frame_type::SCALED,
             Frame::Membership(_) => frame_type::MEMBERSHIP,
+            Frame::PeerLoad(_) => frame_type::PEER_LOAD,
             Frame::Error(_) => frame_type::ERROR,
         }
     }
@@ -468,10 +555,13 @@ impl Frame {
             Frame::Scale(_) => "scale",
             Frame::Announce(_) => "announce",
             Frame::Leave(_) => "leave",
+            Frame::PeerHello(_) => "peer_hello",
+            Frame::Forward(_) => "forward",
             Frame::Outcome(_) => "outcome",
             Frame::Metrics(_) => "metrics",
             Frame::Scaled(_) => "scaled",
             Frame::Membership(_) => "membership",
+            Frame::PeerLoad(_) => "peer_load",
             Frame::Error(_) => "error",
         }
     }
@@ -486,10 +576,13 @@ impl Frame {
             Frame::Scale(f) => f.request_id,
             Frame::Announce(f) => f.request_id,
             Frame::Leave(f) => f.request_id,
+            Frame::PeerHello(f) => f.request_id,
+            Frame::Forward(f) => f.request_id,
             Frame::Outcome(f) => f.request_id,
             Frame::Metrics(f) => f.request_id,
             Frame::Scaled(f) => f.request_id,
             Frame::Membership(f) => f.request_id,
+            Frame::PeerLoad(f) => f.request_id,
             Frame::Error(f) => f.request_id,
         }
     }
@@ -770,6 +863,30 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.put_str(&f.addr);
             w.put_u64(f.incarnation);
         }
+        Frame::PeerHello(f) => {
+            w.put_str(&f.addr);
+            w.put_u64(f.incarnation);
+        }
+        Frame::Forward(f) => {
+            w.put_u64(f.deadline_us);
+            w.put_u8(f.hops);
+            w.put_str(&f.origin);
+            w.put_seq_len(f.tried.len());
+            for t in &f.tried {
+                w.put_str(t);
+            }
+            put_task(&mut w, &f.task);
+            w.put_seq_len(f.options.len());
+            for o in &f.options {
+                put_option(&mut w, o);
+            }
+        }
+        Frame::PeerLoad(f) => {
+            w.put_u32(f.healthy_nodes);
+            w.put_f64(f.remaining_budget);
+            w.put_f64(f.round_ms_p50);
+            w.put_u64(f.epoch);
+        }
         Frame::Membership(f) => {
             w.put_u8(f.decision.tag());
             w.put_seq_len(f.members.len());
@@ -838,6 +955,36 @@ fn decode_payload(version: u8, frame_type: u8, payload: &[u8]) -> Result<Frame, 
             addr: r.string("leave.addr")?,
             incarnation: r.u64("leave.incarnation")?,
         }),
+        // And the federation frames did not exist before v4.
+        frame_type::PEER_HELLO if version >= 4 => Frame::PeerHello(PeerHelloRequest {
+            request_id,
+            addr: r.string("peer_hello.addr")?,
+            incarnation: r.u64("peer_hello.incarnation")?,
+        }),
+        frame_type::FORWARD if version >= 4 => {
+            let deadline_us = r.u64("forward.deadline_us")?;
+            let hops = r.u8("forward.hops")?;
+            let origin = r.string("forward.origin")?;
+            let n = r.seq_len(4, "forward.tried")?;
+            let mut tried = Vec::with_capacity(n);
+            for _ in 0..n {
+                tried.push(r.string("forward.tried_addr")?);
+            }
+            let task = get_task(&mut r)?;
+            let n = r.seq_len(32, "forward.options")?;
+            let mut options = Vec::with_capacity(n);
+            for _ in 0..n {
+                options.push(get_option(&mut r)?);
+            }
+            Frame::Forward(ForwardRequest { request_id, deadline_us, hops, origin, tried, task, options })
+        }
+        frame_type::PEER_LOAD if version >= 4 => Frame::PeerLoad(PeerLoadResponse {
+            request_id,
+            healthy_nodes: r.u32("peer_load.healthy_nodes")?,
+            remaining_budget: r.f64("peer_load.remaining_budget")?,
+            round_ms_p50: r.f64("peer_load.round_ms_p50")?,
+            epoch: r.u64("peer_load.epoch")?,
+        }),
         frame_type::MEMBERSHIP if version >= 3 => {
             let decision = MembershipDecision::from_tag(r.u8("membership.decision")?)?;
             // addr length prefix (4) + incarnation (8) + state tag (1).
@@ -905,10 +1052,13 @@ fn count_tx(frame: &Frame) {
         Frame::Scale(_) => count!("net.tx.scale"),
         Frame::Announce(_) => count!("net.tx.announce"),
         Frame::Leave(_) => count!("net.tx.leave"),
+        Frame::PeerHello(_) => count!("net.tx.peer_hello"),
+        Frame::Forward(_) => count!("net.tx.forward"),
         Frame::Outcome(_) => count!("net.tx.outcome"),
         Frame::Metrics(_) => count!("net.tx.metrics"),
         Frame::Scaled(_) => count!("net.tx.scaled"),
         Frame::Membership(_) => count!("net.tx.membership"),
+        Frame::PeerLoad(_) => count!("net.tx.peer_load"),
         Frame::Error(_) => count!("net.tx.error"),
     }
 }
@@ -923,10 +1073,13 @@ fn count_rx(frame: &Frame) {
         Frame::Scale(_) => count!("net.rx.scale"),
         Frame::Announce(_) => count!("net.rx.announce"),
         Frame::Leave(_) => count!("net.rx.leave"),
+        Frame::PeerHello(_) => count!("net.rx.peer_hello"),
+        Frame::Forward(_) => count!("net.rx.forward"),
         Frame::Outcome(_) => count!("net.rx.outcome"),
         Frame::Metrics(_) => count!("net.rx.metrics"),
         Frame::Scaled(_) => count!("net.rx.scaled"),
         Frame::Membership(_) => count!("net.rx.membership"),
+        Frame::PeerLoad(_) => count!("net.rx.peer_load"),
         Frame::Error(_) => count!("net.rx.error"),
     }
 }
@@ -942,6 +1095,7 @@ pub fn frame_min_version(frame: &Frame) -> u8 {
         // writes them, so the frame must be stamped v2.
         Frame::Scale(_) | Frame::Scaled(_) | Frame::Metrics(_) => 2,
         Frame::Announce(_) | Frame::Leave(_) | Frame::Membership(_) => 3,
+        Frame::PeerHello(_) | Frame::Forward(_) | Frame::PeerLoad(_) => 4,
     }
 }
 
@@ -1074,6 +1228,19 @@ mod tests {
         })
     }
 
+    pub(crate) fn sample_forward() -> Frame {
+        let s = small_scenario(3);
+        Frame::Forward(ForwardRequest {
+            request_id: 14,
+            deadline_us: 850_000,
+            hops: 1,
+            origin: "127.0.0.1:7000".to_owned(),
+            tried: vec!["127.0.0.1:7000".to_owned(), "127.0.0.1:7001".to_owned()],
+            task: s.instance.tasks[2].clone(),
+            options: s.instance.options[2].clone(),
+        })
+    }
+
     fn sample_metrics() -> MetricsSnapshot {
         let mut latency = HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum_us: 0 };
         latency.buckets[3] = 17;
@@ -1154,6 +1321,19 @@ mod tests {
                 decision: MembershipDecision::Unsupported,
                 members: vec![],
             }),
+            Frame::PeerHello(PeerHelloRequest {
+                request_id: 13,
+                addr: "127.0.0.1:7000".to_owned(),
+                incarnation: 170_000_000_456,
+            }),
+            Frame::PeerLoad(PeerLoadResponse {
+                request_id: 13,
+                healthy_nodes: 3,
+                remaining_budget: 41.5,
+                round_ms_p50: 2.25,
+                epoch: 9,
+            }),
+            sample_forward(),
             Frame::Error(ErrorResponse {
                 request_id: 44,
                 code: ErrorCode::Draining,
@@ -1392,5 +1572,125 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01; // break the checksum
         assert!(matches!(decode_capped(&bytes, 2), Err(DecodeError::UnsupportedVersion { got: 3 })));
+    }
+
+    /// Every v4 federation frame used by the compatibility tests below.
+    fn v4_frames() -> Vec<Frame> {
+        vec![
+            Frame::PeerHello(PeerHelloRequest {
+                request_id: 1,
+                addr: "127.0.0.1:7000".to_owned(),
+                incarnation: 7,
+            }),
+            Frame::PeerLoad(PeerLoadResponse {
+                request_id: 1,
+                healthy_nodes: 2,
+                remaining_budget: 10.0,
+                round_ms_p50: 1.5,
+                epoch: 4,
+            }),
+            sample_forward(),
+        ]
+    }
+
+    #[test]
+    fn federation_frames_are_not_valid_before_v4() {
+        for frame in v4_frames() {
+            let tag = frame.frame_type();
+            for version in [1, 2, 3] {
+                let bytes = encode_raw_versioned(version, tag, &encode_payload(&frame));
+                assert!(
+                    matches!(decode_exact(&bytes), Err(DecodeError::UnknownFrameType { got }) if got == tag),
+                    "a v{version} envelope must not carry frame type {tag:#04x}"
+                );
+            }
+        }
+    }
+
+    /// The contract the tentpole rides on: v1–v3 peers step over every
+    /// well-formed v4 federation frame checksum-safely and keep decoding
+    /// the stream behind it.
+    #[test]
+    fn v1_to_v3_clients_skip_every_v4_frame_without_desync() {
+        let snapshot = Frame::Snapshot(SnapshotRequest { request_id: 99 });
+        for future in v4_frames() {
+            let mut bytes = encode(&future);
+            bytes.extend_from_slice(&encode(&snapshot));
+            for cap in [1, 2, 3] {
+                let (frame, consumed) = decode_capped(&bytes, cap)
+                    .unwrap_or_else(|e| panic!("{} at cap {cap} must skip, got {e:?}", future.type_name()))
+                    .expect("the known frame behind it must decode");
+                assert_eq!(frame, snapshot, "{} at cap {cap}", future.type_name());
+                assert_eq!(consumed, bytes.len(), "consumed must cover the skipped {}", future.type_name());
+            }
+        }
+    }
+
+    /// Any single-bit corruption of a v4 frame must never let a capped
+    /// decoder skip it: with the envelope unverifiable the connection
+    /// must drop (UnsupportedVersion), or — when the flip lands in the
+    /// magic/version/reserved prefix — fail with that prefix's own error.
+    /// What it must never do is decode or silently skip garbage.
+    #[test]
+    fn a_bit_flipped_v4_frame_is_never_silently_skipped() {
+        for future in v4_frames() {
+            let bytes = encode(&future);
+            for bit in 0..bytes.len() * 8 {
+                let mut corrupt = bytes.clone();
+                corrupt[bit / 8] ^= 1 << (bit % 8);
+                match decode_capped(&corrupt, 3) {
+                    Err(_) => {}
+                    Ok(None) => {
+                        // A flip in the length prefix can make the frame
+                        // look longer than the buffer: legitimately
+                        // incomplete, never wrongly decoded.
+                        let len = u32::from_le_bytes([corrupt[8], corrupt[9], corrupt[10], corrupt[11]]);
+                        assert!(
+                            HEADER_LEN + len as usize + TRAILER_LEN > corrupt.len(),
+                            "{}: bit {bit} flipped but frame still complete and not an error",
+                            future.type_name()
+                        );
+                    }
+                    Ok(Some((frame, _))) => panic!(
+                        "{}: bit {bit} corruption decoded as {}",
+                        future.type_name(),
+                        frame.type_name()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_v4_frames_are_incomplete_not_fatal_at_every_cap() {
+        for future in v4_frames() {
+            let bytes = encode(&future);
+            for cut in 0..bytes.len() {
+                for cap in [1, 2, 3, VERSION] {
+                    assert_eq!(
+                        decode_capped(&bytes[..cut], cap),
+                        Ok(None),
+                        "{} cut at {cut}, cap {cap}",
+                        future.type_name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_corrupt_v4_frame_is_fatal_for_capped_decoders() {
+        for future in v4_frames() {
+            let mut bytes = encode(&future);
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x01; // break the checksum
+            for cap in [1, 2, 3] {
+                assert!(
+                    matches!(decode_capped(&bytes, cap), Err(DecodeError::UnsupportedVersion { got: 4 })),
+                    "{} at cap {cap}",
+                    future.type_name()
+                );
+            }
+        }
     }
 }

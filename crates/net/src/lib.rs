@@ -74,11 +74,11 @@ pub mod server;
 pub mod wire;
 
 pub use async_server::{AsyncServer, ReactorConfig};
-pub use backend::{Backend, MembershipAck, PendingOutcome};
-pub use client::{Client, ClientConfig, PendingVerdict};
+pub use backend::{Backend, ForwardInfo, MembershipAck, PeerDigest, PendingOutcome};
+pub use client::{Client, ClientConfig, ClientConfigBuilder, PendingVerdict};
 pub use codec::{
-    decode, decode_capped, decode_exact, encode, ErrorCode, Frame, MemberInfo, MemberState,
-    MembershipDecision, MAGIC, MAX_PAYLOAD, VERSION,
+    decode, decode_capped, decode_exact, encode, ErrorCode, ForwardRequest, Frame, MemberInfo, MemberState,
+    MembershipDecision, PeerHelloRequest, PeerLoadResponse, MAGIC, MAX_PAYLOAD, VERSION,
 };
 pub use error::{DecodeError, NetError};
 pub use frontend::{AnyServer, Frontend};

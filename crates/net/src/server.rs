@@ -550,8 +550,46 @@ fn handle_frame<B: Backend>(
             );
             tx.send(WriterMsg::Reply(reply)).is_ok()
         }
+        Frame::PeerHello(req) => {
+            let reply = match shared.service.peer_load(&req.addr, req.incarnation) {
+                Some(d) => Frame::PeerLoad(crate::codec::PeerLoadResponse {
+                    request_id: req.request_id,
+                    healthy_nodes: d.healthy_nodes,
+                    remaining_budget: d.remaining_budget,
+                    round_ms_p50: d.round_ms_p50,
+                    epoch: d.epoch,
+                }),
+                None => Frame::Error(ErrorResponse {
+                    request_id: req.request_id,
+                    code: ErrorCode::Internal,
+                    message: "backend is not a federation gateway".to_owned(),
+                }),
+            };
+            tx.send(WriterMsg::Reply(reply)).is_ok()
+        }
+        Frame::Forward(req) => {
+            // Same shape as Submit, but the budget is the *remaining*
+            // deadline carried from the origin gateway, and the backend
+            // sees the hop/tried metadata for loop-free re-forwarding.
+            let budget = (req.deadline_us != 0).then(|| Duration::from_micros(req.deadline_us));
+            let info = crate::backend::ForwardInfo { origin: req.origin, tried: req.tried, hops: req.hops };
+            let msg = match shared.service.forward(req.task, req.options, budget, info) {
+                Ok(ticket) => WriterMsg::Verdict { request_id: req.request_id, ticket },
+                Err(e) => WriterMsg::Reply(Frame::Error(ErrorResponse {
+                    request_id: req.request_id,
+                    code: e.into(),
+                    message: e.to_string(),
+                })),
+            };
+            tx.send(msg).is_ok()
+        }
         // A client must not send response frames; treat as protocol abuse.
-        Frame::Outcome(_) | Frame::Metrics(_) | Frame::Scaled(_) | Frame::Membership(_) | Frame::Error(_) => {
+        Frame::Outcome(_)
+        | Frame::Metrics(_)
+        | Frame::Scaled(_)
+        | Frame::Membership(_)
+        | Frame::PeerLoad(_)
+        | Frame::Error(_) => {
             let _ = tx.send(WriterMsg::Reply(Frame::Error(ErrorResponse {
                 request_id: frame.request_id(),
                 code: ErrorCode::Malformed,

@@ -12,9 +12,9 @@ use common::{
 };
 use offloadnn_core::task::TaskId;
 use offloadnn_net::codec::{
-    self, AnnounceRequest, DepartRequest, DrainRequest, ErrorResponse, Frame, LeaveRequest,
-    MembershipResponse, MetricsResponse, OutcomeResponse, ScaleRequest, ScaleResponse, SnapshotRequest,
-    SubmitRequest, HEADER_LEN, TRAILER_LEN,
+    self, AnnounceRequest, DepartRequest, DrainRequest, ErrorResponse, ForwardRequest, Frame, LeaveRequest,
+    MembershipResponse, MetricsResponse, OutcomeResponse, PeerHelloRequest, PeerLoadResponse, ScaleRequest,
+    ScaleResponse, SnapshotRequest, SubmitRequest, HEADER_LEN, TRAILER_LEN,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -123,6 +123,53 @@ proptest! {
         assert_round_trip(&frame)?;
     }
 
+    fn peer_hello_frames_round_trip(
+        request_id in 0u64..u64::MAX,
+        addr in ascii_string(40),
+        incarnation in 0u64..u64::MAX,
+    ) {
+        let frame = Frame::PeerHello(PeerHelloRequest { request_id, addr, incarnation });
+        assert_round_trip(&frame)?;
+    }
+
+    fn peer_load_frames_round_trip(
+        request_id in 0u64..u64::MAX,
+        healthy_nodes in 0u32..1024,
+        remaining_budget in 0.0f64..1e6,
+        round_ms_p50 in 0.0f64..1e4,
+        epoch in 0u64..u64::MAX,
+    ) {
+        let frame = Frame::PeerLoad(PeerLoadResponse {
+            request_id,
+            healthy_nodes,
+            remaining_budget,
+            round_ms_p50,
+            epoch,
+        });
+        assert_round_trip(&frame)?;
+    }
+
+    fn forward_frames_round_trip(
+        request_id in 0u64..u64::MAX,
+        deadline_us in 0u64..10_000_000_000,
+        hops in 0u8..4,
+        origin in ascii_string(40),
+        tried in vec(ascii_string(40), 0..4),
+        task in task(),
+        options in vec(path_option(), 0..4),
+    ) {
+        let frame = Frame::Forward(ForwardRequest {
+            request_id,
+            deadline_us,
+            hops,
+            origin,
+            tried,
+            task,
+            options,
+        });
+        assert_round_trip(&frame)?;
+    }
+
     /// Forward compatibility: a v1 or v2 client receiving any v3
     /// membership frame followed by a frame it understands skips the
     /// unknown one and decodes the next without desync — the skip
@@ -140,6 +187,49 @@ proptest! {
                 request_id: 3,
                 decision: codec::MembershipDecision::Accepted,
                 members: members.clone(),
+            }),
+        ] {
+            let mut stream = codec::encode(&future);
+            let tail = Frame::Snapshot(SnapshotRequest { request_id: 9 });
+            stream.extend_from_slice(&codec::encode(&tail));
+            match codec::decode_capped(&stream, cap) {
+                Ok(Some((decoded, consumed))) => {
+                    prop_assert_eq!(decoded, tail, "old client must surface the next known frame");
+                    prop_assert_eq!(consumed, stream.len(), "skip must consume the exact frame length");
+                }
+                other => prop_assert!(false, "old client desynced: {:?}", other),
+            }
+        }
+    }
+
+    /// The same guarantee one version later: a v1, v2 or v3 client
+    /// receiving any v4 federation frame (`PeerHello`, `Forward`,
+    /// `PeerLoad`) skips it checksum-safely and decodes the next known
+    /// frame without desync.
+    fn old_clients_skip_federation_frames_without_desync(
+        cap in 1u8..4,
+        addr in ascii_string(40),
+        incarnation in 0u64..u64::MAX,
+        task in task(),
+        tried in vec(ascii_string(40), 0..4),
+    ) {
+        for future in [
+            Frame::PeerHello(PeerHelloRequest { request_id: 1, addr: addr.clone(), incarnation }),
+            Frame::Forward(ForwardRequest {
+                request_id: 2,
+                deadline_us: 5_000_000,
+                hops: 1,
+                origin: addr.clone(),
+                tried: tried.clone(),
+                task: task.clone(),
+                options: Vec::new(),
+            }),
+            Frame::PeerLoad(PeerLoadResponse {
+                request_id: 3,
+                healthy_nodes: 7,
+                remaining_budget: 12.5,
+                round_ms_p50: 3.0,
+                epoch: incarnation,
             }),
         ] {
             let mut stream = codec::encode(&future);

@@ -150,15 +150,24 @@ fn corrupt_future_frames_are_fatal_for_old_clients() {
     // The skip path only trusts a future frame's length if its checksum
     // verifies; corruption must surface as a typed error, not a silent
     // mis-skip.
+    // Frames are stamped with the lowest version that knows their tag,
+    // so the surfaced error names the corrupt frame's own version.
     let announce =
         Frame::Announce(AnnounceRequest { request_id: 1, addr: "10.0.0.9:4100".to_owned(), incarnation: 7 });
     let mut bytes = encode(&announce);
     let last = bytes.len() - 1;
     bytes[last] ^= 0x40;
-    assert_eq!(
-        codec::decode_capped(&bytes, 1),
-        Err(DecodeError::UnsupportedVersion { got: offloadnn_net::VERSION })
-    );
+    assert_eq!(codec::decode_capped(&bytes, 1), Err(DecodeError::UnsupportedVersion { got: 3 }));
+
+    let hello = Frame::PeerHello(codec::PeerHelloRequest {
+        request_id: 1,
+        addr: "10.0.0.9:4100".to_owned(),
+        incarnation: 7,
+    });
+    let mut bytes = encode(&hello);
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    assert_eq!(codec::decode_capped(&bytes, 3), Err(DecodeError::UnsupportedVersion { got: 4 }));
 }
 
 #[test]

@@ -4,6 +4,11 @@
 //! against a sharded [`offloadnn_serve::Service`] built from the small
 //! reference scenario, then prints the throughput / latency / verdict
 //! report and exits non-zero if the conservation invariant is violated.
+//! The shared flag surface and header come from
+//! [`offloadnn_serve::loadgen::args`]; only the arrival-process,
+//! scenario and plan-cache-comparison flags are specific to this
+//! binary, and the driver loop (inside `loadgen::run_scripted`) speaks
+//! the unified [`offloadnn_serve::Admitter`] API.
 //!
 //! ```text
 //! cargo run --release -p offloadnn-serve --bin serve_loadgen -- \
@@ -13,6 +18,7 @@
 use offloadnn_core::scenario::{large_scenario, small_scenario, LoadLevel, Scenario};
 use offloadnn_plancache::PlanCacheConfig;
 use offloadnn_radio::ArrivalProcess;
+use offloadnn_serve::loadgen::args::{self, CommonArgs};
 use offloadnn_serve::{loadgen, LoadgenConfig, ServiceConfig};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -67,24 +73,17 @@ OPTIONS (all optional; defaults in brackets):
   -h, --help            print this help
 ";
 
-struct Args {
-    requests: u64,
-    shards: usize,
+/// The flags only this binary understands.
+struct Extra {
     process_kind: ProcessKind,
     rate_hz: f64,
     time_scale: f64,
-    seed: u64,
-    max_active: usize,
     queue_capacity: usize,
     batch_max: usize,
     batch_window_us: u64,
-    deadline_ms: u64,
     shed_watermark: usize,
-    ues: usize,
     scenario_kind: ScenarioKind,
     scale_script: Vec<(u64, usize)>,
-    shape_skew: f64,
-    shape_pool: usize,
     plan_cache: bool,
     min_hit_rate: Option<f64>,
     compare_baseline: bool,
@@ -104,134 +103,114 @@ enum ScenarioKind {
     Large,
 }
 
-impl Default for Args {
-    fn default() -> Self {
-        let s = ServiceConfig::default();
-        let l = LoadgenConfig::default();
-        Self {
-            requests: l.requests,
-            shards: s.shards,
-            process_kind: ProcessKind::Poisson,
-            rate_hz: 5_000.0,
-            time_scale: l.time_scale,
-            seed: l.seed,
-            max_active: l.max_active,
-            queue_capacity: s.queue_capacity,
-            batch_max: s.batch_max,
-            batch_window_us: s.batch_window.as_micros() as u64,
-            deadline_ms: s.admission_deadline.as_millis() as u64,
-            shed_watermark: s.shed_watermark,
-            ues: 5,
-            scenario_kind: ScenarioKind::Small,
-            scale_script: Vec::new(),
-            shape_skew: l.shape_skew,
-            shape_pool: l.shape_pool,
-            plan_cache: false,
-            min_hit_rate: None,
-            compare_baseline: false,
-            min_speedup: None,
-        }
-    }
-}
-
-/// Parses `"at:shards,at:shards"` into scale-script steps.
-fn parse_scale_script(value: &str) -> Result<Vec<(u64, usize)>, String> {
-    value
-        .split(',')
-        .filter(|s| !s.is_empty())
-        .map(|step| {
-            let (at, shards) =
-                step.split_once(':').ok_or_else(|| format!("scale step {step:?}: expected at:shards"))?;
-            let at: u64 = at.trim().parse().map_err(|e| format!("scale step {step:?}: {e}"))?;
-            let shards: usize = shards.trim().parse().map_err(|e| format!("scale step {step:?}: {e}"))?;
-            if shards == 0 {
-                return Err(format!("scale step {step:?}: target must be at least one shard"));
-            }
-            Ok((at, shards))
-        })
-        .collect()
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        if flag == "-h" || flag == "--help" {
-            print!("{USAGE}");
-            std::process::exit(0);
+fn parse_args() -> Result<(CommonArgs, Extra), String> {
+    let s = ServiceConfig::default();
+    let l = LoadgenConfig::default();
+    let mut common = CommonArgs {
+        frontend: "in-process".into(),
+        requests: l.requests,
+        clients: 1,
+        window: 1,
+        shards: s.shards,
+        ues: 5,
+        deadline_ms: s.admission_deadline.as_millis() as u64,
+        max_active: l.max_active,
+        seed: l.seed,
+        shape_skew: l.shape_skew,
+        shape_pool: l.shape_pool,
+    };
+    let mut extra = Extra {
+        process_kind: ProcessKind::Poisson,
+        rate_hz: 5_000.0,
+        time_scale: l.time_scale,
+        queue_capacity: s.queue_capacity,
+        batch_max: s.batch_max,
+        batch_window_us: s.batch_window.as_micros() as u64,
+        shed_watermark: s.shed_watermark,
+        scenario_kind: ScenarioKind::Small,
+        scale_script: Vec::new(),
+        plan_cache: false,
+        min_hit_rate: None,
+        compare_baseline: false,
+        min_speedup: None,
+    };
+    args::parse(USAGE, &mut common, |flag, it| {
+        // Every extra flag this binary owns takes exactly one value;
+        // anything else falls through to the common surface.
+        match flag {
+            "--process" | "--rate-hz" | "--time-scale" | "--queue-capacity" | "--batch-max"
+            | "--batch-window-us" | "--shed-watermark" | "--scenario" | "--scale-script" | "--plan-cache"
+            | "--min-hit-rate" | "--compare-baseline" | "--min-speedup" => {}
+            _ => return Ok(false),
         }
         let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
         let bad = |e: &dyn std::fmt::Display| format!("{flag} {value}: {e}");
-        match flag.as_str() {
-            "--requests" => args.requests = value.parse().map_err(|e| bad(&e))?,
-            "--shards" => args.shards = value.parse().map_err(|e| bad(&e))?,
+        match flag {
             "--process" => {
-                args.process_kind = match value.as_str() {
+                extra.process_kind = match value.as_str() {
                     "poisson" => ProcessKind::Poisson,
                     "periodic" => ProcessKind::Periodic,
                     "bursty" => ProcessKind::Bursty,
                     other => return Err(format!("--process {other}: expected poisson|periodic|bursty")),
                 }
             }
-            "--rate-hz" => args.rate_hz = value.parse().map_err(|e| bad(&e))?,
-            "--time-scale" => args.time_scale = value.parse().map_err(|e| bad(&e))?,
-            "--seed" => args.seed = value.parse().map_err(|e| bad(&e))?,
-            "--max-active" => args.max_active = value.parse().map_err(|e| bad(&e))?,
-            "--queue-capacity" => args.queue_capacity = value.parse().map_err(|e| bad(&e))?,
-            "--batch-max" => args.batch_max = value.parse().map_err(|e| bad(&e))?,
-            "--batch-window-us" => args.batch_window_us = value.parse().map_err(|e| bad(&e))?,
-            "--deadline-ms" => args.deadline_ms = value.parse().map_err(|e| bad(&e))?,
-            "--shed-watermark" => args.shed_watermark = value.parse().map_err(|e| bad(&e))?,
-            "--ues" => args.ues = value.parse().map_err(|e| bad(&e))?,
+            "--rate-hz" => extra.rate_hz = value.parse().map_err(|e| bad(&e))?,
+            "--time-scale" => extra.time_scale = value.parse().map_err(|e| bad(&e))?,
+            "--queue-capacity" => extra.queue_capacity = value.parse().map_err(|e| bad(&e))?,
+            "--batch-max" => extra.batch_max = value.parse().map_err(|e| bad(&e))?,
+            "--batch-window-us" => extra.batch_window_us = value.parse().map_err(|e| bad(&e))?,
+            "--shed-watermark" => extra.shed_watermark = value.parse().map_err(|e| bad(&e))?,
             "--scenario" => {
-                args.scenario_kind = match value.as_str() {
+                extra.scenario_kind = match value.as_str() {
                     "small" => ScenarioKind::Small,
                     "large" => ScenarioKind::Large,
                     other => return Err(format!("--scenario {other}: expected small|large")),
                 }
             }
-            "--scale-script" => args.scale_script = parse_scale_script(&value)?,
-            "--shape-skew" => args.shape_skew = value.parse().map_err(|e| bad(&e))?,
-            "--shape-pool" => args.shape_pool = value.parse().map_err(|e| bad(&e))?,
-            "--plan-cache" => args.plan_cache = value.parse().map_err(|e| bad(&e))?,
-            "--min-hit-rate" => args.min_hit_rate = Some(value.parse().map_err(|e| bad(&e))?),
-            "--compare-baseline" => args.compare_baseline = value.parse().map_err(|e| bad(&e))?,
-            "--min-speedup" => args.min_speedup = Some(value.parse().map_err(|e| bad(&e))?),
-            other => return Err(format!("unknown flag {other} (try --help)")),
+            "--scale-script" => {
+                extra.scale_script =
+                    args::parse_scale_script(&value)?.into_iter().map(|(at, s)| (at, s as usize)).collect()
+            }
+            "--plan-cache" => extra.plan_cache = value.parse().map_err(|e| bad(&e))?,
+            "--min-hit-rate" => extra.min_hit_rate = Some(value.parse().map_err(|e| bad(&e))?),
+            "--compare-baseline" => extra.compare_baseline = value.parse().map_err(|e| bad(&e))?,
+            "--min-speedup" => extra.min_speedup = Some(value.parse().map_err(|e| bad(&e))?),
+            _ => unreachable!("guarded above"),
         }
-    }
-    Ok(args)
+        Ok(true)
+    })?;
+    Ok((common, extra))
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
+    let (common, extra) = match parse_args() {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
 
-    let process = match args.process_kind {
-        ProcessKind::Poisson => ArrivalProcess::Poisson { rate_hz: args.rate_hz },
-        ProcessKind::Periodic => ArrivalProcess::Periodic { rate_hz: args.rate_hz },
+    let process = match extra.process_kind {
+        ProcessKind::Poisson => ArrivalProcess::Poisson { rate_hz: extra.rate_hz },
+        ProcessKind::Periodic => ArrivalProcess::Periodic { rate_hz: extra.rate_hz },
         // A 10:1 burst with phase lengths chosen so the mean matches
         // --rate-hz: calm at rate/2, burst at 5x rate, 10% burst duty.
         ProcessKind::Bursty => ArrivalProcess::Bursty {
-            calm_rate_hz: args.rate_hz * 0.5,
-            burst_rate_hz: args.rate_hz * 5.0,
+            calm_rate_hz: extra.rate_hz * 0.5,
+            burst_rate_hz: extra.rate_hz * 5.0,
             mean_calm_s: 0.09,
             mean_burst_s: 0.01,
         },
     };
     let service_config = ServiceConfig {
-        shards: args.shards,
-        queue_capacity: args.queue_capacity,
-        batch_max: args.batch_max,
-        batch_window: Duration::from_micros(args.batch_window_us),
-        admission_deadline: Duration::from_millis(args.deadline_ms),
-        shed_watermark: args.shed_watermark,
-        plan_cache: args.plan_cache.then(PlanCacheConfig::default),
+        shards: common.shards,
+        queue_capacity: extra.queue_capacity,
+        batch_max: extra.batch_max,
+        batch_window: Duration::from_micros(extra.batch_window_us),
+        admission_deadline: Duration::from_millis(common.deadline_ms),
+        shed_watermark: extra.shed_watermark,
+        plan_cache: extra.plan_cache.then(PlanCacheConfig::default),
         ..ServiceConfig::default()
     };
     if let Err(e) = service_config.validate() {
@@ -239,20 +218,29 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let cfg = LoadgenConfig {
-        requests: args.requests,
+        requests: common.requests,
         process,
-        seed: args.seed,
-        max_active: args.max_active,
-        time_scale: args.time_scale,
-        shape_skew: args.shape_skew,
-        shape_pool: args.shape_pool,
+        seed: common.seed,
+        max_active: common.max_active,
+        time_scale: extra.time_scale,
+        shape_skew: common.shape_skew,
+        shape_pool: common.shape_pool,
     };
 
-    let scenario: Scenario = match args.scenario_kind {
-        ScenarioKind::Small => small_scenario(args.ues),
+    let scenario: Scenario = match extra.scenario_kind {
+        ScenarioKind::Small => small_scenario(common.ues),
         ScenarioKind::Large => large_scenario(LoadLevel::Medium),
     };
-    let report = loadgen::run_scripted(service_config, cfg, &args.scale_script, &scenario.instance);
+    args::print_header(
+        "service",
+        &common.frontend,
+        common.seed,
+        format_args!(
+            "{} requests across {} shard(s), {:.0} req/s mean",
+            common.requests, common.shards, extra.rate_hz
+        ),
+    );
+    let report = loadgen::run_scripted(service_config, cfg, &extra.scale_script, &scenario.instance);
     println!("{report}");
 
     if !report.is_conserved() {
@@ -262,22 +250,22 @@ fn main() -> ExitCode {
     // Per-shard budget partitions are only meaningful on a fixed
     // topology: a reshard adopts in-flight tasks that may transiently
     // exceed the new partition, so the check is skipped when scripted.
-    if args.scale_script.is_empty() && !report.drain.within_budgets() {
+    if extra.scale_script.is_empty() && !report.drain.within_budgets() {
         eprintln!("error: a shard exceeded its budget partition");
         return ExitCode::FAILURE;
     }
-    if let Some(min) = args.min_hit_rate {
+    if let Some(min) = extra.min_hit_rate {
         let rate = report.drain.plan_cache.map_or(0.0, |pc| pc.hit_rate());
         if rate < min {
             eprintln!("error: plan-cache hit rate {rate:.3} below the required {min:.3}");
             return ExitCode::FAILURE;
         }
     }
-    if args.compare_baseline {
+    if extra.compare_baseline {
         // Same seed, same stream, same service shape — only the cache
         // differs, so the throughput ratio isolates the solve path.
         let baseline_config = ServiceConfig { plan_cache: None, ..service_config };
-        let baseline = loadgen::run_scripted(baseline_config, cfg, &args.scale_script, &scenario.instance);
+        let baseline = loadgen::run_scripted(baseline_config, cfg, &extra.scale_script, &scenario.instance);
         if !baseline.is_conserved() {
             eprintln!("error: conservation violated in the no-cache baseline");
             return ExitCode::FAILURE;
@@ -287,7 +275,7 @@ fn main() -> ExitCode {
             "baseline:   {:.0} verdicts/s without the plan cache — solve-path speedup {speedup:.2}x",
             baseline.throughput_hz(),
         );
-        if let Some(min) = args.min_speedup {
+        if let Some(min) = extra.min_speedup {
             if speedup < min {
                 eprintln!("error: solve-path speedup {speedup:.2}x below the required {min:.2}x");
                 return ExitCode::FAILURE;

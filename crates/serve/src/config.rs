@@ -70,6 +70,16 @@ impl Default for ServiceConfig {
 }
 
 impl ServiceConfig {
+    /// A builder starting from [`ServiceConfig::default`]. Setters keep
+    /// every untouched field at its default and
+    /// [`ServiceConfigBuilder::build`] validates the result, so an
+    /// invalid combination fails where it was written instead of at
+    /// [`crate::Service::start`]. Struct literals with
+    /// `..ServiceConfig::default()` keep working unchanged.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder { config: Self::default() }
+    }
+
     /// Validates every field.
     ///
     /// # Errors
@@ -106,6 +116,81 @@ impl ServiceConfig {
     }
 }
 
+/// Builder for [`ServiceConfig`] — see [`ServiceConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Sets the worker-shard count.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard ingress queue bound.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the solver-round batching knobs (size and window).
+    #[must_use]
+    pub fn batching(mut self, batch_max: usize, batch_window: Duration) -> Self {
+        self.config.batch_max = batch_max;
+        self.config.batch_window = batch_window;
+        self
+    }
+
+    /// Sets the policy admission deadline.
+    #[must_use]
+    pub fn admission_deadline(mut self, deadline: Duration) -> Self {
+        self.config.admission_deadline = deadline;
+        self
+    }
+
+    /// Sets the priority-shedding backlog watermark.
+    #[must_use]
+    pub fn shed_watermark(mut self, watermark: usize) -> Self {
+        self.config.shed_watermark = watermark;
+        self
+    }
+
+    /// Sets the virtual nodes per shard on the consistent-hash ring.
+    #[must_use]
+    pub fn virtual_nodes(mut self, vnodes: usize) -> Self {
+        self.config.virtual_nodes = vnodes;
+        self
+    }
+
+    /// Enables the per-shard plan cache.
+    #[must_use]
+    pub fn plan_cache(mut self, cache: PlanCacheConfig) -> Self {
+        self.config.plan_cache = Some(cache);
+        self
+    }
+
+    /// Sets the chaos (fault-injection) knobs.
+    #[must_use]
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.config.chaos = chaos;
+        self
+    }
+
+    /// Validates and returns the finished config.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] naming the offending field.
+    pub fn build(self) -> Result<ServiceConfig, ServeError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +198,29 @@ mod tests {
     #[test]
     fn default_config_validates() {
         assert!(ServiceConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_validates_and_matches_literal_construction() {
+        let built = ServiceConfig::builder()
+            .shards(2)
+            .queue_capacity(8)
+            .batching(4, Duration::from_millis(1))
+            .admission_deadline(Duration::from_secs(1))
+            .shed_watermark(6)
+            .build()
+            .unwrap();
+        let literal = ServiceConfig {
+            shards: 2,
+            queue_capacity: 8,
+            batch_max: 4,
+            batch_window: Duration::from_millis(1),
+            admission_deadline: Duration::from_secs(1),
+            shed_watermark: 6,
+            ..ServiceConfig::default()
+        };
+        assert_eq!(built, literal);
+        assert!(ServiceConfig::builder().shards(0).build().is_err());
     }
 
     #[test]

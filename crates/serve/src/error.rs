@@ -31,6 +31,10 @@ pub enum SubmitError {
     Draining,
     /// The request carried no candidate path options.
     NoOptions,
+    /// The admission endpoint could not be reached (wire tiers of the
+    /// [`crate::admit::Admitter`] trait only): the request was never
+    /// accepted, so nothing is owed a verdict.
+    Unavailable,
 }
 
 impl fmt::Display for SubmitError {
@@ -38,6 +42,7 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::Draining => f.write_str("service is draining"),
             SubmitError::NoOptions => f.write_str("request has no path options"),
+            SubmitError::Unavailable => f.write_str("admission endpoint unreachable"),
         }
     }
 }

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admit;
 pub mod config;
 pub mod error;
 pub mod loadgen;
@@ -55,7 +56,8 @@ pub mod router;
 pub mod service;
 mod shard;
 
-pub use config::{ChaosConfig, ServiceConfig};
+pub use admit::{Admitter, PendingVerdict, VerdictError, VerdictHandle};
+pub use config::{ChaosConfig, ServiceConfig, ServiceConfigBuilder};
 pub use error::{ServeError, SubmitError};
 pub use loadgen::{LoadgenConfig, LoadgenReport, ShapePool, VerdictTally};
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, ServiceMetrics, HISTOGRAM_BUCKETS};

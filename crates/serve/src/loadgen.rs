@@ -5,8 +5,11 @@
 //! throughput, latency and verdict mix. Used by the `serve_loadgen`
 //! binary and the `serve_throughput` bench.
 
+pub mod args;
+
+use crate::admit::{Admitter, PendingVerdict, VerdictError};
 use crate::config::ServiceConfig;
-use crate::service::{DrainReport, Outcome, ReshardReport, Service, Ticket};
+use crate::service::{DrainReport, Outcome, ReshardReport, Service};
 use offloadnn_core::instance::DotInstance;
 use offloadnn_core::task::TaskId;
 use offloadnn_radio::{ArrivalProcess, Arrivals};
@@ -128,15 +131,14 @@ pub struct VerdictTally {
 }
 
 impl VerdictTally {
-    fn observe(&mut self, outcome: Option<Outcome>) -> Option<TaskId> {
-        match outcome {
-            Some(Outcome::Admitted { .. }) => self.admitted += 1,
-            Some(Outcome::Rejected { .. }) => self.rejected += 1,
-            Some(Outcome::Shed { .. }) => self.shed += 1,
-            Some(Outcome::Expired { .. }) => self.expired += 1,
-            None => self.lost += 1,
+    fn observe(&mut self, verdict: &Result<Outcome, VerdictError>) {
+        match verdict {
+            Ok(Outcome::Admitted { .. }) => self.admitted += 1,
+            Ok(Outcome::Rejected { .. }) => self.rejected += 1,
+            Ok(Outcome::Shed { .. }) => self.shed += 1,
+            Ok(Outcome::Expired { .. }) => self.expired += 1,
+            Err(_) => self.lost += 1,
         }
-        None
     }
 
     /// Total resolved tickets.
@@ -315,8 +317,12 @@ pub fn run_scripted(
     let shape_pool = (cfg.shape_skew > 0.0)
         .then(|| ShapePool::new(cfg.shape_pool, cfg.shape_skew, template.tasks.len(), cfg.seed));
 
+    // The driver loop speaks the unified admission API only; the
+    // concrete `Service` is consulted solely for the management plane
+    // (scale script, final drain).
+    let admitter: &dyn Admitter = &service;
     let mut tally = VerdictTally::default();
-    let mut pending: VecDeque<Ticket> = VecDeque::new();
+    let mut pending: VecDeque<PendingVerdict> = VecDeque::new();
     let mut active: VecDeque<TaskId> = VecDeque::new();
     let started = Instant::now();
     let mut sim_origin: Option<f64> = None;
@@ -356,41 +362,40 @@ pub fn run_scripted(
         task.id = TaskId(i as u32);
         task.priority = (task.priority * priority_factor).clamp(0.05, 1.0);
         task.request_rate *= rate_factor;
-        let ticket = service
-            .submit(task, template.options[proto].clone())
+        let verdict = admitter
+            .submit(task, template.options[proto].clone(), None)
             .expect("not draining and options non-empty");
-        pending.push_back(ticket);
+        pending.push_back(verdict);
 
         // Reap whatever already resolved, keeping the admitted set
         // bounded so the long-running controllers don't fill up.
         while let Some(front) = pending.front() {
-            match front.try_wait() {
-                Some(outcome) => {
-                    let ticket = pending.pop_front().expect("front exists");
-                    if outcome.is_admitted() {
-                        active.push_back(ticket.task);
+            match front.poll() {
+                Some(verdict) => {
+                    let resolved = pending.pop_front().expect("front exists");
+                    if matches!(verdict, Ok(Outcome::Admitted { .. })) {
+                        active.push_back(resolved.task());
                     }
-                    tally.observe(Some(outcome));
+                    tally.observe(&verdict);
                 }
                 None => break,
             }
         }
         while active.len() > cfg.max_active {
             let oldest = active.pop_front().expect("non-empty");
-            service.depart(oldest);
+            admitter.depart(oldest);
         }
     }
 
     // Stragglers: every ticket resolves (workers answer everything, even
     // expired requests), so blocking waits terminate.
-    for ticket in pending {
-        let outcome = ticket.wait();
-        if let Some(o) = &outcome {
-            if o.is_admitted() {
-                active.push_back(ticket.task);
-            }
+    for verdict in pending {
+        let task = verdict.task();
+        let outcome = verdict.wait();
+        if matches!(outcome, Ok(Outcome::Admitted { .. })) {
+            active.push_back(task);
         }
-        tally.observe(outcome);
+        tally.observe(&outcome);
     }
     // Steps scripted at or past the end of the stream fire against a
     // fully loaded fleet, right before drain.

@@ -1,0 +1,444 @@
+//! The shared CLI surface and tier-agnostic driver loop of the three
+//! load-generator binaries (`serve_loadgen`, `net_loadgen`,
+//! `gateway_loadgen`).
+//!
+//! Before the unified admission API each binary carried its own copy of
+//! the flag parser, the verdict tally and the submit/reap/depart loop,
+//! welded to one tier's concrete types. This module is the
+//! consolidation: [`CommonArgs`] + [`parse`] own the flag surface every
+//! binary shares (each binary registers only its tier-specific extras),
+//! [`WireTally`] is the one driver-side verdict ledger, and [`drive`]
+//! is the one driver body — it speaks [`Admitter`] only, so the exact
+//! same loop exercises an in-process [`crate::Service`], a TCP
+//! `net::Client` or a cluster `Gateway` without knowing which it holds.
+//!
+//! Every binary also prints the same [`print_header`] line
+//! (`loadgen[tier=… frontend=… seed=…]`), so any run's tier, transport
+//! and seed are greppable from its first output line.
+
+use crate::admit::{Admitter, VerdictError};
+use crate::error::SubmitError;
+use crate::loadgen::ShapePool;
+use crate::service::Outcome;
+use offloadnn_core::instance::PathOption;
+use offloadnn_core::task::{Task, TaskId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The flag surface shared by all three load-generator binaries. Each
+/// binary starts from its own defaults, hands the struct to [`parse`]
+/// with a closure for its tier-specific extras, and reads the result
+/// back out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArgs {
+    /// The transport serving the run (`threads` / `reactor` for the
+    /// wire tiers, `in-process` for `serve_loadgen`). Kept as a string
+    /// here — this crate cannot see `offloadnn_net::Frontend`; wire
+    /// binaries parse it after the fact.
+    pub frontend: String,
+    /// Total submits across all drivers.
+    pub requests: u64,
+    /// Concurrent driver loops (`1` for the in-process tier).
+    pub clients: usize,
+    /// Per-driver pipeline depth before the oldest pending verdict is
+    /// reaped.
+    pub window: usize,
+    /// Worker shards per backend service.
+    pub shards: usize,
+    /// UEs in the reference scenario.
+    pub ues: usize,
+    /// Caller-shipped admission budget in milliseconds (`0` = the
+    /// tier's policy deadline).
+    pub deadline_ms: u64,
+    /// Admitted tasks kept alive per driver before the oldest departs.
+    pub max_active: usize,
+    /// RNG seed (task mix).
+    pub seed: u64,
+    /// Zipf exponent of the task-shape mix (`0` = fresh jitter per
+    /// request, no pool).
+    pub shape_skew: f64,
+    /// Distinct shapes in the Zipf pool.
+    pub shape_pool: usize,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self {
+            frontend: "threads".into(),
+            requests: 10_000,
+            clients: 4,
+            window: 64,
+            shards: 2,
+            ues: 5,
+            deadline_ms: 0,
+            max_active: 64,
+            seed: 7,
+            shape_skew: 0.0,
+            shape_pool: 64,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Cross-flag validation shared by every binary.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clients == 0 {
+            return Err("--clients must be >= 1".into());
+        }
+        if self.window == 0 {
+            return Err("--window must be >= 1".into());
+        }
+        if self.shape_pool == 0 {
+            return Err("--shape-pool must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Walks `std::env::args()`, filling `common` with the shared flags and
+/// delegating everything else to `extra`. `extra` is consulted *first*
+/// for every flag (so a binary can claim value-less switches like
+/// `--hedge`, pulling values from the iterator only when it needs
+/// them); returning `Ok(false)` passes the flag on to the common
+/// surface. `-h`/`--help` prints `usage` and exits.
+///
+/// # Errors
+///
+/// A human-readable message for a malformed or unknown flag, or
+/// whatever `extra` reports.
+pub fn parse<F>(usage: &str, common: &mut CommonArgs, mut extra: F) -> Result<(), String>
+where
+    F: FnMut(&str, &mut dyn Iterator<Item = String>) -> Result<bool, String>,
+{
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "-h" || flag == "--help" {
+            print!("{usage}");
+            std::process::exit(0);
+        }
+        if extra(&flag, &mut it)? {
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("{flag}: missing value"))?;
+        let bad = |e: &dyn fmt::Display| format!("{flag} {value}: {e}");
+        match flag.as_str() {
+            "--frontend" => common.frontend = value,
+            "--requests" => common.requests = value.parse().map_err(|e| bad(&e))?,
+            "--clients" => common.clients = value.parse().map_err(|e| bad(&e))?,
+            "--window" => common.window = value.parse().map_err(|e| bad(&e))?,
+            "--shards" => common.shards = value.parse().map_err(|e| bad(&e))?,
+            "--ues" => common.ues = value.parse().map_err(|e| bad(&e))?,
+            "--deadline-ms" => common.deadline_ms = value.parse().map_err(|e| bad(&e))?,
+            "--max-active" => common.max_active = value.parse().map_err(|e| bad(&e))?,
+            "--seed" => common.seed = value.parse().map_err(|e| bad(&e))?,
+            "--shape-skew" => common.shape_skew = value.parse().map_err(|e| bad(&e))?,
+            "--shape-pool" => common.shape_pool = value.parse().map_err(|e| bad(&e))?,
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    common.validate()
+}
+
+/// Parses `"at:shards,at:shards"` into scale-script steps (shared by
+/// the serve and net binaries).
+///
+/// # Errors
+///
+/// A human-readable message for the first malformed step.
+pub fn parse_scale_script(value: &str) -> Result<Vec<(u64, u32)>, String> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|step| {
+            let (at, shards) =
+                step.split_once(':').ok_or_else(|| format!("scale step {step:?}: expected at:shards"))?;
+            let at: u64 = at.trim().parse().map_err(|e| format!("scale step {step:?}: {e}"))?;
+            let shards: u32 = shards.trim().parse().map_err(|e| format!("scale step {step:?}: {e}"))?;
+            if shards == 0 {
+                return Err(format!("scale step {step:?}: target must be at least one shard"));
+            }
+            Ok((at, shards))
+        })
+        .collect()
+}
+
+/// The uniform first output line of every load generator: tier,
+/// transport and seed in one greppable prefix, then the binary's own
+/// topology detail.
+pub fn print_header(tier: &str, frontend: &str, seed: u64, detail: fmt::Arguments<'_>) {
+    println!("loadgen[tier={tier} frontend={frontend} seed={seed}] {detail}");
+}
+
+/// The driver-side verdict ledger, observed through [`Admitter`]
+/// pending verdicts — one tally shape for every tier, so the
+/// conservation arithmetic (`offered == outcomes + errors`) reads the
+/// same in every binary.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WireTally {
+    /// Verdicts resolved `Admitted`.
+    pub admitted: u64,
+    /// Verdicts resolved `Rejected`.
+    pub rejected: u64,
+    /// Verdicts resolved `Shed`.
+    pub shed: u64,
+    /// Verdicts resolved `Expired`.
+    pub expired: u64,
+    /// Requests refused at or after ingress without a verdict
+    /// ([`SubmitError`] other than `Unavailable`, or
+    /// [`VerdictError::Refused`]).
+    pub refused: u64,
+    /// Requests whose transport died or whose wait bound elapsed
+    /// ([`SubmitError::Unavailable`], [`VerdictError::Transport`],
+    /// [`VerdictError::TimedOut`]).
+    pub transport: u64,
+    /// Requests the backend lost without resolving
+    /// ([`VerdictError::Lost`]) — always a bug in the tier under test.
+    pub lost: u64,
+}
+
+impl WireTally {
+    /// Total resolved verdicts.
+    pub fn outcomes(&self) -> u64 {
+        self.admitted + self.rejected + self.shed + self.expired
+    }
+
+    /// Requests that ended in an error instead of a verdict.
+    pub fn errors(&self) -> u64 {
+        self.refused + self.transport + self.lost
+    }
+
+    /// Folds another driver's tally into this one.
+    pub fn merge(&mut self, o: WireTally) {
+        self.admitted += o.admitted;
+        self.rejected += o.rejected;
+        self.shed += o.shed;
+        self.expired += o.expired;
+        self.refused += o.refused;
+        self.transport += o.transport;
+        self.lost += o.lost;
+    }
+
+    /// Records one resolved pending verdict.
+    pub fn observe(&mut self, verdict: &Result<Outcome, VerdictError>) {
+        match verdict {
+            Ok(Outcome::Admitted { .. }) => self.admitted += 1,
+            Ok(Outcome::Rejected { .. }) => self.rejected += 1,
+            Ok(Outcome::Shed { .. }) => self.shed += 1,
+            Ok(Outcome::Expired { .. }) => self.expired += 1,
+            Err(VerdictError::Refused(_)) => self.refused += 1,
+            Err(VerdictError::Transport(_) | VerdictError::TimedOut) => self.transport += 1,
+            Err(VerdictError::Lost) => self.lost += 1,
+        }
+    }
+}
+
+impl fmt::Display for WireTally {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "admitted {}  rejected {}  shed {}  expired {}  refused {}  transport-err {}  lost {}",
+            self.admitted, self.rejected, self.shed, self.expired, self.refused, self.transport, self.lost,
+        )
+    }
+}
+
+/// Parameters of one [`drive`] loop.
+#[derive(Debug, Clone, Copy)]
+pub struct DriveConfig {
+    /// Submits this driver offers.
+    pub requests: u64,
+    /// Driver index: decorrelates the RNG and keeps task-id spaces
+    /// disjoint across concurrent drivers (so departures stay routable).
+    pub driver: usize,
+    /// Base RNG seed, shared across drivers.
+    pub seed: u64,
+    /// Pipeline depth before the oldest pending verdict is reaped.
+    pub window: usize,
+    /// Admitted tasks kept alive before the oldest departs (`0` = keep
+    /// everything, saturating the backend).
+    pub max_active: usize,
+    /// Caller-shipped admission budget (`None` = tier policy).
+    pub deadline: Option<Duration>,
+    /// How long a reaped verdict may stay outstanding before the driver
+    /// declares the tier wedged (counted as a transport error, never a
+    /// hang).
+    pub verdict_timeout: Duration,
+    /// Interleave a [`Admitter::metrics`] probe every N submits (`0` =
+    /// never).
+    pub snapshot_every: u64,
+}
+
+/// How long a verdict may stay outstanding by default: generous, since
+/// a mid-run node kill legitimately parks a ticket for a full gateway
+/// deadline + grace while failover runs.
+pub const VERDICT_TIMEOUT: Duration = Duration::from_secs(30);
+
+impl DriveConfig {
+    /// A drive slice of `requests` submits for driver `driver`, taking
+    /// everything else from the parsed common flags.
+    pub fn from_common(common: &CommonArgs, driver: usize, requests: u64) -> Self {
+        Self {
+            requests,
+            driver,
+            seed: common.seed,
+            window: common.window,
+            max_active: common.max_active,
+            deadline: (common.deadline_ms > 0).then(|| Duration::from_millis(common.deadline_ms)),
+            verdict_timeout: VERDICT_TIMEOUT,
+            snapshot_every: 0,
+        }
+    }
+}
+
+/// What one [`drive`] loop observed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DriveReport {
+    /// The verdicts and errors this driver saw.
+    pub tally: WireTally,
+    /// Admitted tasks this driver departed.
+    pub departed: u64,
+}
+
+fn settle(
+    pending: crate::admit::PendingVerdict,
+    timeout: Duration,
+    tally: &mut WireTally,
+    active: &mut VecDeque<TaskId>,
+) {
+    let task = pending.task();
+    let verdict = pending.wait_timeout(timeout);
+    if matches!(verdict, Ok(Outcome::Admitted { .. })) {
+        active.push_back(task);
+    }
+    tally.observe(&verdict);
+}
+
+/// The one driver body every binary and harness shares: offers
+/// `cfg.requests` synthetic submits derived from `protos` (optionally
+/// through the deterministic Zipf `shapes` pool) to *any* admission
+/// tier behind [`Admitter`], pipelines up to `cfg.window` pending
+/// verdicts, departs the oldest admission beyond `cfg.max_active`, and
+/// tallies every resolution. `offered` is bumped once per submit so
+/// concurrent chaos threads (node killers, scale controllers) can
+/// trigger on the global offered count.
+pub fn drive(
+    admitter: &dyn Admitter,
+    cfg: &DriveConfig,
+    protos: &[(Task, Vec<PathOption>)],
+    shapes: Option<&ShapePool>,
+    offered: &AtomicU64,
+) -> DriveReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (cfg.driver as u64).wrapping_mul(0x9E37_79B9));
+    let mut report = DriveReport::default();
+    let mut pending = VecDeque::new();
+    let mut active: VecDeque<TaskId> = VecDeque::new();
+
+    for i in 0..cfg.requests {
+        // With the Zipf pool active, popular shape ranks repeat
+        // bit-identically (the same jitter every draw) across every
+        // driver, so any plan cache downstream has something to hit.
+        let (proto, jitter) = match shapes {
+            Some(pool) => {
+                let (proto, priority, rate) = pool.draw(&mut rng);
+                (&protos[proto], Some((priority, rate)))
+            }
+            None => (&protos[rng.random_range(0..protos.len())], None),
+        };
+        let mut task = proto.0.clone();
+        if let Some((priority, rate)) = jitter {
+            task.priority = (task.priority * priority).clamp(0.05, 1.0);
+            task.request_rate *= rate;
+        }
+        // Disjoint id spaces keep departures routable per driver.
+        task.id = TaskId(u32::try_from(cfg.driver as u64 * 100_000_000 + i).unwrap_or(u32::MAX));
+        match admitter.submit(task, proto.1.clone(), cfg.deadline) {
+            Ok(p) => pending.push_back(p),
+            Err(SubmitError::Unavailable) => report.tally.transport += 1,
+            Err(_) => report.tally.refused += 1,
+        }
+        offered.fetch_add(1, Ordering::Relaxed);
+        if pending.len() >= cfg.window {
+            if let Some(p) = pending.pop_front() {
+                settle(p, cfg.verdict_timeout, &mut report.tally, &mut active);
+            }
+        }
+        while cfg.max_active > 0 && active.len() > cfg.max_active {
+            if let Some(id) = active.pop_front() {
+                admitter.depart(id);
+                report.departed += 1;
+            }
+        }
+        if cfg.snapshot_every > 0 && i % cfg.snapshot_every == cfg.snapshot_every - 1 {
+            let _ = admitter.metrics();
+        }
+    }
+    while let Some(p) = pending.pop_front() {
+        settle(p, cfg.verdict_timeout, &mut report.tally, &mut active);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+    use crate::service::Service;
+    use offloadnn_core::scenario::small_scenario;
+
+    #[test]
+    fn scale_script_parsing_accepts_steps_and_rejects_garbage() {
+        assert_eq!(parse_scale_script("100:8,250:2").unwrap(), vec![(100, 8), (250, 2)]);
+        assert_eq!(parse_scale_script("").unwrap(), vec![]);
+        assert!(parse_scale_script("100").is_err());
+        assert!(parse_scale_script("100:0").is_err());
+        assert!(parse_scale_script("x:2").is_err());
+    }
+
+    #[test]
+    fn tally_merge_and_conservation_arithmetic() {
+        let mut a = WireTally { admitted: 2, shed: 1, ..WireTally::default() };
+        let b = WireTally { rejected: 3, transport: 1, lost: 1, ..WireTally::default() };
+        a.merge(b);
+        assert_eq!(a.outcomes(), 6);
+        assert_eq!(a.errors(), 2);
+        let shown = format!("{a}");
+        assert!(shown.contains("admitted 2") && shown.contains("lost 1"), "{shown}");
+    }
+
+    #[test]
+    fn drive_conserves_over_an_in_process_service() {
+        let scenario = small_scenario(5);
+        let service =
+            Service::start(ServiceConfig { shards: 2, ..ServiceConfig::default() }, &scenario.instance)
+                .expect("service start");
+        let protos: Vec<_> =
+            scenario.instance.tasks.iter().cloned().zip(scenario.instance.options.iter().cloned()).collect();
+        let offered = AtomicU64::new(0);
+        let cfg = DriveConfig {
+            requests: 300,
+            driver: 0,
+            seed: 11,
+            window: 32,
+            max_active: 16,
+            deadline: None,
+            verdict_timeout: VERDICT_TIMEOUT,
+            snapshot_every: 50,
+        };
+        let report = drive(&service, &cfg, &protos, None, &offered);
+        assert_eq!(offered.load(Ordering::Relaxed), 300);
+        assert_eq!(report.tally.outcomes(), 300, "{:?}", report.tally);
+        assert_eq!(report.tally.errors(), 0, "{:?}", report.tally);
+        let drain = service.drain();
+        assert!(drain.metrics.is_conserved());
+        assert_eq!(drain.metrics.submitted, 300);
+        assert_eq!(drain.metrics.admitted, report.tally.admitted);
+    }
+}

@@ -327,6 +327,13 @@ impl Service {
     /// [`ServiceConfig::admission_deadline`]: a caller can shrink its
     /// admission window but never extend it past the service policy.
     ///
+    /// **Deprecated spelling** — prefer the unified admission trait:
+    /// [`crate::admit::Admitter::submit`] with `Some(deadline_budget)`
+    /// expresses the same request on every tier (service, wire client,
+    /// gateway) instead of this service-only method. Kept (not removed)
+    /// because the [`Admitter`](crate::admit::Admitter) implementation
+    /// and the network backend route through it.
+    ///
     /// # Errors
     ///
     /// Same as [`Service::submit`].
